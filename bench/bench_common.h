@@ -1,0 +1,79 @@
+#ifndef ADPROM_BENCH_BENCH_COMMON_H_
+#define ADPROM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/corpus.h"
+#include "core/adprom.h"
+#include "core/analyzer.h"
+#include "prog/program.h"
+#include "util/logging.h"
+
+namespace adprom::bench {
+
+/// A corpus app parsed and statically analyzed, ready for trace collection
+/// and training. Aborts on error: benches run on the fixed corpus, so any
+/// failure is a bug, not an input condition.
+struct PreparedApp {
+  apps::CorpusApp app;
+  prog::Program program;
+  core::AnalysisResult analysis;
+};
+
+inline PreparedApp Prepare(apps::CorpusApp app) {
+  auto program = prog::ParseProgram(app.source);
+  ADPROM_CHECK_MSG(program.ok(), app.name + ": " +
+                                     program.status().ToString());
+  core::Analyzer analyzer;
+  auto analysis = analyzer.Analyze(*program);
+  ADPROM_CHECK_MSG(analysis.ok(), app.name + ": " +
+                                      analysis.status().ToString());
+  PreparedApp out{std::move(app), std::move(program).value(),
+                  std::move(analysis).value()};
+  return out;
+}
+
+inline core::AdProm TrainOrDie(const PreparedApp& prepared,
+                               core::ProfileOptions options =
+                                   core::ProfileOptions(),
+                               core::ConstructionTimings* timings = nullptr) {
+  auto system = core::AdProm::Train(prepared.program, prepared.app.db_factory,
+                                    prepared.app.test_cases, options,
+                                    timings);
+  ADPROM_CHECK_MSG(system.ok(), prepared.app.name + ": " +
+                                    system.status().ToString());
+  return std::move(system).value();
+}
+
+/// Collects the traces of every test case of a prepared app.
+inline std::vector<runtime::Trace> CollectAllTraces(
+    const PreparedApp& prepared) {
+  auto traces = core::AdProm::CollectTraces(
+      prepared.program, prepared.analysis.cfgs, prepared.app.db_factory,
+      prepared.app.test_cases);
+  ADPROM_CHECK_MSG(traces.ok(), traces.status().ToString());
+  return std::move(traces).value();
+}
+
+/// Materializes every n-window of a trace set as owned Trace objects
+/// (the synthetic anomaly generator and scorers take value windows).
+inline std::vector<runtime::Trace> MaterializeWindows(
+    const std::vector<runtime::Trace>& traces, size_t n) {
+  std::vector<runtime::Trace> windows;
+  for (const runtime::Trace& trace : traces) {
+    for (const auto& window : core::SlidingWindows(trace, n)) {
+      windows.emplace_back(window.begin(), window.end());
+    }
+  }
+  return windows;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace adprom::bench
+
+#endif  // ADPROM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Regenerates Table III: statistics of the CA-dataset (the three database
+// client applications) — number of states (call sites in the pCTM, the
+// HMM's hidden-state pool), the DBMS each client talks to, the number of
+// test cases, and the number of n-length training sequences (n = 15).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+namespace adprom::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table III — Statistics about the CA-dataset");
+  util::TablePrinter table(
+      {"Client App", "#states", "DBMS", "#test cases", "#sequences"});
+
+  const apps::CorpusApp ca[] = {apps::MakeHospitalApp(),
+                                apps::MakeBankingApp(),
+                                apps::MakeSupermarketApp()};
+  for (const apps::CorpusApp& app : ca) {
+    PreparedApp prepared = Prepare(app);
+    const auto traces = CollectAllTraces(prepared);
+    size_t sequences = 0;
+    for (const runtime::Trace& trace : traces) {
+      sequences += core::SlidingWindows(trace, 15).size();
+    }
+    table.AddRow({prepared.app.name,
+                  std::to_string(prepared.analysis.program_ctm.num_sites()),
+                  prepared.app.dbms,
+                  std::to_string(prepared.app.test_cases.size()),
+                  std::to_string(sequences)});
+  }
+  table.Print();
+  std::printf(
+      "\n(paper: App_h 59 states / 63 cases / 3810 seq; App_b 139/73/10286;"
+      " App_s 229/36/4053 — shapes, not absolute values, are compared)\n");
+}
+
+}  // namespace
+}  // namespace adprom::bench
+
+int main() {
+  adprom::bench::Run();
+  return 0;
+}

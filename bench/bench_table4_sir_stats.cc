@@ -1,0 +1,65 @@
+// Regenerates Table IV: statistics of the SIR-dataset stand-ins — test
+// cases, coverage, and collected trace volume. The paper reports branch
+// and line coverage from gcov on the real SIR suites; our analogue is
+// call-site coverage (fraction of static call sites observed at run time)
+// and block coverage (fraction of CFG nodes whose calls executed).
+
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace adprom::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table IV — Statistics about the SIR-dataset");
+  util::TablePrinter table({"App", "#Test Cases", "Site Coverage",
+                            "#States", "Traced Calls", "#Sequences"});
+
+  const apps::CorpusApp sir[] = {
+      apps::MakeGrepLike(), apps::MakeGzipLike(), apps::MakeSedLike(),
+      apps::MakeBashLike()};
+  for (const apps::CorpusApp& app : sir) {
+    PreparedApp prepared = Prepare(app);
+    const auto traces = CollectAllTraces(prepared);
+
+    std::set<int> seen_sites;
+    size_t events = 0;
+    size_t sequences = 0;
+    for (const runtime::Trace& trace : traces) {
+      events += trace.size();
+      sequences += core::SlidingWindows(trace, 15).size();
+      for (const runtime::CallEvent& event : trace) {
+        seen_sites.insert(event.call_site_id);
+      }
+    }
+    const size_t total_sites = prepared.analysis.program_ctm.num_sites();
+    const double coverage =
+        total_sites == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(seen_sites.size()) /
+                  static_cast<double>(total_sites);
+    table.AddRow({prepared.app.name,
+                  std::to_string(prepared.app.test_cases.size()),
+                  util::StrFormat("%.1f%%", coverage),
+                  std::to_string(total_sites), std::to_string(events),
+                  std::to_string(sequences)});
+  }
+  table.Print();
+  std::printf(
+      "\n(paper: App1 809 cases / 58.7%% branch cov / 34770 traces; ... ;"
+      " App4 1061 / 66.3%% / 6628647. Our coverage analogue is call-site"
+      " coverage; App4 crosses the >900-state clustering threshold as bash"
+      " does in the paper.)\n");
+}
+
+}  // namespace
+}  // namespace adprom::bench
+
+int main() {
+  adprom::bench::Run();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Regenerates Table V: AD-PROM vs CMarkov on the five attack classes
+// against the banking client (App_b). For each attack we deploy the
+// tampered build (or malicious input, for the injection), monitor a run
+// with both systems' profiles, and report detected / undetected and
+// whether the alarm was connected to the data source.
+
+#include <cstdio>
+#include <functional>
+
+#include "attack/mutators.h"
+#include "bench/bench_common.h"
+#include "core/baselines.h"
+#include "util/table_printer.h"
+
+namespace adprom::bench {
+namespace {
+
+struct AttackScenario {
+  std::string name;
+  std::string description;
+  // Returns the deployed (possibly tampered) program.
+  std::function<prog::Program(const prog::Program&)> tamper;
+  core::TestCase test_case;
+};
+
+std::string Verdict(const core::AdProm::MonitorResult& result) {
+  if (!result.HasAlarm()) return "undetected";
+  if (result.ConnectedToSource()) return "detected & connected to source";
+  return "detected";
+}
+
+void Run() {
+  PrintHeader("Table V — AD-PROM vs CMarkov (attacks on App_b)");
+
+  PreparedApp prepared = Prepare(apps::MakeBankingApp());
+  core::AdProm adprom_system = TrainOrDie(prepared);
+  core::AdProm cmarkov_system =
+      TrainOrDie(prepared, core::CMarkovOptions());
+
+  auto clone = [](const prog::Program& p) { return p.Clone(); };
+
+  std::vector<AttackScenario> scenarios;
+  // Attack 1: a new print of TD at the end of statement() — by call *name*
+  // it looks like one more line of an (already variable-length) statement
+  // listing, so a name-level model accepts it; the block-id label of the
+  // new site is what gives it away.
+  scenarios.push_back(
+      {"Attack 1", "similar print inserted at another block",
+       [](const prog::Program& benign) {
+         attack::InsertOutputSpec spec;
+         spec.function = "statement";
+         spec.variable = "bal";
+         spec.where = attack::InsertWhere::kEnd;
+         auto tampered = attack::InsertOutputStatement(benign, spec);
+         ADPROM_CHECK(tampered.ok());
+         return std::move(tampered).value();
+       },
+       {{"statement", "503"}}});
+  // Attack 2: new output call in a function that never prints.
+  scenarios.push_back(
+      {"Attack 2", "new print call in a different function",
+       [](const prog::Program& benign) {
+         attack::InsertOutputSpec spec;
+         spec.function = "audit";
+         spec.variable = "msg";
+         spec.where = attack::InsertWhere::kEnd;
+         auto tampered = attack::InsertOutputStatement(benign, spec);
+         ADPROM_CHECK(tampered.ok());
+         return std::move(tampered).value();
+       },
+       {{"typo", "statement", "503"}}});
+  // Attack 3: reuse an existing print command to output targeted data.
+  // transfer()'s confirmation print is the only *untainted* print there;
+  // swapping its argument for the fetched balance changes no call name in
+  // the sequence — only the data flow.
+  scenarios.push_back(
+      {"Attack 3", "existing print reused with a query-result argument",
+       [](const prog::Program& benign) {
+         auto tampered = attack::ReplaceCallArgument(
+             benign, "transfer", "print", /*occurrence=*/0,
+             /*arg_index=*/0, "have");
+         ADPROM_CHECK(tampered.ok());
+         return std::move(tampered).value();
+       },
+       {{"transfer", "507", "508", "25"}}});
+  // Attack 4: binary patch adds a file-exfiltration call in the loop.
+  scenarios.push_back(
+      {"Attack 4", "binary patch writes fetched rows to a file",
+       [](const prog::Program& benign) {
+         attack::InsertOutputSpec spec;
+         spec.function = "find_client";
+         spec.variable = "row";
+         spec.output_call = "write_file";
+         spec.channel_arg = "/tmp/exfil.bin";
+         spec.where = attack::InsertWhere::kBodyOfFirstWhile;
+         auto tampered = attack::InsertOutputStatement(benign, spec);
+         ADPROM_CHECK(tampered.ok());
+         return std::move(tampered).value();
+       },
+       {{"client", "104"}}});
+  // Attack 5: tautology SQL injection through the vulnerable transaction.
+  scenarios.push_back({"Attack 5",
+                       "tautology SQL injection (1' OR '1'='1)", clone,
+                       {{"client", attack::TautologyPayload()}}});
+
+  util::TablePrinter table({"", "CMarkov", "AD-PROM"});
+  for (const AttackScenario& scenario : scenarios) {
+    const prog::Program deployed = scenario.tamper(prepared.program);
+    auto adprom_result = adprom_system.Monitor(
+        deployed, prepared.app.db_factory, scenario.test_case);
+    auto cmarkov_result = cmarkov_system.Monitor(
+        deployed, prepared.app.db_factory, scenario.test_case);
+    ADPROM_CHECK(adprom_result.ok());
+    ADPROM_CHECK(cmarkov_result.ok());
+    table.AddRow({scenario.name, Verdict(*cmarkov_result),
+                  Verdict(*adprom_result)});
+  }
+  table.Print();
+  std::printf(
+      "\n(paper: CMarkov misses Attacks 1 and 3 and never connects to the"
+      " source; AD-PROM detects all five and connects each to the leaked"
+      " table)\n");
+
+  // Sanity row: a benign run must stay quiet under both systems.
+  auto benign_ad = adprom_system.Monitor(prepared.program,
+                                         prepared.app.db_factory,
+                                         {{"client", "104"}});
+  auto benign_cm = cmarkov_system.Monitor(prepared.program,
+                                          prepared.app.db_factory,
+                                          {{"client", "104"}});
+  ADPROM_CHECK(benign_ad.ok());
+  ADPROM_CHECK(benign_cm.ok());
+  std::printf("benign run:  CMarkov %s, AD-PROM %s\n",
+              benign_cm->HasAlarm() ? "ALARM (unexpected)" : "quiet",
+              benign_ad->HasAlarm() ? "ALARM (unexpected)" : "quiet");
+}
+
+}  // namespace
+}  // namespace adprom::bench
+
+int main() {
+  adprom::bench::Run();
+  return 0;
+}

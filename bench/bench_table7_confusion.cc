@@ -1,0 +1,83 @@
+// Regenerates Table VII: per-application confusion matrix of the trained
+// models λ_App1..λ_App4 on a mixed stream of held-out normal windows and
+// synthetic anomalous sequences (A-S2: unknown library calls spliced in;
+// A-S3: inflated call frequency).
+
+#include <cstdio>
+
+#include "attack/synthetic.h"
+#include "bench/bench_common.h"
+#include "eval/evaluation.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace adprom::bench {
+namespace {
+
+void EvaluateApp(apps::CorpusApp app, const apps::CorpusApp& fresh,
+                 util::TablePrinter* table) {
+  PreparedApp prepared = Prepare(std::move(app));
+
+  core::ProfileOptions options;
+  options.max_training_windows = 400;  // bound App4 training cost
+  options.train.max_iterations = 12;
+  auto system = core::AdProm::Train(prepared.program,
+                                    prepared.app.db_factory,
+                                    prepared.app.test_cases, options);
+  ADPROM_CHECK_MSG(system.ok(), system.status().ToString());
+
+  // Held-out normal windows come from *freshly generated* test cases
+  // (different seed), so the normal side genuinely probes generalization.
+  auto held_traces = core::AdProm::CollectTraces(
+      prepared.program, prepared.analysis.cfgs, prepared.app.db_factory,
+      fresh.test_cases);
+  ADPROM_CHECK(held_traces.ok());
+  std::vector<runtime::Trace> normal_windows =
+      MaterializeWindows(*held_traces, system->profile().options.window_length);
+  if (normal_windows.size() > 1500) normal_windows.resize(1500);
+
+  // Synthetic anomalies from the normal pool (A-S2 and A-S3).
+  attack::SyntheticAnomalyGenerator generator(normal_windows, 777);
+  std::vector<runtime::Trace> anomalies = generator.MakeBatch2(45);
+  for (runtime::Trace& t : generator.MakeBatch3(45)) {
+    anomalies.push_back(std::move(t));
+  }
+
+  auto normal_scores = eval::ScoreWindows(system->profile(), normal_windows);
+  auto anomaly_scores = eval::ScoreWindows(system->profile(), anomalies);
+  ADPROM_CHECK(normal_scores.ok());
+  ADPROM_CHECK(anomaly_scores.ok());
+  const eval::ConfusionMatrix cm = eval::Classify(
+      *normal_scores, *anomaly_scores, system->profile().threshold);
+
+  table->AddRow({prepared.app.name, std::to_string(cm.total()),
+                 std::to_string(cm.tp), std::to_string(cm.tn),
+                 std::to_string(cm.fp), std::to_string(cm.fn),
+                 util::StrFormat("%.2f", cm.Recall()),
+                 util::StrFormat("%.2f", cm.Precision()),
+                 util::StrFormat("%.4f", cm.Accuracy())});
+}
+
+void Run() {
+  PrintHeader(
+      "Table VII — Confusion matrix of the programs' models (A-S2 + A-S3)");
+  util::TablePrinter table({"", "#seq.", "TP", "TN", "FP", "FN", "Rec.",
+                            "Prec.", "Acc."});
+  EvaluateApp(apps::MakeGrepLike(), apps::MakeGrepLike(40, 5001), &table);
+  EvaluateApp(apps::MakeGzipLike(), apps::MakeGzipLike(30, 5002), &table);
+  EvaluateApp(apps::MakeSedLike(), apps::MakeSedLike(35, 5003), &table);
+  EvaluateApp(apps::MakeBashLike(),
+              apps::MakeBashLike(170, 25, 5004), &table);
+  table.Print();
+  std::printf(
+      "\n(paper: accuracies 0.9952-0.9999 with recall 0.93-1.0 — the"
+      " expected shape is near-perfect accuracy with high recall)\n");
+}
+
+}  // namespace
+}  // namespace adprom::bench
+
+int main() {
+  adprom::bench::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Quickstart: the whole AD-PROM pipeline on a ten-line database client.
+//
+//   1. Write (or load) a MiniApp program that talks to the mini RDBMS.
+//   2. Static phase: Analyzer extracts CFG/CG, labels TD outputs via the
+//      DDG, and builds the program call-transition matrix.
+//   3. Training phase: run the test suite under the Calls Collector and
+//      let the Profile Constructor fit the HMM.
+//   4. Detection phase: monitor a tampered build and read the flags.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "attack/mutators.h"
+#include "core/adprom.h"
+#include "prog/program.h"
+
+namespace {
+
+constexpr const char* kClient = R"__(
+fn main() {
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    if (cmd == "report") {
+      report();
+    } else {
+      print_err("unknown command " + cmd);
+    }
+    cmd = scan();
+  }
+}
+
+fn report() {
+  var r = db_query("SELECT name, salary FROM staff ORDER BY salary DESC");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    print(db_getvalue(r, i, 0) + ": " + db_getvalue(r, i, 1));
+    i = i + 1;
+  }
+  print("listed " + n + " employees");
+}
+)__";
+
+adprom::core::DbFactory StaffDb() {
+  return [] {
+    auto db = std::make_unique<adprom::db::Database>();
+    db->Execute("CREATE TABLE staff (id INT, name TEXT, salary INT)");
+    const char* names[] = {"ana", "ben", "cleo", "dee", "eli", "flo"};
+    for (int i = 0; i < 6; ++i) {
+      db->Execute("INSERT INTO staff VALUES (" + std::to_string(i) + ", '" +
+                  names[i] + "', " + std::to_string(40000 + i * 7000) + ")");
+    }
+    return db;
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace adprom;
+
+  // 1-2. Parse and statically analyze.
+  auto program = prog::ParseProgram(kClient);
+  if (!program.ok()) {
+    std::printf("parse error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  core::Analyzer analyzer;
+  auto analysis = analyzer.Analyze(*program);
+  std::printf("static analysis: %zu call sites, %zu labeled TD outputs\n",
+              analysis->program_ctm.num_sites(),
+              [&] {
+                size_t labeled = 0;
+                for (size_t i = 0; i < analysis->program_ctm.num_sites(); ++i)
+                  if (analysis->program_ctm.site(i).labeled) ++labeled;
+                return labeled;
+              }());
+  std::printf("\nprogram call-transition matrix (pCTM):\n%s\n",
+              analysis->program_ctm.ToString(2).c_str());
+
+  // 3. Train the profile on a handful of normal sessions.
+  std::vector<core::TestCase> training = {
+      {{"report"}},
+      {{"report", "report"}},
+      {{"oops", "report"}},
+      {{"report", "oops"}},
+      {{"report", "report", "report"}},
+  };
+  auto system = core::AdProm::Train(*program, StaffDb(), training);
+  if (!system.ok()) {
+    std::printf("training failed: %s\n", system.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("profile: %zu hidden states, alphabet %zu, threshold %.3f\n",
+              system->profile().num_states, system->profile().alphabet.size(),
+              system->profile().threshold);
+
+  // 4a. A benign run stays quiet.
+  auto benign = system->Monitor(*program, StaffDb(), {{"report"}});
+  std::printf("\nbenign run: %zu windows, %zu alarms\n",
+              benign->detections.size(), benign->Alarms().size());
+
+  // 4b. The attacker patches the deployed build to copy each salary line
+  // into a file. AD-PROM flags it and names the leaked table.
+  attack::InsertOutputSpec spec;
+  spec.function = "report";
+  spec.variable = "r";
+  spec.output_call = "write_file";
+  spec.channel_arg = "/tmp/steal.txt";
+  spec.where = attack::InsertWhere::kBodyOfFirstWhile;
+  auto tampered = attack::InsertOutputStatement(*program, spec);
+  auto attacked = system->Monitor(*tampered, StaffDb(), {{"report"}});
+  std::printf("tampered run: %zu alarms\n", attacked->Alarms().size());
+  for (const core::Detection& alarm : attacked->Alarms()) {
+    std::printf("  window %zu: %s (score %.3f)", alarm.window_start,
+                core::DetectionFlagName(alarm.flag), alarm.score);
+    if (!alarm.source_tables.empty()) {
+      std::printf("  leaked from:");
+      for (const std::string& table : alarm.source_tables) {
+        std::printf(" %s", table.c_str());
+      }
+    }
+    std::printf("\n");
+    if (alarm.window_start > 3) break;  // keep the output short
+  }
+  return 0;
+}

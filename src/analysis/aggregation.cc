@@ -1,0 +1,169 @@
+#include "analysis/aggregation.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace adprom::analysis {
+
+namespace {
+
+/// A CTM entry endpoint: -1 denotes ε (as a row) or ε' (as a column);
+/// other values are site indices.
+constexpr int kBorder = -1;
+
+void Add(Ctm* m, int r, int c, double v) {
+  if (v == 0.0) return;
+  if (r == kBorder && c == kBorder) {
+    m->add_entry_to_exit(v);
+  } else if (r == kBorder) {
+    m->add_entry_to(static_cast<size_t>(c), v);
+  } else if (c == kBorder) {
+    m->add_to_exit(static_cast<size_t>(r), v);
+  } else {
+    m->add_between(static_cast<size_t>(r), static_cast<size_t>(c), v);
+  }
+}
+
+struct Endpoint {
+  int index;      // kBorder or site index
+  double weight;
+};
+
+/// Collects the non-zero inflow into site `s` (rows, including ε) and the
+/// non-zero outflow (columns, including ε'), excluding the s↔s cell, which
+/// must be zero for sites produced by the acyclic forecast.
+void GatherFlows(const Ctm& m, size_t s, std::vector<Endpoint>* in,
+                 std::vector<Endpoint>* out) {
+  const int si = static_cast<int>(s);
+  ADPROM_CHECK_MSG(m.between(s, s) == 0.0,
+                   "self-transition on an eliminated site");
+  if (m.entry_to(s) > 0.0) in->push_back({kBorder, m.entry_to(s)});
+  if (m.to_exit(s) > 0.0) out->push_back({kBorder, m.to_exit(s)});
+  for (size_t i = 0; i < m.num_sites(); ++i) {
+    if (static_cast<int>(i) == si) continue;
+    if (m.between(i, s) > 0.0)
+      in->push_back({static_cast<int>(i), m.between(i, s)});
+    if (m.between(s, i) > 0.0)
+      out->push_back({static_cast<int>(i), m.between(s, i)});
+  }
+}
+
+/// Eliminates caller site `s` (which invokes the fully aggregated callee
+/// matrix `f`), splicing f's first/last/internal call-pair probabilities
+/// into `m` per the four cases documented in the header.
+void InlineSite(Ctm* m, size_t s, const Ctm& f) {
+  const double reach = m->site(s).reachability;
+  std::vector<Endpoint> in;
+  std::vector<Endpoint> out;
+  GatherFlows(*m, s, &in, &out);
+  double inflow = 0.0;
+  for (const Endpoint& e : in) inflow += e.weight;
+
+  // Import f's sites (deduplicated by key: a callee inlined through
+  // several paths contributes one copy, with summed weights).
+  std::vector<size_t> fmap(f.num_sites());
+  for (size_t k = 0; k < f.num_sites(); ++k) {
+    fmap[k] = m->AddSite(f.site(k));
+  }
+
+  // Case 1 — transitions into f's first calls.
+  for (const Endpoint& r : in) {
+    for (size_t k = 0; k < f.num_sites(); ++k) {
+      const double p = f.entry_to(k);
+      if (p > 0.0) Add(m, r.index, static_cast<int>(fmap[k]), r.weight * p);
+    }
+  }
+  // Case 2 — transitions out of f's last calls.
+  for (const Endpoint& c : out) {
+    for (size_t k = 0; k < f.num_sites(); ++k) {
+      const double p = f.to_exit(k);
+      if (p > 0.0) Add(m, static_cast<int>(fmap[k]), c.index, p * c.weight);
+    }
+  }
+  // Case 3 — call pairs inside f, weighted by the total inflow into this
+  // invocation site.
+  if (inflow > 0.0) {
+    for (size_t k = 0; k < f.num_sites(); ++k) {
+      for (size_t l = 0; l < f.num_sites(); ++l) {
+        const double p = f.between(k, l);
+        if (p > 0.0) {
+          Add(m, static_cast<int>(fmap[k]), static_cast<int>(fmap[l]),
+              inflow * p);
+        }
+      }
+    }
+  }
+  // Case 4 / pass-through — call-free executions of f bridge the caller's
+  // surrounding pairs. The division by the site's local reachability keeps
+  // the matrix flow-conserving (see header).
+  const double pass = f.entry_to_exit();
+  if (pass > 0.0 && reach > 0.0) {
+    for (const Endpoint& r : in) {
+      for (const Endpoint& c : out) {
+        Add(m, r.index, c.index, r.weight * pass * c.weight / reach);
+      }
+    }
+  }
+  m->RemoveSite(s);
+}
+
+/// Eliminates a recursive call site as an opaque pass-through of weight 1
+/// (static analysis does not expand recursion).
+void InlineRecursivePassthrough(Ctm* m, size_t s) {
+  const double reach = m->site(s).reachability;
+  std::vector<Endpoint> in;
+  std::vector<Endpoint> out;
+  GatherFlows(*m, s, &in, &out);
+  if (reach > 0.0) {
+    for (const Endpoint& r : in) {
+      for (const Endpoint& c : out) {
+        Add(m, r.index, c.index, r.weight * c.weight / reach);
+      }
+    }
+  }
+  m->RemoveSite(s);
+}
+
+}  // namespace
+
+util::Result<Ctm> AggregateProgramCtm(
+    const std::map<std::string, Ctm>& function_ctms,
+    const prog::CallGraph& call_graph) {
+  std::map<std::string, Ctm> aggregated;
+  for (const std::string& fn : call_graph.reverse_topo_order()) {
+    auto it = function_ctms.find(fn);
+    if (it == function_ctms.end()) {
+      return util::Status::NotFound("no CTM for function: " + fn);
+    }
+    Ctm ctm = it->second;  // Working copy.
+    // Eliminate user-function sites until only library calls remain.
+    for (;;) {
+      int target = -1;
+      for (size_t i = 0; i < ctm.num_sites(); ++i) {
+        if (ctm.site(i).is_user_fn) {
+          target = static_cast<int>(i);
+          break;
+        }
+      }
+      if (target < 0) break;
+      const std::string callee = ctm.site(static_cast<size_t>(target)).callee;
+      auto agg_it = aggregated.find(callee);
+      if (agg_it == aggregated.end()) {
+        // Callee not aggregated yet => a cyclic (recursive) CG edge.
+        InlineRecursivePassthrough(&ctm, static_cast<size_t>(target));
+      } else {
+        InlineSite(&ctm, static_cast<size_t>(target), agg_it->second);
+      }
+    }
+    aggregated.emplace(fn, std::move(ctm));
+  }
+  auto main_it = aggregated.find("main");
+  if (main_it == aggregated.end()) {
+    return util::Status::NotFound("call graph has no main()");
+  }
+  return std::move(main_it->second);
+}
+
+}  // namespace adprom::analysis

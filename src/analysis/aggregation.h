@@ -1,0 +1,45 @@
+#ifndef ADPROM_ANALYSIS_AGGREGATION_H_
+#define ADPROM_ANALYSIS_AGGREGATION_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/ctm.h"
+#include "prog/call_graph.h"
+#include "util/status.h"
+
+namespace adprom::analysis {
+
+/// Aggregates the per-function CTMs into the whole-program pCTM
+/// (paper §IV-C3). Functions are inlined callee-first (reverse topological
+/// order of the call graph); after inlining, every site that remains is a
+/// library call.
+///
+/// Implementation note: the paper's four aggregation cases (eqs. 4-10) are
+/// realized as repeated *elimination* of user-function call sites. When a
+/// caller site s invoking callee f is eliminated:
+///   - call-free pass-through (generalizes case 4):
+///       m[r][c] += m[r][s] · f[ε][ε'] · m[s][c] / P^r(s)
+///     (the division by the site's local reachability removes the double
+///     counting in the paper's eq. 10, which is exact only when P^r = 1);
+///   - case 1 (first calls of f):  m[r][f_k] += m[r][s] · f[ε][f_k];
+///   - case 2 (last calls of f):   m[f_k][c] += f[f_k][ε'] · m[s][c];
+///   - case 3 (pairs inside f):    m[f_k][f_l] += inflow(s) · f[f_k][f_l],
+///     where inflow(s) is measured at elimination time, which also covers
+///     chained invocations (the paper's Σ_i; its trailing P^t_{f,m_i}
+///     factor in eqs. 8-9 is treated as a typo — keeping it breaks the
+///     flow-conservation property the paper itself states for the pCTM).
+/// Recursive call edges (cycles in the CG) are eliminated as opaque
+/// pass-throughs with weight 1, matching the paper's "recursion is not
+/// handled statically".
+///
+/// The result satisfies Ctm::CheckInvariants (the paper's three pCTM
+/// properties) exactly, which the test suite asserts on every corpus
+/// program.
+util::Result<Ctm> AggregateProgramCtm(
+    const std::map<std::string, Ctm>& function_ctms,
+    const prog::CallGraph& call_graph);
+
+}  // namespace adprom::analysis
+
+#endif  // ADPROM_ANALYSIS_AGGREGATION_H_

@@ -1,0 +1,129 @@
+#include "analysis/ctm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace adprom::analysis {
+
+std::string Site::Key() const {
+  return function + ":" + std::to_string(block_id);
+}
+
+size_t Ctm::AddSite(Site site) {
+  const std::string key = site.Key();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  if (site.observable.empty()) site.observable = site.callee;
+  const size_t idx = sites_.size();
+  index_[key] = idx;
+  sites_.push_back(std::move(site));
+
+  // Grow the matrix by one row and one column, preserving entries.
+  util::Matrix grown(sites_.size() + 1, sites_.size() + 1);
+  for (size_t r = 0; r < m_.rows(); ++r)
+    for (size_t c = 0; c < m_.cols(); ++c) grown.At(r, c) = m_.At(r, c);
+  m_ = std::move(grown);
+  return idx;
+}
+
+int Ctm::IndexOfKey(const std::string& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+double Ctm::entry_to(size_t j) const { return m_.At(0, j + 1); }
+double Ctm::to_exit(size_t i) const { return m_.At(i + 1, 0); }
+double Ctm::between(size_t i, size_t j) const { return m_.At(i + 1, j + 1); }
+double Ctm::entry_to_exit() const { return m_.At(0, 0); }
+void Ctm::set_entry_to(size_t j, double v) { m_.At(0, j + 1) = v; }
+void Ctm::set_to_exit(size_t i, double v) { m_.At(i + 1, 0) = v; }
+void Ctm::set_between(size_t i, size_t j, double v) {
+  m_.At(i + 1, j + 1) = v;
+}
+void Ctm::set_entry_to_exit(double v) { m_.At(0, 0) = v; }
+void Ctm::add_entry_to(size_t j, double v) { m_.At(0, j + 1) += v; }
+void Ctm::add_to_exit(size_t i, double v) { m_.At(i + 1, 0) += v; }
+void Ctm::add_between(size_t i, size_t j, double v) {
+  m_.At(i + 1, j + 1) += v;
+}
+void Ctm::add_entry_to_exit(double v) { m_.At(0, 0) += v; }
+
+double Ctm::Inflow(size_t i) const {
+  ADPROM_CHECK_LT(i, sites_.size());
+  return m_.ColSum(i + 1);
+}
+
+double Ctm::Outflow(size_t i) const {
+  ADPROM_CHECK_LT(i, sites_.size());
+  return m_.RowSum(i + 1);
+}
+
+util::Status Ctm::CheckInvariants(double tolerance) const {
+  const double row_eps = m_.RowSum(0);
+  if (std::fabs(row_eps - 1.0) > tolerance) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "CTM(%s): entry row sums to %g, expected 1", function_.c_str(),
+        row_eps));
+  }
+  const double col_eps = m_.ColSum(0);
+  if (std::fabs(col_eps - 1.0) > tolerance) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "CTM(%s): exit column sums to %g, expected 1", function_.c_str(),
+        col_eps));
+  }
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    const double in = Inflow(i);
+    const double out = Outflow(i);
+    if (std::fabs(in - out) > tolerance) {
+      return util::Status::FailedPrecondition(util::StrFormat(
+          "CTM(%s): site %s inflow %g != outflow %g", function_.c_str(),
+          sites_[i].Key().c_str(), in, out));
+    }
+  }
+  return util::Status::Ok();
+}
+
+std::string Ctm::ToString(int precision) const {
+  std::vector<std::string> header = {function_ + "()", "eps'"};
+  for (const Site& site : sites_) header.push_back(site.observable);
+  util::TablePrinter printer(std::move(header));
+
+  auto render_row = [&](const std::string& name, size_t row) {
+    std::vector<std::string> cells = {name};
+    for (size_t c = 0; c < m_.cols(); ++c) {
+      cells.push_back(util::StrFormat("%.*f", precision, m_.At(row, c)));
+    }
+    printer.AddRow(std::move(cells));
+  };
+  render_row("eps", 0);
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    render_row(sites_[i].observable, i + 1);
+  }
+  return printer.ToString();
+}
+
+void Ctm::RemoveSite(size_t i) {
+  ADPROM_CHECK_LT(i, sites_.size());
+  util::Matrix shrunk(m_.rows() - 1, m_.cols() - 1);
+  for (size_t r = 0, nr = 0; r < m_.rows(); ++r) {
+    if (r == i + 1) continue;
+    for (size_t c = 0, nc = 0; c < m_.cols(); ++c) {
+      if (c == i + 1) continue;
+      shrunk.At(nr, nc) = m_.At(r, c);
+      ++nc;
+    }
+    ++nr;
+  }
+  m_ = std::move(shrunk);
+  index_.erase(sites_[i].Key());
+  sites_.erase(sites_.begin() + static_cast<long>(i));
+  // Reindex the remaining sites.
+  for (auto& [key, idx] : index_) {
+    if (idx > i) --idx;
+  }
+}
+
+}  // namespace adprom::analysis

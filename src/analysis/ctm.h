@@ -1,0 +1,101 @@
+#ifndef ADPROM_ANALYSIS_CTM_H_
+#define ADPROM_ANALYSIS_CTM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace adprom::analysis {
+
+/// A call site tracked by a CTM. Two printf calls at different blocks are
+/// distinct sites (the paper's printf' vs printf''); the *observable* both
+/// emit at run time is just "printf" — unless the data-flow labeler marked
+/// the site as outputting targeted data, in which case the observable is
+/// "printf_Q<block>" and the site carries its DB provenance.
+struct Site {
+  std::string function;   // function the call is issued from
+  int block_id = -1;      // CFG node id within that function
+  std::string callee;     // called name (library function or user function)
+  bool is_user_fn = false;
+  int call_site_id = -1;  // program-unique AST id
+  bool labeled = false;   // outputs targeted data (in the DDG)
+  std::string observable; // symbol the Calls Collector emits for this site
+  /// Local reachability P^r of the block inside `function` (conditional on
+  /// the function being entered). Used by the aggregator when eliminating
+  /// the site; meaningless for sites inlined from callees.
+  double reachability = 0.0;
+  /// DB tables this site's output data may come from (labeled sites only).
+  std::vector<std::string> source_tables;
+
+  /// Unique identity of the site within a program.
+  std::string Key() const;
+};
+
+/// A call-transition matrix: rows are {ε} ∪ sites, columns are
+/// {ε'} ∪ sites. Entry (ε, s) is the probability the function's first call
+/// is s; (s, ε') that s is the last call; (s, t) the paper's P^t transition
+/// probability of the call pair s → t; (ε, ε') the weight of call-free
+/// executions of the function.
+class Ctm {
+ public:
+  Ctm() = default;
+  explicit Ctm(std::string function) : function_(std::move(function)) {}
+
+  const std::string& function() const { return function_; }
+  size_t num_sites() const { return sites_.size(); }
+  const std::vector<Site>& sites() const { return sites_; }
+  const Site& site(size_t i) const { return sites_[i]; }
+  Site& mutable_site(size_t i) { return sites_[i]; }
+
+  /// Adds a site (probabilities initialized to zero) and returns its index.
+  /// If a site with the same Key() exists, returns the existing index.
+  size_t AddSite(Site site);
+
+  /// Index lookup by site key; -1 if absent.
+  int IndexOfKey(const std::string& key) const;
+
+  /// Accessors. Indices are site indices in [0, num_sites()).
+  double entry_to(size_t j) const;
+  double to_exit(size_t i) const;
+  double between(size_t i, size_t j) const;
+  double entry_to_exit() const;
+  void set_entry_to(size_t j, double v);
+  void set_to_exit(size_t i, double v);
+  void set_between(size_t i, size_t j, double v);
+  void set_entry_to_exit(double v);
+  void add_entry_to(size_t j, double v);
+  void add_to_exit(size_t i, double v);
+  void add_between(size_t i, size_t j, double v);
+  void add_entry_to_exit(double v);
+
+  /// Total inflow into site i: entry_to(i) + Σ_j between(j, i).
+  double Inflow(size_t i) const;
+  /// Total outflow from site i: to_exit(i) + Σ_j between(i, j).
+  double Outflow(size_t i) const;
+
+  /// Checks the paper's pCTM properties: the ε row sums to 1, the ε'
+  /// column sums to 1, and each site's inflow equals its outflow.
+  util::Status CheckInvariants(double tolerance = 1e-6) const;
+
+  /// Pretty table (sites as rows/cols with ε/ε' borders).
+  std::string ToString(int precision = 4) const;
+
+  /// Removes site `i`, dropping its row and column (used after the
+  /// aggregator has redistributed its probability mass).
+  void RemoveSite(size_t i);
+
+ private:
+  // Matrix layout: (num_sites+1) x (num_sites+1); row 0 = ε, col 0 = ε';
+  // row i+1 / col i+1 correspond to sites_[i].
+  std::string function_;
+  std::vector<Site> sites_;
+  std::map<std::string, size_t> index_;
+  util::Matrix m_{1, 1};
+};
+
+}  // namespace adprom::analysis
+
+#endif  // ADPROM_ANALYSIS_CTM_H_

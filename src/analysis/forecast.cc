@@ -1,0 +1,120 @@
+#include "analysis/forecast.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace adprom::analysis {
+
+util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg) {
+  FunctionForecast out;
+  out.ctm = Ctm(cfg.function_name());
+
+  const size_t n = cfg.size();
+  const std::vector<int> topo = cfg.ForecastTopoOrder();
+  std::vector<size_t> topo_pos(n, 0);
+  for (size_t i = 0; i < topo.size(); ++i)
+    topo_pos[static_cast<size_t>(topo[i])] = i;
+
+  // (1) Conditional probabilities, as weighted adjacency lists. Parallel
+  // edges to the same successor (e.g. a collapsed branch) merge.
+  std::vector<std::vector<std::pair<int, double>>> adj(n);
+  for (const prog::CfgNode& node : cfg.nodes()) {
+    const std::vector<int> succs = cfg.ForecastSuccessors(node.id);
+    if (succs.empty()) continue;
+    const double p = 1.0 / static_cast<double>(succs.size());
+    for (int s : succs) {
+      bool merged = false;
+      for (auto& [to, w] : adj[static_cast<size_t>(node.id)]) {
+        if (to == s) {
+          w += p;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) adj[static_cast<size_t>(node.id)].emplace_back(s, p);
+      out.conditional[{node.id, s}] += p;
+    }
+  }
+
+  // (2) Reachability in topological order.
+  std::vector<double> reach(n, 0.0);
+  reach[static_cast<size_t>(cfg.entry_id())] = 1.0;
+  for (int id : topo) {
+    const double r = reach[static_cast<size_t>(id)];
+    if (r == 0.0) continue;
+    for (const auto& [to, p] : adj[static_cast<size_t>(id)]) {
+      reach[static_cast<size_t>(to)] += r * p;
+    }
+  }
+  for (const prog::CfgNode& node : cfg.nodes())
+    out.reachability[node.id] = reach[static_cast<size_t>(node.id)];
+
+  // Register every call node as a CTM site (topological order keeps site
+  // indices deterministic).
+  std::map<int, size_t> node_to_site;
+  for (int id : topo) {
+    const prog::CfgNode& node = cfg.node(id);
+    if (!node.call.has_value()) continue;
+    Site site;
+    site.function = cfg.function_name();
+    site.block_id = node.id;
+    site.callee = node.call->callee;
+    site.is_user_fn = node.call->is_user_fn;
+    site.call_site_id = node.call->call_site_id;
+    site.reachability = reach[static_cast<size_t>(node.id)];
+    node_to_site[node.id] = out.ctm.AddSite(std::move(site));
+  }
+
+  // (3) Transition probabilities: from each origin (entry or call node),
+  // propagate weight through call-free nodes in topological order; the
+  // weight arriving at a call node or the exit becomes a CTM entry. This
+  // sums over all call-free paths, so flow is conserved exactly.
+  auto run_origin = [&](int origin) {
+    std::vector<double> g(n, 0.0);
+    for (const auto& [to, p] : adj[static_cast<size_t>(origin)]) {
+      g[static_cast<size_t>(to)] += p;
+    }
+    const double origin_reach = reach[static_cast<size_t>(origin)];
+    const size_t origin_pos = topo_pos[static_cast<size_t>(origin)];
+    for (size_t i = origin_pos + 1; i < topo.size(); ++i) {
+      const int v = topo[i];
+      const double w = g[static_cast<size_t>(v)];
+      if (w == 0.0) continue;
+      const prog::CfgNode& node = cfg.node(v);
+      const bool is_call = node.call.has_value();
+      const bool is_exit = v == cfg.exit_id();
+      if (is_call || is_exit) {
+        const double weight = origin_reach * w;
+        if (origin == cfg.entry_id()) {
+          if (is_exit) {
+            out.ctm.add_entry_to_exit(weight);
+          } else {
+            out.ctm.add_entry_to(node_to_site[v], weight);
+          }
+        } else {
+          const size_t from_site = node_to_site[origin];
+          if (is_exit) {
+            out.ctm.add_to_exit(from_site, weight);
+          } else {
+            out.ctm.add_between(from_site, node_to_site[v], weight);
+          }
+        }
+        continue;  // Weight is consumed at a call/exit node.
+      }
+      for (const auto& [to, p] : adj[static_cast<size_t>(v)]) {
+        g[static_cast<size_t>(to)] += w * p;
+      }
+    }
+  };
+
+  run_origin(cfg.entry_id());
+  for (const auto& [node_id, site_idx] : node_to_site) {
+    (void)site_idx;
+    run_origin(node_id);
+  }
+
+  return std::move(out);
+}
+
+}  // namespace adprom::analysis

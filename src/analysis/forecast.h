@@ -1,0 +1,41 @@
+#ifndef ADPROM_ANALYSIS_FORECAST_H_
+#define ADPROM_ANALYSIS_FORECAST_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/ctm.h"
+#include "prog/cfg.h"
+#include "util/status.h"
+
+namespace adprom::analysis {
+
+/// The probability forecast of one function (paper §IV-C2):
+///  - conditional probability of each CFG edge (eq. 1),
+///  - reachability probability of each node (eq. 2),
+///  - the function's call-transition matrix (eq. 3).
+struct FunctionForecast {
+  Ctm ctm;
+  /// P^r per CFG node id.
+  std::map<int, double> reachability;
+  /// P^c per edge (from, to) over the acyclic forecast view.
+  std::map<std::pair<int, int>, double> conditional;
+};
+
+/// Computes the forecast for `cfg`.
+///
+/// Equations implemented:
+///   (1) P^c_{xy} = 1 / #outgoing forecast edges of x
+///   (2) P^r_y    = Σ_{x ∈ parents(y)} P^r_x · P^c_{xy}   (topological order)
+///   (3) P^t for a call pair (c_i at node x → c_j at node y) =
+///       P^r_x · Σ over call-free paths x→y of Π P^c along the path
+/// (3) generalizes the paper's single-path product to a sum over all
+/// call-free paths, which reduces to eq. 3 when the path is unique (as in
+/// the paper's worked example) and is what makes the CTM exactly
+/// flow-conserving. Loops use the acyclic forecast view (back edges run
+/// once); the HMM later learns true loop behaviour from traces.
+util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg);
+
+}  // namespace adprom::analysis
+
+#endif  // ADPROM_ANALYSIS_FORECAST_H_

@@ -1,0 +1,185 @@
+#include "analysis/taint.h"
+
+#include <vector>
+
+namespace adprom::analysis {
+
+namespace {
+
+/// Mutable fixpoint state shared across the whole program.
+struct TaintState {
+  // function -> variable -> source call sites.
+  std::map<std::string, std::map<std::string, std::set<int>>> vars;
+  // function -> source call sites its return value may carry.
+  std::map<std::string, std::set<int>> returns;
+  // sink call_site_id -> source call sites.
+  std::map<int, std::set<int>> sinks;
+  bool changed = false;
+
+  /// Merges `sources` into `into`; flags change.
+  void Merge(std::set<int>* into, const std::set<int>& sources) {
+    for (int s : sources) {
+      if (into->insert(s).second) changed = true;
+    }
+  }
+};
+
+class TaintPass {
+ public:
+  TaintPass(const prog::Program& program, const TaintConfig& config,
+            TaintState* state)
+      : program_(program), config_(config), state_(state) {}
+
+  void VisitFunction(const prog::FunctionDef& fn) {
+    fn_ = &fn;
+    VisitBody(fn.body);
+  }
+
+ private:
+  void VisitBody(const prog::StmtList& body) {
+    for (const auto& stmt : body) VisitStmt(*stmt);
+  }
+
+  void VisitStmt(const prog::Stmt& s) {
+    switch (s.kind) {
+      case prog::StmtKind::kVarDecl:
+      case prog::StmtKind::kAssign: {
+        const std::set<int> sources = EvalExpr(*s.expr);
+        if (!sources.empty()) {
+          state_->Merge(&state_->vars[fn_->name][s.target], sources);
+        }
+        return;
+      }
+      case prog::StmtKind::kIf:
+        EvalExpr(*s.expr);  // Calls inside the condition still propagate.
+        VisitBody(s.then_body);
+        VisitBody(s.else_body);
+        return;
+      case prog::StmtKind::kWhile:
+        EvalExpr(*s.expr);
+        VisitBody(s.then_body);
+        return;
+      case prog::StmtKind::kReturn:
+        if (s.expr != nullptr) {
+          const std::set<int> sources = EvalExpr(*s.expr);
+          if (!sources.empty()) {
+            state_->Merge(&state_->returns[fn_->name], sources);
+          }
+        }
+        return;
+      case prog::StmtKind::kExpr:
+        EvalExpr(*s.expr);
+        return;
+    }
+  }
+
+  /// Returns the source call sites whose data may flow into the value of
+  /// `e`, recording sink observations and argument propagation on the way.
+  std::set<int> EvalExpr(const prog::Expr& e) {
+    switch (e.kind) {
+      case prog::ExprKind::kIntLit:
+      case prog::ExprKind::kRealLit:
+      case prog::ExprKind::kStrLit:
+        return {};
+      case prog::ExprKind::kVar: {
+        auto fn_it = state_->vars.find(fn_->name);
+        if (fn_it == state_->vars.end()) return {};
+        auto var_it = fn_it->second.find(e.name);
+        if (var_it == fn_it->second.end()) return {};
+        return var_it->second;
+      }
+      case prog::ExprKind::kBinary: {
+        std::set<int> out = EvalExpr(*e.lhs);
+        const std::set<int> rhs = EvalExpr(*e.rhs);
+        out.insert(rhs.begin(), rhs.end());
+        return out;
+      }
+      case prog::ExprKind::kUnary:
+        return EvalExpr(*e.lhs);
+      case prog::ExprKind::kCall:
+        return EvalCall(e);
+    }
+    return {};
+  }
+
+  std::set<int> EvalCall(const prog::Expr& call) {
+    std::vector<std::set<int>> arg_sources;
+    arg_sources.reserve(call.args.size());
+    std::set<int> merged_args;
+    for (const auto& arg : call.args) {
+      arg_sources.push_back(EvalExpr(*arg));
+      merged_args.insert(arg_sources.back().begin(),
+                         arg_sources.back().end());
+    }
+
+    if (program_.IsUserFunction(call.name)) {
+      const prog::FunctionDef* callee = program_.FindFunction(call.name);
+      // Propagate argument taint into the callee's parameters.
+      for (size_t i = 0; i < arg_sources.size(); ++i) {
+        if (arg_sources[i].empty()) continue;
+        state_->Merge(&state_->vars[call.name][callee->params[i]],
+                      arg_sources[i]);
+      }
+      auto ret_it = state_->returns.find(call.name);
+      if (ret_it == state_->returns.end()) return {};
+      return ret_it->second;
+    }
+
+    // Library call.
+    if (config_.sink_calls.count(call.name) > 0 && !merged_args.empty()) {
+      state_->Merge(&state_->sinks[call.call_site_id], merged_args);
+    }
+    if (config_.source_calls.count(call.name) > 0) {
+      // The call itself is a fresh source; its result also carries any
+      // taint of its arguments (db_getvalue(result, ...) stays linked to
+      // the db_query that produced `result`).
+      std::set<int> out = merged_args;
+      out.insert(call.call_site_id);
+      return out;
+    }
+    // Other library calls (string helpers etc.) pass taint through.
+    return merged_args;
+  }
+
+  const prog::Program& program_;
+  const TaintConfig& config_;
+  TaintState* state_;
+  const prog::FunctionDef* fn_ = nullptr;
+};
+
+}  // namespace
+
+TaintConfig TaintConfig::Default() {
+  TaintConfig config;
+  config.source_calls = {"db_query", "db_fetch_row", "db_getvalue",
+                         "db_ntuples", "row_get"};
+  config.sink_calls = {"print", "print_err", "write_file", "fprint",
+                       "send_net", "send_file"};
+  return config;
+}
+
+util::Result<TaintResult> RunTaintAnalysis(const prog::Program& program,
+                                           const TaintConfig& config) {
+  if (!program.finalized()) {
+    return util::Status::FailedPrecondition(
+        "program must be finalized before taint analysis");
+  }
+  TaintState state;
+  // Fixpoint: re-run passes until nothing new is tainted. Each pass is
+  // monotone over a finite lattice, so this terminates.
+  constexpr int kMaxPasses = 64;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    state.changed = false;
+    TaintPass visitor(program, config, &state);
+    for (const prog::FunctionDef& fn : program.functions()) {
+      visitor.VisitFunction(fn);
+    }
+    if (!state.changed) break;
+  }
+  TaintResult result;
+  result.labeled_sinks = std::move(state.sinks);
+  result.tainted_vars = std::move(state.vars);
+  return std::move(result);
+}
+
+}  // namespace adprom::analysis

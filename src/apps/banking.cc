@@ -1,0 +1,333 @@
+#include <memory>
+
+#include "apps/corpus.h"
+#include "util/strings.h"
+
+namespace adprom::apps {
+
+namespace {
+
+// App_b: a small banking system. NOTE the deliberately vulnerable
+// find_client transaction: the query is assembled by string concatenation
+// from raw user input (the paper's Fig. 2 pattern), making it the Attack 5
+// (tautology SQL injection) target. All other transactions sanitize ids
+// through to_int.
+constexpr const char* kSource = R"__(
+fn main() {
+  print("bank teller console");
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    route(cmd);
+    cmd = scan();
+  }
+  audit("session end");
+  print("goodbye");
+}
+
+fn route(cmd) {
+  if (cmd == "open") {
+    open_account();
+  } else if (cmd == "deposit") {
+    deposit();
+  } else if (cmd == "withdraw") {
+    withdraw();
+  } else if (cmd == "transfer") {
+    transfer();
+  } else if (cmd == "statement") {
+    statement();
+  } else if (cmd == "client") {
+    find_client();
+  } else if (cmd == "report") {
+    monthly_report();
+  } else if (cmd == "close") {
+    close_account();
+  } else if (cmd == "rates") {
+    show_rates();
+  } else {
+    print_err("no such operation: " + cmd);
+    audit("rejected command " + cmd);
+  }
+}
+
+fn audit(msg) {
+  write_file("audit.log", msg);
+}
+
+fn balance_of(acc) {
+  var r = db_query("SELECT balance FROM accounts WHERE acc_no = " +
+                   to_int(acc));
+  if (is_null(r)) {
+    return 0 - 1;
+  }
+  if (db_ntuples(r) == 0) {
+    return 0 - 1;
+  }
+  return to_int(db_getvalue(r, 0, 0));
+}
+
+fn open_account() {
+  var client = scan();
+  var kind = scan();
+  var initial = scan();
+  var owner = db_query("SELECT name FROM clients WHERE id = " +
+                       to_int(client));
+  if (is_null(owner)) {
+    print_err("owner query failed");
+    return;
+  }
+  if (db_ntuples(owner) == 0) {
+    print_err("unknown client " + client);
+    return;
+  }
+  var next = db_query("SELECT MAX(acc_no) FROM accounts");
+  var acc = to_int(db_getvalue(next, 0, 0)) + 1;
+  var r = db_query("INSERT INTO accounts VALUES (" + acc + ", " +
+                   to_int(client) + ", " + to_int(initial) + ", '" + kind +
+                   "')");
+  if (is_null(r)) {
+    print_err("account creation failed");
+    return;
+  }
+  print("opened account " + acc + " for " + db_getvalue(owner, 0, 0));
+  audit("open account " + acc);
+}
+
+fn deposit() {
+  var acc = scan();
+  var amount = scan();
+  if (to_int(amount) <= 0) {
+    print_err("deposit must be positive");
+    return;
+  }
+  var before = balance_of(acc);
+  if (before < 0) {
+    print_err("no such account " + acc);
+    return;
+  }
+  var after = before + to_int(amount);
+  db_query("UPDATE accounts SET balance = " + after + " WHERE acc_no = " +
+           to_int(acc));
+  db_query("INSERT INTO transactions (acc_no, amount, kind) VALUES (" +
+           to_int(acc) + ", " + to_int(amount) + ", 'deposit')");
+  print("deposit ok, new balance " + after);
+}
+
+fn withdraw() {
+  var acc = scan();
+  var amount = scan();
+  var before = balance_of(acc);
+  if (before < 0) {
+    print_err("no such account " + acc);
+    return;
+  }
+  if (before < to_int(amount)) {
+    print_err("insufficient funds on " + acc);
+    audit("overdraft attempt on " + acc);
+    return;
+  }
+  var after = before - to_int(amount);
+  db_query("UPDATE accounts SET balance = " + after + " WHERE acc_no = " +
+           to_int(acc));
+  db_query("INSERT INTO transactions (acc_no, amount, kind) VALUES (" +
+           to_int(acc) + ", " + to_int(amount) + ", 'withdraw')");
+  print("withdrawal ok, new balance " + after);
+}
+
+fn transfer() {
+  var src = scan();
+  var dst = scan();
+  var amount = scan();
+  var have = balance_of(src);
+  if (have < to_int(amount)) {
+    print_err("transfer refused");
+    return;
+  }
+  var target = balance_of(dst);
+  if (target < 0) {
+    print_err("no target account " + dst);
+    return;
+  }
+  db_query("UPDATE accounts SET balance = " + (have - to_int(amount)) +
+           " WHERE acc_no = " + to_int(src));
+  db_query("UPDATE accounts SET balance = " + (target + to_int(amount)) +
+           " WHERE acc_no = " + to_int(dst));
+  db_query("INSERT INTO transactions (acc_no, amount, kind) VALUES (" +
+           to_int(src) + ", " + to_int(amount) + ", 'transfer')");
+  print("transferred " + amount + " from " + src + " to " + dst);
+  audit("transfer " + src + "->" + dst);
+}
+
+fn statement() {
+  var acc = scan();
+  var r = db_query("SELECT kind, amount FROM transactions WHERE acc_no = " +
+                   to_int(acc) + " ORDER BY id");
+  if (is_null(r)) {
+    print_err("statement failed");
+    return;
+  }
+  var n = db_ntuples(r);
+  print("statement for account " + acc + " (" + n + " entries)");
+  var i = 0;
+  while (i < n) {
+    print("  " + db_getvalue(r, i, 0) + " " + db_getvalue(r, i, 1));
+    i = i + 1;
+  }
+  var bal = balance_of(acc);
+  if (bal >= 0) {
+    print("closing balance " + bal);
+  }
+}
+
+fn find_client() {
+  var needle = scan();
+  var query = "SELECT id, name, ssn FROM clients WHERE id='";
+  query = query + needle;
+  query = query + "'";
+  var result = db_query(query);
+  if (is_null(result)) {
+    print_err("client search failed");
+    return;
+  }
+  var row = db_fetch_row(result);
+  while (!is_null(row)) {
+    print("client " + row_get(row, 0) + ": " + row_get(row, 1) + " ssn " +
+          row_get(row, 2));
+    row = db_fetch_row(result);
+  }
+}
+
+fn monthly_report() {
+  var base = "SELECT COUNT(*), SUM(amount) FROM transactions WHERE kind = ";
+  var deposits = db_query(base + "'deposit'");
+  var withdrawals = db_query(base + "'withdraw'");
+  if (is_null(deposits) || is_null(withdrawals)) {
+    print_err("report queries failed");
+    return;
+  }
+  print("deposits " + db_getvalue(deposits, 0, 0) + " totaling " +
+        db_getvalue(deposits, 0, 1));
+  print("withdrawals " + db_getvalue(withdrawals, 0, 0) + " totaling " +
+        db_getvalue(withdrawals, 0, 1));
+  var rich = db_query(
+      "SELECT acc_no, balance FROM accounts WHERE balance >= 10000");
+  var n = db_ntuples(rich);
+  var i = 0;
+  while (i < n) {
+    write_file("regulator.txt", "account " + db_getvalue(rich, i, 0) +
+               " balance " + db_getvalue(rich, i, 1));
+    i = i + 1;
+  }
+  print("reported " + n + " high-value accounts");
+}
+
+fn close_account() {
+  var acc = scan();
+  var bal = balance_of(acc);
+  if (bal < 0) {
+    print_err("no such account " + acc);
+    return;
+  }
+  if (bal > 0) {
+    print_err("account " + acc + " still holds " + bal);
+    return;
+  }
+  db_query("DELETE FROM accounts WHERE acc_no = " + to_int(acc));
+  print("closed account " + acc);
+  audit("close account " + acc);
+}
+
+fn show_rates() {
+  var r = db_query("SELECT kind, rate FROM rates ORDER BY kind");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    print("rate " + db_getvalue(r, i, 0) + " = " + db_getvalue(r, i, 1));
+    i = i + 1;
+  }
+}
+)__";
+
+core::DbFactory MakeDbFactory() {
+  return []() {
+    auto database = std::make_unique<db::Database>();
+    database->Execute(
+        "CREATE TABLE clients (id INT, name TEXT, ssn TEXT, phone TEXT)");
+    database->Execute(
+        "CREATE TABLE accounts (acc_no INT, client_id INT, balance INT, "
+        "kind TEXT)");
+    database->Execute(
+        "CREATE TABLE transactions (id INT, acc_no INT, amount INT, "
+        "kind TEXT)");
+    database->Execute("CREATE TABLE rates (kind TEXT, rate REAL)");
+    database->Execute("INSERT INTO rates VALUES ('checking', 0.1)");
+    database->Execute("INSERT INTO rates VALUES ('savings', 2.4)");
+    const char* names[] = {"alice", "bruno", "carla", "derek", "elena",
+                           "felix", "gemma", "henry", "irene", "jonas",
+                           "karla", "leo",   "mona",  "nils",  "olga"};
+    for (int i = 0; i < 15; ++i) {
+      database->Execute(util::StrFormat(
+          "INSERT INTO clients VALUES (%d, '%s', 'ssn-%04d', '555-%04d')",
+          100 + i, names[i], 1000 + i * 7, 2000 + i * 13));
+      database->Execute(util::StrFormat(
+          "INSERT INTO accounts VALUES (%d, %d, %d, '%s')", 500 + i, 100 + i,
+          (i * 1237) % 15000, i % 2 == 0 ? "checking" : "savings"));
+    }
+    for (int i = 0; i < 25; ++i) {
+      database->Execute(util::StrFormat(
+          "INSERT INTO transactions VALUES (%d, %d, %d, '%s')", i,
+          500 + i % 15, 50 + (i * 331) % 900,
+          i % 3 == 0 ? "deposit" : (i % 3 == 1 ? "withdraw" : "transfer")));
+    }
+    return database;
+  };
+}
+
+std::vector<core::TestCase> MakeTestCases() {
+  std::vector<core::TestCase> cases;
+  cases.push_back({{"rates"}});
+  cases.push_back({{"report"}});
+  cases.push_back({{"statement", "503"}});
+  cases.push_back({{"client", "104"}});
+  cases.push_back({{"client", "999"}});  // no match
+  cases.push_back({{"deposit", "505", "300"}});
+  cases.push_back({{"deposit", "505", "-5"}});  // rejected
+  cases.push_back({{"withdraw", "506", "10"}});
+  cases.push_back({{"withdraw", "506", "999999"}});  // overdraft
+  cases.push_back({{"withdraw", "99", "10"}});       // bad account
+  cases.push_back({{"transfer", "507", "508", "25"}});
+  cases.push_back({{"transfer", "507", "9999", "1"}});
+  cases.push_back({{"open", "101", "savings", "150", "statement", "515"}});
+  cases.push_back({{"close", "99"}});
+  cases.push_back({{"typo", "rates"}});
+  cases.push_back({{"client", "108", "statement", "508", "report"}});
+  cases.push_back({{"deposit", "509", "40", "withdraw", "509", "15",
+                    "statement", "509"}});
+  for (int i = 0; i < 10; ++i) {
+    cases.push_back({{"client", std::to_string(100 + i), "statement",
+                      std::to_string(500 + i)}});
+  }
+  for (int i = 0; i < 8; ++i) {
+    cases.push_back({{"deposit", std::to_string(500 + i),
+                      std::to_string(20 + i * 11), "report"}});
+  }
+  for (int i = 0; i < 6; ++i) {
+    cases.push_back({{"transfer", std::to_string(500 + i),
+                      std::to_string(501 + i), "5", "rates"}});
+  }
+  return cases;
+}
+
+}  // namespace
+
+CorpusApp MakeBankingApp() {
+  CorpusApp app;
+  app.name = "App_b";
+  app.role = "small banking system";
+  app.dbms = "MySQL";
+  app.source = kSource;
+  app.db_factory = MakeDbFactory();
+  app.test_cases = MakeTestCases();
+  return app;
+}
+
+}  // namespace adprom::apps

@@ -1,0 +1,65 @@
+#ifndef ADPROM_APPS_CORPUS_H_
+#define ADPROM_APPS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adprom.h"
+
+namespace adprom::apps {
+
+/// One corpus application: MiniApp source, the database behind it (empty
+/// factory for the SIR-style programs, which are plain text-processing
+/// tools), and a test-case suite for trace collection. These stand in for
+/// the paper's CA-dataset (three GitHub DB clients) and SIR-dataset
+/// (grep/gzip/sed/bash with SIR test suites).
+struct CorpusApp {
+  std::string name;   // "App_h", "App_b", "App_s", "App1".."App4"
+  std::string role;   // human description ("mini hospital client")
+  std::string dbms;   // "PostgreSQL" / "MySQL" / "-"
+  std::string source;
+  core::DbFactory db_factory;  // empty when the app uses no DB
+  std::vector<core::TestCase> test_cases;
+};
+
+/// CA-dataset: App_h — a mini hospital client application
+/// (PostgreSQL-style API; patients/doctors/visits schema).
+CorpusApp MakeHospitalApp();
+
+/// CA-dataset: App_b — a small banking system (MySQL-style API). Its
+/// find_client transaction builds the query by string concatenation — the
+/// paper's Attack 5 target.
+CorpusApp MakeBankingApp();
+
+/// CA-dataset: App_s — a supermarket management program (MySQL-style API),
+/// the largest of the three clients.
+CorpusApp MakeSupermarketApp();
+
+/// SIR-dataset: App1 — a grep-like pattern matcher over input lines.
+CorpusApp MakeGrepLike(size_t num_test_cases = 120, uint64_t seed = 1001);
+
+/// SIR-dataset: App2 — a gzip-like compressor with checksums.
+CorpusApp MakeGzipLike(size_t num_test_cases = 80, uint64_t seed = 1002);
+
+/// SIR-dataset: App3 — a sed-like stream editor (substitution commands).
+CorpusApp MakeSedLike(size_t num_test_cases = 100, uint64_t seed = 1003);
+
+/// SIR-dataset: App4 — a bash-like command interpreter. The source is
+/// *generated*: `num_builtins` handler functions, each with several call
+/// sites, so the program crosses the paper's 900-hidden-state threshold
+/// that triggers PCA + k-means reduction (bash: 1366 states in the paper).
+CorpusApp MakeBashLike(size_t num_builtins = 170, size_t num_test_cases = 60,
+                       uint64_t seed = 1004);
+
+/// Future work implemented (paper §VIII: "we plan to consider ... web
+/// applications"): App_w — a web-portal request handler whose sessions
+/// are HTTP-ish request streams. The pipeline treats it like any client.
+CorpusApp MakeWebPortalApp();
+
+/// All seven paper corpus apps with default sizes (App_w is separate: it
+/// reproduces future work, not the paper's datasets).
+std::vector<CorpusApp> MakeFullCorpus();
+
+}  // namespace adprom::apps
+
+#endif  // ADPROM_APPS_CORPUS_H_

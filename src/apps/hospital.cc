@@ -1,0 +1,242 @@
+#include <memory>
+
+#include "apps/corpus.h"
+
+namespace adprom::apps {
+
+namespace {
+
+// App_h: a mini hospital client. Transactions cover patient registration,
+// visit recording, per-doctor schedules, billing aggregation, lookup and
+// discharge. Queries are built with to_int-sanitized ids (this client is
+// not the injection target).
+constexpr const char* kSource = R"__(
+fn main() {
+  print("hospital client ready");
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    dispatch(cmd);
+    cmd = scan();
+  }
+  print("session closed");
+}
+
+fn dispatch(cmd) {
+  if (cmd == "register") {
+    register_patient();
+  } else if (cmd == "visit") {
+    record_visit();
+  } else if (cmd == "patients") {
+    list_patients();
+  } else if (cmd == "schedule") {
+    doctor_schedule();
+  } else if (cmd == "bill") {
+    billing_report();
+  } else if (cmd == "lookup") {
+    lookup_patient();
+  } else if (cmd == "discharge") {
+    discharge_patient();
+  } else {
+    print_err("unknown command: " + cmd);
+  }
+}
+
+fn register_patient() {
+  var name = scan();
+  var age = scan();
+  var doctor = scan();
+  var q = "INSERT INTO patients (name, age, doctor_id) VALUES ('" + name +
+          "', " + to_int(age) + ", " + to_int(doctor) + ")";
+  var r = db_query(q);
+  if (is_null(r)) {
+    print_err("registration failed for " + name);
+  } else {
+    print("registered patient " + name);
+  }
+}
+
+fn record_visit() {
+  var patient = scan();
+  var fee = scan();
+  var check = db_query("SELECT COUNT(*) FROM patients WHERE id = " +
+                       to_int(patient));
+  if (is_null(check)) {
+    print_err("visit check failed");
+    return;
+  }
+  var known = db_getvalue(check, 0, 0);
+  if (to_int(known) == 0) {
+    print_err("no such patient " + patient);
+    return;
+  }
+  var q = "INSERT INTO visits (patient_id, fee) VALUES (" +
+          to_int(patient) + ", " + to_int(fee) + ")";
+  var r = db_query(q);
+  if (is_null(r)) {
+    print_err("visit insert failed");
+  } else {
+    print("visit recorded for patient " + patient);
+  }
+}
+
+fn list_patients() {
+  var r = db_query("SELECT id, name, age FROM patients ORDER BY id");
+  if (is_null(r)) {
+    print_err("patient listing failed");
+    return;
+  }
+  var n = db_ntuples(r);
+  print("patients: " + n);
+  var i = 0;
+  while (i < n) {
+    var line = db_getvalue(r, i, 0) + " " + db_getvalue(r, i, 1) +
+               " (age " + db_getvalue(r, i, 2) + ")";
+    print(line);
+    i = i + 1;
+  }
+}
+
+fn doctor_schedule() {
+  var doctor = scan();
+  var info = db_query("SELECT name, dept FROM doctors WHERE id = " +
+                      to_int(doctor));
+  if (is_null(info)) {
+    print_err("schedule query failed");
+    return;
+  }
+  if (db_ntuples(info) == 0) {
+    print_err("no such doctor " + doctor);
+    return;
+  }
+  print("schedule for dr " + db_getvalue(info, 0, 0));
+  var r = db_query("SELECT name FROM patients WHERE doctor_id = " +
+                   to_int(doctor) + " ORDER BY name");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    print("  patient " + db_getvalue(r, i, 0));
+    i = i + 1;
+  }
+  print("  total " + n);
+}
+
+fn billing_report() {
+  var totals = db_query("SELECT COUNT(*), SUM(fee), AVG(fee) FROM visits");
+  if (is_null(totals)) {
+    print_err("billing query failed");
+    return;
+  }
+  var visits = db_getvalue(totals, 0, 0);
+  var sum = db_getvalue(totals, 0, 1);
+  if (to_int(visits) == 0) {
+    print("no visits recorded");
+    return;
+  }
+  print("visits " + visits + " revenue " + sum);
+  var high = db_query("SELECT patient_id, fee FROM visits WHERE fee >= 500");
+  var n = db_ntuples(high);
+  var i = 0;
+  while (i < n) {
+    write_file("billing_audit.txt", "patient " + db_getvalue(high, i, 0) +
+               " fee " + db_getvalue(high, i, 1));
+    i = i + 1;
+  }
+  print("flagged " + n + " high-fee visits");
+}
+
+fn lookup_patient() {
+  var id = scan();
+  var r = db_query("SELECT name, age, doctor_id FROM patients WHERE id = " +
+                   to_int(id));
+  if (is_null(r)) {
+    print_err("lookup failed");
+    return;
+  }
+  if (db_ntuples(r) == 0) {
+    print("not found: " + id);
+    return;
+  }
+  print("name " + db_getvalue(r, 0, 0));
+  print("age " + db_getvalue(r, 0, 1));
+}
+
+fn discharge_patient() {
+  var id = scan();
+  var r = db_query("DELETE FROM visits WHERE patient_id = " + to_int(id));
+  var p = db_query("DELETE FROM patients WHERE id = " + to_int(id));
+  if (is_null(p)) {
+    print_err("discharge failed");
+  } else {
+    print("discharged patient " + id);
+  }
+}
+)__";
+
+core::DbFactory MakeDbFactory() {
+  return []() {
+    auto database = std::make_unique<db::Database>();
+    database->Execute(
+        "CREATE TABLE patients (id INT, name TEXT, age INT, doctor_id INT)");
+    database->Execute("CREATE TABLE doctors (id INT, name TEXT, dept TEXT)");
+    database->Execute(
+        "CREATE TABLE visits (patient_id INT, fee INT)");
+    database->Execute("INSERT INTO doctors VALUES (1, 'gray', 'surgery')");
+    database->Execute("INSERT INTO doctors VALUES (2, 'house', 'diag')");
+    database->Execute("INSERT INTO doctors VALUES (3, 'wilson', 'onco')");
+    const char* names[] = {"ada", "bob", "cid", "dot", "eve", "fin",
+                           "gus", "hal", "ivy", "joe", "kim", "lou"};
+    for (int i = 0; i < 12; ++i) {
+      database->Execute("INSERT INTO patients VALUES (" + std::to_string(i) +
+                        ", '" + names[i] + "', " +
+                        std::to_string(20 + i * 3) + ", " +
+                        std::to_string(1 + i % 3) + ")");
+      database->Execute("INSERT INTO visits VALUES (" + std::to_string(i) +
+                        ", " + std::to_string(100 + (i * 97) % 600) + ")");
+    }
+    return database;
+  };
+}
+
+std::vector<core::TestCase> MakeTestCases() {
+  std::vector<core::TestCase> cases;
+  cases.push_back({{"patients"}});
+  cases.push_back({{"bill"}});
+  cases.push_back({{"schedule", "1"}});
+  cases.push_back({{"schedule", "2"}});
+  cases.push_back({{"schedule", "9"}});  // missing doctor
+  cases.push_back({{"lookup", "3"}});
+  cases.push_back({{"lookup", "77"}});  // missing patient
+  cases.push_back({{"register", "max", "44", "2", "patients"}});
+  cases.push_back({{"visit", "4", "250"}});
+  cases.push_back({{"visit", "99", "100"}});  // unknown patient
+  cases.push_back({{"discharge", "11", "patients"}});
+  cases.push_back({{"nonsense", "patients"}});
+  cases.push_back({{"register", "zoe", "29", "1", "visit", "5", "620",
+                    "bill"}});
+  cases.push_back({{"lookup", "2", "schedule", "3", "bill"}});
+  cases.push_back({{"patients", "bill", "patients"}});
+  for (int i = 0; i < 8; ++i) {
+    cases.push_back({{"lookup", std::to_string(i), "schedule",
+                      std::to_string(1 + i % 3), "patients"}});
+  }
+  for (int i = 0; i < 6; ++i) {
+    cases.push_back({{"visit", std::to_string(i), std::to_string(150 + i * 80),
+                      "bill"}});
+  }
+  return cases;
+}
+
+}  // namespace
+
+CorpusApp MakeHospitalApp() {
+  CorpusApp app;
+  app.name = "App_h";
+  app.role = "mini hospital client application";
+  app.dbms = "PostgreSQL";
+  app.source = kSource;
+  app.db_factory = MakeDbFactory();
+  app.test_cases = MakeTestCases();
+  return app;
+}
+
+}  // namespace adprom::apps

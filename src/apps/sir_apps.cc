@@ -1,0 +1,479 @@
+#include "apps/corpus.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace adprom::apps {
+
+namespace {
+
+/// Shared word pool for generated text inputs.
+constexpr const char* kWords[] = {
+    "alpha", "bravo",  "charlie", "delta", "echo",  "foxtrot",
+    "golf",  "hotel",  "india",   "juliet", "kilo",  "lima",
+    "mike",  "error",  "warning", "info",   "debug", "trace",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::string RandomLine(util::Rng& rng) {
+  std::string line;
+  const size_t words = 2 + rng.UniformU64(5);
+  for (size_t w = 0; w < words; ++w) {
+    if (w > 0) line += " ";
+    line += kWords[rng.UniformU64(kNumWords)];
+  }
+  return line;
+}
+
+// ---------------------------------------------------------------------
+// App1: grep-like pattern matcher.
+// ---------------------------------------------------------------------
+
+constexpr const char* kGrepSource = R"__(
+fn main() {
+  var mode = scan();
+  var pattern = scan();
+  if (is_null(mode) || is_null(pattern)) {
+    print_err("usage: MODE PATTERN [lines...]");
+    return;
+  }
+  var matched = 0;
+  var total = 0;
+  while (has_input()) {
+    var line = scan();
+    total = total + 1;
+    matched = matched + process_line(mode, pattern, line);
+  }
+  report(mode, matched, total);
+}
+
+fn process_line(mode, pattern, line) {
+  var hit = like_match(line, pattern);
+  if (mode == "invert") {
+    if (!hit) {
+      print(line);
+      return 1;
+    }
+    return 0;
+  }
+  if (hit) {
+    if (mode == "match") {
+      print(line);
+    }
+    if (mode == "loud") {
+      print(upper(line));
+    }
+    return 1;
+  }
+  return 0;
+}
+
+fn report(mode, matched, total) {
+  if (mode == "count") {
+    print(matched);
+    return;
+  }
+  if (matched == 0) {
+    print_err("no matches in " + total + " lines");
+  } else {
+    print("matched " + matched + " of " + total);
+  }
+}
+)__";
+
+std::vector<core::TestCase> GrepTestCases(size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  const char* modes[] = {"match", "count", "invert", "loud"};
+  std::vector<core::TestCase> cases;
+  cases.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::TestCase tc;
+    tc.inputs.push_back(modes[rng.UniformU64(4)]);
+    // Patterns: contains-word, prefix, or never-matching.
+    switch (rng.UniformU64(3)) {
+      case 0:
+        tc.inputs.push_back(std::string("%") +
+                            kWords[rng.UniformU64(kNumWords)] + "%");
+        break;
+      case 1:
+        tc.inputs.push_back(std::string(kWords[rng.UniformU64(kNumWords)]) +
+                            "%");
+        break;
+      default:
+        tc.inputs.push_back("%zzz-not-there%");
+        break;
+    }
+    const size_t lines = 3 + rng.UniformU64(12);
+    for (size_t l = 0; l < lines; ++l) tc.inputs.push_back(RandomLine(rng));
+    cases.push_back(std::move(tc));
+  }
+  return cases;
+}
+
+// ---------------------------------------------------------------------
+// App2: gzip-like compressor (run-length toy codec + checksums).
+// ---------------------------------------------------------------------
+
+constexpr const char* kGzipSource = R"__(
+fn main() {
+  var mode = scan();
+  var in_bytes = 0;
+  var out_bytes = 0;
+  var blocks = 0;
+  var digest = 0;
+  while (has_input()) {
+    var block = scan();
+    blocks = blocks + 1;
+    in_bytes = in_bytes + len(block);
+    digest = mix(digest, block);
+    if (mode == "pack") {
+      var packed = compress(block);
+      out_bytes = out_bytes + len(packed);
+      emit_block(packed);
+    } else if (mode == "check") {
+      verify_block(block);
+    } else {
+      print_err("unknown mode " + mode);
+      return;
+    }
+  }
+  trailer(mode, blocks, in_bytes, out_bytes, digest);
+}
+
+fn mix(digest, block) {
+  var h = checksum(block);
+  return (digest * 31 + h) % 1000000007;
+}
+
+fn emit_block(packed) {
+  if (len(packed) > 40) {
+    write_file("archive.bin", substr(packed, 0, 40));
+    write_file("archive.bin", substr(packed, 40, len(packed)));
+  } else {
+    write_file("archive.bin", packed);
+  }
+}
+
+fn verify_block(block) {
+  var h = checksum(block);
+  if (h % 2 == 0) {
+    print("block ok " + h);
+  } else {
+    print("block ok " + h);
+  }
+}
+
+fn trailer(mode, blocks, in_bytes, out_bytes, digest) {
+  print("blocks " + blocks);
+  print("bytes in " + in_bytes);
+  if (mode == "pack") {
+    print("bytes out " + out_bytes);
+    if (out_bytes > in_bytes) {
+      print_err("incompressible input");
+    }
+  }
+  write_file("manifest.txt", "digest " + digest);
+}
+)__";
+
+std::vector<core::TestCase> GzipTestCases(size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::TestCase> cases;
+  cases.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::TestCase tc;
+    tc.inputs.push_back(rng.Bernoulli(0.7) ? "pack" : "check");
+    const size_t blocks = 2 + rng.UniformU64(8);
+    for (size_t b = 0; b < blocks; ++b) {
+      // Repetitive blocks compress well; random ones do not.
+      if (rng.Bernoulli(0.5)) {
+        tc.inputs.push_back(std::string(5 + rng.UniformU64(60),
+                                        'a' + static_cast<char>(
+                                                  rng.UniformU64(4))));
+      } else {
+        tc.inputs.push_back(RandomLine(rng));
+      }
+    }
+    cases.push_back(std::move(tc));
+  }
+  return cases;
+}
+
+// ---------------------------------------------------------------------
+// App3: sed-like stream editor (substitute / delete / print commands).
+// ---------------------------------------------------------------------
+
+constexpr const char* kSedSource = R"__(
+fn main() {
+  var command = scan();
+  var old_text = scan();
+  var new_text = scan();
+  var changed = 0;
+  var removed = 0;
+  var lineno = 0;
+  while (has_input()) {
+    var line = scan();
+    lineno = lineno + 1;
+    if (command == "s") {
+      changed = changed + substitute(line, old_text, new_text);
+    } else if (command == "d") {
+      if (contains(line, old_text)) {
+        removed = removed + 1;
+      } else {
+        print(line);
+      }
+    } else if (command == "p") {
+      numbered_print(lineno, line);
+    } else {
+      print_err("bad command " + command);
+      return;
+    }
+  }
+  summary(command, changed, removed, lineno);
+}
+
+fn substitute(line, old_text, new_text) {
+  if (contains(line, old_text)) {
+    print(replace(line, old_text, new_text));
+    return 1;
+  }
+  print(line);
+  return 0;
+}
+
+fn numbered_print(lineno, line) {
+  if (len(line) == 0) {
+    print(lineno + ":");
+    return;
+  }
+  print(lineno + ": " + line);
+}
+
+fn summary(command, changed, removed, lineno) {
+  if (command == "s") {
+    print_err("substituted " + changed + " lines");
+  }
+  if (command == "d") {
+    print_err("deleted " + removed + " of " + lineno);
+  }
+}
+)__";
+
+std::vector<core::TestCase> SedTestCases(size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  const char* commands[] = {"s", "d", "p"};
+  std::vector<core::TestCase> cases;
+  cases.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::TestCase tc;
+    tc.inputs.push_back(commands[rng.UniformU64(3)]);
+    tc.inputs.push_back(kWords[rng.UniformU64(kNumWords)]);
+    tc.inputs.push_back(kWords[rng.UniformU64(kNumWords)]);
+    const size_t lines = 3 + rng.UniformU64(10);
+    for (size_t l = 0; l < lines; ++l) tc.inputs.push_back(RandomLine(rng));
+    cases.push_back(std::move(tc));
+  }
+  return cases;
+}
+
+// ---------------------------------------------------------------------
+// App4: bash-like command interpreter (generated source).
+// ---------------------------------------------------------------------
+
+/// Emits one builtin handler. Bodies rotate through six templates so the
+/// generated program has diverse control flow and call mixes, like real
+/// shell builtins.
+std::string BuiltinSource(size_t i) {
+  const std::string name = "builtin_" + std::to_string(i);
+  switch (i % 6) {
+    case 0:
+      return "fn " + name + R"__((arg) {
+  if (len(arg) == 0) {
+    print_err("missing operand");
+    return 1;
+  }
+  print(upper(arg));
+  print("done " + len(arg));
+  return 0;
+}
+)__";
+    case 1:
+      return "fn " + name + R"__((arg) {
+  var i = 0;
+  var acc = 0;
+  while (i < to_int(arg) % 5) {
+    acc = acc + checksum(arg + i);
+    i = i + 1;
+  }
+  print("acc " + acc % 997);
+  return acc % 2;
+}
+)__";
+    case 2:
+      return "fn " + name + R"__((arg) {
+  if (contains(arg, "x")) {
+    write_file("shell.log", "flagged " + arg);
+    print_err("suspicious operand");
+  } else {
+    print(lower(arg));
+  }
+  return 0;
+}
+)__";
+    case 3:
+      return "fn " + name + R"__((arg) {
+  var packed = compress(arg);
+  if (len(packed) < len(arg)) {
+    print("saved " + (len(arg) - len(packed)));
+  } else {
+    print("stored " + len(arg));
+  }
+  write_file("state.bin", packed);
+  return 0;
+}
+)__";
+    case 4:
+      return "fn " + name + R"__((arg) {
+  var t = trim(arg);
+  if (like_match(t, "%err%")) {
+    print_err("operand looks like an error: " + t);
+    return 1;
+  }
+  print(substr(t, 0, 8));
+  return 0;
+}
+)__";
+    default:
+      return "fn " + name + R"__((arg) {
+  print("run " + arg);
+  var code = to_int(arg) % 3;
+  if (code == 0) {
+    print("ok");
+  } else {
+    if (code == 1) {
+      print_err("soft failure");
+    } else {
+      write_file("shell.log", "hard failure on " + arg);
+    }
+  }
+  return code;
+}
+)__";
+  }
+}
+
+std::string BashLikeSource(size_t num_builtins) {
+  std::string source = R"__(
+fn main() {
+  print("minishell started");
+  var status = 0;
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    var arg = scan();
+    if (is_null(arg)) {
+      arg = "";
+    }
+    status = dispatch(cmd, arg);
+    cmd = scan();
+  }
+  print("exit status " + status);
+}
+
+fn dispatch(cmd, arg) {
+)__";
+  for (size_t i = 0; i < num_builtins; ++i) {
+    source += (i == 0 ? "  if" : "  } else if");
+    source += " (cmd == \"cmd" + std::to_string(i) + "\") {\n";
+    source += "    return builtin_" + std::to_string(i) + "(arg);\n";
+  }
+  source += R"__(  } else {
+    print_err("command not found: " + cmd);
+    return 127;
+  }
+}
+
+)__";
+  for (size_t i = 0; i < num_builtins; ++i) source += BuiltinSource(i);
+  return source;
+}
+
+std::vector<core::TestCase> BashTestCases(size_t num_builtins, size_t count,
+                                          uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::TestCase> cases;
+  cases.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    core::TestCase tc;
+    const size_t commands = 4 + rng.UniformU64(12);
+    for (size_t c = 0; c < commands; ++c) {
+      if (rng.Bernoulli(0.05)) {
+        tc.inputs.push_back("no_such_builtin");
+      } else {
+        tc.inputs.push_back(
+            "cmd" + std::to_string(rng.UniformU64(num_builtins)));
+      }
+      tc.inputs.push_back(rng.Bernoulli(0.2)
+                              ? std::to_string(rng.UniformU64(50))
+                              : RandomLine(rng));
+    }
+    cases.push_back(std::move(tc));
+  }
+  return cases;
+}
+
+}  // namespace
+
+CorpusApp MakeGrepLike(size_t num_test_cases, uint64_t seed) {
+  CorpusApp app;
+  app.name = "App1";
+  app.role = "grep-like pattern matcher";
+  app.dbms = "-";
+  app.source = kGrepSource;
+  app.test_cases = GrepTestCases(num_test_cases, seed);
+  return app;
+}
+
+CorpusApp MakeGzipLike(size_t num_test_cases, uint64_t seed) {
+  CorpusApp app;
+  app.name = "App2";
+  app.role = "gzip-like compressor";
+  app.dbms = "-";
+  app.source = kGzipSource;
+  app.test_cases = GzipTestCases(num_test_cases, seed);
+  return app;
+}
+
+CorpusApp MakeSedLike(size_t num_test_cases, uint64_t seed) {
+  CorpusApp app;
+  app.name = "App3";
+  app.role = "sed-like stream editor";
+  app.dbms = "-";
+  app.source = kSedSource;
+  app.test_cases = SedTestCases(num_test_cases, seed);
+  return app;
+}
+
+CorpusApp MakeBashLike(size_t num_builtins, size_t num_test_cases,
+                       uint64_t seed) {
+  CorpusApp app;
+  app.name = "App4";
+  app.role = "bash-like command interpreter (generated, " +
+             std::to_string(num_builtins) + " builtins)";
+  app.dbms = "-";
+  app.source = BashLikeSource(num_builtins);
+  app.test_cases = BashTestCases(num_builtins, num_test_cases, seed);
+  return app;
+}
+
+std::vector<CorpusApp> MakeFullCorpus() {
+  std::vector<CorpusApp> corpus;
+  corpus.push_back(MakeHospitalApp());
+  corpus.push_back(MakeBankingApp());
+  corpus.push_back(MakeSupermarketApp());
+  corpus.push_back(MakeGrepLike());
+  corpus.push_back(MakeGzipLike());
+  corpus.push_back(MakeSedLike());
+  corpus.push_back(MakeBashLike());
+  return corpus;
+}
+
+}  // namespace adprom::apps

@@ -1,0 +1,475 @@
+#include <memory>
+
+#include "apps/corpus.h"
+#include "util/strings.h"
+
+namespace adprom::apps {
+
+namespace {
+
+// App_s: a supermarket management program — the largest CA-dataset client
+// (the paper reports 229 states for its counterpart). Inventory, sales, suppliers,
+// employees; reporting transactions export data to files.
+constexpr const char* kSource = R"__(
+fn main() {
+  print("supermarket management system");
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    handle(cmd);
+    cmd = scan();
+  }
+  closing_tasks();
+}
+
+fn handle(cmd) {
+  if (cmd == "sell") {
+    sell();
+  } else if (cmd == "restock") {
+    restock();
+  } else if (cmd == "price") {
+    price_update();
+  } else if (cmd == "inventory") {
+    inventory_report();
+  } else if (cmd == "suppliers") {
+    supplier_report();
+  } else if (cmd == "top") {
+    top_sellers();
+  } else if (cmd == "low") {
+    low_stock_alert();
+  } else if (cmd == "refund") {
+    refund();
+  } else if (cmd == "shift") {
+    shift_summary();
+  } else if (cmd == "export") {
+    export_inventory();
+  } else if (cmd == "hire") {
+    hire_employee();
+  } else if (cmd == "audit") {
+    audit_books();
+  } else if (cmd == "promo") {
+    apply_promo();
+  } else if (cmd == "writeoff") {
+    write_off();
+  } else {
+    print_err("unrecognized action: " + cmd);
+  }
+}
+
+fn item_stock(item) {
+  var r = db_query("SELECT stock FROM items WHERE id = " + to_int(item));
+  if (is_null(r)) {
+    return 0 - 1;
+  }
+  if (db_ntuples(r) == 0) {
+    return 0 - 1;
+  }
+  return to_int(db_getvalue(r, 0, 0));
+}
+
+fn item_price(item) {
+  var r = db_query("SELECT price FROM items WHERE id = " + to_int(item));
+  if (is_null(r)) {
+    return 0;
+  }
+  if (db_ntuples(r) == 0) {
+    return 0;
+  }
+  return to_int(db_getvalue(r, 0, 0));
+}
+
+fn sell() {
+  var item = scan();
+  var qty = scan();
+  var cashier = scan();
+  var stock = item_stock(item);
+  if (stock < 0) {
+    print_err("unknown item " + item);
+    return;
+  }
+  if (stock < to_int(qty)) {
+    print_err("only " + stock + " left of item " + item);
+    return;
+  }
+  var price = item_price(item);
+  var total = price * to_int(qty);
+  db_query("UPDATE items SET stock = " + (stock - to_int(qty)) +
+           " WHERE id = " + to_int(item));
+  db_query("INSERT INTO sales (item_id, qty, total, cashier) VALUES (" +
+           to_int(item) + ", " + to_int(qty) + ", " + total + ", " +
+           to_int(cashier) + ")");
+  print("sold " + qty + " of item " + item + " for " + total);
+}
+
+fn restock() {
+  var item = scan();
+  var qty = scan();
+  var stock = item_stock(item);
+  if (stock < 0) {
+    print_err("cannot restock unknown item " + item);
+    return;
+  }
+  db_query("UPDATE items SET stock = " + (stock + to_int(qty)) +
+           " WHERE id = " + to_int(item));
+  print("restocked item " + item + " to " + (stock + to_int(qty)));
+}
+
+fn price_update() {
+  var item = scan();
+  var new_price = scan();
+  if (to_int(new_price) <= 0) {
+    print_err("price must be positive");
+    return;
+  }
+  var old = item_price(item);
+  var r = db_query("UPDATE items SET price = " + to_int(new_price) +
+                   " WHERE id = " + to_int(item));
+  if (is_null(r)) {
+    print_err("price update failed");
+    return;
+  }
+  print("price of item " + item + " changed " + old + " -> " + new_price);
+  if (to_int(new_price) > old * 2) {
+    print_err("price more than doubled; flagging for review");
+    write_file("pricing_review.txt",
+               "item " + item + " " + old + " -> " + new_price);
+  }
+}
+
+fn inventory_report() {
+  var r = db_query("SELECT id, name, stock, price FROM items ORDER BY id");
+  if (is_null(r)) {
+    print_err("inventory query failed");
+    return;
+  }
+  var n = db_ntuples(r);
+  print("inventory of " + n + " items");
+  var i = 0;
+  var value = 0;
+  while (i < n) {
+    var line = "#" + db_getvalue(r, i, 0) + " " + db_getvalue(r, i, 1) +
+               " x" + db_getvalue(r, i, 2);
+    print(line);
+    value = value + to_int(db_getvalue(r, i, 2)) *
+            to_int(db_getvalue(r, i, 3));
+    i = i + 1;
+  }
+  print("total inventory value " + value);
+}
+
+fn supplier_report() {
+  var r = db_query("SELECT id, name, city FROM suppliers ORDER BY name");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    var sid = db_getvalue(r, i, 0);
+    print("supplier " + db_getvalue(r, i, 1) + " (" +
+          db_getvalue(r, i, 2) + ")");
+    var items = db_query("SELECT COUNT(*) FROM items WHERE supplier_id = " +
+                         to_int(sid));
+    print("  supplies " + db_getvalue(items, 0, 0) + " items");
+    i = i + 1;
+  }
+}
+
+fn top_sellers() {
+  var r = db_query(
+      "SELECT item_id, qty, total FROM sales ORDER BY total DESC LIMIT 5");
+  if (is_null(r)) {
+    print_err("sales query failed");
+    return;
+  }
+  var n = db_ntuples(r);
+  print("top " + n + " sales");
+  var i = 0;
+  while (i < n) {
+    var item = db_getvalue(r, i, 0);
+    var name = db_query("SELECT name FROM items WHERE id = " +
+                        to_int(item));
+    if (db_ntuples(name) > 0) {
+      print("  " + db_getvalue(name, 0, 0) + " qty " +
+            db_getvalue(r, i, 1) + " total " + db_getvalue(r, i, 2));
+    } else {
+      print("  item " + item + " (delisted) total " +
+            db_getvalue(r, i, 2));
+    }
+    i = i + 1;
+  }
+}
+
+fn low_stock_alert() {
+  var threshold = scan();
+  var r = db_query("SELECT id, name, stock FROM items WHERE stock < " +
+                   to_int(threshold) + " ORDER BY stock");
+  var n = db_ntuples(r);
+  if (n == 0) {
+    print("no items below " + threshold);
+    return;
+  }
+  var i = 0;
+  while (i < n) {
+    print_err("LOW: item " + db_getvalue(r, i, 0) + " " +
+              db_getvalue(r, i, 1) + " stock " + db_getvalue(r, i, 2));
+    i = i + 1;
+  }
+  print(n + " items need restocking");
+}
+
+fn refund() {
+  var sale = scan();
+  var r = db_query("SELECT item_id, qty, total FROM sales WHERE id = " +
+                   to_int(sale));
+  if (is_null(r)) {
+    print_err("refund lookup failed");
+    return;
+  }
+  if (db_ntuples(r) == 0) {
+    print_err("no such sale " + sale);
+    return;
+  }
+  var item = db_getvalue(r, 0, 0);
+  var qty = db_getvalue(r, 0, 1);
+  var stock = item_stock(item);
+  if (stock >= 0) {
+    db_query("UPDATE items SET stock = " + (stock + to_int(qty)) +
+             " WHERE id = " + to_int(item));
+  }
+  db_query("DELETE FROM sales WHERE id = " + to_int(sale));
+  print("refunded sale " + sale + " (" + db_getvalue(r, 0, 2) + ")");
+}
+
+fn shift_summary() {
+  var cashier = scan();
+  var who = db_query("SELECT name FROM employees WHERE id = " +
+                     to_int(cashier));
+  if (is_null(who)) {
+    print_err("employee lookup failed");
+    return;
+  }
+  if (db_ntuples(who) == 0) {
+    print_err("unknown employee " + cashier);
+    return;
+  }
+  var totals = db_query(
+      "SELECT COUNT(*), SUM(total) FROM sales WHERE cashier = " +
+      to_int(cashier));
+  var count = db_getvalue(totals, 0, 0);
+  print("cashier " + db_getvalue(who, 0, 0) + " rang " + count + " sales");
+  if (to_int(count) > 0) {
+    print("  takings " + db_getvalue(totals, 0, 1));
+  }
+}
+
+fn export_inventory() {
+  var r = db_query("SELECT id, name, stock, price FROM items ORDER BY id");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    var row = db_getvalue(r, i, 0) + "," + db_getvalue(r, i, 1) + "," +
+              db_getvalue(r, i, 2) + "," + db_getvalue(r, i, 3);
+    write_file("inventory.csv", row);
+    i = i + 1;
+  }
+  print("exported " + n + " rows");
+}
+
+fn hire_employee() {
+  var name = scan();
+  var next = db_query("SELECT MAX(id) FROM employees");
+  var id = to_int(db_getvalue(next, 0, 0)) + 1;
+  var r = db_query("INSERT INTO employees VALUES (" + id + ", '" + name +
+                   "')");
+  if (is_null(r)) {
+    print_err("hiring failed");
+    return;
+  }
+  print("hired " + name + " with id " + id);
+}
+
+fn audit_books() {
+  var sales = db_query("SELECT COUNT(*), SUM(total) FROM sales");
+  var count = db_getvalue(sales, 0, 0);
+  var revenue = db_getvalue(sales, 0, 1);
+  print("audit: " + count + " sales on the books");
+  if (to_int(count) == 0) {
+    print("nothing to audit");
+    return;
+  }
+  var orphans = db_query(
+      "SELECT COUNT(*) FROM sales WHERE cashier > 50");
+  var bad = db_getvalue(orphans, 0, 0);
+  if (to_int(bad) > 0) {
+    print_err("audit found " + bad + " sales with unknown cashiers");
+    write_file("audit_findings.txt", "orphaned sales: " + bad);
+  } else {
+    print("cashier references consistent");
+  }
+  var negatives = db_query("SELECT COUNT(*) FROM items WHERE stock < 0");
+  if (to_int(db_getvalue(negatives, 0, 0)) > 0) {
+    print_err("negative stock detected");
+    write_file("audit_findings.txt", "negative stock present");
+  }
+  write_file("audit_findings.txt", "revenue " + revenue);
+  print("audit complete");
+}
+
+fn apply_promo() {
+  var item = scan();
+  var percent = scan();
+  if (to_int(percent) <= 0 || to_int(percent) >= 90) {
+    print_err("promo must be between 1 and 89 percent");
+    return;
+  }
+  var old = item_price(item);
+  if (old <= 0) {
+    print_err("no price on record for item " + item);
+    return;
+  }
+  var discounted = old - old * to_int(percent) / 100;
+  if (discounted < 1) {
+    discounted = 1;
+  }
+  db_query("UPDATE items SET price = " + discounted + " WHERE id = " +
+           to_int(item));
+  print("promo: item " + item + " now " + discounted + " (was " + old +
+        ")");
+  write_file("promos.txt", "item " + item + " -" + percent + "%");
+}
+
+fn write_off() {
+  var item = scan();
+  var qty = scan();
+  var stock = item_stock(item);
+  if (stock < 0) {
+    print_err("cannot write off unknown item " + item);
+    return;
+  }
+  var removed = to_int(qty);
+  if (removed > stock) {
+    removed = stock;
+  }
+  db_query("UPDATE items SET stock = " + (stock - removed) +
+           " WHERE id = " + to_int(item));
+  var cost = removed * item_price(item);
+  print("wrote off " + removed + " of item " + item + " (loss " + cost +
+        ")");
+  if (cost > 100) {
+    print_err("large write-off; manager approval logged");
+    write_file("writeoffs.txt", "item " + item + " loss " + cost);
+  }
+}
+
+fn closing_tasks() {
+  var day = db_query("SELECT COUNT(*), SUM(total) FROM sales");
+  print("day closed with " + db_getvalue(day, 0, 0) + " sales");
+  write_file("eod.txt", "sales " + db_getvalue(day, 0, 0) + " revenue " +
+             db_getvalue(day, 0, 1));
+  print("end of day complete");
+}
+)__";
+
+core::DbFactory MakeDbFactory() {
+  return []() {
+    auto database = std::make_unique<db::Database>();
+    database->Execute(
+        "CREATE TABLE items (id INT, name TEXT, stock INT, price INT, "
+        "supplier_id INT)");
+    database->Execute(
+        "CREATE TABLE suppliers (id INT, name TEXT, city TEXT)");
+    database->Execute(
+        "CREATE TABLE sales (id INT, item_id INT, qty INT, total INT, "
+        "cashier INT)");
+    database->Execute("CREATE TABLE employees (id INT, name TEXT)");
+    const char* products[] = {"milk",  "bread", "eggs",   "rice",  "salt",
+                              "soap",  "tea",   "coffee", "jam",   "oats",
+                              "pasta", "tuna",  "honey",  "flour", "sugar",
+                              "beans"};
+    for (int i = 0; i < 16; ++i) {
+      database->Execute(util::StrFormat(
+          "INSERT INTO items VALUES (%d, '%s', %d, %d, %d)", i, products[i],
+          5 + (i * 13) % 60, 2 + (i * 7) % 30, 1 + i % 4));
+    }
+    const char* cities[] = {"lyon", "turin", "porto", "ghent"};
+    for (int i = 1; i <= 4; ++i) {
+      database->Execute(util::StrFormat(
+          "INSERT INTO suppliers VALUES (%d, 'supplier%d', '%s')", i, i,
+          cities[i - 1]));
+    }
+    const char* staff[] = {"pam", "quinn", "rosa", "sven"};
+    for (int i = 1; i <= 4; ++i) {
+      database->Execute(util::StrFormat(
+          "INSERT INTO employees VALUES (%d, '%s')", i, staff[i - 1]));
+    }
+    for (int i = 0; i < 20; ++i) {
+      database->Execute(util::StrFormat(
+          "INSERT INTO sales VALUES (%d, %d, %d, %d, %d)", i, i % 16,
+          1 + i % 4, (1 + i % 4) * (2 + ((i % 16) * 7) % 30), 1 + i % 4));
+    }
+    return database;
+  };
+}
+
+std::vector<core::TestCase> MakeTestCases() {
+  std::vector<core::TestCase> cases;
+  cases.push_back({{"inventory"}});
+  cases.push_back({{"suppliers"}});
+  cases.push_back({{"top"}});
+  cases.push_back({{"low", "10"}});
+  cases.push_back({{"low", "0"}});
+  cases.push_back({{"shift", "2"}});
+  cases.push_back({{"shift", "44"}});
+  cases.push_back({{"export"}});
+  cases.push_back({{"sell", "3", "2", "1"}});
+  cases.push_back({{"sell", "3", "9999", "1"}});  // over stock
+  cases.push_back({{"sell", "77", "1", "1"}});    // unknown item
+  cases.push_back({{"restock", "5", "25", "inventory"}});
+  cases.push_back({{"price", "4", "9"}});
+  cases.push_back({{"price", "4", "-2"}});
+  cases.push_back({{"price", "2", "500", "inventory"}});  // doubled flag
+  cases.push_back({{"refund", "3", "top"}});
+  cases.push_back({{"refund", "999"}});
+  cases.push_back({{"hire", "tessa", "shift", "5"}});
+  cases.push_back({{"oops", "inventory"}});
+  cases.push_back({{"sell", "1", "1", "2", "sell", "2", "1", "2", "shift",
+                    "2"}});
+  for (int i = 0; i < 8; ++i) {
+    cases.push_back({{"sell", std::to_string(i % 16),
+                      std::to_string(1 + i % 3), std::to_string(1 + i % 4),
+                      "top"}});
+  }
+  for (int i = 0; i < 6; ++i) {
+    cases.push_back({{"restock", std::to_string(i), "10", "low",
+                      std::to_string(15 + i)}});
+  }
+  for (int i = 0; i < 5; ++i) {
+    cases.push_back({{"price", std::to_string(i), std::to_string(5 + i),
+                      "inventory", "export"}});
+  }
+  cases.push_back({{"audit"}});
+  cases.push_back({{"audit", "audit"}});
+  cases.push_back({{"promo", "3", "25", "inventory"}});
+  cases.push_back({{"promo", "3", "95"}});   // rejected range
+  cases.push_back({{"promo", "88", "10"}});  // unknown item
+  cases.push_back({{"writeoff", "2", "4", "audit"}});
+  cases.push_back({{"writeoff", "4", "999", "inventory"}});  // clamped
+  cases.push_back({{"writeoff", "77", "1"}});                // unknown
+  for (int i = 0; i < 4; ++i) {
+    cases.push_back({{"promo", std::to_string(i * 3), "15", "writeoff",
+                      std::to_string(i * 2), "2", "audit"}});
+  }
+  return cases;
+}
+
+}  // namespace
+
+CorpusApp MakeSupermarketApp() {
+  CorpusApp app;
+  app.name = "App_s";
+  app.role = "supermarket management system";
+  app.dbms = "MySQL";
+  app.source = kSource;
+  app.db_factory = MakeDbFactory();
+  app.test_cases = MakeTestCases();
+  return app;
+}
+
+}  // namespace adprom::apps

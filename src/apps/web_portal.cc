@@ -1,0 +1,180 @@
+#include <memory>
+
+#include "apps/corpus.h"
+#include "util/strings.h"
+
+namespace adprom::apps {
+
+namespace {
+
+// App_w: a web-portal request handler — the paper's stated *future work*
+// ("we plan to consider types of applications other than desktop ones,
+// i.e., web applications"). The program is a request loop: each input is
+// an HTTP-ish request line (`GET /patients`, `GET /patient?id=3`,
+// `POST /note ...`), handlers query the DB and render responses. The
+// AD-PROM pipeline runs on it unchanged: request handlers are just
+// functions, responses are output calls, and the rendered query results
+// carry TD labels.
+constexpr const char* kSource = R"__(
+fn main() {
+  var request = scan();
+  while (!is_null(request)) {
+    route_request(request);
+    request = scan();
+  }
+  print("server shutting down");
+}
+
+fn route_request(request) {
+  if (request == "GET /patients") {
+    handle_list();
+  } else if (request == "GET /patient") {
+    handle_detail(scan());
+  } else if (request == "POST /note") {
+    handle_note(scan(), scan());
+  } else if (request == "GET /health") {
+    handle_health();
+  } else if (request == "GET /export") {
+    handle_export();
+  } else {
+    respond_error(404, "no route for " + request);
+  }
+}
+
+fn respond(status, body) {
+  print("HTTP/1.1 " + status);
+  print(body);
+}
+
+fn respond_error(status, why) {
+  print_err("HTTP/1.1 " + status + " " + why);
+  write_file("access.log", status + " " + why);
+}
+
+fn handle_list() {
+  var r = db_query("SELECT id, name FROM patients ORDER BY id");
+  if (is_null(r)) {
+    respond_error(500, "query failed");
+    return;
+  }
+  var n = db_ntuples(r);
+  var body = "<ul>";
+  var i = 0;
+  while (i < n) {
+    body = body + "<li>" + db_getvalue(r, i, 1) + "</li>";
+    i = i + 1;
+  }
+  body = body + "</ul>";
+  respond(200, body);
+  write_file("access.log", "200 GET /patients");
+}
+
+fn handle_detail(id) {
+  var r = db_query("SELECT name, diagnosis FROM patients WHERE id = " +
+                   to_int(id));
+  if (is_null(r)) {
+    respond_error(500, "query failed");
+    return;
+  }
+  if (db_ntuples(r) == 0) {
+    respond_error(404, "patient " + id);
+    return;
+  }
+  var page = "<h1>" + db_getvalue(r, 0, 0) + "</h1><p>" +
+             db_getvalue(r, 0, 1) + "</p>";
+  respond(200, page);
+  write_file("access.log", "200 GET /patient?id=" + id);
+}
+
+fn handle_note(id, text) {
+  if (len(text) == 0) {
+    respond_error(400, "empty note");
+    return;
+  }
+  var r = db_query("INSERT INTO notes (patient_id, body) VALUES (" +
+                   to_int(id) + ", '" + replace(text, "'", "") + "')");
+  if (is_null(r)) {
+    respond_error(500, "insert failed");
+    return;
+  }
+  respond(201, "note stored");
+}
+
+fn handle_health() {
+  var r = db_query("SELECT COUNT(*) FROM patients");
+  if (is_null(r)) {
+    respond(503, "db unreachable");
+    return;
+  }
+  respond(200, "ok, " + db_getvalue(r, 0, 0) + " records");
+}
+
+fn handle_export() {
+  var r = db_query("SELECT id, name, diagnosis FROM patients ORDER BY id");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    write_file("export.csv", db_getvalue(r, i, 0) + "," +
+               db_getvalue(r, i, 1) + "," + db_getvalue(r, i, 2));
+    i = i + 1;
+  }
+  respond(200, "exported " + n + " rows");
+}
+)__";
+
+core::DbFactory MakeDbFactory() {
+  return []() {
+    auto database = std::make_unique<db::Database>();
+    database->Execute(
+        "CREATE TABLE patients (id INT, name TEXT, diagnosis TEXT)");
+    database->Execute("CREATE TABLE notes (patient_id INT, body TEXT)");
+    const char* names[] = {"iris", "jack", "kira", "liam", "maya",
+                           "nico", "opal", "pete"};
+    const char* diagnoses[] = {"flu", "cold", "sprain", "allergy"};
+    for (int i = 0; i < 8; ++i) {
+      database->Execute(util::StrFormat(
+          "INSERT INTO patients VALUES (%d, '%s', '%s')", i, names[i],
+          diagnoses[i % 4]));
+    }
+    return database;
+  };
+}
+
+std::vector<core::TestCase> MakeTestCases() {
+  std::vector<core::TestCase> cases;
+  cases.push_back({{"GET /patients"}});
+  cases.push_back({{"GET /health"}});
+  cases.push_back({{"GET /patient", "3"}});
+  cases.push_back({{"GET /patient", "99"}});
+  cases.push_back({{"POST /note", "2", "doing well"}});
+  cases.push_back({{"POST /note", "2", ""}});
+  cases.push_back({{"GET /export"}});
+  cases.push_back({{"DELETE /everything"}});
+  cases.push_back({{"GET /patients", "GET /health"}});
+  cases.push_back({{"GET /patient", "1", "POST /note", "1", "follow-up",
+                    "GET /patient", "1"}});
+  cases.push_back({{"GET /export", "GET /patients"}});
+  for (int i = 0; i < 6; ++i) {
+    cases.push_back({{"GET /patient", std::to_string(i), "GET /health"}});
+  }
+  for (int i = 0; i < 4; ++i) {
+    cases.push_back({{"GET /patients", "GET /patient", std::to_string(i),
+                      "GET /export"}});
+  }
+  return cases;
+}
+
+}  // namespace
+
+CorpusApp MakeWebPortalApp() {
+  CorpusApp app;
+  app.name = "App_w";
+  app.role = "web portal request handler (paper future work)";
+  app.dbms = "PostgreSQL";
+  app.source = kSource;
+  app.db_factory = MakeDbFactory();
+  app.test_cases = MakeTestCases();
+  return app;
+}
+
+}  // namespace adprom::apps

@@ -1,0 +1,221 @@
+#include "attack/mutators.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace adprom::attack {
+
+namespace {
+
+/// Builds the injected output statement for InsertOutputStatement.
+std::unique_ptr<prog::Stmt> MakeOutputStmt(const InsertOutputSpec& spec) {
+  std::vector<std::unique_ptr<prog::Expr>> args;
+  if (!spec.channel_arg.empty()) {
+    args.push_back(prog::Expr::StrLit(spec.channel_arg));
+  }
+  args.push_back(prog::Expr::Var(spec.variable));
+  return prog::Stmt::ExprStmt(
+      prog::Expr::Call(spec.output_call, std::move(args)));
+}
+
+prog::Stmt* FindFirst(prog::StmtList& body, prog::StmtKind kind) {
+  for (auto& stmt : body) {
+    if (stmt->kind == kind) return stmt.get();
+    if (prog::Stmt* inner = FindFirst(stmt->then_body, kind);
+        inner != nullptr) {
+      return inner;
+    }
+    if (prog::Stmt* inner = FindFirst(stmt->else_body, kind);
+        inner != nullptr) {
+      return inner;
+    }
+  }
+  return nullptr;
+}
+
+/// Finds the `occurrence`-th call to `callee` anywhere in an expression.
+prog::Expr* FindCallInExpr(prog::Expr& e, const std::string& callee,
+                           int* remaining) {
+  if (e.kind == prog::ExprKind::kCall) {
+    for (auto& arg : e.args) {
+      if (prog::Expr* found = FindCallInExpr(*arg, callee, remaining);
+          found != nullptr) {
+        return found;
+      }
+    }
+    if (e.name == callee && --(*remaining) < 0) return &e;
+    return nullptr;
+  }
+  if (e.lhs != nullptr) {
+    if (prog::Expr* found = FindCallInExpr(*e.lhs, callee, remaining);
+        found != nullptr) {
+      return found;
+    }
+  }
+  if (e.rhs != nullptr) {
+    if (prog::Expr* found = FindCallInExpr(*e.rhs, callee, remaining);
+        found != nullptr) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+prog::Expr* FindCallInBody(prog::StmtList& body, const std::string& callee,
+                           int* remaining) {
+  for (auto& stmt : body) {
+    if (stmt->expr != nullptr) {
+      if (prog::Expr* found = FindCallInExpr(*stmt->expr, callee, remaining);
+          found != nullptr) {
+        return found;
+      }
+    }
+    if (prog::Expr* found = FindCallInBody(stmt->then_body, callee,
+                                           remaining);
+        found != nullptr) {
+      return found;
+    }
+    if (prog::Expr* found = FindCallInBody(stmt->else_body, callee,
+                                           remaining);
+        found != nullptr) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+bool ReplaceLiteralInExpr(prog::Expr& e, const std::string& old_fragment,
+                          const std::string& new_fragment) {
+  if (e.kind == prog::ExprKind::kStrLit) {
+    const size_t pos = e.str_value.find(old_fragment);
+    if (pos != std::string::npos) {
+      e.str_value.replace(pos, old_fragment.size(), new_fragment);
+      return true;
+    }
+    return false;
+  }
+  if (e.lhs != nullptr &&
+      ReplaceLiteralInExpr(*e.lhs, old_fragment, new_fragment)) {
+    return true;
+  }
+  if (e.rhs != nullptr &&
+      ReplaceLiteralInExpr(*e.rhs, old_fragment, new_fragment)) {
+    return true;
+  }
+  for (auto& arg : e.args) {
+    if (ReplaceLiteralInExpr(*arg, old_fragment, new_fragment)) return true;
+  }
+  return false;
+}
+
+bool ReplaceLiteralInBody(prog::StmtList& body,
+                          const std::string& old_fragment,
+                          const std::string& new_fragment) {
+  for (auto& stmt : body) {
+    if (stmt->expr != nullptr &&
+        ReplaceLiteralInExpr(*stmt->expr, old_fragment, new_fragment)) {
+      return true;
+    }
+    if (ReplaceLiteralInBody(stmt->then_body, old_fragment, new_fragment)) {
+      return true;
+    }
+    if (ReplaceLiteralInBody(stmt->else_body, old_fragment, new_fragment)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Result<prog::Program> InsertOutputStatement(
+    const prog::Program& benign, const InsertOutputSpec& spec) {
+  prog::Program tampered = benign.Clone();
+  prog::FunctionDef* fn = tampered.FindMutableFunction(spec.function);
+  if (fn == nullptr) {
+    return util::Status::NotFound("no such function: " + spec.function);
+  }
+  std::unique_ptr<prog::Stmt> stmt = MakeOutputStmt(spec);
+  switch (spec.where) {
+    case InsertWhere::kEnd:
+      fn->body.push_back(std::move(stmt));
+      break;
+    case InsertWhere::kElseOfFirstIf:
+    case InsertWhere::kThenOfFirstIf: {
+      prog::Stmt* target = FindFirst(fn->body, prog::StmtKind::kIf);
+      if (target == nullptr) {
+        return util::Status::NotFound(spec.function + " has no if statement");
+      }
+      if (spec.where == InsertWhere::kElseOfFirstIf) {
+        target->else_body.push_back(std::move(stmt));
+      } else {
+        target->then_body.push_back(std::move(stmt));
+      }
+      break;
+    }
+    case InsertWhere::kAfterIndex: {
+      const size_t at = static_cast<size_t>(spec.index) + 1;
+      if (at > fn->body.size()) {
+        return util::Status::OutOfRange("statement index out of range");
+      }
+      fn->body.insert(fn->body.begin() + static_cast<long>(at),
+                      std::move(stmt));
+      break;
+    }
+    case InsertWhere::kBodyOfFirstWhile: {
+      prog::Stmt* target = FindFirst(fn->body, prog::StmtKind::kWhile);
+      if (target == nullptr) {
+        return util::Status::NotFound(spec.function + " has no while loop");
+      }
+      target->then_body.push_back(std::move(stmt));
+      break;
+    }
+  }
+  ADPROM_RETURN_IF_ERROR(tampered.Finalize());
+  return std::move(tampered);
+}
+
+util::Result<prog::Program> ReplaceCallArgument(
+    const prog::Program& benign, const std::string& function,
+    const std::string& callee, int occurrence, size_t arg_index,
+    const std::string& new_variable) {
+  prog::Program tampered = benign.Clone();
+  prog::FunctionDef* fn = tampered.FindMutableFunction(function);
+  if (fn == nullptr) {
+    return util::Status::NotFound("no such function: " + function);
+  }
+  int remaining = occurrence;
+  prog::Expr* call = FindCallInBody(fn->body, callee, &remaining);
+  if (call == nullptr) {
+    return util::Status::NotFound(util::StrFormat(
+        "call %s (occurrence %d) not found in %s", callee.c_str(),
+        occurrence, function.c_str()));
+  }
+  if (arg_index >= call->args.size()) {
+    return util::Status::OutOfRange("argument index out of range");
+  }
+  call->args[arg_index] = prog::Expr::Var(new_variable);
+  ADPROM_RETURN_IF_ERROR(tampered.Finalize());
+  return std::move(tampered);
+}
+
+util::Result<prog::Program> ModifyStringLiteral(
+    const prog::Program& benign, const std::string& function,
+    const std::string& old_fragment, const std::string& new_fragment) {
+  prog::Program tampered = benign.Clone();
+  prog::FunctionDef* fn = tampered.FindMutableFunction(function);
+  if (fn == nullptr) {
+    return util::Status::NotFound("no such function: " + function);
+  }
+  if (!ReplaceLiteralInBody(fn->body, old_fragment, new_fragment)) {
+    return util::Status::NotFound("literal fragment not found: " +
+                                  old_fragment);
+  }
+  ADPROM_RETURN_IF_ERROR(tampered.Finalize());
+  return std::move(tampered);
+}
+
+std::string TautologyPayload() { return "1' OR '1'='1"; }
+
+}  // namespace adprom::attack

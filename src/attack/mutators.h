@@ -1,0 +1,66 @@
+#ifndef ADPROM_ATTACK_MUTATORS_H_
+#define ADPROM_ATTACK_MUTATORS_H_
+
+#include <string>
+
+#include "prog/program.h"
+#include "util/status.h"
+
+namespace adprom::attack {
+
+/// AST surgery reproducing the paper's five attack classes (§V-C). Every
+/// mutator clones the benign program, applies the change, and re-finalizes
+/// the clone — the result is the "deployed, tampered build" the Detection
+/// Engine monitors against the profile trained on the original.
+
+/// Where to insert an injected statement inside a function body.
+enum class InsertWhere {
+  kEnd,             // append to the function body
+  kElseOfFirstIf,   // into the else branch of the first if (Attack 1:
+                    // a print similar to the one in the other branch)
+  kThenOfFirstIf,   // into the then branch of the first if
+  kAfterIndex,      // after the index-th top-level statement
+  kBodyOfFirstWhile  // inside the first while body (amplifies per row)
+};
+
+struct InsertOutputSpec {
+  std::string function;         // function to tamper with
+  std::string variable;         // in-scope variable whose value is leaked
+  std::string output_call = "print";  // print / write_file / send_net
+  std::string channel_arg;      // file name / host for 2-arg output calls
+  InsertWhere where = InsertWhere::kEnd;
+  int index = 0;                // for kAfterIndex
+};
+
+/// Attacks 1, 2 and 4: insert a new output statement that leaks
+/// `variable`. (Attack 4 — the Dyninst binary patch — performs the same
+/// insertion at the "binary" level; on the MiniApp substrate both reduce
+/// to the same AST edit on the deployed build.)
+util::Result<prog::Program> InsertOutputStatement(
+    const prog::Program& benign, const InsertOutputSpec& spec);
+
+/// Attack 3: reuse an existing output command — replace argument
+/// `arg_index` of the `occurrence`-th call to `callee` inside `function`
+/// with the variable `new_variable` (e.g. make an existing printf print a
+/// query-result field). The call sequence is unchanged; only data flow
+/// differs.
+util::Result<prog::Program> ReplaceCallArgument(
+    const prog::Program& benign, const std::string& function,
+    const std::string& callee, int occurrence, size_t arg_index,
+    const std::string& new_variable);
+
+/// Fig. 1-style attack: tamper with an embedded query string (e.g. turn
+/// "ID = 10" into "ID >= 10" to exfiltrate more rows). Replaces the first
+/// occurrence of `old_fragment` in any string literal of `function`.
+util::Result<prog::Program> ModifyStringLiteral(
+    const prog::Program& benign, const std::string& function,
+    const std::string& old_fragment, const std::string& new_fragment);
+
+/// Attack 5 (tautology SQL injection) is an *input*, not a code change:
+/// the canonical payload from the paper, to be fed to a vulnerable
+/// program's scan() (yields ...WHERE id='1' OR '1'='1').
+std::string TautologyPayload();
+
+}  // namespace adprom::attack
+
+#endif  // ADPROM_ATTACK_MUTATORS_H_

@@ -1,0 +1,95 @@
+#include "attack/synthetic.h"
+
+#include <set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace adprom::attack {
+
+SyntheticAnomalyGenerator::SyntheticAnomalyGenerator(
+    std::vector<runtime::Trace> normal_windows, uint64_t seed)
+    : windows_(std::move(normal_windows)), rng_(seed) {
+  ADPROM_CHECK(!windows_.empty());
+  std::set<std::string> seen;
+  for (const runtime::Trace& window : windows_) {
+    for (const runtime::CallEvent& event : window) {
+      if (seen.insert(event.Observable()).second) {
+        pool_.push_back(event);
+      }
+    }
+  }
+  ADPROM_CHECK(!pool_.empty());
+}
+
+const runtime::Trace& SyntheticAnomalyGenerator::RandomWindow() {
+  return windows_[rng_.UniformU64(windows_.size())];
+}
+
+runtime::Trace SyntheticAnomalyGenerator::MakeAS1(size_t replaced_tail) {
+  runtime::Trace out = RandomWindow();
+  const size_t start = out.size() > replaced_tail
+                           ? out.size() - replaced_tail
+                           : 0;
+  for (size_t i = start; i < out.size(); ++i) {
+    out[i] = pool_[rng_.UniformU64(pool_.size())];
+  }
+  return out;
+}
+
+runtime::Trace SyntheticAnomalyGenerator::MakeAS2(size_t injected) {
+  runtime::Trace out = RandomWindow();
+  for (size_t k = 0; k < injected && !out.empty(); ++k) {
+    runtime::CallEvent evil;
+    evil.callee =
+        util::StrFormat("rogue_call_%llu",
+                        static_cast<unsigned long long>(rng_.UniformU64(8)));
+    // Issued from a function that exists, so only the call itself is new.
+    evil.caller = out[0].caller;
+    evil.block_id = 9000 + static_cast<int>(k);
+    evil.call_site_id = 900000 + static_cast<int>(rng_.UniformU64(1000));
+    const size_t pos = rng_.UniformU64(out.size());
+    out[static_cast<size_t>(pos)] = evil;
+  }
+  return out;
+}
+
+runtime::Trace SyntheticAnomalyGenerator::MakeAS3() {
+  runtime::Trace out = RandomWindow();
+  if (out.size() < 2) return out;
+  // Pick one event and repeat it over a run of positions, emulating the
+  // higher call frequency of a selectivity attack.
+  const size_t src = rng_.UniformU64(out.size());
+  const size_t run = 3 + rng_.UniformU64(out.size() / 2);
+  const size_t start = rng_.UniformU64(out.size());
+  for (size_t k = 0; k < run; ++k) {
+    out[(start + k) % out.size()] = out[src];
+  }
+  return out;
+}
+
+std::vector<runtime::Trace> SyntheticAnomalyGenerator::MakeBatch1(
+    size_t count) {
+  std::vector<runtime::Trace> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(MakeAS1());
+  return out;
+}
+
+std::vector<runtime::Trace> SyntheticAnomalyGenerator::MakeBatch2(
+    size_t count) {
+  std::vector<runtime::Trace> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(MakeAS2());
+  return out;
+}
+
+std::vector<runtime::Trace> SyntheticAnomalyGenerator::MakeBatch3(
+    size_t count) {
+  std::vector<runtime::Trace> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(MakeAS3());
+  return out;
+}
+
+}  // namespace adprom::attack

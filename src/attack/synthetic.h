@@ -1,0 +1,48 @@
+#ifndef ADPROM_ATTACK_SYNTHETIC_H_
+#define ADPROM_ATTACK_SYNTHETIC_H_
+
+#include <vector>
+
+#include "runtime/call_event.h"
+#include "util/rng.h"
+
+namespace adprom::attack {
+
+/// Generates the paper's three synthetic anomalous-sequence families
+/// (§V-D) from a pool of normal windows:
+///   A-S1 — replace the tail (last 5 calls) of a normal window with random
+///          calls drawn from the *legitimate* call set;
+///   A-S2 — splice in library calls that do not belong to the legitimate
+///          set at all;
+///   A-S3 — inflate the frequency of one legitimate call (the repetition
+///          signature of selectivity/injection attacks).
+class SyntheticAnomalyGenerator {
+ public:
+  /// `normal_windows` are n-length windows of real traces; the legitimate
+  /// call pool is derived from them (unique events by observable).
+  SyntheticAnomalyGenerator(std::vector<runtime::Trace> normal_windows,
+                            uint64_t seed);
+
+  /// Number of distinct legitimate events available for sampling.
+  size_t pool_size() const { return pool_.size(); }
+
+  runtime::Trace MakeAS1(size_t replaced_tail = 5);
+  runtime::Trace MakeAS2(size_t injected = 3);
+  runtime::Trace MakeAS3();
+
+  /// Batch helpers.
+  std::vector<runtime::Trace> MakeBatch1(size_t count);
+  std::vector<runtime::Trace> MakeBatch2(size_t count);
+  std::vector<runtime::Trace> MakeBatch3(size_t count);
+
+ private:
+  const runtime::Trace& RandomWindow();
+
+  std::vector<runtime::Trace> windows_;
+  std::vector<runtime::CallEvent> pool_;  // unique legitimate events
+  util::Rng rng_;
+};
+
+}  // namespace adprom::attack
+
+#endif  // ADPROM_ATTACK_SYNTHETIC_H_

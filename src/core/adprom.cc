@@ -1,0 +1,98 @@
+#include "core/adprom.h"
+
+#include "runtime/collector.h"
+
+namespace adprom::core {
+
+util::Result<runtime::Trace> AdProm::CollectTrace(
+    const prog::Program& program,
+    const std::map<std::string, prog::Cfg>& cfgs,
+    const DbFactory& db_factory, const TestCase& test_case,
+    runtime::ProgramIo* io) {
+  std::unique_ptr<db::Database> database;
+  if (db_factory) database = db_factory();
+  runtime::Interpreter interpreter(program, cfgs, database.get());
+  runtime::LightCollector collector;
+  interpreter.set_collector(&collector);
+  ADPROM_ASSIGN_OR_RETURN(runtime::RtValue result,
+                          interpreter.Run(test_case.inputs));
+  (void)result;
+  if (io != nullptr) *io = interpreter.io();
+  return collector.TakeTrace();
+}
+
+util::Result<std::vector<runtime::Trace>> AdProm::CollectTraces(
+    const prog::Program& program,
+    const std::map<std::string, prog::Cfg>& cfgs,
+    const DbFactory& db_factory, const std::vector<TestCase>& test_cases) {
+  std::vector<runtime::Trace> traces;
+  traces.reserve(test_cases.size());
+  for (const TestCase& test_case : test_cases) {
+    ADPROM_ASSIGN_OR_RETURN(
+        runtime::Trace trace,
+        CollectTrace(program, cfgs, db_factory, test_case));
+    traces.push_back(std::move(trace));
+  }
+  return std::move(traces);
+}
+
+util::Result<AdProm> AdProm::Train(const prog::Program& program,
+                                   const DbFactory& db_factory,
+                                   const std::vector<TestCase>& test_cases,
+                                   ProfileOptions options,
+                                   ConstructionTimings* timings) {
+  AdProm system;
+  Analyzer analyzer;
+  ADPROM_ASSIGN_OR_RETURN(system.analysis_, analyzer.Analyze(program));
+  ADPROM_ASSIGN_OR_RETURN(
+      system.training_traces_,
+      CollectTraces(program, system.analysis_.cfgs, db_factory, test_cases));
+  ProfileConstructor constructor(options);
+  ADPROM_ASSIGN_OR_RETURN(
+      system.profile_,
+      constructor.Construct(system.analysis_, system.training_traces_,
+                            timings));
+  return std::move(system);
+}
+
+std::vector<Detection> AdProm::MonitorResult::Alarms() const {
+  std::vector<Detection> out;
+  for (const Detection& d : detections) {
+    if (d.IsAlarm()) out.push_back(d);
+  }
+  return out;
+}
+
+bool AdProm::MonitorResult::HasAlarm() const {
+  for (const Detection& d : detections) {
+    if (d.IsAlarm()) return true;
+  }
+  return false;
+}
+
+bool AdProm::MonitorResult::ConnectedToSource() const {
+  for (const Detection& d : detections) {
+    if (d.IsAlarm() && !d.source_tables.empty()) return true;
+  }
+  return false;
+}
+
+util::Result<AdProm::MonitorResult> AdProm::Monitor(
+    const prog::Program& deployed, const DbFactory& db_factory,
+    const TestCase& test_case) const {
+  // The deployed build may be a tampered variant: instrument it with its
+  // own CFGs (this is the dynamic instrumentation step of the paper's
+  // detection phase).
+  auto cfgs_result = prog::BuildAllCfgs(deployed);
+  if (!cfgs_result.ok()) return cfgs_result.status();
+  const std::map<std::string, prog::Cfg> cfgs = std::move(cfgs_result).value();
+  MonitorResult result;
+  ADPROM_ASSIGN_OR_RETURN(
+      result.trace,
+      CollectTrace(deployed, cfgs, db_factory, test_case, &result.io));
+  DetectionEngine engine(&profile_);
+  result.detections = engine.MonitorTrace(result.trace);
+  return std::move(result);
+}
+
+}  // namespace adprom::core

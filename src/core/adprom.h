@@ -1,0 +1,99 @@
+#ifndef ADPROM_CORE_ADPROM_H_
+#define ADPROM_CORE_ADPROM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/detection_engine.h"
+#include "core/profile.h"
+#include "core/profile_constructor.h"
+#include "db/database.h"
+#include "prog/cfg.h"
+#include "prog/program.h"
+#include "runtime/interpreter.h"
+#include "util/status.h"
+
+namespace adprom::core {
+
+/// One training/monitoring input: the stdin feed of a program run.
+struct TestCase {
+  std::vector<std::string> inputs;
+};
+
+/// Produces a fresh database (with schema + data) for each program run, so
+/// runs are independent and reproducible. May be empty for programs that
+/// issue no DB calls.
+using DbFactory = std::function<std::unique_ptr<db::Database>()>;
+
+/// Facade tying the whole system together: the training phase (Analyzer →
+/// Calls Collector over the test suite → Profile Constructor) and the
+/// detection phase (Calls Collector → Detection Engine).
+class AdProm {
+ public:
+  /// Runs `program` once with `test_case` inputs, collecting the library
+  /// call trace through the (light) Calls Collector. `io` optionally
+  /// receives the run's captured output channels.
+  static util::Result<runtime::Trace> CollectTrace(
+      const prog::Program& program,
+      const std::map<std::string, prog::Cfg>& cfgs,
+      const DbFactory& db_factory, const TestCase& test_case,
+      runtime::ProgramIo* io = nullptr);
+
+  /// Collects one trace per test case.
+  static util::Result<std::vector<runtime::Trace>> CollectTraces(
+      const prog::Program& program,
+      const std::map<std::string, prog::Cfg>& cfgs,
+      const DbFactory& db_factory, const std::vector<TestCase>& test_cases);
+
+  /// Full training phase: static analysis of `program`, trace collection
+  /// over `test_cases`, profile construction. `timings` optionally
+  /// receives the Profile Constructor step timings.
+  static util::Result<AdProm> Train(const prog::Program& program,
+                                    const DbFactory& db_factory,
+                                    const std::vector<TestCase>& test_cases,
+                                    ProfileOptions options = ProfileOptions(),
+                                    ConstructionTimings* timings = nullptr);
+
+  const ApplicationProfile& profile() const { return profile_; }
+  const AnalysisResult& analysis() const { return analysis_; }
+  const std::vector<runtime::Trace>& training_traces() const {
+    return training_traces_;
+  }
+
+  /// Lowers the detection threshold (or raises it) — the "adaptive
+  /// threshold" hook from the paper's threshold-selection discussion.
+  void set_threshold(double threshold) { profile_.threshold = threshold; }
+
+  /// Result of monitoring one run of a (possibly tampered) program build.
+  struct MonitorResult {
+    runtime::Trace trace;
+    std::vector<Detection> detections;  // one per window
+    runtime::ProgramIo io;
+
+    /// The alarms among `detections`.
+    std::vector<Detection> Alarms() const;
+    bool HasAlarm() const;
+    /// True if any alarm carries resolved DB provenance.
+    bool ConnectedToSource() const;
+  };
+
+  /// Detection phase: runs the *deployed* program (its own CFGs are built
+  /// here — the deployed binary may differ from the trained one, which is
+  /// exactly what the attacks do) and scores the collected trace.
+  util::Result<MonitorResult> Monitor(const prog::Program& deployed,
+                                      const DbFactory& db_factory,
+                                      const TestCase& test_case) const;
+
+ private:
+  AnalysisResult analysis_;
+  ApplicationProfile profile_;
+  std::vector<runtime::Trace> training_traces_;
+};
+
+}  // namespace adprom::core
+
+#endif  // ADPROM_CORE_ADPROM_H_

@@ -1,0 +1,69 @@
+#include "core/analyzer.h"
+
+#include <chrono>
+
+#include "analysis/labeling.h"
+
+namespace adprom::core {
+
+namespace {
+
+double SecondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::set<std::pair<std::string, std::string>> AnalysisResult::ContextPairs()
+    const {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const auto& [name, cfg] : cfgs) {
+    for (const prog::CfgNode& node : cfg.nodes()) {
+      if (node.call.has_value() && !node.call->is_user_fn) {
+        out.insert({name, node.call->callee});
+      }
+    }
+  }
+  return out;
+}
+
+Analyzer::Analyzer(analysis::TaintConfig taint_config)
+    : taint_config_(std::move(taint_config)) {}
+
+util::Result<AnalysisResult> Analyzer::Analyze(
+    const prog::Program& program) const {
+  if (!program.finalized()) {
+    return util::Status::FailedPrecondition(
+        "program must be finalized before analysis");
+  }
+  AnalysisResult out;
+
+  auto t0 = std::chrono::steady_clock::now();
+  ADPROM_ASSIGN_OR_RETURN(out.cfgs, prog::BuildAllCfgs(program));
+  ADPROM_ASSIGN_OR_RETURN(out.call_graph, prog::CallGraph::Build(program));
+  out.cfg_seconds = SecondsSince(t0);
+
+  // Data-flow (DDG) labeling, then the per-function probability forecast.
+  t0 = std::chrono::steady_clock::now();
+  ADPROM_ASSIGN_OR_RETURN(out.taint,
+                          analysis::RunTaintAnalysis(program, taint_config_));
+  for (const auto& [name, cfg] : out.cfgs) {
+    ADPROM_ASSIGN_OR_RETURN(analysis::FunctionForecast forecast,
+                            analysis::ComputeForecast(cfg));
+    analysis::ApplyTaintLabels(out.taint, program, &forecast.ctm);
+    out.function_ctms.emplace(name, std::move(forecast.ctm));
+  }
+  out.forecast_seconds = SecondsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  ADPROM_ASSIGN_OR_RETURN(
+      out.program_ctm,
+      analysis::AggregateProgramCtm(out.function_ctms, out.call_graph));
+  out.aggregation_seconds = SecondsSince(t0);
+  return std::move(out);
+}
+
+}  // namespace adprom::core

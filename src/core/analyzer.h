@@ -1,0 +1,56 @@
+#ifndef ADPROM_CORE_ANALYZER_H_
+#define ADPROM_CORE_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/aggregation.h"
+#include "analysis/ctm.h"
+#include "analysis/forecast.h"
+#include "analysis/taint.h"
+#include "prog/call_graph.h"
+#include "prog/cfg.h"
+#include "prog/program.h"
+#include "util/status.h"
+
+namespace adprom::core {
+
+/// Everything the static Analyzer derives from an application program:
+/// CFGs, call graph, the DDG (taint) with labeled output sites, the
+/// labeled per-function CTMs, and the aggregated program CTM (pCTM).
+struct AnalysisResult {
+  std::map<std::string, prog::Cfg> cfgs;
+  prog::CallGraph call_graph;
+  analysis::TaintResult taint;
+  std::map<std::string, analysis::Ctm> function_ctms;
+  analysis::Ctm program_ctm;
+  /// Wall-clock seconds per step, for the Table VIII bench.
+  double cfg_seconds = 0.0;
+  double forecast_seconds = 0.0;
+  double aggregation_seconds = 0.0;
+
+  /// All (caller function, callee) pairs that appear as call sites in the
+  /// program — the context set the Detection Engine checks for the
+  /// OutOfContext flag.
+  std::set<std::pair<std::string, std::string>> ContextPairs() const;
+};
+
+/// The paper's Analyzer component: performs the whole static phase —
+/// CFG/CG extraction, data-flow (DDG) labeling, probability forecast, and
+/// CTM aggregation — on one application program.
+class Analyzer {
+ public:
+  explicit Analyzer(
+      analysis::TaintConfig taint_config = analysis::TaintConfig::Default());
+
+  /// Analyzes a finalized program.
+  util::Result<AnalysisResult> Analyze(const prog::Program& program) const;
+
+ private:
+  analysis::TaintConfig taint_config_;
+};
+
+}  // namespace adprom::core
+
+#endif  // ADPROM_CORE_ANALYZER_H_

@@ -1,0 +1,29 @@
+#ifndef ADPROM_CORE_BASELINES_H_
+#define ADPROM_CORE_BASELINES_H_
+
+#include "core/profile.h"
+
+namespace adprom::core {
+
+/// Profile options reproducing the CMarkov comparator (Xu et al., DSN'16):
+/// the same CTM-initialized HMM pipeline, but *without* data-flow analysis
+/// — observables are plain call names, so it can neither distinguish
+/// same-named calls on different paths nor connect activity to the data
+/// source.
+inline ProfileOptions CMarkovOptions(ProfileOptions base = ProfileOptions()) {
+  base.use_dd_labels = false;
+  base.init = ProfileOptions::Init::kStatic;
+  return base;
+}
+
+/// Profile options reproducing the Rand-HMM baseline (Guevara et al.):
+/// identical training data and state count, but the HMM starts from a
+/// random initialization instead of the program-analysis forecast.
+inline ProfileOptions RandHmmOptions(ProfileOptions base = ProfileOptions()) {
+  base.init = ProfileOptions::Init::kRandom;
+  return base;
+}
+
+}  // namespace adprom::core
+
+#endif  // ADPROM_CORE_BASELINES_H_

@@ -1,0 +1,96 @@
+#include "core/detection_engine.h"
+
+#include <set>
+
+#include "hmm/inference.h"
+
+namespace adprom::core {
+
+DetectionEngine::DetectionEngine(const ApplicationProfile* profile)
+    : profile_(profile) {}
+
+Detection DetectionEngine::EvaluateWindow(
+    std::span<const runtime::CallEvent> window, size_t window_start) const {
+  Detection detection;
+  detection.window_start = window_start;
+
+  // Collect TD provenance present in the window. Only a profile built
+  // with data-flow labels (AD-PROM) can see taint: the CMarkov baseline
+  // observes plain call names and cannot connect activity to its source.
+  std::set<std::string> sources;
+  bool has_td_output = false;
+  for (const runtime::CallEvent& event : window) {
+    if (!profile_->options.use_dd_labels) break;
+    if (event.td_output) {
+      has_td_output = true;
+      sources.insert(event.source_tables.begin(), event.source_tables.end());
+      // Supplement with the statically resolved tables for this label.
+      auto it = profile_->labeled_sources.find(event.Observable());
+      if (it != profile_->labeled_sources.end()) {
+        sources.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+  // Out-of-context check: a library call issued from a function that never
+  // issues it, statically or during training.
+  for (const runtime::CallEvent& event : window) {
+    if (profile_->context_pairs.count({event.caller, event.callee}) == 0) {
+      detection.flag = DetectionFlag::kOutOfContext;
+      detection.detail = event.callee + " called from " + event.caller;
+      break;
+    }
+  }
+
+  const hmm::ObservationSeq seq = profile_->Encode(window);
+  auto score = hmm::PerSymbolLogLikelihood(profile_->model, seq);
+  detection.score = score.ok() ? *score : -1e9;
+
+  // A symbol outside the profile's alphabet is not a *legitimate call*
+  // (paper §V-D footnote: calls observed during analysis and training).
+  // Its true emission probability is zero — the smoothed model only
+  // floors it for numerical stability — so the window's real P(cs|λ) is 0
+  // and sits below any threshold.
+  for (int symbol : seq) {
+    if (symbol == profile_->alphabet.unk_id()) {
+      detection.score = -1e9;
+      if (detection.detail.empty()) detection.detail = "unknown call symbol";
+      break;
+    }
+  }
+
+  if (detection.flag != DetectionFlag::kOutOfContext) {
+    if (detection.score < profile_->threshold) {
+      detection.flag = has_td_output ? DetectionFlag::kDataLeak
+                                     : DetectionFlag::kAnomalous;
+    } else {
+      detection.flag = DetectionFlag::kNormal;
+    }
+  }
+  if (detection.IsAlarm() && has_td_output) {
+    detection.source_tables.assign(sources.begin(), sources.end());
+  }
+  return detection;
+}
+
+std::vector<Detection> DetectionEngine::MonitorTrace(
+    const runtime::Trace& trace) const {
+  std::vector<Detection> out;
+  const auto windows = SlidingWindows(trace, profile_->options.window_length);
+  out.reserve(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    out.push_back(EvaluateWindow(windows[i], i));
+  }
+  return out;
+}
+
+std::vector<Detection> DetectionEngine::Alarms(
+    const runtime::Trace& trace) const {
+  std::vector<Detection> out;
+  for (Detection& d : MonitorTrace(trace)) {
+    if (d.IsAlarm()) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace adprom::core

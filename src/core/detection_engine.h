@@ -1,0 +1,39 @@
+#ifndef ADPROM_CORE_DETECTION_ENGINE_H_
+#define ADPROM_CORE_DETECTION_ENGINE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/flags.h"
+#include "core/profile.h"
+#include "runtime/call_event.h"
+
+namespace adprom::core {
+
+/// The paper's Detection Engine: receives n-length call sequences from the
+/// Calls Collector, computes P(cs | λ) with the trained HMM, compares it
+/// to the profile threshold, and raises one of the four flags. With
+/// data-flow labels enabled it also reports which DB tables the involved
+/// targeted data came from.
+class DetectionEngine {
+ public:
+  /// `profile` must outlive the engine.
+  explicit DetectionEngine(const ApplicationProfile* profile);
+
+  /// Scores one n-window starting at `window_start` of the trace.
+  Detection EvaluateWindow(std::span<const runtime::CallEvent> window,
+                           size_t window_start) const;
+
+  /// Slides over a full trace (stride 1) and returns every verdict.
+  std::vector<Detection> MonitorTrace(const runtime::Trace& trace) const;
+
+  /// Convenience: the alarms only.
+  std::vector<Detection> Alarms(const runtime::Trace& trace) const;
+
+ private:
+  const ApplicationProfile* profile_;
+};
+
+}  // namespace adprom::core
+
+#endif  // ADPROM_CORE_DETECTION_ENGINE_H_

@@ -1,0 +1,19 @@
+#include "core/flags.h"
+
+namespace adprom::core {
+
+const char* DetectionFlagName(DetectionFlag flag) {
+  switch (flag) {
+    case DetectionFlag::kNormal:
+      return "Normal";
+    case DetectionFlag::kAnomalous:
+      return "Anomalous";
+    case DetectionFlag::kDataLeak:
+      return "DataLeak";
+    case DetectionFlag::kOutOfContext:
+      return "OutOfContext";
+  }
+  return "?";
+}
+
+}  // namespace adprom::core

@@ -1,0 +1,38 @@
+#ifndef ADPROM_CORE_FLAGS_H_
+#define ADPROM_CORE_FLAGS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adprom::core {
+
+/// The four flags the Detection Engine raises to the security admin
+/// (paper §V-C): OutOfContext — a library call issued from a function that
+/// never issues it; DataLeak — an anomalous window containing an output
+/// call carrying targeted data; Anomalous — an anomalous window without TD
+/// output; Normal — everything else.
+enum class DetectionFlag { kNormal, kAnomalous, kDataLeak, kOutOfContext };
+
+const char* DetectionFlagName(DetectionFlag flag);
+
+/// One Detection Engine verdict for a window of n calls.
+struct Detection {
+  DetectionFlag flag = DetectionFlag::kNormal;
+  /// Per-symbol log-likelihood of the window under the profile's HMM.
+  double score = 0.0;
+  /// Index of the first call of the window within the monitored trace.
+  size_t window_start = 0;
+  /// DB tables the involved targeted data was retrieved from (the "connect
+  /// the activity to its source" capability CMarkov lacks). Empty when no
+  /// TD was involved or the provenance could not be resolved.
+  std::vector<std::string> source_tables;
+  /// Human-readable context, e.g. the offending (caller, callee) pair.
+  std::string detail;
+
+  bool IsAlarm() const { return flag != DetectionFlag::kNormal; }
+};
+
+}  // namespace adprom::core
+
+#endif  // ADPROM_CORE_FLAGS_H_

@@ -1,0 +1,48 @@
+#ifndef ADPROM_CORE_PROFILE_CONSTRUCTOR_H_
+#define ADPROM_CORE_PROFILE_CONSTRUCTOR_H_
+
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/profile.h"
+#include "runtime/call_event.h"
+#include "util/status.h"
+
+namespace adprom::core {
+
+/// Timing of the construction steps, reported for the Table VIII bench.
+struct ConstructionTimings {
+  double reduction_seconds = 0.0;  // CTV + PCA + k-means
+  double init_seconds = 0.0;       // HMM initialization
+  double training_seconds = 0.0;   // Baum-Welch
+};
+
+/// The paper's Profile Constructor: turns the Analyzer's pCTM and the
+/// Calls Collector's training traces into a trained ApplicationProfile.
+///
+/// Pipeline (paper §IV-C4): build one call-transition vector (CTV) per
+/// pCTM site (incoming column + outgoing row, size 2(n+1)); if the site
+/// count exceeds options.cluster_threshold, reduce with PCA and cluster
+/// with k-means (K = cluster_fraction · n) so similar calls share a hidden
+/// state; initialize A/B/π from the (cluster-averaged) pCTM; train with
+/// multi-sequence Baum-Welch, early-stopped on the held-out converge
+/// sub-dataset (CSDS); finally pick the detection threshold from the CSDS
+/// score distribution.
+class ProfileConstructor {
+ public:
+  explicit ProfileConstructor(ProfileOptions options = ProfileOptions());
+
+  /// Builds the profile from static analysis plus normal training traces.
+  /// `timings`, when non-null, receives per-step wall-clock seconds.
+  util::Result<ApplicationProfile> Construct(
+      const AnalysisResult& analysis,
+      const std::vector<runtime::Trace>& traces,
+      ConstructionTimings* timings = nullptr) const;
+
+ private:
+  ProfileOptions options_;
+};
+
+}  // namespace adprom::core
+
+#endif  // ADPROM_CORE_PROFILE_CONSTRUCTOR_H_

@@ -1,0 +1,288 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "db/sql_eval.h"
+#include "db/sql_parser.h"
+#include "util/strings.h"
+
+namespace adprom::db {
+
+namespace {
+
+util::Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
+                                        const Table& table) {
+  const Schema& schema = table.schema();
+  QueryResult result;
+  result.source_table = table.name();
+
+  // Filter.
+  std::vector<const Row*> matched;
+  for (const Row& row : table.rows()) {
+    if (stmt.where != nullptr) {
+      ADPROM_ASSIGN_OR_RETURN(TriBool keep,
+                              EvalPredicate(*stmt.where, schema, row));
+      if (keep != TriBool::kTrue) continue;
+    }
+    matched.push_back(&row);
+  }
+
+  // Order.
+  if (!stmt.order_by.empty()) {
+    auto idx = schema.IndexOf(stmt.order_by);
+    if (!idx.has_value())
+      return util::Status::NotFound("no such column: " + stmt.order_by);
+    std::stable_sort(matched.begin(), matched.end(),
+                     [&](const Row* a, const Row* b) {
+                       const int c = (*a)[*idx].Compare((*b)[*idx]);
+                       return stmt.order_desc ? c > 0 : c < 0;
+                     });
+  }
+
+  // Limit.
+  if (stmt.limit >= 0 &&
+      matched.size() > static_cast<size_t>(stmt.limit)) {
+    matched.resize(static_cast<size_t>(stmt.limit));
+  }
+
+  // Aggregates are all-or-nothing in this subset.
+  const bool has_aggregate =
+      !stmt.items.empty() && stmt.items[0].aggregate != AggregateFn::kNone;
+  for (const SelectItem& item : stmt.items) {
+    if ((item.aggregate != AggregateFn::kNone) != has_aggregate) {
+      return util::Status::InvalidArgument(
+          "cannot mix aggregate and plain select items");
+    }
+  }
+
+  if (has_aggregate) {
+    Row out_row;
+    for (const SelectItem& item : stmt.items) {
+      if (item.aggregate == AggregateFn::kCount && item.star) {
+        result.columns.push_back("COUNT(*)");
+        out_row.push_back(Value::Int(static_cast<int64_t>(matched.size())));
+        continue;
+      }
+      auto idx = schema.IndexOf(item.column);
+      if (!idx.has_value())
+        return util::Status::NotFound("no such column: " + item.column);
+      double sum = 0.0;
+      size_t count = 0;
+      const Value* min_v = nullptr;
+      const Value* max_v = nullptr;
+      for (const Row* row : matched) {
+        const Value& v = (*row)[*idx];
+        if (v.is_null()) continue;
+        ++count;
+        double d = 0.0;
+        if (v.TryNumeric(&d)) sum += d;
+        if (min_v == nullptr || v.Compare(*min_v) < 0) min_v = &v;
+        if (max_v == nullptr || v.Compare(*max_v) > 0) max_v = &v;
+      }
+      switch (item.aggregate) {
+        case AggregateFn::kCount:
+          result.columns.push_back("COUNT(" + item.column + ")");
+          out_row.push_back(Value::Int(static_cast<int64_t>(count)));
+          break;
+        case AggregateFn::kSum:
+          result.columns.push_back("SUM(" + item.column + ")");
+          out_row.push_back(count == 0 ? Value::Null() : Value::Real(sum));
+          break;
+        case AggregateFn::kAvg:
+          result.columns.push_back("AVG(" + item.column + ")");
+          out_row.push_back(count == 0
+                                ? Value::Null()
+                                : Value::Real(sum / static_cast<double>(
+                                                        count)));
+          break;
+        case AggregateFn::kMin:
+          result.columns.push_back("MIN(" + item.column + ")");
+          out_row.push_back(min_v == nullptr ? Value::Null() : *min_v);
+          break;
+        case AggregateFn::kMax:
+          result.columns.push_back("MAX(" + item.column + ")");
+          out_row.push_back(max_v == nullptr ? Value::Null() : *max_v);
+          break;
+        case AggregateFn::kNone:
+          break;
+      }
+    }
+    result.rows.push_back(std::move(out_row));
+    return result;
+  }
+
+  // Plain projection.
+  std::vector<size_t> proj;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t i = 0; i < schema.size(); ++i) {
+        proj.push_back(i);
+        result.columns.push_back(schema.column(i).name);
+      }
+    } else {
+      auto idx = schema.IndexOf(item.column);
+      if (!idx.has_value())
+        return util::Status::NotFound("no such column: " + item.column);
+      proj.push_back(*idx);
+      result.columns.push_back(schema.column(*idx).name);
+    }
+  }
+
+  result.rows.reserve(matched.size());
+  for (const Row* row : matched) {
+    Row out_row;
+    out_row.reserve(proj.size());
+    for (size_t i : proj) out_row.push_back((*row)[i]);
+    result.rows.push_back(std::move(out_row));
+  }
+  return result;
+}
+
+util::Result<QueryResult> ExecuteInsert(const InsertStatement& stmt,
+                                        Table& table) {
+  const Schema& schema = table.schema();
+  Row row;
+  if (stmt.columns.empty()) {
+    row = stmt.values;
+  } else {
+    if (stmt.columns.size() != stmt.values.size()) {
+      return util::Status::InvalidArgument(
+          "INSERT column/value count mismatch");
+    }
+    row.assign(schema.size(), Value::Null());
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      auto idx = schema.IndexOf(stmt.columns[i]);
+      if (!idx.has_value())
+        return util::Status::NotFound("no such column: " + stmt.columns[i]);
+      row[*idx] = stmt.values[i];
+    }
+  }
+  ADPROM_RETURN_IF_ERROR(table.Insert(std::move(row)));
+  QueryResult result;
+  result.affected_rows = 1;
+  result.source_table = table.name();
+  return result;
+}
+
+util::Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt,
+                                        Table& table) {
+  const Schema& schema = table.schema();
+  std::vector<std::pair<size_t, const Value*>> resolved;
+  for (const auto& [col, value] : stmt.assignments) {
+    auto idx = schema.IndexOf(col);
+    if (!idx.has_value())
+      return util::Status::NotFound("no such column: " + col);
+    resolved.emplace_back(*idx, &value);
+  }
+  size_t affected = 0;
+  for (Row& row : table.mutable_rows()) {
+    if (stmt.where != nullptr) {
+      ADPROM_ASSIGN_OR_RETURN(TriBool keep,
+                              EvalPredicate(*stmt.where, schema, row));
+      if (keep != TriBool::kTrue) continue;
+    }
+    for (const auto& [idx, value] : resolved) row[idx] = *value;
+    ++affected;
+  }
+  QueryResult result;
+  result.affected_rows = affected;
+  result.source_table = table.name();
+  return result;
+}
+
+util::Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt,
+                                        Table& table) {
+  const Schema& schema = table.schema();
+  util::Status status;  // Captures the first predicate error inside EraseIf.
+  const size_t removed = table.EraseIf([&](const Row& row) {
+    if (!status.ok()) return false;
+    if (stmt.where == nullptr) return true;
+    auto keep = EvalPredicate(*stmt.where, schema, row);
+    if (!keep.ok()) {
+      status = keep.status();
+      return false;
+    }
+    return *keep == TriBool::kTrue;
+  });
+  ADPROM_RETURN_IF_ERROR(status);
+  QueryResult result;
+  result.affected_rows = removed;
+  result.source_table = table.name();
+  return result;
+}
+
+}  // namespace
+
+util::Status Database::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = util::ToLower(name);
+  if (tables_.count(key) > 0)
+    return util::Status::AlreadyExists("table exists: " + name);
+  tables_[key] = std::make_unique<Table>(name, std::move(schema));
+  return util::Status::Ok();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  auto it = tables_.find(util::ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(util::ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+util::Result<QueryResult> Database::Execute(const std::string& sql) {
+  ADPROM_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+  return ExecuteStatement(stmt);
+}
+
+util::Result<QueryResult> Database::ExecuteStatement(
+    const SqlStatement& stmt) {
+  switch (stmt.kind) {
+    case SqlStatementKind::kCreate: {
+      std::vector<Column> cols;
+      cols.reserve(stmt.create.columns.size());
+      for (const auto& [name, type] : stmt.create.columns)
+        cols.push_back({name, type});
+      ADPROM_RETURN_IF_ERROR(CreateTable(stmt.create.table,
+                                         Schema(std::move(cols))));
+      QueryResult result;
+      result.source_table = stmt.create.table;
+      return result;
+    }
+    case SqlStatementKind::kSelect: {
+      const Table* table = FindTable(stmt.select.table);
+      if (table == nullptr)
+        return util::Status::NotFound("no such table: " + stmt.select.table);
+      return ExecuteSelect(stmt.select, *table);
+    }
+    case SqlStatementKind::kInsert: {
+      Table* table = FindTable(stmt.insert.table);
+      if (table == nullptr)
+        return util::Status::NotFound("no such table: " + stmt.insert.table);
+      return ExecuteInsert(stmt.insert, *table);
+    }
+    case SqlStatementKind::kUpdate: {
+      Table* table = FindTable(stmt.update.table);
+      if (table == nullptr)
+        return util::Status::NotFound("no such table: " + stmt.update.table);
+      return ExecuteUpdate(stmt.update, *table);
+    }
+    case SqlStatementKind::kDelete: {
+      Table* table = FindTable(stmt.del.table);
+      if (table == nullptr)
+        return util::Status::NotFound("no such table: " + stmt.del.table);
+      return ExecuteDelete(stmt.del, *table);
+    }
+  }
+  return util::Status::Internal("unhandled statement kind");
+}
+
+}  // namespace adprom::db

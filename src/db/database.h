@@ -1,0 +1,52 @@
+#ifndef ADPROM_DB_DATABASE_H_
+#define ADPROM_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/query_result.h"
+#include "db/sql_ast.h"
+#include "db/table.h"
+#include "util/status.h"
+
+namespace adprom::db {
+
+/// An in-memory relational database: a set of named tables plus a SQL
+/// execution entry point. This is the substrate standing in for the
+/// PostgreSQL/MySQL servers behind the paper's client applications; the
+/// client apps submit query *strings* (often built by unsafe string
+/// concatenation), so injection payloads reach a real evaluator.
+class Database {
+ public:
+  Database() = default;
+
+  // Database owns its tables and hands out stable pointers; not copyable.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; fails with AlreadyExists on a duplicate name
+  /// (case-insensitive).
+  util::Status CreateTable(const std::string& name, Schema schema);
+
+  /// Returns the table or nullptr (case-insensitive lookup).
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Parses and executes one SQL statement. This is the engine's single
+  /// entry point — the analogue of PQexec/mysql_query.
+  util::Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes an already-parsed statement.
+  util::Result<QueryResult> ExecuteStatement(const SqlStatement& stmt);
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lower name
+};
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_DATABASE_H_

@@ -1,0 +1,27 @@
+#include "db/query_result.h"
+
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace adprom::db {
+
+const Value& QueryResult::At(size_t row, size_t col) const {
+  ADPROM_CHECK_LT(row, rows.size());
+  ADPROM_CHECK_LT(col, rows[row].size());
+  return rows[row][col];
+}
+
+std::string QueryResult::ToString() const {
+  if (columns.empty())
+    return "(" + std::to_string(affected_rows) + " rows affected)\n";
+  util::TablePrinter printer(columns);
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(v.ToString());
+    printer.AddRow(std::move(cells));
+  }
+  return printer.ToString();
+}
+
+}  // namespace adprom::db

@@ -1,0 +1,33 @@
+#ifndef ADPROM_DB_QUERY_RESULT_H_
+#define ADPROM_DB_QUERY_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+
+namespace adprom::db {
+
+/// The result of executing one SQL statement. SELECTs fill `columns` and
+/// `rows`; DML fills `affected_rows`. `source_table` carries the provenance
+/// AD-PROM uses to connect flagged activity back to the database object the
+/// targeted data came from.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  size_t affected_rows = 0;
+  std::string source_table;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return columns.size(); }
+
+  /// Value at (row, col); bounds-checked.
+  const Value& At(size_t row, size_t col) const;
+
+  /// Renders an aligned result grid (header + rows) for examples/debugging.
+  std::string ToString() const;
+};
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_QUERY_RESULT_H_

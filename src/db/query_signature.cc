@@ -1,0 +1,44 @@
+#include "db/query_signature.h"
+
+#include "db/sql_token.h"
+#include "util/strings.h"
+
+namespace adprom::db {
+
+std::string QuerySignature(const std::string& sql) {
+  auto tokens = LexSql(sql);
+  if (!tokens.ok()) return "<unparsed>";
+  std::string out;
+  for (const SqlToken& token : *tokens) {
+    std::string piece;
+    switch (token.type) {
+      case SqlTokenType::kKeyword:
+        piece = token.text;  // already upper-cased by the lexer
+        break;
+      case SqlTokenType::kIdentifier:
+        piece = util::ToLower(token.text);
+        break;
+      case SqlTokenType::kIntLiteral:
+      case SqlTokenType::kRealLiteral:
+      case SqlTokenType::kStringLiteral:
+        piece = "?";
+        break;
+      case SqlTokenType::kStar:
+      case SqlTokenType::kComma:
+      case SqlTokenType::kLParen:
+      case SqlTokenType::kRParen:
+      case SqlTokenType::kOperator:
+      case SqlTokenType::kSemicolon:
+        piece = token.text;
+        break;
+      case SqlTokenType::kEnd:
+        continue;
+    }
+    if (!out.empty()) out += " ";
+    out += piece;
+  }
+  if (out.empty()) return "<empty>";
+  return out;
+}
+
+}  // namespace adprom::db

@@ -1,0 +1,25 @@
+#ifndef ADPROM_DB_QUERY_SIGNATURE_H_
+#define ADPROM_DB_QUERY_SIGNATURE_H_
+
+#include <string>
+
+namespace adprom::db {
+
+/// Normalizes a SQL statement into its *signature*: keywords upper-cased,
+/// identifiers lower-cased, every literal replaced by '?'. Two queries
+/// share a signature iff they have the same skeleton regardless of the
+/// constants bound into them:
+///
+///   SELECT * FROM clients WHERE id='105'   ->
+///   SELECT * FROM clients WHERE id = ?
+///
+/// This implements the mitigation of the paper's first limitation (§VII):
+/// an attacker who swaps in a *different query with similar selectivity*
+/// leaves the call sequence unchanged, but not the query signature the
+/// Calls Collector records alongside the call. Unlexable input yields the
+/// stable marker "<unparsed>".
+std::string QuerySignature(const std::string& sql);
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_QUERY_SIGNATURE_H_

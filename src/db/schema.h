@@ -1,0 +1,42 @@
+#ifndef ADPROM_DB_SCHEMA_H_
+#define ADPROM_DB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace adprom::db {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kText;
+};
+
+/// An ordered list of columns; lookup is case-insensitive like SQL.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Returns the index of the column named `name` (case-insensitive), or
+  /// nullopt if absent.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_SCHEMA_H_

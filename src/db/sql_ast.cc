@@ -1,0 +1,48 @@
+#include "db/sql_ast.h"
+
+namespace adprom::db {
+
+std::unique_ptr<SqlExpr> SqlExpr::Literal(Value v) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<SqlExpr> SqlExpr::ColumnRef(std::string name) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kColumnRef;
+  e->column = std::move(name);
+  return e;
+}
+
+std::unique_ptr<SqlExpr> SqlExpr::Compare(CompareOp op,
+                                          std::unique_ptr<SqlExpr> l,
+                                          std::unique_ptr<SqlExpr> r) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kCompare;
+  e->cmp = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+std::unique_ptr<SqlExpr> SqlExpr::Logical(LogicalOp op,
+                                          std::unique_ptr<SqlExpr> l,
+                                          std::unique_ptr<SqlExpr> r) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kLogical;
+  e->logical = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+std::unique_ptr<SqlExpr> SqlExpr::Not(std::unique_ptr<SqlExpr> inner) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kNot;
+  e->lhs = std::move(inner);
+  return e;
+}
+
+}  // namespace adprom::db

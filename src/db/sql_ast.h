@@ -1,0 +1,111 @@
+#ifndef ADPROM_DB_SQL_AST_H_
+#define ADPROM_DB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace adprom::db {
+
+/// --- Expressions -----------------------------------------------------
+
+enum class SqlExprKind {
+  kLiteral,     // 10, 3.5, 'abc', NULL
+  kColumnRef,   // id, yearlyIncome
+  kCompare,     // a = b, a < b, ...
+  kLogical,     // AND / OR
+  kNot,         // NOT e
+  kLike,        // col LIKE 'pat%'
+  kIsNull,      // e IS NULL / e IS NOT NULL
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr };
+
+/// A SQL scalar/boolean expression tree node.
+struct SqlExpr {
+  SqlExprKind kind;
+
+  // kLiteral
+  Value literal;
+  // kColumnRef
+  std::string column;
+  // kCompare / kLogical / kNot / kLike / kIsNull
+  CompareOp cmp = CompareOp::kEq;
+  LogicalOp logical = LogicalOp::kAnd;
+  bool negated = false;  // for IS NOT NULL / NOT LIKE
+  std::unique_ptr<SqlExpr> lhs;
+  std::unique_ptr<SqlExpr> rhs;
+  std::string like_pattern;  // for kLike ('%' and '_' wildcards)
+
+  static std::unique_ptr<SqlExpr> Literal(Value v);
+  static std::unique_ptr<SqlExpr> ColumnRef(std::string name);
+  static std::unique_ptr<SqlExpr> Compare(CompareOp op,
+                                          std::unique_ptr<SqlExpr> l,
+                                          std::unique_ptr<SqlExpr> r);
+  static std::unique_ptr<SqlExpr> Logical(LogicalOp op,
+                                          std::unique_ptr<SqlExpr> l,
+                                          std::unique_ptr<SqlExpr> r);
+  static std::unique_ptr<SqlExpr> Not(std::unique_ptr<SqlExpr> e);
+};
+
+/// --- Statements -------------------------------------------------------
+
+enum class AggregateFn { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One SELECT output: either a plain column, '*' (all columns), or an
+/// aggregate over a column / '*'.
+struct SelectItem {
+  bool star = false;
+  std::string column;
+  AggregateFn aggregate = AggregateFn::kNone;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::unique_ptr<SqlExpr> where;  // may be null
+  std::string order_by;            // empty if absent
+  bool order_desc = false;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // empty => positional full-row insert
+  std::vector<Value> values;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  std::unique_ptr<SqlExpr> where;  // may be null
+};
+
+struct DeleteStatement {
+  std::string table;
+  std::unique_ptr<SqlExpr> where;  // may be null
+};
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ValueType>> columns;
+};
+
+enum class SqlStatementKind { kSelect, kInsert, kUpdate, kDelete, kCreate };
+
+/// A parsed SQL statement (tagged union over the five statement kinds).
+struct SqlStatement {
+  SqlStatementKind kind;
+  SelectStatement select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement del;
+  CreateTableStatement create;
+};
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_SQL_AST_H_

@@ -1,0 +1,136 @@
+#include "db/sql_eval.h"
+
+#include "util/strings.h"
+
+namespace adprom::db {
+
+namespace {
+
+TriBool FromBool(bool b) { return b ? TriBool::kTrue : TriBool::kFalse; }
+
+TriBool TriNot(TriBool v) {
+  switch (v) {
+    case TriBool::kTrue:
+      return TriBool::kFalse;
+    case TriBool::kFalse:
+      return TriBool::kTrue;
+    case TriBool::kUnknown:
+      return TriBool::kUnknown;
+  }
+  return TriBool::kUnknown;
+}
+
+TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown)
+    return TriBool::kUnknown;
+  return TriBool::kTrue;
+}
+
+TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown)
+    return TriBool::kUnknown;
+  return TriBool::kFalse;
+}
+
+}  // namespace
+
+util::Result<Value> EvalScalar(const SqlExpr& expr, const Schema& schema,
+                               const Row& row) {
+  switch (expr.kind) {
+    case SqlExprKind::kLiteral:
+      return expr.literal;
+    case SqlExprKind::kColumnRef: {
+      auto idx = schema.IndexOf(expr.column);
+      if (!idx.has_value())
+        return util::Status::NotFound("no such column: " + expr.column);
+      return row[*idx];
+    }
+    default:
+      return util::Status::InvalidArgument(
+          "expected a scalar expression (literal or column)");
+  }
+}
+
+util::Result<TriBool> EvalPredicate(const SqlExpr& expr, const Schema& schema,
+                                    const Row& row) {
+  switch (expr.kind) {
+    case SqlExprKind::kCompare: {
+      ADPROM_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.lhs, schema, row));
+      ADPROM_ASSIGN_OR_RETURN(Value rhs, EvalScalar(*expr.rhs, schema, row));
+      if (lhs.is_null() || rhs.is_null()) return TriBool::kUnknown;
+      const int c = lhs.Compare(rhs);
+      switch (expr.cmp) {
+        case CompareOp::kEq:
+          return FromBool(c == 0);
+        case CompareOp::kNe:
+          return FromBool(c != 0);
+        case CompareOp::kLt:
+          return FromBool(c < 0);
+        case CompareOp::kLe:
+          return FromBool(c <= 0);
+        case CompareOp::kGt:
+          return FromBool(c > 0);
+        case CompareOp::kGe:
+          return FromBool(c >= 0);
+      }
+      return TriBool::kUnknown;
+    }
+    case SqlExprKind::kLogical: {
+      ADPROM_ASSIGN_OR_RETURN(TriBool lhs,
+                              EvalPredicate(*expr.lhs, schema, row));
+      ADPROM_ASSIGN_OR_RETURN(TriBool rhs,
+                              EvalPredicate(*expr.rhs, schema, row));
+      return expr.logical == LogicalOp::kAnd ? TriAnd(lhs, rhs)
+                                             : TriOr(lhs, rhs);
+    }
+    case SqlExprKind::kNot: {
+      ADPROM_ASSIGN_OR_RETURN(TriBool inner,
+                              EvalPredicate(*expr.lhs, schema, row));
+      return TriNot(inner);
+    }
+    case SqlExprKind::kLike: {
+      ADPROM_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.lhs, schema, row));
+      if (lhs.is_null()) return TriBool::kUnknown;
+      return FromBool(LikeMatch(lhs.ToString(), expr.like_pattern));
+    }
+    case SqlExprKind::kIsNull: {
+      ADPROM_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*expr.lhs, schema, row));
+      const bool is_null = lhs.is_null();
+      return FromBool(expr.negated ? !is_null : is_null);
+    }
+    case SqlExprKind::kLiteral:
+    case SqlExprKind::kColumnRef:
+      return util::Status::InvalidArgument(
+          "scalar expression used where a predicate was expected");
+  }
+  return util::Status::Internal("unhandled expression kind");
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Classic two-pointer wildcard match; '%' == '*', '_' == '?'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace adprom::db

@@ -1,0 +1,30 @@
+#ifndef ADPROM_DB_SQL_EVAL_H_
+#define ADPROM_DB_SQL_EVAL_H_
+
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/table.h"
+#include "util/status.h"
+
+namespace adprom::db {
+
+/// Three-valued SQL boolean.
+enum class TriBool { kFalse, kTrue, kUnknown };
+
+/// Evaluates a scalar expression (literal or column reference) against a
+/// row. Fails with NotFound for an unknown column.
+util::Result<Value> EvalScalar(const SqlExpr& expr, const Schema& schema,
+                               const Row& row);
+
+/// Evaluates a boolean expression tree against a row using SQL three-valued
+/// logic: comparisons with NULL yield Unknown; WHERE keeps a row only when
+/// the predicate is kTrue.
+util::Result<TriBool> EvalPredicate(const SqlExpr& expr, const Schema& schema,
+                                    const Row& row);
+
+/// SQL LIKE matching with '%' (any run) and '_' (any one char) wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_SQL_EVAL_H_

@@ -1,0 +1,34 @@
+#ifndef ADPROM_DB_SQL_PARSER_H_
+#define ADPROM_DB_SQL_PARSER_H_
+
+#include <string>
+
+#include "db/sql_ast.h"
+#include "util/status.h"
+
+namespace adprom::db {
+
+/// Parses one SQL statement (optionally terminated by ';'). Supported
+/// grammar — deliberately a faithful subset of what the paper's client
+/// applications issue:
+///
+///   SELECT (*|item[,item..]) FROM t [WHERE expr]
+///          [ORDER BY col [ASC|DESC]] [LIMIT n]
+///   item   := col | COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
+///           | MIN(col) | MAX(col)
+///   INSERT INTO t [(col,..)] VALUES (lit,..)
+///   UPDATE t SET col = lit [, col = lit ..] [WHERE expr]
+///   DELETE FROM t [WHERE expr]
+///   CREATE TABLE t (col TYPE, ..)        TYPE := INT | REAL | TEXT
+///   expr   := or-chain of AND-chains of (NOT)? primary
+///   primary:= operand (=|!=|<>|<|<=|>|>=) operand
+///           | operand LIKE 'pattern' | operand IS [NOT] NULL | (expr)
+///   operand:= col | int | real | 'string' | NULL
+///
+/// Note WHERE operands may be literal-vs-literal ('1'='1'), which is what
+/// makes tautology injection expressible.
+util::Result<SqlStatement> ParseSql(const std::string& sql);
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_SQL_PARSER_H_

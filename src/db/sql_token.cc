@@ -1,0 +1,169 @@
+#include "db/sql_token.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace adprom::db {
+
+namespace {
+
+constexpr const char* kKeywords[] = {
+    "SELECT", "FROM",   "WHERE",  "AND",    "OR",     "NOT",   "INSERT",
+    "INTO",   "VALUES", "UPDATE", "SET",    "DELETE", "CREATE", "TABLE",
+    "ORDER",  "BY",     "ASC",    "DESC",   "LIMIT",  "COUNT", "SUM",
+    "AVG",    "MIN",    "MAX",    "NULL",   "INT",    "REAL",  "TEXT",
+    "LIKE",   "IS",
+};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+util::Result<std::vector<SqlToken>> LexSql(const std::string& sql) {
+  std::vector<SqlToken> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = util::ToUpper(word);
+      if (IsKeyword(upper)) {
+        out.push_back({SqlTokenType::kKeyword, upper, start});
+      } else {
+        out.push_back({SqlTokenType::kIdentifier, word, start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool real = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') real = true;
+        ++j;
+      }
+      out.push_back({real ? SqlTokenType::kRealLiteral
+                          : SqlTokenType::kIntLiteral,
+                     sql.substr(i, j - i), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape
+            text += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return util::Status::ParseError(util::StrFormat(
+            "unterminated string literal at offset %zu in: %s", start,
+            sql.c_str()));
+      }
+      out.push_back({SqlTokenType::kStringLiteral, std::move(text), start});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '*':
+        out.push_back({SqlTokenType::kStar, "*", start});
+        ++i;
+        continue;
+      case ',':
+        out.push_back({SqlTokenType::kComma, ",", start});
+        ++i;
+        continue;
+      case '(':
+        out.push_back({SqlTokenType::kLParen, "(", start});
+        ++i;
+        continue;
+      case ')':
+        out.push_back({SqlTokenType::kRParen, ")", start});
+        ++i;
+        continue;
+      case ';':
+        out.push_back({SqlTokenType::kSemicolon, ";", start});
+        ++i;
+        continue;
+      case '=':
+        out.push_back({SqlTokenType::kOperator, "=", start});
+        ++i;
+        continue;
+      case '+':
+        out.push_back({SqlTokenType::kOperator, "+", start});
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back({SqlTokenType::kOperator, "!=", start});
+          i += 2;
+          continue;
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back({SqlTokenType::kOperator, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          out.push_back({SqlTokenType::kOperator, "!=", start});
+          i += 2;
+        } else {
+          out.push_back({SqlTokenType::kOperator, "<", start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back({SqlTokenType::kOperator, ">=", start});
+          i += 2;
+        } else {
+          out.push_back({SqlTokenType::kOperator, ">", start});
+          ++i;
+        }
+        continue;
+      default:
+        break;
+    }
+    return util::Status::ParseError(util::StrFormat(
+        "unexpected character '%c' at offset %zu in: %s", c, start,
+        sql.c_str()));
+  }
+  out.push_back({SqlTokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace adprom::db

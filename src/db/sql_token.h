@@ -1,0 +1,39 @@
+#ifndef ADPROM_DB_SQL_TOKEN_H_
+#define ADPROM_DB_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adprom::db {
+
+enum class SqlTokenType {
+  kKeyword,     // SELECT, FROM, WHERE, ... (normalized upper-case)
+  kIdentifier,  // table / column names
+  kIntLiteral,
+  kRealLiteral,
+  kStringLiteral,  // 'abc' with '' escaping
+  kStar,           // *
+  kComma,
+  kLParen,
+  kRParen,
+  kOperator,  // = != <> < <= > >= +
+  kSemicolon,
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokenType type;
+  std::string text;  // normalized: keywords upper-cased, literals unquoted
+  size_t offset = 0;  // byte offset in the source, for error messages
+};
+
+/// Tokenizes a SQL string. Unknown characters or an unterminated string
+/// literal produce a ParseError. Keywords are recognized case-insensitively
+/// from a fixed list; everything else alphanumeric is an identifier.
+util::Result<std::vector<SqlToken>> LexSql(const std::string& sql);
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_SQL_TOKEN_H_

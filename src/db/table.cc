@@ -1,0 +1,61 @@
+#include "db/table.h"
+
+#include "util/strings.h"
+
+namespace adprom::db {
+
+namespace {
+
+// Coerces `v` toward `want` where a lossless/SQL-lax conversion exists.
+// Returns true on success (possibly mutating v).
+bool CoerceInto(ValueType want, Value* v) {
+  if (v->is_null()) return true;
+  if (v->type() == want) return true;
+  switch (want) {
+    case ValueType::kReal: {
+      double d;
+      if (v->TryNumeric(&d)) {
+        *v = Value::Real(d);
+        return true;
+      }
+      return false;
+    }
+    case ValueType::kInt: {
+      double d;
+      if (v->TryNumeric(&d) && d == static_cast<double>(
+                                        static_cast<int64_t>(d))) {
+        *v = Value::Int(static_cast<int64_t>(d));
+        return true;
+      }
+      return false;
+    }
+    case ValueType::kText:
+      *v = Value::Text(v->ToString());
+      return true;
+    case ValueType::kNull:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+util::Status Table::Insert(Row row) {
+  if (row.size() != schema_.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "table %s expects %zu values, got %zu", name_.c_str(),
+        schema_.size(), row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!CoerceInto(schema_.column(i).type, &row[i])) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "value '%s' does not fit column %s %s", row[i].ToString().c_str(),
+          schema_.column(i).name.c_str(),
+          ValueTypeName(schema_.column(i).type)));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return util::Status::Ok();
+}
+
+}  // namespace adprom::db

@@ -1,0 +1,51 @@
+#ifndef ADPROM_DB_TABLE_H_
+#define ADPROM_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "util/status.h"
+
+namespace adprom::db {
+
+/// A row is a vector of values aligned with a table's schema.
+using Row = std::vector<Value>;
+
+/// An in-memory heap table: a schema plus a vector of rows. Row order is
+/// insertion order; the executor layers filtering/projection on top.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Appends a row after checking arity and (loose) type compatibility:
+  /// NULL fits anywhere, ints fit REAL columns, anything renders into TEXT.
+  util::Status Insert(Row row);
+
+  /// In-place removal of rows matched by `pred`; returns the count removed.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t before = rows_.size();
+    std::erase_if(rows_, pred);
+    return before - rows_.size();
+  }
+
+  /// Mutable row access for UPDATE.
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_TABLE_H_

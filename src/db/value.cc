@@ -1,0 +1,123 @@
+#include "db/value.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace adprom::db {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kReal:
+      return "REAL";
+    case ValueType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.type_ = ValueType::kInt;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Real(double v) {
+  Value out;
+  out.type_ = ValueType::kReal;
+  out.data_ = v;
+  return out;
+}
+
+Value Value::Text(std::string v) {
+  Value out;
+  out.type_ = ValueType::kText;
+  out.data_ = std::move(v);
+  return out;
+}
+
+int64_t Value::AsInt() const {
+  ADPROM_CHECK(type_ == ValueType::kInt);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsReal() const {
+  if (type_ == ValueType::kInt) return static_cast<double>(AsInt());
+  ADPROM_CHECK(type_ == ValueType::kReal);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsText() const {
+  ADPROM_CHECK(type_ == ValueType::kText);
+  return std::get<std::string>(data_);
+}
+
+bool Value::TryNumeric(double* out) const {
+  switch (type_) {
+    case ValueType::kInt:
+      *out = static_cast<double>(std::get<int64_t>(data_));
+      return true;
+    case ValueType::kReal:
+      *out = std::get<double>(data_);
+      return true;
+    case ValueType::kText: {
+      const std::string& s = std::get<std::string>(data_);
+      if (s.empty()) return false;
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      if (errno != 0 || end != s.c_str() + s.size()) return false;
+      *out = v;
+      return true;
+    }
+    case ValueType::kNull:
+      return false;
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Text vs text: lexicographic.
+  if (type_ == ValueType::kText && other.type_ == ValueType::kText) {
+    return AsText().compare(other.AsText());
+  }
+  // Otherwise try a numeric comparison (coercing numeric-looking text).
+  double a = 0.0;
+  double b = 0.0;
+  if (TryNumeric(&a) && other.TryNumeric(&b)) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  // Mixed non-coercible types: order by type tag, then by text rendering.
+  if (type_ != other.type_)
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  return ToString().compare(other.ToString());
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kReal:
+      return util::StrFormat("%g", std::get<double>(data_));
+    case ValueType::kText:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+}  // namespace adprom::db

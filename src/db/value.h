@@ -1,0 +1,56 @@
+#ifndef ADPROM_DB_VALUE_H_
+#define ADPROM_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace adprom::db {
+
+/// Column/value type tags for the mini relational engine.
+enum class ValueType { kNull, kInt, kReal, kText };
+
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically-typed SQL value: NULL, 64-bit integer, double, or string.
+/// Comparisons follow SQL-ish semantics: NULL compares unknown (handled at
+/// the predicate layer), numerics compare numerically across kInt/kReal,
+/// text compares lexicographically, and a text/number comparison coerces
+/// the text when it parses as a number (mirrors the lax typing of the
+/// string-concatenated queries the paper's vulnerable app builds).
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v);
+  static Value Real(double v);
+  static Value Text(std::string v);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  int64_t AsInt() const;
+  double AsReal() const;
+  const std::string& AsText() const;
+
+  /// Best-effort numeric view: kInt/kReal directly; kText if it parses.
+  /// Returns false when no numeric interpretation exists.
+  bool TryNumeric(double* out) const;
+
+  /// Three-way compare: negative / zero / positive. NULLs order first
+  /// (used only for ORDER BY; predicates treat NULL separately).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  /// SQL-literal-ish rendering ('abc' stays unquoted; NULL prints "NULL").
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+}  // namespace adprom::db
+
+#endif  // ADPROM_DB_VALUE_H_

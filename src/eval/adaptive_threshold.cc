@@ -1,0 +1,41 @@
+#include "eval/adaptive_threshold.h"
+
+#include <algorithm>
+
+namespace adprom::eval {
+
+AdaptiveThreshold::AdaptiveThreshold(double initial, double margin,
+                                     size_t window)
+    : threshold_(initial),
+      initial_(initial),
+      margin_(margin),
+      window_(window) {}
+
+void AdaptiveThreshold::ObserveNormal(double score) {
+  recent_.push_back(score);
+  if (recent_.size() > window_) recent_.pop_front();
+  if (score - margin_ < threshold_) {
+    // Legitimate behaviour scored near/below the threshold: widen.
+    threshold_ = score - margin_;
+  }
+}
+
+void AdaptiveThreshold::ReportFalsePositive(double score) {
+  threshold_ = std::min(threshold_, score - margin_);
+}
+
+void AdaptiveThreshold::ReportMissedAttack(double score) {
+  // Rise just above the missed attack's score, but never beyond the
+  // trained threshold's starting point.
+  threshold_ = std::min(std::max(threshold_, score + 1e-9), initial_);
+  RecomputeFromRecent();
+}
+
+void AdaptiveThreshold::RecomputeFromRecent() {
+  // Keep consistency with recently confirmed normals: never flag them.
+  for (double score : recent_) {
+    threshold_ = std::min(threshold_, score - margin_);
+  }
+}
+
+}  // namespace adprom::eval

@@ -1,0 +1,54 @@
+#ifndef ADPROM_EVAL_ADAPTIVE_THRESHOLD_H_
+#define ADPROM_EVAL_ADAPTIVE_THRESHOLD_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace adprom::eval {
+
+/// The paper's §IV-D "adaptive threshold" knob: "the security
+/// administrator can change the detector's threshold over time to reduce
+/// the false positive rate when there are legitimate changes in the
+/// program behavior". This helper tracks a sliding window of
+/// admin-confirmed normal scores and keeps the threshold a fixed margin
+/// below their running minimum; explicit admin feedback (confirmed false
+/// positive / missed attack) adjusts it immediately.
+class AdaptiveThreshold {
+ public:
+  /// `initial` — the trained profile's threshold; `margin` — the gap kept
+  /// below the lowest recently confirmed-normal score; `window` — how many
+  /// recent confirmations are remembered.
+  AdaptiveThreshold(double initial, double margin = 0.5,
+                    size_t window = 256);
+
+  double threshold() const { return threshold_; }
+
+  /// Feeds the score of a window the admin confirmed as normal. The
+  /// threshold can *drop* to accommodate legitimate drift but never rises
+  /// on normal traffic alone.
+  void ObserveNormal(double score);
+
+  /// The admin marked an alarm at `score` as a false positive: the
+  /// threshold drops below that score immediately.
+  void ReportFalsePositive(double score);
+
+  /// The admin learned an attack at `score` was missed: the threshold
+  /// rises just above that score (capped at the initial value so normal
+  /// traffic is not mass-flagged).
+  void ReportMissedAttack(double score);
+
+  size_t observed() const { return recent_.size(); }
+
+ private:
+  void RecomputeFromRecent();
+
+  double threshold_;
+  const double initial_;
+  const double margin_;
+  const size_t window_;
+  std::deque<double> recent_;
+};
+
+}  // namespace adprom::eval
+
+#endif  // ADPROM_EVAL_ADAPTIVE_THRESHOLD_H_

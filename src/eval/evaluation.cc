@@ -1,0 +1,153 @@
+#include "eval/evaluation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "hmm/inference.h"
+#include "util/rng.h"
+
+namespace adprom::eval {
+
+util::Result<std::vector<double>> ScoreWindows(
+    const core::ApplicationProfile& profile,
+    const std::vector<runtime::Trace>& windows) {
+  std::vector<double> scores;
+  scores.reserve(windows.size());
+  for (const runtime::Trace& window : windows) {
+    const hmm::ObservationSeq seq =
+        profile.Encode({window.data(), window.size()});
+    // Mirror the Detection Engine: a symbol outside the alphabet has true
+    // emission probability zero (only smoothing floors it), so the
+    // window's real P(cs|λ) is zero.
+    bool has_unknown = false;
+    for (int symbol : seq) {
+      if (symbol == profile.alphabet.unk_id()) {
+        has_unknown = true;
+        break;
+      }
+    }
+    if (has_unknown) {
+      scores.push_back(-1e9);
+      continue;
+    }
+    ADPROM_ASSIGN_OR_RETURN(double score,
+                            hmm::PerSymbolLogLikelihood(profile.model, seq));
+    scores.push_back(score);
+  }
+  return std::move(scores);
+}
+
+ConfusionMatrix Classify(const std::vector<double>& normal_scores,
+                         const std::vector<double>& anomalous_scores,
+                         double threshold) {
+  ConfusionMatrix cm;
+  for (double s : normal_scores) {
+    if (s < threshold) {
+      ++cm.fp;
+    } else {
+      ++cm.tn;
+    }
+  }
+  for (double s : anomalous_scores) {
+    if (s < threshold) {
+      ++cm.tp;
+    } else {
+      ++cm.fn;
+    }
+  }
+  return cm;
+}
+
+std::vector<RocPoint> RocSweep(const std::vector<double>& normal_scores,
+                               const std::vector<double>& anomalous_scores) {
+  std::vector<double> thresholds = normal_scores;
+  thresholds.insert(thresholds.end(), anomalous_scores.begin(),
+                    anomalous_scores.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+  // Evaluate just below the minimum, at each distinct score's epsilon
+  // neighbourhood, and above the maximum.
+  std::vector<double> points;
+  points.reserve(thresholds.size() + 2);
+  if (!thresholds.empty()) {
+    points.push_back(thresholds.front() - 1.0);
+    for (double t : thresholds) points.push_back(t + 1e-12);
+    points.push_back(thresholds.back() + 1.0);
+  }
+  std::vector<RocPoint> curve;
+  curve.reserve(points.size());
+  for (double t : points) {
+    const ConfusionMatrix cm = Classify(normal_scores, anomalous_scores, t);
+    curve.push_back({t, cm.FpRate(), cm.FnRate()});
+  }
+  return curve;
+}
+
+double FnRateAtFpBudget(const std::vector<RocPoint>& curve,
+                        double fp_budget) {
+  double best = 1.0;
+  for (const RocPoint& p : curve) {
+    if (p.fp_rate <= fp_budget) best = std::min(best, p.fn_rate);
+  }
+  return best;
+}
+
+std::vector<FoldSplit> KFoldSplits(size_t n, size_t k, uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<size_t> perm = rng.Permutation(n);
+  std::vector<FoldSplit> out(k);
+  for (size_t fold = 0; fold < k; ++fold) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i % k == fold) {
+        out[fold].test.push_back(perm[i]);
+      } else {
+        out[fold].train.push_back(perm[i]);
+      }
+    }
+  }
+  return out;
+}
+
+double SelectThreshold(const std::vector<double>& validation_normal,
+                       const std::vector<double>& validation_anomalous,
+                       const std::vector<double>& candidates) {
+  double best_threshold = candidates.empty()
+                              ? -std::numeric_limits<double>::infinity()
+                              : candidates.front();
+  double best_accuracy = -1.0;
+  double best_fp = 2.0;
+  for (double t : candidates) {
+    const ConfusionMatrix cm =
+        Classify(validation_normal, validation_anomalous, t);
+    const double acc = cm.Accuracy();
+    if (acc > best_accuracy + 1e-12 ||
+        (acc > best_accuracy - 1e-12 && cm.FpRate() < best_fp)) {
+      best_accuracy = acc;
+      best_fp = cm.FpRate();
+      best_threshold = t;
+    }
+  }
+  return best_threshold;
+}
+
+std::vector<double> QuantileCandidates(std::vector<double> normal_scores,
+                                       size_t count) {
+  std::vector<double> out;
+  if (normal_scores.empty() || count == 0) return out;
+  std::sort(normal_scores.begin(), normal_scores.end());
+  out.reserve(count + 1);
+  // Candidates below the minimum and at low quantiles of the normal score
+  // distribution (high quantiles would flag most normal traffic).
+  out.push_back(normal_scores.front() - 1.0);
+  for (size_t i = 0; i < count; ++i) {
+    const double q = 0.10 * static_cast<double>(i) /
+                     static_cast<double>(count);  // 0 .. 10th percentile
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(normal_scores.size() - 1));
+    out.push_back(normal_scores[idx] - 1e-9);
+  }
+  return out;
+}
+
+}  // namespace adprom::eval

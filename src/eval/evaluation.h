@@ -1,0 +1,63 @@
+#ifndef ADPROM_EVAL_EVALUATION_H_
+#define ADPROM_EVAL_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profile.h"
+#include "eval/metrics.h"
+#include "runtime/call_event.h"
+#include "util/status.h"
+
+namespace adprom::eval {
+
+/// Per-symbol log-likelihood scores of a batch of windows under a profile.
+util::Result<std::vector<double>> ScoreWindows(
+    const core::ApplicationProfile& profile,
+    const std::vector<runtime::Trace>& windows);
+
+/// Classifies scored windows against a threshold: a window is *flagged*
+/// when its score is below the threshold. `normal_scores` are windows whose
+/// ground truth is normal; `anomalous_scores` anomalous.
+ConfusionMatrix Classify(const std::vector<double>& normal_scores,
+                         const std::vector<double>& anomalous_scores,
+                         double threshold);
+
+/// One point of the FN-vs-FP trade-off curve (Fig. 10's axes).
+struct RocPoint {
+  double threshold = 0.0;
+  double fp_rate = 0.0;
+  double fn_rate = 0.0;
+};
+
+/// Sweeps thresholds across the observed score range (union of both
+/// batches) and returns the FP/FN trade-off. Thresholds are chosen at
+/// every distinct normal score (plus the extremes), so the curve is exact.
+std::vector<RocPoint> RocSweep(const std::vector<double>& normal_scores,
+                               const std::vector<double>& anomalous_scores);
+
+/// Interpolates the curve: the lowest achievable FN rate at a given FP
+/// budget. Returns 1.0 if the budget is unreachable.
+double FnRateAtFpBudget(const std::vector<RocPoint>& curve, double fp_budget);
+
+/// Deterministic k-fold index split of `n` items (paper: k = 10).
+struct FoldSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+std::vector<FoldSplit> KFoldSplits(size_t n, size_t k, uint64_t seed);
+
+/// Cross-validated threshold selection (paper §IV-D): evaluates each
+/// candidate threshold on validation normal/anomalous scores and returns
+/// the one maximizing accuracy; ties prefer the lower FP rate.
+double SelectThreshold(const std::vector<double>& validation_normal,
+                       const std::vector<double>& validation_anomalous,
+                       const std::vector<double>& candidates);
+
+/// Convenience candidate grid: quantiles of the validation normal scores.
+std::vector<double> QuantileCandidates(std::vector<double> normal_scores,
+                                       size_t count);
+
+}  // namespace adprom::eval
+
+#endif  // ADPROM_EVAL_EVALUATION_H_

@@ -1,0 +1,47 @@
+#include "eval/metrics.h"
+
+#include "util/strings.h"
+
+namespace adprom::eval {
+
+double ConfusionMatrix::FpRate() const {
+  const size_t den = fp + tn;
+  return den == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(den);
+}
+
+double ConfusionMatrix::FnRate() const {
+  const size_t den = fn + tp;
+  return den == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(den);
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t den = tp + fp;
+  return den == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(den);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t den = tp + fn;
+  return den == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(den);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t den = total();
+  return den == 0 ? 1.0
+                  : static_cast<double>(tp + tn) / static_cast<double>(den);
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& other) {
+  tp += other.tp;
+  tn += other.tn;
+  fp += other.fp;
+  fn += other.fn;
+  return *this;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  return util::StrFormat(
+      "TP=%zu TN=%zu FP=%zu FN=%zu | precision=%.3f recall=%.3f acc=%.4f",
+      tp, tn, fp, fn, Precision(), Recall(), Accuracy());
+}
+
+}  // namespace adprom::eval

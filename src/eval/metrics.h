@@ -1,0 +1,38 @@
+#ifndef ADPROM_EVAL_METRICS_H_
+#define ADPROM_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace adprom::eval {
+
+/// Binary-classification confusion matrix, with the paper's conventions:
+/// a correctly detected anomalous sequence is a TP; a missed one is a FN;
+/// a normal sequence flagged anomalous is a FP.
+struct ConfusionMatrix {
+  size_t tp = 0;
+  size_t tn = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+
+  size_t total() const { return tp + tn + fp + fn; }
+
+  /// FP / (FP + TN); 0 when undefined.
+  double FpRate() const;
+  /// FN / (FN + TP); 0 when undefined.
+  double FnRate() const;
+  /// TP / (TP + FP); 1 when no positives were predicted.
+  double Precision() const;
+  /// TP / (TP + FN); 1 when there were no positives.
+  double Recall() const;
+  /// (TP + TN) / total.
+  double Accuracy() const;
+
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace adprom::eval
+
+#endif  // ADPROM_EVAL_METRICS_H_

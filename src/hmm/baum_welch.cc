@@ -1,0 +1,119 @@
+#include "hmm/baum_welch.h"
+
+#include <cmath>
+
+#include "hmm/inference.h"
+
+namespace adprom::hmm {
+
+util::Result<TrainStats> BaumWelchTrain(
+    HmmModel* model, const std::vector<ObservationSeq>& sequences,
+    const TrainOptions& options) {
+  if (sequences.empty())
+    return util::Status::InvalidArgument("no training sequences");
+  for (const ObservationSeq& seq : sequences) {
+    if (seq.empty())
+      return util::Status::InvalidArgument("empty training sequence");
+  }
+
+  const size_t n = model->num_states();
+  const size_t m = model->num_symbols();
+  TrainStats stats;
+  double prev_mean_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Expected-count accumulators across all sequences.
+    util::Matrix a_num(n, n);
+    std::vector<double> a_den(n, 0.0);
+    util::Matrix b_num(n, m);
+    std::vector<double> b_den(n, 0.0);
+    std::vector<double> pi_acc(n, 0.0);
+
+    double total_ll = 0.0;
+    size_t used = 0;
+    for (const ObservationSeq& seq : sequences) {
+      ADPROM_ASSIGN_OR_RETURN(ForwardVariables fw, Forward(*model, seq));
+      if (fw.log_likelihood < -1e17) continue;  // ~zero-probability outlier
+      ADPROM_ASSIGN_OR_RETURN(util::Matrix beta,
+                              Backward(*model, seq, fw.scale));
+      total_ll += fw.log_likelihood;
+      ++used;
+      const size_t t_len = seq.size();
+
+      // gamma_t(s) ∝ alpha_t(s) * beta_t(s); with Rabiner scaling the
+      // product needs a factor scale[t] to be a proper distribution.
+      for (size_t t = 0; t < t_len; ++t) {
+        const double* alpha_t = fw.alpha.RowData(t);
+        const double* beta_t = beta.RowData(t);
+        const double scale_t = fw.scale[t];
+        for (size_t s = 0; s < n; ++s) {
+          const double gamma = alpha_t[s] * beta_t[s] * scale_t;
+          if (t == 0) pi_acc[s] += gamma;
+          b_num.At(s, seq[t]) += gamma;
+          b_den[s] += gamma;
+          if (t + 1 < t_len) a_den[s] += gamma;
+        }
+      }
+      // xi_t(s,q) = alpha_t(s) A(s,q) B(q,o_{t+1}) beta_{t+1}(q); the
+      // emission*beta factor is hoisted per (t, q).
+      std::vector<double> emit_next(n);
+      for (size_t t = 0; t + 1 < t_len; ++t) {
+        const double* alpha_t = fw.alpha.RowData(t);
+        const double* beta_next = beta.RowData(t + 1);
+        for (size_t q = 0; q < n; ++q) {
+          emit_next[q] = model->b().At(q, seq[t + 1]) * beta_next[q];
+        }
+        for (size_t s = 0; s < n; ++s) {
+          const double alpha_ts = alpha_t[s];
+          if (alpha_ts == 0.0) continue;
+          const double* a_row = model->a().RowData(s);
+          double* out_row = a_num.RowData(s);
+          for (size_t q = 0; q < n; ++q) {
+            out_row[q] += alpha_ts * a_row[q] * emit_next[q];
+          }
+        }
+      }
+    }
+
+    if (used == 0) {
+      return util::Status::FailedPrecondition(
+          "model assigns zero probability to every training sequence");
+    }
+
+    // Re-estimate with a smoothing floor.
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t q = 0; q < n; ++q) {
+        model->mutable_a().At(s, q) =
+            a_den[s] > 0.0 ? a_num.At(s, q) / a_den[s] : model->a().At(s, q);
+      }
+      for (size_t o = 0; o < m; ++o) {
+        model->mutable_b().At(s, o) =
+            b_den[s] > 0.0 ? b_num.At(s, o) / b_den[s] : model->b().At(s, o);
+      }
+    }
+    double pi_total = 0.0;
+    for (double v : pi_acc) pi_total += v;
+    if (pi_total > 0.0) {
+      for (size_t s = 0; s < n; ++s)
+        model->mutable_pi()[s] = pi_acc[s] / pi_total;
+    }
+    if (options.smoothing > 0.0) model->Smooth(options.smoothing);
+
+    const double mean_ll = total_ll / static_cast<double>(used);
+    stats.log_likelihood_curve.push_back(mean_ll);
+    stats.iterations = iter + 1;
+
+    if (options.keep_going && !options.keep_going(iter, *model)) {
+      stats.stopped_by_callback = true;
+      break;
+    }
+    if (iter > 0 && mean_ll - prev_mean_ll < options.tolerance) {
+      stats.converged = true;
+      break;
+    }
+    prev_mean_ll = mean_ll;
+  }
+  return std::move(stats);
+}
+
+}  // namespace adprom::hmm

@@ -1,0 +1,49 @@
+#ifndef ADPROM_HMM_BAUM_WELCH_H_
+#define ADPROM_HMM_BAUM_WELCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "hmm/hmm_model.h"
+#include "util/status.h"
+
+namespace adprom::hmm {
+
+/// Options for Baum-Welch training.
+struct TrainOptions {
+  int max_iterations = 50;
+  /// Stop when the mean per-sequence log-likelihood improves by less than
+  /// this amount between iterations.
+  double tolerance = 1e-4;
+  /// Probability floor applied after each re-estimation so no parameter
+  /// collapses to exactly zero.
+  double smoothing = 1e-9;
+  /// Optional early-stopping hook, called after every iteration with the
+  /// iteration index. Returning false stops training. The paper's
+  /// "converge sub-dataset" (CSDS) early stopping plugs in here: the
+  /// Profile Constructor scores a held-out fifth of the normal data and
+  /// halts once the held-out score stops improving.
+  std::function<bool(int iteration, const HmmModel& model)> keep_going;
+};
+
+/// Summary of a training run.
+struct TrainStats {
+  int iterations = 0;
+  /// Mean per-sequence training log-likelihood after each iteration.
+  std::vector<double> log_likelihood_curve;
+  bool converged = false;
+  bool stopped_by_callback = false;
+};
+
+/// Multi-sequence Baum-Welch (EM) re-estimation with Rabiner scaling.
+/// Trains `model` in place on `sequences`. Sequences the current model
+/// assigns ~zero probability are skipped for that iteration (they would
+/// otherwise poison the expected counts). Fails when `sequences` is empty
+/// or a symbol is out of range.
+util::Result<TrainStats> BaumWelchTrain(
+    HmmModel* model, const std::vector<ObservationSeq>& sequences,
+    const TrainOptions& options = TrainOptions());
+
+}  // namespace adprom::hmm
+
+#endif  // ADPROM_HMM_BAUM_WELCH_H_

@@ -1,0 +1,90 @@
+#include "hmm/hmm_model.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace adprom::hmm {
+
+namespace {
+
+std::vector<double> RandomDistribution(size_t n, util::Rng& rng) {
+  std::vector<double> out(n);
+  double total = 0.0;
+  for (double& v : out) {
+    v = 0.1 + rng.UniformDouble();  // Bounded away from zero.
+    total += v;
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace
+
+HmmModel HmmModel::Random(size_t num_states, size_t num_symbols,
+                          util::Rng& rng) {
+  HmmModel model;
+  model.a_ = util::Matrix(num_states, num_states);
+  model.b_ = util::Matrix(num_states, num_symbols);
+  for (size_t s = 0; s < num_states; ++s) {
+    const std::vector<double> a_row = RandomDistribution(num_states, rng);
+    for (size_t t = 0; t < num_states; ++t) model.a_.At(s, t) = a_row[t];
+    const std::vector<double> b_row = RandomDistribution(num_symbols, rng);
+    for (size_t m = 0; m < num_symbols; ++m) model.b_.At(s, m) = b_row[m];
+  }
+  model.pi_ = RandomDistribution(num_states, rng);
+  return model;
+}
+
+HmmModel::HmmModel(util::Matrix a, util::Matrix b, std::vector<double> pi)
+    : a_(std::move(a)), b_(std::move(b)), pi_(std::move(pi)) {}
+
+util::Status HmmModel::Validate(double tolerance) const {
+  const size_t n = num_states();
+  if (a_.cols() != n)
+    return util::Status::InvalidArgument("A must be square");
+  if (b_.rows() != n)
+    return util::Status::InvalidArgument("B must have N rows");
+  if (pi_.size() != n)
+    return util::Status::InvalidArgument("pi must have N entries");
+
+  auto check_row = [&](const char* what, const double* row,
+                       size_t len) -> util::Status {
+    double sum = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      if (row[i] < -tolerance) {
+        return util::Status::FailedPrecondition(
+            util::StrFormat("%s has a negative entry: %g", what, row[i]));
+      }
+      sum += row[i];
+    }
+    if (std::fabs(sum - 1.0) > tolerance) {
+      return util::Status::FailedPrecondition(
+          util::StrFormat("%s row sums to %g, expected 1", what, sum));
+    }
+    return util::Status::Ok();
+  };
+
+  for (size_t s = 0; s < n; ++s) {
+    ADPROM_RETURN_IF_ERROR(check_row("A", a_.RowData(s), n));
+    ADPROM_RETURN_IF_ERROR(check_row("B", b_.RowData(s), num_symbols()));
+  }
+  return check_row("pi", pi_.data(), n);
+}
+
+void HmmModel::Smooth(double epsilon) {
+  for (size_t s = 0; s < num_states(); ++s) {
+    for (size_t t = 0; t < num_states(); ++t) a_.At(s, t) += epsilon;
+    for (size_t m = 0; m < num_symbols(); ++m) b_.At(s, m) += epsilon;
+  }
+  a_.NormalizeRows();
+  b_.NormalizeRows();
+  double total = 0.0;
+  for (double& v : pi_) {
+    v += epsilon;
+    total += v;
+  }
+  for (double& v : pi_) v /= total;
+}
+
+}  // namespace adprom::hmm

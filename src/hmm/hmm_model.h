@@ -1,0 +1,63 @@
+#ifndef ADPROM_HMM_HMM_MODEL_H_
+#define ADPROM_HMM_HMM_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adprom::hmm {
+
+/// An observation sequence: symbol ids in [0, num_symbols).
+using ObservationSeq = std::vector<int>;
+
+/// A discrete-observation hidden Markov model λ = (A, B, π):
+///   A — N x N state-transition probabilities,
+///   B — N x M emission probabilities,
+///   π — initial state distribution.
+/// This is the from-scratch replacement for the Jahmm library the paper's
+/// Profile Constructor and Detection Engine rely on.
+class HmmModel {
+ public:
+  HmmModel() = default;
+
+  /// Uniform-ish random initialization (the Rand-HMM baseline, Guevara et
+  /// al. style): each row of A/B and π drawn from a symmetric Dirichlet.
+  static HmmModel Random(size_t num_states, size_t num_symbols,
+                         util::Rng& rng);
+
+  /// Constructs from explicit parameters; call Validate() afterwards.
+  HmmModel(util::Matrix a, util::Matrix b, std::vector<double> pi);
+
+  size_t num_states() const { return a_.rows(); }
+  size_t num_symbols() const { return b_.cols(); }
+
+  const util::Matrix& a() const { return a_; }
+  const util::Matrix& b() const { return b_; }
+  const std::vector<double>& pi() const { return pi_; }
+
+  util::Matrix& mutable_a() { return a_; }
+  util::Matrix& mutable_b() { return b_; }
+  std::vector<double>& mutable_pi() { return pi_; }
+
+  /// Checks stochasticity: every row of A and B and π sums to 1 (within
+  /// tolerance) and all entries are non-negative.
+  util::Status Validate(double tolerance = 1e-6) const;
+
+  /// Adds `epsilon` to every A/B/π entry and renormalizes. Keeps
+  /// statically-infeasible transitions merely *unlikely* instead of
+  /// impossible, so Baum-Welch can still adjust them and detection never
+  /// hits hard zeros.
+  void Smooth(double epsilon);
+
+ private:
+  util::Matrix a_;
+  util::Matrix b_;
+  std::vector<double> pi_;
+};
+
+}  // namespace adprom::hmm
+
+#endif  // ADPROM_HMM_HMM_MODEL_H_

@@ -1,0 +1,162 @@
+#include "hmm/inference.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace adprom::hmm {
+
+namespace {
+
+constexpr double kScaleFloor = 1e-300;
+
+util::Status CheckSequence(const HmmModel& model,
+                           const ObservationSeq& seq) {
+  if (seq.empty())
+    return util::Status::InvalidArgument("empty observation sequence");
+  for (int symbol : seq) {
+    if (symbol < 0 || static_cast<size_t>(symbol) >= model.num_symbols()) {
+      return util::Status::OutOfRange(util::StrFormat(
+          "symbol %d out of range [0, %zu)", symbol, model.num_symbols()));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<ForwardVariables> Forward(const HmmModel& model,
+                                       const ObservationSeq& seq) {
+  ADPROM_RETURN_IF_ERROR(CheckSequence(model, seq));
+  const size_t n = model.num_states();
+  const size_t t_len = seq.size();
+
+  ForwardVariables fw;
+  fw.alpha = util::Matrix(t_len, n);
+  fw.scale.assign(t_len, 0.0);
+
+  // t = 0.
+  double total = 0.0;
+  for (size_t s = 0; s < n; ++s) {
+    const double v = model.pi()[s] * model.b().At(s, seq[0]);
+    fw.alpha.At(0, s) = v;
+    total += v;
+  }
+  total = std::max(total, kScaleFloor);
+  fw.scale[0] = total;
+  for (size_t s = 0; s < n; ++s) fw.alpha.At(0, s) /= total;
+
+  // t > 0. Raw-pointer loops: this is the library's hottest path (called
+  // once per window per Baum-Welch iteration and per detection score).
+  for (size_t t = 1; t < t_len; ++t) {
+    total = 0.0;
+    const double* prev = fw.alpha.RowData(t - 1);
+    double* cur = fw.alpha.RowData(t);
+    for (size_t s = 0; s < n; ++s) cur[s] = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      const double alpha_p = prev[p];
+      if (alpha_p == 0.0) continue;
+      const double* a_row = model.a().RowData(p);
+      for (size_t s = 0; s < n; ++s) cur[s] += alpha_p * a_row[s];
+    }
+    for (size_t s = 0; s < n; ++s) {
+      cur[s] *= model.b().At(s, seq[t]);
+      total += cur[s];
+    }
+    total = std::max(total, kScaleFloor);
+    fw.scale[t] = total;
+    for (size_t s = 0; s < n; ++s) cur[s] /= total;
+  }
+
+  fw.log_likelihood = 0.0;
+  for (double c : fw.scale) fw.log_likelihood += std::log(c);
+  return std::move(fw);
+}
+
+util::Result<double> LogLikelihood(const HmmModel& model,
+                                   const ObservationSeq& seq) {
+  ADPROM_ASSIGN_OR_RETURN(ForwardVariables fw, Forward(model, seq));
+  return fw.log_likelihood;
+}
+
+util::Result<double> PerSymbolLogLikelihood(const HmmModel& model,
+                                            const ObservationSeq& seq) {
+  ADPROM_ASSIGN_OR_RETURN(ForwardVariables fw, Forward(model, seq));
+  return fw.log_likelihood / static_cast<double>(seq.size());
+}
+
+util::Result<util::Matrix> Backward(const HmmModel& model,
+                                    const ObservationSeq& seq,
+                                    const std::vector<double>& scale) {
+  ADPROM_RETURN_IF_ERROR(CheckSequence(model, seq));
+  if (scale.size() != seq.size())
+    return util::Status::InvalidArgument("scale size mismatch");
+  const size_t n = model.num_states();
+  const size_t t_len = seq.size();
+
+  util::Matrix beta(t_len, n);
+  for (size_t s = 0; s < n; ++s)
+    beta.At(t_len - 1, s) = 1.0 / scale[t_len - 1];
+  std::vector<double> emit_next(n);
+  for (size_t t = t_len - 1; t-- > 0;) {
+    const double* next = beta.RowData(t + 1);
+    double* cur = beta.RowData(t);
+    for (size_t q = 0; q < n; ++q)
+      emit_next[q] = model.b().At(q, seq[t + 1]) * next[q];
+    for (size_t s = 0; s < n; ++s) {
+      const double* a_row = model.a().RowData(s);
+      double acc = 0.0;
+      for (size_t q = 0; q < n; ++q) acc += a_row[q] * emit_next[q];
+      cur[s] = acc / scale[t];
+    }
+  }
+  return std::move(beta);
+}
+
+util::Result<std::vector<size_t>> Viterbi(const HmmModel& model,
+                                          const ObservationSeq& seq) {
+  ADPROM_RETURN_IF_ERROR(CheckSequence(model, seq));
+  const size_t n = model.num_states();
+  const size_t t_len = seq.size();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  auto safe_log = [](double v) {
+    return v > 0.0 ? std::log(v) : -1e18;
+  };
+
+  util::Matrix delta(t_len, n, kNegInf);
+  std::vector<std::vector<size_t>> psi(t_len, std::vector<size_t>(n, 0));
+  for (size_t s = 0; s < n; ++s) {
+    delta.At(0, s) =
+        safe_log(model.pi()[s]) + safe_log(model.b().At(s, seq[0]));
+  }
+  for (size_t t = 1; t < t_len; ++t) {
+    for (size_t s = 0; s < n; ++s) {
+      double best = kNegInf;
+      size_t best_prev = 0;
+      for (size_t p = 0; p < n; ++p) {
+        const double v = delta.At(t - 1, p) + safe_log(model.a().At(p, s));
+        if (v > best) {
+          best = v;
+          best_prev = p;
+        }
+      }
+      delta.At(t, s) = best + safe_log(model.b().At(s, seq[t]));
+      psi[t][s] = best_prev;
+    }
+  }
+
+  std::vector<size_t> path(t_len, 0);
+  double best = kNegInf;
+  for (size_t s = 0; s < n; ++s) {
+    if (delta.At(t_len - 1, s) > best) {
+      best = delta.At(t_len - 1, s);
+      path[t_len - 1] = s;
+    }
+  }
+  for (size_t t = t_len - 1; t-- > 0;) path[t] = psi[t + 1][path[t + 1]];
+  return std::move(path);
+}
+
+}  // namespace adprom::hmm

@@ -1,0 +1,48 @@
+#ifndef ADPROM_HMM_INFERENCE_H_
+#define ADPROM_HMM_INFERENCE_H_
+
+#include <vector>
+
+#include "hmm/hmm_model.h"
+#include "util/status.h"
+
+namespace adprom::hmm {
+
+/// Scaled forward-pass variables: alpha_hat (T x N, each row normalized)
+/// and the per-step scaling factors c_t with log P(O|λ) = -Σ log c_t⁻¹,
+/// kept so the backward pass and Baum-Welch can reuse them.
+struct ForwardVariables {
+  util::Matrix alpha;            // T x N, scaled
+  std::vector<double> scale;     // T entries, each >= some tiny floor
+  double log_likelihood = 0.0;   // log P(O | λ)
+};
+
+/// Runs the numerically-scaled forward algorithm (Rabiner's method). Fails
+/// on an empty sequence or an out-of-range symbol. Sequences the model
+/// assigns (near-)zero probability get a floored scale and a very negative
+/// log-likelihood instead of NaN.
+util::Result<ForwardVariables> Forward(const HmmModel& model,
+                                       const ObservationSeq& seq);
+
+/// The paper's *evaluation problem*: log P(O | λ).
+util::Result<double> LogLikelihood(const HmmModel& model,
+                                   const ObservationSeq& seq);
+
+/// Length-normalized score used by the Detection Engine so windows of
+/// different lengths are comparable: log P(O|λ) / |O|.
+util::Result<double> PerSymbolLogLikelihood(const HmmModel& model,
+                                            const ObservationSeq& seq);
+
+/// Scaled backward pass (beta, scaled with the forward's factors).
+util::Result<util::Matrix> Backward(const HmmModel& model,
+                                    const ObservationSeq& seq,
+                                    const std::vector<double>& scale);
+
+/// The paper's *decoding problem*: most likely hidden-state sequence
+/// (Viterbi, in log space).
+util::Result<std::vector<size_t>> Viterbi(const HmmModel& model,
+                                          const ObservationSeq& seq);
+
+}  // namespace adprom::hmm
+
+#endif  // ADPROM_HMM_INFERENCE_H_

@@ -1,0 +1,134 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace adprom::ml {
+
+namespace {
+
+double SquaredDistance(const util::Matrix& data, size_t row,
+                       const util::Matrix& centroids, size_t c) {
+  double d2 = 0.0;
+  const double* a = data.RowData(row);
+  const double* b = centroids.RowData(c);
+  for (size_t i = 0; i < data.cols(); ++i) {
+    const double diff = a[i] - b[i];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+/// k-means++ seeding: first centroid uniform, each next proportional to
+/// squared distance from the nearest already-chosen centroid.
+util::Matrix SeedPlusPlus(const util::Matrix& data, size_t k,
+                          util::Rng& rng) {
+  const size_t n = data.rows();
+  util::Matrix centroids(k, data.cols());
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+
+  size_t first = rng.UniformU64(n);
+  for (size_t c = 0; c < data.cols(); ++c)
+    centroids.At(0, c) = data.At(first, c);
+
+  for (size_t j = 1; j < k; ++j) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d2 = SquaredDistance(data, i, centroids, j - 1);
+      min_d2[i] = std::min(min_d2[i], d2);
+      total += min_d2[i];
+    }
+    size_t chosen;
+    if (total <= 0.0) {
+      chosen = rng.UniformU64(n);  // All points coincide with a centroid.
+    } else {
+      chosen = rng.WeightedIndex(min_d2);
+    }
+    for (size_t c = 0; c < data.cols(); ++c)
+      centroids.At(j, c) = data.At(chosen, c);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+util::Result<KMeansResult> KMeansCluster(const util::Matrix& data, size_t k,
+                                         util::Rng& rng,
+                                         const KMeansOptions& options) {
+  const size_t n = data.rows();
+  if (k == 0) return util::Status::InvalidArgument("k must be positive");
+  if (k > n) {
+    return util::Status::InvalidArgument(
+        "k exceeds the number of samples");
+  }
+
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(data, k, rng);
+  result.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d2 = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < k; ++c) {
+        const double d2 = SquaredDistance(data, i, result.centroids, c);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    util::Matrix next(k, data.cols());
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = result.assignment[i];
+      ++counts[c];
+      for (size_t d = 0; d < data.cols(); ++d)
+        next.At(c, d) += data.At(i, d);
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the sample farthest from its
+        // current centroid.
+        size_t far = 0;
+        double far_d2 = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double d2 = SquaredDistance(data, i, result.centroids,
+                                            result.assignment[i]);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            far = i;
+          }
+        }
+        for (size_t d = 0; d < data.cols(); ++d)
+          next.At(c, d) = data.At(far, d);
+        continue;
+      }
+      for (size_t d = 0; d < data.cols(); ++d)
+        next.At(c, d) /= static_cast<double>(counts[c]);
+    }
+
+    const double shift = next.MaxAbsDiff(result.centroids);
+    result.centroids = std::move(next);
+    if (!changed || shift < options.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        SquaredDistance(data, i, result.centroids, result.assignment[i]);
+  }
+  return std::move(result);
+}
+
+}  // namespace adprom::ml

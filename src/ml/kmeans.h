@@ -1,0 +1,37 @@
+#ifndef ADPROM_ML_KMEANS_H_
+#define ADPROM_ML_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adprom::ml {
+
+/// Output of k-means: per-sample cluster assignment plus the centroids.
+struct KMeansResult {
+  std::vector<size_t> assignment;  // one entry per sample, in [0, k)
+  util::Matrix centroids;          // k x dims
+  double inertia = 0.0;            // sum of squared distances to centroid
+  int iterations = 0;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Convergence: stop when no assignment changes, or the centroid shift
+  /// falls below this threshold.
+  double tolerance = 1e-8;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. `data` rows are samples.
+/// Requires 1 <= k <= #samples. Deterministic given `rng`'s seed. Empty
+/// clusters are re-seeded with the sample farthest from its centroid.
+util::Result<KMeansResult> KMeansCluster(
+    const util::Matrix& data, size_t k, util::Rng& rng,
+    const KMeansOptions& options = KMeansOptions());
+
+}  // namespace adprom::ml
+
+#endif  // ADPROM_ML_KMEANS_H_

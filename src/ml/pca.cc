@@ -1,0 +1,180 @@
+#include "ml/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace adprom::ml {
+
+util::Status JacobiEigenSymmetric(const util::Matrix& m,
+                                  std::vector<double>* eigenvalues,
+                                  util::Matrix* eigenvectors,
+                                  int max_sweeps) {
+  const size_t n = m.rows();
+  if (m.cols() != n)
+    return util::Status::InvalidArgument("matrix must be square");
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(m.At(i, j) - m.At(j, i)) > 1e-9) {
+        return util::Status::InvalidArgument("matrix must be symmetric");
+      }
+    }
+  }
+
+  util::Matrix a = m;
+  util::Matrix v = util::Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i + 1; j < n; ++j) off += a.At(i, j) * a.At(i, j);
+    if (off < 1e-20) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) < 1e-15) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = a.At(i, i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t x, size_t y) { return diag[x] > diag[y]; });
+
+  eigenvalues->resize(n);
+  *eigenvectors = util::Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    (*eigenvalues)[c] = diag[order[c]];
+    for (size_t r = 0; r < n; ++r)
+      eigenvectors->At(r, c) = v.At(r, order[c]);
+  }
+  return util::Status::Ok();
+}
+
+std::vector<double> PcaModel::Project(
+    const std::vector<double>& sample) const {
+  ADPROM_CHECK_EQ(sample.size(), mean.size());
+  std::vector<double> out(components.cols(), 0.0);
+  for (size_t c = 0; c < components.cols(); ++c) {
+    double dot = 0.0;
+    for (size_t d = 0; d < sample.size(); ++d)
+      dot += (sample[d] - mean[d]) * components.At(d, c);
+    out[c] = dot;
+  }
+  return out;
+}
+
+util::Matrix PcaModel::ProjectAll(const util::Matrix& data) const {
+  util::Matrix out(data.rows(), components.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const std::vector<double> proj = Project(data.Row(r));
+    for (size_t c = 0; c < proj.size(); ++c) out.At(r, c) = proj[c];
+  }
+  return out;
+}
+
+util::Result<PcaModel> FitPca(const util::Matrix& data,
+                              const PcaOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n < 2) return util::Status::InvalidArgument("need at least 2 samples");
+  if (d == 0) return util::Status::InvalidArgument("need at least 1 feature");
+  if (options.target_variance <= 0.0 || options.target_variance > 1.0) {
+    return util::Status::InvalidArgument(
+        "target_variance must be in (0, 1]");
+  }
+
+  PcaModel model;
+  model.mean.assign(d, 0.0);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < d; ++c) model.mean[c] += data.At(r, c);
+  for (double& m : model.mean) m /= static_cast<double>(n);
+
+  util::Matrix cov(d, d);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < d; ++i) {
+      const double di = data.At(r, i) - model.mean[i];
+      if (di == 0.0) continue;
+      for (size_t j = i; j < d; ++j) {
+        cov.At(i, j) += di * (data.At(r, j) - model.mean[j]);
+      }
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov.At(i, j) /= static_cast<double>(n - 1);
+      cov.At(j, i) = cov.At(i, j);
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  util::Matrix eigenvectors;
+  ADPROM_RETURN_IF_ERROR(
+      JacobiEigenSymmetric(cov, &eigenvalues, &eigenvectors));
+
+  double total = 0.0;
+  for (double v : eigenvalues) total += std::max(v, 0.0);
+  size_t keep = 0;
+  double captured = 0.0;
+  if (total <= 0.0) {
+    keep = 1;  // Degenerate (all-identical samples): keep one axis.
+    captured = 0.0;
+  } else {
+    for (size_t i = 0; i < eigenvalues.size(); ++i) {
+      captured += std::max(eigenvalues[i], 0.0);
+      keep = i + 1;
+      if (captured / total >= options.target_variance) break;
+      if (options.max_components > 0 && keep >= options.max_components)
+        break;
+    }
+  }
+  if (options.max_components > 0) {
+    keep = std::min(keep, options.max_components);
+  }
+
+  model.eigenvalues.assign(eigenvalues.begin(),
+                           eigenvalues.begin() + static_cast<long>(keep));
+  model.components = util::Matrix(d, keep);
+  for (size_t c = 0; c < keep; ++c)
+    for (size_t r = 0; r < d; ++r)
+      model.components.At(r, c) = eigenvectors.At(r, c);
+  double kept_var = 0.0;
+  for (double v : model.eigenvalues) kept_var += std::max(v, 0.0);
+  model.explained_variance = total > 0.0 ? kept_var / total : 1.0;
+  return std::move(model);
+}
+
+}  // namespace adprom::ml

@@ -1,0 +1,53 @@
+#ifndef ADPROM_ML_PCA_H_
+#define ADPROM_ML_PCA_H_
+
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace adprom::ml {
+
+/// Result of fitting PCA: the mean vector, the eigenvalues (descending)
+/// and the principal axes (one column per retained component).
+struct PcaModel {
+  std::vector<double> mean;
+  std::vector<double> eigenvalues;   // descending, retained components only
+  util::Matrix components;           // dims x retained (column = axis)
+  double explained_variance = 0.0;   // fraction captured by the retained set
+
+  /// Projects a single sample into the retained subspace.
+  std::vector<double> Project(const std::vector<double>& sample) const;
+
+  /// Projects every row of `data`.
+  util::Matrix ProjectAll(const util::Matrix& data) const;
+};
+
+/// Options for FitPca. Exactly one of the two criteria bounds the retained
+/// dimensionality; the tighter one wins when both are set.
+struct PcaOptions {
+  /// Keep the smallest number of components whose cumulative explained
+  /// variance reaches this fraction (0 < v <= 1).
+  double target_variance = 0.95;
+  /// Hard cap on the number of retained components (0 = no cap).
+  size_t max_components = 0;
+};
+
+/// Fits PCA on `data` (rows = samples, cols = features) using the
+/// covariance matrix and a cyclic Jacobi eigensolver — adequate for the
+/// small, sparse call-transition-vector matrices this library reduces.
+/// Fails when data has fewer than 2 rows or zero columns.
+util::Result<PcaModel> FitPca(const util::Matrix& data,
+                              const PcaOptions& options = PcaOptions());
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi method.
+/// Outputs eigenvalues (descending) and matching unit eigenvectors as
+/// columns of `eigenvectors`. Fails if `m` is not square/symmetric.
+util::Status JacobiEigenSymmetric(const util::Matrix& m,
+                                  std::vector<double>* eigenvalues,
+                                  util::Matrix* eigenvectors,
+                                  int max_sweeps = 64);
+
+}  // namespace adprom::ml
+
+#endif  // ADPROM_ML_PCA_H_

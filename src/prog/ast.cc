@@ -1,0 +1,186 @@
+#include "prog/ast.h"
+
+namespace adprom::prog {
+
+std::unique_ptr<Expr> Expr::IntLit(int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLit;
+  e->int_value = v;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::RealLit(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kRealLit;
+  e->real_value = v;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::StrLit(std::string v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStrLit;
+  e->str_value = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinOp op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnOp op, std::unique_ptr<Expr> inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->lhs = std::move(inner);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Call(std::string callee,
+                                 std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->name = std::move(callee);
+  e->args = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Stmt> Stmt::VarDecl(std::string name,
+                                    std::unique_ptr<Expr> value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kVarDecl;
+  s->target = std::move(name);
+  s->expr = std::move(value);
+  return s;
+}
+
+std::unique_ptr<Stmt> Stmt::Assign(std::string name,
+                                   std::unique_ptr<Expr> value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kAssign;
+  s->target = std::move(name);
+  s->expr = std::move(value);
+  return s;
+}
+
+std::unique_ptr<Stmt> Stmt::If(std::unique_ptr<Expr> cond, StmtList then_b,
+                               StmtList else_b) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kIf;
+  s->expr = std::move(cond);
+  s->then_body = std::move(then_b);
+  s->else_body = std::move(else_b);
+  return s;
+}
+
+std::unique_ptr<Stmt> Stmt::While(std::unique_ptr<Expr> cond, StmtList body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kWhile;
+  s->expr = std::move(cond);
+  s->then_body = std::move(body);
+  return s;
+}
+
+std::unique_ptr<Stmt> Stmt::Return(std::unique_ptr<Expr> value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kReturn;
+  s->expr = std::move(value);
+  return s;
+}
+
+std::unique_ptr<Stmt> Stmt::ExprStmt(std::unique_ptr<Expr> e) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kExpr;
+  s->expr = std::move(e);
+  return s;
+}
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+void CollectCalls(const Expr& e, std::vector<const Expr*>* out) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+    case ExprKind::kRealLit:
+    case ExprKind::kStrLit:
+    case ExprKind::kVar:
+      return;
+    case ExprKind::kBinary:
+      CollectCalls(*e.lhs, out);
+      CollectCalls(*e.rhs, out);
+      return;
+    case ExprKind::kUnary:
+      CollectCalls(*e.lhs, out);
+      return;
+    case ExprKind::kCall:
+      for (const auto& arg : e.args) CollectCalls(*arg, out);
+      out->push_back(&e);
+      return;
+  }
+}
+
+std::unique_ptr<Expr> CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->int_value = e.int_value;
+  out->real_value = e.real_value;
+  out->str_value = e.str_value;
+  out->name = e.name;
+  out->bin_op = e.bin_op;
+  out->un_op = e.un_op;
+  out->call_site_id = e.call_site_id;
+  out->line = e.line;
+  if (e.lhs != nullptr) out->lhs = CloneExpr(*e.lhs);
+  if (e.rhs != nullptr) out->rhs = CloneExpr(*e.rhs);
+  out->args.reserve(e.args.size());
+  for (const auto& arg : e.args) out->args.push_back(CloneExpr(*arg));
+  return out;
+}
+
+std::unique_ptr<Stmt> CloneStmt(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s.kind;
+  out->target = s.target;
+  out->line = s.line;
+  if (s.expr != nullptr) out->expr = CloneExpr(*s.expr);
+  out->then_body = CloneBody(s.then_body);
+  out->else_body = CloneBody(s.else_body);
+  return out;
+}
+
+StmtList CloneBody(const StmtList& body) {
+  StmtList out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(CloneStmt(*s));
+  return out;
+}
+
+}  // namespace adprom::prog

@@ -1,0 +1,121 @@
+#ifndef ADPROM_PROG_AST_H_
+#define ADPROM_PROG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adprom::prog {
+
+/// The MiniApp language is the application-program substrate this library
+/// analyzes and monitors. It is a small dynamically-typed imperative
+/// language shaped like the C client programs in the paper: functions,
+/// branches, loops, string concatenation for (unsafely) building SQL, and
+/// calls to "library functions" (print, db_query, ...) or user functions.
+/// The static analyzer consumes its CFG exactly as the paper's analyzer
+/// consumes Dyninst CFGs.
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNot, kNeg };
+
+enum class ExprKind {
+  kIntLit,
+  kRealLit,
+  kStrLit,
+  kVar,
+  kBinary,
+  kUnary,
+  kCall,
+};
+
+/// Expression tree node. Call expressions carry a program-unique
+/// `call_site_id` assigned by the parser; the CFG builder maps each site to
+/// the basic-block id the call is issued from, which is the `[bid]` in the
+/// paper's `printf_Q[bid]` labels.
+struct Expr {
+  ExprKind kind;
+
+  int64_t int_value = 0;       // kIntLit
+  double real_value = 0.0;     // kRealLit
+  std::string str_value;       // kStrLit
+  std::string name;            // kVar / kCall (callee name)
+  BinOp bin_op = BinOp::kAdd;  // kBinary
+  UnOp un_op = UnOp::kNot;     // kUnary
+  std::unique_ptr<Expr> lhs;   // kBinary / kUnary (operand)
+  std::unique_ptr<Expr> rhs;   // kBinary
+  std::vector<std::unique_ptr<Expr>> args;  // kCall
+  int call_site_id = -1;       // kCall: unique within the Program
+  int line = 0;                // source line, for diagnostics
+
+  static std::unique_ptr<Expr> IntLit(int64_t v);
+  static std::unique_ptr<Expr> RealLit(double v);
+  static std::unique_ptr<Expr> StrLit(std::string v);
+  static std::unique_ptr<Expr> Var(std::string name);
+  static std::unique_ptr<Expr> Binary(BinOp op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Unary(UnOp op, std::unique_ptr<Expr> e);
+  static std::unique_ptr<Expr> Call(std::string callee,
+                                    std::vector<std::unique_ptr<Expr>> args);
+};
+
+enum class StmtKind {
+  kVarDecl,   // var x = expr;
+  kAssign,    // x = expr;
+  kIf,        // if (cond) {..} [else {..}]
+  kWhile,     // while (cond) {..}
+  kReturn,    // return [expr];
+  kExpr,      // expr;  (usually a call)
+};
+
+struct Stmt;
+using StmtList = std::vector<std::unique_ptr<Stmt>>;
+
+/// Statement node.
+struct Stmt {
+  StmtKind kind;
+
+  std::string target;          // kVarDecl / kAssign: variable name
+  std::unique_ptr<Expr> expr;  // value / condition / return value (nullable)
+  StmtList then_body;          // kIf then / kWhile body
+  StmtList else_body;          // kIf else
+  int line = 0;
+
+  static std::unique_ptr<Stmt> VarDecl(std::string name,
+                                       std::unique_ptr<Expr> value);
+  static std::unique_ptr<Stmt> Assign(std::string name,
+                                      std::unique_ptr<Expr> value);
+  static std::unique_ptr<Stmt> If(std::unique_ptr<Expr> cond, StmtList then_b,
+                                  StmtList else_b);
+  static std::unique_ptr<Stmt> While(std::unique_ptr<Expr> cond,
+                                     StmtList body);
+  static std::unique_ptr<Stmt> Return(std::unique_ptr<Expr> value);
+  static std::unique_ptr<Stmt> ExprStmt(std::unique_ptr<Expr> e);
+};
+
+/// A function definition.
+struct FunctionDef {
+  std::string name;
+  std::vector<std::string> params;
+  StmtList body;
+};
+
+const char* BinOpName(BinOp op);
+
+/// Collects pointers to every call expression inside `e` in evaluation
+/// order (post-order, arguments left-to-right, then the call itself).
+void CollectCalls(const Expr& e, std::vector<const Expr*>* out);
+
+/// Deep copy helpers (used by the attack mutators to derive malicious
+/// program variants from a benign AST).
+std::unique_ptr<Expr> CloneExpr(const Expr& e);
+std::unique_ptr<Stmt> CloneStmt(const Stmt& s);
+StmtList CloneBody(const StmtList& body);
+
+}  // namespace adprom::prog
+
+#endif  // ADPROM_PROG_AST_H_

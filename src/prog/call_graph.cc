@@ -1,0 +1,71 @@
+#include "prog/call_graph.h"
+
+#include <functional>
+
+namespace adprom::prog {
+
+namespace {
+
+void CollectBodyCalls(const StmtList& body,
+                      std::vector<const Expr*>* calls) {
+  for (const auto& stmt : body) {
+    if (stmt->expr != nullptr) CollectCalls(*stmt->expr, calls);
+    CollectBodyCalls(stmt->then_body, calls);
+    CollectBodyCalls(stmt->else_body, calls);
+  }
+}
+
+}  // namespace
+
+util::Result<CallGraph> CallGraph::Build(const Program& program) {
+  if (!program.finalized()) {
+    return util::Status::FailedPrecondition(
+        "program must be finalized before call-graph construction");
+  }
+  CallGraph cg;
+  for (const FunctionDef& fn : program.functions()) {
+    cg.edges_[fn.name];  // Ensure every function is a vertex.
+    std::vector<const Expr*> calls;
+    CollectBodyCalls(fn.body, &calls);
+    for (const Expr* call : calls) {
+      if (program.IsUserFunction(call->name)) {
+        cg.edges_[fn.name].insert(call->name);
+      }
+    }
+  }
+
+  // Iterative post-order DFS with cycle detection (colors: 0 white,
+  // 1 on-stack, 2 done). Post-order of callees-first yields the reverse
+  // topological order the aggregator needs.
+  std::map<std::string, int> color;
+  std::function<void(const std::string&)> dfs =
+      [&](const std::string& name) {
+        color[name] = 1;
+        for (const std::string& callee : cg.edges_[name]) {
+          const int c = color[callee];
+          if (c == 1) {
+            cg.has_recursion_ = true;
+            cg.cyclic_edges_.insert({name, callee});
+            continue;
+          }
+          if (c == 0) dfs(callee);
+        }
+        color[name] = 2;
+        cg.reverse_topo_.push_back(name);
+      };
+  // Start from main so ordering is deterministic; sweep the remaining
+  // functions (e.g. dead ones) afterwards.
+  dfs("main");
+  for (const auto& [name, callees] : cg.edges_) {
+    if (color[name] == 0) dfs(name);
+  }
+  return std::move(cg);
+}
+
+const std::set<std::string>& CallGraph::Callees(
+    const std::string& caller) const {
+  auto it = edges_.find(caller);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+}  // namespace adprom::prog

@@ -1,0 +1,49 @@
+#ifndef ADPROM_PROG_CALL_GRAPH_H_
+#define ADPROM_PROG_CALL_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prog/program.h"
+#include "util/status.h"
+
+namespace adprom::prog {
+
+/// The call graph (CG) of a program: user-function call relationships.
+/// Library calls are leaves and are not vertices here.
+class CallGraph {
+ public:
+  /// Builds the CG of a finalized program.
+  static util::Result<CallGraph> Build(const Program& program);
+
+  const std::set<std::string>& Callees(const std::string& caller) const;
+
+  /// Returns function names in reverse topological order (callees before
+  /// callers) — the order the paper aggregates CTMs in ("f_i's matrix is
+  /// aggregated in f_{i-1}'s"). Cycles (recursion) are broken
+  /// deterministically and reported through `HasRecursion()`; the
+  /// aggregator treats a cyclic call edge as an opaque pass-through.
+  const std::vector<std::string>& reverse_topo_order() const {
+    return reverse_topo_;
+  }
+
+  bool HasRecursion() const { return has_recursion_; }
+
+  /// Edges that participate in a cycle (caller -> callee).
+  const std::set<std::pair<std::string, std::string>>& cyclic_edges() const {
+    return cyclic_edges_;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> edges_;
+  std::vector<std::string> reverse_topo_;
+  bool has_recursion_ = false;
+  std::set<std::pair<std::string, std::string>> cyclic_edges_;
+  std::set<std::string> empty_;
+};
+
+}  // namespace adprom::prog
+
+#endif  // ADPROM_PROG_CALL_GRAPH_H_

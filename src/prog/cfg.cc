@@ -1,0 +1,268 @@
+#include "prog/cfg.h"
+
+#include <deque>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace adprom::prog {
+
+/// Incrementally constructs a Cfg while walking a function body. Declared
+/// at namespace scope (not in an anonymous namespace) so the friend
+/// declaration in Cfg resolves to it.
+class CfgBuilder {
+ public:
+  CfgBuilder(const Program& program, const FunctionDef& fn)
+      : program_(program), fn_(fn) {}
+
+  util::Result<Cfg> Build() {
+    cfg_.function_name_ = fn_.name;
+    cfg_.entry_id_ = NewNode();
+    cfg_.exit_id_ = NewNode();
+    int cur = NewNode();
+    AddEdge(cfg_.entry_id_, cur);
+    const BodyEnd end = VisitBody(fn_.body, cur);
+    if (!end.terminated) AddEdge(end.node, cfg_.exit_id_);
+    ComputeTopoOrder();
+    return std::move(cfg_);
+  }
+
+ private:
+  /// Result of lowering a statement list starting at some node: the node
+  /// control ends in, and whether control already left (via return).
+  struct BodyEnd {
+    int node;
+    bool terminated;
+  };
+
+  int NewNode() {
+    const int id = static_cast<int>(cfg_.nodes_.size());
+    CfgNode node;
+    node.id = id;
+    cfg_.nodes_.push_back(std::move(node));
+    return id;
+  }
+
+  void AddEdge(int from, int to) {
+    cfg_.nodes_[static_cast<size_t>(from)].succs.push_back(to);
+    cfg_.nodes_[static_cast<size_t>(to)].preds.push_back(from);
+  }
+
+  void AddBackEdge(int from, int to, int loop_exit) {
+    AddEdge(from, to);
+    cfg_.back_edges_.insert({from, to});
+    cfg_.back_edge_exit_[{from, to}] = loop_exit;
+  }
+
+  /// Emits all calls of `e` (evaluation order) into the flow at `cur`;
+  /// each call occupies its own node followed by a fresh pass-through node.
+  int EmitCalls(const Expr& e, int cur) {
+    std::vector<const Expr*> calls;
+    CollectCalls(e, &calls);
+    for (const Expr* call : calls) {
+      CfgNode& node = cfg_.nodes_[static_cast<size_t>(cur)];
+      ADPROM_CHECK(!node.call.has_value());
+      CallRef ref;
+      ref.callee = call->name;
+      ref.is_user_fn = program_.IsUserFunction(call->name);
+      ref.call_site_id = call->call_site_id;
+      ref.line = call->line;
+      node.call = std::move(ref);
+      cfg_.site_to_node_[call->call_site_id] = cur;
+      const int next = NewNode();
+      AddEdge(cur, next);
+      cur = next;
+    }
+    return cur;
+  }
+
+  BodyEnd VisitBody(const StmtList& body, int cur) {
+    for (const auto& stmt : body) {
+      const BodyEnd end = VisitStmt(*stmt, cur);
+      if (end.terminated) return end;  // Drop unreachable trailing code.
+      cur = end.node;
+    }
+    return {cur, false};
+  }
+
+  BodyEnd VisitStmt(const Stmt& s, int cur) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl:
+      case StmtKind::kAssign:
+      case StmtKind::kExpr:
+        return {EmitCalls(*s.expr, cur), false};
+      case StmtKind::kReturn: {
+        if (s.expr != nullptr) cur = EmitCalls(*s.expr, cur);
+        AddEdge(cur, cfg_.exit_id_);
+        return {cur, true};
+      }
+      case StmtKind::kIf: {
+        cur = EmitCalls(*s.expr, cur);
+        const int then_entry = NewNode();
+        AddEdge(cur, then_entry);
+        const BodyEnd then_end = VisitBody(s.then_body, then_entry);
+        if (s.else_body.empty()) {
+          const int merge = NewNode();
+          AddEdge(cur, merge);  // The fall-through (condition false) edge.
+          if (!then_end.terminated) AddEdge(then_end.node, merge);
+          return {merge, false};
+        }
+        const int else_entry = NewNode();
+        AddEdge(cur, else_entry);
+        const BodyEnd else_end = VisitBody(s.else_body, else_entry);
+        if (then_end.terminated && else_end.terminated) {
+          return {cur, true};
+        }
+        const int merge = NewNode();
+        if (!then_end.terminated) AddEdge(then_end.node, merge);
+        if (!else_end.terminated) AddEdge(else_end.node, merge);
+        return {merge, false};
+      }
+      case StmtKind::kWhile: {
+        const int header = NewNode();
+        AddEdge(cur, header);
+        // Condition calls are re-evaluated per iteration, so they live in
+        // the loop region starting at the header.
+        const int cond_end = EmitCalls(*s.expr, header);
+        const int body_entry = NewNode();
+        const int after = NewNode();
+        AddEdge(cond_end, body_entry);
+        AddEdge(cond_end, after);
+        const BodyEnd body_end = VisitBody(s.then_body, body_entry);
+        if (!body_end.terminated) AddBackEdge(body_end.node, header, after);
+        return {after, false};
+      }
+    }
+    ADPROM_CHECK_MSG(false, "unhandled statement kind");
+    return {cur, false};
+  }
+
+  void ComputeTopoOrder() {
+    const size_t n = cfg_.nodes_.size();
+    std::vector<int> in_degree(n, 0);
+    for (const CfgNode& node : cfg_.nodes_) {
+      for (int succ : node.succs) {
+        if (!cfg_.IsBackEdge(node.id, succ)) ++in_degree[succ];
+      }
+    }
+    std::deque<int> queue;
+    for (size_t i = 0; i < n; ++i) {
+      if (in_degree[i] == 0) queue.push_back(static_cast<int>(i));
+    }
+    cfg_.topo_order_.clear();
+    while (!queue.empty()) {
+      const int id = queue.front();
+      queue.pop_front();
+      cfg_.topo_order_.push_back(id);
+      for (int succ : cfg_.nodes_[static_cast<size_t>(id)].succs) {
+        if (cfg_.IsBackEdge(id, succ)) continue;
+        if (--in_degree[succ] == 0) queue.push_back(succ);
+      }
+    }
+    // Structured control flow plus explicit back edges guarantees the
+    // forward graph is a DAG.
+    ADPROM_CHECK_EQ(cfg_.topo_order_.size(), n);
+  }
+
+  const Program& program_;
+  const FunctionDef& fn_;
+  Cfg cfg_;
+};
+
+std::vector<int> Cfg::ForecastSuccessors(int id) const {
+  std::vector<int> out;
+  for (int succ : nodes_[static_cast<size_t>(id)].succs) {
+    if (IsBackEdge(id, succ)) {
+      out.push_back(back_edge_exit_.at({id, succ}));
+    } else {
+      out.push_back(succ);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Cfg::ForecastTopoOrder() const {
+  const size_t n = nodes_.size();
+  std::vector<int> in_degree(n, 0);
+  for (const CfgNode& node : nodes_) {
+    for (int succ : ForecastSuccessors(node.id)) ++in_degree[succ];
+  }
+  std::deque<int> queue;
+  for (size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    order.push_back(id);
+    for (int succ : ForecastSuccessors(id)) {
+      if (--in_degree[succ] == 0) queue.push_back(succ);
+    }
+  }
+  ADPROM_CHECK_EQ(order.size(), n);
+  return order;
+}
+
+std::optional<int> Cfg::NodeOfCallSite(int call_site_id) const {
+  auto it = site_to_node_.find(call_site_id);
+  if (it == site_to_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<int> Cfg::CallNodes() const {
+  std::vector<int> out;
+  for (int id : topo_order_) {
+    if (nodes_[static_cast<size_t>(id)].call.has_value()) out.push_back(id);
+  }
+  return out;
+}
+
+std::string Cfg::ToDot() const {
+  std::string out = "digraph \"" + function_name_ + "\" {\n";
+  for (const CfgNode& node : nodes_) {
+    std::string label;
+    if (node.id == entry_id_) {
+      label = "entry";
+    } else if (node.id == exit_id_) {
+      label = "exit";
+    } else if (node.call.has_value()) {
+      label = node.call->callee;
+    } else {
+      label = util::StrFormat("b%d", node.id);
+    }
+    out += util::StrFormat("  n%d [label=\"%d: %s\"];\n", node.id, node.id,
+                           label.c_str());
+  }
+  for (const CfgNode& node : nodes_) {
+    for (int succ : node.succs) {
+      out += util::StrFormat("  n%d -> n%d%s;\n", node.id, succ,
+                             IsBackEdge(node.id, succ) ? " [style=dashed]"
+                                                       : "");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+util::Result<Cfg> BuildCfg(const Program& program, const FunctionDef& fn) {
+  if (!program.finalized()) {
+    return util::Status::FailedPrecondition(
+        "program must be finalized before CFG construction");
+  }
+  CfgBuilder builder(program, fn);
+  return builder.Build();
+}
+
+util::Result<std::map<std::string, Cfg>> BuildAllCfgs(
+    const Program& program) {
+  std::map<std::string, Cfg> out;
+  for (const FunctionDef& fn : program.functions()) {
+    ADPROM_ASSIGN_OR_RETURN(Cfg cfg, BuildCfg(program, fn));
+    out.emplace(fn.name, std::move(cfg));
+  }
+  return std::move(out);
+}
+
+}  // namespace adprom::prog

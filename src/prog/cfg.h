@@ -1,0 +1,102 @@
+#ifndef ADPROM_PROG_CFG_H_
+#define ADPROM_PROG_CFG_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prog/program.h"
+#include "util/status.h"
+
+namespace adprom::prog {
+
+/// A call issued by a CFG node: library call or user-function call.
+struct CallRef {
+  std::string callee;
+  bool is_user_fn = false;
+  int call_site_id = -1;  // the AST call site this node executes
+  int line = 0;
+};
+
+/// A node in a function's control-flow graph. Mirrors the paper's model:
+/// a node is a code block that makes at most one call; edges are control
+/// flow. The entry node is the paper's ε and the exit node its ε'.
+struct CfgNode {
+  int id = -1;
+  std::optional<CallRef> call;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// The control-flow graph of one function.
+class Cfg {
+ public:
+  const std::string& function_name() const { return function_name_; }
+  int entry_id() const { return entry_id_; }
+  int exit_id() const { return exit_id_; }
+
+  const std::vector<CfgNode>& nodes() const { return nodes_; }
+  const CfgNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Edges that close loops. The probability forecast ignores them (the
+  /// paper: "AD-PROM does not handle loops ... each node is visited once");
+  /// the HMM learns loop behaviour from traces instead.
+  const std::set<std::pair<int, int>>& back_edges() const {
+    return back_edges_;
+  }
+  bool IsBackEdge(int from, int to) const {
+    return back_edges_.count({from, to}) > 0;
+  }
+
+  /// Acyclic view for the probability forecast: the successors of `id`
+  /// with every back edge replaced by an edge to its loop's exit node
+  /// ("the loop body runs once"). Flow therefore always reaches the exit
+  /// and the CTM invariants (row/column sums of 1) hold exactly.
+  std::vector<int> ForecastSuccessors(int id) const;
+
+  /// Topological order of all nodes over the forecast (acyclic) edges.
+  std::vector<int> ForecastTopoOrder() const;
+
+  /// Topological order of all nodes over forward (non-back) edges.
+  const std::vector<int>& topo_order() const { return topo_order_; }
+
+  /// Maps an AST call-site id to the CFG node (block) that issues it.
+  /// This block id is the `[bid]` of the paper's `printf_Q[bid]` labels.
+  std::optional<int> NodeOfCallSite(int call_site_id) const;
+
+  /// All nodes that make a call, in topological order.
+  std::vector<int> CallNodes() const;
+
+  /// Graphviz-style rendering for debugging and the quickstart example.
+  std::string ToDot() const;
+
+ private:
+  friend class CfgBuilder;
+
+  std::string function_name_;
+  int entry_id_ = -1;
+  int exit_id_ = -1;
+  std::vector<CfgNode> nodes_;
+  std::set<std::pair<int, int>> back_edges_;
+  // Maps a back edge to the node control reaches when the loop is not
+  // re-entered (the statement after the loop).
+  std::map<std::pair<int, int>, int> back_edge_exit_;
+  std::vector<int> topo_order_;
+  std::map<int, int> site_to_node_;
+};
+
+/// Builds the CFG of one function of a finalized program. Statements after
+/// a `return` in the same block are unreachable and dropped. Calls inside
+/// a condition are modeled in evaluation order; short-circuit skipping is
+/// over-approximated as always-evaluated.
+util::Result<Cfg> BuildCfg(const Program& program, const FunctionDef& fn);
+
+/// Builds CFGs for every function, keyed by function name.
+util::Result<std::map<std::string, Cfg>> BuildAllCfgs(const Program& program);
+
+}  // namespace adprom::prog
+
+#endif  // ADPROM_PROG_CFG_H_

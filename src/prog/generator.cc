@@ -1,0 +1,325 @@
+#include "prog/generator.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace adprom::prog {
+
+namespace {
+
+/// Builds statements/expressions with simple int/str typing so the
+/// generated program never hits a runtime type error.
+class Generator {
+ public:
+  Generator(const GeneratorOptions& options, util::Rng& rng)
+      : options_(options), rng_(rng) {}
+
+  util::Result<Program> Generate() {
+    // Function signatures first, so call targets and arities are known.
+    // fi may call fj only for j > i — the call graph stays acyclic.
+    signatures_.push_back({"main", {}, false});
+    for (size_t i = 0; i < options_.num_functions; ++i) {
+      FnSig sig;
+      sig.name = "f" + std::to_string(i + 1);
+      const size_t params = rng_.UniformU64(3);
+      for (size_t p = 0; p < params; ++p) {
+        sig.param_is_str.push_back(rng_.Bernoulli(0.5));
+      }
+      sig.returns_str = rng_.Bernoulli(0.4);
+      signatures_.push_back(std::move(sig));
+    }
+
+    Program program;
+    for (size_t i = 0; i < signatures_.size(); ++i) {
+      ADPROM_RETURN_IF_ERROR(program.AddFunction(GenFunction(i)));
+    }
+    ADPROM_RETURN_IF_ERROR(program.Finalize());
+    return std::move(program);
+  }
+
+ private:
+  struct Var {
+    std::string name;
+    bool is_str;
+  };
+  struct FnSig {
+    std::string name;
+    std::vector<bool> param_is_str;
+    bool returns_str;
+  };
+
+  std::string FreshName(const char* prefix) {
+    return util::StrFormat("%s%d", prefix, var_counter_++);
+  }
+
+  FunctionDef GenFunction(size_t index) {
+    const FnSig& sig = signatures_[index];
+    FunctionDef fn;
+    fn.name = sig.name;
+    std::vector<Var> scope;
+    for (size_t p = 0; p < sig.param_is_str.size(); ++p) {
+      const std::string name = "p" + std::to_string(p);
+      fn.params.push_back(name);
+      scope.push_back({name, sig.param_is_str[p]});
+    }
+    // A few seed locals of each type.
+    for (int i = 0; i < 2; ++i) {
+      const bool is_str = i == 1;
+      const std::string name = FreshName("v");
+      fn.body.push_back(Stmt::VarDecl(name, GenLiteral(is_str)));
+      scope.push_back({name, is_str});
+    }
+    StmtList body = GenBody(index, &scope, 0);
+    for (auto& stmt : body) fn.body.push_back(std::move(stmt));
+    fn.body.push_back(
+        Stmt::Return(GenExpr(scope, 1, sig.returns_str)));
+    return fn;
+  }
+
+  StmtList GenBody(size_t fn_index, std::vector<Var>* scope, size_t depth) {
+    StmtList body;
+    const size_t statements =
+        1 + rng_.UniformU64(options_.max_block_statements);
+    const size_t scope_mark = scope->size();
+    for (size_t i = 0; i < statements; ++i) {
+      body.push_back(GenStmt(fn_index, scope, depth));
+    }
+    scope->resize(scope_mark);  // block-local declarations go out of scope
+    return body;
+  }
+
+  std::unique_ptr<Stmt> GenStmt(size_t fn_index, std::vector<Var>* scope,
+                                size_t depth) {
+    std::vector<double> weights = {options_.assign_weight,
+                                   options_.call_weight,
+                                   depth < options_.max_depth
+                                       ? options_.if_weight
+                                       : 0.0,
+                                   depth < options_.max_depth
+                                       ? options_.loop_weight
+                                       : 0.0};
+    switch (rng_.WeightedIndex(weights)) {
+      case 0: {  // declaration or assignment
+        if (!scope->empty() && rng_.Bernoulli(0.5)) {
+          const Var& var = (*scope)[rng_.UniformU64(scope->size())];
+          return Stmt::Assign(var.name, GenExpr(*scope, 2, var.is_str));
+        }
+        const bool is_str = rng_.Bernoulli(0.5);
+        const std::string name = FreshName("v");
+        auto stmt = Stmt::VarDecl(name, GenExpr(*scope, 2, is_str));
+        scope->push_back({name, is_str});
+        return stmt;
+      }
+      case 1:
+        return GenCallStmt(fn_index, *scope);
+      case 2: {  // if / if-else
+        StmtList then_body = GenBody(fn_index, scope, depth + 1);
+        StmtList else_body;
+        if (rng_.Bernoulli(0.5)) {
+          else_body = GenBody(fn_index, scope, depth + 1);
+        }
+        return Stmt::If(GenCondition(*scope), std::move(then_body),
+                        std::move(else_body));
+      }
+      default: {  // counter-bounded while loop (always terminates)
+        const std::string counter = FreshName("loop");
+        const int64_t bound = 1 + static_cast<int64_t>(rng_.UniformU64(4));
+        // The counter is *not* pushed into scope: the loop body cannot
+        // overwrite it, so termination is guaranteed.
+        StmtList loop_body = GenBody(fn_index, scope, depth + 1);
+        loop_body.push_back(Stmt::Assign(
+            counter, Expr::Binary(BinOp::kAdd, Expr::Var(counter),
+                                  Expr::IntLit(1))));
+        auto loop = Stmt::While(
+            Expr::Binary(BinOp::kLt, Expr::Var(counter),
+                         Expr::IntLit(bound)),
+            std::move(loop_body));
+        // Wrap: declare the counter, then loop. We return a synthetic
+        // if(1) block holding both so GenStmt still returns one Stmt.
+        StmtList wrapper;
+        wrapper.push_back(Stmt::VarDecl(counter, Expr::IntLit(0)));
+        wrapper.push_back(std::move(loop));
+        return Stmt::If(Expr::IntLit(1), std::move(wrapper), {});
+      }
+    }
+  }
+
+  /// Emits a realistic DB round trip guarded by is_null/row-count checks:
+  ///   var q = db_query("SELECT a, b FROM gen WHERE a <= <int>");
+  ///   if (!is_null(q)) { if (db_ntuples(q) > 0) { print(getvalue...); } }
+  std::unique_ptr<Stmt> GenDbBlock(const std::vector<Var>& scope) {
+    const std::string handle = FreshName("q");
+    const std::string count = FreshName("m");
+    StmtList inner;
+    {
+      std::vector<std::unique_ptr<Expr>> query_args;
+      query_args.push_back(Expr::Binary(
+          BinOp::kAdd, Expr::StrLit("SELECT a, b FROM gen WHERE a <= "),
+          GenExpr(scope, 1, false)));
+      inner.push_back(
+          Stmt::VarDecl(handle, Expr::Call("db_query",
+                                           std::move(query_args))));
+    }
+    StmtList guarded;
+    {
+      std::vector<std::unique_ptr<Expr>> count_args;
+      count_args.push_back(Expr::Var(handle));
+      guarded.push_back(Stmt::VarDecl(
+          count, Expr::Call("db_ntuples", std::move(count_args))));
+      StmtList use;
+      std::vector<std::unique_ptr<Expr>> value_args;
+      value_args.push_back(Expr::Var(handle));
+      value_args.push_back(Expr::IntLit(0));
+      value_args.push_back(Expr::IntLit(
+          static_cast<int64_t>(rng_.UniformU64(2))));
+      std::vector<std::unique_ptr<Expr>> print_args;
+      print_args.push_back(Expr::Call("db_getvalue",
+                                      std::move(value_args)));
+      use.push_back(Stmt::ExprStmt(Expr::Call(
+          rng_.Bernoulli(0.7) ? "print" : "print_err",
+          std::move(print_args))));
+      guarded.push_back(Stmt::If(
+          Expr::Binary(BinOp::kGt, Expr::Var(count), Expr::IntLit(0)),
+          std::move(use), {}));
+    }
+    std::vector<std::unique_ptr<Expr>> null_args;
+    null_args.push_back(Expr::Var(handle));
+    inner.push_back(Stmt::If(
+        Expr::Unary(UnOp::kNot, Expr::Call("is_null",
+                                           std::move(null_args))),
+        std::move(guarded), {}));
+    return Stmt::If(Expr::IntLit(1), std::move(inner), {});
+  }
+
+  std::unique_ptr<Stmt> GenCallStmt(size_t fn_index,
+                                    const std::vector<Var>& scope) {
+    if (options_.with_db_calls && rng_.Bernoulli(0.25)) {
+      return GenDbBlock(scope);
+    }
+    // Call a later user function sometimes; otherwise a library output.
+    if (fn_index + 1 < signatures_.size() && rng_.Bernoulli(0.35)) {
+      const size_t callee_index =
+          fn_index + 1 +
+          rng_.UniformU64(signatures_.size() - fn_index - 1);
+      const FnSig& callee = signatures_[callee_index];
+      std::vector<std::unique_ptr<Expr>> args;
+      for (bool is_str : callee.param_is_str) {
+        args.push_back(GenExpr(scope, 2, is_str));
+      }
+      return Stmt::ExprStmt(Expr::Call(callee.name, std::move(args)));
+    }
+    switch (rng_.UniformU64(3)) {
+      case 0: {
+        std::vector<std::unique_ptr<Expr>> args;
+        args.push_back(GenExpr(scope, 2, rng_.Bernoulli(0.5)));
+        return Stmt::ExprStmt(Expr::Call("print", std::move(args)));
+      }
+      case 1: {
+        std::vector<std::unique_ptr<Expr>> args;
+        args.push_back(GenExpr(scope, 2, true));
+        return Stmt::ExprStmt(Expr::Call("print_err", std::move(args)));
+      }
+      default: {
+        std::vector<std::unique_ptr<Expr>> args;
+        args.push_back(Expr::StrLit("gen_out.txt"));
+        args.push_back(GenExpr(scope, 2, true));
+        return Stmt::ExprStmt(Expr::Call("write_file", std::move(args)));
+      }
+    }
+  }
+
+  std::unique_ptr<Expr> GenCondition(const std::vector<Var>& scope) {
+    static constexpr BinOp kCmps[] = {BinOp::kLt, BinOp::kLe, BinOp::kGt,
+                                      BinOp::kGe, BinOp::kEq, BinOp::kNe};
+    const BinOp op = kCmps[rng_.UniformU64(6)];
+    const bool is_str = rng_.Bernoulli(0.3);
+    return Expr::Binary(op, GenExpr(scope, 1, is_str),
+                        GenExpr(scope, 1, is_str));
+  }
+
+  std::unique_ptr<Expr> GenLiteral(bool is_str) {
+    if (is_str) {
+      static constexpr const char* kStrings[] = {"alpha", "beta", "gamma",
+                                                 "delta", "", "omega"};
+      return Expr::StrLit(kStrings[rng_.UniformU64(6)]);
+    }
+    return Expr::IntLit(rng_.UniformInt(-9, 99));
+  }
+
+  const Var* PickVar(const std::vector<Var>& scope, bool is_str) {
+    std::vector<const Var*> matching;
+    for (const Var& var : scope) {
+      if (var.is_str == is_str) matching.push_back(&var);
+    }
+    if (matching.empty()) return nullptr;
+    return matching[rng_.UniformU64(matching.size())];
+  }
+
+  std::unique_ptr<Expr> GenExpr(const std::vector<Var>& scope, size_t depth,
+                                bool want_str) {
+    if (depth == 0) {
+      // Leaf: literal or variable of the wanted type.
+      if (const Var* var = PickVar(scope, want_str);
+          var != nullptr && rng_.Bernoulli(0.6)) {
+        return Expr::Var(var->name);
+      }
+      return GenLiteral(want_str);
+    }
+    if (want_str) {
+      switch (rng_.UniformU64(4)) {
+        case 0:  // concatenation (always yields a string)
+          return Expr::Binary(BinOp::kAdd, GenExpr(scope, depth - 1, true),
+                              GenExpr(scope, depth - 1, rng_.Bernoulli(0.5)));
+        case 1: {  // string library function
+          static constexpr const char* kFns[] = {"upper", "lower", "trim",
+                                                 "compress"};
+          std::vector<std::unique_ptr<Expr>> args;
+          args.push_back(GenExpr(scope, depth - 1, true));
+          return Expr::Call(kFns[rng_.UniformU64(4)], std::move(args));
+        }
+        case 2: {  // str() of anything
+          std::vector<std::unique_ptr<Expr>> args;
+          args.push_back(GenExpr(scope, depth - 1, rng_.Bernoulli(0.5)));
+          return Expr::Call("str", std::move(args));
+        }
+        default:
+          return GenExpr(scope, 0, true);
+      }
+    }
+    switch (rng_.UniformU64(4)) {
+      case 0: {  // integer arithmetic (no division)
+        static constexpr BinOp kOps[] = {BinOp::kAdd, BinOp::kSub,
+                                         BinOp::kMul};
+        return Expr::Binary(kOps[rng_.UniformU64(3)],
+                            GenExpr(scope, depth - 1, false),
+                            GenExpr(scope, depth - 1, false));
+      }
+      case 1: {  // int library function of a string
+        static constexpr const char* kFns[] = {"len", "checksum", "to_int"};
+        std::vector<std::unique_ptr<Expr>> args;
+        args.push_back(GenExpr(scope, depth - 1, true));
+        return Expr::Call(kFns[rng_.UniformU64(3)], std::move(args));
+      }
+      case 2:  // comparison as 0/1 value
+        return GenCondition(scope);
+      default:
+        return GenExpr(scope, 0, false);
+    }
+  }
+
+  GeneratorOptions options_;
+  util::Rng& rng_;
+  std::vector<FnSig> signatures_;
+  int var_counter_ = 0;
+};
+
+}  // namespace
+
+util::Result<Program> GenerateRandomProgram(const GeneratorOptions& options,
+                                            util::Rng& rng) {
+  Generator generator(options, rng);
+  return generator.Generate();
+}
+
+}  // namespace adprom::prog

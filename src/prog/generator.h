@@ -1,0 +1,38 @@
+#ifndef ADPROM_PROG_GENERATOR_H_
+#define ADPROM_PROG_GENERATOR_H_
+
+#include <cstddef>
+
+#include "prog/program.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace adprom::prog {
+
+/// Knobs for the random program generator.
+struct GeneratorOptions {
+  size_t num_functions = 4;       // user functions besides main
+  size_t max_block_statements = 6;
+  size_t max_depth = 3;           // nesting of if/while
+  /// Probability weights for statement kinds at each position.
+  double if_weight = 0.25;
+  double loop_weight = 0.15;
+  double call_weight = 0.35;
+  double assign_weight = 0.25;
+  /// Include DB client calls (db_query/db_getvalue/...) in the call pool;
+  /// the generated queries target a table named "gen".
+  bool with_db_calls = false;
+};
+
+/// Generates a random — but always *valid and terminating* — MiniApp
+/// program: variables are declared before use, user calls match arities,
+/// every loop is counter-bounded, and there is no recursion or division
+/// by a non-constant. Used by the property-based test suites to fuzz the
+/// parser round-trip, the CFG/forecast/aggregation invariants, and the
+/// interpreter. Deterministic given the Rng seed.
+util::Result<Program> GenerateRandomProgram(const GeneratorOptions& options,
+                                            util::Rng& rng);
+
+}  // namespace adprom::prog
+
+#endif  // ADPROM_PROG_GENERATOR_H_

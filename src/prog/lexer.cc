@@ -1,0 +1,153 @@
+#include "prog/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace adprom::prog {
+
+namespace {
+
+bool IsKeyword(const std::string& word) {
+  return word == "fn" || word == "var" || word == "if" || word == "else" ||
+         word == "while" || word == "return";
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = source.size();
+  int line = 1;
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      std::string word = source.substr(i, j - i);
+      out.push_back({IsKeyword(word) ? TokenType::kKeyword
+                                     : TokenType::kIdentifier,
+                     std::move(word), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool real = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '.')) {
+        if (source[j] == '.') real = true;
+        ++j;
+      }
+      out.push_back({real ? TokenType::kRealLiteral : TokenType::kIntLiteral,
+                     source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (source[j] == '\\' && j + 1 < n) {
+          switch (source[j + 1]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '"': text += '"'; break;
+            case '\\': text += '\\'; break;
+            default: text += source[j + 1]; break;
+          }
+          j += 2;
+          continue;
+        }
+        if (source[j] == '"') {
+          closed = true;
+          ++j;
+          break;
+        }
+        if (source[j] == '\n') ++line;
+        text += source[j];
+        ++j;
+      }
+      if (!closed) {
+        return util::Status::ParseError(
+            util::StrFormat("line %d: unterminated string literal", line));
+      }
+      out.push_back({TokenType::kStrLiteral, std::move(text), line});
+      i = j;
+      continue;
+    }
+    // Punctuation and operators.
+    auto push2 = [&](const char* text) {
+      out.push_back({TokenType::kOperator, text, line});
+      i += 2;
+    };
+    auto push1 = [&](TokenType type) {
+      out.push_back({type, std::string(1, c), line});
+      ++i;
+    };
+    switch (c) {
+      case '(': case ')': case '{': case '}': case ',': case ';':
+        push1(TokenType::kPunct);
+        continue;
+      case '+': case '*': case '/': case '%':
+        push1(TokenType::kOperator);
+        continue;
+      case '-':
+        push1(TokenType::kOperator);
+        continue;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') { push2("<="); continue; }
+        push1(TokenType::kOperator);
+        continue;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') { push2(">="); continue; }
+        push1(TokenType::kOperator);
+        continue;
+      case '=':
+        if (i + 1 < n && source[i + 1] == '=') { push2("=="); continue; }
+        push1(TokenType::kOperator);
+        continue;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') { push2("!="); continue; }
+        push1(TokenType::kOperator);
+        continue;
+      case '&':
+        if (i + 1 < n && source[i + 1] == '&') { push2("&&"); continue; }
+        break;
+      case '|':
+        if (i + 1 < n && source[i + 1] == '|') { push2("||"); continue; }
+        break;
+      default:
+        break;
+    }
+    return util::Status::ParseError(
+        util::StrFormat("line %d: unexpected character '%c'", line, c));
+  }
+  out.push_back({TokenType::kEnd, "", line});
+  return out;
+}
+
+}  // namespace adprom::prog

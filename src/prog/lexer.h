@@ -1,0 +1,34 @@
+#ifndef ADPROM_PROG_LEXER_H_
+#define ADPROM_PROG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adprom::prog {
+
+enum class TokenType {
+  kKeyword,     // fn var if else while return
+  kIdentifier,
+  kIntLiteral,
+  kRealLiteral,
+  kStrLiteral,
+  kPunct,       // ( ) { } , ;
+  kOperator,    // + - * / % < <= > >= == != && || ! =
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;
+  int line = 1;
+};
+
+/// Tokenizes MiniApp source. `#` starts a line comment; string literals use
+/// double quotes with \n \t \" \\ escapes.
+util::Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace adprom::prog
+
+#endif  // ADPROM_PROG_LEXER_H_

@@ -1,0 +1,120 @@
+#include "prog/printer.h"
+
+#include "util/strings.h"
+
+namespace adprom::prog {
+
+namespace {
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void EmitBody(const StmtList& body, int indent, std::string* out);
+
+void EmitStmt(const Stmt& s, int indent, std::string* out) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::kVarDecl:
+      *out += pad + "var " + s.target + " = " + ExprToSource(*s.expr) + ";\n";
+      return;
+    case StmtKind::kAssign:
+      *out += pad + s.target + " = " + ExprToSource(*s.expr) + ";\n";
+      return;
+    case StmtKind::kIf:
+      *out += pad + "if (" + ExprToSource(*s.expr) + ") {\n";
+      EmitBody(s.then_body, indent + 1, out);
+      if (s.else_body.empty()) {
+        *out += pad + "}\n";
+      } else {
+        *out += pad + "} else {\n";
+        EmitBody(s.else_body, indent + 1, out);
+        *out += pad + "}\n";
+      }
+      return;
+    case StmtKind::kWhile:
+      *out += pad + "while (" + ExprToSource(*s.expr) + ") {\n";
+      EmitBody(s.then_body, indent + 1, out);
+      *out += pad + "}\n";
+      return;
+    case StmtKind::kReturn:
+      if (s.expr != nullptr) {
+        *out += pad + "return " + ExprToSource(*s.expr) + ";\n";
+      } else {
+        *out += pad + "return;\n";
+      }
+      return;
+    case StmtKind::kExpr:
+      *out += pad + ExprToSource(*s.expr) + ";\n";
+      return;
+  }
+}
+
+void EmitBody(const StmtList& body, int indent, std::string* out) {
+  for (const auto& stmt : body) EmitStmt(*stmt, indent, out);
+}
+
+}  // namespace
+
+std::string ExprToSource(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return std::to_string(e.int_value);
+    case ExprKind::kRealLit:
+      return util::StrFormat("%g", e.real_value);
+    case ExprKind::kStrLit:
+      return EscapeString(e.str_value);
+    case ExprKind::kVar:
+      return e.name;
+    case ExprKind::kUnary:
+      // "-3" round-trips through the parser as Neg(IntLit 3); printing it
+      // back without parentheses keeps emission idempotent.
+      if (e.un_op == UnOp::kNeg && e.lhs->kind == ExprKind::kIntLit) {
+        return "-" + std::to_string(e.lhs->int_value);
+      }
+      return std::string(e.un_op == UnOp::kNot ? "!" : "-") + "(" +
+             ExprToSource(*e.lhs) + ")";
+    case ExprKind::kBinary:
+      return "(" + ExprToSource(*e.lhs) + " " + BinOpName(e.bin_op) + " " +
+             ExprToSource(*e.rhs) + ")";
+    case ExprKind::kCall: {
+      std::string out = e.name + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToSource(*e.args[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string ProgramToSource(const Program& program) {
+  std::string out;
+  for (const FunctionDef& fn : program.functions()) {
+    out += "fn " + fn.name + "(";
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fn.params[i];
+    }
+    out += ") {\n";
+    EmitBody(fn.body, 1, &out);
+    out += "}\n\n";
+  }
+  return out;
+}
+
+}  // namespace adprom::prog

@@ -1,0 +1,22 @@
+#ifndef ADPROM_PROG_PRINTER_H_
+#define ADPROM_PROG_PRINTER_H_
+
+#include <string>
+
+#include "prog/ast.h"
+#include "prog/program.h"
+
+namespace adprom::prog {
+
+/// Renders an expression back to MiniApp source (fully parenthesized
+/// where precedence is not obvious).
+std::string ExprToSource(const Expr& e);
+
+/// Renders a whole program back to parseable MiniApp source. Round-trip
+/// property: ParseProgram(ProgramToSource(p)) succeeds and yields a
+/// program with identical structure (tested on generated programs).
+std::string ProgramToSource(const Program& program);
+
+}  // namespace adprom::prog
+
+#endif  // ADPROM_PROG_PRINTER_H_

@@ -1,0 +1,173 @@
+#include "prog/program.h"
+
+#include <set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace adprom::prog {
+
+namespace {
+
+/// Walks every expression in a body, assigning call-site ids in source
+/// order and validating variable/function usage.
+class Finalizer {
+ public:
+  Finalizer(const Program& program, int* next_id)
+      : program_(program), next_id_(next_id) {}
+
+  util::Status Run(FunctionDef& fn) {
+    fn_name_ = fn.name;
+    scopes_.clear();
+    scopes_.emplace_back(fn.params.begin(), fn.params.end());
+    return VisitBody(fn.body);
+  }
+
+ private:
+  util::Status VisitBody(StmtList& body) {
+    scopes_.emplace_back();
+    for (auto& stmt : body) {
+      ADPROM_RETURN_IF_ERROR(VisitStmt(*stmt));
+    }
+    scopes_.pop_back();
+    return util::Status::Ok();
+  }
+
+  util::Status VisitStmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kVarDecl:
+        ADPROM_RETURN_IF_ERROR(VisitExpr(*s.expr));
+        scopes_.back().insert(s.target);
+        return util::Status::Ok();
+      case StmtKind::kAssign:
+        if (!IsDeclared(s.target)) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s: line %d: assignment to undeclared variable '%s'",
+              fn_name_.c_str(), s.line, s.target.c_str()));
+        }
+        return VisitExpr(*s.expr);
+      case StmtKind::kIf: {
+        ADPROM_RETURN_IF_ERROR(VisitExpr(*s.expr));
+        ADPROM_RETURN_IF_ERROR(VisitBody(s.then_body));
+        return VisitBody(s.else_body);
+      }
+      case StmtKind::kWhile:
+        ADPROM_RETURN_IF_ERROR(VisitExpr(*s.expr));
+        return VisitBody(s.then_body);
+      case StmtKind::kReturn:
+        if (s.expr != nullptr) return VisitExpr(*s.expr);
+        return util::Status::Ok();
+      case StmtKind::kExpr:
+        return VisitExpr(*s.expr);
+    }
+    return util::Status::Internal("unhandled statement kind");
+  }
+
+  util::Status VisitExpr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kRealLit:
+      case ExprKind::kStrLit:
+        return util::Status::Ok();
+      case ExprKind::kVar:
+        if (!IsDeclared(e.name)) {
+          return util::Status::InvalidArgument(util::StrFormat(
+              "%s: line %d: use of undeclared variable '%s'",
+              fn_name_.c_str(), e.line, e.name.c_str()));
+        }
+        return util::Status::Ok();
+      case ExprKind::kBinary:
+        ADPROM_RETURN_IF_ERROR(VisitExpr(*e.lhs));
+        return VisitExpr(*e.rhs);
+      case ExprKind::kUnary:
+        return VisitExpr(*e.lhs);
+      case ExprKind::kCall: {
+        for (auto& arg : e.args) {
+          ADPROM_RETURN_IF_ERROR(VisitExpr(*arg));
+        }
+        e.call_site_id = (*next_id_)++;
+        if (program_.IsUserFunction(e.name)) {
+          const FunctionDef* callee = program_.FindFunction(e.name);
+          if (callee->params.size() != e.args.size()) {
+            return util::Status::InvalidArgument(util::StrFormat(
+                "%s: line %d: call to %s with %zu args, expected %zu",
+                fn_name_.c_str(), e.line, e.name.c_str(), e.args.size(),
+                callee->params.size()));
+          }
+        }
+        return util::Status::Ok();
+      }
+    }
+    return util::Status::Internal("unhandled expression kind");
+  }
+
+  bool IsDeclared(const std::string& name) const {
+    for (const auto& scope : scopes_) {
+      if (scope.count(name) > 0) return true;
+    }
+    return false;
+  }
+
+  const Program& program_;
+  int* next_id_;
+  std::string fn_name_;
+  std::vector<std::set<std::string>> scopes_;
+};
+
+}  // namespace
+
+util::Status Program::AddFunction(FunctionDef fn) {
+  if (index_.count(fn.name) > 0) {
+    return util::Status::AlreadyExists("duplicate function: " + fn.name);
+  }
+  index_[fn.name] = functions_.size();
+  functions_.push_back(std::move(fn));
+  finalized_ = false;
+  return util::Status::Ok();
+}
+
+util::Status Program::Finalize() {
+  if (FindFunction("main") == nullptr) {
+    return util::Status::InvalidArgument("program has no main()");
+  }
+  next_call_site_id_ = 0;
+  for (FunctionDef& fn : functions_) {
+    Finalizer finalizer(*this, &next_call_site_id_);
+    ADPROM_RETURN_IF_ERROR(finalizer.Run(fn));
+  }
+  finalized_ = true;
+  return util::Status::Ok();
+}
+
+const FunctionDef* Program::FindFunction(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &functions_[it->second];
+}
+
+FunctionDef* Program::FindMutableFunction(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  finalized_ = false;
+  return &functions_[it->second];
+}
+
+bool Program::IsUserFunction(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Program Program::Clone() const {
+  Program out;
+  for (const FunctionDef& fn : functions_) {
+    FunctionDef copy;
+    copy.name = fn.name;
+    copy.params = fn.params;
+    copy.body = CloneBody(fn.body);
+    // AddFunction cannot fail here: names were unique in the source.
+    ADPROM_CHECK(out.AddFunction(std::move(copy)).ok());
+  }
+  out.next_call_site_id_ = next_call_site_id_;
+  out.finalized_ = finalized_;
+  return out;
+}
+
+}  // namespace adprom::prog

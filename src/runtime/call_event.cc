@@ -1,0 +1,12 @@
+#include "runtime/call_event.h"
+
+#include "analysis/labeling.h"
+
+namespace adprom::runtime {
+
+std::string CallEvent::Observable() const {
+  if (!td_output) return callee;
+  return analysis::LabeledObservable(callee, caller, block_id);
+}
+
+}  // namespace adprom::runtime

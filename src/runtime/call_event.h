@@ -1,0 +1,33 @@
+#ifndef ADPROM_RUNTIME_CALL_EVENT_H_
+#define ADPROM_RUNTIME_CALL_EVENT_H_
+
+#include <string>
+#include <vector>
+
+namespace adprom::runtime {
+
+/// One intercepted library call — what the paper's Calls Collector records
+/// (call name + caller) extended with the block id and the dynamic
+/// taint/provenance the Dyninst instrumentation provides.
+struct CallEvent {
+  std::string callee;      // raw library function name ("print")
+  std::string caller;      // function the call was issued from
+  int block_id = -1;       // CFG node id of the call site
+  int call_site_id = -1;   // program-unique AST site id
+  bool td_output = false;  // an output call that received targeted data
+  std::vector<std::string> source_tables;  // provenance of the TD
+  /// For DB input calls: the normalized signature of the submitted query
+  /// (the §VII mitigation — profiles may include it in the observable).
+  std::string query_signature;
+
+  /// The symbol the Detection Engine observes: `callee`, or the labeled
+  /// form `callee_Q<fn>_<block>` when td_output is set.
+  std::string Observable() const;
+};
+
+/// A program trace: the sequence of intercepted library calls of one run.
+using Trace = std::vector<CallEvent>;
+
+}  // namespace adprom::runtime
+
+#endif  // ADPROM_RUNTIME_CALL_EVENT_H_

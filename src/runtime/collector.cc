@@ -1,0 +1,44 @@
+#include "runtime/collector.h"
+
+#include "util/strings.h"
+
+namespace adprom::runtime {
+
+void LightCollector::OnCall(const CallEvent& event,
+                            const std::vector<RtValue>& args) {
+  (void)args;  // Names only — deliberately cheap.
+  trace_.push_back(event);
+}
+
+void HeavyTracer::OnCall(const CallEvent& event,
+                         const std::vector<RtValue>& args) {
+  // Simulated addr2line: resolve the call-site "address" to a symbol,
+  // formatting and caching like the real tool chain would.
+  auto it = symbol_cache_.find(event.call_site_id);
+  if (it == symbol_cache_.end()) {
+    it = symbol_cache_
+             .emplace(event.call_site_id,
+                      util::StrFormat("%s+0x%x [%s]", event.caller.c_str(),
+                                      event.call_site_id * 0x10,
+                                      event.callee.c_str()))
+             .first;
+  }
+  // ltrace-style line: callee(arg, arg, ...) = <resolved caller>.
+  std::string line = event.callee + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) line += ", ";
+    line += "\"" + args[i].ToString() + "\"";
+  }
+  line += ") <- " + it->second;
+  lines_.push_back(std::move(line));
+  trace_.push_back(event);
+}
+
+void NullCollector::OnCall(const CallEvent& event,
+                           const std::vector<RtValue>& args) {
+  (void)event;
+  (void)args;
+  ++count_;
+}
+
+}  // namespace adprom::runtime

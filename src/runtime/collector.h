@@ -1,0 +1,76 @@
+#ifndef ADPROM_RUNTIME_COLLECTOR_H_
+#define ADPROM_RUNTIME_COLLECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/call_event.h"
+#include "runtime/value.h"
+
+namespace adprom::runtime {
+
+/// Instrumentation hook the interpreter invokes on every library call,
+/// after argument evaluation. `args` are the evaluated arguments (visible
+/// to the hook exactly as Dyninst instrumentation sees the registers).
+class CallCollector {
+ public:
+  virtual ~CallCollector() = default;
+  virtual void OnCall(const CallEvent& event,
+                      const std::vector<RtValue>& args) = 0;
+};
+
+/// The paper's Calls Collector: records only the call name, caller and
+/// block id (plus the TD label). This minimalism is why it beats ltrace by
+/// ~78% in Table VI.
+class LightCollector : public CallCollector {
+ public:
+  void OnCall(const CallEvent& event,
+              const std::vector<RtValue>& args) override;
+
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace() { return std::move(trace_); }
+  void Clear() { trace_.clear(); }
+
+ private:
+  Trace trace_;
+};
+
+/// An ltrace-like tracer: formats every argument into a text line and
+/// translates the call site "address" to a caller symbol through a lookup
+/// table (the addr2line step the paper's baseline pays for). Kept as the
+/// Table VI comparison baseline.
+class HeavyTracer : public CallCollector {
+ public:
+  void OnCall(const CallEvent& event,
+              const std::vector<RtValue>& args) override;
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  const Trace& trace() const { return trace_; }
+  void Clear() {
+    lines_.clear();
+    trace_.clear();
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  Trace trace_;
+  // Simulated symbol table: "address" (site id) -> resolved description.
+  std::map<int, std::string> symbol_cache_;
+};
+
+/// Discards events; used to measure the interpreter's un-instrumented
+/// baseline cost.
+class NullCollector : public CallCollector {
+ public:
+  void OnCall(const CallEvent& event,
+              const std::vector<RtValue>& args) override;
+  size_t count() const { return count_; }
+
+ private:
+  size_t count_ = 0;
+};
+
+}  // namespace adprom::runtime
+
+#endif  // ADPROM_RUNTIME_COLLECTOR_H_

@@ -1,0 +1,619 @@
+#include "runtime/interpreter.h"
+
+#include <cmath>
+#include <functional>
+#include <optional>
+
+#include "db/query_signature.h"
+#include "db/sql_eval.h"
+#include "util/strings.h"
+
+namespace adprom::runtime {
+
+namespace {
+
+util::Status TypeError(const std::string& what, int line) {
+  return util::Status::InvalidArgument(
+      util::StrFormat("line %d: %s", line, what.c_str()));
+}
+
+/// FNV-1a — the "checksum" library function for the gzip-like corpus app.
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const prog::Program& program,
+                         const std::map<std::string, prog::Cfg>& cfgs,
+                         db::Database* database, InterpreterOptions options)
+    : program_(program),
+      cfgs_(cfgs),
+      database_(database),
+      options_(options),
+      taint_config_(analysis::TaintConfig::Default()) {}
+
+void Interpreter::set_taint_config(analysis::TaintConfig config) {
+  taint_config_ = std::move(config);
+}
+
+util::Status Interpreter::Step() {
+  if (++steps_ > options_.max_steps) {
+    return util::Status::FailedPrecondition(
+        "step limit exceeded (possible infinite loop)");
+  }
+  return util::Status::Ok();
+}
+
+util::Result<RtValue> Interpreter::Run(std::vector<std::string> inputs) {
+  if (!program_.finalized()) {
+    return util::Status::FailedPrecondition("program not finalized");
+  }
+  io_ = ProgramIo();
+  io_.inputs = std::move(inputs);
+  steps_ = 0;
+  const prog::FunctionDef* main_fn = program_.FindFunction("main");
+  if (main_fn == nullptr) return util::Status::NotFound("no main()");
+  return CallFunction(*main_fn, {});
+}
+
+/// Statement execution: runs a body; a filled optional means `return` was
+/// executed with that value.
+struct Interpreter::ExecResult {
+  std::optional<RtValue> returned;
+};
+
+namespace {
+// Forward declaration helper type for the recursive body executor.
+}  // namespace
+
+util::Result<RtValue> Interpreter::CallFunction(const prog::FunctionDef& fn,
+                                                std::vector<RtValue> args) {
+  std::map<std::string, RtValue> locals;
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    locals[fn.params[i]] = std::move(args[i]);
+  }
+
+  // Local recursive executor over statement lists.
+  std::function<util::Result<ExecResult>(const prog::StmtList&)> exec_body =
+      [&](const prog::StmtList& body) -> util::Result<ExecResult> {
+    for (const auto& stmt : body) {
+      ADPROM_RETURN_IF_ERROR(Step());
+      switch (stmt->kind) {
+        case prog::StmtKind::kVarDecl:
+        case prog::StmtKind::kAssign: {
+          ADPROM_ASSIGN_OR_RETURN(RtValue v,
+                                  EvalExpr(*stmt->expr, &locals, fn.name));
+          locals[stmt->target] = std::move(v);
+          break;
+        }
+        case prog::StmtKind::kIf: {
+          ADPROM_ASSIGN_OR_RETURN(RtValue cond,
+                                  EvalExpr(*stmt->expr, &locals, fn.name));
+          const prog::StmtList& branch =
+              cond.Truthy() ? stmt->then_body : stmt->else_body;
+          ADPROM_ASSIGN_OR_RETURN(ExecResult r, exec_body(branch));
+          if (r.returned.has_value()) return r;
+          break;
+        }
+        case prog::StmtKind::kWhile: {
+          for (;;) {
+            ADPROM_RETURN_IF_ERROR(Step());
+            ADPROM_ASSIGN_OR_RETURN(RtValue cond,
+                                    EvalExpr(*stmt->expr, &locals, fn.name));
+            if (!cond.Truthy()) break;
+            ADPROM_ASSIGN_OR_RETURN(ExecResult r,
+                                    exec_body(stmt->then_body));
+            if (r.returned.has_value()) return r;
+          }
+          break;
+        }
+        case prog::StmtKind::kReturn: {
+          ExecResult r;
+          if (stmt->expr != nullptr) {
+            ADPROM_ASSIGN_OR_RETURN(RtValue v,
+                                    EvalExpr(*stmt->expr, &locals, fn.name));
+            r.returned = std::move(v);
+          } else {
+            r.returned = RtValue::Null();
+          }
+          return r;
+        }
+        case prog::StmtKind::kExpr: {
+          ADPROM_ASSIGN_OR_RETURN(RtValue v,
+                                  EvalExpr(*stmt->expr, &locals, fn.name));
+          (void)v;
+          break;
+        }
+      }
+    }
+    return ExecResult{};
+  };
+
+  ADPROM_ASSIGN_OR_RETURN(ExecResult result, exec_body(fn.body));
+  if (result.returned.has_value()) return *std::move(result.returned);
+  return RtValue::Null();
+}
+
+util::Result<RtValue> Interpreter::EvalExpr(
+    const prog::Expr& e, std::map<std::string, RtValue>* locals,
+    const std::string& fn_name) {
+  ADPROM_RETURN_IF_ERROR(Step());
+  switch (e.kind) {
+    case prog::ExprKind::kIntLit:
+      return RtValue::Int(e.int_value);
+    case prog::ExprKind::kRealLit:
+      return RtValue::Real(e.real_value);
+    case prog::ExprKind::kStrLit:
+      return RtValue::Str(e.str_value);
+    case prog::ExprKind::kVar: {
+      auto it = locals->find(e.name);
+      if (it == locals->end()) {
+        return TypeError("unbound variable " + e.name, e.line);
+      }
+      return it->second;
+    }
+    case prog::ExprKind::kUnary: {
+      ADPROM_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*e.lhs, locals, fn_name));
+      if (e.un_op == prog::UnOp::kNot) {
+        RtValue out = RtValue::Int(v.Truthy() ? 0 : 1);
+        out.MergeProvenance(v);
+        return out;
+      }
+      double d;
+      if (!v.TryNumeric(&d)) return TypeError("negating non-number", e.line);
+      RtValue out = v.is_int() ? RtValue::Int(-v.AsInt()) : RtValue::Real(-d);
+      out.MergeProvenance(v);
+      return out;
+    }
+    case prog::ExprKind::kBinary: {
+      // Short-circuit logical operators evaluate lazily, like the source
+      // language they model; the CFG over-approximates this.
+      if (e.bin_op == prog::BinOp::kAnd || e.bin_op == prog::BinOp::kOr) {
+        ADPROM_ASSIGN_OR_RETURN(RtValue lhs,
+                                EvalExpr(*e.lhs, locals, fn_name));
+        const bool lt = lhs.Truthy();
+        if (e.bin_op == prog::BinOp::kAnd && !lt) return RtValue::Int(0);
+        if (e.bin_op == prog::BinOp::kOr && lt) return RtValue::Int(1);
+        ADPROM_ASSIGN_OR_RETURN(RtValue rhs,
+                                EvalExpr(*e.rhs, locals, fn_name));
+        return RtValue::Int(rhs.Truthy() ? 1 : 0);
+      }
+      ADPROM_ASSIGN_OR_RETURN(RtValue lhs, EvalExpr(*e.lhs, locals, fn_name));
+      ADPROM_ASSIGN_OR_RETURN(RtValue rhs, EvalExpr(*e.rhs, locals, fn_name));
+      RtValue out;
+      switch (e.bin_op) {
+        case prog::BinOp::kAdd: {
+          if (lhs.is_str() || rhs.is_str()) {
+            out = RtValue::Str(lhs.ToString() + rhs.ToString());
+            break;
+          }
+          double a, b;
+          if (!lhs.TryNumeric(&a) || !rhs.TryNumeric(&b))
+            return TypeError("'+' on incompatible types", e.line);
+          out = (lhs.is_int() && rhs.is_int())
+                    ? RtValue::Int(lhs.AsInt() + rhs.AsInt())
+                    : RtValue::Real(a + b);
+          break;
+        }
+        case prog::BinOp::kSub:
+        case prog::BinOp::kMul:
+        case prog::BinOp::kDiv:
+        case prog::BinOp::kMod: {
+          double a, b;
+          if (!lhs.TryNumeric(&a) || !rhs.TryNumeric(&b))
+            return TypeError("arithmetic on non-numbers", e.line);
+          const bool ints = lhs.is_int() && rhs.is_int();
+          switch (e.bin_op) {
+            case prog::BinOp::kSub:
+              out = ints ? RtValue::Int(lhs.AsInt() - rhs.AsInt())
+                         : RtValue::Real(a - b);
+              break;
+            case prog::BinOp::kMul:
+              out = ints ? RtValue::Int(lhs.AsInt() * rhs.AsInt())
+                         : RtValue::Real(a * b);
+              break;
+            case prog::BinOp::kDiv:
+              if (ints) {
+                if (rhs.AsInt() == 0)
+                  return TypeError("integer division by zero", e.line);
+                out = RtValue::Int(lhs.AsInt() / rhs.AsInt());
+              } else {
+                out = RtValue::Real(a / b);
+              }
+              break;
+            case prog::BinOp::kMod:
+              if (!ints || rhs.AsInt() == 0)
+                return TypeError("'%' needs non-zero integers", e.line);
+              out = RtValue::Int(lhs.AsInt() % rhs.AsInt());
+              break;
+            default:
+              break;
+          }
+          break;
+        }
+        case prog::BinOp::kLt:
+        case prog::BinOp::kLe:
+        case prog::BinOp::kGt:
+        case prog::BinOp::kGe:
+        case prog::BinOp::kEq:
+        case prog::BinOp::kNe: {
+          int cmp;
+          double a, b;
+          if (lhs.TryNumeric(&a) && rhs.TryNumeric(&b)) {
+            cmp = a < b ? -1 : (a > b ? 1 : 0);
+          } else if (lhs.is_str() && rhs.is_str()) {
+            cmp = lhs.AsStr().compare(rhs.AsStr());
+            cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+          } else if (lhs.is_null() || rhs.is_null()) {
+            cmp = (lhs.is_null() && rhs.is_null()) ? 0 : 2;  // incomparable
+          } else {
+            const std::string ls = lhs.ToString();
+            const std::string rs = rhs.ToString();
+            cmp = ls < rs ? -1 : (ls > rs ? 1 : 0);
+          }
+          bool r = false;
+          switch (e.bin_op) {
+            case prog::BinOp::kLt: r = cmp == -1; break;
+            case prog::BinOp::kLe: r = cmp == -1 || cmp == 0; break;
+            case prog::BinOp::kGt: r = cmp == 1; break;
+            case prog::BinOp::kGe: r = cmp == 1 || cmp == 0; break;
+            case prog::BinOp::kEq: r = cmp == 0; break;
+            case prog::BinOp::kNe: r = cmp != 0; break;
+            default: break;
+          }
+          out = RtValue::Int(r ? 1 : 0);
+          break;
+        }
+        case prog::BinOp::kAnd:
+        case prog::BinOp::kOr:
+          break;  // handled above
+      }
+      out.MergeProvenance(lhs);
+      out.MergeProvenance(rhs);
+      return out;
+    }
+    case prog::ExprKind::kCall:
+      return EvalCall(e, locals, fn_name);
+  }
+  return util::Status::Internal("unhandled expression kind");
+}
+
+util::Result<RtValue> Interpreter::EvalCall(
+    const prog::Expr& call, std::map<std::string, RtValue>* locals,
+    const std::string& fn_name) {
+  std::vector<RtValue> args;
+  args.reserve(call.args.size());
+  for (const auto& arg : call.args) {
+    ADPROM_ASSIGN_OR_RETURN(RtValue v, EvalExpr(*arg, locals, fn_name));
+    args.push_back(std::move(v));
+  }
+  if (program_.IsUserFunction(call.name)) {
+    const prog::FunctionDef* callee = program_.FindFunction(call.name);
+    return CallFunction(*callee, std::move(args));
+  }
+  return CallLibrary(call.name, args, call, fn_name);
+}
+
+util::Result<RtValue> Interpreter::CallLibrary(const std::string& name,
+                                               std::vector<RtValue>& args,
+                                               const prog::Expr& call_expr,
+                                               const std::string& caller) {
+  // Report the event to the collector first (instrumentation fires on
+  // call entry), including the dynamic TD label.
+  if (collector_ != nullptr) {
+    CallEvent event;
+    event.callee = name;
+    event.caller = caller;
+    event.call_site_id = call_expr.call_site_id;
+    auto cfg_it = cfgs_.find(caller);
+    if (cfg_it != cfgs_.end()) {
+      const auto node = cfg_it->second.NodeOfCallSite(call_expr.call_site_id);
+      if (node.has_value()) event.block_id = *node;
+    }
+    if (taint_config_.sink_calls.count(name) > 0) {
+      for (const RtValue& arg : args) {
+        if (arg.tainted()) {
+          event.td_output = true;
+          for (const std::string& t : arg.provenance()) {
+            event.source_tables.push_back(t);
+          }
+        }
+      }
+    }
+    if (name == "db_query" && !args.empty() && args[0].is_str()) {
+      event.query_signature = db::QuerySignature(args[0].AsStr());
+    }
+    // Labeled-file tracking (§VII): sending a file that previously
+    // received TD is a TD output even though the arguments are plain
+    // strings.
+    if (name == "send_file" && args.size() == 2 && args[1].is_str()) {
+      auto it = io_.files.find(args[1].AsStr());
+      if (it != io_.files.end() && it->second.tainted()) {
+        event.td_output = true;
+        for (const std::string& table : it->second.provenance) {
+          event.source_tables.push_back(table);
+        }
+      }
+    }
+    collector_->OnCall(event, args);
+  }
+
+  auto need = [&](size_t n) -> util::Status {
+    if (args.size() != n) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "line %d: %s expects %zu args, got %zu", call_expr.line,
+          name.c_str(), n, args.size()));
+    }
+    return util::Status::Ok();
+  };
+
+  // --- I/O ------------------------------------------------------------
+  if (name == "scan") {
+    ADPROM_RETURN_IF_ERROR(need(0));
+    if (io_.input_cursor >= io_.inputs.size()) return RtValue::Null();
+    return RtValue::Str(io_.inputs[io_.input_cursor++]);
+  }
+  if (name == "input_int") {
+    ADPROM_RETURN_IF_ERROR(need(0));
+    if (io_.input_cursor >= io_.inputs.size()) return RtValue::Int(0);
+    return RtValue::Int(
+        std::strtoll(io_.inputs[io_.input_cursor++].c_str(), nullptr, 10));
+  }
+  if (name == "has_input") {
+    ADPROM_RETURN_IF_ERROR(need(0));
+    return RtValue::Int(io_.input_cursor < io_.inputs.size() ? 1 : 0);
+  }
+  if (name == "print" || name == "print_err") {
+    std::string line;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) line += " ";
+      line += args[i].ToString();
+    }
+    io_.screen.push_back(std::move(line));
+    return RtValue::Null();
+  }
+  if (name == "write_file" || name == "fprint") {
+    ADPROM_RETURN_IF_ERROR(need(2));
+    if (!args[0].is_str())
+      return TypeError(name + " expects a file name", call_expr.line);
+    FileState& file = io_.files[args[0].AsStr()];
+    file.lines.push_back(args[1].ToString());
+    file.provenance.insert(args[1].provenance().begin(),
+                           args[1].provenance().end());
+    return RtValue::Null();
+  }
+  if (name == "read_file") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    if (!args[0].is_str())
+      return TypeError("read_file expects a file name", call_expr.line);
+    auto it = io_.files.find(args[0].AsStr());
+    if (it == io_.files.end()) return RtValue::Null();
+    RtValue out = RtValue::Str(util::Join(it->second.lines, "\n"));
+    for (const std::string& table : it->second.provenance) {
+      out.AddProvenance(table);
+    }
+    return out;
+  }
+  if (name == "send_net") {
+    ADPROM_RETURN_IF_ERROR(need(2));
+    io_.network.push_back(args[0].ToString() + "|" + args[1].ToString());
+    return RtValue::Null();
+  }
+  if (name == "send_file") {
+    ADPROM_RETURN_IF_ERROR(need(2));
+    if (!args[1].is_str())
+      return TypeError("send_file expects (host, file name)",
+                       call_expr.line);
+    auto it = io_.files.find(args[1].AsStr());
+    const std::string payload =
+        it == io_.files.end() ? "<missing>"
+                              : util::Join(it->second.lines, "\n");
+    io_.network.push_back(args[0].ToString() + "|file:" +
+                          args[1].AsStr() + "|" + payload);
+    return RtValue::Null();
+  }
+
+  // --- DB client ------------------------------------------------------
+  if (name == "db_query") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    if (database_ == nullptr)
+      return TypeError("db_query without a database", call_expr.line);
+    if (!args[0].is_str())
+      return TypeError("db_query expects a SQL string", call_expr.line);
+    auto result = database_->Execute(args[0].AsStr());
+    if (!result.ok()) return RtValue::Null();  // mysql_query error code
+    auto handle = std::make_shared<DbResultHandle>();
+    handle->result = std::move(result).value();
+    return RtValue::DbResult(std::move(handle));
+  }
+  if (name == "db_ntuples") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    if (!args[0].is_db_result())
+      return TypeError("db_ntuples expects a result", call_expr.line);
+    RtValue out =
+        RtValue::Int(static_cast<int64_t>(args[0].AsDbResult()->result.num_rows()));
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "db_nfields") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    if (!args[0].is_db_result())
+      return TypeError("db_nfields expects a result", call_expr.line);
+    RtValue out = RtValue::Int(
+        static_cast<int64_t>(args[0].AsDbResult()->result.num_cols()));
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "db_getvalue") {
+    ADPROM_RETURN_IF_ERROR(need(3));
+    if (!args[0].is_db_result() || !args[1].is_int() || !args[2].is_int())
+      return TypeError("db_getvalue expects (result, row, col)",
+                       call_expr.line);
+    const db::QueryResult& qr = args[0].AsDbResult()->result;
+    const auto r = static_cast<size_t>(args[1].AsInt());
+    const auto c = static_cast<size_t>(args[2].AsInt());
+    if (r >= qr.num_rows() || c >= qr.num_cols()) return RtValue::Null();
+    RtValue out = RtValue::Str(qr.At(r, c).ToString());
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "db_fetch_row") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    if (!args[0].is_db_result())
+      return TypeError("db_fetch_row expects a result", call_expr.line);
+    DbResultHandle& handle = *args[0].AsDbResult();
+    if (handle.cursor >= handle.result.num_rows()) return RtValue::Null();
+    auto row = std::make_shared<DbRowHandle>();
+    row->cells = handle.result.rows[handle.cursor++];
+    row->source_table = handle.result.source_table;
+    return RtValue::DbRow(std::move(row));
+  }
+  if (name == "row_get") {
+    ADPROM_RETURN_IF_ERROR(need(2));
+    if (!args[0].is_db_row() || !args[1].is_int())
+      return TypeError("row_get expects (row, index)", call_expr.line);
+    const auto i = static_cast<size_t>(args[1].AsInt());
+    const DbRowHandle& row = *args[0].AsDbRow();
+    if (i >= row.cells.size()) return RtValue::Null();
+    RtValue out = RtValue::Str(row.cells[i].ToString());
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "is_null") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    return RtValue::Int(args[0].is_null() ? 1 : 0);
+  }
+
+  // --- Strings ----------------------------------------------------------
+  if (name == "str") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    RtValue out = RtValue::Str(args[0].ToString());
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "len") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    RtValue out = RtValue::Int(
+        args[0].is_str() ? static_cast<int64_t>(args[0].AsStr().size()) : 0);
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "substr") {
+    ADPROM_RETURN_IF_ERROR(need(3));
+    if (!args[0].is_str() || !args[1].is_int() || !args[2].is_int())
+      return TypeError("substr expects (string, start, len)", call_expr.line);
+    const std::string& s = args[0].AsStr();
+    const auto start =
+        std::min(static_cast<size_t>(std::max<int64_t>(args[1].AsInt(), 0)),
+                 s.size());
+    const auto count =
+        static_cast<size_t>(std::max<int64_t>(args[2].AsInt(), 0));
+    RtValue out = RtValue::Str(s.substr(start, count));
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "to_int") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    int64_t v = 0;
+    if (args[0].is_int()) {
+      v = args[0].AsInt();
+    } else if (args[0].is_real()) {
+      v = static_cast<int64_t>(args[0].AsReal());
+    } else if (args[0].is_str()) {
+      v = std::strtoll(args[0].AsStr().c_str(), nullptr, 10);
+    }
+    RtValue out = RtValue::Int(v);
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "upper" || name == "lower") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    if (!args[0].is_str())
+      return TypeError(name + " expects a string", call_expr.line);
+    RtValue out = RtValue::Str(name == "upper"
+                                   ? util::ToUpper(args[0].AsStr())
+                                   : util::ToLower(args[0].AsStr()));
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "contains") {
+    ADPROM_RETURN_IF_ERROR(need(2));
+    if (!args[0].is_str() || !args[1].is_str())
+      return TypeError("contains expects strings", call_expr.line);
+    RtValue out = RtValue::Int(
+        args[0].AsStr().find(args[1].AsStr()) != std::string::npos ? 1 : 0);
+    out.MergeProvenance(args[0]);
+    out.MergeProvenance(args[1]);
+    return out;
+  }
+  if (name == "trim") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    if (!args[0].is_str())
+      return TypeError("trim expects a string", call_expr.line);
+    RtValue out = RtValue::Str(std::string(util::Trim(args[0].AsStr())));
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "replace") {
+    ADPROM_RETURN_IF_ERROR(need(3));
+    if (!args[0].is_str() || !args[1].is_str() || !args[2].is_str())
+      return TypeError("replace expects (string, old, new)", call_expr.line);
+    const std::string& old_part = args[1].AsStr();
+    std::string s = args[0].AsStr();
+    if (!old_part.empty()) {
+      size_t pos = 0;
+      while ((pos = s.find(old_part, pos)) != std::string::npos) {
+        s.replace(pos, old_part.size(), args[2].AsStr());
+        pos += args[2].AsStr().size();
+      }
+    }
+    RtValue out = RtValue::Str(std::move(s));
+    out.MergeProvenance(args[0]);
+    out.MergeProvenance(args[2]);
+    return out;
+  }
+  if (name == "like_match") {
+    ADPROM_RETURN_IF_ERROR(need(2));
+    if (!args[0].is_str() || !args[1].is_str())
+      return TypeError("like_match expects strings", call_expr.line);
+    RtValue out = RtValue::Int(
+        db::LikeMatch(args[0].AsStr(), args[1].AsStr()) ? 1 : 0);
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "checksum") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    RtValue out = RtValue::Int(
+        static_cast<int64_t>(Fnv1a(args[0].ToString()) & 0x7fffffff));
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+  if (name == "compress") {
+    ADPROM_RETURN_IF_ERROR(need(1));
+    // Toy run-length encoding, enough to give the gzip-like app real work.
+    const std::string s = args[0].ToString();
+    std::string enc;
+    for (size_t i = 0; i < s.size();) {
+      size_t j = i;
+      while (j < s.size() && s[j] == s[i] && j - i < 9) ++j;
+      enc += static_cast<char>('0' + (j - i));
+      enc += s[i];
+      i = j;
+    }
+    RtValue out = RtValue::Str(std::move(enc));
+    out.MergeProvenance(args[0]);
+    return out;
+  }
+
+  return util::Status::NotFound(util::StrFormat(
+      "line %d: unknown library function '%s'", call_expr.line,
+      name.c_str()));
+}
+
+}  // namespace adprom::runtime

@@ -1,0 +1,118 @@
+#ifndef ADPROM_RUNTIME_INTERPRETER_H_
+#define ADPROM_RUNTIME_INTERPRETER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/taint.h"
+#include "db/database.h"
+#include "prog/cfg.h"
+#include "prog/program.h"
+#include "runtime/collector.h"
+#include "runtime/value.h"
+#include "util/status.h"
+
+namespace adprom::runtime {
+
+/// A file written by the interpreted program. Files accumulate the
+/// provenance of everything written into them — the paper's §VII
+/// mitigation "when a call like fprintf/write stores TD, the file is
+/// labeled; actions on such files are monitored".
+struct FileState {
+  std::vector<std::string> lines;
+  std::set<std::string> provenance;  // tables whose data reached the file
+
+  bool tainted() const { return !provenance.empty(); }
+  size_t size() const { return lines.size(); }
+};
+
+/// Captured I/O of one program run: what the program printed, wrote to
+/// files, and sent over the network. Tests assert data leakage against
+/// these channels.
+struct ProgramIo {
+  std::vector<std::string> inputs;  // consumed by scan()/input_int()
+  size_t input_cursor = 0;
+  std::vector<std::string> screen;          // print / print_err
+  std::map<std::string, FileState> files;   // write_file / fprint
+  std::vector<std::string> network;         // send_net / send_file
+};
+
+struct InterpreterOptions {
+  /// Aborts runs that exceed this many evaluated statements/expressions
+  /// (guards against accidental infinite loops in corpus programs).
+  size_t max_steps = 5'000'000;
+};
+
+/// Executes a MiniApp program against the in-memory database, tracking
+/// value provenance (dynamic taint) and reporting every library call to
+/// the attached collector — the substitute for running the real client
+/// binary under Dyninst instrumentation.
+///
+/// Built-in library functions:
+///   I/O       : scan, input_int, has_input, print, print_err, fprint,
+///               write_file, read_file, send_net, send_file
+///   DB client : db_query, db_ntuples, db_nfields, db_getvalue,
+///               db_fetch_row, row_get, is_null
+///   strings   : str, len, substr, to_int, upper, lower, contains, trim,
+///               replace, like_match, checksum, compress
+///
+/// Files written by the program are *labeled* with the provenance of the
+/// data stored in them; read_file returns tainted data from a labeled
+/// file and send_file of a labeled file is reported as a TD output even
+/// though its direct arguments are plain strings (§VII mitigation).
+class Interpreter {
+ public:
+  /// `program` must be finalized; `cfgs` must come from BuildAllCfgs on
+  /// the same program (block ids must match). `database` may be null for
+  /// programs that issue no DB calls.
+  Interpreter(const prog::Program& program,
+              const std::map<std::string, prog::Cfg>& cfgs,
+              db::Database* database,
+              InterpreterOptions options = InterpreterOptions());
+
+  /// The sink set used for dynamic TD labeling; defaults to
+  /// analysis::TaintConfig::Default().
+  void set_taint_config(analysis::TaintConfig config);
+
+  void set_collector(CallCollector* collector) { collector_ = collector; }
+
+  /// Runs main() with the given input feed. Returns main's return value.
+  /// The captured I/O of the run is available via io() afterwards.
+  util::Result<RtValue> Run(std::vector<std::string> inputs);
+
+  const ProgramIo& io() const { return io_; }
+
+ private:
+  friend class Frame;
+
+  struct ExecResult;
+
+  util::Result<RtValue> CallFunction(const prog::FunctionDef& fn,
+                                     std::vector<RtValue> args);
+  util::Result<RtValue> EvalExpr(const prog::Expr& e,
+                                 std::map<std::string, RtValue>* locals,
+                                 const std::string& fn_name);
+  util::Result<RtValue> EvalCall(const prog::Expr& call,
+                                 std::map<std::string, RtValue>* locals,
+                                 const std::string& fn_name);
+  util::Result<RtValue> CallLibrary(const std::string& name,
+                                    std::vector<RtValue>& args,
+                                    const prog::Expr& call_expr,
+                                    const std::string& caller);
+  util::Status Step();
+
+  const prog::Program& program_;
+  const std::map<std::string, prog::Cfg>& cfgs_;
+  db::Database* database_;
+  InterpreterOptions options_;
+  analysis::TaintConfig taint_config_;
+  CallCollector* collector_ = nullptr;
+  ProgramIo io_;
+  size_t steps_ = 0;
+};
+
+}  // namespace adprom::runtime
+
+#endif  // ADPROM_RUNTIME_INTERPRETER_H_

@@ -1,0 +1,111 @@
+#include "runtime/trace_io.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace adprom::runtime {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0A"; break;
+      case '%': out += "%25"; break;
+      case ',': out += "%2C"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+util::Result<std::string> Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return util::Status::ParseError("truncated escape in trace field");
+    }
+    const std::string hex = s.substr(i + 1, 2);
+    char* end = nullptr;
+    const long value = std::strtol(hex.c_str(), &end, 16);
+    if (end != hex.c_str() + 2) {
+      return util::Status::ParseError("bad escape in trace field: %" + hex);
+    }
+    out += static_cast<char>(value);
+    i += 2;
+  }
+  return std::move(out);
+}
+
+}  // namespace
+
+std::string SerializeTrace(const Trace& trace) {
+  std::string out;
+  for (const CallEvent& event : trace) {
+    out += Escape(event.callee);
+    out += '\t';
+    out += Escape(event.caller);
+    out += '\t';
+    out += std::to_string(event.block_id);
+    out += '\t';
+    out += std::to_string(event.call_site_id);
+    out += '\t';
+    out += event.td_output ? '1' : '0';
+    out += '\t';
+    out += Escape(event.query_signature);
+    out += '\t';
+    for (size_t i = 0; i < event.source_tables.size(); ++i) {
+      if (i > 0) out += ',';
+      out += Escape(event.source_tables[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+util::Result<Trace> ParseTrace(const std::string& text) {
+  Trace trace;
+  size_t line_no = 0;
+  for (const std::string& line : util::Split(text, '\n')) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() != 7) {
+      return util::Status::ParseError(util::StrFormat(
+          "trace line %zu: expected 7 fields, got %zu", line_no,
+          fields.size()));
+    }
+    CallEvent event;
+    ADPROM_ASSIGN_OR_RETURN(event.callee, Unescape(fields[0]));
+    ADPROM_ASSIGN_OR_RETURN(event.caller, Unescape(fields[1]));
+    event.block_id = static_cast<int>(std::strtol(fields[2].c_str(),
+                                                  nullptr, 10));
+    event.call_site_id = static_cast<int>(std::strtol(fields[3].c_str(),
+                                                      nullptr, 10));
+    if (fields[4] != "0" && fields[4] != "1") {
+      return util::Status::ParseError(util::StrFormat(
+          "trace line %zu: td flag must be 0/1", line_no));
+    }
+    event.td_output = fields[4] == "1";
+    ADPROM_ASSIGN_OR_RETURN(event.query_signature, Unescape(fields[5]));
+    if (!fields[6].empty()) {
+      for (const std::string& table : util::Split(fields[6], ',')) {
+        ADPROM_ASSIGN_OR_RETURN(std::string unescaped, Unescape(table));
+        event.source_tables.push_back(std::move(unescaped));
+      }
+    }
+    trace.push_back(std::move(event));
+  }
+  return std::move(trace);
+}
+
+}  // namespace adprom::runtime

@@ -1,0 +1,27 @@
+#ifndef ADPROM_RUNTIME_TRACE_IO_H_
+#define ADPROM_RUNTIME_TRACE_IO_H_
+
+#include <string>
+
+#include "runtime/call_event.h"
+#include "util/status.h"
+
+namespace adprom::runtime {
+
+/// Text serialization of call traces. In a deployment the Calls Collector
+/// runs next to the application while the Detection Engine may run
+/// elsewhere (the paper's architecture diagrams the two as separate
+/// components); this is the wire/storage format between them.
+///
+/// One line per event, tab-separated:
+///   callee <TAB> caller <TAB> block <TAB> site <TAB> td <TAB>
+///   signature <TAB> table[,table...]
+/// Text fields are percent-escaped for tab/newline/percent/comma.
+std::string SerializeTrace(const Trace& trace);
+
+/// Parses a serialized trace; fails with ParseError on malformed lines.
+util::Result<Trace> ParseTrace(const std::string& text);
+
+}  // namespace adprom::runtime
+
+#endif  // ADPROM_RUNTIME_TRACE_IO_H_

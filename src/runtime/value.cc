@@ -1,0 +1,90 @@
+#include "runtime/value.h"
+
+#include "util/strings.h"
+
+namespace adprom::runtime {
+
+RtValue RtValue::Int(int64_t v) {
+  RtValue out;
+  out.data_ = v;
+  return out;
+}
+
+RtValue RtValue::Real(double v) {
+  RtValue out;
+  out.data_ = v;
+  return out;
+}
+
+RtValue RtValue::Str(std::string v) {
+  RtValue out;
+  out.data_ = std::move(v);
+  return out;
+}
+
+RtValue RtValue::DbResult(std::shared_ptr<DbResultHandle> handle) {
+  RtValue out;
+  if (!handle->result.source_table.empty()) {
+    out.provenance_.insert(handle->result.source_table);
+  }
+  out.data_ = std::move(handle);
+  return out;
+}
+
+RtValue RtValue::DbRow(std::shared_ptr<DbRowHandle> handle) {
+  RtValue out;
+  if (!handle->source_table.empty()) {
+    out.provenance_.insert(handle->source_table);
+  }
+  out.data_ = std::move(handle);
+  return out;
+}
+
+bool RtValue::TryNumeric(double* out) const {
+  if (is_int()) {
+    *out = static_cast<double>(AsInt());
+    return true;
+  }
+  if (is_real()) {
+    *out = AsReal();
+    return true;
+  }
+  return false;
+}
+
+bool RtValue::Truthy() const {
+  if (is_null()) return false;
+  if (is_int()) return AsInt() != 0;
+  if (is_real()) return AsReal() != 0.0;
+  if (is_str()) return !AsStr().empty();
+  if (is_db_result()) return true;
+  if (is_db_row()) return !AsDbRow()->cells.empty();
+  return false;
+}
+
+std::string RtValue::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_real()) return util::StrFormat("%g", AsReal());
+  if (is_str()) return AsStr();
+  if (is_db_result()) {
+    return util::StrFormat("<db_result rows=%zu>",
+                           AsDbResult()->result.num_rows());
+  }
+  if (is_db_row()) {
+    std::string out = "<row";
+    for (const db::Value& v : AsDbRow()->cells) out += " " + v.ToString();
+    return out + ">";
+  }
+  return "?";
+}
+
+void RtValue::AddProvenance(const std::string& table) {
+  provenance_.insert(table.empty() ? "<unknown>" : table);
+}
+
+void RtValue::MergeProvenance(const RtValue& other) {
+  provenance_.insert(other.provenance_.begin(), other.provenance_.end());
+}
+
+}  // namespace adprom::runtime

@@ -1,0 +1,94 @@
+#ifndef ADPROM_RUNTIME_VALUE_H_
+#define ADPROM_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/query_result.h"
+
+namespace adprom::runtime {
+
+/// A handle to a query result held by the interpreted program, with the
+/// cursor state db_fetch_row advances (the analogue of MYSQL_RES* /
+/// PGresult*).
+struct DbResultHandle {
+  db::QueryResult result;
+  size_t cursor = 0;
+};
+
+/// A fetched row handle (the analogue of MYSQL_ROW).
+struct DbRowHandle {
+  db::Row cells;
+  std::string source_table;
+};
+
+/// A dynamically-typed runtime value of the interpreted program. Every
+/// value carries *provenance*: the set of database tables its data was
+/// derived from. Non-empty provenance == tainted (targeted data). This is
+/// the exact dynamic counterpart of the static taint analysis; the paper
+/// obtains it by instrumenting the running program with Dyninst.
+class RtValue {
+ public:
+  RtValue() = default;  // null
+
+  static RtValue Null() { return RtValue(); }
+  static RtValue Int(int64_t v);
+  static RtValue Real(double v);
+  static RtValue Str(std::string v);
+  static RtValue DbResult(std::shared_ptr<DbResultHandle> handle);
+  static RtValue DbRow(std::shared_ptr<DbRowHandle> handle);
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_real() const { return std::holds_alternative<double>(data_); }
+  bool is_str() const { return std::holds_alternative<std::string>(data_); }
+  bool is_db_result() const {
+    return std::holds_alternative<std::shared_ptr<DbResultHandle>>(data_);
+  }
+  bool is_db_row() const {
+    return std::holds_alternative<std::shared_ptr<DbRowHandle>>(data_);
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsReal() const { return std::get<double>(data_); }
+  const std::string& AsStr() const { return std::get<std::string>(data_); }
+  const std::shared_ptr<DbResultHandle>& AsDbResult() const {
+    return std::get<std::shared_ptr<DbResultHandle>>(data_);
+  }
+  const std::shared_ptr<DbRowHandle>& AsDbRow() const {
+    return std::get<std::shared_ptr<DbRowHandle>>(data_);
+  }
+
+  /// Numeric view (int -> double); false for non-numeric values.
+  bool TryNumeric(double* out) const;
+
+  /// Truthiness for conditions: null/0/0.0/"" are false, everything else
+  /// (including handles) is true; an exhausted row handle is false.
+  bool Truthy() const;
+
+  /// Human-readable rendering (used by print and the heavy tracer).
+  std::string ToString() const;
+
+  /// Provenance: DB tables this value's data derives from.
+  const std::set<std::string>& provenance() const { return provenance_; }
+  bool tainted() const { return !provenance_.empty(); }
+  void AddProvenance(const std::string& table);
+  void MergeProvenance(const RtValue& other);
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string,
+               std::shared_ptr<DbResultHandle>,
+               std::shared_ptr<DbRowHandle>>
+      data_;
+  std::set<std::string> provenance_;
+};
+
+}  // namespace adprom::runtime
+
+#endif  // ADPROM_RUNTIME_VALUE_H_

@@ -1,0 +1,48 @@
+#ifndef ADPROM_UTIL_LOGGING_H_
+#define ADPROM_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace adprom::util {
+
+namespace internal {
+
+/// Terminates the process after printing `file:line: msg`. Used by the
+/// CHECK macros below for invariant violations (programming errors, never
+/// data-dependent conditions — those go through Status).
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+#define ADPROM_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::adprom::util::internal::CheckFail(__FILE__, __LINE__, #cond);   \
+  } while (0)
+
+#define ADPROM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream _oss;                                          \
+      _oss << #cond << " — " << msg;                                    \
+      ::adprom::util::internal::CheckFail(__FILE__, __LINE__,           \
+                                          _oss.str());                  \
+    }                                                                   \
+  } while (0)
+
+#define ADPROM_CHECK_EQ(a, b) ADPROM_CHECK_MSG((a) == (b), "lhs != rhs")
+#define ADPROM_CHECK_LT(a, b) ADPROM_CHECK_MSG((a) < (b), "lhs >= rhs")
+#define ADPROM_CHECK_LE(a, b) ADPROM_CHECK_MSG((a) <= (b), "lhs > rhs")
+#define ADPROM_CHECK_GT(a, b) ADPROM_CHECK_MSG((a) > (b), "lhs <= rhs")
+#define ADPROM_CHECK_GE(a, b) ADPROM_CHECK_MSG((a) >= (b), "lhs < rhs")
+
+}  // namespace adprom::util
+
+#endif  // ADPROM_UTIL_LOGGING_H_

@@ -1,0 +1,117 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace adprom::util {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    ADPROM_CHECK_EQ(rows[r].size(), m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::At(size_t r, size_t c) {
+  ADPROM_CHECK_LT(r, rows_);
+  ADPROM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  ADPROM_CHECK_LT(r, rows_);
+  ADPROM_CHECK_LT(c, cols_);
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  ADPROM_CHECK_LT(r, rows_);
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  ADPROM_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+double Matrix::RowSum(size_t r) const {
+  ADPROM_CHECK_LT(r, rows_);
+  double s = 0.0;
+  for (size_t c = 0; c < cols_; ++c) s += data_[r * cols_ + c];
+  return s;
+}
+
+double Matrix::ColSum(size_t c) const {
+  ADPROM_CHECK_LT(c, cols_);
+  double s = 0.0;
+  for (size_t r = 0; r < rows_; ++r) s += data_[r * cols_ + c];
+  return s;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r)
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  ADPROM_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = At(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c)
+        out.At(r, c) += a * other.At(k, c);
+    }
+  }
+  return out;
+}
+
+void Matrix::NormalizeRows(double eps) {
+  for (size_t r = 0; r < rows_; ++r) {
+    const double s = RowSum(r);
+    if (s < eps) continue;
+    for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] /= s;
+  }
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  ADPROM_CHECK(SameShape(other));
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  char buf[64];
+  for (size_t r = 0; r < rows_; ++r) {
+    out += "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%.*f", precision, At(r, c));
+      out += buf;
+      if (c + 1 < cols_) out += ", ";
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace adprom::util

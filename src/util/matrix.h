@@ -1,0 +1,70 @@
+#ifndef ADPROM_UTIL_MATRIX_H_
+#define ADPROM_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace adprom::util {
+
+/// Dense row-major matrix of doubles. Small and dependency-free; sized for
+/// the call-transition matrices and HMM parameter matrices this library
+/// manipulates (hundreds to a few thousands of rows).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer data; all rows must have the
+  /// same length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// Raw row access (row-major contiguous storage).
+  const double* RowData(size_t r) const { return &data_[r * cols_]; }
+  double* RowData(size_t r) { return &data_[r * cols_]; }
+
+  std::vector<double> Row(size_t r) const;
+  std::vector<double> Col(size_t c) const;
+
+  double RowSum(size_t r) const;
+  double ColSum(size_t c) const;
+
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+
+  /// In-place row normalization: each row is scaled to sum to 1. Rows whose
+  /// sum is below `eps` are left untouched.
+  void NormalizeRows(double eps = 1e-12);
+
+  /// Element-wise max absolute difference; both matrices must share shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Pretty-prints with the given precision, for debugging and golden tests.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace adprom::util
+
+#endif  // ADPROM_UTIL_MATRIX_H_

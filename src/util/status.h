@@ -1,0 +1,142 @@
+#ifndef ADPROM_UTIL_STATUS_H_
+#define ADPROM_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace adprom::util {
+
+/// Error categories used across the library. Kept deliberately small;
+/// callers should branch on category, not on message text.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kParseError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not throw on
+/// expected failure paths (bad SQL, malformed programs, singular matrices);
+/// it returns Status / Result<T> instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Inspect with ok()
+/// before dereferencing; value access on an error status aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse
+  /// (`return value;` / `return Status::NotFound(...)`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!status_.ok()) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define ADPROM_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::adprom::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// moves the value into `lhs`.
+#define ADPROM_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto ADPROM_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!ADPROM_CONCAT_(_res_, __LINE__).ok())          \
+    return ADPROM_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(ADPROM_CONCAT_(_res_, __LINE__)).value()
+
+#define ADPROM_CONCAT_INNER_(a, b) a##b
+#define ADPROM_CONCAT_(a, b) ADPROM_CONCAT_INNER_(a, b)
+
+}  // namespace adprom::util
+
+#endif  // ADPROM_UTIL_STATUS_H_

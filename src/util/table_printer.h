@@ -1,0 +1,34 @@
+#ifndef ADPROM_UTIL_TABLE_PRINTER_H_
+#define ADPROM_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace adprom::util {
+
+/// Renders aligned, monospace text tables. The benchmark harness uses this
+/// to print the same rows/columns the paper's tables report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats every cell with the given precision.
+  void AddRow(const std::vector<double>& row, int precision = 4);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adprom::util
+
+#endif  // ADPROM_UTIL_TABLE_PRINTER_H_

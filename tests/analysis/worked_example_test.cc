@@ -1,0 +1,208 @@
+// Golden test: the paper's Fig. 3 worked example. The two-function program
+// below has (up to naming) the control flow of the paper's main()/f(), and
+// the computed CTMs must match Tables I and II exactly. The aggregated
+// pCTM is then checked against the hand-computed inline of fCTM into mCTM.
+
+#include <gtest/gtest.h>
+
+#include "analysis/aggregation.h"
+#include "analysis/forecast.h"
+#include "analysis/labeling.h"
+#include "analysis/taint.h"
+#include "core/analyzer.h"
+#include "prog/cfg.h"
+#include "prog/program.h"
+
+namespace adprom {
+namespace {
+
+// main: branch -> print ("printf'") | print ("printf''") then optional
+// db_query ("PQexec") followed by f(result).
+// f(r): branch -> print("path") ("printf") | nested branch ->
+// print(r) ("printf_Q[bid]", r carries targeted data) | fall through.
+constexpr const char* kWorkedExample = R"(
+fn main() {
+  var x = 1;
+  if (x < 2) {
+    print("a");
+  } else {
+    print("b");
+    if (x < 3) {
+      var r = db_query("SELECT * FROM items WHERE ID = 10");
+      f(r);
+    }
+  }
+}
+
+fn f(r) {
+  var y = 1;
+  if (y < 2) {
+    print("path");
+  } else {
+    if (y < 3) {
+      print(r);
+    }
+  }
+}
+)";
+
+class WorkedExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = prog::ParseProgram(kWorkedExample);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    program_ = std::move(program).value();
+    core::Analyzer analyzer;
+    auto analysis = analyzer.Analyze(program_);
+    ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+    analysis_ = std::move(analysis).value();
+  }
+
+  // Transition between two sites identified by their row/col observables
+  // (sites with duplicate observables are disambiguated by order).
+  static int SiteByObservable(const analysis::Ctm& ctm,
+                              const std::string& observable, int skip = 0) {
+    for (size_t i = 0; i < ctm.num_sites(); ++i) {
+      if (ctm.site(i).observable == observable && skip-- == 0) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  prog::Program program_;
+  core::AnalysisResult analysis_;
+};
+
+TEST_F(WorkedExampleTest, MainCtmMatchesTableI) {
+  const analysis::Ctm& m = analysis_.function_ctms.at("main");
+  ASSERT_EQ(m.num_sites(), 4u);  // printf', printf'', PQexec(db_query), f()
+
+  const int p1 = SiteByObservable(m, "print", 0);   // printf'
+  const int p2 = SiteByObservable(m, "print", 1);   // printf''
+  const int q = SiteByObservable(m, "db_query");
+  const int f = SiteByObservable(m, "f");
+  ASSERT_GE(p1, 0);
+  ASSERT_GE(p2, 0);
+  ASSERT_GE(q, 0);
+  ASSERT_GE(f, 0);
+
+  // Table I, row ε.
+  EXPECT_DOUBLE_EQ(m.entry_to_exit(), 0.0);
+  EXPECT_DOUBLE_EQ(m.entry_to(p1), 0.5);
+  EXPECT_DOUBLE_EQ(m.entry_to(p2), 0.5);
+  EXPECT_DOUBLE_EQ(m.entry_to(q), 0.0);
+  EXPECT_DOUBLE_EQ(m.entry_to(f), 0.0);
+  // Row printf'.
+  EXPECT_DOUBLE_EQ(m.to_exit(p1), 0.5);
+  EXPECT_DOUBLE_EQ(m.between(p1, p2), 0.0);
+  EXPECT_DOUBLE_EQ(m.between(p1, q), 0.0);
+  // Row printf'': ε' = 0.25, PQexec = 0.25.
+  EXPECT_DOUBLE_EQ(m.to_exit(p2), 0.25);
+  EXPECT_DOUBLE_EQ(m.between(p2, q), 0.25);
+  EXPECT_DOUBLE_EQ(m.between(p2, p1), 0.0);
+  // Row PQexec: f() = 0.25.
+  EXPECT_DOUBLE_EQ(m.between(q, f), 0.25);
+  EXPECT_DOUBLE_EQ(m.to_exit(q), 0.0);
+  // Row f(): ε' = 0.25.
+  EXPECT_DOUBLE_EQ(m.to_exit(f), 0.25);
+
+  EXPECT_TRUE(m.CheckInvariants().ok());
+}
+
+TEST_F(WorkedExampleTest, CalleeCtmMatchesTableII) {
+  const analysis::Ctm& fctm = analysis_.function_ctms.at("f");
+  ASSERT_EQ(fctm.num_sites(), 2u);
+
+  // The print(r) site must be DDG-labeled (r carries data from db_query
+  // through the call argument).
+  int plain = -1;
+  int labeled = -1;
+  for (size_t i = 0; i < fctm.num_sites(); ++i) {
+    if (fctm.site(i).labeled) {
+      labeled = static_cast<int>(i);
+    } else {
+      plain = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(plain, 0);
+  ASSERT_GE(labeled, 0);
+  EXPECT_EQ(fctm.site(plain).observable, "print");
+  EXPECT_TRUE(fctm.site(labeled).observable.rfind("print_Qf_", 0) == 0)
+      << fctm.site(labeled).observable;
+  // The labeled site's provenance resolves to the queried table.
+  ASSERT_EQ(fctm.site(labeled).source_tables.size(), 1u);
+  EXPECT_EQ(fctm.site(labeled).source_tables[0], "items");
+
+  // Table II: ε row = (0.25, 0.5, 0.25); printf -> ε' 0.5; printf_Q10 ->
+  // ε' 0.25.
+  EXPECT_DOUBLE_EQ(fctm.entry_to_exit(), 0.25);
+  EXPECT_DOUBLE_EQ(fctm.entry_to(plain), 0.5);
+  EXPECT_DOUBLE_EQ(fctm.entry_to(labeled), 0.25);
+  EXPECT_DOUBLE_EQ(fctm.to_exit(plain), 0.5);
+  EXPECT_DOUBLE_EQ(fctm.to_exit(labeled), 0.25);
+  EXPECT_DOUBLE_EQ(fctm.between(plain, labeled), 0.0);
+  EXPECT_DOUBLE_EQ(fctm.between(labeled, plain), 0.0);
+
+  EXPECT_TRUE(fctm.CheckInvariants().ok());
+
+  // The paper's CTV example: the CTV of printf_Q10 in fCTM is
+  // <0.25, 0, 0, 0.25, 0, 0> — incoming (from ε, printf, printf_Q10) then
+  // outgoing (to ε', printf, printf_Q10).
+  EXPECT_DOUBLE_EQ(fctm.entry_to(labeled), 0.25);
+  EXPECT_DOUBLE_EQ(fctm.between(plain, labeled), 0.0);
+  EXPECT_DOUBLE_EQ(fctm.between(labeled, labeled), 0.0);
+  EXPECT_DOUBLE_EQ(fctm.to_exit(labeled), 0.25);
+  EXPECT_DOUBLE_EQ(fctm.between(labeled, plain), 0.0);
+}
+
+TEST_F(WorkedExampleTest, AggregatedProgramCtmIsHandComputedInline) {
+  const analysis::Ctm& p = analysis_.program_ctm;
+  ASSERT_EQ(p.num_sites(), 5u);  // printf', printf'', PQexec, f.printf, f.printf_Q
+
+  const int p1 = SiteByObservable(p, "print", 0);
+  const int p2 = SiteByObservable(p, "print", 1);
+  const int q = SiteByObservable(p, "db_query");
+  int fp = -1;
+  int fq = -1;
+  for (size_t i = 0; i < p.num_sites(); ++i) {
+    if (p.site(i).function == "f") {
+      if (p.site(i).labeled) {
+        fq = static_cast<int>(i);
+      } else {
+        fp = static_cast<int>(i);
+      }
+    }
+  }
+  ASSERT_GE(fp, 0);
+  ASSERT_GE(fq, 0);
+
+  EXPECT_DOUBLE_EQ(p.entry_to(p1), 0.5);
+  EXPECT_DOUBLE_EQ(p.entry_to(p2), 0.5);
+  EXPECT_DOUBLE_EQ(p.to_exit(p1), 0.5);
+  EXPECT_DOUBLE_EQ(p.to_exit(p2), 0.25);
+  EXPECT_DOUBLE_EQ(p.between(p2, q), 0.25);
+  // Case 1: PQexec -> f's first calls.
+  EXPECT_DOUBLE_EQ(p.between(q, fp), 0.125);
+  EXPECT_DOUBLE_EQ(p.between(q, fq), 0.0625);
+  // Case 4 pass-through: PQexec -> ε' through call-free f paths.
+  EXPECT_DOUBLE_EQ(p.to_exit(q), 0.0625);
+  // Case 2: f's last calls -> ε'.
+  EXPECT_DOUBLE_EQ(p.to_exit(fp), 0.125);
+  EXPECT_DOUBLE_EQ(p.to_exit(fq), 0.0625);
+
+  EXPECT_TRUE(p.CheckInvariants().ok());
+}
+
+TEST_F(WorkedExampleTest, ContextPairsCoverAllLibraryCalls) {
+  const auto pairs = analysis_.ContextPairs();
+  EXPECT_TRUE(pairs.count({"main", "print"}) > 0);
+  EXPECT_TRUE(pairs.count({"main", "db_query"}) > 0);
+  EXPECT_TRUE(pairs.count({"f", "print"}) > 0);
+  EXPECT_FALSE(pairs.count({"f", "db_query"}) > 0);
+  // User-function calls are not context pairs.
+  EXPECT_FALSE(pairs.count({"main", "f"}) > 0);
+}
+
+}  // namespace
+}  // namespace adprom

@@ -1,0 +1,152 @@
+// Corpus sanity tests: every app parses, analyzes with flow-conserving
+// CTMs, and runs all of its test cases without interpreter errors.
+
+#include "apps/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "prog/program.h"
+
+namespace adprom::apps {
+namespace {
+
+struct AppCheck {
+  prog::Program program;
+  core::AnalysisResult analysis;
+};
+
+AppCheck Analyze(const CorpusApp& app) {
+  auto program = prog::ParseProgram(app.source);
+  EXPECT_TRUE(program.ok()) << app.name << ": " << program.status().ToString();
+  core::Analyzer analyzer;
+  auto analysis = analyzer.Analyze(*program);
+  EXPECT_TRUE(analysis.ok()) << app.name << ": "
+                             << analysis.status().ToString();
+  return {std::move(program).value(), std::move(analysis).value()};
+}
+
+class CorpusAppTest : public ::testing::TestWithParam<int> {
+ public:
+  static CorpusApp MakeApp(int index) {
+    switch (index) {
+      case 0: return MakeHospitalApp();
+      case 1: return MakeBankingApp();
+      case 2: return MakeSupermarketApp();
+      case 3: return MakeGrepLike(20, 1);
+      case 4: return MakeGzipLike(15, 2);
+      case 5: return MakeSedLike(15, 3);
+      default: return MakeBashLike(25, 10, 4);  // small variant for speed
+    }
+  }
+};
+
+TEST_P(CorpusAppTest, ParsesAndAnalyzes) {
+  const CorpusApp app = MakeApp(GetParam());
+  AppCheck check = Analyze(app);
+  EXPECT_GT(check.analysis.program_ctm.num_sites(), 0u) << app.name;
+  EXPECT_TRUE(check.analysis.program_ctm.CheckInvariants().ok())
+      << app.name << ": "
+      << check.analysis.program_ctm.CheckInvariants().ToString();
+}
+
+TEST_P(CorpusAppTest, AllTestCasesRunClean) {
+  const CorpusApp app = MakeApp(GetParam());
+  AppCheck check = Analyze(app);
+  ASSERT_FALSE(app.test_cases.empty());
+  size_t total_events = 0;
+  for (const core::TestCase& tc : app.test_cases) {
+    auto trace = core::AdProm::CollectTrace(check.program,
+                                            check.analysis.cfgs,
+                                            app.db_factory, tc);
+    ASSERT_TRUE(trace.ok()) << app.name << ": " << trace.status().ToString();
+    EXPECT_FALSE(trace->empty()) << app.name;
+    total_events += trace->size();
+  }
+  EXPECT_GT(total_events, app.test_cases.size());
+}
+
+std::string AppParamName(const ::testing::TestParamInfo<int>& info) {
+  static const char* names[] = {"Hospital", "Banking",  "Supermarket",
+                                "GrepLike", "GzipLike", "SedLike",
+                                "BashLike"};
+  return names[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, CorpusAppTest, ::testing::Range(0, 7),
+                         AppParamName);
+
+TEST(CorpusTest, DbAppsHaveLabeledSites) {
+  for (int i = 0; i < 3; ++i) {
+    const CorpusApp app = CorpusAppTest::MakeApp(i);
+    auto program = prog::ParseProgram(app.source);
+    ASSERT_TRUE(program.ok());
+    core::Analyzer analyzer;
+    auto analysis = analyzer.Analyze(*program);
+    ASSERT_TRUE(analysis.ok());
+    size_t labeled = 0;
+    for (size_t s = 0; s < analysis->program_ctm.num_sites(); ++s) {
+      if (analysis->program_ctm.site(s).labeled) ++labeled;
+    }
+    EXPECT_GT(labeled, 0u) << app.name;
+  }
+}
+
+TEST(CorpusTest, BankingAppIsInjectable) {
+  // The vulnerable find_client transaction must genuinely leak: the
+  // tautology payload retrieves every client, the benign id exactly one.
+  const CorpusApp app = MakeBankingApp();
+  auto program = prog::ParseProgram(app.source);
+  ASSERT_TRUE(program.ok());
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+
+  runtime::ProgramIo benign_io;
+  auto benign = core::AdProm::CollectTrace(
+      *program, *cfgs, app.db_factory, {{"client", "104"}}, &benign_io);
+  ASSERT_TRUE(benign.ok());
+  size_t benign_rows = 0;
+  for (const std::string& line : benign_io.screen) {
+    if (line.rfind("client ", 0) == 0) ++benign_rows;
+  }
+  EXPECT_EQ(benign_rows, 1u);
+
+  runtime::ProgramIo attack_io;
+  auto attacked = core::AdProm::CollectTrace(
+      *program, *cfgs, app.db_factory, {{"client", "1' OR '1'='1"}},
+      &attack_io);
+  ASSERT_TRUE(attacked.ok());
+  size_t leaked_rows = 0;
+  for (const std::string& line : attack_io.screen) {
+    if (line.rfind("client ", 0) == 0) ++leaked_rows;
+  }
+  EXPECT_EQ(leaked_rows, 15u);  // all clients leak
+  EXPECT_GT(attacked->size(), benign->size());
+}
+
+TEST(CorpusTest, BashLikeScalesPastClusterThreshold) {
+  const CorpusApp app = MakeBashLike(170, 2, 9);
+  auto program = prog::ParseProgram(app.source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  core::Analyzer analyzer;
+  auto analysis = analyzer.Analyze(*program);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // The paper's reduction trigger: more than 900 states.
+  EXPECT_GT(analysis->program_ctm.num_sites(), 900u);
+  EXPECT_TRUE(analysis->program_ctm.CheckInvariants().ok())
+      << analysis->program_ctm.CheckInvariants().ToString();
+}
+
+TEST(CorpusTest, FullCorpusHasSevenApps) {
+  const auto corpus = MakeFullCorpus();
+  ASSERT_EQ(corpus.size(), 7u);
+  EXPECT_EQ(corpus[0].name, "App_h");
+  EXPECT_EQ(corpus[1].name, "App_b");
+  EXPECT_EQ(corpus[2].name, "App_s");
+  EXPECT_EQ(corpus[6].name, "App4");
+  EXPECT_EQ(corpus[0].dbms, "PostgreSQL");
+  EXPECT_EQ(corpus[1].dbms, "MySQL");
+}
+
+}  // namespace
+}  // namespace adprom::apps

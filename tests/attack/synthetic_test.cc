@@ -1,0 +1,106 @@
+#include "attack/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adprom::attack {
+namespace {
+
+runtime::CallEvent MakeEvent(const std::string& callee, int block) {
+  runtime::CallEvent event;
+  event.callee = callee;
+  event.caller = "main";
+  event.block_id = block;
+  event.call_site_id = block;
+  return event;
+}
+
+std::vector<runtime::Trace> NormalWindows() {
+  // Three windows over an alphabet of 5 distinct events.
+  std::vector<runtime::Trace> windows;
+  for (int w = 0; w < 3; ++w) {
+    runtime::Trace window;
+    for (int i = 0; i < 15; ++i) {
+      window.push_back(MakeEvent("call" + std::to_string((i + w) % 5),
+                                 (i + w) % 5));
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+std::set<std::string> Observables(const std::vector<runtime::Trace>& ws) {
+  std::set<std::string> out;
+  for (const auto& w : ws) {
+    for (const auto& e : w) out.insert(e.Observable());
+  }
+  return out;
+}
+
+TEST(SyntheticTest, PoolDerivedFromWindows) {
+  SyntheticAnomalyGenerator gen(NormalWindows(), 1);
+  EXPECT_EQ(gen.pool_size(), 5u);
+}
+
+TEST(SyntheticTest, AS1ReplacesOnlyTheTail) {
+  SyntheticAnomalyGenerator gen(NormalWindows(), 2);
+  const auto legit = Observables(NormalWindows());
+  for (int i = 0; i < 20; ++i) {
+    const runtime::Trace window = gen.MakeAS1(5);
+    ASSERT_EQ(window.size(), 15u);
+    // Every symbol, including replacements, is from the legitimate set.
+    for (const auto& event : window) {
+      EXPECT_TRUE(legit.count(event.Observable()) > 0);
+    }
+  }
+}
+
+TEST(SyntheticTest, AS2InjectsUnknownCalls) {
+  SyntheticAnomalyGenerator gen(NormalWindows(), 3);
+  const auto legit = Observables(NormalWindows());
+  const runtime::Trace window = gen.MakeAS2(3);
+  size_t rogue = 0;
+  for (const auto& event : window) {
+    if (legit.count(event.Observable()) == 0) ++rogue;
+  }
+  EXPECT_GE(rogue, 1u);
+  EXPECT_LE(rogue, 3u);
+}
+
+TEST(SyntheticTest, AS3InflatesOneCallFrequency) {
+  SyntheticAnomalyGenerator gen(NormalWindows(), 4);
+  const runtime::Trace window = gen.MakeAS3();
+  ASSERT_EQ(window.size(), 15u);
+  std::map<std::string, size_t> counts;
+  for (const auto& event : window) ++counts[event.Observable()];
+  size_t max_count = 0;
+  for (const auto& [symbol, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GE(max_count, 4u);  // one call repeated well beyond normal (3x)
+}
+
+TEST(SyntheticTest, BatchesAreDeterministicBySeed) {
+  SyntheticAnomalyGenerator a(NormalWindows(), 99);
+  SyntheticAnomalyGenerator b(NormalWindows(), 99);
+  const auto batch_a = a.MakeBatch1(10);
+  const auto batch_b = b.MakeBatch1(10);
+  ASSERT_EQ(batch_a.size(), batch_b.size());
+  for (size_t i = 0; i < batch_a.size(); ++i) {
+    ASSERT_EQ(batch_a[i].size(), batch_b[i].size());
+    for (size_t j = 0; j < batch_a[i].size(); ++j) {
+      EXPECT_EQ(batch_a[i][j].Observable(), batch_b[i][j].Observable());
+    }
+  }
+}
+
+TEST(SyntheticTest, BatchSizes) {
+  SyntheticAnomalyGenerator gen(NormalWindows(), 5);
+  EXPECT_EQ(gen.MakeBatch1(7).size(), 7u);
+  EXPECT_EQ(gen.MakeBatch2(8).size(), 8u);
+  EXPECT_EQ(gen.MakeBatch3(9).size(), 9u);
+}
+
+}  // namespace
+}  // namespace adprom::attack

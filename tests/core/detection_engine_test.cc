@@ -1,0 +1,144 @@
+// Unit tests of the Detection Engine flag logic against a hand-built
+// profile (no training pipeline involved).
+
+#include "core/detection_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::core {
+namespace {
+
+runtime::CallEvent MakeEvent(const std::string& callee,
+                             const std::string& caller, int block,
+                             bool td = false,
+                             std::vector<std::string> tables = {}) {
+  runtime::CallEvent event;
+  event.callee = callee;
+  event.caller = caller;
+  event.block_id = block;
+  event.call_site_id = block;
+  event.td_output = td;
+  event.source_tables = std::move(tables);
+  return event;
+}
+
+/// A profile whose 2-symbol HMM strongly prefers alternating a/b and whose
+/// alphabet is {<unk>, a, b, print_Qmain_9}.
+ApplicationProfile MakeProfile() {
+  ApplicationProfile profile;
+  profile.options.window_length = 4;
+  profile.alphabet.Intern("a");                // id 1
+  profile.alphabet.Intern("b");                // id 2
+  profile.alphabet.Intern("print_Qmain_9");    // id 3
+  const double eps = 1e-9;
+  util::Matrix a = util::Matrix::FromRows(
+      {{eps, 1.0 - 2 * eps, eps}, {1.0 - 2 * eps, eps, eps},
+       {0.5 - eps, 0.5 - eps, 2 * eps}});
+  // States: 0 emits "a", 1 emits "b", 2 emits the labeled print.
+  util::Matrix b = util::Matrix::FromRows(
+      {{eps, 1.0 - 3 * eps, eps, eps},
+       {eps, eps, 1.0 - 3 * eps, eps},
+       {eps, eps, eps, 1.0 - 3 * eps}});
+  profile.model = hmm::HmmModel(std::move(a), std::move(b),
+                                {0.4, 0.4, 0.2});
+  EXPECT_TRUE(profile.model.Validate().ok());
+  profile.threshold = -3.0;
+  profile.context_pairs = {{"main", "a"}, {"main", "b"},
+                           {"main", "print"}};
+  profile.labeled_sources["print_Qmain_9"] = {"secrets"};
+  return profile;
+}
+
+runtime::Trace AlternatingTrace(size_t n) {
+  runtime::Trace trace;
+  for (size_t i = 0; i < n; ++i) {
+    trace.push_back(MakeEvent(i % 2 == 0 ? "a" : "b", "main",
+                              static_cast<int>(i % 2)));
+  }
+  return trace;
+}
+
+TEST(DetectionEngineTest, NormalWindowPasses) {
+  const ApplicationProfile profile = MakeProfile();
+  DetectionEngine engine(&profile);
+  const auto detections = engine.MonitorTrace(AlternatingTrace(10));
+  ASSERT_EQ(detections.size(), 7u);  // 10 - 4 + 1
+  for (const Detection& d : detections) {
+    EXPECT_EQ(d.flag, DetectionFlag::kNormal);
+    EXPECT_GT(d.score, profile.threshold);
+  }
+}
+
+TEST(DetectionEngineTest, ImplausibleSequenceIsAnomalous) {
+  const ApplicationProfile profile = MakeProfile();
+  DetectionEngine engine(&profile);
+  // a,a,a,a has near-zero probability under the alternating model.
+  runtime::Trace trace;
+  for (int i = 0; i < 4; ++i) trace.push_back(MakeEvent("a", "main", 0));
+  const auto detections = engine.MonitorTrace(trace);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].flag, DetectionFlag::kAnomalous);
+  EXPECT_TRUE(detections[0].source_tables.empty());
+}
+
+TEST(DetectionEngineTest, TdOutputUpgradesToDataLeak) {
+  const ApplicationProfile profile = MakeProfile();
+  DetectionEngine engine(&profile);
+  runtime::Trace trace;
+  trace.push_back(MakeEvent("a", "main", 0));
+  trace.push_back(MakeEvent("a", "main", 0));
+  trace.push_back(MakeEvent("a", "main", 0));
+  trace.push_back(MakeEvent("print", "main", 9, /*td=*/true, {"vault"}));
+  const auto detections = engine.MonitorTrace(trace);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].flag, DetectionFlag::kDataLeak);
+  // Dynamic provenance and the profile's static table mapping merge.
+  EXPECT_EQ(detections[0].source_tables,
+            (std::vector<std::string>{"secrets", "vault"}));
+}
+
+TEST(DetectionEngineTest, OutOfContextBeatsScore) {
+  const ApplicationProfile profile = MakeProfile();
+  DetectionEngine engine(&profile);
+  // Perfectly plausible symbols, but "a" issued from a foreign function.
+  runtime::Trace trace = AlternatingTrace(4);
+  trace[2].caller = "rogue_fn";
+  const auto detections = engine.MonitorTrace(trace);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].flag, DetectionFlag::kOutOfContext);
+  EXPECT_NE(detections[0].detail.find("rogue_fn"), std::string::npos);
+}
+
+TEST(DetectionEngineTest, UnknownSymbolForcesZeroProbability) {
+  const ApplicationProfile profile = MakeProfile();
+  DetectionEngine engine(&profile);
+  runtime::Trace trace = AlternatingTrace(4);
+  trace[1] = MakeEvent("never_seen_call", "main", 0);
+  const auto detections = engine.MonitorTrace(trace);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_TRUE(detections[0].IsAlarm());
+  EXPECT_LE(detections[0].score, -1e8);
+}
+
+TEST(DetectionEngineTest, ShortTraceYieldsSingleWindow) {
+  const ApplicationProfile profile = MakeProfile();
+  DetectionEngine engine(&profile);
+  const auto detections = engine.MonitorTrace(AlternatingTrace(2));
+  EXPECT_EQ(detections.size(), 1u);
+}
+
+TEST(DetectionEngineTest, AlarmsFiltersNormals) {
+  const ApplicationProfile profile = MakeProfile();
+  DetectionEngine engine(&profile);
+  runtime::Trace trace = AlternatingTrace(8);
+  trace.push_back(MakeEvent("a", "main", 0));
+  trace.push_back(MakeEvent("a", "main", 0));
+  trace.push_back(MakeEvent("a", "main", 0));
+  const auto alarms = engine.Alarms(trace);
+  const auto all = engine.MonitorTrace(trace);
+  EXPECT_LT(alarms.size(), all.size());
+  for (const Detection& d : alarms) EXPECT_TRUE(d.IsAlarm());
+}
+
+}  // namespace
+}  // namespace adprom::core

@@ -1,0 +1,216 @@
+// Detection-phase tests: the five attack classes from the paper's Table V,
+// executed against the profile of the inventory app, plus flag semantics.
+
+#include <gtest/gtest.h>
+
+#include "attack/mutators.h"
+#include "core/adprom.h"
+#include "core/baselines.h"
+#include "prog/program.h"
+#include "tests/core/test_app.h"
+
+namespace adprom::core {
+namespace {
+
+using core::testing::InventoryDbFactory;
+using core::testing::InventoryTestCases;
+using core::testing::kInventoryAppSource;
+
+class DetectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto program = prog::ParseProgram(kInventoryAppSource);
+    ASSERT_TRUE(program.ok());
+    program_ = new prog::Program(std::move(program).value());
+    auto adprom = AdProm::Train(*program_, InventoryDbFactory(),
+                                InventoryTestCases());
+    ASSERT_TRUE(adprom.ok()) << adprom.status().ToString();
+    adprom_ = new AdProm(std::move(adprom).value());
+    auto cmarkov = AdProm::Train(*program_, InventoryDbFactory(),
+                                 InventoryTestCases(), CMarkovOptions());
+    ASSERT_TRUE(cmarkov.ok()) << cmarkov.status().ToString();
+    cmarkov_ = new AdProm(std::move(cmarkov).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete adprom_;
+    delete cmarkov_;
+    delete program_;
+    adprom_ = nullptr;
+    cmarkov_ = nullptr;
+    program_ = nullptr;
+  }
+
+  static bool HasFlag(const AdProm::MonitorResult& result,
+                      DetectionFlag flag) {
+    for (const Detection& d : result.detections) {
+      if (d.flag == flag) return true;
+    }
+    return false;
+  }
+
+  static prog::Program* program_;
+  static AdProm* adprom_;
+  static AdProm* cmarkov_;
+};
+
+prog::Program* DetectionTest::program_ = nullptr;
+AdProm* DetectionTest::adprom_ = nullptr;
+AdProm* DetectionTest::cmarkov_ = nullptr;
+
+// --- Attack 1: a new print similar to one in another branch --------------
+// Insert a print of the (TD-carrying) query handle at the end of
+// list_items: the call *name* sequence looks plausible, but the block-id
+// label is new.
+TEST_F(DetectionTest, Attack1_SimilarPrintInOtherLocation) {
+  attack::InsertOutputSpec spec;
+  spec.function = "list_items";
+  spec.variable = "r";
+  spec.where = attack::InsertWhere::kEnd;
+  auto tampered = attack::InsertOutputStatement(*program_, spec);
+  ASSERT_TRUE(tampered.ok()) << tampered.status().ToString();
+
+  auto result =
+      adprom_->Monitor(*tampered, InventoryDbFactory(), {{"list"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasAlarm());
+  EXPECT_TRUE(result->ConnectedToSource());
+  EXPECT_TRUE(HasFlag(*result, DetectionFlag::kDataLeak) ||
+              HasFlag(*result, DetectionFlag::kOutOfContext));
+}
+
+TEST_F(DetectionTest, Attack1_UndetectedByCMarkov) {
+  attack::InsertOutputSpec spec;
+  spec.function = "list_items";
+  spec.variable = "r";
+  spec.where = attack::InsertWhere::kEnd;
+  auto tampered = attack::InsertOutputStatement(*program_, spec);
+  ASSERT_TRUE(tampered.ok());
+
+  // CMarkov sees ... print, print, print, print ... — one extra print at
+  // the end of an already print-heavy loop is within its normal model.
+  auto result =
+      cmarkov_->Monitor(*tampered, InventoryDbFactory(), {{"list"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->HasAlarm());
+}
+
+// --- Attack 2: a new output call in a function that never outputs --------
+TEST_F(DetectionTest, Attack2_PrintFromForeignFunction) {
+  attack::InsertOutputSpec spec;
+  spec.function = "main";
+  spec.variable = "cmd";
+  spec.where = attack::InsertWhere::kEnd;
+  auto tampered = attack::InsertOutputStatement(*program_, spec);
+  ASSERT_TRUE(tampered.ok());
+
+  auto result =
+      adprom_->Monitor(*tampered, InventoryDbFactory(), {{"list"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(HasFlag(*result, DetectionFlag::kOutOfContext));
+}
+
+// --- Attack 3: reuse an existing print with a TD argument -----------------
+TEST_F(DetectionTest, Attack3_ReusedPrintDetectedAndConnected) {
+  // stats(): make the benign print("stats done") print the COUNT(*) value.
+  auto tampered =
+      attack::ReplaceCallArgument(*program_, "stats", "print",
+                                  /*occurrence=*/1, /*arg_index=*/0, "n");
+  ASSERT_TRUE(tampered.ok()) << tampered.status().ToString();
+
+  auto result =
+      adprom_->Monitor(*tampered, InventoryDbFactory(), {{"stats"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasAlarm());
+  EXPECT_TRUE(result->ConnectedToSource());
+}
+
+TEST_F(DetectionTest, Attack3_UndetectedByCMarkov) {
+  auto tampered =
+      attack::ReplaceCallArgument(*program_, "stats", "print",
+                                  /*occurrence=*/1, /*arg_index=*/0, "n");
+  ASSERT_TRUE(tampered.ok());
+  // The call-name sequence is bit-for-bit identical to a normal stats run:
+  // without data-flow labels there is nothing to see.
+  auto result =
+      cmarkov_->Monitor(*tampered, InventoryDbFactory(), {{"stats"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->HasAlarm());
+}
+
+// --- Attack 4: binary patch adds a file-exfiltration call ----------------
+TEST_F(DetectionTest, Attack4_BinaryPatchWritesFile) {
+  attack::InsertOutputSpec spec;
+  spec.function = "find_item";
+  spec.variable = "row";
+  spec.output_call = "write_file";
+  spec.channel_arg = "/tmp/loot.txt";
+  spec.where = attack::InsertWhere::kBodyOfFirstWhile;
+  auto tampered = attack::InsertOutputStatement(*program_, spec);
+  ASSERT_TRUE(tampered.ok()) << tampered.status().ToString();
+
+  auto result =
+      adprom_->Monitor(*tampered, InventoryDbFactory(), {{"find", "3"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasAlarm());
+  EXPECT_TRUE(result->ConnectedToSource());
+  // The data actually leaked into the file channel.
+  EXPECT_FALSE(result->io.files.empty());
+}
+
+// --- Attack 5: tautology SQL injection ------------------------------------
+TEST_F(DetectionTest, Attack5_SqlInjectionDetected) {
+  // No code change: the malicious *input* flips the query's selectivity,
+  // so find_item prints every row instead of one.
+  auto result = adprom_->Monitor(
+      *program_, InventoryDbFactory(),
+      {{"find", attack::TautologyPayload()}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasAlarm());
+  EXPECT_TRUE(HasFlag(*result, DetectionFlag::kDataLeak));
+  EXPECT_TRUE(result->ConnectedToSource());
+  // The leak genuinely happened: all 30 items printed.
+  EXPECT_GE(result->io.screen.size(), 30u);
+}
+
+TEST_F(DetectionTest, Attack5_BenignFindIsQuiet) {
+  auto result =
+      adprom_->Monitor(*program_, InventoryDbFactory(), {{"find", "3"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->HasAlarm());
+  EXPECT_EQ(result->io.screen.size(), 1u);
+}
+
+// --- Flag taxonomy ---------------------------------------------------------
+TEST_F(DetectionTest, SourceTablesNameTheLeakedTable) {
+  auto result = adprom_->Monitor(
+      *program_, InventoryDbFactory(),
+      {{"find", attack::TautologyPayload()}});
+  ASSERT_TRUE(result.ok());
+  bool items_named = false;
+  for (const Detection& d : result->detections) {
+    for (const std::string& table : d.source_tables) {
+      if (table == "items") items_named = true;
+    }
+  }
+  EXPECT_TRUE(items_named);
+}
+
+TEST_F(DetectionTest, AdaptiveThresholdSilencesAlarms) {
+  // The paper's adaptive-threshold hook: lowering the threshold to -1e9
+  // accepts everything (only score-based flags disappear; context
+  // violations would persist).
+  AdProm relaxed = [&] {
+    auto system = AdProm::Train(*program_, InventoryDbFactory(),
+                                InventoryTestCases());
+    return std::move(system).value();
+  }();
+  relaxed.set_threshold(-1e9);
+  auto result = relaxed.Monitor(*program_, InventoryDbFactory(),
+                                {{"find", attack::TautologyPayload()}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->HasAlarm());
+}
+
+}  // namespace
+}  // namespace adprom::core

@@ -1,0 +1,249 @@
+// Tests for the two §VII-mitigation extensions: query-signature recording
+// (catches same-selectivity query swaps the base system misses) and
+// labeled-file tracking (catches TD leaked indirectly through a file).
+
+#include <gtest/gtest.h>
+
+#include "attack/mutators.h"
+#include "core/adprom.h"
+#include "prog/program.h"
+
+namespace adprom::core {
+namespace {
+
+// A reporting client whose query an attacker can swap for another of the
+// *same selectivity* (items and secrets both have 5 rows): the call
+// sequence is unchanged, only the query text differs.
+constexpr const char* kSwapApp = R"__(
+fn main() {
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    if (cmd == "report") {
+      report();
+    } else {
+      print_err("bad command");
+    }
+    cmd = scan();
+  }
+}
+fn report() {
+  var r = db_query("SELECT label FROM items ORDER BY id");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    print(db_getvalue(r, i, 0));
+    i = i + 1;
+  }
+}
+)__";
+
+DbFactory SwapDb() {
+  return [] {
+    auto db = std::make_unique<db::Database>();
+    db->Execute("CREATE TABLE items (id INT, label TEXT)");
+    db->Execute("CREATE TABLE secrets (id INT, label TEXT)");
+    for (int i = 0; i < 5; ++i) {
+      db->Execute("INSERT INTO items VALUES (" + std::to_string(i) +
+                  ", 'item" + std::to_string(i) + "')");
+      db->Execute("INSERT INTO secrets VALUES (" + std::to_string(i) +
+                  ", 'secret" + std::to_string(i) + "')");
+    }
+    return db;
+  };
+}
+
+std::vector<TestCase> SwapCases() {
+  return {{{"report"}}, {{"report", "report"}}, {{"oops", "report"}}};
+}
+
+prog::Program SwappedQueryBuild(const prog::Program& benign) {
+  auto tampered = attack::ModifyStringLiteral(
+      benign, "report", "SELECT label FROM items ORDER BY id",
+      "SELECT label FROM secrets ORDER BY id");
+  EXPECT_TRUE(tampered.ok()) << tampered.status().ToString();
+  return std::move(tampered).value();
+}
+
+TEST(QuerySignatureExtensionTest, BaseSystemMissesSameSelectivitySwap) {
+  auto program = prog::ParseProgram(kSwapApp);
+  ASSERT_TRUE(program.ok());
+  auto system = AdProm::Train(*program, SwapDb(), SwapCases());
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  const prog::Program tampered = SwappedQueryBuild(*program);
+  auto result = system->Monitor(tampered, SwapDb(), {{"report"}});
+  ASSERT_TRUE(result.ok());
+  // The data leaks (secrets printed) ...
+  ASSERT_FALSE(result->io.screen.empty());
+  EXPECT_EQ(result->io.screen[0], "secret0");
+  // ... but the call-sequence model cannot see it: the §VII limitation.
+  // (The taint labels still carry the *table name*, so the observable
+  // changes only if the provenance is part of the symbol — it is not:
+  // labels encode the call site, not the table.)
+  EXPECT_FALSE(result->HasAlarm());
+}
+
+TEST(QuerySignatureExtensionTest, SignaturesCatchTheSwap) {
+  auto program = prog::ParseProgram(kSwapApp);
+  ASSERT_TRUE(program.ok());
+  ProfileOptions options;
+  options.use_query_signatures = true;
+  auto system = AdProm::Train(*program, SwapDb(), SwapCases(), options);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  // Signature observables appear in the alphabet.
+  bool has_signature_symbol = false;
+  for (const std::string& symbol : system->profile().alphabet.symbols()) {
+    if (symbol.rfind("db_query#", 0) == 0) has_signature_symbol = true;
+  }
+  EXPECT_TRUE(has_signature_symbol);
+
+  // Benign still quiet.
+  auto benign = system->Monitor(*program, SwapDb(), {{"report"}});
+  ASSERT_TRUE(benign.ok());
+  EXPECT_FALSE(benign->HasAlarm());
+
+  // The swapped query yields an unseen db_query#<signature> symbol.
+  const prog::Program tampered = SwappedQueryBuild(*program);
+  auto result = system->Monitor(tampered, SwapDb(), {{"report"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasAlarm());
+}
+
+TEST(QuerySignatureExtensionTest, BoundValueChangesStayNormal) {
+  // Signatures must not flag ordinary parameter variation.
+  auto program = prog::ParseProgram(R"__(
+fn main() {
+  var id = scan();
+  var r = db_query("SELECT label FROM items WHERE id = " + to_int(id));
+  if (db_ntuples(r) > 0) {
+    print(db_getvalue(r, 0, 0));
+  }
+}
+)__");
+  ASSERT_TRUE(program.ok());
+  ProfileOptions options;
+  options.use_query_signatures = true;
+  std::vector<TestCase> cases;
+  for (int i = 0; i < 5; ++i) cases.push_back({{std::to_string(i)}});
+  auto system = AdProm::Train(*program, SwapDb(), cases, options);
+  ASSERT_TRUE(system.ok());
+  // A never-trained bound value: same signature, no alarm.
+  auto result = system->Monitor(*program, SwapDb(), {{"4"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->HasAlarm());
+}
+
+// --- Labeled-file tracking ------------------------------------------------
+
+constexpr const char* kFileApp = R"__(
+fn main() {
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    if (cmd == "export") {
+      export_report();
+    } else if (cmd == "upload") {
+      send_file("backup.example.com", scan());
+    } else {
+      print_err("bad command");
+    }
+    cmd = scan();
+  }
+}
+fn export_report() {
+  var r = db_query("SELECT label FROM items");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    write_file("report.txt", db_getvalue(r, i, 0));
+    i = i + 1;
+  }
+  write_file("notes.txt", "report generated");
+  print("exported");
+}
+)__";
+
+TEST(FileTrackingExtensionTest, SendingLabeledFileIsTdOutput) {
+  auto program = prog::ParseProgram(kFileApp);
+  ASSERT_TRUE(program.ok());
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  runtime::ProgramIo io;
+  auto trace = AdProm::CollectTrace(
+      *program, *cfgs, SwapDb(),
+      {{"export", "upload", "report.txt"}}, &io);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+
+  // report.txt is labeled with the items provenance; notes.txt is not.
+  ASSERT_TRUE(io.files.count("report.txt"));
+  ASSERT_TRUE(io.files.count("notes.txt"));
+  EXPECT_TRUE(io.files.at("report.txt").tainted());
+  EXPECT_FALSE(io.files.at("notes.txt").tainted());
+
+  // The send_file event carries the file's provenance even though its
+  // direct arguments are untainted strings.
+  const runtime::CallEvent* send = nullptr;
+  for (const runtime::CallEvent& event : *trace) {
+    if (event.callee == "send_file") send = &event;
+  }
+  ASSERT_NE(send, nullptr);
+  EXPECT_TRUE(send->td_output);
+  ASSERT_EQ(send->source_tables.size(), 1u);
+  EXPECT_EQ(send->source_tables[0], "items");
+}
+
+TEST(FileTrackingExtensionTest, SendingUnlabeledFileIsNot) {
+  auto program = prog::ParseProgram(kFileApp);
+  ASSERT_TRUE(program.ok());
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  auto trace = AdProm::CollectTrace(
+      *program, *cfgs, SwapDb(), {{"export", "upload", "notes.txt"}});
+  ASSERT_TRUE(trace.ok());
+  for (const runtime::CallEvent& event : *trace) {
+    if (event.callee == "send_file") EXPECT_FALSE(event.td_output);
+  }
+}
+
+TEST(FileTrackingExtensionTest, ReadFileCarriesProvenance) {
+  auto program = prog::ParseProgram(R"__(
+fn main() {
+  var r = db_query("SELECT label FROM items");
+  write_file("dump.txt", db_getvalue(r, 0, 0));
+  var back = read_file("dump.txt");
+  print(back);
+  print(read_file("missing.txt"));
+}
+)__");
+  ASSERT_TRUE(program.ok());
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  auto trace = AdProm::CollectTrace(*program, *cfgs, SwapDb(), {{}});
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  // The first print outputs data read back from a labeled file -> TD.
+  int td_prints = 0;
+  for (const runtime::CallEvent& event : *trace) {
+    if (event.callee == "print" && event.td_output) ++td_prints;
+  }
+  EXPECT_EQ(td_prints, 1);
+}
+
+TEST(FileTrackingExtensionTest, IndirectFileLeakDetectedEndToEnd) {
+  // Train on export-only sessions; the attacker's build adds the upload
+  // of the labeled file — an unseen, TD-carrying call sequence.
+  auto program = prog::ParseProgram(kFileApp);
+  ASSERT_TRUE(program.ok());
+  std::vector<TestCase> training = {
+      {{"export"}}, {{"export", "export"}}, {{"bogus", "export"}}};
+  auto system = AdProm::Train(*program, SwapDb(), training);
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  auto result = system->Monitor(*program, SwapDb(),
+                                {{"export", "upload", "report.txt"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasAlarm());
+  EXPECT_TRUE(result->ConnectedToSource());
+}
+
+}  // namespace
+}  // namespace adprom::core

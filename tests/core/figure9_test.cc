@@ -1,0 +1,132 @@
+// The paper's Fig. 9 scenario: the attacker adds a print in the *other*
+// branch that issues a call-name sequence identical to the legitimate
+// branch's. Recording the block id in the `printf_Q[bid]` label is what
+// lets AD-PROM tell line 9's print from line 11's; a name-only model
+// (CMarkov) cannot.
+
+#include <gtest/gtest.h>
+
+#include "attack/mutators.h"
+#include "core/adprom.h"
+#include "core/baselines.h"
+#include "prog/program.h"
+
+namespace adprom::core {
+namespace {
+
+constexpr const char* kFigure9App = R"__(
+fn main() {
+  var mode = scan();
+  while (!is_null(mode)) {
+    summarize(mode);
+    mode = scan();
+  }
+}
+fn summarize(mode) {
+  var r1 = db_query("SELECT COUNT(*) FROM employees");
+  var r2 = db_query("SELECT COUNT(*) FROM employees WHERE income < 30000");
+  var all_emps = db_getvalue(r1, 0, 0);
+  var low_in = db_getvalue(r2, 0, 0);
+  if (mode == "detail") {
+    print("low income employees: " + low_in);
+  }
+  print("tax for such income is under 18% in IN state");
+}
+)__";
+
+DbFactory EmployeesDb() {
+  return [] {
+    auto db = std::make_unique<db::Database>();
+    db->Execute("CREATE TABLE employees (id INT, income INT)");
+    for (int i = 0; i < 10; ++i) {
+      db->Execute("INSERT INTO employees VALUES (" + std::to_string(i) +
+                  ", " + std::to_string(20000 + i * 3000) + ")");
+    }
+    return db;
+  };
+}
+
+std::vector<TestCase> Figure9Cases() {
+  // Training exercises both the detail branch (print_Q then print) and
+  // the summary-only path (print alone).
+  return {{{"detail"}},        {{"summary"}},
+          {{"detail", "summary"}}, {{"summary", "detail"}},
+          {{"detail", "detail"}},  {{"summary", "summary"}}};
+}
+
+prog::Program TamperedBuild(const prog::Program& benign) {
+  // Fig. 9's modification: an else-branch print of the same TD value —
+  // the emitted call-name sequence matches the detail branch exactly.
+  attack::InsertOutputSpec spec;
+  spec.function = "summarize";
+  spec.variable = "low_in";
+  spec.where = attack::InsertWhere::kElseOfFirstIf;
+  auto tampered = attack::InsertOutputStatement(benign, spec);
+  EXPECT_TRUE(tampered.ok()) << tampered.status().ToString();
+  return std::move(tampered).value();
+}
+
+TEST(Figure9Test, BlockIdLabelsDistinguishTheBranches) {
+  auto program = prog::ParseProgram(kFigure9App);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto system = AdProm::Train(*program, EmployeesDb(), Figure9Cases());
+  ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+  const prog::Program tampered = TamperedBuild(*program);
+
+  // Running the tampered build with "summary" hits the injected print:
+  // AD-PROM sees print_Qsummarize_<new block> — an unseen label.
+  auto result = system->Monitor(tampered, EmployeesDb(), {{"summary"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasAlarm());
+  EXPECT_TRUE(result->ConnectedToSource());
+
+  // The same build through the *detail* path executes only original
+  // code: no alarm.
+  auto detail = system->Monitor(tampered, EmployeesDb(), {{"detail"}});
+  ASSERT_TRUE(detail.ok());
+  EXPECT_FALSE(detail->HasAlarm());
+}
+
+TEST(Figure9Test, NameOnlyModelCannotTell) {
+  auto program = prog::ParseProgram(kFigure9App);
+  ASSERT_TRUE(program.ok());
+  auto cmarkov = AdProm::Train(*program, EmployeesDb(), Figure9Cases(),
+                               CMarkovOptions());
+  ASSERT_TRUE(cmarkov.ok()) << cmarkov.status().ToString();
+
+  const prog::Program tampered = TamperedBuild(*program);
+  // The injected print's call-name sequence equals the trained detail
+  // branch — indistinguishable without block-id labels.
+  auto result = cmarkov->Monitor(tampered, EmployeesDb(), {{"summary"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->HasAlarm());
+}
+
+TEST(Figure9Test, TraceShowsLabeledObservables) {
+  auto program = prog::ParseProgram(kFigure9App);
+  ASSERT_TRUE(program.ok());
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  auto trace = AdProm::CollectTrace(*program, *cfgs, EmployeesDb(),
+                                    {{"detail"}});
+  ASSERT_TRUE(trace.ok());
+  // Expect exactly one labeled print (the TD output) and one plain print.
+  int labeled = 0;
+  int plain = 0;
+  for (const runtime::CallEvent& event : *trace) {
+    if (event.callee != "print") continue;
+    if (event.td_output) {
+      ++labeled;
+      EXPECT_EQ(event.Observable().rfind("print_Qsummarize_", 0), 0u);
+    } else {
+      ++plain;
+      EXPECT_EQ(event.Observable(), "print");
+    }
+  }
+  EXPECT_EQ(labeled, 1);
+  EXPECT_EQ(plain, 1);
+}
+
+}  // namespace
+}  // namespace adprom::core

@@ -1,0 +1,146 @@
+// Unit tests of the Profile Constructor's option paths: the PCA+k-means
+// reduction pipeline, training-window caps, and degenerate inputs.
+
+#include "core/profile_constructor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adprom.h"
+#include "prog/generator.h"
+#include "prog/program.h"
+
+namespace adprom::core {
+namespace {
+
+/// A mid-size generated program plus traces from a few random inputs.
+struct Workbench {
+  prog::Program program;
+  AnalysisResult analysis;
+  std::vector<runtime::Trace> traces;
+};
+
+Workbench MakeWorkbench(uint64_t seed, size_t functions = 6) {
+  util::Rng rng(seed);
+  prog::GeneratorOptions gen_options;
+  gen_options.num_functions = functions;
+  auto program = prog::GenerateRandomProgram(gen_options, rng);
+  EXPECT_TRUE(program.ok());
+  Analyzer analyzer;
+  auto analysis = analyzer.Analyze(*program);
+  EXPECT_TRUE(analysis.ok());
+  std::vector<TestCase> cases;
+  for (int i = 0; i < 6; ++i) {
+    cases.push_back({{std::to_string(i), "alpha", "beta"}});
+  }
+  auto traces = AdProm::CollectTraces(*program, analysis->cfgs, nullptr,
+                                      cases);
+  EXPECT_TRUE(traces.ok());
+  return {std::move(program).value(), std::move(analysis).value(),
+          std::move(traces).value()};
+}
+
+TEST(ProfileConstructorTest, IdentityStatesBelowThreshold) {
+  Workbench bench = MakeWorkbench(11);
+  ProfileOptions options;
+  options.train.max_iterations = 2;
+  ProfileConstructor constructor(options);
+  auto profile = constructor.Construct(bench.analysis, bench.traces);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->num_states, profile->num_sites);
+  EXPECT_TRUE(profile->model.Validate().ok());
+}
+
+TEST(ProfileConstructorTest, ClusteringReducesStates) {
+  Workbench bench = MakeWorkbench(12);
+  ProfileOptions options;
+  options.cluster_threshold = 1;  // force the PCA + k-means path
+  options.cluster_fraction = 0.3;
+  options.train.max_iterations = 2;
+  ProfileConstructor constructor(options);
+  auto profile = constructor.Construct(bench.analysis, bench.traces);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_LT(profile->num_states, profile->num_sites);
+  EXPECT_GE(profile->num_states, 2u);
+  EXPECT_TRUE(profile->model.Validate().ok());
+  // The reduced model still assigns every training window a finite score.
+  DetectionEngine engine(&*profile);
+  for (const runtime::Trace& trace : bench.traces) {
+    for (const Detection& d : engine.MonitorTrace(trace)) {
+      EXPECT_GT(d.score, -1e8);
+    }
+  }
+}
+
+TEST(ProfileConstructorTest, FeatureHashingPathMatchesDimCap) {
+  Workbench bench = MakeWorkbench(13, /*functions=*/8);
+  ProfileOptions options;
+  options.cluster_threshold = 1;
+  options.pca_input_cap = 16;  // force the hashing path even when small
+  options.train.max_iterations = 1;
+  ProfileConstructor constructor(options);
+  auto profile = constructor.Construct(bench.analysis, bench.traces);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_TRUE(profile->model.Validate().ok());
+}
+
+TEST(ProfileConstructorTest, WindowCapSubsamples) {
+  Workbench bench = MakeWorkbench(14);
+  ProfileOptions capped;
+  capped.max_training_windows = 5;
+  capped.train.max_iterations = 1;
+  capped.csds_fraction = 0.0;
+  ConstructionTimings capped_times;
+  ProfileConstructor a(capped);
+  ASSERT_TRUE(a.Construct(bench.analysis, bench.traces, &capped_times).ok());
+
+  // A larger (but still bounded) cap — generated programs can produce
+  // tens of thousands of windows, so "uncapped" would dominate the suite.
+  ProfileOptions full = capped;
+  full.max_training_windows = 50;
+  ConstructionTimings full_times;
+  ProfileConstructor b(full);
+  ASSERT_TRUE(b.Construct(bench.analysis, bench.traces, &full_times).ok());
+  // More windows => at least as much training work (coarse sanity bound).
+  EXPECT_GE(full_times.training_seconds, 0.0);
+  EXPECT_GE(capped_times.training_seconds, 0.0);
+}
+
+TEST(ProfileConstructorTest, RejectsDegenerateInputs) {
+  Workbench bench = MakeWorkbench(15);
+  ProfileConstructor constructor{ProfileOptions()};
+  EXPECT_FALSE(constructor.Construct(bench.analysis, {}).ok());
+
+  // A call-free program cannot be profiled.
+  auto empty_program = prog::ParseProgram("fn main() { var x = 1; }");
+  ASSERT_TRUE(empty_program.ok());
+  Analyzer analyzer;
+  auto empty_analysis = analyzer.Analyze(*empty_program);
+  ASSERT_TRUE(empty_analysis.ok());
+  EXPECT_FALSE(
+      constructor.Construct(*empty_analysis, bench.traces).ok());
+}
+
+TEST(ProfileConstructorTest, SeedChangesRandomInitOnly) {
+  Workbench bench = MakeWorkbench(16);
+  auto build = [&](ProfileOptions::Init init, uint64_t seed) {
+    ProfileOptions options;
+    options.init = init;
+    options.seed = seed;
+    options.train.max_iterations = 1;
+    ProfileConstructor constructor(options);
+    auto profile = constructor.Construct(bench.analysis, bench.traces);
+    EXPECT_TRUE(profile.ok());
+    return std::move(profile).value();
+  };
+  // Static init is seed-independent before training.
+  const auto s1 = build(ProfileOptions::Init::kStatic, 1);
+  const auto s2 = build(ProfileOptions::Init::kStatic, 2);
+  EXPECT_LT(s1.model.a().MaxAbsDiff(s2.model.a()), 1e-12);
+  // Random init differs by seed.
+  const auto r1 = build(ProfileOptions::Init::kRandom, 1);
+  const auto r2 = build(ProfileOptions::Init::kRandom, 2);
+  EXPECT_GT(r1.model.a().MaxAbsDiff(r2.model.a()), 1e-6);
+}
+
+}  // namespace
+}  // namespace adprom::core

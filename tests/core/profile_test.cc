@@ -1,0 +1,123 @@
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::core {
+namespace {
+
+runtime::CallEvent MakeEvent(const std::string& callee,
+                             const std::string& caller, int block = 1,
+                             bool td = false) {
+  runtime::CallEvent event;
+  event.callee = callee;
+  event.caller = caller;
+  event.block_id = block;
+  event.td_output = td;
+  return event;
+}
+
+TEST(AlphabetTest, UnkIsAlwaysZero) {
+  Alphabet alphabet;
+  EXPECT_EQ(alphabet.unk_id(), 0);
+  EXPECT_EQ(alphabet.size(), 1u);
+  EXPECT_EQ(alphabet.symbol(0), "<unk>");
+}
+
+TEST(AlphabetTest, InternIsIdempotent) {
+  Alphabet alphabet;
+  const int a = alphabet.Intern("print");
+  const int b = alphabet.Intern("scan");
+  EXPECT_EQ(alphabet.Intern("print"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(alphabet.size(), 3u);
+}
+
+TEST(AlphabetTest, LookupFallsBackToUnk) {
+  Alphabet alphabet;
+  alphabet.Intern("print");
+  EXPECT_EQ(alphabet.Lookup("print"), 1);
+  EXPECT_EQ(alphabet.Lookup("never_seen"), alphabet.unk_id());
+  EXPECT_TRUE(alphabet.Contains("print"));
+  EXPECT_FALSE(alphabet.Contains("never_seen"));
+}
+
+TEST(SlidingWindowsTest, StrideOneWindows) {
+  runtime::Trace trace;
+  for (int i = 0; i < 10; ++i) trace.push_back(MakeEvent("c", "main", i));
+  const auto windows = SlidingWindows(trace, 4);
+  ASSERT_EQ(windows.size(), 7u);
+  EXPECT_EQ(windows[0].size(), 4u);
+  EXPECT_EQ(windows[6][3].block_id, 9);
+}
+
+TEST(SlidingWindowsTest, ShortTraceYieldsOneWindow) {
+  runtime::Trace trace = {MakeEvent("a", "main"), MakeEvent("b", "main")};
+  const auto windows = SlidingWindows(trace, 15);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].size(), 2u);
+}
+
+TEST(SlidingWindowsTest, EmptyTrace) {
+  runtime::Trace trace;
+  EXPECT_TRUE(SlidingWindows(trace, 15).empty());
+}
+
+TEST(ProfileTest, ObservableHonoursLabelMode) {
+  ApplicationProfile adprom_profile;
+  adprom_profile.options.use_dd_labels = true;
+  ApplicationProfile cmarkov_profile;
+  cmarkov_profile.options.use_dd_labels = false;
+
+  runtime::CallEvent event = MakeEvent("print", "f", 9, /*td=*/true);
+  EXPECT_EQ(adprom_profile.ObservableOf(event), "print_Qf_9");
+  EXPECT_EQ(cmarkov_profile.ObservableOf(event), "print");
+}
+
+TEST(ProfileTest, EncodeMapsUnknownToUnk) {
+  ApplicationProfile profile;
+  profile.alphabet.Intern("print");
+  runtime::Trace trace = {MakeEvent("print", "main"),
+                          MakeEvent("rogue", "main")};
+  const auto seq = profile.Encode({trace.data(), trace.size()});
+  EXPECT_EQ(seq, (hmm::ObservationSeq{1, 0}));
+}
+
+TEST(ProfileTest, SerializationRoundTrip) {
+  ApplicationProfile profile;
+  profile.options.window_length = 15;
+  profile.options.use_dd_labels = true;
+  profile.threshold = -3.25;
+  profile.num_sites = 4;
+  profile.num_states = 2;
+  profile.alphabet.Intern("print");
+  profile.alphabet.Intern("print_Qf_9");
+  profile.context_pairs = {{"main", "print"}, {"f", "print"}};
+  profile.labeled_sources["print_Qf_9"] = {"accounts", "clients"};
+  util::Matrix a = util::Matrix::FromRows({{0.7, 0.3}, {0.4, 0.6}});
+  util::Matrix b = util::Matrix::FromRows(
+      {{0.5, 0.25, 0.25}, {0.1, 0.6, 0.3}});
+  profile.model = hmm::HmmModel(std::move(a), std::move(b), {0.5, 0.5});
+
+  const std::string text = profile.Serialize();
+  auto restored = ApplicationProfile::Deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->options.window_length, 15u);
+  EXPECT_TRUE(restored->options.use_dd_labels);
+  EXPECT_DOUBLE_EQ(restored->threshold, -3.25);
+  EXPECT_EQ(restored->alphabet.size(), 3u);
+  EXPECT_EQ(restored->alphabet.Lookup("print_Qf_9"), 2);
+  EXPECT_EQ(restored->context_pairs, profile.context_pairs);
+  EXPECT_EQ(restored->labeled_sources.at("print_Qf_9"),
+            (std::vector<std::string>{"accounts", "clients"}));
+  EXPECT_DOUBLE_EQ(restored->model.a().At(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(restored->model.b().At(1, 2), 0.3);
+  EXPECT_DOUBLE_EQ(restored->model.pi()[1], 0.5);
+}
+
+TEST(ProfileTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ApplicationProfile::Deserialize("not a profile").ok());
+  EXPECT_FALSE(ApplicationProfile::Deserialize("adprom-profile v1\n").ok());
+}
+
+}  // namespace
+}  // namespace adprom::core

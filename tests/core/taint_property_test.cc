@@ -1,0 +1,108 @@
+// Property test on randomly generated DB-client programs: the static
+// taint analysis (the Analyzer's DDG labeling) over-approximates dynamic
+// taint — every TD-labeled call event observed at run time corresponds to
+// a statically labeled site with the same observable, and the whole
+// pipeline (analysis invariants, training, benign monitoring) holds up on
+// arbitrary program shapes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/adprom.h"
+#include "prog/generator.h"
+#include "prog/printer.h"
+
+namespace adprom::core {
+namespace {
+
+DbFactory GenDb() {
+  return [] {
+    auto db = std::make_unique<db::Database>();
+    db->Execute("CREATE TABLE gen (a INT, b TEXT)");
+    for (int i = 0; i < 7; ++i) {
+      db->Execute("INSERT INTO gen VALUES (" + std::to_string(i) +
+                  ", 'row" + std::to_string(i) + "')");
+    }
+    return db;
+  };
+}
+
+class DbProgramPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  prog::Program Generate() {
+    util::Rng rng(GetParam());
+    prog::GeneratorOptions options;
+    options.with_db_calls = true;
+    options.num_functions = 3;
+    // Bound nesting so nested loops cannot blow the trace volume up into
+    // the hundreds of thousands of windows (the exact-threshold scoring
+    // pass visits every window once).
+    options.max_depth = 2;
+    options.max_block_statements = 4;
+    auto program = prog::GenerateRandomProgram(options, rng);
+    EXPECT_TRUE(program.ok());
+    return std::move(program).value();
+  }
+};
+
+TEST_P(DbProgramPropertyTest, StaticTaintCoversDynamicTaint) {
+  const prog::Program program = Generate();
+  Analyzer analyzer;
+  auto analysis = analyzer.Analyze(program);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  ASSERT_TRUE(analysis->program_ctm.CheckInvariants().ok())
+      << prog::ProgramToSource(program);
+
+  std::set<std::string> static_labels;
+  for (size_t i = 0; i < analysis->program_ctm.num_sites(); ++i) {
+    if (analysis->program_ctm.site(i).labeled) {
+      static_labels.insert(analysis->program_ctm.site(i).observable);
+    }
+  }
+
+  for (int run = 0; run < 3; ++run) {
+    auto trace = AdProm::CollectTrace(
+        program, analysis->cfgs, GenDb(),
+        {{std::to_string(run), "alpha", std::to_string(run * 2)}});
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString() << "\n"
+                            << prog::ProgramToSource(program);
+    for (const runtime::CallEvent& event : *trace) {
+      if (!event.td_output) continue;
+      EXPECT_TRUE(static_labels.count(event.Observable()) > 0)
+          << "dynamic label " << event.Observable()
+          << " has no static counterpart in:\n"
+          << prog::ProgramToSource(program);
+    }
+  }
+}
+
+TEST_P(DbProgramPropertyTest, PipelineTrainsAndBenignRunIsQuiet) {
+  const prog::Program program = Generate();
+  std::vector<TestCase> cases;
+  for (int i = 0; i < 5; ++i) {
+    cases.push_back({{std::to_string(i), "x", std::to_string(10 - i)}});
+  }
+  ProfileOptions options;
+  options.train.max_iterations = 4;
+  options.max_training_windows = 200;
+  auto system = AdProm::Train(program, GenDb(), cases, options);
+  if (!system.ok()) {
+    // The only acceptable failure: a program that makes no library calls
+    // on any path (the generator rarely produces one).
+    EXPECT_EQ(system.status().code(), util::StatusCode::kFailedPrecondition)
+        << system.status().ToString();
+    return;
+  }
+  // Monitoring a training-distribution run raises no alarms.
+  auto result = system->Monitor(program, GenDb(), {{"2", "x", "8"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->HasAlarm()) << prog::ProgramToSource(program);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbProgramPropertyTest,
+                         ::testing::Range<uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace adprom::core

@@ -1,0 +1,98 @@
+#ifndef ADPROM_TESTS_CORE_TEST_APP_H_
+#define ADPROM_TESTS_CORE_TEST_APP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adprom.h"
+#include "db/database.h"
+
+namespace adprom::core::testing {
+
+/// A small but realistic DB client used by the core/attack tests: a
+/// command loop over an inventory database, with a deliberately vulnerable
+/// string-concatenated query in find_item (the paper's Fig. 2 pattern) and
+/// an untainted print in stats() for the Attack 3 scenario.
+inline const char* kInventoryAppSource = R"(
+fn main() {
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    if (cmd == "list") {
+      list_items();
+    } else if (cmd == "find") {
+      find_item(scan());
+    } else if (cmd == "stats") {
+      stats();
+    } else {
+      print_err("unknown command: " + cmd);
+    }
+    cmd = scan();
+  }
+}
+
+fn list_items() {
+  var r = db_query("SELECT name FROM items ORDER BY id");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    print(db_getvalue(r, i, 0));
+    i = i + 1;
+  }
+}
+
+fn find_item(id) {
+  var r = db_query("SELECT * FROM items WHERE id='" + id + "'");
+  var row = db_fetch_row(r);
+  while (!is_null(row)) {
+    print(row_get(row, 1));
+    row = db_fetch_row(r);
+  }
+}
+
+fn stats() {
+  var r = db_query("SELECT COUNT(*) FROM items");
+  var n = db_getvalue(r, 0, 0);
+  if (to_int(n) > 100) {
+    print("large inventory");
+  }
+  print("stats done");
+}
+)";
+
+/// Fresh inventory database with `rows` items.
+inline DbFactory InventoryDbFactory(int rows = 30) {
+  return [rows]() {
+    auto database = std::make_unique<db::Database>();
+    database->Execute("CREATE TABLE items (id INT, name TEXT, price REAL)");
+    for (int i = 0; i < rows; ++i) {
+      database->Execute("INSERT INTO items VALUES (" + std::to_string(i) +
+                        ", 'item" + std::to_string(i) + "', " +
+                        std::to_string(i) + ".5)");
+    }
+    return database;
+  };
+}
+
+/// A deterministic suite of normal test cases exercising all commands.
+inline std::vector<TestCase> InventoryTestCases() {
+  std::vector<TestCase> cases;
+  cases.push_back({{"list"}});
+  cases.push_back({{"stats"}});
+  cases.push_back({{"find", "3"}});
+  cases.push_back({{"find", "7"}});
+  cases.push_back({{"find", "999"}});  // no match
+  cases.push_back({{"list", "stats"}});
+  cases.push_back({{"find", "1", "list"}});
+  cases.push_back({{"stats", "find", "12"}});
+  cases.push_back({{"bogus", "list"}});
+  cases.push_back({{"list", "find", "5", "stats"}});
+  for (int i = 0; i < 10; ++i) {
+    cases.push_back({{"find", std::to_string(i * 2), "list"}});
+  }
+  return cases;
+}
+
+}  // namespace adprom::core::testing
+
+#endif  // ADPROM_TESTS_CORE_TEST_APP_H_

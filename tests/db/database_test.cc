@@ -1,0 +1,142 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::db {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE items (id INT, name TEXT, "
+                            "price REAL)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO items VALUES (1, 'apple', 0.5)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO items VALUES (2, 'pear', 0.8)")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO items VALUES (3, 'fig', 2.0)")
+                    .ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(DatabaseTest, CreateDuplicateFails) {
+  auto result = db_.Execute("CREATE TABLE items (x INT)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kAlreadyExists);
+}
+
+TEST_F(DatabaseTest, SelectAll) {
+  auto result = db_.Execute("SELECT * FROM items");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 3u);
+  EXPECT_EQ(result->num_cols(), 3u);
+  EXPECT_EQ(result->source_table, "items");
+  EXPECT_EQ(result->At(0, 1).AsText(), "apple");
+}
+
+TEST_F(DatabaseTest, SelectWithFilterAndProjection) {
+  auto result = db_.Execute("SELECT name FROM items WHERE price < 1.0");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->columns, (std::vector<std::string>{"name"}));
+  EXPECT_EQ(result->At(0, 0).AsText(), "apple");
+  EXPECT_EQ(result->At(1, 0).AsText(), "pear");
+}
+
+TEST_F(DatabaseTest, SelectOrderByDescAndLimit) {
+  auto result =
+      db_.Execute("SELECT name FROM items ORDER BY price DESC LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->At(0, 0).AsText(), "fig");
+  EXPECT_EQ(result->At(1, 0).AsText(), "pear");
+}
+
+TEST_F(DatabaseTest, CountStar) {
+  auto result = db_.Execute("SELECT COUNT(*) FROM items WHERE price >= 0.8");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->At(0, 0).AsInt(), 2);
+}
+
+TEST_F(DatabaseTest, SumAvgMinMax) {
+  auto result =
+      db_.Execute("SELECT SUM(price), AVG(price), MIN(price), MAX(price) "
+                  "FROM items");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->At(0, 0).AsReal(), 3.3);
+  EXPECT_NEAR(result->At(0, 1).AsReal(), 1.1, 1e-9);
+  EXPECT_DOUBLE_EQ(result->At(0, 2).AsReal(), 0.5);
+  EXPECT_DOUBLE_EQ(result->At(0, 3).AsReal(), 2.0);
+}
+
+TEST_F(DatabaseTest, AggregateOnEmptySetIsNull) {
+  auto result = db_.Execute("SELECT SUM(price) FROM items WHERE id > 99");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->At(0, 0).is_null());
+}
+
+TEST_F(DatabaseTest, MixedAggregatePlainIsError) {
+  EXPECT_FALSE(db_.Execute("SELECT name, COUNT(*) FROM items").ok());
+}
+
+TEST_F(DatabaseTest, Update) {
+  auto result = db_.Execute("UPDATE items SET price = 9.9 WHERE id = 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected_rows, 1u);
+  auto check = db_.Execute("SELECT price FROM items WHERE id = 2");
+  EXPECT_DOUBLE_EQ(check->At(0, 0).AsReal(), 9.9);
+}
+
+TEST_F(DatabaseTest, UpdateWithoutWhereHitsAll) {
+  auto result = db_.Execute("UPDATE items SET price = 1.0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected_rows, 3u);
+}
+
+TEST_F(DatabaseTest, Delete) {
+  auto result = db_.Execute("DELETE FROM items WHERE price < 1.0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected_rows, 2u);
+  EXPECT_EQ(db_.FindTable("items")->row_count(), 1u);
+}
+
+TEST_F(DatabaseTest, InsertWithColumnsFillsNulls) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO items (id) VALUES (4)").ok());
+  auto result = db_.Execute("SELECT name FROM items WHERE id = 4");
+  ASSERT_EQ(result->num_rows(), 1u);
+  EXPECT_TRUE(result->At(0, 0).is_null());
+}
+
+TEST_F(DatabaseTest, InsertTypeCoercion) {
+  // Int into REAL column fits; text into INT fails.
+  EXPECT_TRUE(db_.Execute("INSERT INTO items VALUES (5, 'kiwi', 1)").ok());
+  EXPECT_FALSE(
+      db_.Execute("INSERT INTO items VALUES ('abc', 'bad', 1.0)").ok());
+}
+
+TEST_F(DatabaseTest, UnknownTableAndColumn) {
+  EXPECT_EQ(db_.Execute("SELECT * FROM ghosts").status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(db_.Execute("SELECT ghost FROM items").status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(db_.Execute("DELETE FROM ghosts").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, TableNamesCaseInsensitive) {
+  EXPECT_NE(db_.FindTable("ITEMS"), nullptr);
+  auto result = db_.Execute("SELECT * FROM Items");
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(DatabaseTest, LikeFilter) {
+  auto result = db_.Execute("SELECT * FROM items WHERE name LIKE '%p%'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 2u);  // apple, pear
+}
+
+}  // namespace
+}  // namespace adprom::db

@@ -1,0 +1,71 @@
+// Behavioural test of the paper's Attack 3.1 / Attack 5 mechanism: a query
+// built by naive string concatenation (Fig. 2's vulnerable snippet) must
+// genuinely retrieve more rows when the tautology payload is injected —
+// the selectivity change is what flips the program's call sequence.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace adprom::db {
+namespace {
+
+class InjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE clients (id INT, name TEXT, ssn TEXT)")
+            .ok());
+    for (int i = 100; i < 110; ++i) {
+      ASSERT_TRUE(db_.Execute("INSERT INTO clients VALUES (" +
+                              std::to_string(i) + ", 'client" +
+                              std::to_string(i) + "', 'ssn-" +
+                              std::to_string(i) + "')")
+                      .ok());
+    }
+  }
+
+  // The vulnerable pattern: strcpy/strcat-style concatenation.
+  std::string BuildQuery(const std::string& user_input) {
+    return "SELECT * FROM clients WHERE id='" + user_input + "';";
+  }
+
+  Database db_;
+};
+
+TEST_F(InjectionTest, NormalInputRetrievesOneRecord) {
+  auto result = db_.Execute(BuildQuery("105"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 1u);
+  EXPECT_EQ(result->At(0, 1).AsText(), "client105");
+}
+
+TEST_F(InjectionTest, NonexistentInputRetrievesNothing) {
+  auto result = db_.Execute(BuildQuery("999"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+TEST_F(InjectionTest, TautologyPayloadRetrievesEverything) {
+  // Fig. 2: injecting 1' OR '1'='1 makes the WHERE clause always true.
+  auto result = db_.Execute(BuildQuery("1' OR '1'='1"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 10u);  // every client record leaks
+}
+
+TEST_F(InjectionTest, InjectionStrictlyIncreasesSelectivity) {
+  const size_t normal = db_.Execute(BuildQuery("105"))->num_rows();
+  const size_t injected =
+      db_.Execute(BuildQuery("1' OR '1'='1"))->num_rows();
+  EXPECT_GT(injected, normal);
+}
+
+TEST_F(InjectionTest, QuotedInputIsInertWithoutQuoteBreak) {
+  // Input without a quote break stays a literal — no injection.
+  auto result = db_.Execute(BuildQuery("105 OR 1=1"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace adprom::db

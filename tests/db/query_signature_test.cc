@@ -1,0 +1,55 @@
+#include "db/query_signature.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::db {
+namespace {
+
+TEST(QuerySignatureTest, ReplacesLiterals) {
+  EXPECT_EQ(QuerySignature("SELECT * FROM clients WHERE id='105'"),
+            "SELECT * FROM clients WHERE id = ?");
+  EXPECT_EQ(QuerySignature("SELECT name FROM t WHERE age >= 21"),
+            "SELECT name FROM t WHERE age >= ?");
+  EXPECT_EQ(QuerySignature("INSERT INTO t VALUES (1, 'x', 2.5)"),
+            "INSERT INTO t VALUES ( ? , ? , ? )");
+}
+
+TEST(QuerySignatureTest, BoundValuesDoNotChangeSignature) {
+  const std::string a = QuerySignature(
+      "SELECT * FROM accounts WHERE acc_no = 500");
+  const std::string b = QuerySignature(
+      "SELECT * FROM accounts WHERE acc_no = 999");
+  EXPECT_EQ(a, b);
+}
+
+TEST(QuerySignatureTest, DifferentSkeletonsDiffer) {
+  // Same result shape, different query — the §VII attack this mitigates.
+  EXPECT_NE(QuerySignature("SELECT name FROM items WHERE id = 3"),
+            QuerySignature("SELECT ssn FROM clients WHERE id = 3"));
+  EXPECT_NE(QuerySignature("SELECT * FROM t WHERE a = 1"),
+            QuerySignature("SELECT * FROM t WHERE a >= 1"));
+}
+
+TEST(QuerySignatureTest, CaseNormalization) {
+  EXPECT_EQ(QuerySignature("select * from Clients where ID='1'"),
+            QuerySignature("SELECT * FROM clients WHERE id='2'"));
+}
+
+TEST(QuerySignatureTest, InjectionChangesSignature) {
+  // A tautology payload alters the skeleton itself, so even an attacker
+  // controlling only the bound value changes the recorded signature.
+  const std::string benign =
+      QuerySignature("SELECT * FROM clients WHERE id='105'");
+  const std::string injected =
+      QuerySignature("SELECT * FROM clients WHERE id='1' OR '1'='1'");
+  EXPECT_NE(benign, injected);
+  EXPECT_EQ(injected, "SELECT * FROM clients WHERE id = ? OR ? = ?");
+}
+
+TEST(QuerySignatureTest, UnlexableInputIsStable) {
+  EXPECT_EQ(QuerySignature("SELECT $$$"), "<unparsed>");
+  EXPECT_EQ(QuerySignature("'unterminated"), "<unparsed>");
+}
+
+}  // namespace
+}  // namespace adprom::db

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "db/query_result.h"
+#include "db/schema.h"
+#include "db/table.h"
+
+namespace adprom::db {
+namespace {
+
+Schema PeopleSchema() {
+  return Schema({{"id", ValueType::kInt},
+                 {"name", ValueType::kText},
+                 {"score", ValueType::kReal}});
+}
+
+TEST(SchemaTest, CaseInsensitiveLookup) {
+  const Schema schema = PeopleSchema();
+  EXPECT_EQ(schema.IndexOf("id"), 0u);
+  EXPECT_EQ(schema.IndexOf("NAME"), 1u);
+  EXPECT_EQ(schema.IndexOf("Score"), 2u);
+  EXPECT_FALSE(schema.IndexOf("ghost").has_value());
+  EXPECT_EQ(schema.size(), 3u);
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(PeopleSchema().ToString(), "id INT, name TEXT, score REAL");
+  EXPECT_EQ(Schema().ToString(), "");
+}
+
+TEST(TableTest, InsertChecksArity) {
+  Table table("people", PeopleSchema());
+  EXPECT_FALSE(table.Insert({Value::Int(1)}).ok());
+  EXPECT_TRUE(table
+                  .Insert({Value::Int(1), Value::Text("ann"),
+                           Value::Real(3.5)})
+                  .ok());
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TableTest, InsertCoercions) {
+  Table table("people", PeopleSchema());
+  // Int into REAL widens; numeric text into INT parses; NULL fits all.
+  EXPECT_TRUE(table
+                  .Insert({Value::Text("7"), Value::Int(42),
+                           Value::Int(2)})
+                  .ok());
+  const Row& row = table.rows()[0];
+  EXPECT_EQ(row[0].AsInt(), 7);
+  EXPECT_EQ(row[1].AsText(), "42");  // anything renders into TEXT
+  EXPECT_DOUBLE_EQ(row[2].AsReal(), 2.0);
+  EXPECT_TRUE(table
+                  .Insert({Value::Null(), Value::Null(), Value::Null()})
+                  .ok());
+  // Fractional real into INT is lossy: rejected.
+  EXPECT_FALSE(table
+                   .Insert({Value::Real(1.5), Value::Text("x"),
+                            Value::Real(0)})
+                   .ok());
+}
+
+TEST(TableTest, EraseIf) {
+  Table table("people", PeopleSchema());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(table
+                    .Insert({Value::Int(i), Value::Text("p"),
+                             Value::Real(i)})
+                    .ok());
+  }
+  const size_t removed = table.EraseIf(
+      [](const Row& row) { return row[0].AsInt() % 2 == 0; });
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(table.row_count(), 3u);
+  for (const Row& row : table.rows()) {
+    EXPECT_EQ(row[0].AsInt() % 2, 1);
+  }
+}
+
+TEST(QueryResultTest, AccessorsAndRendering) {
+  QueryResult result;
+  result.columns = {"id", "name"};
+  result.rows.push_back({Value::Int(1), Value::Text("ann")});
+  result.rows.push_back({Value::Int(2), Value::Null()});
+  result.source_table = "people";
+  EXPECT_EQ(result.num_rows(), 2u);
+  EXPECT_EQ(result.num_cols(), 2u);
+  EXPECT_EQ(result.At(0, 1).AsText(), "ann");
+  const std::string text = result.ToString();
+  EXPECT_NE(text.find("ann"), std::string::npos);
+  EXPECT_NE(text.find("NULL"), std::string::npos);
+}
+
+TEST(QueryResultTest, DmlRendering) {
+  QueryResult result;
+  result.affected_rows = 3;
+  EXPECT_NE(result.ToString().find("3 rows affected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adprom::db

@@ -1,0 +1,89 @@
+#include "db/sql_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "db/sql_parser.h"
+
+namespace adprom::db {
+namespace {
+
+class SqlEvalTest : public ::testing::Test {
+ protected:
+  SqlEvalTest()
+      : schema_({{"id", ValueType::kInt},
+                 {"name", ValueType::kText},
+                 {"score", ValueType::kReal}}) {}
+
+  // Evaluates the WHERE clause of "SELECT * FROM t WHERE <expr>" on a row.
+  TriBool Eval(const std::string& expr, const Row& row) {
+    auto stmt = ParseSql("SELECT * FROM t WHERE " + expr);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto result = EvalPredicate(*stmt->select.where, schema_, row);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  Schema schema_;
+  Row row_a_{Value::Int(1), Value::Text("alice"), Value::Real(3.5)};
+  Row row_null_{Value::Int(2), Value::Null(), Value::Null()};
+};
+
+TEST_F(SqlEvalTest, Comparisons) {
+  EXPECT_EQ(Eval("id = 1", row_a_), TriBool::kTrue);
+  EXPECT_EQ(Eval("id != 1", row_a_), TriBool::kFalse);
+  EXPECT_EQ(Eval("score > 3", row_a_), TriBool::kTrue);
+  EXPECT_EQ(Eval("score <= 3", row_a_), TriBool::kFalse);
+  EXPECT_EQ(Eval("name = 'alice'", row_a_), TriBool::kTrue);
+  EXPECT_EQ(Eval("name < 'bob'", row_a_), TriBool::kTrue);
+}
+
+TEST_F(SqlEvalTest, NullComparisonsAreUnknown) {
+  EXPECT_EQ(Eval("name = 'x'", row_null_), TriBool::kUnknown);
+  EXPECT_EQ(Eval("score > 0", row_null_), TriBool::kUnknown);
+}
+
+TEST_F(SqlEvalTest, ThreeValuedLogic) {
+  // unknown AND false = false; unknown AND true = unknown.
+  EXPECT_EQ(Eval("name = 'x' AND id = 99", row_null_), TriBool::kFalse);
+  EXPECT_EQ(Eval("name = 'x' AND id = 2", row_null_), TriBool::kUnknown);
+  // unknown OR true = true; unknown OR false = unknown.
+  EXPECT_EQ(Eval("name = 'x' OR id = 2", row_null_), TriBool::kTrue);
+  EXPECT_EQ(Eval("name = 'x' OR id = 99", row_null_), TriBool::kUnknown);
+  // NOT unknown = unknown.
+  EXPECT_EQ(Eval("NOT name = 'x'", row_null_), TriBool::kUnknown);
+  EXPECT_EQ(Eval("NOT id = 1", row_a_), TriBool::kFalse);
+}
+
+TEST_F(SqlEvalTest, IsNull) {
+  EXPECT_EQ(Eval("name IS NULL", row_null_), TriBool::kTrue);
+  EXPECT_EQ(Eval("name IS NOT NULL", row_null_), TriBool::kFalse);
+  EXPECT_EQ(Eval("name IS NULL", row_a_), TriBool::kFalse);
+}
+
+TEST_F(SqlEvalTest, TautologyAlwaysTrue) {
+  EXPECT_EQ(Eval("id='1' OR '1'='1'", row_a_), TriBool::kTrue);
+  EXPECT_EQ(Eval("id='1' OR '1'='1'", row_null_), TriBool::kTrue);
+}
+
+TEST_F(SqlEvalTest, UnknownColumnIsError) {
+  auto stmt = ParseSql("SELECT * FROM t WHERE ghost = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(EvalPredicate(*stmt->select.where, schema_, row_a_).ok());
+}
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("alice", "a%"));
+  EXPECT_TRUE(LikeMatch("alice", "%ice"));
+  EXPECT_TRUE(LikeMatch("alice", "%lic%"));
+  EXPECT_TRUE(LikeMatch("alice", "_lice"));
+  EXPECT_TRUE(LikeMatch("alice", "alice"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("alice", "b%"));
+  EXPECT_FALSE(LikeMatch("alice", "_ice"));
+  EXPECT_FALSE(LikeMatch("alice", ""));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));
+  EXPECT_TRUE(LikeMatch("abc", "%%c"));
+}
+
+}  // namespace
+}  // namespace adprom::db

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "db/sql_token.h"
+
+namespace adprom::db {
+namespace {
+
+TEST(SqlLexerTest, BasicSelect) {
+  auto tokens = LexSql("SELECT * FROM items WHERE id = 10");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  ASSERT_GE(t.size(), 9u);
+  EXPECT_EQ(t[0].type, SqlTokenType::kKeyword);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].type, SqlTokenType::kStar);
+  EXPECT_EQ(t[3].type, SqlTokenType::kIdentifier);
+  EXPECT_EQ(t[3].text, "items");
+  EXPECT_EQ(t[7].type, SqlTokenType::kIntLiteral);
+  EXPECT_EQ(t.back().type, SqlTokenType::kEnd);
+}
+
+TEST(SqlLexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = LexSql("select id from t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[2].text, "FROM");
+}
+
+TEST(SqlLexerTest, StringLiteralWithEscape) {
+  auto tokens = LexSql("SELECT * FROM t WHERE name = 'O''Brien'");
+  ASSERT_TRUE(tokens.ok());
+  bool found = false;
+  for (const auto& tok : *tokens) {
+    if (tok.type == SqlTokenType::kStringLiteral) {
+      EXPECT_EQ(tok.text, "O'Brien");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SqlLexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(LexSql("SELECT 'oops").ok());
+}
+
+TEST(SqlLexerTest, Operators) {
+  auto tokens = LexSql("a <= 1 AND b <> 2 OR c != 3 AND d >= 4");
+  ASSERT_TRUE(tokens.ok());
+  int ne_count = 0;
+  for (const auto& tok : *tokens) {
+    if (tok.type == SqlTokenType::kOperator && tok.text == "!=") ++ne_count;
+  }
+  EXPECT_EQ(ne_count, 2);  // <> normalizes to !=
+}
+
+TEST(SqlLexerTest, RealLiterals) {
+  auto tokens = LexSql("SELECT 3.14 FROM t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, SqlTokenType::kRealLiteral);
+  EXPECT_EQ((*tokens)[1].text, "3.14");
+}
+
+TEST(SqlLexerTest, UnexpectedCharacterIsError) {
+  auto result = LexSql("SELECT $ FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(SqlLexerTest, InjectedPayloadLexes) {
+  // The payload "1' OR '1'='1" spliced into a query produces valid tokens.
+  auto tokens = LexSql("SELECT * FROM clients WHERE id='1' OR '1'='1'");
+  ASSERT_TRUE(tokens.ok());
+  int strings = 0;
+  for (const auto& tok : *tokens) {
+    if (tok.type == SqlTokenType::kStringLiteral) ++strings;
+  }
+  EXPECT_EQ(strings, 3);
+}
+
+}  // namespace
+}  // namespace adprom::db

@@ -1,0 +1,65 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::db {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Text("hi").AsText(), "hi");
+  EXPECT_DOUBLE_EQ(Value::Int(4).AsReal(), 4.0);  // int widens to real
+}
+
+TEST(ValueTest, TryNumeric) {
+  double d = 0;
+  EXPECT_TRUE(Value::Int(3).TryNumeric(&d));
+  EXPECT_DOUBLE_EQ(d, 3.0);
+  EXPECT_TRUE(Value::Text("42.5").TryNumeric(&d));
+  EXPECT_DOUBLE_EQ(d, 42.5);
+  EXPECT_FALSE(Value::Text("abc").TryNumeric(&d));
+  EXPECT_FALSE(Value::Text("").TryNumeric(&d));
+  EXPECT_FALSE(Value::Text("12x").TryNumeric(&d));
+  EXPECT_FALSE(Value::Null().TryNumeric(&d));
+}
+
+TEST(ValueTest, NumericComparison) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_GT(Value::Real(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, TextComparison) {
+  EXPECT_LT(Value::Text("abc").Compare(Value::Text("abd")), 0);
+  EXPECT_EQ(Value::Text("x").Compare(Value::Text("x")), 0);
+}
+
+TEST(ValueTest, TextNumberCoercion) {
+  // '105' = 105 — the lax typing string-built queries rely on.
+  EXPECT_EQ(Value::Text("105").Compare(Value::Int(105)), 0);
+  EXPECT_LT(Value::Int(99).Compare(Value::Text("105")), 0);
+}
+
+TEST(ValueTest, TautologyLiteralEquality) {
+  // The core of the tautology injection: '1' = '1' must hold.
+  EXPECT_EQ(Value::Text("1").Compare(Value::Text("1")), 0);
+  EXPECT_TRUE(Value::Text("1") == Value::Text("1"));
+}
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Text("x").ToString(), "x");
+  EXPECT_EQ(Value::Real(1.5).ToString(), "1.5");
+}
+
+}  // namespace
+}  // namespace adprom::db

@@ -1,0 +1,65 @@
+#include "eval/adaptive_threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::eval {
+namespace {
+
+TEST(AdaptiveThresholdTest, StartsAtInitial) {
+  AdaptiveThreshold t(-2.0);
+  EXPECT_DOUBLE_EQ(t.threshold(), -2.0);
+}
+
+TEST(AdaptiveThresholdTest, HighNormalScoresDoNotMoveIt) {
+  AdaptiveThreshold t(-2.0, 0.5);
+  t.ObserveNormal(-0.5);
+  t.ObserveNormal(-1.0);
+  EXPECT_DOUBLE_EQ(t.threshold(), -2.0);
+}
+
+TEST(AdaptiveThresholdTest, LegitimateDriftWidensThreshold) {
+  // Normal behaviour drifted to scores near the threshold: it drops so
+  // the drifted traffic is not flagged.
+  AdaptiveThreshold t(-2.0, 0.5);
+  t.ObserveNormal(-1.9);
+  EXPECT_DOUBLE_EQ(t.threshold(), -2.4);
+  t.ObserveNormal(-2.3);
+  EXPECT_DOUBLE_EQ(t.threshold(), -2.8);
+}
+
+TEST(AdaptiveThresholdTest, FalsePositiveFeedbackDrops) {
+  AdaptiveThreshold t(-2.0, 0.5);
+  t.ReportFalsePositive(-2.2);
+  EXPECT_DOUBLE_EQ(t.threshold(), -2.7);
+  // Already below: no change upward.
+  t.ReportFalsePositive(-1.0);
+  EXPECT_DOUBLE_EQ(t.threshold(), -2.7);
+}
+
+TEST(AdaptiveThresholdTest, MissedAttackRaisesButIsCapped) {
+  AdaptiveThreshold t(-2.0, 0.5);
+  t.ReportFalsePositive(-3.0);  // threshold now -3.5
+  t.ReportMissedAttack(-3.0);
+  EXPECT_GT(t.threshold(), -3.0);
+  EXPECT_LE(t.threshold(), -2.0);  // never above the trained initial
+}
+
+TEST(AdaptiveThresholdTest, MissedAttackRespectsConfirmedNormals) {
+  AdaptiveThreshold t(-2.0, 0.5);
+  t.ObserveNormal(-2.6);  // threshold -3.1; -2.6 is confirmed normal
+  t.ReportMissedAttack(-2.8);
+  // Raising above -2.8 would flag the confirmed-normal -2.6 window, so
+  // consistency pulls it back below -2.6 - margin.
+  EXPECT_LE(t.threshold(), -3.1);
+}
+
+TEST(AdaptiveThresholdTest, WindowBoundsMemory) {
+  AdaptiveThreshold t(-2.0, 0.5, /*window=*/2);
+  t.ObserveNormal(-1.0);
+  t.ObserveNormal(-1.1);
+  t.ObserveNormal(-1.2);
+  EXPECT_EQ(t.observed(), 2u);
+}
+
+}  // namespace
+}  // namespace adprom::eval

@@ -1,0 +1,70 @@
+// Integration test of the paper's cross-validation methodology (§V-B): a
+// k-fold split over the test cases of a client app, training on k-1 folds
+// and evaluating FP on the held-out fold plus FN on synthetic anomalies.
+
+#include <gtest/gtest.h>
+
+#include "apps/corpus.h"
+#include "attack/synthetic.h"
+#include "eval/evaluation.h"
+#include "prog/program.h"
+
+namespace adprom::eval {
+namespace {
+
+TEST(CrossValidationTest, ThreeFoldOnHospitalApp) {
+  apps::CorpusApp app = apps::MakeHospitalApp();
+  auto program = prog::ParseProgram(app.source);
+  ASSERT_TRUE(program.ok());
+  core::Analyzer analyzer;
+  auto analysis = analyzer.Analyze(*program);
+  ASSERT_TRUE(analysis.ok());
+
+  const size_t k = 3;
+  const auto splits = KFoldSplits(app.test_cases.size(), k, /*seed=*/17);
+  ConfusionMatrix total;
+  for (const FoldSplit& split : splits) {
+    std::vector<core::TestCase> train_cases;
+    std::vector<core::TestCase> test_cases;
+    for (size_t i : split.train) train_cases.push_back(app.test_cases[i]);
+    for (size_t i : split.test) test_cases.push_back(app.test_cases[i]);
+
+    core::ProfileOptions options;
+    options.train.max_iterations = 8;  // bound per-fold cost
+    auto system = core::AdProm::Train(*program, app.db_factory, train_cases,
+                                      options);
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+
+    auto held_traces = core::AdProm::CollectTraces(
+        *program, analysis->cfgs, app.db_factory, test_cases);
+    ASSERT_TRUE(held_traces.ok());
+    std::vector<runtime::Trace> normal_windows;
+    for (const runtime::Trace& trace : *held_traces) {
+      for (const auto& window : core::SlidingWindows(
+               trace, system->profile().options.window_length)) {
+        normal_windows.emplace_back(window.begin(), window.end());
+      }
+    }
+    if (normal_windows.empty()) continue;
+
+    attack::SyntheticAnomalyGenerator generator(normal_windows, 555);
+    const auto anomalies = generator.MakeBatch2(20);
+
+    auto normal_scores = ScoreWindows(system->profile(), normal_windows);
+    auto anomaly_scores = ScoreWindows(system->profile(), anomalies);
+    ASSERT_TRUE(normal_scores.ok());
+    ASSERT_TRUE(anomaly_scores.ok());
+    total += Classify(*normal_scores, *anomaly_scores,
+                      system->profile().threshold);
+  }
+
+  // The paper's claim: high accuracy with very low FP — held-out folds of
+  // the same workload distribution should rarely trip the detector, and
+  // A-S2 anomalies (unknown calls) must never be missed.
+  EXPECT_EQ(total.fn, 0u);
+  EXPECT_LT(total.FpRate(), 0.10);
+  EXPECT_GT(total.Accuracy(), 0.90);
+}
+
+}  // namespace
+}  // namespace adprom::eval

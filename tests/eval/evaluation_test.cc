@@ -1,0 +1,100 @@
+#include "eval/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adprom::eval {
+namespace {
+
+TEST(ClassifyTest, ThresholdSplitsScores) {
+  const std::vector<double> normal = {-1.0, -2.0, -3.0};
+  const std::vector<double> anomalous = {-5.0, -6.0, -2.5};
+  const ConfusionMatrix cm = Classify(normal, anomalous, -4.0);
+  EXPECT_EQ(cm.tn, 3u);  // all normal above threshold
+  EXPECT_EQ(cm.fp, 0u);
+  EXPECT_EQ(cm.tp, 2u);  // -5, -6 below
+  EXPECT_EQ(cm.fn, 1u);  // -2.5 missed
+}
+
+TEST(RocSweepTest, CurveSpansBothExtremes) {
+  const std::vector<double> normal = {-1, -2, -3};
+  const std::vector<double> anomalous = {-4, -5};
+  const auto curve = RocSweep(normal, anomalous);
+  ASSERT_GE(curve.size(), 3u);
+  // Lowest threshold: nothing flagged -> FP 0, FN 1.
+  EXPECT_DOUBLE_EQ(curve.front().fp_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().fn_rate, 1.0);
+  // Highest threshold: everything flagged -> FP 1, FN 0.
+  EXPECT_DOUBLE_EQ(curve.back().fp_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fn_rate, 0.0);
+}
+
+TEST(RocSweepTest, PerfectSeparationHasZeroZeroPoint) {
+  const std::vector<double> normal = {-1, -2};
+  const std::vector<double> anomalous = {-10, -12};
+  const auto curve = RocSweep(normal, anomalous);
+  bool perfect = false;
+  for (const RocPoint& p : curve) {
+    if (p.fp_rate == 0.0 && p.fn_rate == 0.0) perfect = true;
+  }
+  EXPECT_TRUE(perfect);
+}
+
+TEST(FnRateAtFpBudgetTest, PicksBestUnderBudget) {
+  const std::vector<RocPoint> curve = {
+      {0, 0.0, 0.8}, {0, 0.05, 0.3}, {0, 0.2, 0.1}, {0, 0.5, 0.0}};
+  EXPECT_DOUBLE_EQ(FnRateAtFpBudget(curve, 0.0), 0.8);
+  EXPECT_DOUBLE_EQ(FnRateAtFpBudget(curve, 0.1), 0.3);
+  EXPECT_DOUBLE_EQ(FnRateAtFpBudget(curve, 1.0), 0.0);
+}
+
+TEST(KFoldTest, PartitionsAllIndices) {
+  const auto splits = KFoldSplits(23, 5, 42);
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<size_t> all_test;
+  for (const FoldSplit& split : splits) {
+    EXPECT_EQ(split.train.size() + split.test.size(), 23u);
+    for (size_t i : split.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "index tested twice";
+    }
+    // No overlap between train and test in a fold.
+    std::set<size_t> train(split.train.begin(), split.train.end());
+    for (size_t i : split.test) EXPECT_EQ(train.count(i), 0u);
+  }
+  EXPECT_EQ(all_test.size(), 23u);
+}
+
+TEST(KFoldTest, DeterministicBySeed) {
+  const auto a = KFoldSplits(10, 3, 7);
+  const auto b = KFoldSplits(10, 3, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].test, b[i].test);
+  }
+}
+
+TEST(SelectThresholdTest, MaximizesAccuracy) {
+  const std::vector<double> normal = {-1, -1.5, -2};
+  const std::vector<double> anomalous = {-8, -9};
+  const double t = SelectThreshold(normal, anomalous, {-10, -5, -1.7, 0});
+  // -5 separates perfectly; -10 misses anomalies; -1.7/0 flag normals.
+  EXPECT_DOUBLE_EQ(t, -5.0);
+}
+
+TEST(SelectThresholdTest, TiePrefersLowerFpRate) {
+  // Both -5 and -4 classify perfectly; the sweep keeps the first best by
+  // accuracy then lower FP — equal here, so the earlier candidate wins.
+  const std::vector<double> normal = {-1};
+  const std::vector<double> anomalous = {-9};
+  const double t = SelectThreshold(normal, anomalous, {-5, -4});
+  EXPECT_DOUBLE_EQ(t, -5.0);
+}
+
+TEST(QuantileCandidatesTest, BelowMinimumIncluded) {
+  const auto candidates = QuantileCandidates({-1, -2, -3, -4}, 4);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_LT(candidates.front(), -4.0);
+}
+
+}  // namespace
+}  // namespace adprom::eval

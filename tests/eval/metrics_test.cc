@@ -1,0 +1,54 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::eval {
+namespace {
+
+TEST(ConfusionMatrixTest, Rates) {
+  ConfusionMatrix cm;
+  cm.tp = 90;
+  cm.fn = 10;
+  cm.tn = 880;
+  cm.fp = 20;
+  EXPECT_DOUBLE_EQ(cm.FpRate(), 20.0 / 900.0);
+  EXPECT_DOUBLE_EQ(cm.FnRate(), 10.0 / 100.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 90.0 / 110.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(), 0.9);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 970.0 / 1000.0);
+  EXPECT_EQ(cm.total(), 1000u);
+}
+
+TEST(ConfusionMatrixTest, DegenerateDenominators) {
+  ConfusionMatrix empty;
+  EXPECT_DOUBLE_EQ(empty.FpRate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.FnRate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.Accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, Accumulation) {
+  ConfusionMatrix a;
+  a.tp = 1;
+  a.fp = 2;
+  ConfusionMatrix b;
+  b.tn = 3;
+  b.fn = 4;
+  a += b;
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 2u);
+  EXPECT_EQ(a.tn, 3u);
+  EXPECT_EQ(a.fn, 4u);
+}
+
+TEST(ConfusionMatrixTest, ToStringMentionsCounts) {
+  ConfusionMatrix cm;
+  cm.tp = 5;
+  const std::string s = cm.ToString();
+  EXPECT_NE(s.find("TP=5"), std::string::npos);
+  EXPECT_NE(s.find("precision"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adprom::eval

@@ -1,0 +1,145 @@
+#include "hmm/baum_welch.h"
+
+#include <gtest/gtest.h>
+
+#include "hmm/inference.h"
+#include "util/rng.h"
+
+namespace adprom::hmm {
+namespace {
+
+/// Samples sequences from a ground-truth model.
+std::vector<ObservationSeq> Sample(const HmmModel& model, size_t count,
+                                   size_t length, util::Rng& rng) {
+  std::vector<ObservationSeq> out;
+  out.reserve(count);
+  for (size_t c = 0; c < count; ++c) {
+    ObservationSeq seq;
+    size_t state = rng.WeightedIndex(model.pi());
+    for (size_t t = 0; t < length; ++t) {
+      seq.push_back(static_cast<int>(rng.WeightedIndex(model.b().Row(state))));
+      state = rng.WeightedIndex(model.a().Row(state));
+    }
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+HmmModel GroundTruth() {
+  util::Matrix a = util::Matrix::FromRows({{0.85, 0.15}, {0.25, 0.75}});
+  util::Matrix b =
+      util::Matrix::FromRows({{0.8, 0.15, 0.05}, {0.05, 0.2, 0.75}});
+  return HmmModel(std::move(a), std::move(b), {0.7, 0.3});
+}
+
+TEST(BaumWelchTest, LikelihoodNeverDecreases) {
+  util::Rng rng(101);
+  const HmmModel truth = GroundTruth();
+  const auto sequences = Sample(truth, 40, 25, rng);
+
+  HmmModel model = HmmModel::Random(2, 3, rng);
+  TrainOptions options;
+  options.max_iterations = 20;
+  options.tolerance = 0.0;  // run all iterations
+  auto stats = BaumWelchTrain(&model, sequences, options);
+  ASSERT_TRUE(stats.ok());
+  const auto& curve = stats->log_likelihood_curve;
+  ASSERT_GE(curve.size(), 2u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1] - 1e-6)
+        << "iteration " << i << " decreased the likelihood";
+  }
+}
+
+TEST(BaumWelchTest, ImprovesFitOverRandomInit) {
+  util::Rng rng(202);
+  const HmmModel truth = GroundTruth();
+  const auto train = Sample(truth, 50, 20, rng);
+  const auto test = Sample(truth, 20, 20, rng);
+
+  HmmModel model = HmmModel::Random(2, 3, rng);
+  auto before = [&] {
+    double total = 0.0;
+    for (const auto& seq : test) total += *LogLikelihood(model, seq);
+    return total;
+  };
+  const double untrained = before();
+  TrainOptions options;
+  options.max_iterations = 30;
+  ASSERT_TRUE(BaumWelchTrain(&model, train, options).ok());
+  const double trained = before();
+  EXPECT_GT(trained, untrained);
+}
+
+TEST(BaumWelchTest, ModelStaysStochastic) {
+  util::Rng rng(303);
+  const auto sequences = Sample(GroundTruth(), 20, 15, rng);
+  HmmModel model = HmmModel::Random(3, 3, rng);
+  ASSERT_TRUE(BaumWelchTrain(&model, sequences).ok());
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(BaumWelchTest, CallbackStopsTraining) {
+  util::Rng rng(404);
+  const auto sequences = Sample(GroundTruth(), 20, 15, rng);
+  HmmModel model = HmmModel::Random(2, 3, rng);
+  TrainOptions options;
+  options.max_iterations = 50;
+  int calls = 0;
+  options.keep_going = [&](int, const HmmModel&) { return ++calls < 3; };
+  auto stats = BaumWelchTrain(&model, sequences, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->stopped_by_callback);
+  EXPECT_EQ(stats->iterations, 3);
+}
+
+TEST(BaumWelchTest, ConvergesAndStops) {
+  util::Rng rng(505);
+  const auto sequences = Sample(GroundTruth(), 30, 20, rng);
+  HmmModel model = HmmModel::Random(2, 3, rng);
+  TrainOptions options;
+  options.max_iterations = 200;
+  options.tolerance = 1e-3;
+  auto stats = BaumWelchTrain(&model, sequences, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->converged);
+  EXPECT_LT(stats->iterations, 200);
+}
+
+TEST(BaumWelchTest, RejectsEmptyInput) {
+  HmmModel model = GroundTruth();
+  EXPECT_FALSE(BaumWelchTrain(&model, {}).ok());
+  EXPECT_FALSE(BaumWelchTrain(&model, {ObservationSeq{}}).ok());
+}
+
+TEST(BaumWelchTest, SingleSequenceTraining) {
+  util::Rng rng(606);
+  const auto sequences = Sample(GroundTruth(), 1, 100, rng);
+  HmmModel model = HmmModel::Random(2, 3, rng);
+  auto stats = BaumWelchTrain(&model, sequences);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(BaumWelchTest, LearnsDistinctEmissions) {
+  // With clearly separated emission profiles, training from a perturbed
+  // start recovers state-specialized emissions.
+  util::Rng rng(707);
+  const HmmModel truth = GroundTruth();
+  const auto sequences = Sample(truth, 100, 30, rng);
+  HmmModel model = HmmModel::Random(2, 3, rng);
+  TrainOptions options;
+  options.max_iterations = 60;
+  ASSERT_TRUE(BaumWelchTrain(&model, sequences, options).ok());
+  // One state should emit symbol 0 heavily, the other symbol 2 (label
+  // switching allowed).
+  const double s0_sym0 = model.b().At(0, 0);
+  const double s1_sym0 = model.b().At(1, 0);
+  const double heavy0 = std::max(s0_sym0, s1_sym0);
+  const size_t other = s0_sym0 > s1_sym0 ? 1 : 0;
+  EXPECT_GT(heavy0, 0.6);
+  EXPECT_GT(model.b().At(other, 2), 0.6);
+}
+
+}  // namespace
+}  // namespace adprom::hmm

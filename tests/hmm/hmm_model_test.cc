@@ -1,0 +1,63 @@
+#include "hmm/hmm_model.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::hmm {
+namespace {
+
+HmmModel TwoStateModel() {
+  util::Matrix a = util::Matrix::FromRows({{0.7, 0.3}, {0.4, 0.6}});
+  util::Matrix b = util::Matrix::FromRows({{0.9, 0.1}, {0.2, 0.8}});
+  return HmmModel(std::move(a), std::move(b), {0.6, 0.4});
+}
+
+TEST(HmmModelTest, ValidModelPasses) {
+  EXPECT_TRUE(TwoStateModel().Validate().ok());
+}
+
+TEST(HmmModelTest, DimensionsChecked) {
+  util::Matrix a(2, 3);
+  util::Matrix b(2, 2);
+  HmmModel bad(std::move(a), std::move(b), {0.5, 0.5});
+  EXPECT_FALSE(bad.Validate().ok());
+
+  HmmModel wrong_pi(util::Matrix::Identity(2),
+                    util::Matrix::FromRows({{1, 0}, {0, 1}}), {1.0});
+  EXPECT_FALSE(wrong_pi.Validate().ok());
+}
+
+TEST(HmmModelTest, NonStochasticRowFails) {
+  util::Matrix a = util::Matrix::FromRows({{0.5, 0.1}, {0.4, 0.6}});
+  util::Matrix b = util::Matrix::FromRows({{1, 0}, {0, 1}});
+  HmmModel model(std::move(a), std::move(b), {0.5, 0.5});
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+TEST(HmmModelTest, NegativeEntryFails) {
+  util::Matrix a = util::Matrix::FromRows({{1.2, -0.2}, {0.5, 0.5}});
+  util::Matrix b = util::Matrix::FromRows({{1, 0}, {0, 1}});
+  HmmModel model(std::move(a), std::move(b), {0.5, 0.5});
+  EXPECT_FALSE(model.Validate().ok());
+}
+
+TEST(HmmModelTest, RandomModelIsStochastic) {
+  util::Rng rng(17);
+  const HmmModel model = HmmModel::Random(5, 7, rng);
+  EXPECT_EQ(model.num_states(), 5u);
+  EXPECT_EQ(model.num_symbols(), 7u);
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+TEST(HmmModelTest, SmoothRemovesZerosAndStaysStochastic) {
+  util::Matrix a = util::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  util::Matrix b = util::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  HmmModel model(std::move(a), std::move(b), {1.0, 0.0});
+  model.Smooth(0.01);
+  EXPECT_TRUE(model.Validate().ok());
+  EXPECT_GT(model.a().At(0, 1), 0.0);
+  EXPECT_GT(model.b().At(1, 0), 0.0);
+  EXPECT_GT(model.pi()[1], 0.0);
+}
+
+}  // namespace
+}  // namespace adprom::hmm

@@ -1,0 +1,123 @@
+#include "hmm/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adprom::hmm {
+namespace {
+
+HmmModel TwoStateModel() {
+  util::Matrix a = util::Matrix::FromRows({{0.7, 0.3}, {0.4, 0.6}});
+  util::Matrix b = util::Matrix::FromRows({{0.9, 0.1}, {0.2, 0.8}});
+  return HmmModel(std::move(a), std::move(b), {0.6, 0.4});
+}
+
+/// Brute-force P(O|λ) by summing over every hidden state path.
+double BruteForceLikelihood(const HmmModel& m, const ObservationSeq& seq) {
+  const size_t n = m.num_states();
+  const size_t t_len = seq.size();
+  double total = 0.0;
+  std::vector<size_t> path(t_len, 0);
+  for (;;) {
+    double p = m.pi()[path[0]] * m.b().At(path[0], seq[0]);
+    for (size_t t = 1; t < t_len; ++t) {
+      p *= m.a().At(path[t - 1], path[t]) * m.b().At(path[t], seq[t]);
+    }
+    total += p;
+    // Advance the path like an odometer.
+    size_t i = 0;
+    while (i < t_len && ++path[i] == n) {
+      path[i] = 0;
+      ++i;
+    }
+    if (i == t_len) break;
+  }
+  return total;
+}
+
+TEST(ForwardTest, MatchesBruteForceOnShortSequences) {
+  const HmmModel model = TwoStateModel();
+  const std::vector<ObservationSeq> cases = {
+      {0}, {1}, {0, 1}, {1, 1, 0}, {0, 0, 1, 1}, {1, 0, 1, 0, 1}};
+  for (const ObservationSeq& seq : cases) {
+    auto ll = LogLikelihood(model, seq);
+    ASSERT_TRUE(ll.ok());
+    EXPECT_NEAR(*ll, std::log(BruteForceLikelihood(model, seq)), 1e-10)
+        << "sequence length " << seq.size();
+  }
+}
+
+TEST(ForwardTest, SingleSymbolProbability) {
+  const HmmModel model = TwoStateModel();
+  // P(O=0) = 0.6*0.9 + 0.4*0.2 = 0.62.
+  auto ll = LogLikelihood(model, {0});
+  ASSERT_TRUE(ll.ok());
+  EXPECT_NEAR(std::exp(*ll), 0.62, 1e-12);
+}
+
+TEST(ForwardTest, ScalingSurvivesLongSequences) {
+  const HmmModel model = TwoStateModel();
+  ObservationSeq seq(5000);
+  for (size_t i = 0; i < seq.size(); ++i) seq[i] = i % 2;
+  auto ll = LogLikelihood(model, seq);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_TRUE(std::isfinite(*ll));
+  EXPECT_LT(*ll, 0.0);
+}
+
+TEST(ForwardTest, PerSymbolNormalization) {
+  const HmmModel model = TwoStateModel();
+  const ObservationSeq seq = {0, 1, 0, 1};
+  auto total = LogLikelihood(model, seq);
+  auto per = PerSymbolLogLikelihood(model, seq);
+  ASSERT_TRUE(total.ok());
+  ASSERT_TRUE(per.ok());
+  EXPECT_NEAR(*per, *total / 4.0, 1e-12);
+}
+
+TEST(ForwardTest, RejectsBadInput) {
+  const HmmModel model = TwoStateModel();
+  EXPECT_FALSE(LogLikelihood(model, {}).ok());
+  EXPECT_FALSE(LogLikelihood(model, {0, 5}).ok());
+  EXPECT_FALSE(LogLikelihood(model, {-1}).ok());
+}
+
+TEST(BackwardTest, GammaSumsToOne) {
+  const HmmModel model = TwoStateModel();
+  const ObservationSeq seq = {0, 1, 1, 0, 1};
+  auto fw = Forward(model, seq);
+  ASSERT_TRUE(fw.ok());
+  auto beta = Backward(model, seq, fw->scale);
+  ASSERT_TRUE(beta.ok());
+  // gamma_t(s) = alpha_t(s)*beta_t(s)*scale_t must sum to 1 over states.
+  for (size_t t = 0; t < seq.size(); ++t) {
+    double sum = 0.0;
+    for (size_t s = 0; s < model.num_states(); ++s) {
+      sum += fw->alpha.At(t, s) * beta->At(t, s) * fw->scale[t];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(ViterbiTest, DecodesObviousPath) {
+  // Nearly-deterministic model: state 0 emits symbol 0, state 1 emits 1.
+  util::Matrix a = util::Matrix::FromRows({{0.9, 0.1}, {0.1, 0.9}});
+  util::Matrix b = util::Matrix::FromRows({{0.99, 0.01}, {0.01, 0.99}});
+  HmmModel model(std::move(a), std::move(b), {0.5, 0.5});
+  auto path = Viterbi(model, {0, 0, 1, 1, 0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<size_t>{0, 0, 1, 1, 0}));
+}
+
+TEST(ViterbiTest, HandlesZeroProbabilities) {
+  util::Matrix a = util::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  util::Matrix b = util::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  HmmModel model(std::move(a), std::move(b), {1.0, 0.0});
+  auto path = Viterbi(model, {0, 0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<size_t>{0, 0}));
+}
+
+}  // namespace
+}  // namespace adprom::hmm

@@ -1,0 +1,83 @@
+// Property tests over random HMMs and sequences: Viterbi-path probability
+// never exceeds total sequence probability; forward likelihoods are proper
+// distributions over the observation space; Smooth preserves evaluation
+// up to the smoothing magnitude.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmm/inference.h"
+#include "util/rng.h"
+
+namespace adprom::hmm {
+namespace {
+
+double PathLogProbability(const HmmModel& model, const ObservationSeq& seq,
+                          const std::vector<size_t>& path) {
+  double log_p = std::log(model.pi()[path[0]]) +
+                 std::log(model.b().At(path[0], seq[0]));
+  for (size_t t = 1; t < seq.size(); ++t) {
+    log_p += std::log(model.a().At(path[t - 1], path[t])) +
+             std::log(model.b().At(path[t], seq[t]));
+  }
+  return log_p;
+}
+
+class HmmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HmmPropertyTest, ViterbiPathNeverBeatsTotalProbability) {
+  util::Rng rng(GetParam());
+  const HmmModel model = HmmModel::Random(2 + rng.UniformU64(4),
+                                          2 + rng.UniformU64(5), rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    ObservationSeq seq;
+    const size_t len = 1 + rng.UniformU64(12);
+    for (size_t t = 0; t < len; ++t) {
+      seq.push_back(static_cast<int>(rng.UniformU64(model.num_symbols())));
+    }
+    auto total = LogLikelihood(model, seq);
+    auto path = Viterbi(model, seq);
+    ASSERT_TRUE(total.ok());
+    ASSERT_TRUE(path.ok());
+    const double best_path = PathLogProbability(model, seq, *path);
+    EXPECT_LE(best_path, *total + 1e-9);
+    // And with only one state, the single path carries everything.
+    if (model.num_states() == 1) EXPECT_NEAR(best_path, *total, 1e-9);
+  }
+}
+
+TEST_P(HmmPropertyTest, LikelihoodSumsToOneOverAllSequences) {
+  util::Rng rng(GetParam() + 1000);
+  const HmmModel model = HmmModel::Random(2 + rng.UniformU64(2), 2, rng);
+  // Sum P(O) over every binary sequence of length L must be 1.
+  const size_t len = 6;
+  double total = 0.0;
+  for (size_t code = 0; code < (1u << len); ++code) {
+    ObservationSeq seq(len);
+    for (size_t t = 0; t < len; ++t) {
+      seq[t] = static_cast<int>((code >> t) & 1);
+    }
+    auto ll = LogLikelihood(model, seq);
+    ASSERT_TRUE(ll.ok());
+    total += std::exp(*ll);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(HmmPropertyTest, SmoothPerturbsEvaluationOnlySlightly) {
+  util::Rng rng(GetParam() + 2000);
+  HmmModel model = HmmModel::Random(3, 4, rng);
+  ObservationSeq seq = {0, 2, 1, 3, 1, 0};
+  const double before = *LogLikelihood(model, seq);
+  model.Smooth(1e-9);
+  EXPECT_TRUE(model.Validate().ok());
+  const double after = *LogLikelihood(model, seq);
+  EXPECT_NEAR(before, after, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HmmPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace adprom::hmm

@@ -1,0 +1,101 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adprom::ml {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  util::Rng rng(3);
+  util::Matrix data(60, 2);
+  for (size_t i = 0; i < 30; ++i) {
+    data.At(i, 0) = 0.0 + rng.Gaussian() * 0.1;
+    data.At(i, 1) = 0.0 + rng.Gaussian() * 0.1;
+  }
+  for (size_t i = 30; i < 60; ++i) {
+    data.At(i, 0) = 10.0 + rng.Gaussian() * 0.1;
+    data.At(i, 1) = 10.0 + rng.Gaussian() * 0.1;
+  }
+  auto result = KMeansCluster(data, 2, rng);
+  ASSERT_TRUE(result.ok());
+  // All first-half points share a cluster; all second-half the other.
+  const size_t c0 = result->assignment[0];
+  const size_t c1 = result->assignment[30];
+  EXPECT_NE(c0, c1);
+  for (size_t i = 0; i < 30; ++i) EXPECT_EQ(result->assignment[i], c0);
+  for (size_t i = 30; i < 60; ++i) EXPECT_EQ(result->assignment[i], c1);
+}
+
+TEST(KMeansTest, KEqualsNAssignsSingletons) {
+  util::Rng rng(5);
+  util::Matrix data = util::Matrix::FromRows(
+      {{0, 0}, {5, 5}, {10, 10}});
+  auto result = KMeansCluster(data, 3, rng);
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> clusters(result->assignment.begin(),
+                            result->assignment.end());
+  EXPECT_EQ(clusters.size(), 3u);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, KOneGroupsEverything) {
+  util::Rng rng(7);
+  util::Matrix data = util::Matrix::FromRows({{0.0}, {2.0}, {4.0}});
+  auto result = KMeansCluster(data, 1, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment,
+            (std::vector<size_t>{0, 0, 0}));
+  EXPECT_NEAR(result->centroids.At(0, 0), 2.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  util::Matrix data(20, 2);
+  util::Rng fill(9);
+  for (size_t i = 0; i < 20; ++i) {
+    data.At(i, 0) = fill.Gaussian();
+    data.At(i, 1) = fill.Gaussian();
+  }
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  auto a = KMeansCluster(data, 4, rng_a);
+  auto b = KMeansCluster(data, 4, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  util::Rng rng(11);
+  util::Matrix data(10, 2, 1.0);  // all identical
+  auto result = KMeansCluster(data, 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignment.size(), 10u);
+}
+
+TEST(KMeansTest, InputValidation) {
+  util::Rng rng(13);
+  util::Matrix data(3, 2);
+  EXPECT_FALSE(KMeansCluster(data, 0, rng).ok());
+  EXPECT_FALSE(KMeansCluster(data, 4, rng).ok());
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  util::Rng fill(15);
+  util::Matrix data(50, 2);
+  for (size_t i = 0; i < 50; ++i) {
+    data.At(i, 0) = fill.Gaussian() * 5;
+    data.At(i, 1) = fill.Gaussian() * 5;
+  }
+  util::Rng rng_a(1);
+  util::Rng rng_b(1);
+  auto k2 = KMeansCluster(data, 2, rng_a);
+  auto k10 = KMeansCluster(data, 10, rng_b);
+  ASSERT_TRUE(k2.ok());
+  ASSERT_TRUE(k10.ok());
+  EXPECT_LT(k10->inertia, k2->inertia);
+}
+
+}  // namespace
+}  // namespace adprom::ml

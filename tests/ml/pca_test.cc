@@ -1,0 +1,139 @@
+#include "ml/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace adprom::ml {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrix) {
+  util::Matrix m = util::Matrix::FromRows({{3, 0}, {0, 1}});
+  std::vector<double> values;
+  util::Matrix vectors;
+  ASSERT_TRUE(JacobiEigenSymmetric(m, &values, &vectors).ok());
+  EXPECT_NEAR(values[0], 3.0, 1e-9);
+  EXPECT_NEAR(values[1], 1.0, 1e-9);
+}
+
+TEST(JacobiTest, KnownEigenpairs) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  util::Matrix m = util::Matrix::FromRows({{2, 1}, {1, 2}});
+  std::vector<double> values;
+  util::Matrix vectors;
+  ASSERT_TRUE(JacobiEigenSymmetric(m, &values, &vectors).ok());
+  EXPECT_NEAR(values[0], 3.0, 1e-9);
+  EXPECT_NEAR(values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(vectors.At(0, 0)), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(std::fabs(vectors.At(1, 0)), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  // A = V diag(w) V^T for a random symmetric matrix.
+  util::Rng rng(5);
+  const size_t n = 6;
+  util::Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m.At(i, j) = rng.Gaussian();
+      m.At(j, i) = m.At(i, j);
+    }
+  }
+  std::vector<double> values;
+  util::Matrix vectors;
+  ASSERT_TRUE(JacobiEigenSymmetric(m, &values, &vectors).ok());
+  util::Matrix diag(n, n);
+  for (size_t i = 0; i < n; ++i) diag.At(i, i) = values[i];
+  const util::Matrix rebuilt =
+      vectors.Multiply(diag).Multiply(vectors.Transpose());
+  EXPECT_LT(rebuilt.MaxAbsDiff(m), 1e-8);
+}
+
+TEST(JacobiTest, RejectsNonSquareAndAsymmetric) {
+  std::vector<double> values;
+  util::Matrix vectors;
+  EXPECT_FALSE(
+      JacobiEigenSymmetric(util::Matrix(2, 3), &values, &vectors).ok());
+  util::Matrix bad = util::Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_FALSE(JacobiEigenSymmetric(bad, &values, &vectors).ok());
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points spread along (1, 1): the first principal axis must align.
+  util::Rng rng(7);
+  util::Matrix data(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    const double t = rng.Gaussian() * 10.0;
+    const double noise = rng.Gaussian() * 0.1;
+    data.At(i, 0) = t + noise;
+    data.At(i, 1) = t - noise;
+  }
+  auto pca = FitPca(data);
+  ASSERT_TRUE(pca.ok());
+  ASSERT_GE(pca->components.cols(), 1u);
+  const double x = pca->components.At(0, 0);
+  const double y = pca->components.At(1, 0);
+  EXPECT_NEAR(std::fabs(x / y), 1.0, 0.05);
+  EXPECT_GT(pca->explained_variance, 0.9);
+}
+
+TEST(PcaTest, VarianceTargetControlsDimensions) {
+  util::Rng rng(11);
+  util::Matrix data(100, 5);
+  for (size_t i = 0; i < 100; ++i) {
+    data.At(i, 0) = rng.Gaussian() * 100.0;  // dominant axis
+    for (size_t j = 1; j < 5; ++j) data.At(i, j) = rng.Gaussian() * 0.01;
+  }
+  PcaOptions options;
+  options.target_variance = 0.9;
+  auto pca = FitPca(data, options);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->components.cols(), 1u);
+}
+
+TEST(PcaTest, MaxComponentsCap) {
+  util::Rng rng(13);
+  util::Matrix data(50, 8);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 8; ++j) data.At(i, j) = rng.Gaussian();
+  }
+  PcaOptions options;
+  options.target_variance = 1.0;
+  options.max_components = 3;
+  auto pca = FitPca(data, options);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->components.cols(), 3u);
+}
+
+TEST(PcaTest, ProjectionCentersData) {
+  util::Matrix data = util::Matrix::FromRows(
+      {{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  auto pca = FitPca(data);
+  ASSERT_TRUE(pca.ok());
+  const util::Matrix proj = pca->ProjectAll(data);
+  // Projections of mean-centered collinear data: middle point at origin.
+  EXPECT_NEAR(proj.At(1, 0), 0.0, 1e-9);
+  EXPECT_NEAR(proj.At(0, 0), -proj.At(2, 0), 1e-9);
+}
+
+TEST(PcaTest, DegenerateIdenticalSamples) {
+  util::Matrix data(5, 3, 2.0);
+  auto pca = FitPca(data);
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ(pca->components.cols(), 1u);
+  EXPECT_NEAR(pca->Project(data.Row(0))[0], 0.0, 1e-12);
+}
+
+TEST(PcaTest, InputValidation) {
+  EXPECT_FALSE(FitPca(util::Matrix(1, 3)).ok());
+  EXPECT_FALSE(FitPca(util::Matrix(5, 0)).ok());
+  PcaOptions bad;
+  bad.target_variance = 0.0;
+  EXPECT_FALSE(FitPca(util::Matrix(5, 2), bad).ok());
+}
+
+}  // namespace
+}  // namespace adprom::ml

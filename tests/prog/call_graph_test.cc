@@ -1,0 +1,97 @@
+#include "prog/call_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prog/program.h"
+
+namespace adprom::prog {
+namespace {
+
+TEST(CallGraphTest, EdgesAndOrder) {
+  auto program = ParseProgram(R"(
+fn main() { a(); b(); }
+fn a() { c(); }
+fn b() { c(); }
+fn c() { print("leaf"); }
+)");
+  ASSERT_TRUE(program.ok());
+  auto cg = CallGraph::Build(*program);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_TRUE(cg->Callees("main").count("a"));
+  EXPECT_TRUE(cg->Callees("main").count("b"));
+  EXPECT_TRUE(cg->Callees("a").count("c"));
+  EXPECT_TRUE(cg->Callees("c").empty());
+  EXPECT_FALSE(cg->HasRecursion());
+
+  // Reverse topological: every callee precedes its caller.
+  const auto& order = cg->reverse_topo_order();
+  auto pos = [&](const std::string& name) {
+    return std::find(order.begin(), order.end(), name) - order.begin();
+  };
+  EXPECT_LT(pos("c"), pos("a"));
+  EXPECT_LT(pos("c"), pos("b"));
+  EXPECT_LT(pos("a"), pos("main"));
+  EXPECT_LT(pos("b"), pos("main"));
+  EXPECT_EQ(order.back(), "main");
+}
+
+TEST(CallGraphTest, LibraryCallsAreNotVertices) {
+  auto program = ParseProgram(R"(
+fn main() { print("x"); scan(); }
+)");
+  ASSERT_TRUE(program.ok());
+  auto cg = CallGraph::Build(*program);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_TRUE(cg->Callees("main").empty());
+  EXPECT_EQ(cg->reverse_topo_order().size(), 1u);
+}
+
+TEST(CallGraphTest, DirectRecursionDetected) {
+  auto program = ParseProgram(R"(
+fn main() { rec(3); }
+fn rec(n) {
+  if (n > 0) { rec(n - 1); }
+  return n;
+}
+)");
+  ASSERT_TRUE(program.ok());
+  auto cg = CallGraph::Build(*program);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_TRUE(cg->HasRecursion());
+  EXPECT_TRUE(cg->cyclic_edges().count({"rec", "rec"}));
+}
+
+TEST(CallGraphTest, MutualRecursionDetected) {
+  auto program = ParseProgram(R"(
+fn main() { even(4); }
+fn even(n) {
+  if (n == 0) { return 1; }
+  return odd(n - 1);
+}
+fn odd(n) {
+  if (n == 0) { return 0; }
+  return even(n - 1);
+}
+)");
+  ASSERT_TRUE(program.ok());
+  auto cg = CallGraph::Build(*program);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_TRUE(cg->HasRecursion());
+  EXPECT_EQ(cg->cyclic_edges().size(), 1u);  // one edge breaks the cycle
+}
+
+TEST(CallGraphTest, DeadFunctionsStillOrdered) {
+  auto program = ParseProgram(R"(
+fn main() { print("x"); }
+fn unused() { print("dead"); }
+)");
+  ASSERT_TRUE(program.ok());
+  auto cg = CallGraph::Build(*program);
+  ASSERT_TRUE(cg.ok());
+  EXPECT_EQ(cg->reverse_topo_order().size(), 2u);
+}
+
+}  // namespace
+}  // namespace adprom::prog

@@ -1,0 +1,209 @@
+#include "prog/cfg.h"
+
+#include <gtest/gtest.h>
+
+#include "prog/program.h"
+
+namespace adprom::prog {
+namespace {
+
+util::Result<Cfg> CfgOf(const std::string& source,
+                        const std::string& fn = "main") {
+  auto program = ParseProgram(source);
+  if (!program.ok()) return program.status();
+  const FunctionDef* def = program->FindFunction(fn);
+  if (def == nullptr) return util::Status::NotFound(fn);
+  return BuildCfg(*program, *def);
+}
+
+std::vector<std::string> CallSequence(const Cfg& cfg) {
+  std::vector<std::string> out;
+  for (int id : cfg.CallNodes()) {
+    out.push_back(cfg.node(id).call->callee);
+  }
+  return out;
+}
+
+TEST(CfgTest, StraightLine) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  print("a");
+  print("b");
+}
+)");
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  EXPECT_EQ(CallSequence(*cfg), (std::vector<std::string>{"print", "print"}));
+  EXPECT_TRUE(cfg->back_edges().empty());
+  // Entry and exit nodes make no call.
+  EXPECT_FALSE(cfg->node(cfg->entry_id()).call.has_value());
+  EXPECT_FALSE(cfg->node(cfg->exit_id()).call.has_value());
+}
+
+TEST(CfgTest, CallsInEvaluationOrder) {
+  // Arguments evaluate before the call: db_getvalue before print.
+  auto cfg = CfgOf(R"(
+fn main() {
+  var r = db_query("SELECT * FROM t");
+  print(db_getvalue(r, 0, 0));
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(CallSequence(*cfg),
+            (std::vector<std::string>{"db_query", "db_getvalue", "print"}));
+}
+
+TEST(CfgTest, BranchCreatesDiamond) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { print("t"); } else { print("f"); }
+  print("after");
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(CallSequence(*cfg).size(), 3u);
+  // The condition node has two successors.
+  int branches = 0;
+  for (const CfgNode& node : cfg->nodes()) {
+    if (node.succs.size() == 2) ++branches;
+  }
+  EXPECT_EQ(branches, 1);
+}
+
+TEST(CfgTest, WhileCreatesBackEdge) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  var i = 0;
+  while (i < 3) {
+    print(i);
+    i = i + 1;
+  }
+  print("done");
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->back_edges().size(), 1u);
+  // The forecast view replaces the back edge; its topological order covers
+  // every node exactly once.
+  const auto order = cfg->ForecastTopoOrder();
+  EXPECT_EQ(order.size(), cfg->size());
+}
+
+TEST(CfgTest, ForecastSuccessorsRedirectBackEdge) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  var i = 0;
+  while (i < 3) { i = i + 1; }
+  print("after");
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  ASSERT_EQ(cfg->back_edges().size(), 1u);
+  const auto [from, to] = *cfg->back_edges().begin();
+  const std::vector<int> redirected = cfg->ForecastSuccessors(from);
+  // The redirected edge must not point at the loop header.
+  for (int succ : redirected) EXPECT_NE(succ, to);
+}
+
+TEST(CfgTest, ReturnConnectsToExitAndDropsDeadCode) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  print("live");
+  return;
+  print("dead");
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(CallSequence(*cfg), (std::vector<std::string>{"print"}));
+}
+
+TEST(CfgTest, BothBranchesReturning) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { print("a"); return; } else { print("b"); return; }
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(CallSequence(*cfg).size(), 2u);
+  // Exit is reachable from both branches.
+  EXPECT_GE(cfg->node(cfg->exit_id()).preds.size(), 2u);
+}
+
+TEST(CfgTest, NodeOfCallSiteMapsEverySite) {
+  auto program = ParseProgram(R"(
+fn main() {
+  var x = scan();
+  if (x == "go") { print(x); }
+  helper();
+}
+fn helper() { print("h"); }
+)");
+  ASSERT_TRUE(program.ok());
+  auto cfgs = BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  // Every call site id maps to a node in exactly one function's CFG.
+  int mapped = 0;
+  for (int site = 0; site < program->num_call_sites(); ++site) {
+    for (const auto& [name, cfg] : *cfgs) {
+      if (cfg.NodeOfCallSite(site).has_value()) ++mapped;
+    }
+  }
+  EXPECT_EQ(mapped, program->num_call_sites());
+}
+
+TEST(CfgTest, UserCallMarked) {
+  auto cfg = CfgOf(R"(
+fn main() { helper(); }
+fn helper() { print("x"); }
+)");
+  ASSERT_TRUE(cfg.ok());
+  const auto calls = cfg->CallNodes();
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_TRUE(cfg->node(calls[0]).call->is_user_fn);
+}
+
+TEST(CfgTest, NestedLoops) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  var i = 0;
+  while (i < 3) {
+    var j = 0;
+    while (j < 3) {
+      print(j);
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->back_edges().size(), 2u);
+  EXPECT_EQ(cfg->ForecastTopoOrder().size(), cfg->size());
+}
+
+TEST(CfgTest, CallsInLoopCondition) {
+  auto cfg = CfgOf(R"(
+fn main() {
+  while (has_input()) {
+    print(scan());
+  }
+}
+)");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(CallSequence(*cfg),
+            (std::vector<std::string>{"has_input", "scan", "print"}));
+}
+
+TEST(CfgTest, ToDotRendersAllNodes) {
+  auto cfg = CfgOf("fn main() { print(\"x\"); }");
+  ASSERT_TRUE(cfg.ok());
+  const std::string dot = cfg->ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("print"), std::string::npos);
+  EXPECT_NE(dot.find("entry"), std::string::npos);
+  EXPECT_NE(dot.find("exit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adprom::prog

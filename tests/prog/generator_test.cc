@@ -1,0 +1,121 @@
+// Property-based fuzzing over randomly generated MiniApp programs: the
+// printer/parser round-trip, the CFG construction, the full static
+// analysis invariants, and crash-free interpretation.
+
+#include "prog/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "prog/cfg.h"
+#include "prog/printer.h"
+#include "runtime/collector.h"
+#include "runtime/interpreter.h"
+
+namespace adprom::prog {
+namespace {
+
+class GeneratedProgramTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Program Generate(GeneratorOptions options = GeneratorOptions()) {
+    util::Rng rng(GetParam());
+    auto program = GenerateRandomProgram(options, rng);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return std::move(program).value();
+  }
+};
+
+TEST_P(GeneratedProgramTest, PrinterParserRoundTrip) {
+  const Program program = Generate();
+  const std::string source = ProgramToSource(program);
+  auto reparsed = ParseProgram(source);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << source;
+  EXPECT_EQ(reparsed->functions().size(), program.functions().size());
+  EXPECT_EQ(reparsed->num_call_sites(), program.num_call_sites());
+  // Idempotence: printing the reparsed program gives the same text.
+  EXPECT_EQ(ProgramToSource(*reparsed), source);
+}
+
+TEST_P(GeneratedProgramTest, CfgBuildsForEveryFunction) {
+  const Program program = Generate();
+  auto cfgs = BuildAllCfgs(program);
+  ASSERT_TRUE(cfgs.ok());
+  for (const auto& [name, cfg] : *cfgs) {
+    EXPECT_EQ(cfg.ForecastTopoOrder().size(), cfg.size()) << name;
+  }
+}
+
+TEST_P(GeneratedProgramTest, AnalysisInvariantsHold) {
+  const Program program = Generate();
+  core::Analyzer analyzer;
+  auto analysis = analyzer.Analyze(program);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  for (const auto& [name, ctm] : analysis->function_ctms) {
+    EXPECT_TRUE(ctm.CheckInvariants().ok())
+        << name << ": " << ctm.CheckInvariants().ToString();
+  }
+  EXPECT_TRUE(analysis->program_ctm.CheckInvariants().ok())
+      << analysis->program_ctm.CheckInvariants().ToString() << "\n"
+      << ProgramToSource(program);
+}
+
+TEST_P(GeneratedProgramTest, InterpreterRunsClean) {
+  const Program program = Generate();
+  auto cfgs = BuildAllCfgs(program);
+  ASSERT_TRUE(cfgs.ok());
+  runtime::Interpreter interpreter(program, *cfgs, nullptr);
+  runtime::LightCollector collector;
+  interpreter.set_collector(&collector);
+  auto result = interpreter.Run({"one", "two", "3"});
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n"
+                           << ProgramToSource(program);
+}
+
+TEST_P(GeneratedProgramTest, MutatedGeneratedProgramReFinalizes) {
+  // The attack mutators must work on arbitrary valid programs too.
+  const Program program = Generate();
+  Program clone = program.Clone();
+  ASSERT_TRUE(clone.Finalize().ok());
+  EXPECT_EQ(clone.num_call_sites(), program.num_call_sites());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedProgramTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  GeneratorOptions options;
+  util::Rng a(42);
+  util::Rng b(42);
+  auto p1 = GenerateRandomProgram(options, a);
+  auto p2 = GenerateRandomProgram(options, b);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(ProgramToSource(*p1), ProgramToSource(*p2));
+}
+
+TEST(GeneratorTest, RespectsFunctionCount) {
+  GeneratorOptions options;
+  options.num_functions = 7;
+  util::Rng rng(9);
+  auto program = GenerateRandomProgram(options, rng);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->functions().size(), 8u);  // + main
+}
+
+TEST(PrinterTest, EscapesSpecialCharacters) {
+  auto program = ParseProgram(
+      "fn main() { print(\"a\\nb\\t\\\"c\\\\\"); }");
+  ASSERT_TRUE(program.ok());
+  const std::string source = ProgramToSource(*program);
+  auto reparsed = ParseProgram(source);
+  ASSERT_TRUE(reparsed.ok()) << source;
+  EXPECT_EQ(reparsed->FindFunction("main")
+                ->body[0]
+                ->expr->args[0]
+                ->str_value,
+            "a\nb\t\"c\\");
+}
+
+}  // namespace
+}  // namespace adprom::prog

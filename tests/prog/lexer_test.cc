@@ -1,0 +1,75 @@
+#include "prog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::prog {
+namespace {
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto tokens = Lex("fn main() { var x = 1; }");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  EXPECT_EQ(t[0].type, TokenType::kKeyword);
+  EXPECT_EQ(t[0].text, "fn");
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "main");
+  EXPECT_EQ(t.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("# a comment\nfn f() {} # trailing\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "fn");
+  EXPECT_EQ((*tokens)[1].line, 2);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex(R"(fn f() { print("a\nb\t\"c\\"); })");
+  ASSERT_TRUE(tokens.ok());
+  bool found = false;
+  for (const auto& tok : *tokens) {
+    if (tok.type == TokenType::kStrLiteral) {
+      EXPECT_EQ(tok.text, "a\nb\t\"c\\");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("fn f() { print(\"oops); }").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Lex("a <= b >= c == d != e && f || g");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> ops;
+  for (const auto& tok : *tokens) {
+    if (tok.type == TokenType::kOperator) ops.push_back(tok.text);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"<=", ">=", "==", "!=", "&&",
+                                           "||"}));
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("1 2.5 100");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kRealLiteral);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, LineTracking) {
+  auto tokens = Lex("fn\nmain\n(");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 3);
+}
+
+TEST(LexerTest, SingleAmpersandFails) {
+  EXPECT_FALSE(Lex("a & b").ok());
+}
+
+}  // namespace
+}  // namespace adprom::prog

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "prog/program.h"
+
+namespace adprom::prog {
+namespace {
+
+TEST(ParserTest, MinimalProgram) {
+  auto program = ParseProgram("fn main() {}");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(program->finalized());
+  EXPECT_EQ(program->functions().size(), 1u);
+  EXPECT_EQ(program->num_call_sites(), 0);
+}
+
+TEST(ParserTest, RequiresMain) {
+  auto program = ParseProgram("fn helper() {}");
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(ParserTest, DuplicateFunctionFails) {
+  EXPECT_FALSE(ParseProgram("fn main() {} fn main() {}").ok());
+}
+
+TEST(ParserTest, VarDeclAndAssign) {
+  auto program = ParseProgram(R"(
+fn main() {
+  var x = 1 + 2 * 3;
+  x = x - 1;
+}
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const auto& body = program->FindFunction("main")->body;
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[0]->kind, StmtKind::kVarDecl);
+  EXPECT_EQ(body[1]->kind, StmtKind::kAssign);
+  // Precedence: 1 + (2 * 3).
+  const Expr& e = *body[0]->expr;
+  ASSERT_EQ(e.kind, ExprKind::kBinary);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.rhs->bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, UndeclaredVariableFails) {
+  EXPECT_FALSE(ParseProgram("fn main() { x = 1; }").ok());
+  EXPECT_FALSE(ParseProgram("fn main() { var y = x; }").ok());
+}
+
+TEST(ParserTest, ScopingAllowsParams) {
+  auto program = ParseProgram(R"(
+fn main() { helper(1); }
+fn helper(a) { var b = a + 1; print(b); }
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+}
+
+TEST(ParserTest, BlockScopeDoesNotLeak) {
+  // `y` declared in the then-branch is not visible after the if.
+  auto program = ParseProgram(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { var y = 2; print(y); }
+  print(y);
+}
+)");
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(ParserTest, IfElseChain) {
+  auto program = ParseProgram(R"(
+fn main() {
+  var x = 2;
+  if (x == 1) { print("one"); }
+  else if (x == 2) { print("two"); }
+  else { print("many"); }
+}
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const auto& body = program->FindFunction("main")->body;
+  const Stmt& outer_if = *body[1];
+  ASSERT_EQ(outer_if.kind, StmtKind::kIf);
+  ASSERT_EQ(outer_if.else_body.size(), 1u);
+  EXPECT_EQ(outer_if.else_body[0]->kind, StmtKind::kIf);
+}
+
+TEST(ParserTest, WhileAndReturn) {
+  auto program = ParseProgram(R"(
+fn main() { var t = count(3); print(t); }
+fn count(n) {
+  var i = 0;
+  while (i < n) { i = i + 1; }
+  return i;
+}
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+}
+
+TEST(ParserTest, CallSiteIdsAreUniqueAndDense) {
+  auto program = ParseProgram(R"(
+fn main() {
+  print(scan());
+  helper();
+}
+fn helper() { print("x"); }
+)");
+  ASSERT_TRUE(program.ok());
+  // 4 call sites: scan, print, helper, print.
+  EXPECT_EQ(program->num_call_sites(), 4);
+}
+
+TEST(ParserTest, ArityCheckOnUserCalls) {
+  EXPECT_FALSE(ParseProgram(R"(
+fn main() { helper(1, 2); }
+fn helper(a) { print(a); }
+)")
+                   .ok());
+}
+
+TEST(ParserTest, CloneIsDeepAndIndependent) {
+  auto program = ParseProgram(R"(
+fn main() { print("original"); }
+)");
+  ASSERT_TRUE(program.ok());
+  Program copy = program->Clone();
+  // Mutating the copy must not affect the original.
+  FunctionDef* fn = copy.FindMutableFunction("main");
+  fn->body[0]->expr->args[0]->str_value = "mutated";
+  EXPECT_EQ(program->FindFunction("main")
+                ->body[0]
+                ->expr->args[0]
+                ->str_value,
+            "original");
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseProgram("fn main( {}").ok());
+  EXPECT_FALSE(ParseProgram("fn main() { var = 1; }").ok());
+  EXPECT_FALSE(ParseProgram("fn main() { if x { } }").ok());
+  EXPECT_FALSE(ParseProgram("fn main() { print(1) }").ok());
+  EXPECT_FALSE(ParseProgram("fn main() { while (1) print(); }").ok());
+}
+
+TEST(ParserTest, UnaryOperators) {
+  auto program = ParseProgram(R"(
+fn main() {
+  var x = -3;
+  var y = !x;
+  print(x + y);
+}
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const Expr& neg = *program->FindFunction("main")->body[0]->expr;
+  EXPECT_EQ(neg.kind, ExprKind::kUnary);
+  EXPECT_EQ(neg.un_op, UnOp::kNeg);
+}
+
+}  // namespace
+}  // namespace adprom::prog

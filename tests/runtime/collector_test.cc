@@ -1,0 +1,70 @@
+#include "runtime/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::runtime {
+namespace {
+
+CallEvent MakeEvent(const std::string& callee, const std::string& caller,
+                    int block = 1) {
+  CallEvent event;
+  event.callee = callee;
+  event.caller = caller;
+  event.block_id = block;
+  event.call_site_id = block * 10;
+  return event;
+}
+
+TEST(LightCollectorTest, RecordsEventsInOrder) {
+  LightCollector collector;
+  collector.OnCall(MakeEvent("print", "main"), {});
+  collector.OnCall(MakeEvent("scan", "main"), {});
+  ASSERT_EQ(collector.trace().size(), 2u);
+  EXPECT_EQ(collector.trace()[0].callee, "print");
+  EXPECT_EQ(collector.trace()[1].callee, "scan");
+}
+
+TEST(LightCollectorTest, TakeTraceMovesAndClears) {
+  LightCollector collector;
+  collector.OnCall(MakeEvent("print", "main"), {});
+  Trace trace = collector.TakeTrace();
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_TRUE(collector.trace().empty());
+}
+
+TEST(HeavyTracerTest, FormatsArgumentsAndResolvesCaller) {
+  HeavyTracer tracer;
+  std::vector<RtValue> args = {RtValue::Str("hello"), RtValue::Int(7)};
+  tracer.OnCall(MakeEvent("print", "report", 3), args);
+  ASSERT_EQ(tracer.lines().size(), 1u);
+  const std::string& line = tracer.lines()[0];
+  EXPECT_NE(line.find("print(\"hello\", \"7\")"), std::string::npos);
+  EXPECT_NE(line.find("report"), std::string::npos);
+}
+
+TEST(HeavyTracerTest, CachesSymbolResolution) {
+  HeavyTracer tracer;
+  for (int i = 0; i < 5; ++i) {
+    tracer.OnCall(MakeEvent("print", "main", 1), {});
+  }
+  EXPECT_EQ(tracer.lines().size(), 5u);
+  EXPECT_EQ(tracer.trace().size(), 5u);
+}
+
+TEST(NullCollectorTest, OnlyCounts) {
+  NullCollector collector;
+  collector.OnCall(MakeEvent("a", "main"), {});
+  collector.OnCall(MakeEvent("b", "main"), {});
+  EXPECT_EQ(collector.count(), 2u);
+}
+
+TEST(CallEventTest, ObservableLabeling) {
+  CallEvent plain = MakeEvent("print", "main", 4);
+  EXPECT_EQ(plain.Observable(), "print");
+  CallEvent labeled = MakeEvent("print", "main", 4);
+  labeled.td_output = true;
+  EXPECT_EQ(labeled.Observable(), "print_Qmain_4");
+}
+
+}  // namespace
+}  // namespace adprom::runtime

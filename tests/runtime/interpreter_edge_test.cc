@@ -1,0 +1,167 @@
+// Edge-case coverage of the interpreter's library surface: out-of-range
+// DB accesses, exhausted inputs, argument validation, and provenance of
+// the less-used builtins.
+
+#include <gtest/gtest.h>
+
+#include "prog/cfg.h"
+#include "prog/program.h"
+#include "runtime/collector.h"
+#include "runtime/interpreter.h"
+
+namespace adprom::runtime {
+namespace {
+
+struct RunResult {
+  ProgramIo io;
+  Trace trace;
+  util::Status status;
+};
+
+RunResult RunWithDb(const std::string& source,
+                    std::vector<std::string> inputs = {}) {
+  RunResult out;
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) {
+    out.status = program.status();
+    return out;
+  }
+  auto cfgs = prog::BuildAllCfgs(*program);
+  if (!cfgs.ok()) {
+    out.status = cfgs.status();
+    return out;
+  }
+  db::Database database;
+  database.Execute("CREATE TABLE t (a INT, b TEXT)");
+  database.Execute("INSERT INTO t VALUES (1, 'one')");
+  database.Execute("INSERT INTO t VALUES (2, 'two')");
+  Interpreter interpreter(*program, *cfgs, &database);
+  LightCollector collector;
+  interpreter.set_collector(&collector);
+  auto result = interpreter.Run(std::move(inputs));
+  out.status = result.ok() ? util::Status::Ok() : result.status();
+  out.io = interpreter.io();
+  out.trace = collector.TakeTrace();
+  return out;
+}
+
+TEST(InterpreterEdgeTest, OutOfRangeDbAccessesReturnNull) {
+  const RunResult r = RunWithDb(R"__(
+fn main() {
+  var res = db_query("SELECT * FROM t");
+  print(is_null(db_getvalue(res, 99, 0)));
+  print(is_null(db_getvalue(res, 0, 99)));
+  print(db_nfields(res));
+  var row = db_fetch_row(res);
+  print(is_null(row_get(row, 99)));
+}
+)__");
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.io.screen[0], "1");
+  EXPECT_EQ(r.io.screen[1], "1");
+  EXPECT_EQ(r.io.screen[2], "2");
+  EXPECT_EQ(r.io.screen[3], "1");
+}
+
+TEST(InterpreterEdgeTest, FetchBeyondEndStaysNull) {
+  const RunResult r = RunWithDb(R"__(
+fn main() {
+  var res = db_query("SELECT * FROM t WHERE a = 1");
+  var row1 = db_fetch_row(res);
+  var row2 = db_fetch_row(res);
+  var row3 = db_fetch_row(res);
+  print(is_null(row1), is_null(row2), is_null(row3));
+}
+)__");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.io.screen[0], "0 1 1");
+}
+
+TEST(InterpreterEdgeTest, InputIntOnExhaustionAndGarbage) {
+  const RunResult r = RunWithDb(R"__(
+fn main() {
+  print(input_int());
+  print(input_int());
+  print(input_int());
+}
+)__",
+                                {"42", "not-a-number"});
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.io.screen[0], "42");
+  EXPECT_EQ(r.io.screen[1], "0");  // unparsable -> 0
+  EXPECT_EQ(r.io.screen[2], "0");  // exhausted -> 0
+}
+
+TEST(InterpreterEdgeTest, ArgumentCountValidation) {
+  EXPECT_FALSE(RunWithDb("fn main() { db_getvalue(); }").status.ok());
+  EXPECT_FALSE(RunWithDb("fn main() { scan(1); }").status.ok());
+  EXPECT_FALSE(RunWithDb("fn main() { len(1, 2); }").status.ok());
+  EXPECT_FALSE(
+      RunWithDb("fn main() { write_file(7, \"x\"); }").status.ok());
+  EXPECT_FALSE(RunWithDb("fn main() { db_ntuples(\"nope\"); }").status.ok());
+  EXPECT_FALSE(
+      RunWithDb("fn main() { row_get(\"not-a-row\", 0); }").status.ok());
+}
+
+TEST(InterpreterEdgeTest, ReplaceBuiltin) {
+  const RunResult r = RunWithDb(R"__(
+fn main() {
+  print(replace("a-b-c", "-", "+"));
+  print(replace("aaaa", "aa", "b"));
+  print(replace("xyz", "", "!"));
+  print(replace("abc", "z", "q"));
+}
+)__");
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.io.screen[0], "a+b+c");
+  EXPECT_EQ(r.io.screen[1], "bb");
+  EXPECT_EQ(r.io.screen[2], "xyz");  // empty needle is a no-op
+  EXPECT_EQ(r.io.screen[3], "abc");
+}
+
+TEST(InterpreterEdgeTest, CountProvenancePropagates) {
+  // db_ntuples output is derived from the query result: printing it is a
+  // TD output (the paper's Fig. 9 prints exactly such a count).
+  const RunResult r = RunWithDb(R"__(
+fn main() {
+  var res = db_query("SELECT COUNT(*) FROM t");
+  print(db_ntuples(res));
+}
+)__");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.trace.back().td_output);
+  EXPECT_EQ(r.trace.back().source_tables[0], "t");
+}
+
+TEST(InterpreterEdgeTest, DmlQueriesReturnResultHandles) {
+  const RunResult r = RunWithDb(R"__(
+fn main() {
+  var ins = db_query("INSERT INTO t VALUES (3, 'three')");
+  print(is_null(ins));
+  var upd = db_query("UPDATE t SET b = 'x' WHERE a = 1");
+  print(is_null(upd));
+  var res = db_query("SELECT COUNT(*) FROM t");
+  print(db_getvalue(res, 0, 0));
+}
+)__");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.io.screen[0], "0");
+  EXPECT_EQ(r.io.screen[1], "0");
+  EXPECT_EQ(r.io.screen[2], "3");
+}
+
+TEST(InterpreterEdgeTest, QuerySignatureOnEvents) {
+  const RunResult r = RunWithDb(R"__(
+fn main() {
+  var res = db_query("SELECT * FROM t WHERE a = 1");
+  print(db_ntuples(res));
+}
+)__");
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace[0].callee, "db_query");
+  EXPECT_EQ(r.trace[0].query_signature, "SELECT * FROM t WHERE a = ?");
+}
+
+}  // namespace
+}  // namespace adprom::runtime

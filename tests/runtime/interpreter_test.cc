@@ -1,0 +1,310 @@
+#include "runtime/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "prog/cfg.h"
+#include "prog/program.h"
+#include "runtime/collector.h"
+
+namespace adprom::runtime {
+namespace {
+
+struct RunResult {
+  ProgramIo io;
+  Trace trace;
+  util::Status status;
+};
+
+RunResult RunApp(const std::string& source,
+              std::vector<std::string> inputs = {},
+              db::Database* database = nullptr) {
+  RunResult out;
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) {
+    out.status = program.status();
+    return out;
+  }
+  auto cfgs = prog::BuildAllCfgs(*program);
+  if (!cfgs.ok()) {
+    out.status = cfgs.status();
+    return out;
+  }
+  Interpreter interpreter(*program, *cfgs, database);
+  LightCollector collector;
+  interpreter.set_collector(&collector);
+  auto result = interpreter.Run(std::move(inputs));
+  out.status = result.ok() ? util::Status::Ok() : result.status();
+  out.io = interpreter.io();
+  out.trace = collector.TakeTrace();
+  return out;
+}
+
+std::unique_ptr<db::Database> MakeItemsDb() {
+  auto database = std::make_unique<db::Database>();
+  EXPECT_TRUE(
+      database->Execute("CREATE TABLE items (id INT, name TEXT)").ok());
+  EXPECT_TRUE(database->Execute("INSERT INTO items VALUES (1, 'ring')").ok());
+  EXPECT_TRUE(database->Execute("INSERT INTO items VALUES (2, 'watch')").ok());
+  EXPECT_TRUE(database->Execute("INSERT INTO items VALUES (3, 'coin')").ok());
+  return database;
+}
+
+TEST(InterpreterTest, ArithmeticAndPrint) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  var x = 2 + 3 * 4;
+  print(x);
+  print(10 / 3, 10 % 3);
+  print(2.5 + 1);
+}
+)");
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  ASSERT_EQ(r.io.screen.size(), 3u);
+  EXPECT_EQ(r.io.screen[0], "14");
+  EXPECT_EQ(r.io.screen[1], "3 1");
+  EXPECT_EQ(r.io.screen[2], "3.5");
+}
+
+TEST(InterpreterTest, StringConcatenation) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  var name = "world";
+  print("hello " + name + "!");
+  print("n=" + 42);
+}
+)");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.io.screen[0], "hello world!");
+  EXPECT_EQ(r.io.screen[1], "n=42");
+}
+
+TEST(InterpreterTest, ControlFlow) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  var i = 0;
+  while (i < 5) {
+    if (i % 2 == 0) { print("even", i); } else { print("odd", i); }
+    i = i + 1;
+  }
+}
+)");
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.io.screen.size(), 5u);
+  EXPECT_EQ(r.io.screen[0], "even 0");
+  EXPECT_EQ(r.io.screen[1], "odd 1");
+}
+
+TEST(InterpreterTest, FunctionsAndReturn) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  print(add(2, 3));
+  print(fib(7));
+}
+fn add(a, b) { return a + b; }
+fn fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+)");
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.io.screen[0], "5");
+  EXPECT_EQ(r.io.screen[1], "13");
+}
+
+TEST(InterpreterTest, InputFeed) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  while (has_input()) {
+    print("got: " + scan());
+  }
+  print(is_null(scan()));
+}
+)",
+                          {"a", "b"});
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.io.screen.size(), 3u);
+  EXPECT_EQ(r.io.screen[0], "got: a");
+  EXPECT_EQ(r.io.screen[1], "got: b");
+  EXPECT_EQ(r.io.screen[2], "1");  // exhausted scan() returns null
+}
+
+TEST(InterpreterTest, DbRoundTrip) {
+  auto database = MakeItemsDb();
+  const RunResult r = RunApp(R"(
+fn main() {
+  var res = db_query("SELECT name FROM items WHERE id >= 2");
+  var n = db_ntuples(res);
+  print("rows", n);
+  var i = 0;
+  while (i < n) {
+    print(db_getvalue(res, i, 0));
+    i = i + 1;
+  }
+}
+)",
+                          {}, database.get());
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  ASSERT_EQ(r.io.screen.size(), 3u);
+  EXPECT_EQ(r.io.screen[0], "rows 2");
+  EXPECT_EQ(r.io.screen[1], "watch");
+  EXPECT_EQ(r.io.screen[2], "coin");
+}
+
+TEST(InterpreterTest, FetchRowCursor) {
+  auto database = MakeItemsDb();
+  const RunResult r = RunApp(R"(
+fn main() {
+  var res = db_query("SELECT * FROM items");
+  var row = db_fetch_row(res);
+  while (!is_null(row)) {
+    print(row_get(row, 1));
+    row = db_fetch_row(res);
+  }
+}
+)",
+                          {}, database.get());
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  ASSERT_EQ(r.io.screen.size(), 3u);
+  EXPECT_EQ(r.io.screen[0], "ring");
+}
+
+TEST(InterpreterTest, BadQueryReturnsNullNotError) {
+  auto database = MakeItemsDb();
+  const RunResult r = RunApp(R"(
+fn main() {
+  var res = db_query("SELECT * FROM no_such_table");
+  if (is_null(res)) { print("query failed"); }
+}
+)",
+                          {}, database.get());
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.io.screen[0], "query failed");
+}
+
+TEST(InterpreterTest, FileAndNetworkChannels) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  write_file("out.txt", "line1");
+  fprint("out.txt", "line2");
+  send_net("host:99", "payload");
+}
+)");
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.io.files.at("out.txt").size(), 2u);
+  EXPECT_EQ(r.io.network[0], "host:99|payload");
+}
+
+TEST(InterpreterTest, TraceRecordsCallsWithCallers) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  print("a");
+  helper();
+}
+fn helper() { print("b"); }
+)");
+  ASSERT_TRUE(r.status.ok());
+  // User calls are not trace events; two prints with correct callers.
+  ASSERT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[0].callee, "print");
+  EXPECT_EQ(r.trace[0].caller, "main");
+  EXPECT_EQ(r.trace[1].caller, "helper");
+  EXPECT_GE(r.trace[0].block_id, 0);
+}
+
+TEST(InterpreterTest, DynamicTaintLabelsTdOutputs) {
+  auto database = MakeItemsDb();
+  const RunResult r = RunApp(R"(
+fn main() {
+  var res = db_query("SELECT name FROM items");
+  print("header");
+  print(db_getvalue(res, 0, 0));
+}
+)",
+                          {}, database.get());
+  ASSERT_TRUE(r.status.ok());
+  // Events: db_query, print(header), db_getvalue, print(TD).
+  ASSERT_EQ(r.trace.size(), 4u);
+  EXPECT_FALSE(r.trace[1].td_output);
+  EXPECT_TRUE(r.trace[3].td_output);
+  ASSERT_EQ(r.trace[3].source_tables.size(), 1u);
+  EXPECT_EQ(r.trace[3].source_tables[0], "items");
+  EXPECT_EQ(r.trace[3].Observable(),
+            "print_Qmain_" + std::to_string(r.trace[3].block_id));
+}
+
+TEST(InterpreterTest, TaintFlowsThroughStringOps) {
+  auto database = MakeItemsDb();
+  const RunResult r = RunApp(R"(
+fn main() {
+  var res = db_query("SELECT name FROM items");
+  var v = db_getvalue(res, 0, 0);
+  var masked = upper(substr("prefix " + v, 0, 9));
+  print(masked);
+}
+)",
+                          {}, database.get());
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.trace.back().td_output);
+}
+
+TEST(InterpreterTest, ShortCircuitEvaluation) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  var x = 0;
+  if (x != 0 && 10 / x > 1) { print("no"); } else { print("safe"); }
+  if (x == 0 || 10 / x > 1) { print("also safe"); }
+}
+)");
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.io.screen[0], "safe");
+  EXPECT_EQ(r.io.screen[1], "also safe");
+}
+
+TEST(InterpreterTest, RuntimeErrors) {
+  EXPECT_FALSE(RunApp("fn main() { print(1 / 0); }").status.ok());
+  EXPECT_FALSE(RunApp("fn main() { var x = \"a\" - 1; }").status.ok());
+  EXPECT_FALSE(RunApp("fn main() { unknown_library_fn(); }").status.ok());
+  EXPECT_FALSE(RunApp("fn main() { substr(1, 2, 3); }").status.ok());
+  // db_query without a database.
+  EXPECT_FALSE(RunApp("fn main() { db_query(\"SELECT 1\"); }").status.ok());
+}
+
+TEST(InterpreterTest, StepLimitStopsInfiniteLoop) {
+  auto program = prog::ParseProgram("fn main() { while (1) { } }");
+  ASSERT_TRUE(program.ok());
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  InterpreterOptions options;
+  options.max_steps = 1000;
+  Interpreter interpreter(*program, *cfgs, nullptr, options);
+  auto result = interpreter.Run({});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(InterpreterTest, StringBuiltins) {
+  const RunResult r = RunApp(R"(
+fn main() {
+  print(len("hello"));
+  print(upper("abc"), lower("XYZ"));
+  print(contains("haystack", "stack"));
+  print(trim("  pad  "));
+  print(to_int("42") + 1);
+  print(like_match("report.txt", "%.txt"));
+  print(checksum("stable") == checksum("stable"));
+  print(compress("aaabbc"));
+}
+)");
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.io.screen[0], "5");
+  EXPECT_EQ(r.io.screen[1], "ABC xyz");
+  EXPECT_EQ(r.io.screen[2], "1");
+  EXPECT_EQ(r.io.screen[3], "pad");
+  EXPECT_EQ(r.io.screen[4], "43");
+  EXPECT_EQ(r.io.screen[5], "1");
+  EXPECT_EQ(r.io.screen[6], "1");
+  EXPECT_EQ(r.io.screen[7], "3a2b1c");
+}
+
+}  // namespace
+}  // namespace adprom::runtime

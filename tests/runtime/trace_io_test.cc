@@ -1,0 +1,77 @@
+#include "runtime/trace_io.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::runtime {
+namespace {
+
+CallEvent MakeEvent(const std::string& callee, const std::string& caller,
+                    int block, bool td = false) {
+  CallEvent event;
+  event.callee = callee;
+  event.caller = caller;
+  event.block_id = block;
+  event.call_site_id = block * 7;
+  event.td_output = td;
+  return event;
+}
+
+TEST(TraceIoTest, RoundTripBasic) {
+  Trace trace;
+  trace.push_back(MakeEvent("db_query", "main", 3));
+  trace.back().query_signature = "SELECT * FROM t WHERE id = ?";
+  trace.push_back(MakeEvent("print", "report", 9, /*td=*/true));
+  trace.back().source_tables = {"items", "clients"};
+
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].callee, "db_query");
+  EXPECT_EQ((*parsed)[0].query_signature, "SELECT * FROM t WHERE id = ?");
+  EXPECT_EQ((*parsed)[1].caller, "report");
+  EXPECT_EQ((*parsed)[1].block_id, 9);
+  EXPECT_EQ((*parsed)[1].call_site_id, 63);
+  EXPECT_TRUE((*parsed)[1].td_output);
+  EXPECT_EQ((*parsed)[1].source_tables,
+            (std::vector<std::string>{"items", "clients"}));
+  EXPECT_EQ((*parsed)[1].Observable(), trace[1].Observable());
+}
+
+TEST(TraceIoTest, EscapesSpecialCharacters) {
+  Trace trace;
+  trace.push_back(MakeEvent("print", "main", 1, true));
+  trace.back().query_signature = "a\tb\nc%d";
+  trace.back().source_tables = {"ta,ble", "x%y"};
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed)[0].query_signature, "a\tb\nc%d");
+  EXPECT_EQ((*parsed)[0].source_tables,
+            (std::vector<std::string>{"ta,ble", "x%y"}));
+}
+
+TEST(TraceIoTest, EmptyTrace) {
+  EXPECT_EQ(SerializeTrace({}), "");
+  auto parsed = ParseTrace("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseTrace("too\tfew\tfields\n").ok());
+  EXPECT_FALSE(
+      ParseTrace("a\tb\t1\t2\tX\tsig\ttables\n").ok());  // bad td flag
+  EXPECT_FALSE(
+      ParseTrace("a\tb\t1\t2\t0\tbad%GG\t\n").ok());  // bad escape
+  EXPECT_FALSE(ParseTrace("a\tb\t1\t2\t0\ttrunc%0\t\n").ok());
+}
+
+TEST(TraceIoTest, NegativeBlockIdsSurvive) {
+  Trace trace;
+  trace.push_back(MakeEvent("rogue", "main", -1));
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)[0].block_id, -1);
+}
+
+}  // namespace
+}  // namespace adprom::runtime

@@ -1,0 +1,68 @@
+#include "runtime/value.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::runtime {
+namespace {
+
+TEST(RtValueTest, TypesAndTruthiness) {
+  EXPECT_FALSE(RtValue::Null().Truthy());
+  EXPECT_FALSE(RtValue::Int(0).Truthy());
+  EXPECT_TRUE(RtValue::Int(5).Truthy());
+  EXPECT_FALSE(RtValue::Real(0.0).Truthy());
+  EXPECT_TRUE(RtValue::Real(0.1).Truthy());
+  EXPECT_FALSE(RtValue::Str("").Truthy());
+  EXPECT_TRUE(RtValue::Str("x").Truthy());
+}
+
+TEST(RtValueTest, NumericView) {
+  double d = 0;
+  EXPECT_TRUE(RtValue::Int(4).TryNumeric(&d));
+  EXPECT_DOUBLE_EQ(d, 4.0);
+  EXPECT_TRUE(RtValue::Real(2.5).TryNumeric(&d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_FALSE(RtValue::Str("9").TryNumeric(&d));  // strings stay strings
+  EXPECT_FALSE(RtValue::Null().TryNumeric(&d));
+}
+
+TEST(RtValueTest, DbResultCarriesProvenance) {
+  auto handle = std::make_shared<DbResultHandle>();
+  handle->result.source_table = "patients";
+  const RtValue v = RtValue::DbResult(handle);
+  EXPECT_TRUE(v.tainted());
+  EXPECT_EQ(v.provenance().count("patients"), 1u);
+}
+
+TEST(RtValueTest, ProvenancePropagation) {
+  RtValue tainted = RtValue::Str("secret");
+  tainted.AddProvenance("accounts");
+  RtValue derived = RtValue::Str("prefix: secret");
+  EXPECT_FALSE(derived.tainted());
+  derived.MergeProvenance(tainted);
+  EXPECT_TRUE(derived.tainted());
+  EXPECT_EQ(derived.provenance().count("accounts"), 1u);
+}
+
+TEST(RtValueTest, EmptyTableNameBecomesUnknown) {
+  RtValue v = RtValue::Int(1);
+  v.AddProvenance("");
+  EXPECT_TRUE(v.tainted());
+  EXPECT_EQ(v.provenance().count("<unknown>"), 1u);
+}
+
+TEST(RtValueTest, RowTruthinessTracksEmptiness) {
+  auto row = std::make_shared<DbRowHandle>();
+  row->source_table = "t";
+  EXPECT_FALSE(RtValue::DbRow(row).Truthy());  // no cells: exhausted
+  row->cells.push_back(db::Value::Int(1));
+  EXPECT_TRUE(RtValue::DbRow(row).Truthy());
+}
+
+TEST(RtValueTest, ToString) {
+  EXPECT_EQ(RtValue::Null().ToString(), "null");
+  EXPECT_EQ(RtValue::Int(3).ToString(), "3");
+  EXPECT_EQ(RtValue::Str("hi").ToString(), "hi");
+}
+
+}  // namespace
+}  // namespace adprom::runtime

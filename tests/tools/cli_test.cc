@@ -1,0 +1,144 @@
+// End-to-end tests of the adprom CLI library against the shipped sample
+// application: analyze, train, trace, score, monitor — including the
+// injection run a user is invited to try in the sample's header comment.
+
+#include "tools/cli_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace adprom::cli {
+namespace {
+
+// The sample paths are relative to the repository root; tests locate them
+// through the compile-time source dir.
+#ifndef ADPROM_SOURCE_DIR
+#define ADPROM_SOURCE_DIR "."
+#endif
+
+std::string Sample(const std::string& name) {
+  return std::string(ADPROM_SOURCE_DIR) + "/samples/inventory/" + name;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct CliRun {
+  util::Status status;
+  std::string output;
+};
+
+CliRun RunTool(std::vector<std::string> args) {
+  std::ostringstream out;
+  const util::Status status = RunCli(args, out);
+  return {status, out.str()};
+}
+
+TEST(CliTest, UsageErrors) {
+  EXPECT_FALSE(RunTool({}).status.ok());
+  EXPECT_FALSE(RunTool({"frobnicate"}).status.ok());
+  EXPECT_FALSE(RunTool({"analyze"}).status.ok());
+  EXPECT_FALSE(RunTool({"train", "x.mini"}).status.ok());
+  EXPECT_FALSE(RunTool({"score", "--profile", "p"}).status.ok());
+  EXPECT_FALSE(RunTool({"analyze", "/no/such/file.mini"}).status.ok());
+}
+
+TEST(CliTest, AnalyzeSample) {
+  const CliRun run = RunTool({"analyze", Sample("app.mini")});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_NE(run.output.find("functions: 4"), std::string::npos);
+  EXPECT_NE(run.output.find("labeled TD outputs:"), std::string::npos);
+  EXPECT_NE(run.output.find("pCTM invariants: hold"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("items"), std::string::npos);  // provenance
+}
+
+TEST(CliTest, FullPipelineTrainTraceScoreMonitor) {
+  const std::string profile_path = TempPath("inventory.profile");
+  const std::string trace_path = TempPath("benign.trace");
+
+  // Train.
+  CliRun train = RunTool({"train", Sample("app.mini"), "--db",
+                      Sample("seed.sql"), "--cases", Sample("cases.txt"),
+                      "--out", profile_path});
+  ASSERT_TRUE(train.status.ok()) << train.status.ToString();
+  EXPECT_NE(train.output.find("profile written"), std::string::npos);
+
+  // Trace a benign run.
+  CliRun trace = RunTool({"trace", Sample("app.mini"), "--db",
+                      Sample("seed.sql"), "--input", "find,3", "--out",
+                      trace_path});
+  ASSERT_TRUE(trace.status.ok()) << trace.status.ToString();
+  EXPECT_NE(trace.output.find("collected"), std::string::npos);
+
+  // Score the stored trace: quiet.
+  CliRun score = RunTool({"score", "--profile", profile_path, "--trace",
+                      trace_path});
+  ASSERT_TRUE(score.status.ok()) << score.status.ToString();
+  EXPECT_NE(score.output.find("alarms: 0"), std::string::npos)
+      << score.output;
+
+  // Live monitoring of a benign session: quiet.
+  CliRun benign = RunTool({"monitor", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--profile", profile_path,
+                       "--input", "list"});
+  ASSERT_TRUE(benign.status.ok()) << benign.status.ToString();
+  EXPECT_NE(benign.output.find("alarms: 0"), std::string::npos);
+
+  // The injection session from the sample's header comment: alarms, with
+  // the items table named as the source.
+  CliRun attack = RunTool({"monitor", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--profile", profile_path,
+                       "--input", "find,1' OR '1'='1"});
+  ASSERT_TRUE(attack.status.ok()) << attack.status.ToString();
+  EXPECT_EQ(attack.output.find("alarms: 0"), std::string::npos)
+      << attack.output;
+  EXPECT_NE(attack.output.find("DataLeak"), std::string::npos)
+      << attack.output;
+  EXPECT_NE(attack.output.find("items"), std::string::npos);
+
+  std::remove(profile_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliTest, TrainFlagsApply) {
+  const std::string profile_path = TempPath("flags.profile");
+  CliRun train = RunTool({"train", Sample("app.mini"), "--db",
+                      Sample("seed.sql"), "--cases", Sample("cases.txt"),
+                      "--out", profile_path, "--window", "10",
+                      "--signatures", "--seed", "7"});
+  ASSERT_TRUE(train.status.ok()) << train.status.ToString();
+  auto text = ReadFileToString(profile_path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("window_length 10"), std::string::npos);
+  EXPECT_NE(text->find("use_query_signatures 1"), std::string::npos);
+  std::remove(profile_path.c_str());
+
+  EXPECT_FALSE(RunTool({"train", Sample("app.mini"), "--db", Sample("seed.sql"),
+                    "--cases", Sample("cases.txt"), "--out", profile_path,
+                    "--window", "1"})
+                   .status.ok());
+}
+
+TEST(CliTest, SeedValidationFailsEarly) {
+  const std::string bad_seed = TempPath("bad.sql");
+  ASSERT_TRUE(WriteStringToFile(bad_seed, "CREATE GARBAGE\n").ok());
+  CliRun run = RunTool({"trace", Sample("app.mini"), "--db", bad_seed,
+                    "--input", "list", "--out", TempPath("x.trace")});
+  EXPECT_FALSE(run.status.ok());
+  std::remove(bad_seed.c_str());
+}
+
+TEST(ParseSqlSeedTest, SkipsCommentsAndBlanks) {
+  const auto statements =
+      ParseSqlSeed("# comment\n\nCREATE TABLE t (a INT)\n  \nINSERT INTO t"
+                   " VALUES (1)\n");
+  ASSERT_EQ(statements.size(), 2u);
+  EXPECT_EQ(statements[0], "CREATE TABLE t (a INT)");
+}
+
+}  // namespace
+}  // namespace adprom::cli

@@ -1,0 +1,90 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::util {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+  m.At(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 4);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id.At(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowColSums) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_DOUBLE_EQ(m.RowSum(0), 6);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), 15);
+  EXPECT_DOUBLE_EQ(m.ColSum(0), 5);
+  EXPECT_DOUBLE_EQ(m.ColSum(2), 9);
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(a.Multiply(Matrix::Identity(2)).MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, NormalizeRows) {
+  Matrix m = Matrix::FromRows({{1, 3}, {0, 0}});
+  m.NormalizeRows();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.75);
+  // Zero rows are left untouched rather than producing NaN.
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{1.5, 1}});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.0);
+}
+
+TEST(MatrixTest, ToStringRendersValues) {
+  Matrix m = Matrix::FromRows({{0.5}});
+  EXPECT_EQ(m.ToString(2), "[0.50]\n");
+}
+
+}  // namespace
+}  // namespace adprom::util

@@ -1,0 +1,33 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace adprom::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow(std::vector<std::string>{"x", "1"});
+  printer.AddRow(std::vector<std::string>{"longer", "22"});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter printer({"a", "b"});
+  printer.AddRow(std::vector<double>{0.5, 0.25}, 2);
+  EXPECT_NE(printer.ToString().find("0.50"), std::string::npos);
+  EXPECT_NE(printer.ToString().find("0.25"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderOnly) {
+  TablePrinter printer(std::vector<std::string>{"only"});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adprom::util

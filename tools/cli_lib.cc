@@ -1,0 +1,337 @@
+#include "tools/cli_lib.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "core/adprom.h"
+#include "core/detection_engine.h"
+#include "prog/program.h"
+#include "runtime/trace_io.h"
+#include "util/strings.h"
+
+namespace adprom::cli {
+
+namespace {
+
+/// Minimal flag parser: positional args plus --flag value / --flag pairs.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures"};
+
+bool IsBoolFlag(const std::string& arg) {
+  for (const char* flag : kBoolFlags) {
+    if (arg == flag) return true;
+  }
+  return false;
+}
+
+util::Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
+  ParsedArgs out;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional.push_back(arg);
+      continue;
+    }
+    if (IsBoolFlag(arg)) {
+      out.flags[arg] = "1";
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return util::Status::InvalidArgument("flag needs a value: " + arg);
+    }
+    out.flags[arg] = args[++i];
+  }
+  return std::move(out);
+}
+
+util::Result<prog::Program> LoadProgram(const std::string& path) {
+  ADPROM_ASSIGN_OR_RETURN(std::string source, ReadFileToString(path));
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) {
+    return util::Status(program.status().code(),
+                        path + ": " + program.status().message());
+  }
+  return program;
+}
+
+util::Result<core::DbFactory> LoadDbFactory(const ParsedArgs& args) {
+  if (!args.Has("--db")) return core::DbFactory();
+  ADPROM_ASSIGN_OR_RETURN(std::string text,
+                          ReadFileToString(args.Get("--db")));
+  auto statements =
+      std::make_shared<std::vector<std::string>>(ParseSqlSeed(text));
+  // Validate the seed once up front so errors surface at load time.
+  {
+    db::Database probe;
+    for (const std::string& sql : *statements) {
+      auto result = probe.Execute(sql);
+      if (!result.ok()) {
+        return util::Status(result.status().code(),
+                            "seed statement failed: " + sql + " — " +
+                                result.status().message());
+      }
+    }
+  }
+  return core::DbFactory([statements]() {
+    auto database = std::make_unique<db::Database>();
+    for (const std::string& sql : *statements) {
+      (void)database->Execute(sql);
+    }
+    return database;
+  });
+}
+
+util::Result<std::vector<core::TestCase>> LoadCases(
+    const std::string& path) {
+  ADPROM_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  std::vector<core::TestCase> cases;
+  for (const std::string& line : util::Split(text, '\n')) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    cases.push_back({util::SplitWhitespace(trimmed)});
+  }
+  if (cases.empty()) {
+    return util::Status::InvalidArgument(path + ": no test cases");
+  }
+  return std::move(cases);
+}
+
+core::TestCase InputsFlag(const ParsedArgs& args) {
+  core::TestCase test_case;
+  if (args.Has("--input")) {
+    for (std::string& piece : util::Split(args.Get("--input"), ',')) {
+      test_case.inputs.push_back(std::move(piece));
+    }
+  }
+  return test_case;
+}
+
+util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
+  core::ProfileOptions options;
+  if (args.Has("--window")) {
+    const long window = std::strtol(args.Get("--window").c_str(), nullptr,
+                                    10);
+    if (window < 2) {
+      return util::Status::InvalidArgument("--window must be >= 2");
+    }
+    options.window_length = static_cast<size_t>(window);
+  }
+  if (args.Has("--no-labels")) options.use_dd_labels = false;
+  if (args.Has("--signatures")) options.use_query_signatures = true;
+  if (args.Has("--seed")) {
+    options.seed = std::strtoull(args.Get("--seed").c_str(), nullptr, 10);
+  }
+  return std::move(options);
+}
+
+// --- Commands ----------------------------------------------------------
+
+util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
+  if (args.positional.size() != 2) {
+    return util::Status::InvalidArgument("usage: adprom analyze <app.mini>");
+  }
+  ADPROM_ASSIGN_OR_RETURN(prog::Program program,
+                          LoadProgram(args.positional[1]));
+  core::Analyzer analyzer;
+  ADPROM_ASSIGN_OR_RETURN(core::AnalysisResult analysis,
+                          analyzer.Analyze(program));
+
+  out << "functions: " << program.functions().size() << "\n";
+  out << "call sites (pCTM states): " << analysis.program_ctm.num_sites()
+      << "\n";
+  size_t labeled = 0;
+  for (size_t i = 0; i < analysis.program_ctm.num_sites(); ++i) {
+    const analysis::Site& site = analysis.program_ctm.site(i);
+    if (!site.labeled) continue;
+    ++labeled;
+    out << "  TD output: " << site.observable << " (sources:";
+    for (const std::string& table : site.source_tables) out << " " << table;
+    out << ")\n";
+  }
+  out << "labeled TD outputs: " << labeled << "\n";
+  const util::Status invariants = analysis.program_ctm.CheckInvariants();
+  out << "pCTM invariants: " << (invariants.ok() ? "hold" : "VIOLATED")
+      << "\n";
+  ADPROM_RETURN_IF_ERROR(invariants);
+  return util::Status::Ok();
+}
+
+util::Status CmdTrain(const ParsedArgs& args, std::ostream& out) {
+  if (args.positional.size() != 2 || !args.Has("--cases") ||
+      !args.Has("--out")) {
+    return util::Status::InvalidArgument(
+        "usage: adprom train <app.mini> [--db seed.sql] --cases cases.txt"
+        " --out app.profile [--window N] [--no-labels] [--signatures]");
+  }
+  ADPROM_ASSIGN_OR_RETURN(prog::Program program,
+                          LoadProgram(args.positional[1]));
+  ADPROM_ASSIGN_OR_RETURN(core::DbFactory db_factory, LoadDbFactory(args));
+  ADPROM_ASSIGN_OR_RETURN(std::vector<core::TestCase> cases,
+                          LoadCases(args.Get("--cases")));
+  ADPROM_ASSIGN_OR_RETURN(core::ProfileOptions options,
+                          OptionsFromFlags(args));
+
+  ADPROM_ASSIGN_OR_RETURN(
+      core::AdProm system,
+      core::AdProm::Train(program, db_factory, cases, options));
+  const std::string serialized = system.profile().Serialize();
+  ADPROM_RETURN_IF_ERROR(WriteStringToFile(args.Get("--out"), serialized));
+  out << "trained on " << cases.size() << " test cases: "
+      << system.profile().num_states << " states, alphabet "
+      << system.profile().alphabet.size() << ", threshold "
+      << system.profile().threshold << "\n";
+  out << "profile written to " << args.Get("--out") << " ("
+      << serialized.size() << " bytes)\n";
+  return util::Status::Ok();
+}
+
+util::Status CmdTrace(const ParsedArgs& args, std::ostream& out) {
+  if (args.positional.size() != 2 || !args.Has("--out")) {
+    return util::Status::InvalidArgument(
+        "usage: adprom trace <app.mini> [--db seed.sql] [--input a,b]"
+        " --out run.trace");
+  }
+  ADPROM_ASSIGN_OR_RETURN(prog::Program program,
+                          LoadProgram(args.positional[1]));
+  ADPROM_ASSIGN_OR_RETURN(core::DbFactory db_factory, LoadDbFactory(args));
+  auto cfgs = prog::BuildAllCfgs(program);
+  if (!cfgs.ok()) return cfgs.status();
+  runtime::ProgramIo io;
+  ADPROM_ASSIGN_OR_RETURN(
+      runtime::Trace trace,
+      core::AdProm::CollectTrace(program, *cfgs, db_factory,
+                                 InputsFlag(args), &io));
+  ADPROM_RETURN_IF_ERROR(
+      WriteStringToFile(args.Get("--out"), runtime::SerializeTrace(trace)));
+  out << "collected " << trace.size() << " calls -> " << args.Get("--out")
+      << "\n";
+  for (const std::string& line : io.screen) out << "  | " << line << "\n";
+  return util::Status::Ok();
+}
+
+util::Status PrintDetections(const std::vector<core::Detection>& detections,
+                             std::ostream& out) {
+  size_t alarms = 0;
+  for (const core::Detection& d : detections) {
+    if (!d.IsAlarm()) continue;
+    ++alarms;
+    out << "  window " << d.window_start << ": "
+        << core::DetectionFlagName(d.flag) << " (score " << d.score << ")";
+    if (!d.source_tables.empty()) {
+      out << " sources:";
+      for (const std::string& table : d.source_tables) out << " " << table;
+    }
+    if (!d.detail.empty()) out << " — " << d.detail;
+    out << "\n";
+    if (alarms == 10) {
+      out << "  ... further alarms suppressed\n";
+      break;
+    }
+  }
+  out << (alarms == 0 ? "no alarms\n" : "") << "windows: "
+      << detections.size() << ", alarms: " << alarms << "\n";
+  return util::Status::Ok();
+}
+
+util::Status CmdScore(const ParsedArgs& args, std::ostream& out) {
+  if (!args.Has("--profile") || !args.Has("--trace")) {
+    return util::Status::InvalidArgument(
+        "usage: adprom score --profile app.profile --trace run.trace");
+  }
+  ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
+                          ReadFileToString(args.Get("--profile")));
+  ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
+                          core::ApplicationProfile::Deserialize(
+                              profile_text));
+  ADPROM_ASSIGN_OR_RETURN(std::string trace_text,
+                          ReadFileToString(args.Get("--trace")));
+  ADPROM_ASSIGN_OR_RETURN(runtime::Trace trace,
+                          runtime::ParseTrace(trace_text));
+  core::DetectionEngine engine(&profile);
+  return PrintDetections(engine.MonitorTrace(trace), out);
+}
+
+util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
+  if (args.positional.size() != 2 || !args.Has("--profile")) {
+    return util::Status::InvalidArgument(
+        "usage: adprom monitor <app.mini> [--db seed.sql]"
+        " --profile app.profile [--input a,b]");
+  }
+  ADPROM_ASSIGN_OR_RETURN(prog::Program program,
+                          LoadProgram(args.positional[1]));
+  ADPROM_ASSIGN_OR_RETURN(core::DbFactory db_factory, LoadDbFactory(args));
+  ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
+                          ReadFileToString(args.Get("--profile")));
+  ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
+                          core::ApplicationProfile::Deserialize(
+                              profile_text));
+  auto cfgs = prog::BuildAllCfgs(program);
+  if (!cfgs.ok()) return cfgs.status();
+  ADPROM_ASSIGN_OR_RETURN(
+      runtime::Trace trace,
+      core::AdProm::CollectTrace(program, *cfgs, db_factory,
+                                 InputsFlag(args)));
+  core::DetectionEngine engine(&profile);
+  return PrintDetections(engine.MonitorTrace(trace), out);
+}
+
+}  // namespace
+
+util::Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+util::Status WriteStringToFile(const std::string& path,
+                               const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Internal("cannot write " + path);
+  out << content;
+  return util::Status::Ok();
+}
+
+std::vector<std::string> ParseSqlSeed(const std::string& text) {
+  std::vector<std::string> statements;
+  for (const std::string& line : util::Split(text, '\n')) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    statements.emplace_back(trimmed);
+  }
+  return statements;
+}
+
+util::Status RunCli(const std::vector<std::string>& args,
+                    std::ostream& out) {
+  if (args.empty()) {
+    return util::Status::InvalidArgument(
+        "usage: adprom <analyze|train|trace|score|monitor> ...");
+  }
+  ADPROM_ASSIGN_OR_RETURN(ParsedArgs parsed, ParseArgs(args));
+  const std::string& command = parsed.positional.empty()
+                                   ? std::string()
+                                   : parsed.positional[0];
+  if (command == "analyze") return CmdAnalyze(parsed, out);
+  if (command == "train") return CmdTrain(parsed, out);
+  if (command == "trace") return CmdTrace(parsed, out);
+  if (command == "score") return CmdScore(parsed, out);
+  if (command == "monitor") return CmdMonitor(parsed, out);
+  return util::Status::InvalidArgument("unknown command: " + command);
+}
+
+}  // namespace adprom::cli

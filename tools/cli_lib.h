@@ -1,0 +1,53 @@
+#ifndef ADPROM_TOOLS_CLI_LIB_H_
+#define ADPROM_TOOLS_CLI_LIB_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adprom::cli {
+
+/// The `adprom` command-line tool, as a testable library. Commands:
+///
+///   adprom analyze <app.mini>
+///       Static phase only: functions, call sites, DDG-labeled outputs,
+///       pCTM summary and invariant check.
+///
+///   adprom train <app.mini> --db seed.sql --cases cases.txt
+///                --out app.profile [--window N] [--no-labels]
+///                [--signatures] [--seed S]
+///       Full training phase; writes the serialized profile.
+///
+///   adprom trace <app.mini> --db seed.sql --input a,b,c --out run.trace
+///       Runs the app once under the Calls Collector; writes the trace.
+///
+///   adprom score --profile app.profile --trace run.trace
+///       Detection phase on a stored trace; prints per-window verdicts.
+///
+///   adprom monitor <app.mini> --db seed.sql --profile app.profile
+///                  --input a,b,c
+///       Runs the (possibly tampered) build and scores it live.
+///
+/// File formats:
+///   seed.sql  — one SQL statement per line; '#' starts a comment.
+///   cases.txt — one test case per line; whitespace-separated inputs.
+///   profiles  — ApplicationProfile::Serialize text.
+///   traces    — runtime::SerializeTrace text.
+///
+/// Returns OK and writes human output to `out` on success; errors are
+/// returned as Status (the binary maps them to exit code 1 + stderr).
+util::Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+/// Helpers shared with tests.
+util::Result<std::string> ReadFileToString(const std::string& path);
+util::Status WriteStringToFile(const std::string& path,
+                               const std::string& content);
+
+/// Parses a seed.sql file into statements (comments/blank lines dropped).
+std::vector<std::string> ParseSqlSeed(const std::string& text);
+
+}  // namespace adprom::cli
+
+#endif  // ADPROM_TOOLS_CLI_LIB_H_
