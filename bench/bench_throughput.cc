@@ -1,0 +1,366 @@
+// Throughput bench for the two hot layers: parallel Baum-Welch training
+// and the encode-once / workspace detection pipeline.
+//
+//  * Training: the Table-8-style heavy corpus (the bash-like SIR app,
+//    ~1000 call sites, clustered to ~300 hidden states) trained at
+//    1/2/4/N threads (N = hardware concurrency), with wall-time, speedup,
+//    and a bit-identical check of the parallel vs serial output.
+//  * Detection: the grep-like app's traces scored by (a) the seed-style
+//    per-window path (re-encode + allocate per window), (b) the
+//    encode-once/workspace MonitorTrace, and (c) the batch MonitorTraces
+//    pool fan-out at 1/2/4/N threads; reported as events/sec.
+//
+// Machine-readable results are written to BENCH_throughput.json at the
+// repository root (override with --json <path>) so the perf trajectory is
+// tracked across PRs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/detection_engine.h"
+#include "hmm/baum_welch.h"
+#include "hmm/inference.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+#ifndef ADPROM_SOURCE_DIR
+#define ADPROM_SOURCE_DIR "."
+#endif
+
+namespace adprom::bench {
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct TrainRun {
+  size_t threads = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+};
+
+struct DetectRun {
+  std::string name;
+  size_t threads = 1;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double windows_per_sec = 0.0;
+};
+
+/// The thread counts to sweep: 1, 2, 4, and the hardware concurrency.
+std::vector<size_t> ThreadSweep() {
+  std::set<size_t> sweep = {1, 2, 4, util::ThreadPool::DefaultConcurrency()};
+  return {sweep.begin(), sweep.end()};
+}
+
+/// The seed (pre-refactor) detection path, reproduced in full: every
+/// overlapping window is re-encoded, scored with freshly allocated forward
+/// buffers, and the TD provenance set is built window by window. This is
+/// the baseline the encode-once/workspace pipeline is measured against.
+std::vector<core::Detection> SeedMonitorTrace(
+    const core::ApplicationProfile& profile, const runtime::Trace& trace) {
+  std::vector<core::Detection> out;
+  const auto windows =
+      core::SlidingWindows(trace, profile.options.window_length);
+  out.reserve(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const auto& window = windows[i];
+    core::Detection detection;
+    detection.window_start = i;
+    std::set<std::string> sources;
+    bool has_td_output = false;
+    for (const runtime::CallEvent& event : window) {
+      if (!profile.options.use_dd_labels) break;
+      if (event.td_output) {
+        has_td_output = true;
+        sources.insert(event.source_tables.begin(),
+                       event.source_tables.end());
+        auto it = profile.labeled_sources.find(event.Observable());
+        if (it != profile.labeled_sources.end()) {
+          sources.insert(it->second.begin(), it->second.end());
+        }
+      }
+    }
+    for (const runtime::CallEvent& event : window) {
+      if (profile.context_pairs.count({event.caller, event.callee}) == 0) {
+        detection.flag = core::DetectionFlag::kOutOfContext;
+        detection.detail = event.callee + " called from " + event.caller;
+        break;
+      }
+    }
+    const hmm::ObservationSeq seq = profile.Encode(window);
+    auto score = hmm::PerSymbolLogLikelihood(profile.model, seq);
+    detection.score = score.ok() ? *score : -1e9;
+    for (int symbol : seq) {
+      if (symbol == profile.alphabet.unk_id()) {
+        detection.score = -1e9;
+        if (detection.detail.empty())
+          detection.detail = "unknown call symbol";
+        break;
+      }
+    }
+    if (detection.flag != core::DetectionFlag::kOutOfContext) {
+      if (detection.score < profile.threshold) {
+        detection.flag = has_td_output ? core::DetectionFlag::kDataLeak
+                                       : core::DetectionFlag::kAnomalous;
+      } else {
+        detection.flag = core::DetectionFlag::kNormal;
+      }
+    }
+    if (detection.IsAlarm() && has_td_output) {
+      detection.source_tables.assign(sources.begin(), sources.end());
+    }
+    out.push_back(std::move(detection));
+  }
+  return out;
+}
+
+std::string Num(double v) { return util::StrFormat("%.6g", v); }
+
+struct BenchResults {
+  std::vector<TrainRun> train_runs;
+  bool bit_identical = true;
+  int train_iterations = 0;
+  size_t train_windows = 0;
+  size_t train_states = 0;
+  size_t train_alphabet = 0;
+  std::vector<DetectRun> detect_runs;
+  size_t detect_repeats = 0;
+  size_t detect_traces = 0;
+  size_t detect_events = 0;
+  size_t detect_windows = 0;
+};
+
+void BenchTraining(BenchResults* results) {
+  // Table-8-style heavy corpus: the bash-like app crosses the 900-site
+  // clustering threshold, so the trained HMM has hundreds of states and
+  // the E-step is genuinely expensive.
+  PreparedApp prepared = Prepare(apps::MakeBashLike());
+  core::ProfileOptions options;
+  options.train.max_iterations = 1;  // the sweep below re-trains
+  options.max_training_windows = 400;
+  core::AdProm system = TrainOrDie(prepared, options);
+  const core::ApplicationProfile& profile = system.profile();
+
+  std::vector<hmm::ObservationSeq> windows;
+  for (const runtime::Trace& trace : system.training_traces()) {
+    for (const auto& window :
+         core::SlidingWindows(trace, options.window_length)) {
+      windows.push_back(profile.Encode(window));
+    }
+  }
+  // Same bound Table VIII uses, so a sweep run stays in seconds.
+  constexpr size_t kTrainWindowCap = 400;
+  if (windows.size() > kTrainWindowCap) windows.resize(kTrainWindowCap);
+  results->train_windows = windows.size();
+  results->train_states = profile.model.num_states();
+  results->train_alphabet = profile.alphabet.size();
+  std::printf("training corpus: bash-like, %zu windows, %zu states,"
+              " alphabet %zu\n",
+              windows.size(), profile.model.num_states(),
+              profile.alphabet.size());
+
+  constexpr int kIterations = 3;
+  results->train_iterations = kIterations;
+  hmm::HmmModel reference_model;
+  for (size_t threads : ThreadSweep()) {
+    hmm::HmmModel model = profile.model;  // same start for every run
+    hmm::TrainOptions train;
+    train.max_iterations = kIterations;
+    train.tolerance = 0.0;
+    train.num_threads = static_cast<int>(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto stats = hmm::BaumWelchTrain(&model, windows, train);
+    const double seconds = Seconds(t0);
+    ADPROM_CHECK_MSG(stats.ok(), stats.status().ToString());
+    TrainRun run;
+    run.threads = threads;
+    run.seconds = seconds;
+    run.speedup = results->train_runs.empty()
+                      ? 1.0
+                      : results->train_runs.front().seconds / seconds;
+    results->train_runs.push_back(run);
+    if (results->train_runs.size() == 1) {
+      reference_model = model;
+    } else {
+      results->bit_identical =
+          results->bit_identical &&
+          model.a().MaxAbsDiff(reference_model.a()) == 0.0 &&
+          model.b().MaxAbsDiff(reference_model.b()) == 0.0 &&
+          model.pi() == reference_model.pi();
+    }
+  }
+
+  util::TablePrinter table(
+      {"Baum-Welch (3 iters)", "threads", "seconds", "speedup"});
+  for (const TrainRun& run : results->train_runs) {
+    table.AddRow({"train", std::to_string(run.threads),
+                  util::StrFormat("%.3f", run.seconds),
+                  util::StrFormat("%.2fx", run.speedup)});
+  }
+  table.Print();
+  std::printf("parallel output bit-identical to serial: %s\n\n",
+              results->bit_identical ? "yes" : "NO — BUG");
+}
+
+void BenchDetection(BenchResults* results) {
+  // Serving-style workload: the grep-like app's full trace set, scored
+  // over and over as a stream of monitored runs.
+  PreparedApp prepared = Prepare(apps::MakeGrepLike());
+  core::AdProm system = TrainOrDie(prepared);
+  const core::ApplicationProfile& profile = system.profile();
+  const std::vector<runtime::Trace>& traces = system.training_traces();
+  const core::DetectionEngine engine(&profile);
+
+  size_t total_events = 0;
+  size_t total_windows = 0;
+  for (const runtime::Trace& trace : traces) {
+    total_events += trace.size();
+    total_windows +=
+        core::SlidingWindows(trace, profile.options.window_length).size();
+  }
+  const size_t repeats = std::max<size_t>(1, 60000 / total_windows);
+  results->detect_repeats = repeats;
+  results->detect_traces = traces.size();
+  results->detect_events = total_events;
+  results->detect_windows = total_windows;
+  std::printf("detection corpus: grep-like, %zu traces, %zu events,"
+              " %zu windows per pass, %zu repeats\n",
+              traces.size(), total_events, total_windows, repeats);
+
+  auto record = [&](std::string name, size_t threads, double seconds) {
+    DetectRun run;
+    run.name = std::move(name);
+    run.threads = threads;
+    run.seconds = seconds;
+    const double scale = static_cast<double>(repeats) / seconds;
+    run.events_per_sec = static_cast<double>(total_events) * scale;
+    run.windows_per_sec = static_cast<double>(total_windows) * scale;
+    results->detect_runs.push_back(run);
+  };
+
+  size_t checksum = 0;  // keep the scoring from being optimized away
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < repeats; ++r) {
+      for (const runtime::Trace& trace : traces) {
+        checksum += SeedMonitorTrace(profile, trace).size();
+      }
+    }
+    record("seed-per-window", 1, Seconds(t0));
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < repeats; ++r) {
+      for (const runtime::Trace& trace : traces) {
+        checksum += engine.MonitorTrace(trace).size();
+      }
+    }
+    record("encode-once", 1, Seconds(t0));
+  }
+  for (size_t threads : ThreadSweep()) {
+    util::ThreadPool pool(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t r = 0; r < repeats; ++r) {
+      const auto batches = engine.MonitorTraces(traces, &pool);
+      checksum += batches.size();
+    }
+    record("batch", threads, Seconds(t0));
+  }
+
+  util::TablePrinter table(
+      {"Detection", "threads", "seconds", "events/sec", "windows/sec"});
+  for (const DetectRun& run : results->detect_runs) {
+    table.AddRow({run.name, std::to_string(run.threads),
+                  util::StrFormat("%.3f", run.seconds),
+                  util::StrFormat("%.0f", run.events_per_sec),
+                  util::StrFormat("%.0f", run.windows_per_sec)});
+  }
+  table.Print();
+  std::printf("(checksum %zu; seed-per-window vs encode-once is the"
+              " single-thread refactor win, batch rows the pool fan-out)\n",
+              checksum);
+}
+
+void WriteJson(const BenchResults& results, const std::string& json_path) {
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"bench\": \"bench_throughput\",\n";
+  json << "  \"hardware_concurrency\": "
+       << util::ThreadPool::DefaultConcurrency() << ",\n";
+  json << "  \"training\": {\"corpus\": \"bash-like\", \"iterations\": "
+       << results.train_iterations
+       << ", \"windows\": " << results.train_windows
+       << ", \"states\": " << results.train_states
+       << ", \"alphabet\": " << results.train_alphabet
+       << ", \"bit_identical\": "
+       << (results.bit_identical ? "true" : "false") << ", \"runs\": [";
+  for (size_t i = 0; i < results.train_runs.size(); ++i) {
+    const TrainRun& run = results.train_runs[i];
+    json << (i ? ", " : "") << "{\"threads\": " << run.threads
+         << ", \"wall_time_sec\": " << Num(run.seconds)
+         << ", \"speedup\": " << Num(run.speedup) << "}";
+  }
+  json << "]},\n";
+  json << "  \"detection\": {\"corpus\": \"grep-like\", \"repeats\": "
+       << results.detect_repeats
+       << ", \"traces\": " << results.detect_traces
+       << ", \"events_per_pass\": " << results.detect_events
+       << ", \"windows_per_pass\": " << results.detect_windows
+       << ", \"runs\": [";
+  for (size_t i = 0; i < results.detect_runs.size(); ++i) {
+    const DetectRun& run = results.detect_runs[i];
+    json << (i ? ", " : "") << "{\"name\": \"" << run.name
+         << "\", \"threads\": " << run.threads
+         << ", \"wall_time_sec\": " << Num(run.seconds)
+         << ", \"events_per_sec\": " << Num(run.events_per_sec)
+         << ", \"windows_per_sec\": " << Num(run.windows_per_sec) << "}";
+  }
+  json << "]}\n";
+  json << "}\n";
+
+  std::ofstream out(json_path, std::ios::binary);
+  if (out) {
+    out << json.str();
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::printf("\nWARNING: cannot write %s\n", json_path.c_str());
+  }
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader("Training & detection throughput");
+  BenchResults results;
+  BenchTraining(&results);
+  BenchDetection(&results);
+  WriteJson(results, json_path);
+}
+
+}  // namespace
+}  // namespace adprom::bench
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      std::string(ADPROM_SOURCE_DIR) + "/BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    }
+  }
+  adprom::bench::Run(json_path);
+  return 0;
+}

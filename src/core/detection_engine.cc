@@ -2,35 +2,16 @@
 
 #include <set>
 
-#include "hmm/inference.h"
-
 namespace adprom::core {
 
 DetectionEngine::DetectionEngine(const ApplicationProfile* profile)
     : profile_(profile) {}
 
-Detection DetectionEngine::EvaluateWindow(
-    std::span<const runtime::CallEvent> window, size_t window_start) const {
+Detection DetectionEngine::EvaluateEncoded(
+    std::span<const runtime::CallEvent> window, hmm::SymbolSpan seq,
+    size_t window_start, hmm::ForwardWorkspace* workspace) const {
   Detection detection;
   detection.window_start = window_start;
-
-  // Collect TD provenance present in the window. Only a profile built
-  // with data-flow labels (AD-PROM) can see taint: the CMarkov baseline
-  // observes plain call names and cannot connect activity to its source.
-  std::set<std::string> sources;
-  bool has_td_output = false;
-  for (const runtime::CallEvent& event : window) {
-    if (!profile_->options.use_dd_labels) break;
-    if (event.td_output) {
-      has_td_output = true;
-      sources.insert(event.source_tables.begin(), event.source_tables.end());
-      // Supplement with the statically resolved tables for this label.
-      auto it = profile_->labeled_sources.find(event.Observable());
-      if (it != profile_->labeled_sources.end()) {
-        sources.insert(it->second.begin(), it->second.end());
-      }
-    }
-  }
 
   // Out-of-context check: a library call issued from a function that never
   // issues it, statically or during training.
@@ -42,8 +23,7 @@ Detection DetectionEngine::EvaluateWindow(
     }
   }
 
-  const hmm::ObservationSeq seq = profile_->Encode(window);
-  auto score = hmm::PerSymbolLogLikelihood(profile_->model, seq);
+  auto score = hmm::PerSymbolLogLikelihood(profile_->model, seq, workspace);
   detection.score = score.ok() ? *score : -1e9;
 
   // A symbol outside the profile's alphabet is not a *legitimate call*
@@ -59,6 +39,20 @@ Detection DetectionEngine::EvaluateWindow(
     }
   }
 
+  // TD presence in the window. Only a profile built with data-flow labels
+  // (AD-PROM) can see taint: the CMarkov baseline observes plain call
+  // names and cannot connect activity to its source — those profiles skip
+  // the provenance scan entirely.
+  bool has_td_output = false;
+  if (profile_->options.use_dd_labels) {
+    for (const runtime::CallEvent& event : window) {
+      if (event.td_output) {
+        has_td_output = true;
+        break;
+      }
+    }
+  }
+
   if (detection.flag != DetectionFlag::kOutOfContext) {
     if (detection.score < profile_->threshold) {
       detection.flag = has_td_output ? DetectionFlag::kDataLeak
@@ -68,19 +62,55 @@ Detection DetectionEngine::EvaluateWindow(
     }
   }
   if (detection.IsAlarm() && has_td_output) {
+    // Resolve the TD provenance only for windows that actually alarm: the
+    // dynamic source tables, supplemented with the statically resolved
+    // tables for each label.
+    std::set<std::string> sources;
+    for (const runtime::CallEvent& event : window) {
+      if (!event.td_output) continue;
+      sources.insert(event.source_tables.begin(), event.source_tables.end());
+      auto it = profile_->labeled_sources.find(event.Observable());
+      if (it != profile_->labeled_sources.end()) {
+        sources.insert(it->second.begin(), it->second.end());
+      }
+    }
     detection.source_tables.assign(sources.begin(), sources.end());
   }
   return detection;
 }
 
+Detection DetectionEngine::EvaluateWindow(
+    std::span<const runtime::CallEvent> window, size_t window_start) const {
+  const hmm::ObservationSeq seq = profile_->Encode(window);
+  hmm::ForwardWorkspace workspace;
+  return EvaluateEncoded(window, seq, window_start, &workspace);
+}
+
 std::vector<Detection> DetectionEngine::MonitorTrace(
     const runtime::Trace& trace) const {
   std::vector<Detection> out;
+  // Encode the whole trace once; window i's symbols are the slice
+  // [i, i+len) of the buffer (Encode is per-event, so the slice equals
+  // what encoding the window would produce).
+  const hmm::ObservationSeq encoded = profile_->Encode(trace);
   const auto windows = SlidingWindows(trace, profile_->options.window_length);
   out.reserve(windows.size());
+  hmm::ForwardWorkspace workspace;
   for (size_t i = 0; i < windows.size(); ++i) {
-    out.push_back(EvaluateWindow(windows[i], i));
+    const size_t offset =
+        static_cast<size_t>(windows[i].data() - trace.data());
+    const hmm::SymbolSpan seq(encoded.data() + offset, windows[i].size());
+    out.push_back(EvaluateEncoded(windows[i], seq, i, &workspace));
   }
+  return out;
+}
+
+std::vector<std::vector<Detection>> DetectionEngine::MonitorTraces(
+    const std::vector<runtime::Trace>& traces,
+    util::ThreadPool* pool) const {
+  std::vector<std::vector<Detection>> out(traces.size());
+  util::ParallelFor(pool, traces.size(),
+                    [&](size_t i) { out[i] = MonitorTrace(traces[i]); });
   return out;
 }
 

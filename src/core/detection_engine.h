@@ -6,7 +6,9 @@
 
 #include "core/flags.h"
 #include "core/profile.h"
+#include "hmm/inference.h"
 #include "runtime/call_event.h"
+#include "util/thread_pool.h"
 
 namespace adprom::core {
 
@@ -15,6 +17,12 @@ namespace adprom::core {
 /// to the profile threshold, and raises one of the four flags. With
 /// data-flow labels enabled it also reports which DB tables the involved
 /// targeted data came from.
+///
+/// Throughput design: MonitorTrace encodes the trace into HMM symbols
+/// *once* and scores each overlapping window as a slice of that buffer
+/// through a reusable hmm::ForwardWorkspace — zero per-window heap
+/// allocations in steady state. MonitorTraces fans independent traces
+/// across a worker pool (each worker gets its own workspace).
 class DetectionEngine {
  public:
   /// `profile` must outlive the engine.
@@ -27,10 +35,23 @@ class DetectionEngine {
   /// Slides over a full trace (stride 1) and returns every verdict.
   std::vector<Detection> MonitorTrace(const runtime::Trace& trace) const;
 
+  /// Batch variant: monitors every trace, fanning the independent traces
+  /// across `pool` (null pool = serial). Result i holds trace i's
+  /// verdicts, identical to MonitorTrace(traces[i]).
+  std::vector<std::vector<Detection>> MonitorTraces(
+      const std::vector<runtime::Trace>& traces,
+      util::ThreadPool* pool = nullptr) const;
+
   /// Convenience: the alarms only.
   std::vector<Detection> Alarms(const runtime::Trace& trace) const;
 
  private:
+  /// Shared verdict logic: `window` and its pre-encoded symbols `seq`
+  /// (same length, same order). The workspace is reused across calls.
+  Detection EvaluateEncoded(std::span<const runtime::CallEvent> window,
+                            hmm::SymbolSpan seq, size_t window_start,
+                            hmm::ForwardWorkspace* workspace) const;
+
   const ApplicationProfile* profile_;
 };
 

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "hmm/inference.h"
 #include "ml/kmeans.h"
 #include "ml/pca.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace adprom::core {
 
@@ -242,12 +244,23 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
                                            options_.max_training_windows / 4));
 
   // --- Baum-Welch with CSDS early stopping -------------------------------
+  // One worker pool serves training (sharded E-step) and the final
+  // threshold scan. The CSDS score stays serial — it is a float sum whose
+  // order must not depend on the thread count — but reuses one forward
+  // workspace so the per-iteration scoring allocates nothing.
   t0 = std::chrono::steady_clock::now();
+  const size_t num_threads =
+      util::ResolveThreadCount(options_.train.num_threads);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (num_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(num_threads);
+  }
+  hmm::ForwardWorkspace csds_workspace;
   auto csds_score = [&](const hmm::HmmModel& model) {
     if (csds_scored.empty()) return 0.0;
     double total = 0.0;
     for (const hmm::ObservationSeq& seq : csds_scored) {
-      auto ll = hmm::PerSymbolLogLikelihood(model, seq);
+      auto ll = hmm::PerSymbolLogLikelihood(model, seq, &csds_workspace);
       total += ll.ok() ? *ll : -1e9;
     }
     return total / static_cast<double>(csds_scored.size());
@@ -276,19 +289,38 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
   }
   ADPROM_ASSIGN_OR_RETURN(
       profile.train_stats,
-      hmm::BaumWelchTrain(&profile.model, bw_windows, train_options));
+      hmm::BaumWelchTrain(&profile.model, bw_windows, train_options,
+                          pool.get()));
   if (timings != nullptr) timings->training_seconds = SecondsSince(t0);
 
   // --- Threshold below every normal window --------------------------------
-  // Both the held-out CSDS and the full training set enter the pool: the
-  // guarantee is that nothing observed during training is ever flagged.
-  double min_score = std::numeric_limits<double>::max();
-  for (const auto* pool : {&train_windows, &csds_windows}) {
-    for (const hmm::ObservationSeq& seq : *pool) {
-      auto ll = hmm::PerSymbolLogLikelihood(profile.model, seq);
-      if (ll.ok()) min_score = std::min(min_score, *ll);
-    }
+  // Both the held-out CSDS and the full training set enter the scored
+  // pool: the guarantee is that nothing observed during training is ever
+  // flagged. The scan fans window blocks across the workers — min is
+  // order-independent, so the result does not depend on the thread count.
+  std::vector<const hmm::ObservationSeq*> scored;
+  scored.reserve(train_windows.size() + csds_windows.size());
+  for (const auto* window_set : {&train_windows, &csds_windows}) {
+    for (const hmm::ObservationSeq& seq : *window_set) scored.push_back(&seq);
   }
+  const size_t num_blocks =
+      pool == nullptr
+          ? 1
+          : std::min(scored.size(), 4 * pool->num_workers());
+  std::vector<double> block_min(
+      num_blocks, std::numeric_limits<double>::max());
+  util::ParallelFor(pool.get(), num_blocks, [&](size_t blk) {
+    hmm::ForwardWorkspace workspace;
+    const size_t begin = blk * scored.size() / num_blocks;
+    const size_t end = (blk + 1) * scored.size() / num_blocks;
+    for (size_t i = begin; i < end; ++i) {
+      auto ll =
+          hmm::PerSymbolLogLikelihood(profile.model, *scored[i], &workspace);
+      if (ll.ok()) block_min[blk] = std::min(block_min[blk], *ll);
+    }
+  });
+  double min_score = std::numeric_limits<double>::max();
+  for (double v : block_min) min_score = std::min(min_score, v);
   profile.threshold = min_score - options_.threshold_margin;
   return std::move(profile);
 }

@@ -1,19 +1,148 @@
 #include "hmm/baum_welch.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "hmm/inference.h"
+#include "util/logging.h"
+#include "util/strings.h"
 
 namespace adprom::hmm {
 
+namespace {
+
+/// Upper bound on E-step shards. The shard layout must not depend on the
+/// thread count (that is what makes parallel training bit-identical to
+/// serial), so the corpus is always cut into min(kMaxShards, #sequences)
+/// contiguous blocks and the per-shard partial sums are merged in shard
+/// order. 16 shards keep the peak accumulator memory modest (each shard
+/// holds an N x N + N x M count matrix) while still feeding 16 workers.
+constexpr size_t kMaxShards = 16;
+
+/// Expected-count accumulators for one shard of the training corpus.
+struct EStepAccumulators {
+  util::Matrix a_num;
+  std::vector<double> a_den;
+  util::Matrix b_num;
+  std::vector<double> b_den;
+  std::vector<double> pi_acc;
+  double total_ll = 0.0;
+  size_t used = 0;
+
+  void Reset(size_t n, size_t m) {
+    a_num.Reshape(n, n);
+    a_den.assign(n, 0.0);
+    b_num.Reshape(n, m);
+    b_den.assign(n, 0.0);
+    pi_acc.assign(n, 0.0);
+    total_ll = 0.0;
+    used = 0;
+  }
+
+  /// Element-wise merge. Called in fixed shard order, which keeps the
+  /// floating-point summation order independent of the thread count.
+  void MergeFrom(const EStepAccumulators& other) {
+    const size_t n = a_den.size();
+    const size_t m = b_num.cols();
+    for (size_t s = 0; s < n; ++s) {
+      double* a_row = a_num.RowData(s);
+      const double* oa_row = other.a_num.RowData(s);
+      for (size_t q = 0; q < n; ++q) a_row[q] += oa_row[q];
+      double* b_row = b_num.RowData(s);
+      const double* ob_row = other.b_num.RowData(s);
+      for (size_t o = 0; o < m; ++o) b_row[o] += ob_row[o];
+      a_den[s] += other.a_den[s];
+      b_den[s] += other.b_den[s];
+      pi_acc[s] += other.pi_acc[s];
+    }
+    total_ll += other.total_ll;
+    used += other.used;
+  }
+};
+
+/// Adds one sequence's expected counts to `acc`. The arithmetic (and its
+/// order) is exactly the seed serial implementation's; only the buffers
+/// are reused across calls.
+void AccumulateSequence(const HmmModel& model, const ObservationSeq& seq,
+                        ForwardWorkspace* fw_ws, BackwardWorkspace* bw_ws,
+                        std::vector<double>* emit_scratch,
+                        EStepAccumulators* acc) {
+  const size_t n = model.num_states();
+  auto fw = ForwardInto(model, seq, fw_ws);
+  ADPROM_CHECK(fw.ok());  // symbols were validated before training began
+  if (*fw < -1e17) return;  // ~zero-probability outlier
+  ADPROM_CHECK(BackwardInto(model, seq, fw_ws->scale, bw_ws).ok());
+  acc->total_ll += *fw;
+  ++acc->used;
+  const size_t t_len = seq.size();
+  const util::Matrix& alpha = fw_ws->alpha;
+  const util::Matrix& beta = bw_ws->beta;
+
+  // gamma_t(s) ∝ alpha_t(s) * beta_t(s); with Rabiner scaling the
+  // product needs a factor scale[t] to be a proper distribution.
+  for (size_t t = 0; t < t_len; ++t) {
+    const double* alpha_t = alpha.RowData(t);
+    const double* beta_t = beta.RowData(t);
+    const double scale_t = fw_ws->scale[t];
+    for (size_t s = 0; s < n; ++s) {
+      const double gamma = alpha_t[s] * beta_t[s] * scale_t;
+      if (t == 0) acc->pi_acc[s] += gamma;
+      acc->b_num.At(s, seq[t]) += gamma;
+      acc->b_den[s] += gamma;
+      if (t + 1 < t_len) acc->a_den[s] += gamma;
+    }
+  }
+  // xi_t(s,q) = alpha_t(s) A(s,q) B(q,o_{t+1}) beta_{t+1}(q); the
+  // emission*beta factor is hoisted per (t, q).
+  std::vector<double>& emit_next = *emit_scratch;
+  emit_next.assign(n, 0.0);
+  for (size_t t = 0; t + 1 < t_len; ++t) {
+    const double* alpha_t = alpha.RowData(t);
+    const double* beta_next = beta.RowData(t + 1);
+    for (size_t q = 0; q < n; ++q) {
+      emit_next[q] = model.b().At(q, seq[t + 1]) * beta_next[q];
+    }
+    for (size_t s = 0; s < n; ++s) {
+      const double alpha_ts = alpha_t[s];
+      if (alpha_ts == 0.0) continue;
+      const double* a_row = model.a().RowData(s);
+      double* out_row = acc->a_num.RowData(s);
+      for (size_t q = 0; q < n; ++q) {
+        out_row[q] += alpha_ts * a_row[q] * emit_next[q];
+      }
+    }
+  }
+}
+
+/// Per-shard state: the accumulators plus the reused inference buffers.
+struct Shard {
+  size_t begin = 0;
+  size_t end = 0;
+  EStepAccumulators acc;
+  ForwardWorkspace fw_ws;
+  BackwardWorkspace bw_ws;
+  std::vector<double> emit_scratch;
+};
+
+}  // namespace
+
 util::Result<TrainStats> BaumWelchTrain(
     HmmModel* model, const std::vector<ObservationSeq>& sequences,
-    const TrainOptions& options) {
+    const TrainOptions& options, util::ThreadPool* pool) {
   if (sequences.empty())
     return util::Status::InvalidArgument("no training sequences");
   for (const ObservationSeq& seq : sequences) {
     if (seq.empty())
       return util::Status::InvalidArgument("empty training sequence");
+    for (int symbol : seq) {
+      if (symbol < 0 ||
+          static_cast<size_t>(symbol) >= model->num_symbols()) {
+        return util::Status::OutOfRange(util::StrFormat(
+            "symbol %d out of range [0, %zu)", symbol,
+            model->num_symbols()));
+      }
+    }
   }
 
   const size_t n = model->num_states();
@@ -21,85 +150,69 @@ util::Result<TrainStats> BaumWelchTrain(
   TrainStats stats;
   double prev_mean_ll = -std::numeric_limits<double>::infinity();
 
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // Expected-count accumulators across all sequences.
-    util::Matrix a_num(n, n);
-    std::vector<double> a_den(n, 0.0);
-    util::Matrix b_num(n, m);
-    std::vector<double> b_den(n, 0.0);
-    std::vector<double> pi_acc(n, 0.0);
+  // Contiguous shard layout, a function of the corpus size only.
+  const size_t num_shards = std::min(kMaxShards, sequences.size());
+  std::vector<Shard> shards(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    shards[k].begin = k * sequences.size() / num_shards;
+    shards[k].end = (k + 1) * sequences.size() / num_shards;
+  }
 
-    double total_ll = 0.0;
-    size_t used = 0;
-    for (const ObservationSeq& seq : sequences) {
-      ADPROM_ASSIGN_OR_RETURN(ForwardVariables fw, Forward(*model, seq));
-      if (fw.log_likelihood < -1e17) continue;  // ~zero-probability outlier
-      ADPROM_ASSIGN_OR_RETURN(util::Matrix beta,
-                              Backward(*model, seq, fw.scale));
-      total_ll += fw.log_likelihood;
-      ++used;
-      const size_t t_len = seq.size();
-
-      // gamma_t(s) ∝ alpha_t(s) * beta_t(s); with Rabiner scaling the
-      // product needs a factor scale[t] to be a proper distribution.
-      for (size_t t = 0; t < t_len; ++t) {
-        const double* alpha_t = fw.alpha.RowData(t);
-        const double* beta_t = beta.RowData(t);
-        const double scale_t = fw.scale[t];
-        for (size_t s = 0; s < n; ++s) {
-          const double gamma = alpha_t[s] * beta_t[s] * scale_t;
-          if (t == 0) pi_acc[s] += gamma;
-          b_num.At(s, seq[t]) += gamma;
-          b_den[s] += gamma;
-          if (t + 1 < t_len) a_den[s] += gamma;
-        }
-      }
-      // xi_t(s,q) = alpha_t(s) A(s,q) B(q,o_{t+1}) beta_{t+1}(q); the
-      // emission*beta factor is hoisted per (t, q).
-      std::vector<double> emit_next(n);
-      for (size_t t = 0; t + 1 < t_len; ++t) {
-        const double* alpha_t = fw.alpha.RowData(t);
-        const double* beta_next = beta.RowData(t + 1);
-        for (size_t q = 0; q < n; ++q) {
-          emit_next[q] = model->b().At(q, seq[t + 1]) * beta_next[q];
-        }
-        for (size_t s = 0; s < n; ++s) {
-          const double alpha_ts = alpha_t[s];
-          if (alpha_ts == 0.0) continue;
-          const double* a_row = model->a().RowData(s);
-          double* out_row = a_num.RowData(s);
-          for (size_t q = 0; q < n; ++q) {
-            out_row[q] += alpha_ts * a_row[q] * emit_next[q];
-          }
-        }
-      }
+  // The caller's pool, or an internal one when more than one thread is
+  // requested and there is more than one shard to fan out.
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && num_shards > 1) {
+    const size_t threads = util::ResolveThreadCount(options.num_threads);
+    if (threads > 1) {
+      owned_pool = std::make_unique<util::ThreadPool>(
+          std::min(threads, num_shards));
+      pool = owned_pool.get();
     }
+  }
 
-    if (used == 0) {
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E-step: every shard accumulates its block of sequences.
+    util::ParallelFor(pool, num_shards, [&](size_t k) {
+      Shard& shard = shards[k];
+      shard.acc.Reset(n, m);
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        AccumulateSequence(*model, sequences[i], &shard.fw_ws,
+                           &shard.bw_ws, &shard.emit_scratch, &shard.acc);
+      }
+    });
+
+    // Merge in fixed shard order (shard 0 is the merge target).
+    EStepAccumulators& total = shards[0].acc;
+    for (size_t k = 1; k < num_shards; ++k) total.MergeFrom(shards[k].acc);
+
+    if (total.used == 0) {
       return util::Status::FailedPrecondition(
           "model assigns zero probability to every training sequence");
     }
 
-    // Re-estimate with a smoothing floor.
+    // M-step: re-estimate with a smoothing floor.
     for (size_t s = 0; s < n; ++s) {
       for (size_t q = 0; q < n; ++q) {
         model->mutable_a().At(s, q) =
-            a_den[s] > 0.0 ? a_num.At(s, q) / a_den[s] : model->a().At(s, q);
+            total.a_den[s] > 0.0 ? total.a_num.At(s, q) / total.a_den[s]
+                                 : model->a().At(s, q);
       }
       for (size_t o = 0; o < m; ++o) {
         model->mutable_b().At(s, o) =
-            b_den[s] > 0.0 ? b_num.At(s, o) / b_den[s] : model->b().At(s, o);
+            total.b_den[s] > 0.0 ? total.b_num.At(s, o) / total.b_den[s]
+                                 : model->b().At(s, o);
       }
     }
     double pi_total = 0.0;
-    for (double v : pi_acc) pi_total += v;
+    for (double v : total.pi_acc) pi_total += v;
     if (pi_total > 0.0) {
       for (size_t s = 0; s < n; ++s)
-        model->mutable_pi()[s] = pi_acc[s] / pi_total;
+        model->mutable_pi()[s] = total.pi_acc[s] / pi_total;
     }
     if (options.smoothing > 0.0) model->Smooth(options.smoothing);
 
-    const double mean_ll = total_ll / static_cast<double>(used);
+    const double mean_ll =
+        total.total_ll / static_cast<double>(total.used);
     stats.log_likelihood_curve.push_back(mean_ll);
     stats.iterations = iter + 1;
 

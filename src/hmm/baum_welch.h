@@ -6,6 +6,7 @@
 
 #include "hmm/hmm_model.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace adprom::hmm {
 
@@ -18,6 +19,12 @@ struct TrainOptions {
   /// Probability floor applied after each re-estimation so no parameter
   /// collapses to exactly zero.
   double smoothing = 1e-9;
+  /// Worker threads for the E-step: 0 = hardware concurrency, 1 = serial.
+  /// The expected-count accumulation is sharded over the sequences with a
+  /// shard layout that depends only on the corpus size, and the per-shard
+  /// accumulators are merged in fixed shard order — so the trained model
+  /// is bit-identical for every thread count.
+  int num_threads = 0;
   /// Optional early-stopping hook, called after every iteration with the
   /// iteration index. Returning false stops training. The paper's
   /// "converge sub-dataset" (CSDS) early stopping plugs in here: the
@@ -39,10 +46,13 @@ struct TrainStats {
 /// Trains `model` in place on `sequences`. Sequences the current model
 /// assigns ~zero probability are skipped for that iteration (they would
 /// otherwise poison the expected counts). Fails when `sequences` is empty
-/// or a symbol is out of range.
+/// or a symbol is out of range. When `pool` is non-null it is used for the
+/// E-step instead of an internally created pool (options.num_threads then
+/// only matters for the serial fast path when it equals 1).
 util::Result<TrainStats> BaumWelchTrain(
     HmmModel* model, const std::vector<ObservationSeq>& sequences,
-    const TrainOptions& options = TrainOptions());
+    const TrainOptions& options = TrainOptions(),
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace adprom::hmm
 

@@ -11,8 +11,7 @@ namespace {
 
 constexpr double kScaleFloor = 1e-300;
 
-util::Status CheckSequence(const HmmModel& model,
-                           const ObservationSeq& seq) {
+util::Status CheckSequence(const HmmModel& model, SymbolSpan seq) {
   if (seq.empty())
     return util::Status::InvalidArgument("empty observation sequence");
   for (int symbol : seq) {
@@ -26,33 +25,32 @@ util::Status CheckSequence(const HmmModel& model,
 
 }  // namespace
 
-util::Result<ForwardVariables> Forward(const HmmModel& model,
-                                       const ObservationSeq& seq) {
+util::Result<double> ForwardInto(const HmmModel& model, SymbolSpan seq,
+                                 ForwardWorkspace* ws) {
   ADPROM_RETURN_IF_ERROR(CheckSequence(model, seq));
   const size_t n = model.num_states();
   const size_t t_len = seq.size();
 
-  ForwardVariables fw;
-  fw.alpha = util::Matrix(t_len, n);
-  fw.scale.assign(t_len, 0.0);
+  ws->alpha.Reshape(t_len, n);
+  ws->scale.assign(t_len, 0.0);
 
   // t = 0.
   double total = 0.0;
   for (size_t s = 0; s < n; ++s) {
     const double v = model.pi()[s] * model.b().At(s, seq[0]);
-    fw.alpha.At(0, s) = v;
+    ws->alpha.At(0, s) = v;
     total += v;
   }
   total = std::max(total, kScaleFloor);
-  fw.scale[0] = total;
-  for (size_t s = 0; s < n; ++s) fw.alpha.At(0, s) /= total;
+  ws->scale[0] = total;
+  for (size_t s = 0; s < n; ++s) ws->alpha.At(0, s) /= total;
 
   // t > 0. Raw-pointer loops: this is the library's hottest path (called
   // once per window per Baum-Welch iteration and per detection score).
   for (size_t t = 1; t < t_len; ++t) {
     total = 0.0;
-    const double* prev = fw.alpha.RowData(t - 1);
-    double* cur = fw.alpha.RowData(t);
+    const double* prev = ws->alpha.RowData(t - 1);
+    double* cur = ws->alpha.RowData(t);
     for (size_t s = 0; s < n; ++s) cur[s] = 0.0;
     for (size_t p = 0; p < n; ++p) {
       const double alpha_p = prev[p];
@@ -65,40 +63,61 @@ util::Result<ForwardVariables> Forward(const HmmModel& model,
       total += cur[s];
     }
     total = std::max(total, kScaleFloor);
-    fw.scale[t] = total;
+    ws->scale[t] = total;
     for (size_t s = 0; s < n; ++s) cur[s] /= total;
   }
 
-  fw.log_likelihood = 0.0;
-  for (double c : fw.scale) fw.log_likelihood += std::log(c);
+  double log_likelihood = 0.0;
+  for (double c : ws->scale) log_likelihood += std::log(c);
+  return log_likelihood;
+}
+
+util::Result<ForwardVariables> Forward(const HmmModel& model,
+                                       SymbolSpan seq) {
+  ForwardWorkspace ws;
+  ADPROM_ASSIGN_OR_RETURN(double log_likelihood,
+                          ForwardInto(model, seq, &ws));
+  ForwardVariables fw;
+  fw.alpha = std::move(ws.alpha);
+  fw.scale = std::move(ws.scale);
+  fw.log_likelihood = log_likelihood;
   return std::move(fw);
 }
 
-util::Result<double> LogLikelihood(const HmmModel& model,
-                                   const ObservationSeq& seq) {
-  ADPROM_ASSIGN_OR_RETURN(ForwardVariables fw, Forward(model, seq));
-  return fw.log_likelihood;
+util::Result<double> LogLikelihood(const HmmModel& model, SymbolSpan seq) {
+  ForwardWorkspace ws;
+  return ForwardInto(model, seq, &ws);
 }
 
 util::Result<double> PerSymbolLogLikelihood(const HmmModel& model,
-                                            const ObservationSeq& seq) {
-  ADPROM_ASSIGN_OR_RETURN(ForwardVariables fw, Forward(model, seq));
-  return fw.log_likelihood / static_cast<double>(seq.size());
+                                            SymbolSpan seq) {
+  ForwardWorkspace ws;
+  return PerSymbolLogLikelihood(model, seq, &ws);
 }
 
-util::Result<util::Matrix> Backward(const HmmModel& model,
-                                    const ObservationSeq& seq,
-                                    const std::vector<double>& scale) {
+util::Result<double> PerSymbolLogLikelihood(const HmmModel& model,
+                                            SymbolSpan seq,
+                                            ForwardWorkspace* workspace) {
+  ADPROM_ASSIGN_OR_RETURN(double log_likelihood,
+                          ForwardInto(model, seq, workspace));
+  return log_likelihood / static_cast<double>(seq.size());
+}
+
+util::Status BackwardInto(const HmmModel& model, SymbolSpan seq,
+                          const std::vector<double>& scale,
+                          BackwardWorkspace* ws) {
   ADPROM_RETURN_IF_ERROR(CheckSequence(model, seq));
   if (scale.size() != seq.size())
     return util::Status::InvalidArgument("scale size mismatch");
   const size_t n = model.num_states();
   const size_t t_len = seq.size();
 
-  util::Matrix beta(t_len, n);
+  ws->beta.Reshape(t_len, n);
+  ws->emit_next.assign(n, 0.0);
+  util::Matrix& beta = ws->beta;
+  std::vector<double>& emit_next = ws->emit_next;
   for (size_t s = 0; s < n; ++s)
     beta.At(t_len - 1, s) = 1.0 / scale[t_len - 1];
-  std::vector<double> emit_next(n);
   for (size_t t = t_len - 1; t-- > 0;) {
     const double* next = beta.RowData(t + 1);
     double* cur = beta.RowData(t);
@@ -111,11 +130,18 @@ util::Result<util::Matrix> Backward(const HmmModel& model,
       cur[s] = acc / scale[t];
     }
   }
-  return std::move(beta);
+  return util::Status::Ok();
+}
+
+util::Result<util::Matrix> Backward(const HmmModel& model, SymbolSpan seq,
+                                    const std::vector<double>& scale) {
+  BackwardWorkspace ws;
+  ADPROM_RETURN_IF_ERROR(BackwardInto(model, seq, scale, &ws));
+  return std::move(ws.beta);
 }
 
 util::Result<std::vector<size_t>> Viterbi(const HmmModel& model,
-                                          const ObservationSeq& seq) {
+                                          SymbolSpan seq) {
   ADPROM_RETURN_IF_ERROR(CheckSequence(model, seq));
   const size_t n = model.num_states();
   const size_t t_len = seq.size();
@@ -126,7 +152,9 @@ util::Result<std::vector<size_t>> Viterbi(const HmmModel& model,
   };
 
   util::Matrix delta(t_len, n, kNegInf);
-  std::vector<std::vector<size_t>> psi(t_len, std::vector<size_t>(n, 0));
+  // Backpointers in one contiguous T x N buffer (psi[t*n + s]) instead of
+  // a vector-of-vectors: one allocation instead of T small ones.
+  std::vector<size_t> psi(t_len * n, 0);
   for (size_t s = 0; s < n; ++s) {
     delta.At(0, s) =
         safe_log(model.pi()[s]) + safe_log(model.b().At(s, seq[0]));
@@ -143,7 +171,7 @@ util::Result<std::vector<size_t>> Viterbi(const HmmModel& model,
         }
       }
       delta.At(t, s) = best + safe_log(model.b().At(s, seq[t]));
-      psi[t][s] = best_prev;
+      psi[t * n + s] = best_prev;
     }
   }
 
@@ -155,7 +183,8 @@ util::Result<std::vector<size_t>> Viterbi(const HmmModel& model,
       path[t_len - 1] = s;
     }
   }
-  for (size_t t = t_len - 1; t-- > 0;) path[t] = psi[t + 1][path[t + 1]];
+  for (size_t t = t_len - 1; t-- > 0;)
+    path[t] = psi[(t + 1) * n + path[t + 1]];
   return std::move(path);
 }
 

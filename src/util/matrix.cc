@@ -23,6 +23,12 @@ Matrix Matrix::Identity(size_t n) {
   return m;
 }
 
+void Matrix::Reshape(size_t rows, size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 double& Matrix::At(size_t r, size_t c) {
   ADPROM_CHECK_LT(r, rows_);
   ADPROM_CHECK_LT(c, cols_);

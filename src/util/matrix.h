@@ -45,6 +45,11 @@ class Matrix {
   Matrix Transpose() const;
   Matrix Multiply(const Matrix& other) const;
 
+  /// Re-shapes the matrix to rows x cols and fills it with `fill`. The
+  /// backing storage is reused when large enough, so repeatedly reshaping
+  /// a workspace matrix to the same (or smaller) shape allocates nothing.
+  void Reshape(size_t rows, size_t cols, double fill = 0.0);
+
   /// In-place row normalization: each row is scaled to sum to 1. Rows whose
   /// sum is below `eps` are left untouched.
   void NormalizeRows(double eps = 1e-12);

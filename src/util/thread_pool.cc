@@ -1,0 +1,110 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace adprom::util {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::DefaultConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+size_t ResolveThreadCount(int requested) {
+  if (requested <= 0) {
+    return requested == 0 ? ThreadPool::DefaultConcurrency() : 1;
+  }
+  return static_cast<size_t>(requested);
+}
+
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->num_workers() <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Shared cursor: helpers and the calling thread pull the next index
+  // until the range is exhausted. Helpers hold a shared_ptr so the state
+  // outlives this frame even if the caller somehow returns first.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  const size_t helpers = std::min(pool->num_workers(), count - 1);
+
+  auto drain = [state, count, &fn] {
+    for (;;) {
+      const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      fn(i);
+      state->done.fetch_add(1, std::memory_order_release);
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->cv.notify_all();
+  };
+
+  for (size_t h = 0; h < helpers; ++h) pool->Submit(drain);
+  drain();  // the calling thread works too
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= count;
+  });
+}
+
+}  // namespace adprom::util

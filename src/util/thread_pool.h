@@ -1,0 +1,70 @@
+#ifndef ADPROM_UTIL_THREAD_POOL_H_
+#define ADPROM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adprom::util {
+
+/// A fixed-size worker pool shared by the hot layers (Baum-Welch E-step
+/// sharding, batch trace monitoring). Dependency-free and deliberately
+/// small: a task queue, N workers, and a ParallelFor helper. Tasks must
+/// not throw — the library reports expected failures through Status, and
+/// an exception escaping a worker would terminate the process.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is clamped to 1). A pool of size 1
+  /// still runs tasks on its single worker; use ParallelFor with a null
+  /// pool for a guaranteed-inline serial path.
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks run in FIFO order across the workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// The machine's hardware concurrency, never less than 1.
+  static size_t DefaultConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: queue or stop
+  std::condition_variable idle_cv_;   // signals Wait(): all drained
+  size_t active_ = 0;                 // tasks currently executing
+  bool stop_ = false;
+};
+
+/// Resolves a user-facing thread-count option: 0 means "use the hardware
+/// concurrency", negative values are clamped to 1.
+size_t ResolveThreadCount(int requested);
+
+/// Runs fn(0) .. fn(count-1), fanning the indices across `pool` with
+/// dynamic (work-stealing) assignment; the calling thread participates.
+/// A null pool, a single-worker pool, or count <= 1 degrades to a plain
+/// inline loop. Blocks until every index has been processed. The
+/// assignment of indices to threads is dynamic, so `fn` must either be
+/// order-independent or write to per-index slots; deterministic
+/// reductions should accumulate per index and merge in index order after
+/// the call returns.
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace adprom::util
+
+#endif  // ADPROM_UTIL_THREAD_POOL_H_

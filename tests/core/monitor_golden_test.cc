@@ -1,0 +1,231 @@
+// Golden-equality test for the high-throughput detection path: the
+// encode-once / workspace-reuse MonitorTrace (and the batch MonitorTraces)
+// must emit exactly the same Detection flags, scores, details, and source
+// tables as the seed per-window implementation, reproduced here verbatim
+// as the reference. Runs on the shipped samples/inventory corpus,
+// including a tautology-injection run that raises DataLeak alarms.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "core/adprom.h"
+#include "core/detection_engine.h"
+#include "hmm/inference.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace adprom::core {
+namespace {
+
+#ifndef ADPROM_SOURCE_DIR
+#define ADPROM_SOURCE_DIR "."
+#endif
+
+std::string ReadSample(const std::string& name) {
+  const std::string path =
+      std::string(ADPROM_SOURCE_DIR) + "/samples/inventory/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+DbFactory SampleDbFactory() {
+  auto statements = std::make_shared<std::vector<std::string>>();
+  for (const std::string& line : util::Split(ReadSample("seed.sql"), '\n')) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    statements->emplace_back(trimmed);
+  }
+  return [statements]() {
+    auto database = std::make_unique<db::Database>();
+    for (const std::string& sql : *statements) {
+      (void)database->Execute(sql);
+    }
+    return database;
+  };
+}
+
+std::vector<TestCase> SampleCases() {
+  std::vector<TestCase> cases;
+  for (const std::string& line : util::Split(ReadSample("cases.txt"), '\n')) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    cases.push_back({util::SplitWhitespace(trimmed)});
+  }
+  return cases;
+}
+
+/// The seed (pre-refactor) Detection Engine window evaluation, kept as the
+/// behavioral reference: re-encodes every window and allocates fresh
+/// forward buffers per score.
+Detection SeedEvaluateWindow(const ApplicationProfile& profile,
+                             std::span<const runtime::CallEvent> window,
+                             size_t window_start) {
+  Detection detection;
+  detection.window_start = window_start;
+
+  std::set<std::string> sources;
+  bool has_td_output = false;
+  for (const runtime::CallEvent& event : window) {
+    if (!profile.options.use_dd_labels) break;
+    if (event.td_output) {
+      has_td_output = true;
+      sources.insert(event.source_tables.begin(), event.source_tables.end());
+      auto it = profile.labeled_sources.find(event.Observable());
+      if (it != profile.labeled_sources.end()) {
+        sources.insert(it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+  for (const runtime::CallEvent& event : window) {
+    if (profile.context_pairs.count({event.caller, event.callee}) == 0) {
+      detection.flag = DetectionFlag::kOutOfContext;
+      detection.detail = event.callee + " called from " + event.caller;
+      break;
+    }
+  }
+
+  const hmm::ObservationSeq seq = profile.Encode(window);
+  auto score = hmm::PerSymbolLogLikelihood(profile.model, seq);
+  detection.score = score.ok() ? *score : -1e9;
+
+  for (int symbol : seq) {
+    if (symbol == profile.alphabet.unk_id()) {
+      detection.score = -1e9;
+      if (detection.detail.empty()) detection.detail = "unknown call symbol";
+      break;
+    }
+  }
+
+  if (detection.flag != DetectionFlag::kOutOfContext) {
+    if (detection.score < profile.threshold) {
+      detection.flag = has_td_output ? DetectionFlag::kDataLeak
+                                     : DetectionFlag::kAnomalous;
+    } else {
+      detection.flag = DetectionFlag::kNormal;
+    }
+  }
+  if (detection.IsAlarm() && has_td_output) {
+    detection.source_tables.assign(sources.begin(), sources.end());
+  }
+  return detection;
+}
+
+std::vector<Detection> SeedMonitorTrace(const ApplicationProfile& profile,
+                                        const runtime::Trace& trace) {
+  std::vector<Detection> out;
+  const auto windows = SlidingWindows(trace, profile.options.window_length);
+  out.reserve(windows.size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    out.push_back(SeedEvaluateWindow(profile, windows[i], i));
+  }
+  return out;
+}
+
+void ExpectSameDetections(const std::vector<Detection>& expected,
+                          const std::vector<Detection>& actual,
+                          const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const Detection& e = expected[i];
+    const Detection& a = actual[i];
+    EXPECT_EQ(e.flag, a.flag) << label << " window " << i;
+    EXPECT_EQ(e.score, a.score) << label << " window " << i;
+    EXPECT_EQ(e.window_start, a.window_start) << label << " window " << i;
+    EXPECT_EQ(e.source_tables, a.source_tables) << label << " window " << i;
+    EXPECT_EQ(e.detail, a.detail) << label << " window " << i;
+  }
+}
+
+class MonitorGoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto program = prog::ParseProgram(ReadSample("app.mini"));
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    program_ = new prog::Program(std::move(program).value());
+    auto system = AdProm::Train(*program_, SampleDbFactory(), SampleCases());
+    ASSERT_TRUE(system.ok()) << system.status().ToString();
+    system_ = new AdProm(std::move(system).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete system_;
+    delete program_;
+    system_ = nullptr;
+    program_ = nullptr;
+  }
+
+  /// Collects the trace of one (possibly adversarial) input feed.
+  runtime::Trace Collect(const std::vector<std::string>& inputs) {
+    auto cfgs = prog::BuildAllCfgs(*program_);
+    EXPECT_TRUE(cfgs.ok());
+    auto trace = AdProm::CollectTrace(*program_, *cfgs, SampleDbFactory(),
+                                      {inputs});
+    EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+    return std::move(trace).value();
+  }
+
+  static prog::Program* program_;
+  static AdProm* system_;
+};
+
+prog::Program* MonitorGoldenTest::program_ = nullptr;
+AdProm* MonitorGoldenTest::system_ = nullptr;
+
+TEST_F(MonitorGoldenTest, NormalTrafficMatchesSeedPath) {
+  const DetectionEngine engine(&system_->profile());
+  for (size_t i = 0; i < SampleCases().size(); ++i) {
+    const runtime::Trace trace = Collect(SampleCases()[i].inputs);
+    ExpectSameDetections(SeedMonitorTrace(system_->profile(), trace),
+                         engine.MonitorTrace(trace),
+                         "case " + std::to_string(i));
+  }
+}
+
+TEST_F(MonitorGoldenTest, InjectionRunMatchesSeedPathAndAlarms) {
+  const DetectionEngine engine(&system_->profile());
+  const runtime::Trace trace = Collect({"find", "1' OR '1'='1"});
+  const auto expected = SeedMonitorTrace(system_->profile(), trace);
+  const auto actual = engine.MonitorTrace(trace);
+  ExpectSameDetections(expected, actual, "injection");
+  // The tautology injection must still be caught, with provenance.
+  bool leak = false;
+  for (const Detection& d : actual) {
+    if (d.flag == DetectionFlag::kDataLeak && !d.source_tables.empty()) {
+      leak = true;
+    }
+  }
+  EXPECT_TRUE(leak) << "injection run raised no DataLeak with sources";
+}
+
+TEST_F(MonitorGoldenTest, BatchMonitorMatchesPerTraceSerialAndParallel) {
+  const DetectionEngine engine(&system_->profile());
+  std::vector<runtime::Trace> traces;
+  for (const TestCase& test_case : SampleCases()) {
+    traces.push_back(Collect(test_case.inputs));
+  }
+  traces.push_back(Collect({"find", "1' OR '1'='1"}));
+
+  const auto serial = engine.MonitorTraces(traces);
+  util::ThreadPool pool(4);
+  const auto parallel = engine.MonitorTraces(traces, &pool);
+  ASSERT_EQ(serial.size(), traces.size());
+  ASSERT_EQ(parallel.size(), traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const auto expected = engine.MonitorTrace(traces[i]);
+    ExpectSameDetections(expected, serial[i],
+                         "serial batch trace " + std::to_string(i));
+    ExpectSameDetections(expected, parallel[i],
+                         "parallel batch trace " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace adprom::core

@@ -51,7 +51,7 @@ TEST(ForwardTest, MatchesBruteForceOnShortSequences) {
 TEST(ForwardTest, SingleSymbolProbability) {
   const HmmModel model = TwoStateModel();
   // P(O=0) = 0.6*0.9 + 0.4*0.2 = 0.62.
-  auto ll = LogLikelihood(model, {0});
+  auto ll = LogLikelihood(model, ObservationSeq{0});
   ASSERT_TRUE(ll.ok());
   EXPECT_NEAR(std::exp(*ll), 0.62, 1e-12);
 }
@@ -79,8 +79,8 @@ TEST(ForwardTest, PerSymbolNormalization) {
 TEST(ForwardTest, RejectsBadInput) {
   const HmmModel model = TwoStateModel();
   EXPECT_FALSE(LogLikelihood(model, {}).ok());
-  EXPECT_FALSE(LogLikelihood(model, {0, 5}).ok());
-  EXPECT_FALSE(LogLikelihood(model, {-1}).ok());
+  EXPECT_FALSE(LogLikelihood(model, ObservationSeq{0, 5}).ok());
+  EXPECT_FALSE(LogLikelihood(model, ObservationSeq{-1}).ok());
 }
 
 TEST(BackwardTest, GammaSumsToOne) {
@@ -105,7 +105,7 @@ TEST(ViterbiTest, DecodesObviousPath) {
   util::Matrix a = util::Matrix::FromRows({{0.9, 0.1}, {0.1, 0.9}});
   util::Matrix b = util::Matrix::FromRows({{0.99, 0.01}, {0.01, 0.99}});
   HmmModel model(std::move(a), std::move(b), {0.5, 0.5});
-  auto path = Viterbi(model, {0, 0, 1, 1, 0});
+  auto path = Viterbi(model, ObservationSeq{0, 0, 1, 1, 0});
   ASSERT_TRUE(path.ok());
   EXPECT_EQ(*path, (std::vector<size_t>{0, 0, 1, 1, 0}));
 }
@@ -114,7 +114,7 @@ TEST(ViterbiTest, HandlesZeroProbabilities) {
   util::Matrix a = util::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
   util::Matrix b = util::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
   HmmModel model(std::move(a), std::move(b), {1.0, 0.0});
-  auto path = Viterbi(model, {0, 0});
+  auto path = Viterbi(model, ObservationSeq{0, 0});
   ASSERT_TRUE(path.ok());
   EXPECT_EQ(*path, (std::vector<size_t>{0, 0}));
 }

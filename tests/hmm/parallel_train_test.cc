@@ -1,0 +1,130 @@
+// Determinism guarantees of the sharded (parallel) Baum-Welch E-step: the
+// trained model must be bit-identical for every thread count, because the
+// shard layout depends only on the corpus size and the per-shard partial
+// sums are merged in fixed shard order.
+
+#include <gtest/gtest.h>
+
+#include "hmm/baum_welch.h"
+#include "hmm/inference.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace adprom::hmm {
+namespace {
+
+HmmModel GroundTruth() {
+  util::Matrix a = util::Matrix::FromRows(
+      {{0.7, 0.2, 0.1}, {0.1, 0.7, 0.2}, {0.25, 0.25, 0.5}});
+  util::Matrix b = util::Matrix::FromRows({{0.7, 0.2, 0.05, 0.05},
+                                           {0.05, 0.7, 0.2, 0.05},
+                                           {0.05, 0.05, 0.2, 0.7}});
+  return HmmModel(std::move(a), std::move(b), {0.5, 0.3, 0.2});
+}
+
+/// Samples a corpus large enough to span many E-step shards.
+std::vector<ObservationSeq> SampleCorpus(size_t count, size_t length) {
+  util::Rng rng(1234);
+  const HmmModel truth = GroundTruth();
+  std::vector<ObservationSeq> out;
+  out.reserve(count);
+  for (size_t c = 0; c < count; ++c) {
+    ObservationSeq seq;
+    size_t state = rng.WeightedIndex(truth.pi());
+    for (size_t t = 0; t < length; ++t) {
+      seq.push_back(
+          static_cast<int>(rng.WeightedIndex(truth.b().Row(state))));
+      state = rng.WeightedIndex(truth.a().Row(state));
+    }
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+struct TrainedRun {
+  HmmModel model;
+  TrainStats stats;
+};
+
+TrainedRun TrainWith(int num_threads,
+                     const std::vector<ObservationSeq>& corpus) {
+  util::Rng rng(99);
+  TrainedRun run;
+  run.model = HmmModel::Random(3, 4, rng);  // same seed => same init
+  TrainOptions options;
+  options.max_iterations = 8;
+  options.tolerance = 0.0;  // run all iterations
+  options.num_threads = num_threads;
+  auto stats = BaumWelchTrain(&run.model, corpus, options);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  run.stats = std::move(stats).value();
+  return run;
+}
+
+void ExpectBitIdentical(const TrainedRun& a, const TrainedRun& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.model.a().MaxAbsDiff(b.model.a()), 0.0) << label << ": A";
+  EXPECT_EQ(a.model.b().MaxAbsDiff(b.model.b()), 0.0) << label << ": B";
+  ASSERT_EQ(a.model.pi().size(), b.model.pi().size());
+  for (size_t s = 0; s < a.model.pi().size(); ++s) {
+    EXPECT_EQ(a.model.pi()[s], b.model.pi()[s]) << label << ": pi[" << s
+                                                << "]";
+  }
+  ASSERT_EQ(a.stats.log_likelihood_curve.size(),
+            b.stats.log_likelihood_curve.size())
+      << label;
+  for (size_t i = 0; i < a.stats.log_likelihood_curve.size(); ++i) {
+    EXPECT_EQ(a.stats.log_likelihood_curve[i],
+              b.stats.log_likelihood_curve[i])
+        << label << ": ll[" << i << "]";
+  }
+}
+
+TEST(ParallelBaumWelchTest, ThreadCountDoesNotChangeTheModel) {
+  const auto corpus = SampleCorpus(80, 30);  // 80 sequences -> 16 shards
+  const TrainedRun serial = TrainWith(1, corpus);
+  ExpectBitIdentical(serial, TrainWith(2, corpus), "2 threads");
+  ExpectBitIdentical(serial, TrainWith(4, corpus), "4 threads");
+}
+
+TEST(ParallelBaumWelchTest, HardwareConcurrencyDefaultMatchesSerial) {
+  const auto corpus = SampleCorpus(40, 20);
+  const TrainedRun serial = TrainWith(1, corpus);
+  ExpectBitIdentical(serial, TrainWith(0, corpus), "hardware threads");
+}
+
+TEST(ParallelBaumWelchTest, ExternalPoolMatchesSerial) {
+  const auto corpus = SampleCorpus(50, 25);
+  const TrainedRun serial = TrainWith(1, corpus);
+
+  util::ThreadPool pool(4);
+  util::Rng rng(99);
+  TrainedRun pooled;
+  pooled.model = HmmModel::Random(3, 4, rng);
+  TrainOptions options;
+  options.max_iterations = 8;
+  options.tolerance = 0.0;
+  auto stats = BaumWelchTrain(&pooled.model, corpus, options, &pool);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  pooled.stats = std::move(stats).value();
+  ExpectBitIdentical(serial, pooled, "external pool");
+}
+
+TEST(ParallelBaumWelchTest, SmallCorpusFewerSequencesThanShards) {
+  const auto corpus = SampleCorpus(3, 40);  // fewer sequences than shards
+  const TrainedRun serial = TrainWith(1, corpus);
+  ExpectBitIdentical(serial, TrainWith(4, corpus), "tiny corpus");
+}
+
+TEST(ParallelBaumWelchTest, ParallelTrainingStillImprovesLikelihood) {
+  const auto corpus = SampleCorpus(60, 25);
+  const TrainedRun run = TrainWith(4, corpus);
+  const auto& curve = run.stats.log_likelihood_curve;
+  ASSERT_GE(curve.size(), 2u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1] - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace adprom::hmm

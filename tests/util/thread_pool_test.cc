@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace adprom::util {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted — must not hang
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks rendezvous: each blocks until both have started, which can
+  // only happen if the pool really runs them on separate threads.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++started;
+    cv.notify_all();
+    cv.wait(lock, [&] { return started == 2; });
+  };
+  pool.Submit(rendezvous);
+  pool.Submit(rendezvous);
+  pool.Wait();
+  EXPECT_EQ(started, 2);
+}
+
+TEST(ResolveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_EQ(ResolveThreadCount(0), ThreadPool::DefaultConcurrency());
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+}
+
+TEST(ResolveThreadCountTest, ExplicitAndNegativeValues) {
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(-4), 1u);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](size_t) { ++calls; });
+  ParallelFor(nullptr, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleItem) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1, 0);
+  ParallelFor(&pool, 1, [&](size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, MoreItemsThanWorkersHitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(&pool, kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    ParallelFor(&pool, 37, [&](size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 37u * 36u / 2u);
+  }
+}
+
+TEST(ParallelForTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(&pool, 3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace adprom::util

@@ -134,6 +134,16 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
   if (args.Has("--seed")) {
     options.seed = std::strtoull(args.Get("--seed").c_str(), nullptr, 10);
   }
+  if (args.Has("--threads")) {
+    const std::string& value = args.Get("--threads");
+    char* end = nullptr;
+    const long threads = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || threads < 0) {
+      return util::Status::InvalidArgument(
+          "--threads must be a number >= 0 (0 = all hardware threads)");
+    }
+    options.train.num_threads = static_cast<int>(threads);
+  }
   return std::move(options);
 }
 
@@ -174,7 +184,8 @@ util::Status CmdTrain(const ParsedArgs& args, std::ostream& out) {
       !args.Has("--out")) {
     return util::Status::InvalidArgument(
         "usage: adprom train <app.mini> [--db seed.sql] --cases cases.txt"
-        " --out app.profile [--window N] [--no-labels] [--signatures]");
+        " --out app.profile [--window N] [--no-labels] [--signatures]"
+        " [--threads N]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));

@@ -17,8 +17,10 @@ namespace adprom::cli {
 ///
 ///   adprom train <app.mini> --db seed.sql --cases cases.txt
 ///                --out app.profile [--window N] [--no-labels]
-///                [--signatures] [--seed S]
-///       Full training phase; writes the serialized profile.
+///                [--signatures] [--seed S] [--threads N]
+///       Full training phase; writes the serialized profile. --threads
+///       fans the Baum-Welch E-step across N workers (0 = all hardware
+///       threads); the trained profile is bit-identical for every N.
 ///
 ///   adprom trace <app.mini> --db seed.sql --input a,b,c --out run.trace
 ///       Runs the app once under the Calls Collector; writes the trace.
