@@ -1,0 +1,200 @@
+// Wall-time of the static analysis passes over the CA + SIR corpus: the
+// legacy flow-insensitive taint pass vs the flow-sensitive dataflow
+// framework (serial and pooled), reaching definitions, liveness, and the
+// full `adprom lint` vetter. Also reports the labeled-sink counts of the
+// two taint passes — the delta is the spurious labels the strong updates
+// remove.
+//
+// Machine-readable results are written to BENCH_analysis.json at the
+// repository root (override with --json <path>).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow/flow_graph.h"
+#include "analysis/dataflow/lint.h"
+#include "analysis/dataflow/liveness.h"
+#include "analysis/dataflow/reaching_defs.h"
+#include "analysis/dataflow/taint_flow.h"
+#include "analysis/taint.h"
+#include "apps/corpus.h"
+#include "prog/program.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+#ifndef ADPROM_SOURCE_DIR
+#define ADPROM_SOURCE_DIR "."
+#endif
+
+namespace adprom::bench {
+namespace {
+
+std::string Num(double v) { return util::StrFormat("%.6g", v); }
+
+struct AppResult {
+  std::string name;
+  size_t functions = 0;
+  size_t call_sites = 0;
+  double fi_taint_ms = 0.0;
+  double fs_taint_ms = 0.0;
+  double fs_taint_pooled_ms = 0.0;
+  double reaching_defs_ms = 0.0;
+  double liveness_ms = 0.0;
+  double lint_ms = 0.0;
+  size_t fi_labeled_sinks = 0;
+  size_t fs_labeled_sinks = 0;
+  size_t lint_findings = 0;
+};
+
+/// Runs `body` `repeats` times and returns the mean wall time in ms.
+template <typename Fn>
+double TimeMs(size_t repeats, const Fn& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < repeats; ++i) body();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return seconds * 1e3 / static_cast<double>(repeats);
+}
+
+AppResult BenchApp(const apps::CorpusApp& app, size_t repeats,
+                   util::ThreadPool* pool) {
+  auto parsed = prog::ParseProgram(app.source);
+  ADPROM_CHECK_MSG(parsed.ok(), app.name + ": " + parsed.status().ToString());
+  const prog::Program program = std::move(parsed).value();
+  const analysis::TaintConfig config = analysis::TaintConfig::Default();
+
+  AppResult result;
+  result.name = app.name;
+  result.functions = program.functions().size();
+
+  result.fi_taint_ms = TimeMs(repeats, [&] {
+    auto taint = analysis::RunTaintAnalysis(program, config);
+    ADPROM_CHECK(taint.ok());
+    result.fi_labeled_sinks = taint->labeled_sinks.size();
+  });
+  result.fs_taint_ms = TimeMs(repeats, [&] {
+    auto taint =
+        analysis::dataflow::RunFlowSensitiveTaint(program, config, nullptr);
+    ADPROM_CHECK(taint.ok());
+    result.fs_labeled_sinks = taint->labeled_sinks.size();
+  });
+  result.fs_taint_pooled_ms = TimeMs(repeats, [&] {
+    auto taint =
+        analysis::dataflow::RunFlowSensitiveTaint(program, config, pool);
+    ADPROM_CHECK(taint.ok());
+  });
+  result.reaching_defs_ms = TimeMs(repeats, [&] {
+    for (const prog::FunctionDef& fn : program.functions()) {
+      const auto graph = analysis::dataflow::FlowGraph::Build(fn);
+      analysis::dataflow::ComputeReachingDefs(graph, fn.params);
+    }
+  });
+  result.liveness_ms = TimeMs(repeats, [&] {
+    for (const prog::FunctionDef& fn : program.functions()) {
+      const auto graph = analysis::dataflow::FlowGraph::Build(fn);
+      analysis::dataflow::ComputeLiveness(graph);
+    }
+  });
+  result.lint_ms = TimeMs(repeats, [&] {
+    auto report = analysis::dataflow::RunLint(program);
+    ADPROM_CHECK(report.ok());
+    result.lint_findings = report->findings.size();
+  });
+
+  size_t sites = 0;
+  for (const prog::FunctionDef& fn : program.functions()) {
+    const auto graph = analysis::dataflow::FlowGraph::Build(fn);
+    for (const auto& node : graph.nodes()) sites += node.expr != nullptr;
+  }
+  result.call_sites = sites;
+  return result;
+}
+
+void WriteJson(const std::vector<AppResult>& results,
+               const std::string& json_path) {
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"bench\": \"bench_analysis_passes\",\n";
+  json << "  \"hardware_concurrency\": "
+       << util::ThreadPool::DefaultConcurrency() << ",\n";
+  json << "  \"apps\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const AppResult& r = results[i];
+    json << "    {\"name\": \"" << r.name << "\""
+         << ", \"functions\": " << r.functions
+         << ", \"fi_taint_ms\": " << Num(r.fi_taint_ms)
+         << ", \"fs_taint_ms\": " << Num(r.fs_taint_ms)
+         << ", \"fs_taint_pooled_ms\": " << Num(r.fs_taint_pooled_ms)
+         << ", \"reaching_defs_ms\": " << Num(r.reaching_defs_ms)
+         << ", \"liveness_ms\": " << Num(r.liveness_ms)
+         << ", \"lint_ms\": " << Num(r.lint_ms)
+         << ", \"fi_labeled_sinks\": " << r.fi_labeled_sinks
+         << ", \"fs_labeled_sinks\": " << r.fs_labeled_sinks
+         << ", \"lint_findings\": " << r.lint_findings << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+
+  std::ofstream out(json_path, std::ios::binary);
+  if (out) {
+    out << json.str();
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::printf("\nWARNING: cannot write %s\n", json_path.c_str());
+  }
+}
+
+void Run(const std::string& json_path) {
+  std::printf("\n=== Static analysis pass wall time (ms/run) ===\n\n");
+  const size_t repeats = 10;
+  util::ThreadPool pool(util::ThreadPool::DefaultConcurrency());
+  const std::vector<apps::CorpusApp> corpus = {
+      apps::MakeHospitalApp(), apps::MakeBankingApp(),
+      apps::MakeSupermarketApp(), apps::MakeGrepLike(),
+      apps::MakeGzipLike(),    apps::MakeSedLike(),
+      apps::MakeBashLike(),
+  };
+
+  std::vector<AppResult> results;
+  util::TablePrinter table({"app", "fns", "FI taint", "FS taint",
+                            "FS pooled", "reach-defs", "liveness", "lint",
+                            "FI/FS sinks", "findings"});
+  for (const apps::CorpusApp& app : corpus) {
+    AppResult r = BenchApp(app, repeats, &pool);
+    table.AddRow({r.name, std::to_string(r.functions), Num(r.fi_taint_ms),
+                  Num(r.fs_taint_ms), Num(r.fs_taint_pooled_ms),
+                  Num(r.reaching_defs_ms), Num(r.liveness_ms), Num(r.lint_ms),
+                  std::to_string(r.fi_labeled_sinks) + "/" +
+                      std::to_string(r.fs_labeled_sinks),
+                  std::to_string(r.lint_findings)});
+    results.push_back(std::move(r));
+  }
+  table.Print();
+  WriteJson(results, json_path);
+}
+
+}  // namespace
+}  // namespace adprom::bench
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      std::string(ADPROM_SOURCE_DIR) + "/BENCH_analysis.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    }
+  }
+  adprom::bench::Run(json_path);
+  return 0;
+}

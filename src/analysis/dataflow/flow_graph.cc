@@ -1,0 +1,189 @@
+#include "analysis/dataflow/flow_graph.h"
+
+#include <utility>
+
+namespace adprom::analysis::dataflow {
+
+/// Lowers a function body into a FlowGraph. Mirrors prog::CfgBuilder's
+/// handling of structured control flow, but at statement granularity.
+class FlowGraphBuilder {
+ public:
+  explicit FlowGraphBuilder(const prog::FunctionDef& fn) : fn_(fn) {}
+
+  FlowGraph Build() {
+    graph_.function_name_ = fn_.name;
+    graph_.entry_id_ = NewNode(FlowOp::kEntry, nullptr);
+    graph_.exit_id_ = NewNode(FlowOp::kExit, nullptr);
+    const BodyEnd end = VisitBody(fn_.body, graph_.entry_id_);
+    if (!end.terminated) AddEdge(end.node, graph_.exit_id_);
+    return std::move(graph_);
+  }
+
+ private:
+  /// Node control ends in after lowering a statement list, and whether
+  /// control already left via `return`.
+  struct BodyEnd {
+    int node;
+    bool terminated;
+  };
+
+  int NewNode(FlowOp op, const prog::Stmt* stmt) {
+    const int id = static_cast<int>(graph_.nodes_.size());
+    FlowNode node;
+    node.id = id;
+    node.op = op;
+    node.stmt = stmt;
+    if (stmt != nullptr) {
+      node.expr = stmt->expr.get();
+      node.line = stmt->line;
+    }
+    graph_.nodes_.push_back(std::move(node));
+    return id;
+  }
+
+  void AddEdge(int from, int to) {
+    graph_.nodes_[static_cast<size_t>(from)].succs.push_back(to);
+    graph_.nodes_[static_cast<size_t>(to)].preds.push_back(from);
+  }
+
+  BodyEnd VisitBody(const prog::StmtList& body, int cur) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      const BodyEnd end = VisitStmt(*body[i], cur);
+      if (end.terminated) {
+        if (i + 1 < body.size()) {
+          graph_.unreachable_lines_.push_back(body[i + 1]->line);
+        }
+        return end;
+      }
+      cur = end.node;
+    }
+    return {cur, false};
+  }
+
+  BodyEnd VisitStmt(const prog::Stmt& s, int cur) {
+    switch (s.kind) {
+      case prog::StmtKind::kVarDecl:
+      case prog::StmtKind::kAssign: {
+        const int node = NewNode(FlowOp::kDef, &s);
+        graph_.nodes_[static_cast<size_t>(node)].def = s.target;
+        graph_.nodes_[static_cast<size_t>(node)].is_decl =
+            s.kind == prog::StmtKind::kVarDecl;
+        AddEdge(cur, node);
+        return {node, false};
+      }
+      case prog::StmtKind::kExpr: {
+        const int node = NewNode(FlowOp::kEval, &s);
+        AddEdge(cur, node);
+        return {node, false};
+      }
+      case prog::StmtKind::kReturn: {
+        const int node = NewNode(FlowOp::kReturn, &s);
+        AddEdge(cur, node);
+        AddEdge(node, graph_.exit_id_);
+        return {node, true};
+      }
+      case prog::StmtKind::kIf: {
+        const int cond = NewNode(FlowOp::kBranch, &s);
+        AddEdge(cur, cond);
+        const BodyEnd then_end = VisitBody(s.then_body, cond);
+        if (s.else_body.empty()) {
+          const int merge = NewNode(FlowOp::kJoin, nullptr);
+          AddEdge(cond, merge);  // The fall-through (condition false) edge.
+          if (!then_end.terminated) AddEdge(then_end.node, merge);
+          return {merge, false};
+        }
+        const BodyEnd else_end = VisitBody(s.else_body, cond);
+        if (then_end.terminated && else_end.terminated) {
+          return {cond, true};
+        }
+        const int merge = NewNode(FlowOp::kJoin, nullptr);
+        if (!then_end.terminated) AddEdge(then_end.node, merge);
+        if (!else_end.terminated) AddEdge(else_end.node, merge);
+        return {merge, false};
+      }
+      case prog::StmtKind::kWhile: {
+        const int header = NewNode(FlowOp::kJoin, nullptr);
+        AddEdge(cur, header);
+        const int cond = NewNode(FlowOp::kBranch, &s);
+        AddEdge(header, cond);
+        const int after = NewNode(FlowOp::kJoin, nullptr);
+        const BodyEnd body_end = VisitBody(s.then_body, cond);
+        AddEdge(cond, after);
+        if (!body_end.terminated) AddEdge(body_end.node, header);
+        return {after, false};
+      }
+    }
+    return {cur, false};
+  }
+
+  const prog::FunctionDef& fn_;
+  FlowGraph graph_;
+};
+
+FlowGraph FlowGraph::Build(const prog::FunctionDef& fn) {
+  FlowGraphBuilder builder(fn);
+  return builder.Build();
+}
+
+std::vector<int> FlowGraph::DepthFirstOrder(int start, bool backward) const {
+  const size_t n = nodes_.size();
+  std::vector<char> visited(n, 0);
+  std::vector<int> post;
+  post.reserve(n);
+  std::vector<std::pair<int, size_t>> stack;
+  stack.push_back({start, 0});
+  visited[static_cast<size_t>(start)] = 1;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    const std::vector<int>& edges =
+        backward ? nodes_[static_cast<size_t>(id)].preds
+                 : nodes_[static_cast<size_t>(id)].succs;
+    if (next < edges.size()) {
+      const int to = edges[next++];
+      if (!visited[static_cast<size_t>(to)]) {
+        visited[static_cast<size_t>(to)] = 1;
+        stack.push_back({to, 0});
+      }
+      continue;
+    }
+    post.push_back(id);
+    stack.pop_back();
+  }
+  std::vector<int> order(post.rbegin(), post.rend());
+  for (size_t i = 0; i < n; ++i) {
+    if (!visited[i]) order.push_back(static_cast<int>(i));
+  }
+  return order;
+}
+
+std::vector<int> FlowGraph::ReversePostOrder() const {
+  return DepthFirstOrder(entry_id_, /*backward=*/false);
+}
+
+std::vector<int> FlowGraph::BackwardReversePostOrder() const {
+  return DepthFirstOrder(exit_id_, /*backward=*/true);
+}
+
+void CollectVarReads(const prog::Expr& e, std::vector<std::string>* out) {
+  switch (e.kind) {
+    case prog::ExprKind::kIntLit:
+    case prog::ExprKind::kRealLit:
+    case prog::ExprKind::kStrLit:
+      return;
+    case prog::ExprKind::kVar:
+      out->push_back(e.name);
+      return;
+    case prog::ExprKind::kBinary:
+      CollectVarReads(*e.lhs, out);
+      CollectVarReads(*e.rhs, out);
+      return;
+    case prog::ExprKind::kUnary:
+      CollectVarReads(*e.lhs, out);
+      return;
+    case prog::ExprKind::kCall:
+      for (const auto& arg : e.args) CollectVarReads(*arg, out);
+      return;
+  }
+}
+
+}  // namespace adprom::analysis::dataflow

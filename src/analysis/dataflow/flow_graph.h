@@ -1,0 +1,88 @@
+#ifndef ADPROM_ANALYSIS_DATAFLOW_FLOW_GRAPH_H_
+#define ADPROM_ANALYSIS_DATAFLOW_FLOW_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "prog/ast.h"
+
+namespace adprom::analysis::dataflow {
+
+/// The operation a flow node performs. Structural nodes (entry/exit/join)
+/// have no effect; the rest evaluate `expr` and, for kDef, write `def`.
+enum class FlowOp {
+  kEntry,   // function entry; binds the parameters
+  kExit,    // function exit
+  kJoin,    // control-flow merge point, no effect
+  kDef,     // `var x = e;` or `x = e;` — evaluates expr, writes def
+  kBranch,  // `if`/`while` condition evaluation
+  kReturn,  // `return [e];`
+  kEval,    // expression statement
+};
+
+/// One node of the statement-level control-flow graph the dataflow solver
+/// iterates over. Unlike `prog::Cfg` (whose node ids are the paper's
+/// `[bid]` block labels and therefore frozen), this graph gives every
+/// statement its own node so transfer functions can model strong updates.
+struct FlowNode {
+  int id = -1;
+  FlowOp op = FlowOp::kJoin;
+  const prog::Stmt* stmt = nullptr;  // source statement (null = structural)
+  const prog::Expr* expr = nullptr;  // evaluated expression (nullable)
+  std::string def;                   // kDef: the variable written
+  bool is_decl = false;              // kDef: `var x = e` vs `x = e`
+  int line = 0;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// Statement-level CFG of one function. Construction cannot fail (the AST
+/// is structured by construction) and does not require a finalized
+/// program, so analyses can run on hand-built ASTs in tests.
+class FlowGraph {
+ public:
+  /// Builds the graph of `fn`. Statements that can never execute (code
+  /// after a `return`, or after an `if` whose branches both return) are
+  /// not lowered; their lines are reported via `unreachable_lines()`.
+  static FlowGraph Build(const prog::FunctionDef& fn);
+
+  const std::string& function_name() const { return function_name_; }
+  int entry_id() const { return entry_id_; }
+  int exit_id() const { return exit_id_; }
+  const std::vector<FlowNode>& nodes() const { return nodes_; }
+  const FlowNode& node(int id) const { return nodes_[static_cast<size_t>(id)]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// First line of each statically unreachable statement region.
+  const std::vector<int>& unreachable_lines() const {
+    return unreachable_lines_;
+  }
+
+  /// Reverse post-order over successor edges from the entry — the forward
+  /// solver's iteration order. Deterministic; nodes unreachable from the
+  /// entry (none for graphs this builder produces) append in id order.
+  std::vector<int> ReversePostOrder() const;
+
+  /// Reverse post-order over predecessor edges from the exit — the
+  /// backward solver's iteration order.
+  std::vector<int> BackwardReversePostOrder() const;
+
+ private:
+  friend class FlowGraphBuilder;
+
+  std::vector<int> DepthFirstOrder(int start, bool backward) const;
+
+  std::string function_name_;
+  int entry_id_ = -1;
+  int exit_id_ = -1;
+  std::vector<FlowNode> nodes_;
+  std::vector<int> unreachable_lines_;
+};
+
+/// Collects the names of every variable read by `e`, in evaluation order
+/// (duplicates preserved; callers dedup as needed).
+void CollectVarReads(const prog::Expr& e, std::vector<std::string>* out);
+
+}  // namespace adprom::analysis::dataflow
+
+#endif  // ADPROM_ANALYSIS_DATAFLOW_FLOW_GRAPH_H_

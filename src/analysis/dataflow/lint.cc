@@ -1,0 +1,191 @@
+#include "analysis/dataflow/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "analysis/dataflow/flow_graph.h"
+#include "analysis/dataflow/liveness.h"
+#include "analysis/dataflow/reaching_defs.h"
+#include "analysis/dataflow/taint_flow.h"
+#include "util/strings.h"
+
+namespace adprom::analysis::dataflow {
+
+namespace {
+
+/// Call sites the exfil check watches: output channels that move data out
+/// of the process (as opposed to the interactive screen).
+const std::set<std::string>& ExfilCalls() {
+  static const std::set<std::string> kCalls = {"send_net", "send_file",
+                                               "write_file", "fprint"};
+  return kCalls;
+}
+
+struct SiteInfo {
+  std::string function;
+  std::string callee;
+  int line = 0;
+};
+
+void IndexCallSites(const prog::FunctionDef& fn, const prog::StmtList& body,
+                    std::map<int, SiteInfo>* out) {
+  for (const auto& stmt : body) {
+    if (stmt->expr != nullptr) {
+      std::vector<const prog::Expr*> calls;
+      prog::CollectCalls(*stmt->expr, &calls);
+      for (const prog::Expr* call : calls) {
+        (*out)[call->call_site_id] = {fn.name, call->name, call->line};
+      }
+    }
+    IndexCallSites(fn, stmt->then_body, out);
+    IndexCallSites(fn, stmt->else_body, out);
+  }
+}
+
+void CheckInjection(const prog::Program& program, const LintOptions& options,
+                    const std::map<int, SiteInfo>& sites,
+                    std::vector<LintFinding>* findings) {
+  TaintFlowOptions taint_options;
+  taint_options.config.source_calls = {"scan"};
+  taint_options.config.sink_calls = {"db_query"};
+  taint_options.sanitizer_calls = options.sanitizer_calls;
+  taint_options.track_concat_builds = true;
+  taint_options.pool = options.pool;
+  auto result = RunTaintFlowAnalysis(program, taint_options);
+  if (!result.ok()) return;  // RunLint validated the program already.
+
+  for (const auto& [site, builds] : result->sink_concat_builds) {
+    // Flag only queries that both carry unsanitized user input and were
+    // assembled by incremental concatenation — the Fig. 2 pattern that
+    // distinguishes App_b's find_client from parameterized-style
+    // single-expression construction.
+    auto labeled = result->taint.labeled_sinks.find(site);
+    if (labeled == result->taint.labeled_sinks.end() ||
+        labeled->second.empty()) {
+      continue;
+    }
+    const SiteInfo& info = sites.at(site);
+    std::string built_at;
+    for (int idx : builds) {
+      const ConcatBuildSite& build =
+          result->concat_sites[static_cast<size_t>(idx)];
+      built_at += util::StrFormat("%s'%s' at line %d",
+                                  built_at.empty() ? "" : ", ",
+                                  build.variable.c_str(), build.line);
+    }
+    findings->push_back(
+        {"sql-injection", info.function, info.line,
+         util::StrFormat("db_query receives a query concatenated from "
+                         "unsanitized user input (built via %s)",
+                         built_at.c_str())});
+  }
+}
+
+void CheckExfil(const prog::Program& program, const LintOptions& options,
+                const std::map<int, SiteInfo>& sites,
+                std::vector<LintFinding>* findings) {
+  TaintFlowOptions taint_options;
+  taint_options.config.source_calls = options.monitored.source_calls;
+  taint_options.config.sink_calls.clear();
+  for (const std::string& call : ExfilCalls()) {
+    if (options.monitored.sink_calls.count(call) == 0) {
+      taint_options.config.sink_calls.insert(call);
+    }
+  }
+  if (taint_options.config.sink_calls.empty()) return;
+  taint_options.pool = options.pool;
+  auto result = RunTaintFlowAnalysis(program, taint_options);
+  if (!result.ok()) return;
+
+  for (const auto& [site, sources] : result->taint.labeled_sinks) {
+    if (sources.empty()) continue;
+    const SiteInfo& info = sites.at(site);
+    findings->push_back(
+        {"unlabeled-exfil", info.function, info.line,
+         util::StrFormat("DB data flows into '%s', which is outside the "
+                         "monitored sink set — the monitor would not label "
+                         "this output",
+                         info.callee.c_str())});
+  }
+}
+
+}  // namespace
+
+std::string LintReport::Format(const std::string& file_label) const {
+  std::string out;
+  for (const LintFinding& finding : findings) {
+    out += util::StrFormat("%s:%d: [%s] %s (in %s)\n", file_label.c_str(),
+                           finding.line, finding.category.c_str(),
+                           finding.message.c_str(),
+                           finding.function.c_str());
+  }
+  out += util::StrFormat("%zu finding%s across %zu function%s\n",
+                         findings.size(), findings.size() == 1 ? "" : "s",
+                         functions_checked, functions_checked == 1 ? "" : "s");
+  return out;
+}
+
+util::Result<LintReport> RunLint(const prog::Program& program,
+                                 const LintOptions& options) {
+  if (!program.finalized()) {
+    return util::Status::FailedPrecondition(
+        "program must be finalized before linting");
+  }
+  LintReport report;
+  report.functions_checked = program.functions().size();
+
+  std::map<int, SiteInfo> sites;
+  for (const prog::FunctionDef& fn : program.functions()) {
+    IndexCallSites(fn, fn.body, &sites);
+  }
+
+  // Per-function structural checks.
+  for (const prog::FunctionDef& fn : program.functions()) {
+    const FlowGraph graph = FlowGraph::Build(fn);
+    if (options.check_unreachable) {
+      for (int line : graph.unreachable_lines()) {
+        report.findings.push_back({"unreachable", fn.name, line,
+                                   "statement can never execute"});
+      }
+    }
+    if (options.check_uninitialized) {
+      const ReachingDefsResult defs = ComputeReachingDefs(graph, fn.params);
+      for (const auto& use : defs.maybe_uninit) {
+        report.findings.push_back(
+            {"maybe-uninit", fn.name, use.line,
+             util::StrFormat("variable '%s' may be read before it is "
+                             "assigned",
+                             use.variable.c_str())});
+      }
+    }
+    if (options.check_dead_stores) {
+      const LivenessResult live = ComputeLiveness(graph);
+      for (const auto& store : live.dead_stores) {
+        if (store.rhs_has_call) continue;  // The statement still has effects.
+        report.findings.push_back(
+            {"dead-store", fn.name, store.line,
+             util::StrFormat("value stored to '%s' is never read",
+                             store.variable.c_str())});
+      }
+    }
+  }
+
+  // Whole-program taint checks.
+  if (options.check_injection) {
+    CheckInjection(program, options, sites, &report.findings);
+  }
+  if (options.check_exfil) {
+    CheckExfil(program, options, sites, &report.findings);
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              return std::tie(a.line, a.category, a.function, a.message) <
+                     std::tie(b.line, b.category, b.function, b.message);
+            });
+  return std::move(report);
+}
+
+}  // namespace adprom::analysis::dataflow

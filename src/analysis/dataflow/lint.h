@@ -1,0 +1,55 @@
+#ifndef ADPROM_ANALYSIS_DATAFLOW_LINT_H_
+#define ADPROM_ANALYSIS_DATAFLOW_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/taint.h"
+#include "prog/program.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace adprom::analysis::dataflow {
+
+/// Static vetting of a MiniApp program before deployment (`adprom lint`).
+/// Complements the run-time monitor: the App_b-style concatenated-query
+/// injection is caught here before the program ever reaches a database.
+struct LintOptions {
+  /// The source/sink sets the deployed monitor labels with; the exfil
+  /// check reports taint reaching an output channel *outside* this sink
+  /// set (data the monitor would never label).
+  TaintConfig monitored = TaintConfig::Default();
+  /// Calls treated as neutralizing user input for the injection check.
+  std::set<std::string> sanitizer_calls = {"to_int", "to_real", "len",
+                                           "is_null"};
+  bool check_injection = true;
+  bool check_uninitialized = true;
+  bool check_unreachable = true;
+  bool check_dead_stores = true;
+  bool check_exfil = true;
+  util::ThreadPool* pool = nullptr;
+};
+
+struct LintFinding {
+  std::string category;  // sql-injection, maybe-uninit, unreachable, ...
+  std::string function;
+  int line = 0;
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;  // sorted by line, category
+  size_t functions_checked = 0;
+
+  /// One diagnostic per line: "<file>:<line>: [category] message (in fn)".
+  std::string Format(const std::string& file_label) const;
+};
+
+/// Runs every enabled check. Requires a finalized program.
+util::Result<LintReport> RunLint(const prog::Program& program,
+                                 const LintOptions& options = {});
+
+}  // namespace adprom::analysis::dataflow
+
+#endif  // ADPROM_ANALYSIS_DATAFLOW_LINT_H_

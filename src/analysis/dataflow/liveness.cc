@@ -1,0 +1,71 @@
+#include "analysis/dataflow/liveness.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/dataflow/solver.h"
+
+namespace adprom::analysis::dataflow {
+
+namespace {
+
+class LivenessClient {
+ public:
+  using Domain = std::set<std::string>;
+
+  Domain Boundary() const { return {}; }
+
+  void Join(Domain* into, const Domain& from) const {
+    into->insert(from.begin(), from.end());
+  }
+
+  /// Backward transfer: live-before = (live-after \ def) ∪ uses.
+  Domain Transfer(const FlowNode& node, const Domain& after) const {
+    Domain before = after;
+    if (node.op == FlowOp::kDef) before.erase(node.def);
+    if (node.expr != nullptr) {
+      std::vector<std::string> reads;
+      CollectVarReads(*node.expr, &reads);
+      before.insert(reads.begin(), reads.end());
+    }
+    return before;
+  }
+};
+
+bool HasCall(const prog::Expr& e) {
+  std::vector<const prog::Expr*> calls;
+  prog::CollectCalls(e, &calls);
+  return !calls.empty();
+}
+
+}  // namespace
+
+LivenessResult ComputeLiveness(const FlowGraph& graph) {
+  LivenessClient client;
+  const SolveResult<LivenessClient> solved =
+      Solve(graph, Direction::kBackward, &client);
+
+  LivenessResult result;
+  result.live_out.reserve(solved.states.size());
+  for (const auto& states : solved.states) {
+    // In the backward solve the iteration "in" is the state at the
+    // node's exit — exactly live-out.
+    result.live_out.push_back(states.in);
+  }
+
+  for (const FlowNode& node : graph.nodes()) {
+    if (node.op != FlowOp::kDef) continue;
+    if (result.live_out[static_cast<size_t>(node.id)].count(node.def) > 0) {
+      continue;
+    }
+    result.dead_stores.push_back(
+        {node.def, node.line, node.expr != nullptr && HasCall(*node.expr)});
+  }
+  std::sort(result.dead_stores.begin(), result.dead_stores.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.line, a.variable) < std::tie(b.line, b.variable);
+            });
+  return result;
+}
+
+}  // namespace adprom::analysis::dataflow

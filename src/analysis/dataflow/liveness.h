@@ -1,0 +1,34 @@
+#ifndef ADPROM_ANALYSIS_DATAFLOW_LIVENESS_H_
+#define ADPROM_ANALYSIS_DATAFLOW_LIVENESS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow/flow_graph.h"
+
+namespace adprom::analysis::dataflow {
+
+/// Backward live-variable analysis over one function.
+struct LivenessResult {
+  /// Per FlowNode id: variables whose value may still be read after the
+  /// node executes.
+  std::vector<std::set<std::string>> live_out;
+
+  /// A kDef node whose target is not live-out: the stored value is never
+  /// read. `rhs_has_call` marks stores whose right-hand side performs
+  /// calls — the store is still dead, but the statement has effects, so
+  /// the vetter does not report it.
+  struct DeadStore {
+    std::string variable;
+    int line = 0;
+    bool rhs_has_call = false;
+  };
+  std::vector<DeadStore> dead_stores;
+};
+
+LivenessResult ComputeLiveness(const FlowGraph& graph);
+
+}  // namespace adprom::analysis::dataflow
+
+#endif  // ADPROM_ANALYSIS_DATAFLOW_LIVENESS_H_

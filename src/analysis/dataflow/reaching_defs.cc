@@ -1,0 +1,91 @@
+#include "analysis/dataflow/reaching_defs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/dataflow/solver.h"
+
+namespace adprom::analysis::dataflow {
+
+namespace {
+
+/// Gen/kill client: a kDef node replaces the variable's definition set
+/// with {node.id}; every other node is the identity.
+class ReachingDefsClient {
+ public:
+  using Domain = std::map<std::string, std::set<int>>;
+
+  ReachingDefsClient(const FlowGraph& graph,
+                     const std::vector<std::string>& params) {
+    // The variable universe must be seeded at the entry so a path that
+    // never defines a variable still contributes kUninitDef at joins.
+    for (const FlowNode& node : graph.nodes()) {
+      if (node.op == FlowOp::kDef) boundary_[node.def] = {kUninitDef};
+      if (node.expr != nullptr) {
+        std::vector<std::string> reads;
+        CollectVarReads(*node.expr, &reads);
+        for (std::string& name : reads) {
+          boundary_.emplace(std::move(name), std::set<int>{kUninitDef});
+        }
+      }
+    }
+    for (const std::string& param : params) {
+      boundary_[param] = {kParamDef};
+    }
+  }
+
+  Domain Boundary() const { return boundary_; }
+
+  void Join(Domain* into, const Domain& from) const {
+    for (const auto& [var, defs] : from) {
+      (*into)[var].insert(defs.begin(), defs.end());
+    }
+  }
+
+  Domain Transfer(const FlowNode& node, const Domain& in) const {
+    if (node.op != FlowOp::kDef) return in;
+    Domain out = in;
+    out[node.def] = {node.id};
+    return out;
+  }
+
+ private:
+  Domain boundary_;
+};
+
+}  // namespace
+
+ReachingDefsResult ComputeReachingDefs(
+    const FlowGraph& graph, const std::vector<std::string>& params) {
+  ReachingDefsClient client(graph, params);
+  const SolveResult<ReachingDefsClient> solved =
+      Solve(graph, Direction::kForward, &client);
+
+  ReachingDefsResult result;
+  result.in_states.reserve(solved.states.size());
+  for (const auto& states : solved.states) {
+    result.in_states.push_back(states.in);
+  }
+
+  std::set<std::pair<std::string, int>> reported;
+  for (const FlowNode& node : graph.nodes()) {
+    if (node.expr == nullptr) continue;
+    std::vector<std::string> reads;
+    CollectVarReads(*node.expr, &reads);
+    const auto& in = result.in_states[static_cast<size_t>(node.id)];
+    for (const std::string& var : reads) {
+      auto it = in.find(var);
+      const bool uninit = it == in.end() || it->second.count(kUninitDef) > 0;
+      if (uninit && reported.insert({var, node.line}).second) {
+        result.maybe_uninit.push_back({var, node.line});
+      }
+    }
+  }
+  std::sort(result.maybe_uninit.begin(), result.maybe_uninit.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.line, a.variable) < std::tie(b.line, b.variable);
+            });
+  return result;
+}
+
+}  // namespace adprom::analysis::dataflow

@@ -1,0 +1,42 @@
+#ifndef ADPROM_ANALYSIS_DATAFLOW_REACHING_DEFS_H_
+#define ADPROM_ANALYSIS_DATAFLOW_REACHING_DEFS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow/flow_graph.h"
+
+namespace adprom::analysis::dataflow {
+
+/// Pseudo-definition ids used alongside real FlowNode ids.
+inline constexpr int kParamDef = -1;  // bound at function entry
+inline constexpr int kUninitDef = -2; // no definition on some path
+
+/// Forward reaching-definitions over one function: which definitions
+/// (FlowNode ids of kDef nodes, or the pseudo-defs above) may produce the
+/// value of each variable at each program point.
+struct ReachingDefsResult {
+  /// Per FlowNode id: variable -> reaching definition ids at node entry.
+  std::vector<std::map<std::string, std::set<int>>> in_states;
+
+  /// A variable read whose reaching definitions include kUninitDef —
+  /// i.e. some path reaches the read without ever assigning the variable.
+  /// MiniApp's scope checker rejects such programs, so on checked
+  /// programs this is empty; it exists as defense in depth for ASTs
+  /// built programmatically (mutators, generators).
+  struct MaybeUninitUse {
+    std::string variable;
+    int line = 0;
+  };
+  std::vector<MaybeUninitUse> maybe_uninit;
+};
+
+/// Runs the analysis on `graph` for a function with `params`.
+ReachingDefsResult ComputeReachingDefs(const FlowGraph& graph,
+                                       const std::vector<std::string>& params);
+
+}  // namespace adprom::analysis::dataflow
+
+#endif  // ADPROM_ANALYSIS_DATAFLOW_REACHING_DEFS_H_

@@ -1,0 +1,100 @@
+#ifndef ADPROM_ANALYSIS_DATAFLOW_SOLVER_H_
+#define ADPROM_ANALYSIS_DATAFLOW_SOLVER_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analysis/dataflow/flow_graph.h"
+#include "util/logging.h"
+
+namespace adprom::analysis::dataflow {
+
+enum class Direction { kForward, kBackward };
+
+/// The generic monotone-framework worklist solver.
+///
+/// A Client models one dataflow problem:
+///
+///   using Domain = ...;             // a join-semilattice element;
+///                                   // default-constructed == bottom,
+///                                   // operator== required
+///   Domain Boundary() const;        // value at entry (fwd) / exit (bwd)
+///   void Join(Domain* into, const Domain& from) const;   // lattice join
+///   Domain Transfer(const FlowNode& node, const Domain& in);
+///
+/// `Transfer` must be monotone: a larger input never produces a smaller
+/// output. It may accumulate observations (e.g. "taint reached this sink")
+/// into the client; because iteration starts at bottom and only climbs,
+/// every node's final visit sees its fixpoint input, so the accumulated
+/// union equals the observation at the fixpoint.
+///
+/// Nodes are scheduled by reverse post-order position with a set-based
+/// worklist (always the smallest pending position), which makes the solve
+/// deterministic: same graph + same client => bit-identical states,
+/// independent of how many functions other threads are solving.
+template <typename Client>
+struct SolveResult {
+  /// Per node id: the joined state entering the node in iteration
+  /// direction (before Transfer) and the state Transfer produced. For a
+  /// backward problem `in` is the state at the node's *exit* (e.g.
+  /// live-out) and `out` the state at its entry (live-in).
+  struct NodeStates {
+    typename Client::Domain in;
+    typename Client::Domain out;
+  };
+  std::vector<NodeStates> states;
+};
+
+template <typename Client>
+SolveResult<Client> Solve(const FlowGraph& graph, Direction direction,
+                          Client* client) {
+  using Domain = typename Client::Domain;
+  const size_t n = graph.size();
+  const bool forward = direction == Direction::kForward;
+  const std::vector<int> order =
+      forward ? graph.ReversePostOrder() : graph.BackwardReversePostOrder();
+  ADPROM_CHECK_EQ(order.size(), n);
+  std::vector<int> position(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    position[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  const int boundary_id = forward ? graph.entry_id() : graph.exit_id();
+
+  SolveResult<Client> result;
+  result.states.resize(n);
+  std::set<int> worklist;
+  for (size_t i = 0; i < n; ++i) worklist.insert(static_cast<int>(i));
+
+  // Monotone transfers over finite lattices converge; the cap only guards
+  // against a non-monotone client, which would otherwise loop forever.
+  constexpr size_t kMaxSteps = 10'000'000;
+  size_t steps = 0;
+  while (!worklist.empty()) {
+    ADPROM_CHECK_MSG(++steps < kMaxSteps,
+                     "dataflow solver failed to converge (non-monotone "
+                     "transfer function?)");
+    const int pos = *worklist.begin();
+    worklist.erase(worklist.begin());
+    const FlowNode& node = graph.node(order[static_cast<size_t>(pos)]);
+    auto& slot = result.states[static_cast<size_t>(node.id)];
+
+    Domain in{};
+    if (node.id == boundary_id) client->Join(&in, client->Boundary());
+    for (int from : forward ? node.preds : node.succs) {
+      client->Join(&in, result.states[static_cast<size_t>(from)].out);
+    }
+    Domain out = client->Transfer(node, in);
+    slot.in = std::move(in);
+    if (out == slot.out) continue;
+    slot.out = std::move(out);
+    for (int to : forward ? node.succs : node.preds) {
+      worklist.insert(position[static_cast<size_t>(to)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace adprom::analysis::dataflow
+
+#endif  // ADPROM_ANALYSIS_DATAFLOW_SOLVER_H_

@@ -1,0 +1,435 @@
+#include "analysis/dataflow/taint_flow.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/dataflow/flow_graph.h"
+#include "analysis/dataflow/solver.h"
+#include "prog/scc.h"
+#include "util/logging.h"
+
+namespace adprom::analysis::dataflow {
+
+namespace {
+
+/// Taint tokens are ints sharing one space with three ranges:
+///   t < 0            — symbolic parameter k of the function under
+///                      analysis (t == -1 - k); instantiated by callers.
+///   0 <= t < base    — a concrete source call site (the DDG edge target).
+///   t >= base        — a concat-build site (index t - base into the
+///                      registry); concrete, flows like a source token.
+constexpr int kConcatBase = 1 << 30;
+
+bool IsParamToken(int t) { return t < 0; }
+bool IsConcatToken(int t) { return t >= kConcatBase; }
+int ParamToken(size_t k) { return -1 - static_cast<int>(k); }
+size_t ParamIndexOf(int t) { return static_cast<size_t>(-1 - t); }
+
+/// What one function exposes to its callers, computed at its fixpoint.
+struct FnSummary {
+  /// Tokens the return value may carry: concrete tokens plus param
+  /// tokens (the caller substitutes the argument's tokens for those).
+  std::set<int> ret_tokens;
+  /// Param index -> sink call sites (here or transitively in callees)
+  /// that data passed through that parameter may reach.
+  std::map<size_t, std::set<int>> param_sinks;
+
+  bool operator==(const FnSummary&) const = default;
+};
+
+/// Concrete (caller-independent) observations of one function's solve.
+struct FnObservations {
+  std::map<int, std::set<int>> sinks;         // sink site -> concrete tokens
+  std::map<std::string, std::set<int>> vars;  // local var -> source tokens
+  /// callee -> param variable -> source tokens passed at call sites here
+  /// (direct flows only; mirrors the flow-insensitive diagnostic map).
+  std::map<std::string, std::map<std::string, std::set<int>>> param_vars;
+};
+
+/// The per-function dataflow client: domain maps each variable to its
+/// token set; assignment is a strong update (the killed taint is what
+/// makes this pass strictly tighter than the flow-insensitive one).
+class TaintClient {
+ public:
+  using Domain = std::map<std::string, std::set<int>>;
+
+  TaintClient(const prog::Program& program, const TaintFlowOptions& options,
+              const prog::FunctionDef& fn,
+              const std::vector<FnSummary>& summaries,
+              const std::map<std::string, size_t>& fn_index,
+              const std::map<const prog::Stmt*, int>& concat_tokens)
+      : program_(program),
+        options_(options),
+        fn_(fn),
+        summaries_(summaries),
+        fn_index_(fn_index),
+        concat_tokens_(concat_tokens) {}
+
+  Domain Boundary() const {
+    Domain out;
+    for (size_t k = 0; k < fn_.params.size(); ++k) {
+      out[fn_.params[k]] = {ParamToken(k)};
+    }
+    return out;
+  }
+
+  void Join(Domain* into, const Domain& from) const {
+    for (const auto& [var, tokens] : from) {
+      if (tokens.empty()) continue;
+      (*into)[var].insert(tokens.begin(), tokens.end());
+    }
+  }
+
+  Domain Transfer(const FlowNode& node, const Domain& in) {
+    switch (node.op) {
+      case FlowOp::kDef: {
+        Domain out = in;
+        std::set<int> value = Eval(*node.expr, in);
+        auto it = concat_tokens_.find(node.stmt);
+        if (it != concat_tokens_.end() && !value.empty()) {
+          value.insert(it->second);
+        }
+        if (value.empty()) {
+          out.erase(node.def);  // Strong update: the old taint is dead.
+        } else {
+          out[node.def] = std::move(value);
+        }
+        return out;
+      }
+      case FlowOp::kBranch:
+      case FlowOp::kEval:
+        Eval(*node.expr, in);  // Observe sink/source effects only.
+        return in;
+      case FlowOp::kReturn:
+        if (node.expr != nullptr) {
+          const std::set<int> value = Eval(*node.expr, in);
+          ret_tokens_.insert(value.begin(), value.end());
+        }
+        return in;
+      case FlowOp::kEntry:
+      case FlowOp::kExit:
+      case FlowOp::kJoin:
+        return in;
+    }
+    return in;
+  }
+
+  FnSummary TakeSummary() {
+    FnSummary summary;
+    summary.ret_tokens = std::move(ret_tokens_);
+    summary.param_sinks = std::move(param_sinks_);
+    return summary;
+  }
+
+  FnObservations TakeObservations() { return std::move(obs_); }
+
+  /// Folds the concrete source tokens of every variable state into the
+  /// diagnostic var map (param/concat tokens are internal and stripped).
+  void RecordVarStates(const SolveResult<TaintClient>& solved) {
+    for (const auto& states : solved.states) {
+      for (const auto& [var, tokens] : states.out) {
+        for (int t : tokens) {
+          if (!IsParamToken(t) && !IsConcatToken(t)) obs_.vars[var].insert(t);
+        }
+      }
+    }
+  }
+
+ private:
+  std::set<int> Eval(const prog::Expr& e, const Domain& state) {
+    switch (e.kind) {
+      case prog::ExprKind::kIntLit:
+      case prog::ExprKind::kRealLit:
+      case prog::ExprKind::kStrLit:
+        return {};
+      case prog::ExprKind::kVar: {
+        auto it = state.find(e.name);
+        return it == state.end() ? std::set<int>{} : it->second;
+      }
+      case prog::ExprKind::kBinary: {
+        std::set<int> out = Eval(*e.lhs, state);
+        const std::set<int> rhs = Eval(*e.rhs, state);
+        out.insert(rhs.begin(), rhs.end());
+        return out;
+      }
+      case prog::ExprKind::kUnary:
+        return Eval(*e.lhs, state);
+      case prog::ExprKind::kCall:
+        return EvalCall(e, state);
+    }
+    return {};
+  }
+
+  std::set<int> EvalCall(const prog::Expr& call, const Domain& state) {
+    std::vector<std::set<int>> args;
+    args.reserve(call.args.size());
+    std::set<int> merged;
+    for (const auto& arg : call.args) {
+      args.push_back(Eval(*arg, state));
+      merged.insert(args.back().begin(), args.back().end());
+    }
+
+    if (program_.IsUserFunction(call.name)) {
+      const FnSummary& summary = summaries_[fn_index_.at(call.name)];
+      const prog::FunctionDef* callee = program_.FindFunction(call.name);
+      // Instantiate the callee's sink obligations with this call's
+      // arguments: concrete tokens land in the sink map directly; our own
+      // param tokens become obligations for *our* callers.
+      for (const auto& [k, sites] : summary.param_sinks) {
+        if (k >= args.size()) continue;
+        for (int t : args[k]) {
+          if (IsParamToken(t)) {
+            param_sinks_[ParamIndexOf(t)].insert(sites.begin(), sites.end());
+          } else {
+            for (int site : sites) obs_.sinks[site].insert(t);
+          }
+        }
+      }
+      for (size_t k = 0; k < args.size() && k < callee->params.size(); ++k) {
+        for (int t : args[k]) {
+          if (!IsParamToken(t) && !IsConcatToken(t)) {
+            obs_.param_vars[call.name][callee->params[k]].insert(t);
+          }
+        }
+      }
+      // Instantiate the return value.
+      std::set<int> ret;
+      for (int t : summary.ret_tokens) {
+        if (IsParamToken(t)) {
+          const size_t k = ParamIndexOf(t);
+          if (k < args.size()) ret.insert(args[k].begin(), args[k].end());
+        } else {
+          ret.insert(t);
+        }
+      }
+      return ret;
+    }
+
+    // Library call.
+    if (options_.sanitizer_calls.count(call.name) > 0) return {};
+    if (options_.config.sink_calls.count(call.name) > 0) {
+      for (int t : merged) {
+        if (IsParamToken(t)) {
+          param_sinks_[ParamIndexOf(t)].insert(call.call_site_id);
+        } else {
+          obs_.sinks[call.call_site_id].insert(t);
+        }
+      }
+    }
+    if (options_.config.source_calls.count(call.name) > 0) {
+      // The call itself is a fresh source; its result also carries its
+      // arguments' taint (db_getvalue(result, ...) stays linked to the
+      // db_query that produced `result`).
+      std::set<int> out = std::move(merged);
+      out.insert(call.call_site_id);
+      return out;
+    }
+    // Other library calls (string helpers etc.) pass taint through.
+    return merged;
+  }
+
+  const prog::Program& program_;
+  const TaintFlowOptions& options_;
+  const prog::FunctionDef& fn_;
+  const std::vector<FnSummary>& summaries_;
+  const std::map<std::string, size_t>& fn_index_;
+  const std::map<const prog::Stmt*, int>& concat_tokens_;
+
+  std::set<int> ret_tokens_;
+  std::map<size_t, std::set<int>> param_sinks_;
+  FnObservations obs_;
+};
+
+/// True for `v = <expr>` where the RHS is a `+` expression reading `v`
+/// itself — the incremental strcat-style build-up of Fig. 2.
+bool IsSelfAppend(const prog::Stmt& s) {
+  if (s.kind != prog::StmtKind::kAssign) return false;
+  if (s.expr == nullptr || s.expr->kind != prog::ExprKind::kBinary ||
+      s.expr->bin_op != prog::BinOp::kAdd) {
+    return false;
+  }
+  std::vector<std::string> reads;
+  CollectVarReads(*s.expr, &reads);
+  return std::find(reads.begin(), reads.end(), s.target) != reads.end();
+}
+
+void RegisterConcatSites(const prog::FunctionDef& fn,
+                         const prog::StmtList& body,
+                         std::vector<ConcatBuildSite>* registry,
+                         std::map<const prog::Stmt*, int>* tokens) {
+  for (const auto& stmt : body) {
+    if (IsSelfAppend(*stmt)) {
+      (*tokens)[stmt.get()] =
+          kConcatBase + static_cast<int>(registry->size());
+      registry->push_back({fn.name, stmt->target, stmt->line});
+    }
+    RegisterConcatSites(fn, stmt->then_body, registry, tokens);
+    RegisterConcatSites(fn, stmt->else_body, registry, tokens);
+  }
+}
+
+/// Orchestrates the per-function solves bottom-up over call-graph SCCs.
+class TaintFlowEngine {
+ public:
+  TaintFlowEngine(const prog::Program& program,
+                  const TaintFlowOptions& options)
+      : program_(program), options_(options) {}
+
+  TaintFlowResult Run() {
+    const auto& fns = program_.functions();
+    const size_t count = fns.size();
+    for (size_t i = 0; i < count; ++i) fn_index_[fns[i].name] = i;
+
+    if (options_.track_concat_builds) {
+      for (const prog::FunctionDef& fn : fns) {
+        RegisterConcatSites(fn, fn.body, &concat_sites_, &concat_tokens_);
+      }
+    }
+
+    graphs_.reserve(count);
+    std::vector<std::vector<int>> adjacency(count);
+    for (size_t i = 0; i < count; ++i) {
+      graphs_.push_back(FlowGraph::Build(fns[i]));
+      std::set<int> callees;
+      CollectCallees(fns[i].body, &callees);
+      adjacency[i].assign(callees.begin(), callees.end());
+    }
+
+    summaries_.assign(count, {});
+    observations_.assign(count, {});
+
+    // Bottom-up over the condensation: every component only reads the
+    // summaries of strictly lower levels (plus its own, single-threaded),
+    // so the components of one level solve concurrently yet the fixpoint
+    // is independent of the schedule.
+    const prog::SccDecomposition scc = prog::ComputeSccs(adjacency);
+    for (const std::vector<int>& level : scc.levels) {
+      util::ParallelFor(options_.pool, level.size(), [&](size_t i) {
+        SolveComponent(scc.components[static_cast<size_t>(level[i])],
+                       adjacency);
+      });
+    }
+
+    return Assemble();
+  }
+
+ private:
+  void CollectCallees(const prog::StmtList& body, std::set<int>* out) const {
+    for (const auto& stmt : body) {
+      if (stmt->expr != nullptr) {
+        std::vector<const prog::Expr*> calls;
+        prog::CollectCalls(*stmt->expr, &calls);
+        for (const prog::Expr* call : calls) {
+          auto it = fn_index_.find(call->name);
+          if (it != fn_index_.end()) out->insert(static_cast<int>(it->second));
+        }
+      }
+      CollectCallees(stmt->then_body, out);
+      CollectCallees(stmt->else_body, out);
+    }
+  }
+
+  void SolveFunction(size_t index) {
+    const prog::FunctionDef& fn = program_.functions()[index];
+    TaintClient client(program_, options_, fn, summaries_, fn_index_,
+                       concat_tokens_);
+    const SolveResult<TaintClient> solved =
+        Solve(graphs_[index], Direction::kForward, &client);
+    client.RecordVarStates(solved);
+    observations_[index] = client.TakeObservations();
+    summaries_[index] = client.TakeSummary();
+  }
+
+  void SolveComponent(const std::vector<int>& members,
+                      const std::vector<std::vector<int>>& adjacency) {
+    bool recursive = members.size() > 1;
+    if (!recursive) {
+      const int v = members[0];
+      const auto& succs = adjacency[static_cast<size_t>(v)];
+      recursive = std::find(succs.begin(), succs.end(), v) != succs.end();
+    }
+    if (!recursive) {
+      SolveFunction(static_cast<size_t>(members[0]));
+      return;
+    }
+    // Recursive component: iterate members (ascending index, so the
+    // result is schedule-independent) until their summaries stabilize.
+    // Summaries only grow, so this terminates on the finite token space.
+    constexpr int kMaxIterations = 1000;
+    for (int iter = 0; iter < kMaxIterations; ++iter) {
+      bool changed = false;
+      for (int v : members) {
+        const FnSummary before = summaries_[static_cast<size_t>(v)];
+        SolveFunction(static_cast<size_t>(v));
+        if (!(summaries_[static_cast<size_t>(v)] == before)) changed = true;
+      }
+      if (!changed) return;
+    }
+    ADPROM_CHECK_MSG(false, "recursive taint summaries failed to converge");
+  }
+
+  TaintFlowResult Assemble() const {
+    TaintFlowResult out;
+    out.concat_sites = concat_sites_;
+    const auto& fns = program_.functions();
+    for (size_t f = 0; f < fns.size(); ++f) {
+      const FnObservations& obs = observations_[f];
+      for (const auto& [site, tokens] : obs.sinks) {
+        for (int t : tokens) {
+          if (IsConcatToken(t)) {
+            out.sink_concat_builds[site].insert(t - kConcatBase);
+          } else {
+            out.taint.labeled_sinks[site].insert(t);
+          }
+        }
+      }
+      for (const auto& [var, tokens] : obs.vars) {
+        if (tokens.empty()) continue;
+        out.taint.tainted_vars[fns[f].name][var].insert(tokens.begin(),
+                                                        tokens.end());
+      }
+      for (const auto& [callee, params] : obs.param_vars) {
+        for (const auto& [var, tokens] : params) {
+          if (tokens.empty()) continue;
+          out.taint.tainted_vars[callee][var].insert(tokens.begin(),
+                                                     tokens.end());
+        }
+      }
+    }
+    return out;
+  }
+
+  const prog::Program& program_;
+  const TaintFlowOptions& options_;
+  std::map<std::string, size_t> fn_index_;
+  std::vector<ConcatBuildSite> concat_sites_;
+  std::map<const prog::Stmt*, int> concat_tokens_;
+  std::vector<FlowGraph> graphs_;
+  std::vector<FnSummary> summaries_;
+  std::vector<FnObservations> observations_;
+};
+
+}  // namespace
+
+util::Result<TaintFlowResult> RunTaintFlowAnalysis(
+    const prog::Program& program, const TaintFlowOptions& options) {
+  if (!program.finalized()) {
+    return util::Status::FailedPrecondition(
+        "program must be finalized before taint analysis");
+  }
+  TaintFlowEngine engine(program, options);
+  return engine.Run();
+}
+
+util::Result<TaintResult> RunFlowSensitiveTaint(const prog::Program& program,
+                                                const TaintConfig& config,
+                                                util::ThreadPool* pool) {
+  TaintFlowOptions options;
+  options.config = config;
+  options.pool = pool;
+  ADPROM_ASSIGN_OR_RETURN(TaintFlowResult result,
+                          RunTaintFlowAnalysis(program, options));
+  return std::move(result.taint);
+}
+
+}  // namespace adprom::analysis::dataflow

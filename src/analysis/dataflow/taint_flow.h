@@ -1,0 +1,77 @@
+#ifndef ADPROM_ANALYSIS_DATAFLOW_TAINT_FLOW_H_
+#define ADPROM_ANALYSIS_DATAFLOW_TAINT_FLOW_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/taint.h"
+#include "prog/program.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace adprom::analysis::dataflow {
+
+/// Configuration of the flow-sensitive taint engine. The plain
+/// `TaintConfig` names the source/sink library calls; the extras below are
+/// what the `adprom lint` vetter layers on top.
+struct TaintFlowOptions {
+  TaintConfig config = TaintConfig::Default();
+  /// Library calls whose result is considered clean regardless of
+  /// argument taint (e.g. `to_int` neutralizes a tautology-injection
+  /// payload). Empty for DDG labeling — the paper's analysis has no
+  /// sanitizers.
+  std::set<std::string> sanitizer_calls;
+  /// Register every `v = v + <tainted>` reassignment (the paper's Fig. 2
+  /// strcat-style incremental query construction) and report which sink
+  /// sites receive values built through such appends.
+  bool track_concat_builds = false;
+  /// Optional pool: independent call-graph SCCs of one condensation level
+  /// are solved concurrently. Results are bit-identical for any pool.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// A registered incremental string-append site (`v = v + ...` carrying
+/// taint), when `track_concat_builds` is on.
+struct ConcatBuildSite {
+  std::string function;
+  std::string variable;
+  int line = 0;
+};
+
+struct TaintFlowResult {
+  /// Same shape as the flow-insensitive `RunTaintAnalysis` result; for
+  /// identical configs it is a subset of it (strong updates kill taint on
+  /// reassignment, and per-call-site summary instantiation never invents
+  /// flows the global union lacks). `tainted_vars` is diagnostic and
+  /// reports direct flows only.
+  TaintResult taint;
+  /// All registered append sites, in deterministic program order.
+  std::vector<ConcatBuildSite> concat_sites;
+  /// Sink call_site_id -> indices into `concat_sites` whose appended
+  /// value may reach it. A sink present both here and (with a non-empty
+  /// source set) in `taint.labeled_sinks` receives user-controlled data
+  /// built by incremental concatenation — the App_b injection pattern.
+  std::map<int, std::set<int>> sink_concat_builds;
+};
+
+/// Runs the interprocedural flow-sensitive may-taint analysis: one
+/// forward worklist fixpoint per function (strong updates on assignment),
+/// composed bottom-up over call-graph SCCs with per-function summaries
+/// (return-value tokens and parameter-to-sink obligations, instantiated
+/// at each call site). Requires a finalized program.
+util::Result<TaintFlowResult> RunTaintFlowAnalysis(
+    const prog::Program& program, const TaintFlowOptions& options = {});
+
+/// Drop-in flow-sensitive replacement for `RunTaintAnalysis` (no
+/// sanitizers, no concat tracking): labels a subset of the sinks the
+/// flow-insensitive pass labels while still over-approximating the
+/// interpreter's dynamic taint.
+util::Result<TaintResult> RunFlowSensitiveTaint(
+    const prog::Program& program, const TaintConfig& config,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace adprom::analysis::dataflow
+
+#endif  // ADPROM_ANALYSIS_DATAFLOW_TAINT_FLOW_H_

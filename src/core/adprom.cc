@@ -1,6 +1,9 @@
 #include "core/adprom.h"
 
+#include <memory>
+
 #include "runtime/collector.h"
+#include "util/thread_pool.h"
 
 namespace adprom::core {
 
@@ -42,7 +45,16 @@ util::Result<AdProm> AdProm::Train(const prog::Program& program,
                                    ProfileOptions options,
                                    ConstructionTimings* timings) {
   AdProm system;
-  Analyzer analyzer;
+  AnalyzerOptions analyzer_options;
+  analyzer_options.flow_insensitive_taint = options.flow_insensitive_taint;
+  std::unique_ptr<util::ThreadPool> analysis_pool;
+  const size_t analysis_threads =
+      util::ResolveThreadCount(options.train.num_threads);
+  if (analysis_threads > 1) {
+    analysis_pool = std::make_unique<util::ThreadPool>(analysis_threads);
+    analyzer_options.pool = analysis_pool.get();
+  }
+  Analyzer analyzer(std::move(analyzer_options));
   ADPROM_ASSIGN_OR_RETURN(system.analysis_, analyzer.Analyze(program));
   ADPROM_ASSIGN_OR_RETURN(
       system.training_traces_,

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/dataflow/taint_flow.h"
 #include "analysis/labeling.h"
 
 namespace adprom::core {
@@ -30,8 +31,11 @@ std::set<std::pair<std::string, std::string>> AnalysisResult::ContextPairs()
   return out;
 }
 
-Analyzer::Analyzer(analysis::TaintConfig taint_config)
-    : taint_config_(std::move(taint_config)) {}
+Analyzer::Analyzer(AnalyzerOptions options) : options_(std::move(options)) {}
+
+Analyzer::Analyzer(analysis::TaintConfig taint_config) {
+  options_.taint_config = std::move(taint_config);
+}
 
 util::Result<AnalysisResult> Analyzer::Analyze(
     const prog::Program& program) const {
@@ -48,8 +52,15 @@ util::Result<AnalysisResult> Analyzer::Analyze(
 
   // Data-flow (DDG) labeling, then the per-function probability forecast.
   t0 = std::chrono::steady_clock::now();
-  ADPROM_ASSIGN_OR_RETURN(out.taint,
-                          analysis::RunTaintAnalysis(program, taint_config_));
+  if (options_.flow_insensitive_taint) {
+    ADPROM_ASSIGN_OR_RETURN(
+        out.taint,
+        analysis::RunTaintAnalysis(program, options_.taint_config));
+  } else {
+    ADPROM_ASSIGN_OR_RETURN(
+        out.taint, analysis::dataflow::RunFlowSensitiveTaint(
+                       program, options_.taint_config, options_.pool));
+  }
   for (const auto& [name, cfg] : out.cfgs) {
     ADPROM_ASSIGN_OR_RETURN(analysis::FunctionForecast forecast,
                             analysis::ComputeForecast(cfg));

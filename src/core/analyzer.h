@@ -13,6 +13,7 @@
 #include "prog/cfg.h"
 #include "prog/program.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace adprom::core {
 
@@ -36,19 +37,32 @@ struct AnalysisResult {
   std::set<std::pair<std::string, std::string>> ContextPairs() const;
 };
 
+struct AnalyzerOptions {
+  analysis::TaintConfig taint_config = analysis::TaintConfig::Default();
+  /// Ablation switch: label the DDG with the original flow-insensitive
+  /// taint pass instead of the flow-sensitive dataflow framework. The
+  /// flow-sensitive default labels a subset of the same sinks (strong
+  /// updates kill stale taint), shrinking the DataLeak alphabet.
+  bool flow_insensitive_taint = false;
+  /// Optional pool for the flow-sensitive solver (call-graph SCCs of one
+  /// level run concurrently); results are identical for any pool.
+  util::ThreadPool* pool = nullptr;
+};
+
 /// The paper's Analyzer component: performs the whole static phase —
 /// CFG/CG extraction, data-flow (DDG) labeling, probability forecast, and
 /// CTM aggregation — on one application program.
 class Analyzer {
  public:
-  explicit Analyzer(
-      analysis::TaintConfig taint_config = analysis::TaintConfig::Default());
+  Analyzer() : Analyzer(AnalyzerOptions()) {}
+  explicit Analyzer(AnalyzerOptions options);
+  explicit Analyzer(analysis::TaintConfig taint_config);
 
   /// Analyzes a finalized program.
   util::Result<AnalysisResult> Analyze(const prog::Program& program) const;
 
  private:
-  analysis::TaintConfig taint_config_;
+  AnalyzerOptions options_;
 };
 
 }  // namespace adprom::core

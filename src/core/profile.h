@@ -55,6 +55,10 @@ struct ProfileOptions {
   /// paper's §VII mitigation for attackers who swap in a different query
   /// of similar selectivity, not part of the baseline system.
   bool use_query_signatures = false;
+  /// Ablation: label the DDG with the original flow-insensitive taint
+  /// pass instead of the flow-sensitive dataflow framework (which is the
+  /// default and labels a subset of the same output sites).
+  bool flow_insensitive_taint = false;
   /// kStatic = initialize the HMM from the pCTM (AD-PROM / CMarkov);
   /// kRandom = random initialization (the Rand-HMM baseline).
   enum class Init { kStatic, kRandom };

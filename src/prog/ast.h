@@ -102,6 +102,7 @@ struct FunctionDef {
   std::string name;
   std::vector<std::string> params;
   StmtList body;
+  int line = 0;  // line of the `fn` keyword, for diagnostics
 };
 
 const char* BinOpName(BinOp op);

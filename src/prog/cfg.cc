@@ -205,6 +205,39 @@ std::vector<int> Cfg::ForecastTopoOrder() const {
   return order;
 }
 
+std::vector<int> Cfg::ReversePostOrder() const {
+  const size_t n = nodes_.size();
+  std::vector<char> visited(n, 0);
+  std::vector<int> post;
+  post.reserve(n);
+  // Iterative DFS; each frame remembers how many successors were expanded
+  // so the node is emitted in post-order exactly once.
+  std::vector<std::pair<int, size_t>> stack;
+  if (entry_id_ >= 0) {
+    stack.push_back({entry_id_, 0});
+    visited[static_cast<size_t>(entry_id_)] = 1;
+  }
+  while (!stack.empty()) {
+    auto& [id, next_succ] = stack.back();
+    const CfgNode& node = nodes_[static_cast<size_t>(id)];
+    if (next_succ < node.succs.size()) {
+      const int succ = node.succs[next_succ++];
+      if (!visited[static_cast<size_t>(succ)]) {
+        visited[static_cast<size_t>(succ)] = 1;
+        stack.push_back({succ, 0});
+      }
+      continue;
+    }
+    post.push_back(id);
+    stack.pop_back();
+  }
+  std::vector<int> order(post.rbegin(), post.rend());
+  for (size_t i = 0; i < n; ++i) {
+    if (!visited[i]) order.push_back(static_cast<int>(i));
+  }
+  return order;
+}
+
 std::optional<int> Cfg::NodeOfCallSite(int call_site_id) const {
   auto it = site_to_node_.find(call_site_id);
   if (it == site_to_node_.end()) return std::nullopt;

@@ -63,6 +63,15 @@ class Cfg {
   /// Topological order of all nodes over forward (non-back) edges.
   const std::vector<int>& topo_order() const { return topo_order_; }
 
+  /// Reverse post-order of a depth-first traversal from the entry over
+  /// *all* edges (back edges included). This is the canonical iteration
+  /// order for forward dataflow fixpoints: every node is visited after as
+  /// many of its predecessors as the loop structure allows, so worklist
+  /// solvers converge in O(loop-nesting-depth) sweeps. Deterministic
+  /// (successors are explored in stored order); any node unreachable from
+  /// the entry is appended at the end in id order.
+  std::vector<int> ReversePostOrder() const;
+
   /// Maps an AST call-site id to the CFG node (block) that issues it.
   /// This block id is the `[bid]` of the paper's `printf_Q[bid]` labels.
   std::optional<int> NodeOfCallSite(int call_site_id) const;

@@ -75,8 +75,10 @@ class Parser {
   }
 
   util::Result<FunctionDef> ParseFunction() {
+    const int line = Peek().line;
     if (!MatchKeyword("fn")) return Error("expected 'fn'");
     FunctionDef fn;
+    fn.line = line;
     ADPROM_ASSIGN_OR_RETURN(fn.name, ExpectIdentifier());
     ADPROM_RETURN_IF_ERROR(ExpectPunct("("));
     if (!PeekPunct(")")) {

@@ -118,7 +118,8 @@ class Finalizer {
 
 util::Status Program::AddFunction(FunctionDef fn) {
   if (index_.count(fn.name) > 0) {
-    return util::Status::AlreadyExists("duplicate function: " + fn.name);
+    return util::Status::AlreadyExists(util::StrFormat(
+        "line %d: duplicate function '%s'", fn.line, fn.name.c_str()));
   }
   index_[fn.name] = functions_.size();
   functions_.push_back(std::move(fn));
@@ -162,6 +163,7 @@ Program Program::Clone() const {
     copy.name = fn.name;
     copy.params = fn.params;
     copy.body = CloneBody(fn.body);
+    copy.line = fn.line;
     // AddFunction cannot fail here: names were unique in the source.
     ADPROM_CHECK(out.AddFunction(std::move(copy)).ok());
   }

@@ -1,0 +1,111 @@
+#include "prog/scc.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adprom::prog {
+
+namespace {
+
+/// Per-vertex bookkeeping for Tarjan's algorithm.
+struct VertexInfo {
+  int index = -1;    // discovery order, -1 = unvisited
+  int lowlink = 0;   // smallest index reachable through the DFS subtree
+  bool on_stack = false;
+};
+
+}  // namespace
+
+SccDecomposition ComputeSccs(const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  SccDecomposition out;
+  out.component_of.assign(static_cast<size_t>(n), -1);
+
+  std::vector<VertexInfo> info(static_cast<size_t>(n));
+  std::vector<int> scc_stack;
+  int next_index = 0;
+
+  // Iterative DFS frame: vertex + how many successors were expanded.
+  struct Frame {
+    int v;
+    size_t next_succ;
+  };
+  std::vector<Frame> dfs;
+
+  for (int root = 0; root < n; ++root) {
+    if (info[static_cast<size_t>(root)].index != -1) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      VertexInfo& vi = info[static_cast<size_t>(frame.v)];
+      if (frame.next_succ == 0) {
+        vi.index = vi.lowlink = next_index++;
+        vi.on_stack = true;
+        scc_stack.push_back(frame.v);
+      }
+      if (frame.next_succ < adjacency[static_cast<size_t>(frame.v)].size()) {
+        const int w = adjacency[static_cast<size_t>(frame.v)][frame.next_succ++];
+        ADPROM_CHECK(w >= 0 && w < n);
+        VertexInfo& wi = info[static_cast<size_t>(w)];
+        if (wi.index == -1) {
+          dfs.push_back({w, 0});
+        } else if (wi.on_stack) {
+          vi.lowlink = std::min(vi.lowlink, wi.index);
+        }
+        continue;
+      }
+      // All successors done: emit an SCC if frame.v is a root, then fold
+      // the lowlink into the parent frame.
+      if (vi.lowlink == vi.index) {
+        std::vector<int> component;
+        int w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          info[static_cast<size_t>(w)].on_stack = false;
+          out.component_of[static_cast<size_t>(w)] =
+              static_cast<int>(out.components.size());
+          component.push_back(w);
+        } while (w != frame.v);
+        std::sort(component.begin(), component.end());
+        out.components.push_back(std::move(component));
+      }
+      const int finished = frame.v;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        VertexInfo& parent = info[static_cast<size_t>(dfs.back().v)];
+        parent.lowlink =
+            std::min(parent.lowlink,
+                     info[static_cast<size_t>(finished)].lowlink);
+      }
+    }
+  }
+
+  // Tarjan emits components in reverse topological order already: a
+  // component is popped only after every component it points to. Level =
+  // 1 + max(level of successor components), computable in emission order.
+  const size_t num_components = out.components.size();
+  std::vector<int> level(num_components, 0);
+  int max_level = -1;
+  for (size_t c = 0; c < num_components; ++c) {
+    int lvl = 0;
+    for (int v : out.components[c]) {
+      for (int w : adjacency[static_cast<size_t>(v)]) {
+        const int wc = out.component_of[static_cast<size_t>(w)];
+        if (wc != static_cast<int>(c)) {
+          lvl = std::max(lvl, level[static_cast<size_t>(wc)] + 1);
+        }
+      }
+    }
+    level[c] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  out.levels.assign(static_cast<size_t>(max_level + 1), {});
+  for (size_t c = 0; c < num_components; ++c) {
+    out.levels[static_cast<size_t>(level[c])].push_back(static_cast<int>(c));
+  }
+  return out;
+}
+
+}  // namespace adprom::prog

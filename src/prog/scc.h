@@ -1,0 +1,36 @@
+#ifndef ADPROM_PROG_SCC_H_
+#define ADPROM_PROG_SCC_H_
+
+#include <vector>
+
+namespace adprom::prog {
+
+/// Strongly connected components of a directed graph, plus the two views
+/// the dataflow framework schedules interprocedural fixpoints with:
+/// components in callees-first order, and the condensation DAG leveled so
+/// that components within one level are mutually independent (safe to
+/// solve in parallel).
+struct SccDecomposition {
+  /// Components in reverse topological order of the condensation: for
+  /// every edge u -> v with component_of[u] != component_of[v],
+  /// component_of[v] appears *before* component_of[u]. With call-graph
+  /// edges caller -> callee this is exactly bottom-up (callees first).
+  /// Vertices within a component are sorted ascending.
+  std::vector<std::vector<int>> components;
+  /// vertex -> index into `components`.
+  std::vector<int> component_of;
+  /// levels[l] lists component indices whose successors all live in
+  /// levels < l. No edge connects two components of the same level, so a
+  /// level's members can be processed concurrently once every earlier
+  /// level is done. Component indices within a level are ascending.
+  std::vector<std::vector<int>> levels;
+};
+
+/// Tarjan's algorithm (iterative) over `adjacency`, where vertex v's
+/// successors are adjacency[v]. Deterministic for a fixed input graph:
+/// roots are tried in ascending vertex order and edges in stored order.
+SccDecomposition ComputeSccs(const std::vector<std::vector<int>>& adjacency);
+
+}  // namespace adprom::prog
+
+#endif  // ADPROM_PROG_SCC_H_

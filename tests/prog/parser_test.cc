@@ -154,5 +154,38 @@ fn main() {
   EXPECT_EQ(neg.un_op, UnOp::kNeg);
 }
 
+TEST(ParserTest, DuplicateFunctionErrorCarriesLine) {
+  auto program = ParseProgram(R"(
+fn helper() {
+  print("a");
+}
+fn main() {
+  helper();
+}
+fn helper() {
+  print("b");
+}
+)");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().ToString().find("line 8"), std::string::npos)
+      << program.status().ToString();
+  EXPECT_NE(program.status().ToString().find("helper"), std::string::npos);
+}
+
+TEST(ParserTest, FunctionDefsRecordTheirLine) {
+  auto program = ParseProgram(R"(
+fn main() {
+  print("x");
+}
+
+fn other() {
+  print("y");
+}
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->FindFunction("main")->line, 2);
+  EXPECT_EQ(program->FindFunction("other")->line, 6);
+}
+
 }  // namespace
 }  // namespace adprom::prog

@@ -1,0 +1,149 @@
+// Tests of the SCC condensation (prog/scc.h) and the Cfg reverse
+// post-order — the two scheduling primitives the dataflow framework is
+// built on.
+
+#include "prog/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prog/cfg.h"
+#include "prog/program.h"
+
+namespace adprom::prog {
+namespace {
+
+using Adjacency = std::vector<std::vector<int>>;
+
+TEST(SccTest, EmptyGraph) {
+  SccDecomposition d = ComputeSccs({});
+  EXPECT_TRUE(d.components.empty());
+  EXPECT_TRUE(d.component_of.empty());
+  EXPECT_TRUE(d.levels.empty());
+}
+
+TEST(SccTest, ChainIsCalleesFirst) {
+  // 0 -> 1 -> 2: with caller->callee edges, callees must come first.
+  const Adjacency adj = {{1}, {2}, {}};
+  SccDecomposition d = ComputeSccs(adj);
+  ASSERT_EQ(d.components.size(), 3u);
+  EXPECT_EQ(d.components[0], std::vector<int>({2}));
+  EXPECT_EQ(d.components[1], std::vector<int>({1}));
+  EXPECT_EQ(d.components[2], std::vector<int>({0}));
+  // Levels: {2} at level 0, {1} at level 1, {0} at level 2.
+  ASSERT_EQ(d.levels.size(), 3u);
+  for (size_t l = 0; l < 3; ++l) ASSERT_EQ(d.levels[l].size(), 1u);
+  EXPECT_EQ(d.components[d.levels[0][0]], std::vector<int>({2}));
+  EXPECT_EQ(d.components[d.levels[2][0]], std::vector<int>({0}));
+}
+
+TEST(SccTest, CycleCollapsesIntoOneComponent) {
+  // 0 <-> 1, both call 2.
+  const Adjacency adj = {{1, 2}, {0, 2}, {}};
+  SccDecomposition d = ComputeSccs(adj);
+  ASSERT_EQ(d.components.size(), 2u);
+  EXPECT_EQ(d.components[0], std::vector<int>({2}));
+  EXPECT_EQ(d.components[1], std::vector<int>({0, 1}));
+  EXPECT_EQ(d.component_of[0], d.component_of[1]);
+  EXPECT_NE(d.component_of[0], d.component_of[2]);
+}
+
+TEST(SccTest, SelfLoopIsItsOwnComponent) {
+  const Adjacency adj = {{0}};
+  SccDecomposition d = ComputeSccs(adj);
+  ASSERT_EQ(d.components.size(), 1u);
+  EXPECT_EQ(d.components[0], std::vector<int>({0}));
+}
+
+TEST(SccTest, ReverseTopologicalInvariant) {
+  // Diamond with a cycle in one arm: 0 -> {1, 2}, 1 <-> 3, 2 -> 4, 3 -> 4.
+  const Adjacency adj = {{1, 2}, {3}, {4}, {1, 4}, {}};
+  SccDecomposition d = ComputeSccs(adj);
+  for (int u = 0; u < static_cast<int>(adj.size()); ++u) {
+    for (int v : adj[static_cast<size_t>(u)]) {
+      if (d.component_of[static_cast<size_t>(u)] ==
+          d.component_of[static_cast<size_t>(v)]) {
+        continue;
+      }
+      // Callee component listed before the caller's.
+      EXPECT_LT(d.component_of[static_cast<size_t>(v)],
+                d.component_of[static_cast<size_t>(u)])
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(SccTest, LevelsAreIndependentAndComplete) {
+  // Two independent chains sharing a sink: 0 -> 2, 1 -> 2.
+  const Adjacency adj = {{2}, {2}, {}};
+  SccDecomposition d = ComputeSccs(adj);
+  ASSERT_EQ(d.levels.size(), 2u);
+  EXPECT_EQ(d.levels[0].size(), 1u);  // {2}
+  EXPECT_EQ(d.levels[1].size(), 2u);  // {0} and {1}, solvable in parallel
+  // Every component appears in exactly one level.
+  std::set<int> seen;
+  for (const auto& level : d.levels) {
+    for (int c : level) EXPECT_TRUE(seen.insert(c).second);
+  }
+  EXPECT_EQ(seen.size(), d.components.size());
+  // No edge inside one level.
+  std::vector<int> level_of(d.components.size());
+  for (size_t l = 0; l < d.levels.size(); ++l) {
+    for (int c : d.levels[l]) level_of[static_cast<size_t>(c)] = static_cast<int>(l);
+  }
+  for (int u = 0; u < static_cast<int>(adj.size()); ++u) {
+    for (int v : adj[static_cast<size_t>(u)]) {
+      const int cu = d.component_of[static_cast<size_t>(u)];
+      const int cv = d.component_of[static_cast<size_t>(v)];
+      if (cu != cv) {
+        EXPECT_GT(level_of[static_cast<size_t>(cu)],
+                  level_of[static_cast<size_t>(cv)]);
+      }
+    }
+  }
+}
+
+TEST(CfgReversePostOrderTest, EntryFirstAndForwardEdgesRespected) {
+  auto program = ParseProgram(R"(
+    fn main() {
+      var i = 0;
+      while (i < 3) {
+        if (i > 1) {
+          print(i);
+        }
+        i = i + 1;
+      }
+      print("done");
+    }
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto cfg = BuildCfg(*program, program->functions()[0]);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+
+  const std::vector<int> order = cfg->ReversePostOrder();
+  ASSERT_EQ(order.size(), cfg->size());
+  EXPECT_EQ(order.front(), cfg->entry_id());
+  std::vector<int> pos(cfg->size(), -1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    ASSERT_GE(order[i], 0);
+    pos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  // Every node appears exactly once.
+  for (int p : pos) EXPECT_GE(p, 0);
+  // Non-back edges go forward in the order (back edges are the only
+  // edges allowed to point backwards).
+  size_t backward_edges = 0;
+  for (const CfgNode& node : cfg->nodes()) {
+    for (int succ : node.succs) {
+      if (pos[static_cast<size_t>(succ)] < pos[static_cast<size_t>(node.id)]) {
+        ++backward_edges;
+      }
+    }
+  }
+  // The single while loop contributes exactly one back edge.
+  EXPECT_EQ(backward_edges, 1u);
+}
+
+}  // namespace
+}  // namespace adprom::prog

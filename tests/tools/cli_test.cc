@@ -132,6 +132,72 @@ TEST(CliTest, SeedValidationFailsEarly) {
   std::remove(bad_seed.c_str());
 }
 
+TEST(CliTest, AnalyzeReportsTaintLabeler) {
+  CliRun fs = RunTool({"analyze", Sample("app.mini")});
+  ASSERT_TRUE(fs.status.ok()) << fs.status.ToString();
+  EXPECT_NE(fs.output.find("flow-sensitive"), std::string::npos);
+
+  CliRun fi = RunTool({"analyze", Sample("app.mini"), "--flow-insensitive"});
+  ASSERT_TRUE(fi.status.ok()) << fi.status.ToString();
+  EXPECT_NE(fi.output.find("flow-insensitive"), std::string::npos);
+}
+
+int RunMain(std::vector<std::string> args, std::string* out_text,
+            std::string* err_text) {
+  std::ostringstream out, err;
+  const int code = RunCliMain(args, out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+TEST(CliLintTest, CleanSampleExitsZero) {
+  std::string out;
+  const int code = RunMain({"lint", Sample("app.mini")}, &out, nullptr);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("0 findings across"), std::string::npos) << out;
+}
+
+TEST(CliLintTest, InjectionFindingExitsOneWithFileLine) {
+  const std::string app = TempPath("vuln.mini");
+  ASSERT_TRUE(WriteStringToFile(app, R"(fn main() {
+  var needle = scan();
+  var q = "SELECT * FROM t WHERE name = '";
+  q = q + needle;
+  q = q + "'";
+  var r = db_query(q);
+  print(r);
+}
+)")
+                  .ok());
+  std::string out;
+  const int code = RunMain({"lint", app}, &out, nullptr);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find(app + ":6:"), std::string::npos) << out;
+  EXPECT_NE(out.find("[sql-injection]"), std::string::npos) << out;
+  std::remove(app.c_str());
+}
+
+TEST(CliLintTest, ErrorsExitTwoOnStderr) {
+  std::string out, err;
+  EXPECT_EQ(RunMain({"lint", "/no/such/file.mini"}, &out, &err), 2);
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(RunMain({"lint"}, &out, &err), 2);
+
+  // A syntactically invalid program is an error, not a finding.
+  const std::string bad = TempPath("bad.mini");
+  ASSERT_TRUE(WriteStringToFile(bad, "fn main( {}\n").ok());
+  EXPECT_EQ(RunMain({"lint", bad}, &out, &err), 2);
+  std::remove(bad.c_str());
+}
+
+TEST(CliLintTest, NonLintCommandsKeepBinaryExitCodes) {
+  std::string out, err;
+  EXPECT_EQ(RunMain({"analyze", Sample("app.mini")}, &out, &err), 0);
+  EXPECT_EQ(RunMain({"analyze", "/no/such/file.mini"}, &out, &err), 1);
+  EXPECT_FALSE(err.empty());
+}
+
 TEST(ParseSqlSeedTest, SkipsCommentsAndBlanks) {
   const auto statements =
       ParseSqlSeed("# comment\n\nCREATE TABLE t (a INT)\n  \nINSERT INTO t"

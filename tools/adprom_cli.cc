@@ -1,16 +1,10 @@
 // The `adprom` command-line tool. See tools/cli_lib.h for usage.
 
-#include <cstdio>
 #include <iostream>
 
 #include "tools/cli_lib.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  const adprom::util::Status status = adprom::cli::RunCli(args, std::cout);
-  if (!status.ok()) {
-    std::fprintf(stderr, "adprom: %s\n", status.ToString().c_str());
-    return 1;
-  }
-  return 0;
+  return adprom::cli::RunCliMain(args, std::cout, std::cerr);
 }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/dataflow/lint.h"
 #include "core/adprom.h"
 #include "core/detection_engine.h"
 #include "prog/program.h"
@@ -28,7 +29,8 @@ struct ParsedArgs {
   }
 };
 
-constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures"};
+constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
+                                      "--flow-insensitive"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -131,6 +133,7 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
   }
   if (args.Has("--no-labels")) options.use_dd_labels = false;
   if (args.Has("--signatures")) options.use_query_signatures = true;
+  if (args.Has("--flow-insensitive")) options.flow_insensitive_taint = true;
   if (args.Has("--seed")) {
     options.seed = std::strtoull(args.Get("--seed").c_str(), nullptr, 10);
   }
@@ -155,11 +158,17 @@ util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
-  core::Analyzer analyzer;
+  core::AnalyzerOptions analyzer_options;
+  analyzer_options.flow_insensitive_taint = args.Has("--flow-insensitive");
+  core::Analyzer analyzer(analyzer_options);
   ADPROM_ASSIGN_OR_RETURN(core::AnalysisResult analysis,
                           analyzer.Analyze(program));
 
   out << "functions: " << program.functions().size() << "\n";
+  out << "taint labeler: "
+      << (analyzer_options.flow_insensitive_taint ? "flow-insensitive"
+                                                  : "flow-sensitive")
+      << "\n";
   out << "call sites (pCTM states): " << analysis.program_ctm.num_sites()
       << "\n";
   size_t labeled = 0;
@@ -299,6 +308,18 @@ util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
   return PrintDetections(engine.MonitorTrace(trace), out);
 }
 
+util::Result<size_t> CmdLint(const ParsedArgs& args, std::ostream& out) {
+  if (args.positional.size() != 2) {
+    return util::Status::InvalidArgument("usage: adprom lint <app.mini>");
+  }
+  const std::string& path = args.positional[1];
+  ADPROM_ASSIGN_OR_RETURN(prog::Program program, LoadProgram(path));
+  ADPROM_ASSIGN_OR_RETURN(analysis::dataflow::LintReport report,
+                          analysis::dataflow::RunLint(program));
+  out << report.Format(path);
+  return report.findings.size();
+}
+
 }  // namespace
 
 util::Result<std::string> ReadFileToString(const std::string& path) {
@@ -331,7 +352,7 @@ util::Status RunCli(const std::vector<std::string>& args,
                     std::ostream& out) {
   if (args.empty()) {
     return util::Status::InvalidArgument(
-        "usage: adprom <analyze|train|trace|score|monitor> ...");
+        "usage: adprom <analyze|train|trace|score|monitor|lint> ...");
   }
   ADPROM_ASSIGN_OR_RETURN(ParsedArgs parsed, ParseArgs(args));
   const std::string& command = parsed.positional.empty()
@@ -342,7 +363,30 @@ util::Status RunCli(const std::vector<std::string>& args,
   if (command == "trace") return CmdTrace(parsed, out);
   if (command == "score") return CmdScore(parsed, out);
   if (command == "monitor") return CmdMonitor(parsed, out);
+  if (command == "lint") return CmdLint(parsed, out).status();
   return util::Status::InvalidArgument("unknown command: " + command);
+}
+
+int RunCliMain(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  const bool is_lint = !args.empty() && args[0] == "lint";
+  if (is_lint) {
+    auto parsed = ParseArgs(args);
+    const auto findings =
+        parsed.ok() ? CmdLint(*parsed, out)
+                    : util::Result<size_t>(parsed.status());
+    if (!findings.ok()) {
+      err << "adprom: " << findings.status().ToString() << "\n";
+      return 2;
+    }
+    return *findings > 0 ? 1 : 0;
+  }
+  const util::Status status = RunCli(args, out);
+  if (!status.ok()) {
+    err << "adprom: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace adprom::cli

@@ -32,6 +32,18 @@ namespace adprom::cli {
 ///                  --input a,b,c
 ///       Runs the (possibly tampered) build and scores it live.
 ///
+///   adprom lint <app.mini>
+///       Static vetting before deployment: flags string-concatenated
+///       query construction reaching db_query (SQL injection), reads of
+///       possibly-uninitialized variables, unreachable statements, dead
+///       stores, and tainted DB data flowing into output channels outside
+///       the monitored sink set. Exit code 0 = clean, 1 = findings,
+///       2 = error (bad usage, unreadable or invalid program).
+///
+/// `analyze` and `train` accept --flow-insensitive to label the DDG with
+/// the legacy flow-insensitive taint pass (ablation; the default
+/// flow-sensitive pass labels a subset of the same output sites).
+///
 /// File formats:
 ///   seed.sql  — one SQL statement per line; '#' starts a comment.
 ///   cases.txt — one test case per line; whitespace-separated inputs.
@@ -40,7 +52,15 @@ namespace adprom::cli {
 ///
 /// Returns OK and writes human output to `out` on success; errors are
 /// returned as Status (the binary maps them to exit code 1 + stderr).
+/// `lint` returns OK whenever the program could be linted, findings or
+/// not — use RunCliMain for the finding-sensitive exit code.
 util::Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+/// The binary's entry point: runs the command and returns its exit code.
+/// Most commands exit 0 on success and 1 on error; `lint` exits 0 when
+/// clean, 1 when it reports findings, and 2 on error.
+int RunCliMain(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
 
 /// Helpers shared with tests.
 util::Result<std::string> ReadFileToString(const std::string& path);
