@@ -1,9 +1,10 @@
 // Wall-time of the static analysis passes over the CA + SIR corpus: the
 // legacy flow-insensitive taint pass vs the flow-sensitive dataflow
-// framework (serial and pooled), reaching definitions, liveness, and the
-// full `adprom lint` vetter. Also reports the labeled-sink counts of the
-// two taint passes — the delta is the spurious labels the strong updates
-// remove.
+// framework (serial and pooled), reaching definitions, liveness, the
+// abstract interpreter (constants + intervals) with CFG refinement, and
+// the full `adprom lint` vetter. Also reports the labeled-sink counts of
+// the two taint passes — the delta is the spurious labels the strong
+// updates remove — and the edges/loops the refiner sharpens per app.
 //
 // Machine-readable results are written to BENCH_analysis.json at the
 // repository root (override with --json <path>).
@@ -15,7 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint/cfg_refiner.h"
+#include "analysis/absint/engine.h"
 #include "analysis/dataflow/flow_graph.h"
+#include "core/adprom.h"
+#include "core/detection_engine.h"
 #include "analysis/dataflow/lint.h"
 #include "analysis/dataflow/liveness.h"
 #include "analysis/dataflow/reaching_defs.h"
@@ -46,9 +51,13 @@ struct AppResult {
   double fs_taint_pooled_ms = 0.0;
   double reaching_defs_ms = 0.0;
   double liveness_ms = 0.0;
+  double absint_ms = 0.0;
+  double refine_ms = 0.0;
   double lint_ms = 0.0;
   size_t fi_labeled_sinks = 0;
   size_t fs_labeled_sinks = 0;
+  size_t pruned_edges = 0;
+  size_t bounded_loops = 0;
   size_t lint_findings = 0;
 };
 
@@ -102,6 +111,31 @@ AppResult BenchApp(const apps::CorpusApp& app, size_t repeats,
       analysis::dataflow::ComputeLiveness(graph);
     }
   });
+  analysis::absint::AbsintOptions absint_options;
+  absint_options.pool = pool;
+  result.absint_ms = TimeMs(repeats, [&] {
+    auto absint =
+        analysis::absint::RunAbstractInterpretation(program, absint_options);
+    ADPROM_CHECK(absint.ok());
+  });
+  {
+    // Refinement is cheap relative to the interpretation, so it is timed
+    // on fresh CFGs each repeat (MarkInfeasible/SetLoopBound mutate them).
+    auto absint =
+        analysis::absint::RunAbstractInterpretation(program, absint_options);
+    ADPROM_CHECK(absint.ok());
+    result.refine_ms = TimeMs(repeats, [&] {
+      std::map<std::string, prog::Cfg> cfgs;
+      for (const prog::FunctionDef& fn : program.functions()) {
+        auto cfg = prog::BuildCfg(program, fn);
+        ADPROM_CHECK(cfg.ok());
+        cfgs.emplace(fn.name, std::move(*cfg));
+      }
+      const auto summary = analysis::absint::RefineCfgs(*absint, &cfgs);
+      result.pruned_edges = summary.pruned_edges;
+      result.bounded_loops = summary.bounded_loops;
+    });
+  }
   result.lint_ms = TimeMs(repeats, [&] {
     auto report = analysis::dataflow::RunLint(program);
     ADPROM_CHECK(report.ok());
@@ -117,7 +151,71 @@ AppResult BenchApp(const apps::CorpusApp& app, size_t repeats,
   return result;
 }
 
+/// The forecast ablation scores the *statically seeded* HMM (Baum-Welch
+/// disabled) on the absint demo's benign trace; the refined − uniform
+/// delta is the sharpening the pruned edges and the loop bound buy before
+/// any dynamic training can wash the seed out.
+struct ForecastAblation {
+  double refined_mean_score = 0.0;
+  double uniform_mean_score = 0.0;
+};
+
+core::DbFactory DemoDb() {
+  return [] {
+    auto db = std::make_unique<db::Database>();
+    db->Execute("CREATE TABLE jobs (id INT, status TEXT)");
+    db->Execute("INSERT INTO jobs VALUES (0, 'queued')");
+    db->Execute("INSERT INTO jobs VALUES (1, 'running')");
+    db->Execute("INSERT INTO jobs VALUES (2, 'done')");
+    return db;
+  };
+}
+
+double MeanSeededWindowScore(const prog::Program& program, bool refined) {
+  core::ProfileOptions options;
+  options.window_length = 5;  // the demo trace is 13 calls long
+  options.absint_refinement = refined;
+  options.train.max_iterations = 0;  // score the static seed itself
+  const std::vector<core::TestCase> cases(4);
+  auto system = core::AdProm::Train(program, DemoDb(), cases, options);
+  ADPROM_CHECK_MSG(system.ok(), system.status().ToString());
+
+  auto cfgs = prog::BuildAllCfgs(program);
+  ADPROM_CHECK(cfgs.ok());
+  auto trace =
+      core::AdProm::CollectTrace(program, *cfgs, DemoDb(), core::TestCase{});
+  ADPROM_CHECK(trace.ok());
+
+  const core::DetectionEngine engine(&system->profile());
+  const std::vector<core::Detection> detections =
+      engine.MonitorTrace(*trace);
+  ADPROM_CHECK(!detections.empty());
+  double sum = 0.0;
+  for (const core::Detection& d : detections) sum += d.score;
+  return sum / static_cast<double>(detections.size());
+}
+
+ForecastAblation RunForecastAblation() {
+  std::ifstream demo_file(std::string(ADPROM_SOURCE_DIR) +
+                          "/samples/absint/demo.mini");
+  std::stringstream demo_source;
+  demo_source << demo_file.rdbuf();
+  auto program = prog::ParseProgram(demo_source.str());
+  ADPROM_CHECK_MSG(program.ok(), program.status().ToString());
+
+  ForecastAblation ablation;
+  ablation.refined_mean_score = MeanSeededWindowScore(*program, true);
+  ablation.uniform_mean_score = MeanSeededWindowScore(*program, false);
+  std::printf(
+      "\nForecast ablation (samples/absint/demo.mini, statically seeded"
+      " HMM,\nmean per-symbol window log-likelihood of the benign trace):\n"
+      "  refined forecast  %.4f\n  uniform forecast  %.4f\n",
+      ablation.refined_mean_score, ablation.uniform_mean_score);
+  return ablation;
+}
+
 void WriteJson(const std::vector<AppResult>& results,
+               const ForecastAblation& ablation,
                const std::string& json_path) {
   std::ostringstream json;
   json << "{\n";
@@ -134,13 +232,21 @@ void WriteJson(const std::vector<AppResult>& results,
          << ", \"fs_taint_pooled_ms\": " << Num(r.fs_taint_pooled_ms)
          << ", \"reaching_defs_ms\": " << Num(r.reaching_defs_ms)
          << ", \"liveness_ms\": " << Num(r.liveness_ms)
+         << ", \"absint_ms\": " << Num(r.absint_ms)
+         << ", \"refine_ms\": " << Num(r.refine_ms)
          << ", \"lint_ms\": " << Num(r.lint_ms)
          << ", \"fi_labeled_sinks\": " << r.fi_labeled_sinks
          << ", \"fs_labeled_sinks\": " << r.fs_labeled_sinks
+         << ", \"pruned_edges\": " << r.pruned_edges
+         << ", \"bounded_loops\": " << r.bounded_loops
          << ", \"lint_findings\": " << r.lint_findings << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  json << "  ]\n";
+  json << "  ],\n";
+  json << "  \"forecast_ablation\": {\"app\": \"samples/absint/demo.mini\""
+       << ", \"refined_mean_score\": " << Num(ablation.refined_mean_score)
+       << ", \"uniform_mean_score\": " << Num(ablation.uniform_mean_score)
+       << "}\n";
   json << "}\n";
 
   std::ofstream out(json_path, std::ios::binary);
@@ -165,20 +271,25 @@ void Run(const std::string& json_path) {
 
   std::vector<AppResult> results;
   util::TablePrinter table({"app", "fns", "FI taint", "FS taint",
-                            "FS pooled", "reach-defs", "liveness", "lint",
-                            "FI/FS sinks", "findings"});
+                            "FS pooled", "reach-defs", "liveness", "absint",
+                            "refine", "lint", "FI/FS sinks", "pruned/bounded",
+                            "findings"});
   for (const apps::CorpusApp& app : corpus) {
     AppResult r = BenchApp(app, repeats, &pool);
     table.AddRow({r.name, std::to_string(r.functions), Num(r.fi_taint_ms),
                   Num(r.fs_taint_ms), Num(r.fs_taint_pooled_ms),
-                  Num(r.reaching_defs_ms), Num(r.liveness_ms), Num(r.lint_ms),
+                  Num(r.reaching_defs_ms), Num(r.liveness_ms),
+                  Num(r.absint_ms), Num(r.refine_ms), Num(r.lint_ms),
                   std::to_string(r.fi_labeled_sinks) + "/" +
                       std::to_string(r.fs_labeled_sinks),
+                  std::to_string(r.pruned_edges) + "/" +
+                      std::to_string(r.bounded_loops),
                   std::to_string(r.lint_findings)});
     results.push_back(std::move(r));
   }
   table.Print();
-  WriteJson(results, json_path);
+  const ForecastAblation ablation = RunForecastAblation();
+  WriteJson(results, ablation, json_path);
 }
 
 }  // namespace

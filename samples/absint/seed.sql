@@ -1,0 +1,5 @@
+# Schema and seed data for the absint demo sample.
+CREATE TABLE jobs (id INT, status TEXT)
+INSERT INTO jobs VALUES (0, 'queued')
+INSERT INTO jobs VALUES (1, 'running')
+INSERT INTO jobs VALUES (2, 'done')

@@ -1,0 +1,117 @@
+#include "analysis/absint/abstract_value.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace adprom::analysis::absint {
+
+AbsValue AbsValue::Int(Interval iv) {
+  AbsValue v;
+  if (iv.IsTop()) return v;  // a full-range integer adds no information
+  v.kind_ = Kind::kInt;
+  v.interval_ = iv;
+  return v;
+}
+
+AbsValue AbsValue::RealConstant(double value) {
+  AbsValue v;
+  v.kind_ = Kind::kRealConst;
+  v.real_ = value;
+  return v;
+}
+
+AbsValue AbsValue::StrConstant(std::string value) {
+  AbsValue v;
+  v.kind_ = Kind::kStrConst;
+  v.str_ = std::move(value);
+  return v;
+}
+
+AbsValue AbsValue::Null() {
+  AbsValue v;
+  v.kind_ = Kind::kNull;
+  return v;
+}
+
+AbsValue AbsValue::DbResult(int columns) {
+  AbsValue v;
+  v.kind_ = Kind::kDbResult;
+  v.db_columns_ = columns;
+  return v;
+}
+
+AbsValue AbsValue::Join(const AbsValue& other) const {
+  if (kind_ != other.kind_) return Top();
+  switch (kind_) {
+    case Kind::kTop:
+      return Top();
+    case Kind::kInt:
+      return Int(interval_.Join(other.interval_));
+    case Kind::kRealConst:
+      return real_ == other.real_ ? *this : Top();
+    case Kind::kStrConst:
+      return str_ == other.str_ ? *this : Top();
+    case Kind::kNull:
+      return *this;
+    case Kind::kDbResult:
+      return DbResult(db_columns_ == other.db_columns_ ? db_columns_ : -1);
+  }
+  return Top();
+}
+
+Tri AbsValue::Truthiness() const {
+  switch (kind_) {
+    case Kind::kTop:
+      return Tri::kUnknown;
+    case Kind::kInt:
+      if (interval_ == Interval::Constant(0)) return Tri::kFalse;
+      if (!interval_.ContainsZero()) return Tri::kTrue;
+      return Tri::kUnknown;
+    case Kind::kRealConst:
+      return real_ != 0.0 ? Tri::kTrue : Tri::kFalse;
+    case Kind::kStrConst:
+      return str_.empty() ? Tri::kFalse : Tri::kTrue;
+    case Kind::kNull:
+      return Tri::kFalse;
+    case Kind::kDbResult:
+      // db_query returns the null sentinel when the SQL fails
+      // (mysql_query error-code semantics), so a result value is
+      // "handle or null" and its truthiness cannot be decided.
+      return Tri::kUnknown;
+  }
+  return Tri::kUnknown;
+}
+
+Interval AbsValue::AsIntRange() const {
+  switch (kind_) {
+    case Kind::kTop:
+      return Interval::Top();
+    case Kind::kInt:
+      return interval_;
+    default:
+      return Interval::Empty();
+  }
+}
+
+std::string AbsValue::ToString() const {
+  switch (kind_) {
+    case Kind::kTop:
+      return "top";
+    case Kind::kInt:
+      return interval_.ToString();
+    case Kind::kRealConst:
+      return util::StrFormat("%g", real_);
+    case Kind::kStrConst:
+      return "\"" + str_ + "\"";
+    case Kind::kNull:
+      return "null";
+    case Kind::kDbResult:
+      return db_columns_ >= 0
+                 ? util::StrFormat("db_result(%d cols)", db_columns_)
+                 : "db_result";
+  }
+  return "top";
+}
+
+}  // namespace adprom::analysis::absint

@@ -1,0 +1,94 @@
+#ifndef ADPROM_ANALYSIS_ABSINT_ABSTRACT_VALUE_H_
+#define ADPROM_ANALYSIS_ABSINT_ABSTRACT_VALUE_H_
+
+#include <string>
+
+#include "analysis/absint/interval.h"
+
+namespace adprom::analysis::absint {
+
+/// Three-valued truth used by the branch-feasibility evaluator.
+enum class Tri { kFalse, kTrue, kUnknown };
+
+/// The value lattice of the abstract interpreter: a reduced product of
+/// constant propagation and intervals over MiniApp's dynamic types.
+///
+///                      kTop (any runtime value)
+///       |        |         |        |           |
+///    kInt     kRealConst  kStrConst  kNull   kDbResult
+///  (interval;  (one real)  (one      (the    (query handle,
+///   constant              string)    null    column count if
+///   iff lo==hi)                      value)  statically known)
+///
+/// Integers carry a full interval — constants are the singleton case —
+/// while reals and strings only track single constants (enough to fold
+/// lengths, query texts and arithmetic seeds; their join is kTop).
+/// kDbResult models db_query's return: a result handle *or* the null
+/// sentinel (db_query yields null on a SQL error), so its truthiness is
+/// unknown; `db_columns` >= 0 when the SELECT list of a constant query
+/// string could be parsed. There is no per-value bottom: unreachability is a
+/// property of the abstract *state*, and infeasible refinements surface
+/// as empty intervals at the refinement site.
+class AbsValue {
+ public:
+  enum class Kind { kTop, kInt, kRealConst, kStrConst, kNull, kDbResult };
+
+  AbsValue() = default;  // top
+
+  static AbsValue Top() { return AbsValue(); }
+  static AbsValue Int(Interval iv);
+  static AbsValue IntConstant(int64_t v) {
+    return Int(Interval::Constant(v));
+  }
+  static AbsValue RealConstant(double v);
+  static AbsValue StrConstant(std::string v);
+  static AbsValue Null();
+  static AbsValue DbResult(int columns);
+
+  Kind kind() const { return kind_; }
+  bool IsTop() const { return kind_ == Kind::kTop; }
+  const Interval& interval() const { return interval_; }
+  double real_value() const { return real_; }
+  const std::string& str_value() const { return str_; }
+  int db_columns() const { return db_columns_; }
+
+  bool IsIntConstant() const {
+    return kind_ == Kind::kInt && interval_.IsConstant();
+  }
+  int64_t int_constant() const { return interval_.lo(); }
+
+  bool operator==(const AbsValue& other) const = default;
+
+  /// Lattice join; mixed kinds meet at kTop (except two kDbResult values,
+  /// which join to a handle with unknown column count).
+  AbsValue Join(const AbsValue& other) const;
+
+  /// MiniApp truthiness: null/0/0.0/"" are false; a db result is
+  /// handle-or-null, so its truthiness is unknown.
+  Tri Truthiness() const;
+
+  /// The value as an integer range: the interval for kInt, full range for
+  /// kTop (a top value *may* be any integer), empty for kinds that can
+  /// never be an integer.
+  Interval AsIntRange() const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kTop;
+  Interval interval_ = Interval::Empty();  // kInt
+  double real_ = 0.0;                      // kRealConst
+  std::string str_;                        // kStrConst
+  int db_columns_ = -1;                    // kDbResult (-1 = unknown)
+};
+
+/// Negation of a three-valued truth.
+inline Tri TriNot(Tri t) {
+  if (t == Tri::kTrue) return Tri::kFalse;
+  if (t == Tri::kFalse) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+
+}  // namespace adprom::analysis::absint
+
+#endif  // ADPROM_ANALYSIS_ABSINT_ABSTRACT_VALUE_H_

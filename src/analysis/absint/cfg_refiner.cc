@@ -1,0 +1,76 @@
+#include "analysis/absint/cfg_refiner.h"
+
+namespace adprom::analysis::absint {
+
+namespace {
+
+/// Applies one function's branch facts to its CFG.
+RefinementSummary RefineOne(const FunctionAbsint& facts, prog::Cfg* cfg) {
+  RefinementSummary summary;
+  std::map<const prog::Stmt*, const prog::CfgBranch*> branch_of;
+  for (const prog::CfgBranch& branch : cfg->branches()) {
+    branch_of[branch.stmt] = &branch;
+  }
+  std::map<const prog::Stmt*, const prog::CfgLoopInfo*> loop_of;
+  for (const prog::CfgLoopInfo& loop : cfg->loops()) {
+    loop_of[loop.stmt] = &loop;
+  }
+
+  for (const BranchFact& fact : facts.branches) {
+    auto it = branch_of.find(fact.stmt);
+    if (it == branch_of.end()) continue;
+    const prog::CfgBranch& branch = *it->second;
+    const prog::CfgLoopInfo* loop = nullptr;
+    if (fact.is_loop) {
+      auto lit = loop_of.find(fact.stmt);
+      if (lit != loop_of.end()) loop = lit->second;
+    }
+
+    if (fact.verdict == Tri::kFalse) {
+      // The true side can never execute (for a loop: the body never runs).
+      cfg->MarkInfeasible(branch.cond_node, branch.true_target);
+      ++summary.pruned_edges;
+      continue;
+    }
+
+    const bool always_true = fact.verdict == Tri::kTrue;
+    if (!fact.is_loop) {
+      if (always_true) {
+        cfg->MarkInfeasible(branch.cond_node, branch.false_target);
+        ++summary.pruned_edges;
+      }
+      continue;
+    }
+
+    // Loops: dropping the zero-iteration skip edge requires a back edge,
+    // otherwise nothing would carry flow to the code after the loop.
+    const bool has_back_edge = loop != nullptr && loop->back_src >= 0;
+    if ((always_true || fact.entered || fact.trip_count >= 1) &&
+        has_back_edge) {
+      cfg->MarkInfeasible(branch.cond_node, branch.false_target);
+      ++summary.pruned_edges;
+    }
+    if (fact.trip_count >= 2 && has_back_edge) {
+      cfg->SetLoopBound(loop->back_src, loop->header, fact.trip_count);
+      ++summary.bounded_loops;
+    }
+  }
+  return summary;
+}
+
+}  // namespace
+
+RefinementSummary RefineCfgs(const AbsintResult& absint,
+                             std::map<std::string, prog::Cfg>* cfgs) {
+  RefinementSummary total;
+  for (auto& [name, cfg] : *cfgs) {
+    auto it = absint.functions.find(name);
+    if (it == absint.functions.end()) continue;
+    const RefinementSummary one = RefineOne(it->second, &cfg);
+    total.pruned_edges += one.pruned_edges;
+    total.bounded_loops += one.bounded_loops;
+  }
+  return total;
+}
+
+}  // namespace adprom::analysis::absint

@@ -1,0 +1,31 @@
+#ifndef ADPROM_ANALYSIS_ABSINT_CFG_REFINER_H_
+#define ADPROM_ANALYSIS_ABSINT_CFG_REFINER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "analysis/absint/engine.h"
+#include "prog/cfg.h"
+
+namespace adprom::analysis::absint {
+
+/// What the refiner changed across all CFGs.
+struct RefinementSummary {
+  size_t pruned_edges = 0;
+  size_t bounded_loops = 0;
+};
+
+/// Maps the abstract interpreter's branch facts onto the block-level CFGs:
+/// edges out of a branch whose condition is a proven constant are marked
+/// infeasible, loops provably entered lose their zero-iteration skip edge,
+/// and counted loops get their exact trip count attached to the back edge.
+/// Statements are matched by AST pointer (both representations were built
+/// from the same Program). CFGs of functions absent from `absint` are left
+/// untouched.
+RefinementSummary RefineCfgs(const AbsintResult& absint,
+                             std::map<std::string, prog::Cfg>* cfgs);
+
+}  // namespace adprom::analysis::absint
+
+#endif  // ADPROM_ANALYSIS_ABSINT_CFG_REFINER_H_

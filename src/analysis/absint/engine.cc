@@ -1,0 +1,1226 @@
+#include "analysis/absint/engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "analysis/dataflow/flow_graph.h"
+#include "analysis/dataflow/solver.h"
+#include "prog/scc.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace adprom::analysis::absint {
+
+namespace {
+
+using dataflow::FlowGraph;
+using dataflow::FlowNode;
+using dataflow::FlowOp;
+
+/// Comparison folding is only trusted while int64 -> double conversion is
+/// injective (the runtime compares numerics as doubles).
+constexpr int64_t kExactDoubleBound = int64_t{1} << 53;
+
+bool WithinExactDoubleRange(const Interval& iv) {
+  return iv.lo() >= -kExactDoubleBound && iv.hi() <= kExactDoubleBound;
+}
+
+/// The abstract state at a program point: unreachable (bottom), or a
+/// variable environment where an absent variable means "any value" (top).
+/// Default-constructed == bottom, as the solver requires.
+struct AbsState {
+  bool reachable = false;
+  std::map<std::string, AbsValue> vars;
+
+  bool operator==(const AbsState&) const = default;
+};
+
+void JoinInto(AbsState* into, const AbsState& from) {
+  if (!from.reachable) return;
+  if (!into->reachable) {
+    *into = from;
+    return;
+  }
+  for (auto it = into->vars.begin(); it != into->vars.end();) {
+    auto other = from.vars.find(it->first);
+    if (other == from.vars.end()) {
+      it = into->vars.erase(it);  // top on the other path
+      continue;
+    }
+    AbsValue joined = it->second.Join(other->second);
+    if (joined.IsTop()) {
+      it = into->vars.erase(it);
+    } else {
+      it->second = std::move(joined);
+      ++it;
+    }
+  }
+}
+
+/// Three-valued comparison over abstract values, mirroring the runtime's
+/// numeric/string comparison semantics.
+Tri CompareTri(prog::BinOp op, const AbsValue& lhs, const AbsValue& rhs) {
+  using Kind = AbsValue::Kind;
+  // Null is incomparable to everything but null. A db result may itself
+  // be null (db_query yields null on a SQL error), so it stays unknown.
+  if (lhs.kind() == Kind::kNull || rhs.kind() == Kind::kNull) {
+    if (lhs.kind() != rhs.kind()) {
+      if (lhs.IsTop() || rhs.IsTop() ||
+          lhs.kind() == Kind::kDbResult || rhs.kind() == Kind::kDbResult) {
+        return Tri::kUnknown;
+      }
+      switch (op) {
+        case prog::BinOp::kEq: return Tri::kFalse;
+        case prog::BinOp::kNe: return Tri::kTrue;
+        default: return Tri::kFalse;  // incomparable: all orderings false
+      }
+    }
+    switch (op) {  // null vs null compares equal
+      case prog::BinOp::kLe:
+      case prog::BinOp::kGe:
+      case prog::BinOp::kEq: return Tri::kTrue;
+      default: return Tri::kFalse;
+    }
+  }
+  if (lhs.kind() == Kind::kStrConst && rhs.kind() == Kind::kStrConst) {
+    const int c = lhs.str_value().compare(rhs.str_value());
+    switch (op) {
+      case prog::BinOp::kLt: return c < 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kLe: return c <= 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kGt: return c > 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kGe: return c >= 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kEq: return c == 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kNe: return c != 0 ? Tri::kTrue : Tri::kFalse;
+      default: return Tri::kUnknown;
+    }
+  }
+  // Numeric comparison via interval ordering. Real constants degrade to
+  // the surrounding integer interval only when exact.
+  auto numeric_range = [](const AbsValue& v, Interval* out) {
+    if (v.kind() == Kind::kInt) {
+      *out = v.interval();
+      return WithinExactDoubleRange(*out);
+    }
+    if (v.kind() == Kind::kRealConst) {
+      const double d = v.real_value();
+      const auto i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) != d) return false;  // non-integral real
+      *out = Interval::Constant(i);
+      return WithinExactDoubleRange(*out);
+    }
+    return false;
+  };
+  Interval a, b;
+  if (!numeric_range(lhs, &a) || !numeric_range(rhs, &b)) {
+    return Tri::kUnknown;
+  }
+  if (a.IsEmpty() || b.IsEmpty()) return Tri::kUnknown;
+  switch (op) {
+    case prog::BinOp::kLt:
+      if (a.hi() < b.lo()) return Tri::kTrue;
+      if (a.lo() >= b.hi()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kLe:
+      if (a.hi() <= b.lo()) return Tri::kTrue;
+      if (a.lo() > b.hi()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kGt:
+      if (a.lo() > b.hi()) return Tri::kTrue;
+      if (a.hi() <= b.lo()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kGe:
+      if (a.lo() >= b.hi()) return Tri::kTrue;
+      if (a.hi() < b.lo()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kEq:
+      if (a.IsConstant() && a == b) return Tri::kTrue;
+      if (a.hi() < b.lo() || b.hi() < a.lo()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kNe:
+      return TriNot(CompareTri(prog::BinOp::kEq, lhs, rhs));
+    default:
+      return Tri::kUnknown;
+  }
+}
+
+AbsValue TriToValue(Tri t) {
+  switch (t) {
+    case Tri::kTrue: return AbsValue::Int(Interval::True());
+    case Tri::kFalse: return AbsValue::Int(Interval::False());
+    case Tri::kUnknown: return AbsValue::Int(Interval::Bool());
+  }
+  return AbsValue::Int(Interval::Bool());
+}
+
+/// Abstract evaluation of library calls. Anything not listed is top.
+AbsValue EvalLibraryCall(const std::string& name,
+                         const std::vector<AbsValue>& args) {
+  using Kind = AbsValue::Kind;
+  if (name == "len") {
+    if (args.size() == 1 && args[0].kind() == Kind::kStrConst) {
+      return AbsValue::IntConstant(
+          static_cast<int64_t>(args[0].str_value().size()));
+    }
+    return AbsValue::Int(Interval::NonNegative());
+  }
+  if (name == "to_int") {
+    // Identity on integers; string parsing is not modeled.
+    if (args.size() == 1 && args[0].kind() == Kind::kInt) return args[0];
+    return AbsValue::Top();
+  }
+  if (name == "is_null") {
+    if (args.size() != 1) return AbsValue::Top();
+    switch (args[0].kind()) {
+      case Kind::kNull: return TriToValue(Tri::kTrue);
+      case Kind::kInt:
+      case Kind::kRealConst:
+      case Kind::kStrConst: return TriToValue(Tri::kFalse);
+      // A db result is "handle or null": db_query yields null on a SQL
+      // error, so the defensive is_null(r) checks apps write are live.
+      case Kind::kDbResult:
+      case Kind::kTop: return TriToValue(Tri::kUnknown);
+    }
+    return AbsValue::Top();
+  }
+  if (name == "db_query") {
+    if (args.size() == 1 && args[0].kind() == Kind::kStrConst) {
+      return AbsValue::DbResult(CountSelectColumns(args[0].str_value()));
+    }
+    return AbsValue::DbResult(-1);
+  }
+  if (name == "db_ntuples") return AbsValue::Int(Interval::NonNegative());
+  if (name == "db_nfields") {
+    if (args.size() == 1 && args[0].kind() == Kind::kDbResult &&
+        args[0].db_columns() >= 0) {
+      return AbsValue::IntConstant(args[0].db_columns());
+    }
+    return AbsValue::Int(Interval::NonNegative());
+  }
+  if (name == "contains" || name == "like_match" || name == "has_input") {
+    return AbsValue::Int(Interval::Bool());
+  }
+  return AbsValue::Top();
+}
+
+/// Forward abstract evaluation (effect-free: MiniApp calls cannot write
+/// locals of the evaluating function).
+AbsValue EvalExpr(const prog::Expr& e, const AbsState& state,
+                  const std::map<std::string, AbsValue>& user_fn_returns) {
+  using Kind = AbsValue::Kind;
+  switch (e.kind) {
+    case prog::ExprKind::kIntLit:
+      return AbsValue::IntConstant(e.int_value);
+    case prog::ExprKind::kRealLit:
+      return AbsValue::RealConstant(e.real_value);
+    case prog::ExprKind::kStrLit:
+      return AbsValue::StrConstant(e.str_value);
+    case prog::ExprKind::kVar: {
+      auto it = state.vars.find(e.name);
+      return it == state.vars.end() ? AbsValue::Top() : it->second;
+    }
+    case prog::ExprKind::kUnary: {
+      const AbsValue v = EvalExpr(*e.lhs, state, user_fn_returns);
+      if (e.un_op == prog::UnOp::kNot) return TriToValue(TriNot(v.Truthiness()));
+      if (v.kind() == Kind::kInt) return AbsValue::Int(v.interval().Negate());
+      if (v.kind() == Kind::kRealConst) {
+        return AbsValue::RealConstant(-v.real_value());
+      }
+      return AbsValue::Top();
+    }
+    case prog::ExprKind::kBinary: {
+      const AbsValue lhs = EvalExpr(*e.lhs, state, user_fn_returns);
+      const AbsValue rhs = EvalExpr(*e.rhs, state, user_fn_returns);
+      switch (e.bin_op) {
+        case prog::BinOp::kAdd:
+          if (lhs.kind() == Kind::kStrConst && rhs.kind() == Kind::kStrConst) {
+            return AbsValue::StrConstant(lhs.str_value() + rhs.str_value());
+          }
+          if (lhs.kind() == Kind::kStrConst && rhs.IsIntConstant()) {
+            return AbsValue::StrConstant(
+                lhs.str_value() + std::to_string(rhs.int_constant()));
+          }
+          if (lhs.IsIntConstant() && rhs.kind() == Kind::kStrConst) {
+            return AbsValue::StrConstant(
+                std::to_string(lhs.int_constant()) + rhs.str_value());
+          }
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            return AbsValue::Int(lhs.interval().Add(rhs.interval()));
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kSub:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            return AbsValue::Int(lhs.interval().Sub(rhs.interval()));
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kMul:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            return AbsValue::Int(lhs.interval().Mul(rhs.interval()));
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kDiv:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            const Interval q = lhs.interval().Div(rhs.interval());
+            // Division by a provable zero never produces a value (the
+            // runtime errors out); top keeps the result sound for the
+            // "divisor range includes zero" case.
+            return q.IsEmpty() ? AbsValue::Top() : AbsValue::Int(q);
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kMod:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            const Interval q = lhs.interval().Mod(rhs.interval());
+            return q.IsEmpty() ? AbsValue::Top() : AbsValue::Int(q);
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kLt:
+        case prog::BinOp::kLe:
+        case prog::BinOp::kGt:
+        case prog::BinOp::kGe:
+        case prog::BinOp::kEq:
+        case prog::BinOp::kNe:
+          return TriToValue(CompareTri(e.bin_op, lhs, rhs));
+        case prog::BinOp::kAnd: {
+          const Tri l = lhs.Truthiness();
+          const Tri r = rhs.Truthiness();
+          if (l == Tri::kFalse || r == Tri::kFalse) return TriToValue(Tri::kFalse);
+          if (l == Tri::kTrue && r == Tri::kTrue) return TriToValue(Tri::kTrue);
+          return TriToValue(Tri::kUnknown);
+        }
+        case prog::BinOp::kOr: {
+          const Tri l = lhs.Truthiness();
+          const Tri r = rhs.Truthiness();
+          if (l == Tri::kTrue || r == Tri::kTrue) return TriToValue(Tri::kTrue);
+          if (l == Tri::kFalse && r == Tri::kFalse) return TriToValue(Tri::kFalse);
+          return TriToValue(Tri::kUnknown);
+        }
+      }
+      return AbsValue::Top();
+    }
+    case prog::ExprKind::kCall: {
+      std::vector<AbsValue> args;
+      args.reserve(e.args.size());
+      for (const auto& arg : e.args) {
+        args.push_back(EvalExpr(*arg, state, user_fn_returns));
+      }
+      auto it = user_fn_returns.find(e.name);
+      if (it != user_fn_returns.end()) return it->second;
+      return EvalLibraryCall(e.name, args);
+    }
+  }
+  return AbsValue::Top();
+}
+
+prog::BinOp MirrorRel(prog::BinOp op) {
+  switch (op) {
+    case prog::BinOp::kLt: return prog::BinOp::kGt;
+    case prog::BinOp::kLe: return prog::BinOp::kGe;
+    case prog::BinOp::kGt: return prog::BinOp::kLt;
+    case prog::BinOp::kGe: return prog::BinOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsRelOp(prog::BinOp op) {
+  switch (op) {
+    case prog::BinOp::kLt:
+    case prog::BinOp::kLe:
+    case prog::BinOp::kGt:
+    case prog::BinOp::kGe:
+    case prog::BinOp::kEq:
+    case prog::BinOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+prog::BinOp NegateRel(prog::BinOp op) {
+  switch (op) {
+    case prog::BinOp::kLt: return prog::BinOp::kGe;
+    case prog::BinOp::kLe: return prog::BinOp::kGt;
+    case prog::BinOp::kGt: return prog::BinOp::kLe;
+    case prog::BinOp::kGe: return prog::BinOp::kLt;
+    case prog::BinOp::kEq: return prog::BinOp::kNe;
+    case prog::BinOp::kNe: return prog::BinOp::kEq;
+    default: return op;
+  }
+}
+
+/// Narrows `state` under the assumption `var REL value` holds. Returns
+/// false when the assumption is infeasible (caller marks the edge dead).
+bool RefineVarAgainst(AbsState* state, const std::string& var,
+                      prog::BinOp rel, const AbsValue& value) {
+  auto it = state->vars.find(var);
+  const AbsValue current =
+      it == state->vars.end() ? AbsValue::Top() : it->second;
+  // Equality against any constant pins the variable to it.
+  if (rel == prog::BinOp::kEq) {
+    using Kind = AbsValue::Kind;
+    if (value.kind() == Kind::kStrConst || value.kind() == Kind::kRealConst ||
+        value.kind() == Kind::kNull || value.IsIntConstant()) {
+      if (current.IsTop()) {
+        state->vars[var] = value;
+        return true;
+      }
+      // Keep whatever is more precise; contradictions fold to infeasible
+      // for comparable kinds.
+      const Tri eq = CompareTri(prog::BinOp::kEq, current, value);
+      if (eq == Tri::kFalse) return false;
+      if (value.kind() != Kind::kTop) state->vars[var] = value;
+      return true;
+    }
+  }
+  // Interval narrowing for numeric relations.
+  if (current.kind() != AbsValue::Kind::kInt && !current.IsTop()) {
+    return true;  // not (necessarily) an integer; leave as-is
+  }
+  const Interval bound = value.AsIntRange();
+  if (bound.IsEmpty()) return true;  // RHS can never be an integer
+  Interval allowed = Interval::Top();
+  switch (rel) {
+    case prog::BinOp::kLt:
+      allowed = Interval(Interval::kNegInf,
+                         bound.hi() == Interval::kPosInf ? Interval::kPosInf
+                                                        : bound.hi() - 1);
+      break;
+    case prog::BinOp::kLe:
+      allowed = Interval(Interval::kNegInf, bound.hi());
+      break;
+    case prog::BinOp::kGt:
+      allowed = Interval(bound.lo() == Interval::kNegInf ? Interval::kNegInf
+                                                         : bound.lo() + 1,
+                         Interval::kPosInf);
+      break;
+    case prog::BinOp::kGe:
+      allowed = Interval(bound.lo(), Interval::kPosInf);
+      break;
+    case prog::BinOp::kEq:
+      allowed = bound;
+      break;
+    case prog::BinOp::kNe: {
+      Interval range = current.AsIntRange();
+      if (bound.IsConstant() && !range.IsEmpty()) {
+        if (range.lo() == bound.lo() && range.lo() != Interval::kPosInf) {
+          range = Interval(range.lo() + 1, range.hi());
+        }
+        if (range.hi() == bound.lo() && range.hi() != Interval::kNegInf) {
+          range = Interval(range.lo(), range.hi() - 1);
+        }
+        if (range.IsEmpty()) return false;
+        if (current.IsTop() && range.IsTop()) return true;
+        state->vars[var] = AbsValue::Int(range);
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+  const Interval narrowed = current.AsIntRange().Meet(allowed);
+  // An empty meet on a known-integer variable proves the edge dead; a top
+  // variable may hold a non-integer, for which the relation could still
+  // hold (string comparison), so only narrow, never kill, on top.
+  if (narrowed.IsEmpty()) {
+    return current.kind() == AbsValue::Kind::kInt ? false : true;
+  }
+  if (!(current.IsTop() && narrowed.IsTop())) {
+    if (current.IsTop()) {
+      // Narrowing a top variable to an interval is only sound for
+      // numeric relations when the other side is numeric; a top variable
+      // compared to a string would compare lexicographically. Restrict to
+      // genuinely numeric bounds.
+      if (value.kind() == AbsValue::Kind::kInt) {
+        state->vars[var] = AbsValue::Int(narrowed);
+      }
+    } else {
+      state->vars[var] = AbsValue::Int(narrowed);
+    }
+  }
+  return true;
+}
+
+/// Assumes `cond` evaluates to `assume` and narrows `state` accordingly.
+/// Returns false when the assumption is contradictory (edge infeasible).
+bool AssumeCondition(const prog::Expr& cond, bool assume, AbsState* state,
+                     const std::map<std::string, AbsValue>& returns) {
+  const AbsValue v = EvalExpr(cond, *state, returns);
+  const Tri t = v.Truthiness();
+  if ((t == Tri::kTrue && !assume) || (t == Tri::kFalse && assume)) {
+    return false;
+  }
+  switch (cond.kind) {
+    case prog::ExprKind::kUnary:
+      if (cond.un_op == prog::UnOp::kNot) {
+        return AssumeCondition(*cond.lhs, !assume, state, returns);
+      }
+      return true;
+    case prog::ExprKind::kBinary: {
+      if (cond.bin_op == prog::BinOp::kAnd && assume) {
+        return AssumeCondition(*cond.lhs, true, state, returns) &&
+               AssumeCondition(*cond.rhs, true, state, returns);
+      }
+      if (cond.bin_op == prog::BinOp::kOr && !assume) {
+        return AssumeCondition(*cond.lhs, false, state, returns) &&
+               AssumeCondition(*cond.rhs, false, state, returns);
+      }
+      if (!IsRelOp(cond.bin_op)) return true;
+      const prog::BinOp rel =
+          assume ? cond.bin_op : NegateRel(cond.bin_op);
+      if (cond.lhs->kind == prog::ExprKind::kVar) {
+        const AbsValue rhs = EvalExpr(*cond.rhs, *state, returns);
+        if (!RefineVarAgainst(state, cond.lhs->name, rel, rhs)) return false;
+      }
+      if (cond.rhs->kind == prog::ExprKind::kVar) {
+        const AbsValue lhs = EvalExpr(*cond.lhs, *state, returns);
+        if (!RefineVarAgainst(state, cond.rhs->name, MirrorRel(rel), lhs)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case prog::ExprKind::kVar: {
+      // `if (x)` / `if (!x)` on an integer variable trims the zero
+      // boundary (true) or pins to zero (false).
+      auto it = state->vars.find(cond.name);
+      if (it == state->vars.end() ||
+          it->second.kind() != AbsValue::Kind::kInt) {
+        return true;
+      }
+      Interval range = it->second.interval();
+      if (assume) {
+        if (range.lo() == 0) range = Interval(1, range.hi());
+        else if (range.hi() == 0) range = Interval(range.lo(), -1);
+        if (range.IsEmpty()) return false;
+      } else {
+        range = range.Meet(Interval::Constant(0));
+        if (range.IsEmpty()) return false;
+      }
+      it->second = AbsValue::Int(range);
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+/// The dataflow client: forward abstract interpretation with branch-edge
+/// refinement and delayed widening at loop heads.
+class AbsintClient {
+ public:
+  using Domain = AbsState;
+
+  AbsintClient(const FlowGraph& graph,
+               const std::map<std::string, AbsValue>* user_fn_returns,
+               std::map<std::string, AbsValue> param_values, int widen_delay)
+      : user_fn_returns_(*user_fn_returns),
+        param_values_(std::move(param_values)),
+        widen_delay_(widen_delay),
+        loop_head_joins_(graph.size(), 0) {}
+
+  Domain Boundary() const {
+    Domain d;
+    d.reachable = true;
+    for (const auto& [name, value] : param_values_) {
+      if (!value.IsTop()) d.vars[name] = value;
+    }
+    return d;
+  }
+
+  void Join(Domain* into, const Domain& from) const { JoinInto(into, from); }
+
+  Domain Transfer(const FlowNode& node, const Domain& in) {
+    if (!in.reachable) return in;
+    if (node.op != FlowOp::kDef) return in;
+    Domain out = in;
+    const AbsValue v = EvalExpr(*node.expr, in, user_fn_returns_);
+    if (v.IsTop()) {
+      out.vars.erase(node.def);
+    } else {
+      out.vars[node.def] = v;
+    }
+    return out;
+  }
+
+  Domain TransferEdge(const FlowNode& pred, int to_id,
+                      const Domain& out) const {
+    if (!out.reachable || pred.op != FlowOp::kBranch ||
+        pred.expr == nullptr || pred.true_succ == pred.false_succ) {
+      return out;
+    }
+    bool assume = false;
+    if (to_id == pred.true_succ) {
+      assume = true;
+    } else if (to_id != pred.false_succ) {
+      return out;
+    }
+    Domain refined = out;
+    if (!AssumeCondition(*pred.expr, assume, &refined, user_fn_returns_)) {
+      return Domain{};  // infeasible edge contributes bottom
+    }
+    return refined;
+  }
+
+  Domain WidenJoin(const FlowNode& node, const Domain& previous,
+                   const Domain& joined) {
+    if (!node.is_loop_head) return joined;
+    const int visits = ++loop_head_joins_[static_cast<size_t>(node.id)];
+    if (visits <= widen_delay_ || !previous.reachable || !joined.reachable) {
+      return joined;
+    }
+    Domain widened = joined;
+    for (auto& [name, value] : widened.vars) {
+      auto prev = previous.vars.find(name);
+      if (prev == previous.vars.end()) continue;
+      if (value.kind() == AbsValue::Kind::kInt &&
+          prev->second.kind() == AbsValue::Kind::kInt) {
+        const Interval w = value.interval().WidenFrom(prev->second.interval());
+        value = AbsValue::Int(w);
+      }
+    }
+    // Erase values that widened all the way to top so state equality
+    // keeps meaning lattice equality.
+    for (auto it = widened.vars.begin(); it != widened.vars.end();) {
+      if (it->second.IsTop()) {
+        it = widened.vars.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return widened;
+  }
+
+  const std::map<std::string, AbsValue>& returns() const {
+    return user_fn_returns_;
+  }
+
+ private:
+  const std::map<std::string, AbsValue>& user_fn_returns_;
+  std::map<std::string, AbsValue> param_values_;
+  int widen_delay_;
+  std::vector<int> loop_head_joins_;
+};
+
+using Solved = dataflow::SolveResult<AbsintClient>;
+
+/// One descending (narrowing) sweep in reverse post-order: every in-state
+/// is recomputed from the current out-states without widening and every
+/// out-state re-transferred. From a post-fixpoint this stays above the
+/// least fixpoint (transfer is monotone), so the tightened states remain
+/// sound while shedding most of the widening's precision loss.
+void NarrowingSweep(const FlowGraph& graph, AbsintClient* client,
+                    Solved* solved) {
+  for (int id : graph.ReversePostOrder()) {
+    const FlowNode& node = graph.node(id);
+    AbsState in;
+    if (id == graph.entry_id()) client->Join(&in, client->Boundary());
+    for (int from : node.preds) {
+      const AbsState& from_out =
+          solved->states[static_cast<size_t>(from)].out;
+      client->Join(&in, client->TransferEdge(graph.node(from), id, from_out));
+    }
+    auto& slot = solved->states[static_cast<size_t>(id)];
+    slot.in = std::move(in);
+    slot.out = client->Transfer(node, slot.in);
+  }
+}
+
+// --- Counted-loop trip-count analysis ----------------------------------
+
+/// Counts assignments (kAssign or kVarDecl) to `name` in `body`,
+/// recursively.
+void CountAssignments(const prog::StmtList& body, const std::string& name,
+                      int* count) {
+  for (const auto& stmt : body) {
+    if ((stmt->kind == prog::StmtKind::kAssign ||
+         stmt->kind == prog::StmtKind::kVarDecl) &&
+        stmt->target == name) {
+      ++(*count);
+    }
+    CountAssignments(stmt->then_body, name, count);
+    CountAssignments(stmt->else_body, name, count);
+  }
+}
+
+bool BodyContainsReturn(const prog::StmtList& body) {
+  for (const auto& stmt : body) {
+    if (stmt->kind == prog::StmtKind::kReturn) return true;
+    if (BodyContainsReturn(stmt->then_body)) return true;
+    if (BodyContainsReturn(stmt->else_body)) return true;
+  }
+  return false;
+}
+
+void CollectAssignedVars(const prog::StmtList& body,
+                         std::set<std::string>* out) {
+  for (const auto& stmt : body) {
+    if (stmt->kind == prog::StmtKind::kAssign ||
+        stmt->kind == prog::StmtKind::kVarDecl) {
+      out->insert(stmt->target);
+    }
+    CollectAssignedVars(stmt->then_body, out);
+    CollectAssignedVars(stmt->else_body, out);
+  }
+}
+
+bool ExprContainsCall(const prog::Expr& e) {
+  if (e.kind == prog::ExprKind::kCall) return true;
+  if (e.lhs != nullptr && ExprContainsCall(*e.lhs)) return true;
+  if (e.rhs != nullptr && ExprContainsCall(*e.rhs)) return true;
+  for (const auto& arg : e.args) {
+    if (ExprContainsCall(*arg)) return true;
+  }
+  return false;
+}
+
+/// Matches `i = i + c`, `i = c + i`, `i = i - c` (c a non-zero integer
+/// literal) and returns the signed step.
+bool MatchCounterStep(const prog::Stmt& s, const std::string& var,
+                      int64_t* step) {
+  if (s.kind != prog::StmtKind::kAssign || s.target != var ||
+      s.expr == nullptr || s.expr->kind != prog::ExprKind::kBinary) {
+    return false;
+  }
+  const prog::Expr& e = *s.expr;
+  const bool add = e.bin_op == prog::BinOp::kAdd;
+  const bool sub = e.bin_op == prog::BinOp::kSub;
+  if (!add && !sub) return false;
+  const prog::Expr* lit_side = nullptr;
+  if (e.lhs->kind == prog::ExprKind::kVar && e.lhs->name == var &&
+      e.rhs->kind == prog::ExprKind::kIntLit) {
+    lit_side = e.rhs.get();
+  } else if (add && e.rhs->kind == prog::ExprKind::kVar &&
+             e.rhs->name == var && e.lhs->kind == prog::ExprKind::kIntLit) {
+    lit_side = e.lhs.get();
+  } else {
+    return false;
+  }
+  const int64_t c = lit_side->int_value;
+  if (c == 0) return false;
+  *step = sub ? -c : c;
+  return true;
+}
+
+/// Exact trip count of `while (i REL bound) { ...; i = i +/- c; }` given
+/// the state on the loop-entry edge. Returns -1 when the pattern does not
+/// apply or the count exceeds `max_trip_count`. Zero-trip loops are
+/// reported as 0 (the caller already knows `entered` separately).
+int64_t ComputeTripCount(const prog::Stmt& loop, const AbsState& entry_state,
+                         const std::map<std::string, AbsValue>& returns,
+                         int64_t max_trip_count) {
+  if (loop.expr == nullptr || loop.expr->kind != prog::ExprKind::kBinary) {
+    return -1;
+  }
+  const prog::Expr& cond = *loop.expr;
+  prog::BinOp rel = cond.bin_op;
+  const prog::Expr* var_expr = nullptr;
+  const prog::Expr* bound_expr = nullptr;
+  if (cond.lhs->kind == prog::ExprKind::kVar) {
+    var_expr = cond.lhs.get();
+    bound_expr = cond.rhs.get();
+  } else if (cond.rhs->kind == prog::ExprKind::kVar) {
+    var_expr = cond.rhs.get();
+    bound_expr = cond.lhs.get();
+    rel = MirrorRel(rel);
+  } else {
+    return -1;
+  }
+  if (rel != prog::BinOp::kLt && rel != prog::BinOp::kLe &&
+      rel != prog::BinOp::kGt && rel != prog::BinOp::kGe) {
+    return -1;
+  }
+  const std::string& var = var_expr->name;
+  if (ExprContainsCall(*bound_expr)) return -1;
+
+  // The bound must be loop-invariant: none of its variables are assigned
+  // in the body, and it folds to an integer constant on entry.
+  std::set<std::string> assigned;
+  CollectAssignedVars(loop.then_body, &assigned);
+  std::vector<std::string> bound_reads;
+  dataflow::CollectVarReads(*bound_expr, &bound_reads);
+  for (const std::string& read : bound_reads) {
+    if (assigned.count(read) > 0) return -1;
+  }
+  const AbsValue bound_value = EvalExpr(*bound_expr, entry_state, returns);
+  if (!bound_value.IsIntConstant()) return -1;
+  const int64_t bound = bound_value.int_constant();
+
+  const AbsValue init_value = EvalExpr(*var_expr, entry_state, returns);
+  if (!init_value.IsIntConstant()) return -1;
+  const int64_t init = init_value.int_constant();
+
+  // Exactly one update of the counter, as a top-level body statement.
+  int assignments = 0;
+  CountAssignments(loop.then_body, var, &assignments);
+  if (assignments != 1) return -1;
+  int64_t step = 0;
+  bool top_level = false;
+  for (const auto& stmt : loop.then_body) {
+    if (MatchCounterStep(*stmt, var, &step)) top_level = true;
+  }
+  if (!top_level) return -1;
+  if (BodyContainsReturn(loop.then_body)) return -1;
+
+  const bool upward = rel == prog::BinOp::kLt || rel == prog::BinOp::kLe;
+  if (upward && step <= 0) return -1;
+  if (!upward && step >= 0) return -1;
+
+  // All quantities fit easily in __int128, so no overflow anywhere.
+  const __int128 distance = upward
+                                ? static_cast<__int128>(bound) - init
+                                : static_cast<__int128>(init) - bound;
+  const __int128 magnitude = step < 0 ? -static_cast<__int128>(step) : step;
+  __int128 count = 0;
+  if (rel == prog::BinOp::kLt || rel == prog::BinOp::kGt) {
+    count = distance <= 0 ? 0 : (distance + magnitude - 1) / magnitude;
+  } else {
+    count = distance < 0 ? 0 : distance / magnitude + 1;
+  }
+  if (count > max_trip_count) return -1;
+  return static_cast<int64_t>(count);
+}
+
+// --- Diagnostics -------------------------------------------------------
+
+/// Walks `e` recursively, evaluating subexpressions against `state` and
+/// recording division-by-zero and constant out-of-bounds findings.
+/// Short-circuit operands are checked under the refined state their
+/// evaluation is guarded by (`a != 0 && x / a` stays clean).
+void CollectExprDiagnostics(const prog::Expr& e, const AbsState& state,
+                            const std::map<std::string, AbsValue>& returns,
+                            const std::string& function, int fallback_line,
+                            std::vector<Diagnostic>* out) {
+  // Only primary expressions carry a source line; operators report the
+  // line of the statement that evaluates them.
+  const int line = e.line > 0 ? e.line : fallback_line;
+  switch (e.kind) {
+    case prog::ExprKind::kIntLit:
+    case prog::ExprKind::kRealLit:
+    case prog::ExprKind::kStrLit:
+    case prog::ExprKind::kVar:
+      return;
+    case prog::ExprKind::kUnary:
+      CollectExprDiagnostics(*e.lhs, state, returns, function, line, out);
+      return;
+    case prog::ExprKind::kBinary: {
+      CollectExprDiagnostics(*e.lhs, state, returns, function, line, out);
+      if (e.bin_op == prog::BinOp::kAnd || e.bin_op == prog::BinOp::kOr) {
+        AbsState guarded = state;
+        const bool assume = e.bin_op == prog::BinOp::kAnd;
+        if (!AssumeCondition(*e.lhs, assume, &guarded, returns)) {
+          return;  // the right operand can never be evaluated
+        }
+        CollectExprDiagnostics(*e.rhs, guarded, returns, function, line, out);
+        return;
+      }
+      CollectExprDiagnostics(*e.rhs, state, returns, function, line, out);
+      if (e.bin_op != prog::BinOp::kDiv && e.bin_op != prog::BinOp::kMod) {
+        return;
+      }
+      const AbsValue divisor = EvalExpr(*e.rhs, state, returns);
+      const char* op_name = e.bin_op == prog::BinOp::kDiv ? "/" : "%";
+      if (divisor.kind() == AbsValue::Kind::kInt) {
+        const Interval range = divisor.interval();
+        if (range == Interval::Constant(0)) {
+          out->push_back(
+              {"div-by-zero", function, line,
+               util::StrFormat("right operand of '%s' is always zero",
+                               op_name)});
+        } else if (range.ContainsZero() && !range.IsTop()) {
+          out->push_back(
+              {"div-by-zero", function, line,
+               util::StrFormat("right operand of '%s' can be zero (range %s)",
+                               op_name, range.ToString().c_str())});
+        }
+      } else if (divisor.kind() == AbsValue::Kind::kRealConst &&
+                 divisor.real_value() == 0.0 &&
+                 e.bin_op == prog::BinOp::kMod) {
+        out->push_back({"div-by-zero", function, line,
+                        "right operand of '%' is always zero"});
+      }
+      return;
+    }
+    case prog::ExprKind::kCall: {
+      for (const auto& arg : e.args) {
+        CollectExprDiagnostics(*arg, state, returns, function, line, out);
+      }
+      if (e.name == "db_getvalue" && e.args.size() == 3) {
+        const AbsValue result = EvalExpr(*e.args[0], state, returns);
+        const AbsValue row = EvalExpr(*e.args[1], state, returns);
+        const AbsValue col = EvalExpr(*e.args[2], state, returns);
+        if (row.IsIntConstant() && row.int_constant() < 0) {
+          out->push_back(
+              {"const-index-oob", function, line,
+               util::StrFormat("db_getvalue row index %lld is negative",
+                               (long long)row.int_constant())});
+        }
+        if (col.IsIntConstant()) {
+          const int64_t c = col.int_constant();
+          const int columns =
+              result.kind() == AbsValue::Kind::kDbResult
+                  ? result.db_columns()
+                  : -1;
+          if (c < 0) {
+            out->push_back(
+                {"const-index-oob", function, line,
+                 util::StrFormat("db_getvalue column index %lld is negative",
+                                 (long long)c)});
+          } else if (columns >= 0 && c >= columns) {
+            out->push_back(
+                {"const-index-oob", function, line,
+                 util::StrFormat("db_getvalue column index %lld is out of "
+                                 "range for a query producing %d column%s",
+                                 (long long)c, columns,
+                                 columns == 1 ? "" : "s")});
+          }
+        }
+      }
+      if (e.name == "row_get" && e.args.size() == 2) {
+        const AbsValue index = EvalExpr(*e.args[1], state, returns);
+        if (index.IsIntConstant() && index.int_constant() < 0) {
+          out->push_back(
+              {"const-index-oob", function, line,
+               util::StrFormat("row_get index %lld is negative",
+                               (long long)index.int_constant())});
+        }
+      }
+      return;
+    }
+  }
+}
+
+// --- Per-function analysis --------------------------------------------
+
+struct FunctionAnalysis {
+  FunctionAbsint facts;
+  /// Joined abstract argument values per user callee, in call-site order.
+  std::map<std::string, std::vector<AbsValue>> callee_args;
+};
+
+bool IsLiteralCondition(const prog::Expr& e) {
+  return e.kind == prog::ExprKind::kIntLit ||
+         e.kind == prog::ExprKind::kRealLit ||
+         e.kind == prog::ExprKind::kStrLit;
+}
+
+/// Solves one function to fixpoint (with narrowing) and extracts branch
+/// facts, diagnostics, the return summary and callee argument facts.
+FunctionAnalysis AnalyzeFunction(
+    const prog::FunctionDef& fn, const FlowGraph& graph,
+    const std::map<std::string, AbsValue>& user_fn_returns,
+    const std::map<std::string, AbsValue>& param_values,
+    const std::map<std::string, size_t>& user_fn_arity,
+    const AbsintOptions& options) {
+  AbsintClient client(graph, &user_fn_returns, param_values,
+                      options.widen_delay);
+  Solved solved = dataflow::Solve(graph, dataflow::Direction::kForward,
+                                  &client);
+  NarrowingSweep(graph, &client, &solved);
+
+  FunctionAnalysis out;
+
+  // Branch facts, in node order (== program order for a structured AST).
+  for (const FlowNode& node : graph.nodes()) {
+    if (node.op != FlowOp::kBranch || node.expr == nullptr) continue;
+    const AbsState& in = solved.states[static_cast<size_t>(node.id)].in;
+    if (!in.reachable) continue;
+    BranchFact fact;
+    fact.stmt = node.stmt;
+    fact.is_loop = node.stmt->kind == prog::StmtKind::kWhile;
+    fact.line = node.line;
+    fact.condition_is_literal = IsLiteralCondition(*node.expr);
+    fact.verdict = EvalExpr(*node.expr, in, user_fn_returns).Truthiness();
+    if (fact.is_loop) {
+      // The first-iteration state flows in over the loop-entry edge: the
+      // header's predecessors minus the back edge.
+      ADPROM_CHECK_EQ(node.preds.size(), 1u);
+      const FlowNode& header = graph.node(node.preds[0]);
+      AbsState entry;
+      for (int from : header.preds) {
+        if (from == header.loop_back_pred) continue;
+        client.Join(&entry,
+                    client.TransferEdge(
+                        graph.node(from), header.id,
+                        solved.states[static_cast<size_t>(from)].out));
+      }
+      if (graph.entry_id() == header.id) {
+        client.Join(&entry, client.Boundary());
+      }
+      if (entry.reachable) {
+        fact.entered =
+            EvalExpr(*node.expr, entry, user_fn_returns).Truthiness() ==
+            Tri::kTrue;
+        const int64_t k = ComputeTripCount(*node.stmt, entry, user_fn_returns,
+                                           options.max_trip_count);
+        if (k >= 1) fact.trip_count = k;
+        if (k == 0) fact.verdict = Tri::kFalse;  // never entered, never true
+      }
+    }
+    out.facts.branches.push_back(fact);
+  }
+
+  // Diagnostics for every reachable evaluated expression.
+  for (const FlowNode& node : graph.nodes()) {
+    if (node.expr == nullptr) continue;
+    const AbsState& in = solved.states[static_cast<size_t>(node.id)].in;
+    if (!in.reachable) continue;
+    CollectExprDiagnostics(*node.expr, in, user_fn_returns, fn.name,
+                           node.line, &out.facts.diagnostics);
+  }
+
+  // Return summary: join over everything flowing into the exit node.
+  bool any_return = false;
+  AbsValue summary;
+  auto add_return = [&](const AbsValue& v) {
+    summary = any_return ? summary.Join(v) : v;
+    any_return = true;
+  };
+  for (int from : graph.node(graph.exit_id()).preds) {
+    const FlowNode& pred = graph.node(from);
+    const AbsState& pred_in = solved.states[static_cast<size_t>(from)].in;
+    if (!pred_in.reachable) continue;
+    if (pred.op == FlowOp::kReturn && pred.expr != nullptr) {
+      add_return(EvalExpr(*pred.expr, pred_in, user_fn_returns));
+    } else {
+      add_return(AbsValue::Null());  // bare return / fall off the end
+    }
+  }
+  out.facts.return_value = any_return ? summary : AbsValue::Top();
+
+  // Joined abstract arguments per user callee (for phase 2), visiting
+  // call sites in node order for determinism.
+  for (const FlowNode& node : graph.nodes()) {
+    if (node.expr == nullptr) continue;
+    const AbsState& in = solved.states[static_cast<size_t>(node.id)].in;
+    if (!in.reachable) continue;
+    std::vector<const prog::Expr*> calls;
+    prog::CollectCalls(*node.expr, &calls);
+    for (const prog::Expr* call : calls) {
+      auto arity = user_fn_arity.find(call->name);
+      if (arity == user_fn_arity.end()) continue;
+      const auto [slot, first_site] = out.callee_args.try_emplace(
+          call->name,
+          std::vector<AbsValue>(arity->second, AbsValue::Top()));
+      std::vector<AbsValue>& joined = slot->second;
+      for (size_t i = 0; i < joined.size(); ++i) {
+        const AbsValue arg = i < call->args.size()
+                                 ? EvalExpr(*call->args[i], in,
+                                            user_fn_returns)
+                                 : AbsValue::Null();
+        joined[i] = first_site ? arg : joined[i].Join(arg);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t AbsintResult::NumInfeasibleBranches() const {
+  size_t count = 0;
+  for (const auto& [name, fn] : functions) {
+    (void)name;
+    for (const BranchFact& fact : fn.branches) {
+      if (fact.verdict != Tri::kUnknown) ++count;
+    }
+  }
+  return count;
+}
+
+size_t AbsintResult::NumBoundedLoops() const {
+  size_t count = 0;
+  for (const auto& [name, fn] : functions) {
+    (void)name;
+    for (const BranchFact& fact : fn.branches) {
+      if (fact.is_loop && fact.trip_count >= 1) ++count;
+    }
+  }
+  return count;
+}
+
+int CountSelectColumns(const std::string& sql) {
+  size_t pos = 0;
+  while (pos < sql.size() && std::isspace(static_cast<unsigned char>(sql[pos]))) {
+    ++pos;
+  }
+  auto matches = [&](const char* word) {
+    const size_t len = std::strlen(word);
+    if (pos + len > sql.size()) return false;
+    for (size_t i = 0; i < len; ++i) {
+      if (std::tolower(static_cast<unsigned char>(sql[pos + i])) != word[i]) {
+        return false;
+      }
+    }
+    return pos + len == sql.size() ||
+           std::isspace(static_cast<unsigned char>(sql[pos + len]));
+  };
+  if (!matches("select")) return -1;
+  pos += 6;
+
+  int depth = 0;
+  int columns = 1;
+  bool saw_item = false;
+  for (; pos < sql.size(); ++pos) {
+    const char c = sql[pos];
+    if (c == '(') ++depth;
+    else if (c == ')') --depth;
+    else if (depth == 0) {
+      if (c == '*') {
+        // `SELECT *` (or `t.*`) — column count depends on the schema.
+        return -1;
+      }
+      if (c == ',') {
+        ++columns;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        // Check for the FROM keyword terminating the select list.
+        size_t w = pos + 1;
+        while (w < sql.size() &&
+               std::isspace(static_cast<unsigned char>(sql[w]))) {
+          ++w;
+        }
+        if (w + 4 <= sql.size() &&
+            std::tolower(static_cast<unsigned char>(sql[w])) == 'f' &&
+            std::tolower(static_cast<unsigned char>(sql[w + 1])) == 'r' &&
+            std::tolower(static_cast<unsigned char>(sql[w + 2])) == 'o' &&
+            std::tolower(static_cast<unsigned char>(sql[w + 3])) == 'm' &&
+            (w + 4 == sql.size() ||
+             std::isspace(static_cast<unsigned char>(sql[w + 4])))) {
+          return saw_item ? columns : -1;
+        }
+        continue;
+      }
+      saw_item = true;
+    }
+  }
+  // SELECT without FROM (e.g. `SELECT 1`) still yields its select list.
+  return saw_item ? columns : -1;
+}
+
+util::Result<AbsintResult> RunAbstractInterpretation(
+    const prog::Program& program, const AbsintOptions& options) {
+  if (!program.finalized()) {
+    return util::Status::FailedPrecondition(
+        "program must be finalized before abstract interpretation");
+  }
+  const auto& fns = program.functions();
+  const size_t count = fns.size();
+
+  std::map<std::string, size_t> fn_index;
+  std::map<std::string, size_t> fn_arity;
+  for (size_t i = 0; i < count; ++i) {
+    fn_index[fns[i].name] = i;
+    fn_arity[fns[i].name] = fns[i].params.size();
+  }
+
+  std::vector<FlowGraph> graphs;
+  graphs.reserve(count);
+  std::vector<std::vector<int>> adjacency(count);
+  for (size_t i = 0; i < count; ++i) {
+    graphs.push_back(FlowGraph::Build(fns[i]));
+    std::set<int> callees;
+    std::vector<const prog::Expr*> calls;
+    for (const FlowNode& node : graphs[i].nodes()) {
+      if (node.expr == nullptr) continue;
+      calls.clear();
+      prog::CollectCalls(*node.expr, &calls);
+      for (const prog::Expr* call : calls) {
+        auto it = fn_index.find(call->name);
+        if (it != fn_index.end()) callees.insert(static_cast<int>(it->second));
+      }
+    }
+    adjacency[i].assign(callees.begin(), callees.end());
+  }
+
+  const prog::SccDecomposition scc = prog::ComputeSccs(adjacency);
+  std::vector<bool> recursive(count, false);
+  for (size_t c = 0; c < scc.components.size(); ++c) {
+    const std::vector<int>& members = scc.components[c];
+    bool self = members.size() > 1;
+    for (int v : members) {
+      for (int callee : adjacency[static_cast<size_t>(v)]) {
+        if (callee == v) self = true;
+      }
+    }
+    if (self) {
+      for (int v : members) recursive[static_cast<size_t>(v)] = true;
+    }
+  }
+
+  // Phase 1 — bottom-up return summaries with unconstrained parameters.
+  // Members of recursive components keep the sound default (top).
+  std::map<std::string, AbsValue> returns;
+  for (size_t i = 0; i < count; ++i) returns[fns[i].name] = AbsValue::Top();
+  for (const std::vector<int>& level : scc.levels) {
+    util::ParallelFor(options.pool, level.size(), [&](size_t task) {
+      for (int v : scc.components[static_cast<size_t>(level[task])]) {
+        const auto vi = static_cast<size_t>(v);
+        if (recursive[vi]) continue;
+        const FunctionAnalysis analysis =
+            AnalyzeFunction(fns[vi], graphs[vi], returns, {}, fn_arity,
+                            options);
+        // Distinct map slots exist for every function up front, so
+        // concurrent writes to different functions never race.
+        returns[fns[vi].name] = analysis.facts.return_value;
+      }
+    });
+  }
+
+  // Phase 2 — top-down (callers first): join abstract argument values
+  // over every reachable call site, then solve each function once with
+  // its refined parameters and keep those final facts. Functions in one
+  // level never call each other, and all callers live in later levels of
+  // this reversed iteration, so every function sees its final argument
+  // facts. Recursive components stay at top (their internal call sites
+  // would feed back into themselves).
+  std::vector<bool> called(count, false);
+  std::vector<std::vector<AbsValue>> arg_facts(count);
+  AbsintResult result;
+  for (auto level_it = scc.levels.rbegin(); level_it != scc.levels.rend();
+       ++level_it) {
+    const std::vector<int>& level = *level_it;
+    std::vector<FunctionAnalysis> analyses(count);
+    std::vector<int> solved_fns;
+    for (int c : level) {
+      for (int v : scc.components[static_cast<size_t>(c)]) {
+        solved_fns.push_back(v);
+      }
+    }
+    util::ParallelFor(options.pool, solved_fns.size(), [&](size_t task) {
+      const auto vi = static_cast<size_t>(solved_fns[task]);
+      std::map<std::string, AbsValue> params;
+      if (!recursive[vi] && called[vi]) {
+        for (size_t p = 0; p < fns[vi].params.size(); ++p) {
+          params[fns[vi].params[p]] = arg_facts[vi][p];
+        }
+      }
+      analyses[vi] =
+          AnalyzeFunction(fns[vi], graphs[vi], returns, params, fn_arity,
+                          options);
+    });
+    // Deterministic merge of this level's callee argument facts and
+    // results, in ascending function order.
+    std::sort(solved_fns.begin(), solved_fns.end());
+    for (int v : solved_fns) {
+      const auto vi = static_cast<size_t>(v);
+      FunctionAnalysis& analysis = analyses[vi];
+      for (const auto& [callee, args] : analysis.callee_args) {
+        const size_t ci = fn_index.at(callee);
+        if (!called[ci]) {
+          called[ci] = true;
+          arg_facts[ci] = args;
+        } else {
+          for (size_t p = 0; p < arg_facts[ci].size(); ++p) {
+            arg_facts[ci][p] = arg_facts[ci][p].Join(args[p]);
+          }
+        }
+      }
+      result.functions[fns[vi].name] = std::move(analysis.facts);
+    }
+  }
+  return std::move(result);
+}
+
+}  // namespace adprom::analysis::absint

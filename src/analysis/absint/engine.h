@@ -1,0 +1,96 @@
+#ifndef ADPROM_ANALYSIS_ABSINT_ENGINE_H_
+#define ADPROM_ANALYSIS_ABSINT_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/absint/abstract_value.h"
+#include "prog/program.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace adprom::analysis::absint {
+
+/// What the abstract interpreter proved about one `if` or `while`
+/// condition. `stmt` identifies the branch across representations (the
+/// same pointer is visible to the statement-level FlowGraph and to the
+/// block-level CfgBuilder); it is only valid while the analyzed Program
+/// is alive and must never be dereferenced by consumers.
+struct BranchFact {
+  const prog::Stmt* stmt = nullptr;
+  bool is_loop = false;
+  int line = 0;
+  /// The condition is a bare literal (`if (1)` / `while (1)`) — an
+  /// intentional idiom the linter skips; the CFG refiner still uses it.
+  bool condition_is_literal = false;
+  /// Truth of the condition joined over every evaluation that can reach
+  /// it. kTrue/kFalse prove one side of the branch infeasible (for a
+  /// loop, kFalse proves the body never runs; kTrue a loop that can
+  /// never exit).
+  Tri verdict = Tri::kUnknown;
+  /// Loops only: the first evaluation is provably true, i.e. the
+  /// zero-iteration exit is infeasible.
+  bool entered = false;
+  /// Loops only: exact iteration count when the loop matches the
+  /// counted-loop pattern (constant init, constant bound, single
+  /// constant-step update, no early exit); -1 when unknown.
+  int64_t trip_count = -1;
+};
+
+/// An interval-powered lint diagnostic (division by zero, constant
+/// out-of-bounds index).
+struct Diagnostic {
+  std::string category;
+  std::string function;
+  int line = 0;
+  std::string message;
+};
+
+/// Per-function results of the abstract interpretation.
+struct FunctionAbsint {
+  /// Facts for every reachable `if`/`while`, in program order.
+  std::vector<BranchFact> branches;
+  std::vector<Diagnostic> diagnostics;
+  /// Join of every value the function can return (phase-1 summary,
+  /// computed with unconstrained parameters).
+  AbsValue return_value;
+};
+
+struct AbsintOptions {
+  /// Optional pool: call-graph SCC levels fan out with ParallelFor.
+  /// Results are bit-identical for any pool size (including none).
+  util::ThreadPool* pool = nullptr;
+  /// Joins observed at a loop head before unstable interval bounds widen
+  /// to infinity. Small counted loops stabilize before this kicks in.
+  int widen_delay = 3;
+  /// Trip counts above this are treated as unbounded (the forecast gains
+  /// nothing from scaling by huge counts, and it bounds the arithmetic).
+  int64_t max_trip_count = 1'000'000;
+};
+
+struct AbsintResult {
+  std::map<std::string, FunctionAbsint> functions;
+
+  /// Convenience counters over all functions.
+  size_t NumInfeasibleBranches() const;
+  size_t NumBoundedLoops() const;
+};
+
+/// Runs the two-phase interprocedural abstract interpretation over every
+/// function of a finalized program: phase 1 computes return-value
+/// summaries bottom-up over call-graph SCCs; phase 2 propagates joined
+/// constant/interval argument facts top-down (callers first) and collects
+/// the final branch facts and diagnostics. Deterministic for any thread
+/// count: every join iterates functions and call sites in program order.
+util::Result<AbsintResult> RunAbstractInterpretation(
+    const prog::Program& program, const AbsintOptions& options = {});
+
+/// Counts the columns a constant SELECT produces, -1 when unknown
+/// (non-SELECT, `SELECT *`, or unparseable). Exposed for tests.
+int CountSelectColumns(const std::string& sql);
+
+}  // namespace adprom::analysis::absint
+
+#endif  // ADPROM_ANALYSIS_ABSINT_ENGINE_H_

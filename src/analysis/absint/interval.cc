@@ -1,0 +1,135 @@
+#include "analysis/absint/interval.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace adprom::analysis::absint {
+
+namespace {
+
+bool IsInf(int64_t v) {
+  return v == Interval::kNegInf || v == Interval::kPosInf;
+}
+
+/// v + w with saturation; infinite operands dominate. `inf_sign` decides
+/// which infinity an inf+inf mix collapses to (callers never mix opposite
+/// infinities — interval bounds keep lo <= hi).
+int64_t SatAdd(int64_t v, int64_t w) {
+  if (v == Interval::kNegInf || w == Interval::kNegInf)
+    return Interval::kNegInf;
+  if (v == Interval::kPosInf || w == Interval::kPosInf)
+    return Interval::kPosInf;
+  int64_t out = 0;
+  if (__builtin_add_overflow(v, w, &out)) {
+    return v > 0 ? Interval::kPosInf : Interval::kNegInf;
+  }
+  return out;
+}
+
+int64_t SatNeg(int64_t v) {
+  if (v == Interval::kNegInf) return Interval::kPosInf;
+  if (v == Interval::kPosInf) return Interval::kNegInf;
+  return -v;
+}
+
+int64_t SatMul(int64_t v, int64_t w) {
+  if (v == 0 || w == 0) return 0;
+  const bool negative = (v < 0) != (w < 0);
+  if (IsInf(v) || IsInf(w)) {
+    return negative ? Interval::kNegInf : Interval::kPosInf;
+  }
+  int64_t out = 0;
+  if (__builtin_mul_overflow(v, w, &out)) {
+    return negative ? Interval::kNegInf : Interval::kPosInf;
+  }
+  return out;
+}
+
+}  // namespace
+
+Interval Interval::Join(const Interval& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  return {std::min(lo_, other.lo_), std::max(hi_, other.hi_)};
+}
+
+Interval Interval::Meet(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  return {std::max(lo_, other.lo_), std::min(hi_, other.hi_)};
+}
+
+Interval Interval::WidenFrom(const Interval& previous) const {
+  if (previous.IsEmpty()) return *this;
+  if (IsEmpty()) return previous;
+  const int64_t lo = lo_ < previous.lo_ ? kNegInf : previous.lo_;
+  const int64_t hi = hi_ > previous.hi_ ? kPosInf : previous.hi_;
+  return {lo, hi};
+}
+
+Interval Interval::Add(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  return {SatAdd(lo_, other.lo_), SatAdd(hi_, other.hi_)};
+}
+
+Interval Interval::Sub(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  return {SatAdd(lo_, SatNeg(other.hi_)), SatAdd(hi_, SatNeg(other.lo_))};
+}
+
+Interval Interval::Mul(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  const int64_t candidates[4] = {
+      SatMul(lo_, other.lo_), SatMul(lo_, other.hi_),
+      SatMul(hi_, other.lo_), SatMul(hi_, other.hi_)};
+  return {*std::min_element(candidates, candidates + 4),
+          *std::max_element(candidates, candidates + 4)};
+}
+
+Interval Interval::Div(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  if (other == Constant(0)) return Empty();  // unconditional runtime error
+  // Precise only for a constant non-zero divisor and finite, sign-stable
+  // dividends; anything else over-approximates to top. That covers the
+  // lint-relevant cases (constant folding) without re-deriving the full
+  // interval-division case split.
+  if (other.IsConstant() && !IsInf(other.lo_) && !IsInf(lo_) &&
+      !IsInf(hi_)) {
+    const int64_t d = other.lo_;
+    const int64_t a = lo_ / d;
+    const int64_t b = hi_ / d;
+    return {std::min(a, b), std::max(a, b)};
+  }
+  return Top();
+}
+
+Interval Interval::Mod(const Interval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return Empty();
+  if (other == Constant(0)) return Empty();  // unconditional runtime error
+  if (other.IsConstant() && IsConstant() && !IsInf(other.lo_) &&
+      !IsInf(lo_)) {
+    return Constant(lo_ % other.lo_);
+  }
+  // x % d for non-negative x and a positive divisor range lands in
+  // [0, max_d - 1].
+  if (lo_ >= 0 && other.lo_ > 0 && other.hi_ != kPosInf) {
+    return {0, other.hi_ - 1};
+  }
+  return Top();
+}
+
+Interval Interval::Negate() const {
+  if (IsEmpty()) return Empty();
+  return {SatNeg(hi_), SatNeg(lo_)};
+}
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  const std::string lo =
+      lo_ == kNegInf ? "-inf" : util::StrFormat("%lld", (long long)lo_);
+  const std::string hi =
+      hi_ == kPosInf ? "+inf" : util::StrFormat("%lld", (long long)hi_);
+  return "[" + lo + ", " + hi + "]";
+}
+
+}  // namespace adprom::analysis::absint

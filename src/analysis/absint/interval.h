@@ -1,0 +1,76 @@
+#ifndef ADPROM_ANALYSIS_ABSINT_INTERVAL_H_
+#define ADPROM_ANALYSIS_ABSINT_INTERVAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace adprom::analysis::absint {
+
+/// A closed integer interval [lo, hi] with +/- infinity sentinels — the
+/// interval lattice of the abstract interpreter. The empty interval (the
+/// lattice bottom) is represented by lo > hi and normalized to a single
+/// canonical value so operator== doubles as lattice equality.
+///
+/// All arithmetic saturates at the infinities; finite arithmetic that
+/// would overflow int64 widens the affected bound to infinity instead of
+/// wrapping, so every operation is a sound over-approximation.
+class Interval {
+ public:
+  static constexpr int64_t kNegInf = INT64_MIN;
+  static constexpr int64_t kPosInf = INT64_MAX;
+
+  /// Full range (top of the interval lattice).
+  constexpr Interval() = default;
+  constexpr Interval(int64_t lo, int64_t hi) : lo_(lo), hi_(hi) {
+    if (lo_ > hi_) {  // normalize every empty interval to the same value
+      lo_ = 1;
+      hi_ = 0;
+    }
+  }
+
+  static constexpr Interval Constant(int64_t v) { return {v, v}; }
+  static constexpr Interval Top() { return {}; }
+  static constexpr Interval Empty() { return {1, 0}; }
+  /// [0, +inf) — the shape of lengths and row counts.
+  static constexpr Interval NonNegative() { return {0, kPosInf}; }
+  /// The boolean range {0, 1} comparison operators evaluate to.
+  static constexpr Interval Bool() { return {0, 1}; }
+  static constexpr Interval True() { return {1, 1}; }
+  static constexpr Interval False() { return {0, 0}; }
+
+  int64_t lo() const { return lo_; }
+  int64_t hi() const { return hi_; }
+  bool IsEmpty() const { return lo_ > hi_; }
+  bool IsConstant() const { return lo_ == hi_; }
+  bool IsTop() const { return lo_ == kNegInf && hi_ == kPosInf; }
+  bool Contains(int64_t v) const { return lo_ <= v && v <= hi_; }
+  bool ContainsZero() const { return Contains(0); }
+
+  bool operator==(const Interval& other) const = default;
+
+  /// Lattice join (interval hull) and meet (intersection).
+  Interval Join(const Interval& other) const;
+  Interval Meet(const Interval& other) const;
+  /// Standard widening: bounds that grew since `previous` jump to
+  /// infinity, guaranteeing termination of ascending chains.
+  Interval WidenFrom(const Interval& previous) const;
+
+  Interval Add(const Interval& other) const;
+  Interval Sub(const Interval& other) const;
+  Interval Mul(const Interval& other) const;
+  /// C++ truncating division / remainder; empty when `other` is exactly
+  /// [0,0] (unconditional runtime error). Over-approximates otherwise.
+  Interval Div(const Interval& other) const;
+  Interval Mod(const Interval& other) const;
+  Interval Negate() const;
+
+  std::string ToString() const;
+
+ private:
+  int64_t lo_ = kNegInf;
+  int64_t hi_ = kPosInf;
+};
+
+}  // namespace adprom::analysis::absint
+
+#endif  // ADPROM_ANALYSIS_ABSINT_INTERVAL_H_

@@ -46,6 +46,8 @@ class FlowGraphBuilder {
     graph_.nodes_[static_cast<size_t>(to)].preds.push_back(from);
   }
 
+  FlowNode& Node(int id) { return graph_.nodes_[static_cast<size_t>(id)]; }
+
   BodyEnd VisitBody(const prog::StmtList& body, int cur) {
     for (size_t i = 0; i < body.size(); ++i) {
       const BodyEnd end = VisitStmt(*body[i], cur);
@@ -86,19 +88,33 @@ class FlowGraphBuilder {
         const int cond = NewNode(FlowOp::kBranch, &s);
         AddEdge(cur, cond);
         const BodyEnd then_end = VisitBody(s.then_body, cond);
+        // The then-entry edge is the first successor the body visit added
+        // (none when the then branch is empty: control falls through).
+        const int then_entry =
+            Node(cond).succs.empty() ? -1 : Node(cond).succs.front();
         if (s.else_body.empty()) {
           const int merge = NewNode(FlowOp::kJoin, nullptr);
           AddEdge(cond, merge);  // The fall-through (condition false) edge.
           if (!then_end.terminated) AddEdge(then_end.node, merge);
+          Node(cond).true_succ = then_entry >= 0 ? then_entry : merge;
+          Node(cond).false_succ = merge;
           return {merge, false};
         }
+        const size_t then_edges = Node(cond).succs.size();
         const BodyEnd else_end = VisitBody(s.else_body, cond);
+        const int else_entry = Node(cond).succs.size() > then_edges
+                                   ? Node(cond).succs[then_edges]
+                                   : -1;
         if (then_end.terminated && else_end.terminated) {
+          Node(cond).true_succ = then_entry;
+          Node(cond).false_succ = else_entry;
           return {cond, true};
         }
         const int merge = NewNode(FlowOp::kJoin, nullptr);
         if (!then_end.terminated) AddEdge(then_end.node, merge);
         if (!else_end.terminated) AddEdge(else_end.node, merge);
+        Node(cond).true_succ = then_entry >= 0 ? then_entry : merge;
+        Node(cond).false_succ = else_entry >= 0 ? else_entry : merge;
         return {merge, false};
       }
       case prog::StmtKind::kWhile: {
@@ -108,8 +124,17 @@ class FlowGraphBuilder {
         AddEdge(header, cond);
         const int after = NewNode(FlowOp::kJoin, nullptr);
         const BodyEnd body_end = VisitBody(s.then_body, cond);
+        const int body_entry =
+            Node(cond).succs.empty() ? -1 : Node(cond).succs.front();
         AddEdge(cond, after);
-        if (!body_end.terminated) AddEdge(body_end.node, header);
+        Node(header).is_loop_head = true;
+        if (!body_end.terminated) {
+          AddEdge(body_end.node, header);
+          Node(header).loop_back_pred = body_end.node;
+        }
+        // An empty body loops straight back to the header.
+        Node(cond).true_succ = body_entry >= 0 ? body_entry : header;
+        Node(cond).false_succ = after;
         return {after, false};
       }
     }

@@ -34,6 +34,16 @@ struct FlowNode {
   int line = 0;
   std::vector<int> succs;
   std::vector<int> preds;
+  /// kBranch only: the successor taken when the condition is true /
+  /// false. When both branches merge immediately (an empty `then`), the
+  /// two coincide and edge-sensitive analyses must not refine on them.
+  int true_succ = -1;
+  int false_succ = -1;
+  /// kJoin headers of `while` loops. `loop_back_pred` is the predecessor
+  /// that closes the loop; every other predecessor enters it. -1 when the
+  /// body always returns (no back edge).
+  bool is_loop_head = false;
+  int loop_back_pred = -1;
 };
 
 /// Statement-level CFG of one function. Construction cannot fail (the AST

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <utility>
 
+#include "analysis/absint/engine.h"
 #include "analysis/dataflow/flow_graph.h"
 #include "analysis/dataflow/liveness.h"
 #include "analysis/dataflow/reaching_defs.h"
@@ -168,6 +169,50 @@ util::Result<LintReport> RunLint(const prog::Program& program,
             {"dead-store", fn.name, store.line,
              util::StrFormat("value stored to '%s' is never read",
                              store.variable.c_str())});
+      }
+    }
+  }
+
+  // Interval-powered checks from the abstract interpreter.
+  if (options.check_infeasible_branch || options.check_div_zero ||
+      options.check_const_index) {
+    absint::AbsintOptions absint_options;
+    absint_options.pool = options.pool;
+    auto absint_result =
+        absint::RunAbstractInterpretation(program, absint_options);
+    if (absint_result.ok()) {
+      for (const auto& [fn_name, facts] : absint_result->functions) {
+        if (options.check_infeasible_branch) {
+          for (const absint::BranchFact& fact : facts.branches) {
+            // Literal conditions (`if (1)`, `while (1)`) are deliberate
+            // idioms, not bugs; the CFG refiner still exploits them.
+            if (fact.condition_is_literal ||
+                fact.verdict == absint::Tri::kUnknown) {
+              continue;
+            }
+            const bool always = fact.verdict == absint::Tri::kTrue;
+            const char* what = fact.is_loop
+                                   ? (always ? "loop condition is always "
+                                               "true (loop never exits)"
+                                             : "loop condition is always "
+                                               "false (body never runs)")
+                                   : (always ? "condition is always true"
+                                             : "condition is always false");
+            report.findings.push_back(
+                {"infeasible-branch", fn_name, fact.line, what});
+          }
+        }
+        for (const absint::Diagnostic& diag : facts.diagnostics) {
+          if (diag.category == "div-by-zero" && !options.check_div_zero) {
+            continue;
+          }
+          if (diag.category == "const-index-oob" &&
+              !options.check_const_index) {
+            continue;
+          }
+          report.findings.push_back(
+              {diag.category, diag.function, diag.line, diag.message});
+        }
       }
     }
   }

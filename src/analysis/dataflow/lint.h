@@ -28,6 +28,14 @@ struct LintOptions {
   bool check_unreachable = true;
   bool check_dead_stores = true;
   bool check_exfil = true;
+  /// Interval-powered checks (abstract interpretation): conditions that
+  /// are provably always true/false, possible division by zero, and
+  /// constant indices out of a fixed-size collection's bounds. Branch
+  /// conditions that are bare literals (`while (1)`) are treated as
+  /// intentional and skipped.
+  bool check_infeasible_branch = true;
+  bool check_div_zero = true;
+  bool check_const_index = true;
   util::ThreadPool* pool = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #ifndef ADPROM_ANALYSIS_DATAFLOW_SOLVER_H_
 #define ADPROM_ANALYSIS_DATAFLOW_SOLVER_H_
 
+#include <concepts>
 #include <set>
 #include <utility>
 #include <vector>
@@ -12,6 +13,23 @@ namespace adprom::analysis::dataflow {
 
 enum class Direction { kForward, kBackward };
 
+/// True when the client refines values flowing along a specific edge
+/// (e.g. branch-condition refinement in the abstract interpreter).
+template <typename Client>
+concept HasTransferEdge = requires(Client c, const FlowNode& node,
+                                   const typename Client::Domain& d) {
+  { c.TransferEdge(node, 0, d) } -> std::same_as<typename Client::Domain>;
+};
+
+/// True when the client accelerates convergence by widening: the solver
+/// hands it the previous and the freshly joined input state and uses
+/// whatever the client returns (which must be >= the join for soundness).
+template <typename Client>
+concept HasWidenJoin = requires(Client c, const FlowNode& node,
+                                const typename Client::Domain& d) {
+  { c.WidenJoin(node, d, d) } -> std::same_as<typename Client::Domain>;
+};
+
 /// The generic monotone-framework worklist solver.
 ///
 /// A Client models one dataflow problem:
@@ -22,6 +40,16 @@ enum class Direction { kForward, kBackward };
 ///   Domain Boundary() const;        // value at entry (fwd) / exit (bwd)
 ///   void Join(Domain* into, const Domain& from) const;   // lattice join
 ///   Domain Transfer(const FlowNode& node, const Domain& in);
+///
+/// Two optional hooks extend the framework to abstract interpretation:
+///
+///   // Refine the predecessor's out-state for the edge pred -> to_id
+///   // (infinite-lattice clients also use this for path feasibility).
+///   Domain TransferEdge(const FlowNode& pred, int to_id, const Domain&);
+///   // Combine the previous input with the new join, widening at
+///   // client-chosen points so infinite ascending chains terminate.
+///   Domain WidenJoin(const FlowNode& node, const Domain& previous,
+///                    const Domain& joined);
 ///
 /// `Transfer` must be monotone: a larger input never produces a smaller
 /// output. It may accumulate observations (e.g. "taint reached this sink")
@@ -82,7 +110,16 @@ SolveResult<Client> Solve(const FlowGraph& graph, Direction direction,
     Domain in{};
     if (node.id == boundary_id) client->Join(&in, client->Boundary());
     for (int from : forward ? node.preds : node.succs) {
-      client->Join(&in, result.states[static_cast<size_t>(from)].out);
+      const Domain& from_out = result.states[static_cast<size_t>(from)].out;
+      if constexpr (HasTransferEdge<Client>) {
+        client->Join(&in, client->TransferEdge(
+                              graph.node(from), node.id, from_out));
+      } else {
+        client->Join(&in, from_out);
+      }
+    }
+    if constexpr (HasWidenJoin<Client>) {
+      in = client->WidenJoin(node, slot.in, in);
     }
     Domain out = client->Transfer(node, in);
     slot.in = std::move(in);

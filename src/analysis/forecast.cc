@@ -1,10 +1,33 @@
 #include "analysis/forecast.h"
 
+#include <algorithm>
+#include <set>
 #include <vector>
 
 #include "util/logging.h"
 
 namespace adprom::analysis {
+
+namespace {
+
+/// The natural loop of the back edge `back_src -> header`: the header plus
+/// every node that reaches `back_src` over predecessor edges without
+/// passing through the header.
+std::set<int> NaturalLoopRegion(const prog::Cfg& cfg, int back_src,
+                                int header) {
+  std::set<int> region;
+  region.insert(header);
+  std::vector<int> stack = {back_src};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (!region.insert(v).second) continue;
+    for (int pred : cfg.node(v).preds) stack.push_back(pred);
+  }
+  return region;
+}
+
+}  // namespace
 
 util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg) {
   FunctionForecast out;
@@ -112,6 +135,137 @@ util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg) {
   for (const auto& [node_id, site_idx] : node_to_site) {
     (void)site_idx;
     run_origin(node_id);
+  }
+
+  // (4) Counted-loop reweighting. When the abstract interpreter proved a
+  // loop executes exactly k >= 2 iterations, the run-once CTM mass of the
+  // loop body is off by a factor of k. Within-region call pairs occur once
+  // per iteration (scale by k) and each of the k-1 iteration boundaries
+  // contributes a wrap pair: the last call of one iteration followed by
+  // the first call of the next. Applied innermost-first so an outer
+  // loop's scaling covers its inner loops' already-refined mass. The
+  // transform is exactly flow-conserving, which CheckInvariants verifies
+  // downstream.
+  if (!cfg.loop_bounds().empty()) {
+    struct BoundedLoop {
+      int back_src;
+      int header;
+      int64_t trips;
+      std::set<int> region;
+    };
+    std::vector<BoundedLoop> loops;
+    for (const auto& [edge, trips] : cfg.loop_bounds()) {
+      if (trips < 2) continue;
+      BoundedLoop loop;
+      loop.back_src = edge.first;
+      loop.header = edge.second;
+      loop.trips = trips;
+      loop.region = NaturalLoopRegion(cfg, edge.first, edge.second);
+      loops.push_back(std::move(loop));
+    }
+    std::sort(loops.begin(), loops.end(),
+              [](const BoundedLoop& a, const BoundedLoop& b) {
+                if (a.region.size() != b.region.size()) {
+                  return a.region.size() < b.region.size();
+                }
+                return std::pair(a.back_src, a.header) <
+                       std::pair(b.back_src, b.header);
+              });
+
+    for (const BoundedLoop& loop : loops) {
+      const std::set<int>& region = loop.region;
+      const auto h = static_cast<size_t>(loop.header);
+      const double w_header = reach[h];
+      if (w_header == 0.0) continue;
+      // User-function sites are later eliminated by the aggregator, whose
+      // splice requires the run-once structure; only reweight loops whose
+      // calls all target library functions.
+      bool only_library = true;
+      for (int v : region) {
+        const auto& call = cfg.node(v).call;
+        if (call.has_value() && call->is_user_fn) only_library = false;
+      }
+      if (!only_library) continue;
+
+      // fw: weight from the header along call-free prefixes, consumed at
+      // call nodes — fw[f] is the probability f is an iteration's first
+      // call; fw[back_src] the probability an iteration makes no call at
+      // all. The latter must be exactly zero: iterations without calls
+      // would make "pairs per boundary" fractional.
+      std::vector<double> fw(n, 0.0);
+      for (const auto& [to, p] : adj[h]) {
+        if (region.count(to) > 0) fw[static_cast<size_t>(to)] += p;
+      }
+      for (size_t i = topo_pos[h] + 1; i < topo.size(); ++i) {
+        const int v = topo[i];
+        if (region.count(v) == 0) continue;
+        const double w = fw[static_cast<size_t>(v)];
+        if (w == 0.0 || cfg.node(v).call.has_value()) continue;
+        for (const auto& [to, p] : adj[static_cast<size_t>(v)]) {
+          if (region.count(to) > 0) fw[static_cast<size_t>(to)] += w * p;
+        }
+      }
+      if (fw[static_cast<size_t>(loop.back_src)] != 0.0) continue;
+
+      // rr: per-iteration reachability from the header (calls do not
+      // consume it).
+      std::vector<double> rr(n, 0.0);
+      rr[h] = 1.0;
+      for (size_t i = topo_pos[h]; i < topo.size(); ++i) {
+        const int v = topo[i];
+        if (region.count(v) == 0) continue;
+        const double w = rr[static_cast<size_t>(v)];
+        if (w == 0.0) continue;
+        for (const auto& [to, p] : adj[static_cast<size_t>(v)]) {
+          if (region.count(to) > 0) rr[static_cast<size_t>(to)] += w * p;
+        }
+      }
+
+      // bw: probability of flowing from a node to the back-edge source
+      // with no further call — bw[l] at a call l makes rr[l] * bw[l] the
+      // probability l is an iteration's last call.
+      std::vector<double> bw(n, 0.0);
+      bw[static_cast<size_t>(loop.back_src)] = 1.0;
+      for (size_t i = topo.size(); i-- > topo_pos[h];) {
+        const int v = topo[i];
+        if (region.count(v) == 0 || v == loop.back_src) continue;
+        double acc = 0.0;
+        for (const auto& [to, p] : adj[static_cast<size_t>(v)]) {
+          if (region.count(to) == 0) continue;
+          acc += p * (cfg.node(to).call.has_value()
+                          ? 0.0
+                          : bw[static_cast<size_t>(to)]);
+        }
+        bw[static_cast<size_t>(v)] = acc;
+      }
+
+      std::vector<int> region_calls;
+      for (const auto& [node_id, site_idx] : node_to_site) {
+        (void)site_idx;
+        if (region.count(node_id) > 0) region_calls.push_back(node_id);
+      }
+      const double scale = static_cast<double>(loop.trips);
+      for (int a : region_calls) {
+        for (int b : region_calls) {
+          const size_t sa = node_to_site[a];
+          const size_t sb = node_to_site[b];
+          const double w = out.ctm.between(sa, sb);
+          if (w != 0.0) out.ctm.set_between(sa, sb, w * scale);
+        }
+      }
+      const double boundaries = static_cast<double>(loop.trips - 1);
+      for (int last : region_calls) {
+        const double u = rr[static_cast<size_t>(last)] *
+                         bw[static_cast<size_t>(last)];
+        if (u == 0.0) continue;
+        for (int first : region_calls) {
+          const double v = fw[static_cast<size_t>(first)];
+          if (v == 0.0) continue;
+          out.ctm.add_between(node_to_site[last], node_to_site[first],
+                              boundaries * w_header * u * v);
+        }
+      }
+    }
   }
 
   return std::move(out);

@@ -47,6 +47,7 @@ util::Result<AdProm> AdProm::Train(const prog::Program& program,
   AdProm system;
   AnalyzerOptions analyzer_options;
   analyzer_options.flow_insensitive_taint = options.flow_insensitive_taint;
+  analyzer_options.absint_refinement = options.absint_refinement;
   std::unique_ptr<util::ThreadPool> analysis_pool;
   const size_t analysis_threads =
       util::ResolveThreadCount(options.train.num_threads);

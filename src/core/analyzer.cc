@@ -50,6 +50,19 @@ util::Result<AnalysisResult> Analyzer::Analyze(
   ADPROM_ASSIGN_OR_RETURN(out.call_graph, prog::CallGraph::Build(program));
   out.cfg_seconds = SecondsSince(t0);
 
+  // Abstract interpretation, then CFG refinement: infeasible branch edges
+  // and counted-loop bounds feed the probability forecast below.
+  if (options_.absint_refinement) {
+    t0 = std::chrono::steady_clock::now();
+    analysis::absint::AbsintOptions absint_options;
+    absint_options.pool = options_.pool;
+    ADPROM_ASSIGN_OR_RETURN(
+        out.absint,
+        analysis::absint::RunAbstractInterpretation(program, absint_options));
+    out.refinement = analysis::absint::RefineCfgs(out.absint, &out.cfgs);
+    out.absint_seconds = SecondsSince(t0);
+  }
+
   // Data-flow (DDG) labeling, then the per-function probability forecast.
   t0 = std::chrono::steady_clock::now();
   if (options_.flow_insensitive_taint) {

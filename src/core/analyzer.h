@@ -5,6 +5,8 @@
 #include <set>
 #include <string>
 
+#include "analysis/absint/cfg_refiner.h"
+#include "analysis/absint/engine.h"
 #include "analysis/aggregation.h"
 #include "analysis/ctm.h"
 #include "analysis/forecast.h"
@@ -24,10 +26,16 @@ struct AnalysisResult {
   std::map<std::string, prog::Cfg> cfgs;
   prog::CallGraph call_graph;
   analysis::TaintResult taint;
+  /// Branch facts and diagnostics from the abstract interpreter (empty
+  /// when absint_refinement is off).
+  analysis::absint::AbsintResult absint;
+  /// Edges pruned / loops bounded by the CFG refiner.
+  analysis::absint::RefinementSummary refinement;
   std::map<std::string, analysis::Ctm> function_ctms;
   analysis::Ctm program_ctm;
   /// Wall-clock seconds per step, for the Table VIII bench.
   double cfg_seconds = 0.0;
+  double absint_seconds = 0.0;
   double forecast_seconds = 0.0;
   double aggregation_seconds = 0.0;
 
@@ -44,6 +52,12 @@ struct AnalyzerOptions {
   /// flow-sensitive default labels a subset of the same sinks (strong
   /// updates kill stale taint), shrinking the DataLeak alphabet.
   bool flow_insensitive_taint = false;
+  /// Abstract interpretation (constants + intervals) over each function:
+  /// statically infeasible branch edges are pruned from the forecast and
+  /// counted loops replace the run-once assumption with their exact trip
+  /// count, sharpening the pCTM. Off (`--no-absint`) reproduces the
+  /// unrefined pipeline bit for bit.
+  bool absint_refinement = true;
   /// Optional pool for the flow-sensitive solver (call-graph SCCs of one
   /// level run concurrently); results are identical for any pool.
   util::ThreadPool* pool = nullptr;

@@ -59,6 +59,11 @@ struct ProfileOptions {
   /// pass instead of the flow-sensitive dataflow framework (which is the
   /// default and labels a subset of the same output sites).
   bool flow_insensitive_taint = false;
+  /// Ablation: prune statically infeasible CFG edges and reweight counted
+  /// loops with the abstract-interpretation engine before the forecast
+  /// (`--no-absint` turns it off and reproduces the unrefined pCTM bit
+  /// for bit).
+  bool absint_refinement = true;
   /// kStatic = initialize the HMM from the pCTM (AD-PROM / CMarkov);
   /// kRandom = random initialization (the Rand-HMM baseline).
   enum class Init { kStatic, kRandom };

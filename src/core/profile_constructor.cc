@@ -22,6 +22,13 @@ double SecondsSince(const std::chrono::steady_clock::time_point& start) {
       .count();
 }
 
+/// A row whose mass stays below this after normalization received no
+/// static probability at all (NormalizeRows leaves all-zero rows at zero,
+/// every other row at exactly 1); such rows fall back to the uniform
+/// distribution. Sites in statically dead code (infeasible branches
+/// pruned by the absint refiner) are the main producers of zero rows.
+constexpr double kRowMassEpsilon = 1e-12;
+
 /// Observable of a pCTM site under the profile's labeling mode.
 std::string SiteObservable(const analysis::Site& site, bool use_dd_labels) {
   return use_dd_labels ? site.observable : site.callee;
@@ -161,11 +168,11 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
     b.NormalizeRows();
     // Rows with no static mass fall back to uniform.
     for (size_t s = 0; s < num_states; ++s) {
-      if (a.RowSum(s) < 0.5) {
+      if (a.RowSum(s) < kRowMassEpsilon) {
         for (size_t t = 0; t < num_states; ++t)
           a.At(s, t) = 1.0 / static_cast<double>(num_states);
       }
-      if (b.RowSum(s) < 0.5) {
+      if (b.RowSum(s) < kRowMassEpsilon) {
         for (size_t o = 0; o < m; ++o)
           b.At(s, o) = 1.0 / static_cast<double>(m);
       }

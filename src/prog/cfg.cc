@@ -98,17 +98,25 @@ class CfgBuilder {
       }
       case StmtKind::kIf: {
         cur = EmitCalls(*s.expr, cur);
+        CfgBranch branch;
+        branch.stmt = &s;
+        branch.cond_node = cur;
         const int then_entry = NewNode();
         AddEdge(cur, then_entry);
+        branch.true_target = then_entry;
         const BodyEnd then_end = VisitBody(s.then_body, then_entry);
         if (s.else_body.empty()) {
           const int merge = NewNode();
           AddEdge(cur, merge);  // The fall-through (condition false) edge.
           if (!then_end.terminated) AddEdge(then_end.node, merge);
+          branch.false_target = merge;
+          cfg_.branches_.push_back(branch);
           return {merge, false};
         }
         const int else_entry = NewNode();
         AddEdge(cur, else_entry);
+        branch.false_target = else_entry;
+        cfg_.branches_.push_back(branch);
         const BodyEnd else_end = VisitBody(s.else_body, else_entry);
         if (then_end.terminated && else_end.terminated) {
           return {cur, true};
@@ -129,7 +137,24 @@ class CfgBuilder {
         AddEdge(cond_end, body_entry);
         AddEdge(cond_end, after);
         const BodyEnd body_end = VisitBody(s.then_body, body_entry);
-        if (!body_end.terminated) AddBackEdge(body_end.node, header, after);
+        CfgLoopInfo loop;
+        loop.stmt = &s;
+        loop.header = header;
+        loop.cond_end = cond_end;
+        loop.body_entry = body_entry;
+        loop.after = after;
+        if (!body_end.terminated) {
+          AddBackEdge(body_end.node, header, after);
+          loop.back_src = body_end.node;
+        }
+        cfg_.loops_.push_back(loop);
+        CfgBranch branch;
+        branch.stmt = &s;
+        branch.cond_node = cond_end;
+        branch.true_target = body_entry;
+        branch.false_target = after;
+        branch.is_loop = true;
+        cfg_.branches_.push_back(branch);
         return {after, false};
       }
     }
@@ -170,12 +195,22 @@ class CfgBuilder {
 };
 
 std::vector<int> Cfg::ForecastSuccessors(int id) const {
+  const CfgNode& node = nodes_[static_cast<size_t>(id)];
   std::vector<int> out;
-  for (int succ : nodes_[static_cast<size_t>(id)].succs) {
+  for (int succ : node.succs) {
+    if (!infeasible_edges_.empty() && IsInfeasible(id, succ)) continue;
     if (IsBackEdge(id, succ)) {
       out.push_back(back_edge_exit_.at({id, succ}));
     } else {
       out.push_back(succ);
+    }
+  }
+  if (out.empty() && !node.succs.empty()) {
+    // Refiners never prune every successor of a node, but flow
+    // conservation must not depend on that.
+    for (int succ : node.succs) {
+      out.push_back(IsBackEdge(id, succ) ? back_edge_exit_.at({id, succ})
+                                         : succ);
     }
   }
   return out;
@@ -270,9 +305,20 @@ std::string Cfg::ToDot() const {
   }
   for (const CfgNode& node : nodes_) {
     for (int succ : node.succs) {
+      std::string attrs;
+      if (IsInfeasible(node.id, succ)) {
+        attrs = " [style=dotted color=red label=\"infeasible\"]";
+      } else if (IsBackEdge(node.id, succ)) {
+        auto bound = loop_bounds_.find({node.id, succ});
+        if (bound != loop_bounds_.end()) {
+          attrs = util::StrFormat(" [style=dashed label=\"trips=%lld\"]",
+                                  static_cast<long long>(bound->second));
+        } else {
+          attrs = " [style=dashed]";
+        }
+      }
       out += util::StrFormat("  n%d -> n%d%s;\n", node.id, succ,
-                             IsBackEdge(node.id, succ) ? " [style=dashed]"
-                                                       : "");
+                             attrs.c_str());
     }
   }
   out += "}\n";

@@ -1,6 +1,7 @@
 #ifndef ADPROM_PROG_CFG_H_
 #define ADPROM_PROG_CFG_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -30,6 +31,33 @@ struct CfgNode {
   std::vector<int> preds;
 };
 
+/// One conditional branch of a function, recorded at construction so the
+/// abstract-interpretation refiner can map facts about an `if`/`while`
+/// statement back onto CFG edges. `cond_node` is the node holding the
+/// final condition call (or the plain node evaluating a call-free
+/// condition); its two outgoing edges lead to `true_target` and
+/// `false_target`.
+struct CfgBranch {
+  const Stmt* stmt = nullptr;
+  int cond_node = -1;
+  int true_target = -1;
+  int false_target = -1;
+  bool is_loop = false;
+};
+
+/// Structural record of one `while` loop: the join header its back edge
+/// re-enters, the branch node, the body entry, the node after the loop,
+/// and the back-edge source (-1 when the body always returns, i.e. the
+/// loop has no back edge).
+struct CfgLoopInfo {
+  const Stmt* stmt = nullptr;
+  int header = -1;
+  int cond_end = -1;
+  int body_entry = -1;
+  int after = -1;
+  int back_src = -1;
+};
+
 /// The control-flow graph of one function.
 class Cfg {
  public:
@@ -51,10 +79,40 @@ class Cfg {
     return back_edges_.count({from, to}) > 0;
   }
 
+  /// Every conditional branch, in construction (program) order.
+  const std::vector<CfgBranch>& branches() const { return branches_; }
+  /// Every `while` loop, in construction order.
+  const std::vector<CfgLoopInfo>& loops() const { return loops_; }
+
+  /// Marks the edge `from -> to` as statically infeasible: the abstract
+  /// interpreter proved the branch condition constant, so no execution
+  /// ever takes it. The probability forecast drops the edge and
+  /// renormalizes the remaining successors.
+  void MarkInfeasible(int from, int to) { infeasible_edges_.insert({from, to}); }
+  bool IsInfeasible(int from, int to) const {
+    return infeasible_edges_.count({from, to}) > 0;
+  }
+  const std::set<std::pair<int, int>>& infeasible_edges() const {
+    return infeasible_edges_;
+  }
+
+  /// Attaches an exact trip count to the back edge `back_src -> header`.
+  /// The forecast's loop-reweighting pass scales in-loop visit mass by it
+  /// instead of assuming the body runs once.
+  void SetLoopBound(int back_src, int header, int64_t trip_count) {
+    loop_bounds_[{back_src, header}] = trip_count;
+  }
+  const std::map<std::pair<int, int>, int64_t>& loop_bounds() const {
+    return loop_bounds_;
+  }
+
   /// Acyclic view for the probability forecast: the successors of `id`
   /// with every back edge replaced by an edge to its loop's exit node
   /// ("the loop body runs once"). Flow therefore always reaches the exit
   /// and the CTM invariants (row/column sums of 1) hold exactly.
+  /// Statically infeasible edges are dropped (unless that would leave the
+  /// node with no successor at all, which refiners never produce but the
+  /// forecast must survive).
   std::vector<int> ForecastSuccessors(int id) const;
 
   /// Topological order of all nodes over the forecast (acyclic) edges.
@@ -89,6 +147,10 @@ class Cfg {
   int entry_id_ = -1;
   int exit_id_ = -1;
   std::vector<CfgNode> nodes_;
+  std::vector<CfgBranch> branches_;
+  std::vector<CfgLoopInfo> loops_;
+  std::set<std::pair<int, int>> infeasible_edges_;
+  std::map<std::pair<int, int>, int64_t> loop_bounds_;
   std::set<std::pair<int, int>> back_edges_;
   // Maps a back edge to the node control reaches when the loop is not
   // re-entered (the statement after the loop).

@@ -1,0 +1,226 @@
+// Integration tests for the abstract-interpretation refinement: the CFG
+// refiner's pruned edges and loop bounds, the sharpened forecast on a
+// diamond-with-loop CFG (hand-computed, refinement on and off), the
+// bit-identity of --no-absint with the unrefined pipeline, and the
+// determinism of the refined pipeline for any thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/absint/cfg_refiner.h"
+#include "analysis/absint/engine.h"
+#include "analysis/ctm.h"
+#include "core/analyzer.h"
+#include "prog/cfg.h"
+#include "prog/program.h"
+#include "util/thread_pool.h"
+
+namespace adprom::analysis::absint {
+namespace {
+
+// A diamond (constant guard, so one arm is infeasible) feeding a counted
+// loop: the shape that exercises every refinement at once.
+constexpr const char* kDiamondWithLoop = R"(
+fn main() {
+  print("top");
+  var x = 1;
+  if (x > 0) { print("left"); } else { print("right"); }
+  var i = 0;
+  while (i < 3) { print("body"); i = i + 1; }
+  print("end");
+}
+)";
+
+util::Result<core::AnalysisResult> Analyze(const std::string& source,
+                                           bool absint,
+                                           util::ThreadPool* pool = nullptr) {
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) return program.status();
+  core::AnalyzerOptions options;
+  options.absint_refinement = absint;
+  options.pool = pool;
+  core::Analyzer analyzer(std::move(options));
+  return analyzer.Analyze(*program);
+}
+
+// Site indices in textual (call-site) order. CTM site order follows the
+// CFG's topological sort, which can reorder a node whose incoming edges
+// were all pruned; call_site_id is stable across refinement.
+std::vector<int> SitesInParseOrder(const Ctm& ctm) {
+  std::vector<int> order(ctm.num_sites());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&ctm](int a, int b) {
+    return ctm.site(static_cast<size_t>(a)).call_site_id <
+           ctm.site(static_cast<size_t>(b)).call_site_id;
+  });
+  return order;
+}
+
+void ExpectCtmsIdentical(const Ctm& a, const Ctm& b) {
+  ASSERT_EQ(a.num_sites(), b.num_sites());
+  EXPECT_EQ(a.entry_to_exit(), b.entry_to_exit());
+  for (size_t i = 0; i < a.num_sites(); ++i) {
+    EXPECT_EQ(a.site(i).Key(), b.site(i).Key());
+    EXPECT_EQ(a.entry_to(i), b.entry_to(i)) << "entry_to " << i;
+    EXPECT_EQ(a.to_exit(i), b.to_exit(i)) << "to_exit " << i;
+    for (size_t j = 0; j < a.num_sites(); ++j) {
+      EXPECT_EQ(a.between(i, j), b.between(i, j))
+          << "between " << i << "," << j;
+    }
+  }
+}
+
+TEST(CfgRefinerTest, PrunesEdgesAndBoundsLoops) {
+  auto program = prog::ParseProgram(kDiamondWithLoop);
+  ASSERT_TRUE(program.ok());
+  auto cfgs = prog::BuildAllCfgs(*program);
+  ASSERT_TRUE(cfgs.ok());
+  auto absint = RunAbstractInterpretation(*program);
+  ASSERT_TRUE(absint.ok());
+
+  const RefinementSummary summary = RefineCfgs(*absint, &cfgs.value());
+  // The dead else-arm edge and the loop's zero-iteration skip edge.
+  EXPECT_EQ(summary.pruned_edges, 2u);
+  EXPECT_EQ(summary.bounded_loops, 1u);
+
+  const prog::Cfg& cfg = cfgs->at("main");
+  EXPECT_EQ(cfg.infeasible_edges().size(), 2u);
+  ASSERT_EQ(cfg.loop_bounds().size(), 1u);
+  EXPECT_EQ(cfg.loop_bounds().begin()->second, 3);
+
+  // The DOT dump renders both refinements.
+  const std::string dot = cfg.ToDot();
+  EXPECT_NE(dot.find("infeasible"), std::string::npos);
+  EXPECT_NE(dot.find("trips=3"), std::string::npos);
+}
+
+TEST(ForecastRefinementTest, UnrefinedDiamondWithLoopIsUniform) {
+  auto analysis = Analyze(kDiamondWithLoop, /*absint=*/false);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  const Ctm& m = analysis->function_ctms.at("main");
+  ASSERT_EQ(m.num_sites(), 5u);
+  const std::vector<int> order = SitesInParseOrder(m);
+  const int top = order[0];
+  const int left = order[1];
+  const int right = order[2];
+  const int body = order[3];
+  const int end = order[4];
+
+  // Eq. 1 uniform branch split, loop body counted once (run-once).
+  EXPECT_DOUBLE_EQ(m.entry_to(top), 1.0);
+  EXPECT_DOUBLE_EQ(m.between(top, left), 0.5);
+  EXPECT_DOUBLE_EQ(m.between(top, right), 0.5);
+  EXPECT_DOUBLE_EQ(m.between(left, body), 0.25);
+  EXPECT_DOUBLE_EQ(m.between(left, end), 0.25);
+  EXPECT_DOUBLE_EQ(m.between(right, body), 0.25);
+  EXPECT_DOUBLE_EQ(m.between(right, end), 0.25);
+  EXPECT_DOUBLE_EQ(m.between(body, body), 0.0);
+  EXPECT_DOUBLE_EQ(m.between(body, end), 0.5);
+  EXPECT_DOUBLE_EQ(m.to_exit(end), 1.0);
+  EXPECT_TRUE(m.CheckInvariants().ok());
+
+  EXPECT_EQ(analysis->refinement.pruned_edges, 0u);
+  EXPECT_EQ(analysis->refinement.bounded_loops, 0u);
+}
+
+TEST(ForecastRefinementTest, RefinedDiamondWithLoopSharpens) {
+  auto analysis = Analyze(kDiamondWithLoop, /*absint=*/true);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  const Ctm& m = analysis->function_ctms.at("main");
+  ASSERT_EQ(m.num_sites(), 5u);
+  const std::vector<int> order = SitesInParseOrder(m);
+  const int top = order[0];
+  const int left = order[1];
+  const int right = order[2];
+  const int body = order[3];
+  const int end = order[4];
+
+  // The dead arm carries no probability; the taken arm is certain.
+  EXPECT_DOUBLE_EQ(m.between(top, left), 1.0);
+  EXPECT_DOUBLE_EQ(m.between(top, right), 0.0);
+  EXPECT_DOUBLE_EQ(m.entry_to(right), 0.0);
+  EXPECT_DOUBLE_EQ(m.to_exit(right), 0.0);
+
+  // The loop provably runs 3 times: the first entry is certain, and the
+  // two extra iterations surface as the wrap-around pair (body, body).
+  EXPECT_DOUBLE_EQ(m.between(left, body), 1.0);
+  EXPECT_DOUBLE_EQ(m.between(left, end), 0.0);
+  EXPECT_DOUBLE_EQ(m.between(body, body), 2.0);
+  EXPECT_DOUBLE_EQ(m.between(body, end), 1.0);
+  EXPECT_DOUBLE_EQ(m.to_exit(end), 1.0);
+  // Flow conservation holds with the inflated execution counts.
+  EXPECT_TRUE(m.CheckInvariants().ok());
+
+  EXPECT_EQ(analysis->refinement.pruned_edges, 2u);
+  EXPECT_EQ(analysis->refinement.bounded_loops, 1u);
+  EXPECT_EQ(analysis->absint.NumInfeasibleBranches(), 1u);
+  EXPECT_EQ(analysis->absint.NumBoundedLoops(), 1u);
+}
+
+TEST(ForecastRefinementTest, UndecidableProgramIsBitIdenticalEitherWay) {
+  // Every branch below depends on runtime input, so the refinement finds
+  // nothing and the refined pipeline must be bit-identical to --no-absint.
+  const char* kUndecidable = R"(
+fn main() {
+  var cmd = scan();
+  while (!is_null(cmd)) {
+    route(cmd);
+    cmd = scan();
+  }
+}
+fn route(cmd) {
+  if (cmd == "q") {
+    var r = db_query("SELECT a, b FROM t");
+    if (is_null(r)) { print("failed"); return; }
+    var n = db_ntuples(r);
+    var i = 0;
+    while (i < n) { print(db_getvalue(r, i, 0)); i = i + 1; }
+  } else {
+    print("unknown");
+  }
+}
+)";
+  auto with = Analyze(kUndecidable, /*absint=*/true);
+  auto without = Analyze(kUndecidable, /*absint=*/false);
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->refinement.pruned_edges, 0u);
+  EXPECT_EQ(with->refinement.bounded_loops, 0u);
+  ExpectCtmsIdentical(with->program_ctm, without->program_ctm);
+  for (const auto& [name, ctm] : without->function_ctms) {
+    ExpectCtmsIdentical(with->function_ctms.at(name), ctm);
+  }
+}
+
+TEST(ForecastRefinementTest, RefinedPipelineDeterministicAcrossThreads) {
+  const char* kInterprocedural = R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { work(3); } else { print("dead"); }
+  print("done");
+}
+fn work(k) {
+  var i = 0;
+  while (i < k) { leaf(); i = i + 1; }
+}
+fn leaf() { print("leaf"); }
+)";
+  auto baseline = Analyze(kInterprocedural, /*absint=*/true);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (size_t threads : {2u, 5u}) {
+    util::ThreadPool pool(threads);
+    auto result = Analyze(kInterprocedural, /*absint=*/true, &pool);
+    ASSERT_TRUE(result.ok());
+    ExpectCtmsIdentical(result->program_ctm, baseline->program_ctm);
+    EXPECT_EQ(result->refinement.pruned_edges,
+              baseline->refinement.pruned_edges);
+    EXPECT_EQ(result->refinement.bounded_loops,
+              baseline->refinement.bounded_loops);
+  }
+}
+
+}  // namespace
+}  // namespace adprom::analysis::absint

@@ -1,0 +1,388 @@
+// Unit tests for the abstract-interpretation engine: the interval and
+// value lattices, SELECT-list parsing, branch-feasibility verdicts,
+// counted-loop trip counts, interval diagnostics, interprocedural
+// argument/return propagation, and thread-count determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/absint/abstract_value.h"
+#include "analysis/absint/engine.h"
+#include "analysis/absint/interval.h"
+#include "prog/program.h"
+#include "util/thread_pool.h"
+
+namespace adprom::analysis::absint {
+namespace {
+
+// ---------------------------------------------------------------- Interval
+
+TEST(IntervalTest, EmptyIsNormalized) {
+  EXPECT_EQ(Interval(5, 2), Interval::Empty());
+  EXPECT_TRUE(Interval(5, 2).IsEmpty());
+  EXPECT_EQ(Interval::Empty().Join(Interval::Constant(7)),
+            Interval::Constant(7));
+}
+
+TEST(IntervalTest, JoinIsHullMeetIsIntersection) {
+  const Interval a(0, 5);
+  const Interval b(3, 9);
+  EXPECT_EQ(a.Join(b), Interval(0, 9));
+  EXPECT_EQ(a.Meet(b), Interval(3, 5));
+  EXPECT_TRUE(Interval(0, 1).Meet(Interval(5, 9)).IsEmpty());
+}
+
+TEST(IntervalTest, WideningJumpsGrowingBoundsToInfinity) {
+  const Interval previous(0, 4);
+  EXPECT_EQ(Interval(0, 5).WidenFrom(previous),
+            Interval(0, Interval::kPosInf));
+  EXPECT_EQ(Interval(-1, 4).WidenFrom(previous),
+            Interval(Interval::kNegInf, 4));
+  // Stable bounds stay.
+  EXPECT_EQ(Interval(0, 4).WidenFrom(previous), Interval(0, 4));
+}
+
+TEST(IntervalTest, ArithmeticSaturates) {
+  const Interval big(Interval::kPosInf - 1, Interval::kPosInf - 1);
+  EXPECT_EQ(big.Add(big).hi(), Interval::kPosInf);
+  EXPECT_EQ(Interval::Constant(2).Add(Interval::Constant(3)),
+            Interval::Constant(5));
+  EXPECT_EQ(Interval(1, 2).Mul(Interval(3, 4)), Interval(3, 8));
+  EXPECT_EQ(Interval(-2, 3).Mul(Interval(5, 5)), Interval(-10, 15));
+}
+
+TEST(IntervalTest, DivisionByExactZeroIsEmpty) {
+  EXPECT_TRUE(Interval(1, 9).Div(Interval::Constant(0)).IsEmpty());
+  EXPECT_TRUE(Interval(1, 9).Mod(Interval::Constant(0)).IsEmpty());
+  // A range containing zero over-approximates (runtime may or may not
+  // fault); the result is not empty.
+  EXPECT_FALSE(Interval(10, 10).Div(Interval(-1, 1)).IsEmpty());
+  EXPECT_EQ(Interval(7, 7).Div(Interval::Constant(2)),
+            Interval::Constant(3));
+}
+
+// ---------------------------------------------------------------- AbsValue
+
+TEST(AbsValueTest, JoinsWithinAndAcrossKinds) {
+  EXPECT_EQ(AbsValue::IntConstant(1).Join(AbsValue::IntConstant(4)),
+            AbsValue::Int(Interval(1, 4)));
+  EXPECT_TRUE(AbsValue::IntConstant(1)
+                  .Join(AbsValue::StrConstant("x"))
+                  .IsTop());
+  EXPECT_EQ(AbsValue::StrConstant("a").Join(AbsValue::StrConstant("a")),
+            AbsValue::StrConstant("a"));
+  EXPECT_TRUE(
+      AbsValue::StrConstant("a").Join(AbsValue::StrConstant("b")).IsTop());
+  // Two result handles keep the column count only when it agrees.
+  EXPECT_EQ(AbsValue::DbResult(3).Join(AbsValue::DbResult(3)).db_columns(),
+            3);
+  EXPECT_EQ(AbsValue::DbResult(3).Join(AbsValue::DbResult(2)).db_columns(),
+            -1);
+}
+
+TEST(AbsValueTest, Truthiness) {
+  EXPECT_EQ(AbsValue::IntConstant(0).Truthiness(), Tri::kFalse);
+  EXPECT_EQ(AbsValue::IntConstant(7).Truthiness(), Tri::kTrue);
+  EXPECT_EQ(AbsValue::Int(Interval(0, 1)).Truthiness(), Tri::kUnknown);
+  EXPECT_EQ(AbsValue::Null().Truthiness(), Tri::kFalse);
+  EXPECT_EQ(AbsValue::StrConstant("").Truthiness(), Tri::kFalse);
+  EXPECT_EQ(AbsValue::StrConstant("x").Truthiness(), Tri::kTrue);
+  // db_query returns null on a SQL error: handle-or-null is undecidable.
+  EXPECT_EQ(AbsValue::DbResult(2).Truthiness(), Tri::kUnknown);
+}
+
+TEST(AbsValueTest, AsIntRange) {
+  EXPECT_EQ(AbsValue::Top().AsIntRange(), Interval::Top());
+  EXPECT_EQ(AbsValue::Int(Interval(2, 6)).AsIntRange(), Interval(2, 6));
+  EXPECT_TRUE(AbsValue::StrConstant("s").AsIntRange().IsEmpty());
+  EXPECT_TRUE(AbsValue::Null().AsIntRange().IsEmpty());
+}
+
+// ------------------------------------------------------ CountSelectColumns
+
+TEST(CountSelectColumnsTest, ParsesSelectLists) {
+  EXPECT_EQ(CountSelectColumns("SELECT a, b, c FROM t"), 3);
+  EXPECT_EQ(CountSelectColumns("select id from items"), 1);
+  EXPECT_EQ(CountSelectColumns("SELECT * FROM t"), -1);
+  EXPECT_EQ(CountSelectColumns("INSERT INTO t VALUES (1)"), -1);
+  EXPECT_EQ(CountSelectColumns("SELECT f(a, b), c FROM t"), 2);
+  EXPECT_EQ(CountSelectColumns("SELECT COUNT(*), SUM(x) FROM t"), 2);
+  EXPECT_EQ(CountSelectColumns(""), -1);
+}
+
+// ----------------------------------------------------------------- Engine
+
+util::Result<AbsintResult> AbsintOf(const std::string& source,
+                                    const AbsintOptions& options = {}) {
+  auto program = prog::ParseProgram(source);
+  if (!program.ok()) return program.status();
+  return RunAbstractInterpretation(*program, options);
+}
+
+TEST(AbsintEngineTest, ConstantConditionsGetVerdicts) {
+  auto result = AbsintOf(R"(
+fn main() {
+  var x = 1;
+  if (x < 2) { print("t"); } else { print("f"); }
+  if (x > 5) { print("no"); }
+}
+)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& branches = result->functions.at("main").branches;
+  ASSERT_EQ(branches.size(), 2u);
+  EXPECT_EQ(branches[0].verdict, Tri::kTrue);
+  EXPECT_EQ(branches[1].verdict, Tri::kFalse);
+  EXPECT_FALSE(branches[0].condition_is_literal);
+  EXPECT_EQ(result->NumInfeasibleBranches(), 2u);
+}
+
+TEST(AbsintEngineTest, LiteralConditionsAreMarked) {
+  auto result = AbsintOf(R"(
+fn main() {
+  if (1) { print("a"); }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("main").branches;
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_TRUE(branches[0].condition_is_literal);
+  EXPECT_EQ(branches[0].verdict, Tri::kTrue);
+}
+
+TEST(AbsintEngineTest, InputDependentConditionsStayUnknown) {
+  auto result = AbsintOf(R"(
+fn main() {
+  var cmd = scan();
+  if (cmd == "open") { print("o"); }
+  var r = db_query("SELECT a FROM t");
+  if (is_null(r)) { print("failed"); }
+  if (db_ntuples(r) == 0) { print("empty"); }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  for (const BranchFact& fact : result->functions.at("main").branches) {
+    EXPECT_EQ(fact.verdict, Tri::kUnknown) << "line " << fact.line;
+  }
+}
+
+TEST(AbsintEngineTest, CountedLoopTripCounts) {
+  auto result = AbsintOf(R"(
+fn main() {
+  var i = 0;
+  while (i < 5) { print(i); i = i + 1; }
+  var j = 10;
+  while (j > 0) { print(j); j = j - 2; }
+  var k = 0;
+  while (k < 7) { print(k); k = k + 3; }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("main").branches;
+  ASSERT_EQ(branches.size(), 3u);
+  EXPECT_EQ(branches[0].trip_count, 5);
+  EXPECT_TRUE(branches[0].entered);
+  EXPECT_EQ(branches[1].trip_count, 5);  // 10, 8, 6, 4, 2
+  EXPECT_EQ(branches[2].trip_count, 3);  // 0, 3, 6
+  EXPECT_EQ(result->NumBoundedLoops(), 3u);
+}
+
+TEST(AbsintEngineTest, ZeroTripLoopIsAlwaysFalse) {
+  auto result = AbsintOf(R"(
+fn main() {
+  var i = 9;
+  while (i < 5) { print(i); i = i + 1; }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("main").branches;
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].verdict, Tri::kFalse);
+  EXPECT_FALSE(branches[0].entered);
+}
+
+TEST(AbsintEngineTest, NonCountedLoopsHaveNoTripCount) {
+  auto result = AbsintOf(R"(
+fn main() {
+  var n = db_ntuples(db_query("SELECT a FROM t"));
+  var i = 0;
+  while (i < n) { print(i); i = i + 1; }
+  var j = 0;
+  while (j < 10) {
+    j = j + 1;
+    if (scan() == "stop") { j = j + 5; }
+  }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  for (const BranchFact& fact : result->functions.at("main").branches) {
+    if (fact.is_loop) {
+      EXPECT_EQ(fact.trip_count, -1) << "line " << fact.line;
+    }
+  }
+  EXPECT_EQ(result->NumBoundedLoops(), 0u);
+}
+
+TEST(AbsintEngineTest, DivByZeroDiagnostics) {
+  // `n` is narrowed to [0, 9] by the early returns; a fully unconstrained
+  // divisor is deliberately not flagged (too noisy), a range containing
+  // zero is, and the `n != 0` guard silences the check.
+  auto result = AbsintOf(R"(
+fn main() {
+  var zero = 0;
+  print(10 / zero);
+  var n = to_int(scan());
+  if (n < 0) { return; }
+  if (n > 9) { return; }
+  if (n != 0) { print(100 / n); }
+  print(100 % n);
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& diags = result->functions.at("main").diagnostics;
+  // The guarded 100 / n must NOT be flagged; the unguarded uses are.
+  size_t div_zero = 0;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.category, "div-by-zero");
+    div_zero++;
+    EXPECT_NE(d.line, 8);  // the guarded division
+  }
+  EXPECT_EQ(div_zero, 2u);  // 10 / zero, 100 % n
+}
+
+TEST(AbsintEngineTest, ConstIndexOutOfBounds) {
+  auto result = AbsintOf(R"(
+fn main() {
+  var r = db_query("SELECT a, b FROM t");
+  print(db_getvalue(r, 0, 1));
+  print(db_getvalue(r, 0, 5));
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& diags = result->functions.at("main").diagnostics;
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].category, "const-index-oob");
+  EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(AbsintEngineTest, InterproceduralArgumentFacts) {
+  // g is only ever called with 3, so its branch folds.
+  auto result = AbsintOf(R"(
+fn main() { g(3); g(3); }
+fn g(n) {
+  if (n > 1) { print("big"); }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("g").branches;
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].verdict, Tri::kTrue);
+}
+
+TEST(AbsintEngineTest, DivergentCallSitesJoinArguments) {
+  // Called with 1 and 9: n is [1,9], so n > 0 folds but n > 5 does not.
+  auto result = AbsintOf(R"(
+fn main() { g(1); g(9); }
+fn g(n) {
+  if (n > 0) { print("pos"); }
+  if (n > 5) { print("big"); }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("g").branches;
+  ASSERT_EQ(branches.size(), 2u);
+  EXPECT_EQ(branches[0].verdict, Tri::kTrue);
+  EXPECT_EQ(branches[1].verdict, Tri::kUnknown);
+}
+
+TEST(AbsintEngineTest, ReturnSummariesPropagate) {
+  auto result = AbsintOf(R"(
+fn five() { return 5; }
+fn main() {
+  var x = five();
+  if (x == 5) { print("yes"); }
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("main").branches;
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].verdict, Tri::kTrue);
+}
+
+TEST(AbsintEngineTest, RecursionStaysUnconstrained) {
+  auto result = AbsintOf(R"(
+fn main() { rec(3); }
+fn rec(n) {
+  if (n > 0) { rec(n - 1); }
+  return n;
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("rec").branches;
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].verdict, Tri::kUnknown);
+}
+
+TEST(AbsintEngineTest, WideningTerminatesUnboundedGrowth) {
+  // The loop counter grows without a constant bound in reach: widening
+  // must terminate the fixpoint and leave the condition unknown.
+  auto result = AbsintOf(R"(
+fn main() {
+  var n = to_int(scan());
+  var i = 0;
+  while (i < n) { i = i + 1; }
+  print(i);
+}
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& branches = result->functions.at("main").branches;
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].verdict, Tri::kUnknown);
+  EXPECT_EQ(branches[0].trip_count, -1);
+}
+
+TEST(AbsintEngineTest, DeterministicForAnyThreadCount) {
+  const char* kSource = R"(
+fn main() {
+  var a = helper(2);
+  var b = helper(7);
+  if (a + b > 0) { leaf(a); } else { leaf(b); }
+}
+fn helper(n) {
+  if (n > 4) { return n * 2; }
+  return n;
+}
+fn leaf(v) {
+  if (v < 100) { print(v); }
+  var i = 0;
+  while (i < 4) { print(i); i = i + 1; }
+}
+)";
+  auto baseline = AbsintOf(kSource);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t threads : {2u, 4u, 7u}) {
+    util::ThreadPool pool(threads);
+    AbsintOptions options;
+    options.pool = &pool;
+    auto result = AbsintOf(kSource, options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->functions.size(), baseline->functions.size());
+    for (const auto& [name, facts] : baseline->functions) {
+      const auto& other = result->functions.at(name);
+      ASSERT_EQ(other.branches.size(), facts.branches.size());
+      for (size_t i = 0; i < facts.branches.size(); ++i) {
+        EXPECT_EQ(other.branches[i].verdict, facts.branches[i].verdict);
+        EXPECT_EQ(other.branches[i].trip_count,
+                  facts.branches[i].trip_count);
+        EXPECT_EQ(other.branches[i].entered, facts.branches[i].entered);
+      }
+      ASSERT_EQ(other.diagnostics.size(), facts.diagnostics.size());
+      EXPECT_EQ(other.return_value, facts.return_value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adprom::analysis::absint

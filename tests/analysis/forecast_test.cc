@@ -50,7 +50,9 @@ fn main() {
         has_out = true;
       }
     }
-    if (has_out) EXPECT_NEAR(out_sum, 1.0, 1e-12);
+    if (has_out) {
+      EXPECT_NEAR(out_sum, 1.0, 1e-12);
+    }
   }
 }
 

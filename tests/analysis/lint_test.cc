@@ -237,6 +237,118 @@ fn main() {
   EXPECT_LT(report.findings[0].line, report.findings[1].line);
 }
 
+TEST(LintTest, InfeasibleBranchIsReported) {
+  const LintReport report = LintSource(R"(
+fn main() {
+  var x = 1;
+  if (x > 2) { print("never"); } else { print("always"); }
+  print("done");
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u) << report.Format("t");
+  EXPECT_EQ(report.findings[0].category, "infeasible-branch");
+  EXPECT_EQ(report.findings[0].line, 4);
+  EXPECT_NE(report.findings[0].message.find("always false"),
+            std::string::npos);
+}
+
+TEST(LintTest, InfeasibleLoopIsReported) {
+  const LintReport report = LintSource(R"(
+fn main() {
+  var i = 9;
+  while (i < 5) { print(i); i = i + 1; }
+  print("done");
+}
+)");
+  bool flagged = false;
+  for (const LintFinding& f : report.findings) {
+    if (f.category == "infeasible-branch") {
+      flagged = true;
+      EXPECT_EQ(f.line, 4);
+      EXPECT_NE(f.message.find("body never runs"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(flagged) << report.Format("t");
+}
+
+TEST(LintTest, LiteralConditionIsNotFlagged) {
+  // `if (1)` / `while (1)` are intentional idioms (the generator emits
+  // them); only computed constants are lint findings.
+  const LintReport report = LintSource(R"(
+fn main() {
+  if (1) { print("on"); }
+  var stop = 0;
+  while (1) {
+    print("tick");
+    stop = stop + 1;
+    if (stop > 2) { return; }
+  }
+}
+)");
+  for (const LintFinding& f : report.findings) {
+    EXPECT_NE(f.category, "infeasible-branch") << report.Format("t");
+  }
+}
+
+TEST(LintTest, DivByZeroIsReported) {
+  const LintReport report = LintSource(R"(
+fn main() {
+  var d = 0;
+  print(10 / d);
+}
+)");
+  ASSERT_EQ(report.findings.size(), 1u) << report.Format("t");
+  EXPECT_EQ(report.findings[0].category, "div-by-zero");
+  EXPECT_EQ(report.findings[0].line, 4);
+}
+
+TEST(LintTest, GuardedDivisionIsNotFlagged) {
+  const LintReport report = LintSource(R"(
+fn main() {
+  var n = to_int(scan());
+  if (n != 0) { print(100 / n); }
+}
+)");
+  for (const LintFinding& f : report.findings) {
+    EXPECT_NE(f.category, "div-by-zero") << report.Format("t");
+  }
+}
+
+TEST(LintTest, ConstIndexOutOfBoundsIsReported) {
+  const LintReport report = LintSource(R"(
+fn main() {
+  var r = db_query("SELECT a, b FROM t");
+  print(db_getvalue(r, 0, 0));
+  print(db_getvalue(r, 0, 4));
+}
+)");
+  std::vector<LintFinding> oob;
+  for (const LintFinding& f : report.findings) {
+    if (f.category == "const-index-oob") oob.push_back(f);
+  }
+  ASSERT_EQ(oob.size(), 1u) << report.Format("t");
+  EXPECT_EQ(oob[0].line, 5);
+}
+
+TEST(LintTest, IntervalChecksCanBeDisabled) {
+  LintOptions options;
+  options.check_infeasible_branch = false;
+  options.check_div_zero = false;
+  options.check_const_index = false;
+  const LintReport report = LintSource(R"(
+fn main() {
+  var x = 1;
+  if (x > 2) { print("never"); }
+  var d = 0;
+  print(10 / d);
+  var r = db_query("SELECT a FROM t");
+  print(db_getvalue(r, 0, 7));
+}
+)",
+                                       options);
+  EXPECT_TRUE(report.findings.empty()) << report.Format("t");
+}
+
 TEST(LintTest, RequiresFinalizedProgram) {
   prog::Program program;
   auto report = RunLint(program, {});

@@ -201,7 +201,9 @@ TEST(FileTrackingExtensionTest, SendingUnlabeledFileIsNot) {
       *program, *cfgs, SwapDb(), {{"export", "upload", "notes.txt"}});
   ASSERT_TRUE(trace.ok());
   for (const runtime::CallEvent& event : *trace) {
-    if (event.callee == "send_file") EXPECT_FALSE(event.td_output);
+    if (event.callee == "send_file") {
+      EXPECT_FALSE(event.td_output);
+    }
   }
 }
 

@@ -39,6 +39,56 @@ Workbench MakeWorkbench(uint64_t seed, size_t functions = 6) {
           std::move(traces).value()};
 }
 
+TEST(ProfileConstructorTest, ZeroMassRowFallsBackToUniform) {
+  // A call site on a pruned-infeasible branch has no static mass anywhere
+  // in the pCTM. Its transition and emission rows must fall back to the
+  // uniform distribution (kRowMassEpsilon) instead of an all-zero row,
+  // which Validate() would reject.
+  auto program = prog::ParseProgram(R"(
+fn main() {
+  var x = 1;
+  if (x > 0) { print("live"); } else { print("dead"); }
+  print("tail");
+}
+)");
+  ASSERT_TRUE(program.ok());
+  Analyzer analyzer;  // absint refinement on by default
+  auto analysis = analyzer.Analyze(*program);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_EQ(analysis->refinement.pruned_edges, 1u);
+  auto traces =
+      AdProm::CollectTraces(*program, analysis->cfgs, nullptr, {{{}}});
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+
+  ProfileOptions options;
+  options.train.max_iterations = 0;  // inspect the statically-seeded model
+  ProfileConstructor constructor(options);
+  auto profile = constructor.Construct(*analysis, *traces);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ASSERT_EQ(profile->num_states, profile->num_sites);  // identity states
+
+  // Locate the dead site: the only one the refined forecast never reaches.
+  const analysis::Ctm& pctm = analysis->program_ctm;
+  int dead = -1;
+  for (size_t i = 0; i < pctm.num_sites(); ++i) {
+    if (pctm.Inflow(i) == 0.0) {
+      EXPECT_EQ(dead, -1) << "more than one dead site";
+      dead = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(dead, 0);
+
+  // The fallback (then smoothing, which preserves uniformity) leaves the
+  // dead state's rows exactly uniform.
+  const size_t n = profile->num_states;
+  const auto row = static_cast<size_t>(dead);
+  for (size_t t = 0; t < n; ++t) {
+    EXPECT_DOUBLE_EQ(profile->model.a().At(row, t),
+                     1.0 / static_cast<double>(n));
+  }
+  EXPECT_TRUE(profile->model.Validate().ok());
+}
+
 TEST(ProfileConstructorTest, IdentityStatesBelowThreshold) {
   Workbench bench = MakeWorkbench(11);
   ProfileOptions options;

@@ -43,7 +43,9 @@ TEST_P(HmmPropertyTest, ViterbiPathNeverBeatsTotalProbability) {
     const double best_path = PathLogProbability(model, seq, *path);
     EXPECT_LE(best_path, *total + 1e-9);
     // And with only one state, the single path carries everything.
-    if (model.num_states() == 1) EXPECT_NEAR(best_path, *total, 1e-9);
+    if (model.num_states() == 1) {
+      EXPECT_NEAR(best_path, *total, 1e-9);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace adprom::cli {
@@ -54,6 +55,49 @@ TEST(CliTest, AnalyzeSample) {
   EXPECT_NE(run.output.find("pCTM invariants: hold"), std::string::npos)
       << run.output;
   EXPECT_NE(run.output.find("items"), std::string::npos);  // provenance
+}
+
+TEST(CliTest, AnalyzeReportsAbsintRefinement) {
+  // The absint demo sample has one dead branch (constant debug flag) and
+  // one counted loop; the zero-iteration skip edge of the loop is pruned
+  // alongside the dead arm.
+  const std::string demo =
+      std::string(ADPROM_SOURCE_DIR) + "/samples/absint/demo.mini";
+  const CliRun on = RunTool({"analyze", demo});
+  ASSERT_TRUE(on.status.ok()) << on.status.ToString();
+  EXPECT_NE(on.output.find("absint: pruned 2 infeasible edges, bounded 1 "
+                           "loops"),
+            std::string::npos)
+      << on.output;
+
+  const CliRun off = RunTool({"analyze", demo, "--no-absint"});
+  ASSERT_TRUE(off.status.ok()) << off.status.ToString();
+  EXPECT_NE(off.output.find("absint: disabled (--no-absint)"),
+            std::string::npos)
+      << off.output;
+}
+
+TEST(CliTest, DumpCfgWritesAnnotatedDotFiles) {
+  const std::string demo =
+      std::string(ADPROM_SOURCE_DIR) + "/samples/absint/demo.mini";
+  const std::string dir = TempPath("cfg_dump");
+  const CliRun run = RunTool({"analyze", demo, "--dump-cfg=" + dir});
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  EXPECT_NE(run.output.find("CFGs dumped to"), std::string::npos);
+
+  std::ifstream main_dot(dir + "/main.dot");
+  ASSERT_TRUE(main_dot.good()) << dir + "/main.dot";
+  std::stringstream main_text;
+  main_text << main_dot.rdbuf();
+  // The dead-branch edge is rendered infeasible; the counted loop's back
+  // edge carries its trip count.
+  EXPECT_NE(main_text.str().find("infeasible"), std::string::npos)
+      << main_text.str();
+  EXPECT_NE(main_text.str().find("trips=3"), std::string::npos)
+      << main_text.str();
+
+  std::ifstream poll_dot(dir + "/poll.dot");
+  EXPECT_TRUE(poll_dot.good()) << dir + "/poll.dot";
 }
 
 TEST(CliTest, FullPipelineTrainTraceScoreMonitor) {

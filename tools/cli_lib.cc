@@ -1,5 +1,6 @@
 #include "tools/cli_lib.h"
 
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -30,7 +31,7 @@ struct ParsedArgs {
 };
 
 constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
-                                      "--flow-insensitive"};
+                                      "--flow-insensitive", "--no-absint"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -45,6 +46,11 @@ util::Result<ParsedArgs> ParseArgs(const std::vector<std::string>& args) {
     const std::string& arg = args[i];
     if (arg.rfind("--", 0) != 0) {
       out.positional.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {  // --flag=value
+      out.flags[arg.substr(0, eq)] = arg.substr(eq + 1);
       continue;
     }
     if (IsBoolFlag(arg)) {
@@ -134,6 +140,7 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
   if (args.Has("--no-labels")) options.use_dd_labels = false;
   if (args.Has("--signatures")) options.use_query_signatures = true;
   if (args.Has("--flow-insensitive")) options.flow_insensitive_taint = true;
+  if (args.Has("--no-absint")) options.absint_refinement = false;
   if (args.Has("--seed")) {
     options.seed = std::strtoull(args.Get("--seed").c_str(), nullptr, 10);
   }
@@ -154,21 +161,46 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
 
 util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2) {
-    return util::Status::InvalidArgument("usage: adprom analyze <app.mini>");
+    return util::Status::InvalidArgument(
+        "usage: adprom analyze <app.mini> [--no-absint] [--dump-cfg=<dir>]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
   core::AnalyzerOptions analyzer_options;
   analyzer_options.flow_insensitive_taint = args.Has("--flow-insensitive");
+  analyzer_options.absint_refinement = !args.Has("--no-absint");
   core::Analyzer analyzer(analyzer_options);
   ADPROM_ASSIGN_OR_RETURN(core::AnalysisResult analysis,
                           analyzer.Analyze(program));
+
+  if (args.Has("--dump-cfg")) {
+    const std::string dir = args.Get("--dump-cfg");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return util::Status::Internal("cannot create " + dir + ": " +
+                                    ec.message());
+    }
+    for (const auto& [name, cfg] : analysis.cfgs) {
+      const std::string path = dir + "/" + name + ".dot";
+      ADPROM_RETURN_IF_ERROR(WriteStringToFile(path, cfg.ToDot()));
+    }
+    out << "CFGs dumped to " << dir << "/ (" << analysis.cfgs.size()
+        << " functions)\n";
+  }
 
   out << "functions: " << program.functions().size() << "\n";
   out << "taint labeler: "
       << (analyzer_options.flow_insensitive_taint ? "flow-insensitive"
                                                   : "flow-sensitive")
       << "\n";
+  if (analyzer_options.absint_refinement) {
+    out << "absint: pruned " << analysis.refinement.pruned_edges
+        << " infeasible edges, bounded " << analysis.refinement.bounded_loops
+        << " loops\n";
+  } else {
+    out << "absint: disabled (--no-absint)\n";
+  }
   out << "call sites (pCTM states): " << analysis.program_ctm.num_sites()
       << "\n";
   size_t labeled = 0;
@@ -194,7 +226,7 @@ util::Status CmdTrain(const ParsedArgs& args, std::ostream& out) {
     return util::Status::InvalidArgument(
         "usage: adprom train <app.mini> [--db seed.sql] --cases cases.txt"
         " --out app.profile [--window N] [--no-labels] [--signatures]"
-        " [--threads N]");
+        " [--no-absint] [--threads N]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
