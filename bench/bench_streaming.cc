@@ -1,0 +1,230 @@
+// Streaming-service bench: events/sec and per-event submit latency
+// (p50/p99) of the SessionManager as the number of concurrent monitored
+// sessions grows (1 / 8 / 64 / 512), over a pool of hardware-concurrency
+// workers, plus the bare single-session StreamingMonitor as the inline
+// scoring baseline. Submit latency is producer-observed: it includes any
+// kBlock back-pressure stall, which is exactly what a collector embedded
+// in an application would feel.
+//
+// Machine-readable results are written to BENCH_streaming.json at the
+// repository root (override with --json <path>).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/alert_sink.h"
+#include "service/session_manager.h"
+#include "service/streaming_monitor.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+#ifndef ADPROM_SOURCE_DIR
+#define ADPROM_SOURCE_DIR "."
+#endif
+
+namespace adprom::bench {
+namespace {
+
+std::string Num(double v) { return util::StrFormat("%.6g", v); }
+
+double Seconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Counts verdicts without storing them: the sink must not become the
+/// bottleneck being measured.
+class CountingSink : public service::AlertSink {
+ public:
+  void OnDetection(const std::string& session_id,
+                   const core::Detection& detection) override {
+    (void)session_id;
+    verdicts.fetch_add(1, std::memory_order_relaxed);
+    if (detection.IsAlarm()) alarms.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::atomic<size_t> verdicts{0};
+  std::atomic<size_t> alarms{0};
+};
+
+struct StreamRun {
+  std::string name;
+  size_t sessions = 1;
+  size_t events = 0;
+  size_t verdicts = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_us->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us->size())));
+  return (*sorted_us)[index];
+}
+
+/// One configuration: `sessions` concurrent sessions fed round-robin from
+/// the flattened corpus event pool, ~`total_events` events overall.
+StreamRun RunConfig(const core::ApplicationProfile& profile,
+                    const std::vector<runtime::CallEvent>& pool_events,
+                    size_t sessions, size_t total_events,
+                    util::ThreadPool* pool) {
+  CountingSink sink;
+  service::SessionManagerOptions options;
+  options.queue_capacity = 1024;
+  options.overflow = service::SessionManagerOptions::OverflowPolicy::kBlock;
+  service::SessionManager manager(&profile, &sink, pool, options);
+
+  std::vector<std::string> ids;
+  ids.reserve(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    ids.push_back("s" + std::to_string(s));
+  }
+  const size_t per_session =
+      std::max(profile.options.window_length, total_events / sessions);
+  const size_t events = per_session * sessions;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(events);
+
+  const auto bench_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < per_session; ++i) {
+    for (size_t s = 0; s < sessions; ++s) {
+      // Session s streams the corpus from its own offset, so concurrent
+      // sessions are not in lockstep on identical windows.
+      const runtime::CallEvent& event =
+          pool_events[(s * 7919 + i) % pool_events.size()];
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)manager.Submit(ids[s], event);
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }
+  manager.Drain();
+  const double seconds = Seconds(bench_start);
+  manager.CloseAll();
+
+  StreamRun run;
+  run.name = pool == nullptr ? "inline" : "pooled";
+  run.sessions = sessions;
+  run.events = events;
+  run.verdicts = sink.verdicts.load();
+  run.seconds = seconds;
+  run.events_per_sec = static_cast<double>(events) / seconds;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  run.p50_us = Percentile(&latencies_us, 0.50);
+  run.p99_us = Percentile(&latencies_us, 0.99);
+  return run;
+}
+
+void WriteJson(const std::vector<StreamRun>& runs, size_t pool_workers,
+               const std::string& json_path) {
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"bench\": \"bench_streaming\",\n";
+  json << "  \"hardware_concurrency\": "
+       << util::ThreadPool::DefaultConcurrency() << ",\n";
+  json << "  \"pool_workers\": " << pool_workers << ",\n";
+  json << "  \"corpus\": \"grep-like\",\n";
+  json << "  \"overflow_policy\": \"block\",\n";
+  json << "  \"runs\": [";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const StreamRun& run = runs[i];
+    json << (i ? ", " : "") << "{\"name\": \"" << run.name
+         << "\", \"sessions\": " << run.sessions
+         << ", \"events\": " << run.events
+         << ", \"verdicts\": " << run.verdicts
+         << ", \"wall_time_sec\": " << Num(run.seconds)
+         << ", \"events_per_sec\": " << Num(run.events_per_sec)
+         << ", \"submit_p50_us\": " << Num(run.p50_us)
+         << ", \"submit_p99_us\": " << Num(run.p99_us) << "}";
+  }
+  json << "]\n";
+  json << "}\n";
+
+  std::ofstream out(json_path, std::ios::binary);
+  if (out) {
+    out << json.str();
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::printf("\nWARNING: cannot write %s\n", json_path.c_str());
+  }
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader("Streaming service throughput & latency");
+
+  PreparedApp prepared = Prepare(apps::MakeGrepLike());
+  core::AdProm system = TrainOrDie(prepared);
+  const core::ApplicationProfile& profile = system.profile();
+
+  std::vector<runtime::CallEvent> pool_events;
+  for (const runtime::Trace& trace : system.training_traces()) {
+    pool_events.insert(pool_events.end(), trace.begin(), trace.end());
+  }
+  std::printf("corpus: grep-like, %zu pooled events, window %zu\n",
+              pool_events.size(), profile.options.window_length);
+
+  constexpr size_t kTotalEvents = 60000;
+  const size_t workers = util::ThreadPool::DefaultConcurrency();
+  std::vector<StreamRun> runs;
+
+  // Baseline: one session scored inline on the submitting thread — the
+  // raw per-event cost of the incremental forward recursion.
+  runs.push_back(
+      RunConfig(profile, pool_events, 1, kTotalEvents, nullptr));
+
+  util::ThreadPool pool(workers);
+  for (size_t sessions : {1u, 8u, 64u, 512u}) {
+    runs.push_back(
+        RunConfig(profile, pool_events, sessions, kTotalEvents, &pool));
+  }
+
+  util::TablePrinter table({"mode", "sessions", "events", "seconds",
+                            "events/sec", "submit p50 (us)",
+                            "submit p99 (us)"});
+  for (const StreamRun& run : runs) {
+    table.AddRow({run.name, std::to_string(run.sessions),
+                  std::to_string(run.events),
+                  util::StrFormat("%.3f", run.seconds),
+                  util::StrFormat("%.0f", run.events_per_sec),
+                  util::StrFormat("%.2f", run.p50_us),
+                  util::StrFormat("%.2f", run.p99_us)});
+  }
+  table.Print();
+  std::printf("(inline = null-pool synchronous scoring; pooled rows run"
+              " %zu workers, kBlock overflow — p99 shows back-pressure)\n",
+              workers);
+
+  WriteJson(runs, workers, json_path);
+}
+
+}  // namespace
+}  // namespace adprom::bench
+
+int main(int argc, char** argv) {
+  std::string json_path =
+      std::string(ADPROM_SOURCE_DIR) + "/BENCH_streaming.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    }
+  }
+  adprom::bench::Run(json_path);
+  return 0;
+}

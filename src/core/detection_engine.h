@@ -45,13 +45,17 @@ class DetectionEngine {
   /// Convenience: the alarms only.
   std::vector<Detection> Alarms(const runtime::Trace& trace) const;
 
- private:
-  /// Shared verdict logic: `window` and its pre-encoded symbols `seq`
-  /// (same length, same order). The workspace is reused across calls.
+  /// The single shared verdict implementation: `window` and its
+  /// pre-encoded symbols `seq` (same length, same order); the workspace is
+  /// reused across calls. Both the batch paths above and the streaming
+  /// service (service::StreamingMonitor) funnel through this method, which
+  /// is what makes streaming verdicts bit-identical to batch by
+  /// construction.
   Detection EvaluateEncoded(std::span<const runtime::CallEvent> window,
                             hmm::SymbolSpan seq, size_t window_start,
                             hmm::ForwardWorkspace* workspace) const;
 
+ private:
   const ApplicationProfile* profile_;
 };
 

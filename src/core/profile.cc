@@ -1,5 +1,6 @@
 #include "core/profile.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/strings.h"
@@ -108,6 +109,18 @@ std::string ApplicationProfile::Serialize() const {
   return out.str();
 }
 
+namespace {
+
+/// Sanity caps for deserialized profiles. Legitimate profiles are tiny
+/// (the paper reports ~31 kB); the caps exist so a corrupted or hostile
+/// size field fails with a clean ParseError instead of attempting a
+/// multi-gigabyte allocation.
+constexpr size_t kMaxWindowLength = 1u << 20;
+constexpr size_t kMaxCount = 1u << 20;       // alphabet / pairs / sources
+constexpr size_t kMaxMatrixCells = 1u << 26;  // per HMM parameter matrix
+
+}  // namespace
+
 util::Result<ApplicationProfile> ApplicationProfile::Deserialize(
     const std::string& text) {
   std::istringstream in(text);
@@ -124,6 +137,11 @@ util::Result<ApplicationProfile> ApplicationProfile::Deserialize(
 
   in >> key >> profile.options.window_length;
   if (key != "window_length") return fail("expected window_length");
+  if (!in) return fail("bad window_length value");
+  if (profile.options.window_length < 2 ||
+      profile.options.window_length > kMaxWindowLength) {
+    return fail("window_length out of range");
+  }
   int labels = 0;
   in >> key >> labels;
   if (key != "use_dd_labels") return fail("expected use_dd_labels");
@@ -135,12 +153,20 @@ util::Result<ApplicationProfile> ApplicationProfile::Deserialize(
   profile.options.use_query_signatures = signatures != 0;
   in >> key >> profile.threshold;
   if (key != "threshold") return fail("expected threshold");
+  if (!in) return fail("bad threshold value");
+  if (!std::isfinite(profile.threshold)) {
+    return fail("threshold is not finite");
+  }
   in >> key >> profile.num_sites;
   if (key != "num_sites") return fail("expected num_sites");
   in >> key >> profile.num_states;
   if (key != "num_states") return fail("expected num_states");
   in >> key >> alphabet_size;
   if (key != "alphabet") return fail("expected alphabet");
+  if (!in) return fail("bad header counts");
+  if (alphabet_size == 0 || alphabet_size > kMaxCount) {
+    return fail("alphabet size out of range");
+  }
   std::getline(in, line);  // eat newline
   for (size_t i = 0; i < alphabet_size; ++i) {
     if (!std::getline(in, line)) return fail("truncated alphabet");
@@ -150,19 +176,28 @@ util::Result<ApplicationProfile> ApplicationProfile::Deserialize(
     }
     profile.alphabet.Intern(line);
   }
+  if (profile.alphabet.size() != alphabet_size) {
+    return fail("duplicate alphabet symbol");
+  }
 
   size_t pair_count = 0;
   in >> key >> pair_count;
   if (key != "context_pairs") return fail("expected context_pairs");
+  if (!in || pair_count > kMaxCount) {
+    return fail("context_pairs count out of range");
+  }
   for (size_t i = 0; i < pair_count; ++i) {
     std::string caller, callee;
-    in >> caller >> callee;
+    if (!(in >> caller >> callee)) return fail("truncated context_pairs");
     profile.context_pairs.insert({caller, callee});
   }
 
   size_t source_count = 0;
   in >> key >> source_count;
   if (key != "labeled_sources") return fail("expected labeled_sources");
+  if (!in || source_count > kMaxCount) {
+    return fail("labeled_sources count out of range");
+  }
   std::getline(in, line);
   for (size_t i = 0; i < source_count; ++i) {
     if (!std::getline(in, line)) return fail("truncated labeled_sources");
@@ -176,6 +211,16 @@ util::Result<ApplicationProfile> ApplicationProfile::Deserialize(
   size_t m = 0;
   in >> key >> n >> m;
   if (key != "hmm") return fail("expected hmm");
+  if (!in) return fail("bad hmm dimensions");
+  if (n == 0 || m == 0 || n * n > kMaxMatrixCells ||
+      m > kMaxMatrixCells / n) {
+    return fail("hmm dimensions out of range");
+  }
+  // The emission matrix must cover exactly the observation alphabet: a
+  // symbol id emitted by Encode() indexes column id of B.
+  if (m != alphabet_size) {
+    return fail("hmm symbol count does not match alphabet size");
+  }
   util::Matrix a(n, n);
   util::Matrix b(n, m);
   std::vector<double> pi(n);

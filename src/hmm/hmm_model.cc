@@ -52,6 +52,12 @@ util::Status HmmModel::Validate(double tolerance) const {
                        size_t len) -> util::Status {
     double sum = 0.0;
     for (size_t i = 0; i < len; ++i) {
+      // NaN fails every comparison, so without this check a NaN entry
+      // would sail through both the negativity and the row-sum test.
+      if (!std::isfinite(row[i])) {
+        return util::Status::FailedPrecondition(
+            util::StrFormat("%s has a non-finite entry", what));
+      }
       if (row[i] < -tolerance) {
         return util::Status::FailedPrecondition(
             util::StrFormat("%s has a negative entry: %g", what, row[i]));

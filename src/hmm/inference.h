@@ -30,6 +30,12 @@ struct ForwardVariables {
 struct ForwardWorkspace {
   util::Matrix alpha;         // grown to T x N on demand
   std::vector<double> scale;  // grown to T on demand
+
+  /// Pre-grows the buffers for sequences of up to `max_len` symbols under
+  /// a `num_states`-state model, so even the *first* ForwardInto call
+  /// allocates nothing. The streaming service calls this at session setup;
+  /// it is optional everywhere else (buffers also grow on first use).
+  void Reserve(size_t max_len, size_t num_states);
 };
 
 /// Reusable buffers for the backward pass (Baum-Welch E-step).

@@ -46,30 +46,79 @@ util::Result<std::string> Unescape(const std::string& s) {
   return std::move(out);
 }
 
+/// Strict base-10 integer: optional sign, at least one digit, nothing
+/// else. strtol alone would silently turn garbage into 0.
+util::Result<int> ParseIntField(const std::string& field,
+                                const char* what) {
+  if (field.empty()) {
+    return util::Status::ParseError(std::string(what) + " field is empty");
+  }
+  char* end = nullptr;
+  const long value = std::strtol(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) {
+    return util::Status::ParseError(std::string(what) +
+                                    " field is not an integer: " + field);
+  }
+  return static_cast<int>(value);
+}
+
 }  // namespace
+
+std::string SerializeEvent(const CallEvent& event) {
+  std::string out;
+  out += Escape(event.callee);
+  out += '\t';
+  out += Escape(event.caller);
+  out += '\t';
+  out += std::to_string(event.block_id);
+  out += '\t';
+  out += std::to_string(event.call_site_id);
+  out += '\t';
+  out += event.td_output ? '1' : '0';
+  out += '\t';
+  out += Escape(event.query_signature);
+  out += '\t';
+  for (size_t i = 0; i < event.source_tables.size(); ++i) {
+    if (i > 0) out += ',';
+    out += Escape(event.source_tables[i]);
+  }
+  return out;
+}
 
 std::string SerializeTrace(const Trace& trace) {
   std::string out;
   for (const CallEvent& event : trace) {
-    out += Escape(event.callee);
-    out += '\t';
-    out += Escape(event.caller);
-    out += '\t';
-    out += std::to_string(event.block_id);
-    out += '\t';
-    out += std::to_string(event.call_site_id);
-    out += '\t';
-    out += event.td_output ? '1' : '0';
-    out += '\t';
-    out += Escape(event.query_signature);
-    out += '\t';
-    for (size_t i = 0; i < event.source_tables.size(); ++i) {
-      if (i > 0) out += ',';
-      out += Escape(event.source_tables[i]);
-    }
+    out += SerializeEvent(event);
     out += '\n';
   }
   return out;
+}
+
+util::Result<CallEvent> ParseTraceLine(const std::string& line) {
+  const std::vector<std::string> fields = util::Split(line, '\t');
+  if (fields.size() != 7) {
+    return util::Status::ParseError(util::StrFormat(
+        "expected 7 fields, got %zu", fields.size()));
+  }
+  CallEvent event;
+  ADPROM_ASSIGN_OR_RETURN(event.callee, Unescape(fields[0]));
+  ADPROM_ASSIGN_OR_RETURN(event.caller, Unescape(fields[1]));
+  ADPROM_ASSIGN_OR_RETURN(event.block_id,
+                          ParseIntField(fields[2], "block id"));
+  ADPROM_ASSIGN_OR_RETURN(event.call_site_id,
+                          ParseIntField(fields[3], "call site id"));
+  if (fields[4] != "0" && fields[4] != "1") {
+    return util::Status::ParseError("td flag must be 0/1");
+  }
+  event.td_output = fields[4] == "1";
+  ADPROM_ASSIGN_OR_RETURN(event.query_signature, Unescape(fields[5]));
+  if (!fields[6].empty()) {
+    for (const std::string& table : util::Split(fields[6], ',')) {
+      ADPROM_ASSIGN_OR_RETURN(std::string unescaped, Unescape(table));
+      event.source_tables.push_back(std::move(unescaped));
+    }
+  }
+  return std::move(event);
 }
 
 util::Result<Trace> ParseTrace(const std::string& text) {
@@ -78,34 +127,32 @@ util::Result<Trace> ParseTrace(const std::string& text) {
   for (const std::string& line : util::Split(text, '\n')) {
     ++line_no;
     if (line.empty()) continue;
-    const std::vector<std::string> fields = util::Split(line, '\t');
-    if (fields.size() != 7) {
+    auto event = ParseTraceLine(line);
+    if (!event.ok()) {
       return util::Status::ParseError(util::StrFormat(
-          "trace line %zu: expected 7 fields, got %zu", line_no,
-          fields.size()));
+          "trace line %zu: %s", line_no,
+          event.status().message().c_str()));
     }
-    CallEvent event;
-    ADPROM_ASSIGN_OR_RETURN(event.callee, Unescape(fields[0]));
-    ADPROM_ASSIGN_OR_RETURN(event.caller, Unescape(fields[1]));
-    event.block_id = static_cast<int>(std::strtol(fields[2].c_str(),
-                                                  nullptr, 10));
-    event.call_site_id = static_cast<int>(std::strtol(fields[3].c_str(),
-                                                      nullptr, 10));
-    if (fields[4] != "0" && fields[4] != "1") {
-      return util::Status::ParseError(util::StrFormat(
-          "trace line %zu: td flag must be 0/1", line_no));
-    }
-    event.td_output = fields[4] == "1";
-    ADPROM_ASSIGN_OR_RETURN(event.query_signature, Unescape(fields[5]));
-    if (!fields[6].empty()) {
-      for (const std::string& table : util::Split(fields[6], ',')) {
-        ADPROM_ASSIGN_OR_RETURN(std::string unescaped, Unescape(table));
-        event.source_tables.push_back(std::move(unescaped));
-      }
-    }
-    trace.push_back(std::move(event));
+    trace.push_back(std::move(event).value());
   }
   return std::move(trace);
+}
+
+util::Result<bool> TraceReader::Next(CallEvent* event) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_number_;
+    if (line.empty()) continue;
+    auto parsed = ParseTraceLine(line);
+    if (!parsed.ok()) {
+      return util::Status::ParseError(util::StrFormat(
+          "trace line %zu: %s", line_number_,
+          parsed.status().message().c_str()));
+    }
+    *event = std::move(parsed).value();
+    return true;
+  }
+  return false;
 }
 
 }  // namespace adprom::runtime

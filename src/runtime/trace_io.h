@@ -1,6 +1,7 @@
 #ifndef ADPROM_RUNTIME_TRACE_IO_H_
 #define ADPROM_RUNTIME_TRACE_IO_H_
 
+#include <istream>
 #include <string>
 
 #include "runtime/call_event.h"
@@ -19,8 +20,37 @@ namespace adprom::runtime {
 /// Text fields are percent-escaped for tab/newline/percent/comma.
 std::string SerializeTrace(const Trace& trace);
 
+/// Serializes one event as one line (no trailing newline) — the unit the
+/// streaming wire format frames.
+std::string SerializeEvent(const CallEvent& event);
+
+/// Parses one serialized event line (no trailing newline). Every field is
+/// validated — field count, integer ids, the 0/1 td flag, escapes — and
+/// malformed input fails with a clean ParseError, never a crash.
+util::Result<CallEvent> ParseTraceLine(const std::string& line);
+
 /// Parses a serialized trace; fails with ParseError on malformed lines.
 util::Result<Trace> ParseTrace(const std::string& text);
+
+/// Incremental reader for services that score events as they arrive: pulls
+/// one event per line off a stream without materializing the whole trace.
+/// Blank lines are skipped; parse errors name the offending line.
+class TraceReader {
+ public:
+  /// `in` must outlive the reader.
+  explicit TraceReader(std::istream* in) : in_(in) {}
+
+  /// Reads the next event into `*event`. Returns true on success, false
+  /// on clean end-of-stream, and ParseError on a malformed line.
+  util::Result<bool> Next(CallEvent* event);
+
+  /// 1-based number of the last line consumed.
+  size_t line_number() const { return line_number_; }
+
+ private:
+  std::istream* in_;
+  size_t line_number_ = 0;
+};
 
 }  // namespace adprom::runtime
 

@@ -1,0 +1,68 @@
+#include "service/alert_sink.h"
+
+namespace adprom::service {
+
+void AlertSink::OnSessionClosed(const std::string& session_id,
+                                const SessionStats& stats) {
+  (void)session_id;
+  (void)stats;
+}
+
+void CollectingAlertSink::OnDetection(const std::string& session_id,
+                                      const core::Detection& detection) {
+  std::lock_guard<std::mutex> lock(mu_);
+  detections_[session_id].push_back(detection);
+}
+
+void CollectingAlertSink::OnSessionClosed(const std::string& session_id,
+                                          const SessionStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_[session_id] = stats;
+}
+
+std::vector<core::Detection> CollectingAlertSink::DetectionsFor(
+    const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = detections_.find(session_id);
+  return it == detections_.end() ? std::vector<core::Detection>()
+                                 : it->second;
+}
+
+SessionStats CollectingAlertSink::StatsFor(
+    const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = closed_.find(session_id);
+  return it == closed_.end() ? SessionStats() : it->second;
+}
+
+size_t CollectingAlertSink::closed_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_.size();
+}
+
+void StreamAlertSink::OnDetection(const std::string& session_id,
+                                  const core::Detection& detection) {
+  if (alarms_only_ && !detection.IsAlarm()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << session_id << " window " << detection.window_start << ": "
+        << core::DetectionFlagName(detection.flag) << " (score "
+        << detection.score << ")";
+  if (!detection.source_tables.empty()) {
+    *out_ << " sources:";
+    for (const std::string& table : detection.source_tables) {
+      *out_ << " " << table;
+    }
+  }
+  if (!detection.detail.empty()) *out_ << " — " << detection.detail;
+  *out_ << "\n";
+}
+
+void StreamAlertSink::OnSessionClosed(const std::string& session_id,
+                                      const SessionStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << session_id << " closed: events " << stats.events_accepted
+        << ", windows " << stats.verdicts << ", alarms " << stats.alarms
+        << ", dropped " << stats.dropped_events << "\n";
+}
+
+}  // namespace adprom::service

@@ -1,0 +1,218 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace adprom::service {
+
+SessionManager::SessionManager(const core::ApplicationProfile* profile,
+                               AlertSink* sink, util::ThreadPool* pool,
+                               SessionManagerOptions options)
+    : profile_(profile), sink_(sink), pool_(pool), options_(options) {
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  options_.batch_size = std::max<size_t>(1, options_.batch_size);
+}
+
+SessionManager::~SessionManager() {
+  CloseAll();
+  // Close waits only for worker_scheduled to clear; the task that cleared
+  // it may still be in its tail, about to notify drain_cv_. Wait it out
+  // before the members it touches are destroyed.
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return inflight_workers_.load() == 0; });
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::GetOrCreate(
+    const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) return it->second;
+  auto session = std::make_shared<Session>(profile_);
+  session->last_activity = std::chrono::steady_clock::now();
+  sessions_[session_id] = session;
+  return session;
+}
+
+void SessionManager::ScheduleLocked(const std::shared_ptr<Session>& session,
+                                    const std::string& session_id) {
+  session->worker_scheduled = true;
+  inflight_workers_.fetch_add(1);  // paired with the RunWorker tail
+  if (pool_ != nullptr) {
+    pool_->Submit(
+        [this, session, session_id] { RunWorker(session, session_id); });
+  }
+}
+
+util::Status SessionManager::Submit(const std::string& session_id,
+                                    runtime::CallEvent event) {
+  std::shared_ptr<Session> session = GetOrCreate(session_id);
+  bool run_inline = false;
+  {
+    std::unique_lock<std::mutex> lock(session->mu);
+    if (session->closed) {
+      return util::Status::FailedPrecondition("session closed: " +
+                                              session_id);
+    }
+    if (session->queue.size() >= options_.queue_capacity) {
+      if (options_.overflow ==
+          SessionManagerOptions::OverflowPolicy::kBlock) {
+        session->space_cv.wait(lock, [&] {
+          return session->queue.size() < options_.queue_capacity ||
+                 session->closed;
+        });
+        if (session->closed) {
+          return util::Status::FailedPrecondition("session closed: " +
+                                                  session_id);
+        }
+      } else {
+        session->queue.pop_front();
+        ++session->stats.dropped_events;
+        total_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    session->queue.push_back(std::move(event));
+    ++session->stats.events_accepted;
+    session->last_activity = std::chrono::steady_clock::now();
+    if (!session->worker_scheduled) {
+      ScheduleLocked(session, session_id);
+      run_inline = pool_ == nullptr;
+    }
+  }
+  // Serial mode (null pool): score synchronously on the calling thread.
+  if (run_inline) RunWorker(session, session_id);
+  return util::Status::Ok();
+}
+
+void SessionManager::RunWorker(const std::shared_ptr<Session>& session,
+                               const std::string& session_id) {
+  // Invariant: at most one RunWorker per session is in flight
+  // (worker_scheduled gates scheduling), so the StreamingMonitor is
+  // accessed race-free without holding the session mutex while scoring.
+  std::vector<runtime::CallEvent> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      const size_t take =
+          std::min(options_.batch_size, session->queue.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(session->queue.front()));
+        session->queue.pop_front();
+      }
+      if (batch.empty()) {
+        session->worker_scheduled = false;
+        break;
+      }
+    }
+    session->space_cv.notify_all();
+    for (runtime::CallEvent& event : batch) {
+      std::optional<core::Detection> verdict =
+          session->monitor.OnEvent(std::move(event));
+      if (!verdict.has_value()) continue;
+      {
+        std::lock_guard<std::mutex> lock(session->mu);
+        ++session->stats.verdicts;
+        if (verdict->IsAlarm()) ++session->stats.alarms;
+      }
+      sink_->OnDetection(session_id, *verdict);
+    }
+  }
+  session->idle_cv.notify_all();
+  // Tail: after idle_cv fires, close (and then the destructor) may race
+  // ahead, so this must be the last touch of the manager. Decrement
+  // before taking mu_, and notify while holding it, so the destructor —
+  // which re-checks the counter under mu_ — cannot destroy drain_cv_
+  // between our decrement and the notify. Drain() waits on the same cv
+  // for the queue-empty state, which also lives behind these locks.
+  inflight_workers_.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+util::Status SessionManager::CloseSession(const std::string& session_id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return util::Status::NotFound("no session: " + session_id);
+    }
+    session = it->second;
+    sessions_.erase(it);
+  }
+  std::optional<core::Detection> last;
+  SessionStats stats;
+  {
+    std::unique_lock<std::mutex> lock(session->mu);
+    session->closed = true;
+    session->space_cv.notify_all();  // wake blocked producers -> error
+    // queue-nonempty implies worker_scheduled, so once the worker
+    // unschedules every accepted event has been scored.
+    session->idle_cv.wait(lock, [&] { return !session->worker_scheduled; });
+    last = session->monitor.Finish();
+    if (last.has_value()) {
+      ++session->stats.verdicts;
+      if (last->IsAlarm()) ++session->stats.alarms;
+    }
+    stats = session->stats;
+  }
+  if (last.has_value()) sink_->OnDetection(session_id, *last);
+  sink_->OnSessionClosed(session_id, stats);
+  return util::Status::Ok();
+}
+
+void SessionManager::CloseAll() {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) ids.push_back(id);
+  }
+  for (const std::string& id : ids) {
+    (void)CloseSession(id);  // NotFound = racing closer won; fine
+  }
+}
+
+void SessionManager::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    for (const auto& [id, session] : sessions_) {
+      std::lock_guard<std::mutex> session_lock(session->mu);
+      if (!session->queue.empty() || session->worker_scheduled) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+size_t SessionManager::EvictIdle(
+    std::chrono::steady_clock::duration max_idle) {
+  const auto cutoff = std::chrono::steady_clock::now() - max_idle;
+  std::vector<std::string> idle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, session] : sessions_) {
+      std::lock_guard<std::mutex> session_lock(session->mu);
+      if (session->queue.empty() && !session->worker_scheduled &&
+          session->last_activity <= cutoff) {
+        idle.push_back(id);
+      }
+    }
+  }
+  size_t evicted = 0;
+  for (const std::string& id : idle) {
+    if (CloseSession(id).ok()) ++evicted;
+  }
+  return evicted;
+}
+
+size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace adprom::service

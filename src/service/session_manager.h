@@ -1,0 +1,132 @@
+#ifndef ADPROM_SERVICE_SESSION_MANAGER_H_
+#define ADPROM_SERVICE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "runtime/call_event.h"
+#include "service/alert_sink.h"
+#include "service/streaming_monitor.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace adprom::service {
+
+/// Tuning knobs for the streaming detection service.
+struct SessionManagerOptions {
+  /// Maximum buffered (not yet scored) events per session.
+  size_t queue_capacity = 1024;
+  /// What Submit does when a session's queue is full: kBlock stalls the
+  /// producer until the worker drains space (lossless back-pressure);
+  /// kDropOldest discards the oldest queued event and counts it in the
+  /// session's dropped_events stat (lossy, bounded latency).
+  enum class OverflowPolicy { kBlock, kDropOldest };
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Events one scoring task drains before rescheduling, bounding how long
+  /// a chatty session can monopolize a pool worker.
+  size_t batch_size = 64;
+};
+
+/// Multiplexes many concurrent monitored sessions over one thread pool.
+/// Each session owns a StreamingMonitor plus a bounded event queue;
+/// Submit enqueues and a per-session scoring task (at most one in flight
+/// per session, so events score strictly in submission order) drains the
+/// queue on the pool and pushes verdicts to the AlertSink. With a null
+/// pool every Submit scores inline on the calling thread.
+///
+/// Determinism: the verdict sequence each session's sink observes is
+/// bit-identical to DetectionEngine::MonitorTrace over that session's
+/// event sequence, for ANY pool size — only the interleaving *across*
+/// sessions varies with scheduling. (Under kDropOldest overflow the
+/// scored sequence is the post-drop one, so drops trade this guarantee
+/// for bounded memory; the dropped_events stat makes the loss explicit.)
+class SessionManager {
+ public:
+  /// `profile`, `sink`, and `pool` must outlive the manager.
+  SessionManager(const core::ApplicationProfile* profile, AlertSink* sink,
+                 util::ThreadPool* pool,
+                 SessionManagerOptions options = SessionManagerOptions());
+  /// Closes every live session (flushing short-session verdicts).
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Routes one event to `session_id`, creating the session on first use.
+  /// Fails with FailedPrecondition if the session is concurrently being
+  /// closed. May block (kBlock policy) when the session queue is full.
+  util::Status Submit(const std::string& session_id,
+                      runtime::CallEvent event);
+
+  /// Drains the session's queue, emits the short-session verdict (if any)
+  /// and the final stats to the sink, and removes the session. NotFound
+  /// if no such session is live.
+  util::Status CloseSession(const std::string& session_id);
+
+  /// Closes every live session.
+  void CloseAll();
+
+  /// Blocks until every queued event has been scored. Sessions stay live.
+  void Drain();
+
+  /// Closes sessions whose last Submit is older than `max_idle` and whose
+  /// queue has fully drained. Returns the number of sessions evicted.
+  size_t EvictIdle(std::chrono::steady_clock::duration max_idle);
+
+  size_t num_sessions() const;
+  /// Total events dropped by the kDropOldest policy across all sessions,
+  /// including closed ones.
+  size_t total_dropped() const { return total_dropped_.load(); }
+
+ private:
+  struct Session {
+    explicit Session(const core::ApplicationProfile* profile)
+        : monitor(profile) {}
+
+    std::mutex mu;
+    std::condition_variable space_cv;  // kBlock producers wait for room
+    std::condition_variable idle_cv;   // close waits for the worker
+    std::deque<runtime::CallEvent> queue;
+    SessionStats stats;
+    bool worker_scheduled = false;  // a scoring task is queued or running
+    bool closed = false;
+    std::chrono::steady_clock::time_point last_activity;
+    /// Touched only by the single in-flight scoring task (or, for close's
+    /// Finish call, after idle_cv confirms no task is in flight).
+    StreamingMonitor monitor;
+  };
+
+  std::shared_ptr<Session> GetOrCreate(const std::string& session_id);
+  void ScheduleLocked(const std::shared_ptr<Session>& session,
+                      const std::string& session_id);
+  /// The per-session scoring task: drains the queue in batches.
+  void RunWorker(const std::shared_ptr<Session>& session,
+                 const std::string& session_id);
+
+  const core::ApplicationProfile* profile_;
+  AlertSink* sink_;
+  util::ThreadPool* pool_;
+  SessionManagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::condition_variable drain_cv_;
+  std::atomic<size_t> total_dropped_{0};
+  /// Scoring tasks whose tail has not finished touching this manager yet.
+  /// Close only waits for worker_scheduled to clear, which happens before
+  /// the task's final drain notification — so the destructor must wait on
+  /// this counter or it destroys drain_cv_/mu_ under a live task.
+  std::atomic<size_t> inflight_workers_{0};
+};
+
+}  // namespace adprom::service
+
+#endif  // ADPROM_SERVICE_SESSION_MANAGER_H_

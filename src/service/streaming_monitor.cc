@@ -1,0 +1,60 @@
+#include "service/streaming_monitor.h"
+
+namespace adprom::service {
+
+StreamingMonitor::StreamingMonitor(const core::ApplicationProfile* profile)
+    : profile_(profile),
+      engine_(profile),
+      window_length_(profile->options.window_length) {
+  events_.reserve(2 * window_length_);
+  symbols_.reserve(2 * window_length_);
+  workspace_.Reserve(window_length_, profile->model.num_states());
+}
+
+std::optional<core::Detection> StreamingMonitor::OnEvent(
+    runtime::CallEvent event) {
+  // Encode-once: the symbol is interned now and slides through every
+  // window that covers this event (profile Encode is per-event, so the
+  // sliding slice equals what encoding each window afresh would produce).
+  symbols_.push_back(profile_->alphabet.Lookup(profile_->ObservableOf(event)));
+  events_.push_back(std::move(event));
+  ++events_seen_;
+
+  if (events_seen_ < window_length_) return std::nullopt;
+  const size_t start = events_.size() - window_length_;
+  const std::span<const runtime::CallEvent> window(events_.data() + start,
+                                                   window_length_);
+  const hmm::SymbolSpan seq(symbols_.data() + start, window_length_);
+  core::Detection verdict =
+      engine_.EvaluateEncoded(window, seq, windows_scored_, &workspace_);
+  ++windows_scored_;
+
+  if (events_.size() >= 2 * window_length_) {
+    // Bulk compaction: drop everything before the live window. Runs once
+    // per n events, so the per-event amortized cost is constant.
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<ptrdiff_t>(start));
+    symbols_.erase(symbols_.begin(),
+                   symbols_.begin() + static_cast<ptrdiff_t>(start));
+  }
+  return verdict;
+}
+
+std::optional<core::Detection> StreamingMonitor::Finish() {
+  if (finished_) return std::nullopt;
+  finished_ = true;
+  if (events_seen_ == 0 || events_seen_ >= window_length_) {
+    return std::nullopt;
+  }
+  // Short session: fewer events than one window. The buffers were never
+  // compacted (that needs 2n events), so they still hold the whole trace.
+  const std::span<const runtime::CallEvent> window(events_.data(),
+                                                   events_.size());
+  const hmm::SymbolSpan seq(symbols_.data(), symbols_.size());
+  core::Detection verdict = engine_.EvaluateEncoded(window, seq, 0,
+                                                    &workspace_);
+  ++windows_scored_;
+  return verdict;
+}
+
+}  // namespace adprom::service

@@ -1,0 +1,66 @@
+#ifndef ADPROM_SERVICE_STREAMING_MONITOR_H_
+#define ADPROM_SERVICE_STREAMING_MONITOR_H_
+
+#include <optional>
+
+#include "core/detection_engine.h"
+#include "core/profile.h"
+#include "hmm/inference.h"
+#include "runtime/call_event.h"
+
+namespace adprom::service {
+
+/// Incremental Detection Engine front-end: accepts one runtime::CallEvent
+/// at a time and emits, per event, the verdict of the n-window that event
+/// completes — the same verdicts DetectionEngine::MonitorTrace would emit
+/// for the full recorded trace, bit for bit, because both funnel every
+/// window through DetectionEngine::EvaluateEncoded.
+///
+/// Per-event cost: each event is encoded exactly once on arrival (never
+/// re-encoded when later windows slide over it), the forward recursion
+/// runs over the current window through a pre-reserved
+/// hmm::ForwardWorkspace, and the event/symbol buffers are compacted in
+/// bulk every n events — zero heap allocation in steady state beyond the
+/// strings carried by the events themselves.
+///
+/// Not thread-safe: one StreamingMonitor per session, driven by at most
+/// one thread at a time (the SessionManager guarantees this).
+class StreamingMonitor {
+ public:
+  /// `profile` must outlive the monitor.
+  explicit StreamingMonitor(const core::ApplicationProfile* profile);
+
+  /// Feeds the next event of the session. Returns the verdict of the
+  /// window this event completes, or nullopt while the first window is
+  /// still filling (batch emits no verdict for those prefixes either).
+  std::optional<core::Detection> OnEvent(runtime::CallEvent event);
+
+  /// Ends the stream. Sessions shorter than the window length are scored
+  /// as one whole-trace window — the SlidingWindows rule for short traces
+  /// — so even a 1-event session gets the verdict batch would give it.
+  /// Idempotent; returns a verdict only on the first call and only for
+  /// short sessions.
+  std::optional<core::Detection> Finish();
+
+  size_t events_seen() const { return events_seen_; }
+  size_t windows_scored() const { return windows_scored_; }
+
+ private:
+  const core::ApplicationProfile* profile_;
+  core::DetectionEngine engine_;
+  size_t window_length_;
+  /// Sliding buffers: the live window is always the contiguous tail of
+  /// these vectors. When they reach 2n events the older half is discarded
+  /// with one bulk move — amortized O(1) per event, and spans into the
+  /// tail stay valid for the duration of each scoring call.
+  runtime::Trace events_;
+  hmm::ObservationSeq symbols_;
+  hmm::ForwardWorkspace workspace_;
+  size_t events_seen_ = 0;
+  size_t windows_scored_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace adprom::service
+
+#endif  // ADPROM_SERVICE_STREAMING_MONITOR_H_

@@ -1,0 +1,162 @@
+// Fuzz-style malformed-input corpus for ApplicationProfile::Deserialize:
+// truncated files (every byte prefix), hostile size fields, NaN/inf
+// probabilities and thresholds, duplicate alphabet symbols, and random
+// mutations must all fail as clean util::Result errors — never a crash or
+// a runaway allocation. Runs under ASan/TSan in the sanitizer CI jobs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "hmm/hmm_model.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace adprom::core {
+namespace {
+
+ApplicationProfile MakeValidProfile() {
+  ApplicationProfile profile;
+  profile.options.window_length = 4;
+  profile.alphabet.Intern("print");
+  profile.alphabet.Intern("scan");
+  // Dyadic probabilities: %.17g prints them back verbatim ("0.25"), so
+  // the mutation table below can match on the serialized text.
+  profile.model = hmm::HmmModel(
+      util::Matrix::FromRows({{0.75, 0.25}, {0.5, 0.5}}),
+      util::Matrix::FromRows({{0.25, 0.5, 0.25}, {0.5, 0.25, 0.25}}),
+      {0.5, 0.5});
+  profile.threshold = -3.5;
+  profile.num_sites = 7;
+  profile.num_states = 2;
+  profile.context_pairs.insert({"main", "print"});
+  profile.context_pairs.insert({"main", "scan"});
+  profile.labeled_sources["print_Qmain_1"] = {"items"};
+  return profile;
+}
+
+/// Replaces the first occurrence of `from` (which must exist) with `to`.
+std::string Mutate(const std::string& text, const std::string& from,
+                   const std::string& to) {
+  const size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  std::string out = text;
+  out.replace(pos, from.size(), to);
+  return out;
+}
+
+TEST(ProfileFuzzTest, BaseProfileRoundTrips) {
+  const std::string text = MakeValidProfile().Serialize();
+  auto profile = ApplicationProfile::Deserialize(text);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile->Serialize(), text);
+}
+
+TEST(ProfileFuzzTest, EveryLinePrefixFailsCleanly) {
+  const std::string text = MakeValidProfile().Serialize();
+  const std::vector<std::string> lines = util::Split(text, '\n');
+  std::string prefix;
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    // Every proper prefix of whole lines is a truncated file: the parser
+    // must report an error, not crash or fabricate a profile.
+    auto result = ApplicationProfile::Deserialize(prefix);
+    EXPECT_FALSE(result.ok()) << "accepted " << i << "-line prefix";
+    prefix += lines[i];
+    prefix += '\n';
+  }
+}
+
+TEST(ProfileFuzzTest, EveryByteTruncationFailsCleanly) {
+  const std::string text = MakeValidProfile().Serialize();
+  for (size_t cut = 0; cut < text.size(); ++cut) {
+    auto result = ApplicationProfile::Deserialize(text.substr(0, cut));
+    if (result.ok()) {
+      // The only acceptable "ok" prefix is the full file modulo its final
+      // newline; any shorter cut lost information.
+      EXPECT_GE(cut, text.size() - 1) << "accepted byte prefix " << cut;
+    }
+  }
+}
+
+TEST(ProfileFuzzTest, HostileHeaderAndSizeFieldsAreRejected) {
+  const std::string text = MakeValidProfile().Serialize();
+  const std::vector<std::pair<std::string, std::string>> mutations = {
+      {"adprom-profile v1", "adprom-profile v2"},
+      {"window_length 4", "window_length 0"},
+      {"window_length 4", "window_length 1"},
+      {"window_length 4", "window_length 1048577"},
+      {"window_length 4", "window_length 99999999999999999999"},
+      {"threshold ", "threshold nan\nignored "},
+      {"threshold ", "threshold inf\nignored "},
+      {"threshold ", "threshold 1e999\nignored "},
+      {"alphabet 3", "alphabet 0"},
+      {"alphabet 3", "alphabet 4000000000"},
+      {"<unk>", "not-unk"},
+      {"scan\n", "print\n"},  // duplicate symbol
+      {"context_pairs 2", "context_pairs 4000000000"},
+      {"labeled_sources 1", "labeled_sources 4000000000"},
+      {"hmm 2 3", "hmm 0 3"},
+      {"hmm 2 3", "hmm 2 0"},
+      {"hmm 2 3", "hmm 99999 99999"},
+      {"hmm 2 3", "hmm 2 2"},  // emission columns != alphabet size
+      {"hmm 2 3", "hmm 2 4"},
+      {"0.25 0.5 0.25", "0.25 nan 0.25"},
+      {"0.25 0.5 0.25", "1.25 -0.5 0.25"},  // negative entry, sums to 1
+  };
+  for (const auto& [from, to] : mutations) {
+    auto result = ApplicationProfile::Deserialize(Mutate(text, from, to));
+    EXPECT_FALSE(result.ok()) << "accepted: " << from << " -> " << to;
+  }
+}
+
+TEST(ProfileFuzzTest, NonFiniteModelParametersDoNotReload) {
+  ApplicationProfile profile = MakeValidProfile();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  profile.model = hmm::HmmModel(
+      util::Matrix::FromRows({{0.7, 0.3}, {0.4, 0.6}}),
+      util::Matrix::FromRows({{0.2, nan, 0.3}, {0.2, 0.3, 0.5}}),
+      {0.5, 0.5});
+  // The in-memory model itself fails validation...
+  EXPECT_FALSE(profile.model.Validate(1e-3).ok());
+  // ...and its serialized form cannot be smuggled back in.
+  auto result = ApplicationProfile::Deserialize(profile.Serialize());
+  EXPECT_FALSE(result.ok());
+
+  profile.threshold = nan;
+  auto bad_threshold = ApplicationProfile::Deserialize(profile.Serialize());
+  EXPECT_FALSE(bad_threshold.ok());
+}
+
+TEST(ProfileFuzzTest, RandomByteSoupNeverCrashes) {
+  util::Rng rng(20260806);
+  const std::string charset = "adprom-filev1 0123456789.\n<>_#%";
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    const size_t len = rng.UniformU64(200);
+    for (size_t i = 0; i < len; ++i) {
+      text += charset[rng.UniformU64(charset.size())];
+    }
+    (void)ApplicationProfile::Deserialize(text);
+    (void)ApplicationProfile::Deserialize("adprom-profile v1\n" + text);
+  }
+}
+
+TEST(ProfileFuzzTest, RandomSingleByteMutationsNeverCrash) {
+  util::Rng rng(777);
+  const std::string text = MakeValidProfile().Serialize();
+  for (int round = 0; round < 400; ++round) {
+    std::string mutated = text;
+    const size_t pos = rng.UniformU64(mutated.size());
+    mutated[pos] = static_cast<char>(rng.UniformU64(128));
+    // A flipped digit can still be a valid profile; anything else must be
+    // a clean error. Either way: return, don't crash.
+    (void)ApplicationProfile::Deserialize(mutated);
+  }
+}
+
+}  // namespace
+}  // namespace adprom::core

@@ -1,0 +1,117 @@
+// Round-trip property test: random valid profiles must survive
+// Serialize → Deserialize → Serialize byte-identically (the %.17g doubles
+// reload to the same bits, the set/map sections re-emit in the same
+// order), and a reloaded profile must score a reference trace with
+// exactly the same verdicts and scores as the original.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/detection_engine.h"
+#include "core/profile.h"
+#include "hmm/hmm_model.h"
+#include "util/rng.h"
+
+namespace adprom::core {
+namespace {
+
+std::vector<std::string> SymbolNames(size_t count) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < count; ++i) {
+    names.push_back("call_" + std::to_string(i));
+  }
+  return names;
+}
+
+ApplicationProfile RandomProfile(util::Rng& rng) {
+  ApplicationProfile profile;
+  profile.options.window_length = 2 + rng.UniformU64(8);
+  profile.options.use_dd_labels = rng.Bernoulli(0.5);
+  profile.options.use_query_signatures = rng.Bernoulli(0.5);
+  const std::vector<std::string> names =
+      SymbolNames(2 + rng.UniformU64(5));
+  for (const std::string& name : names) profile.alphabet.Intern(name);
+  const size_t states = 2 + rng.UniformU64(3);
+  profile.model = hmm::HmmModel::Random(states, profile.alphabet.size(),
+                                        rng);
+  profile.threshold = -1.0 - 5.0 * rng.UniformDouble();
+  profile.num_sites = 1 + rng.UniformU64(40);
+  profile.num_states = states;
+  for (const std::string& name : names) {
+    if (rng.Bernoulli(0.8)) profile.context_pairs.insert({"main", name});
+    if (rng.Bernoulli(0.3)) profile.context_pairs.insert({"helper", name});
+    if (rng.Bernoulli(0.25)) {
+      profile.labeled_sources[name] = {"table_a", "table_b"};
+    }
+  }
+  return profile;
+}
+
+TEST(ProfileRoundtripTest, SerializeDeserializeSerializeIsByteIdentical) {
+  util::Rng rng(20260806);
+  for (int round = 0; round < 40; ++round) {
+    const ApplicationProfile original = RandomProfile(rng);
+    const std::string first = original.Serialize();
+    auto reloaded = ApplicationProfile::Deserialize(first);
+    ASSERT_TRUE(reloaded.ok())
+        << "round " << round << ": " << reloaded.status().ToString();
+    const std::string second = reloaded->Serialize();
+    ASSERT_EQ(first, second) << "round " << round;
+
+    // The structured fields survive too (byte identity already implies
+    // it; spelled out for diagnosability).
+    EXPECT_EQ(reloaded->options.window_length,
+              original.options.window_length);
+    EXPECT_EQ(reloaded->options.use_dd_labels,
+              original.options.use_dd_labels);
+    EXPECT_EQ(reloaded->threshold, original.threshold);
+    EXPECT_EQ(reloaded->alphabet.size(), original.alphabet.size());
+    EXPECT_EQ(reloaded->context_pairs, original.context_pairs);
+    EXPECT_EQ(reloaded->labeled_sources, original.labeled_sources);
+  }
+}
+
+TEST(ProfileRoundtripTest, ReloadedProfileScoresIdentically) {
+  util::Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    ApplicationProfile original = RandomProfile(rng);
+    // Plain call-name observables so the reference trace below maps onto
+    // the random alphabet.
+    original.options.use_dd_labels = false;
+    auto reloaded = ApplicationProfile::Deserialize(original.Serialize());
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+    reloaded->options.use_dd_labels = false;
+
+    // A reference trace mixing known symbols, unknown symbols, and
+    // out-of-context callers, so every verdict path is compared.
+    const std::vector<std::string> names =
+        SymbolNames(original.alphabet.size() - 1);
+    runtime::Trace trace;
+    for (int i = 0; i < 60; ++i) {
+      runtime::CallEvent event;
+      event.callee = rng.Bernoulli(0.9)
+                         ? names[rng.UniformU64(names.size())]
+                         : "mystery_call";
+      event.caller = rng.Bernoulli(0.9) ? "main" : "rogue";
+      event.block_id = i;
+      trace.push_back(std::move(event));
+    }
+
+    const DetectionEngine original_engine(&original);
+    const DetectionEngine reloaded_engine(&*reloaded);
+    const auto expected = original_engine.MonitorTrace(trace);
+    const auto actual = reloaded_engine.MonitorTrace(trace);
+    ASSERT_EQ(expected.size(), actual.size()) << "round " << round;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].flag, actual[i].flag) << round << " " << i;
+      // Exact: the HMM parameters reloaded bit for bit.
+      EXPECT_EQ(expected[i].score, actual[i].score) << round << " " << i;
+      EXPECT_EQ(expected[i].detail, actual[i].detail) << round << " " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adprom::core

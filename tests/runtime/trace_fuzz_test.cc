@@ -1,0 +1,167 @@
+// Fuzz-style malformed-input corpus for the trace wire format: truncated
+// files, bad integers, bad escapes, wrong field counts, and random byte
+// soup must all come back as clean util::Result errors — never a crash or
+// a silently-wrong event. Runs under ASan/TSan in the sanitizer CI jobs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/trace_io.h"
+#include "util/rng.h"
+
+namespace adprom::runtime {
+namespace {
+
+CallEvent MakeEvent(int i) {
+  CallEvent event;
+  event.callee = "print";
+  event.caller = "fn_" + std::to_string(i);
+  event.block_id = i;
+  event.call_site_id = 10 + i;
+  event.td_output = (i % 2) == 1;
+  event.query_signature = "SELECT * FROM t WHERE id = ?";
+  event.source_tables = {"items", "users"};
+  return event;
+}
+
+TEST(TraceFuzzTest, EventRoundTripSurvivesHostileCharacters) {
+  CallEvent event = MakeEvent(3);
+  event.callee = "na%me\twith\nweird,chars";
+  event.caller = "100% legit";
+  event.source_tables = {"a,b", "c%d"};
+  const std::string line = SerializeEvent(event);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto parsed = ParseTraceLine(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->callee, event.callee);
+  EXPECT_EQ(parsed->caller, event.caller);
+  EXPECT_EQ(parsed->block_id, event.block_id);
+  EXPECT_EQ(parsed->call_site_id, event.call_site_id);
+  EXPECT_EQ(parsed->td_output, event.td_output);
+  EXPECT_EQ(parsed->query_signature, event.query_signature);
+  EXPECT_EQ(parsed->source_tables, event.source_tables);
+}
+
+TEST(TraceFuzzTest, MalformedLinesFailCleanly) {
+  const std::vector<std::string> corpus = {
+      "",                                   // no fields
+      "print",                              // 1 field
+      "a\tb\tc",                            // 3 fields
+      "a\tb\t1\t2\t0\tq\tt\textra",         // 8 fields
+      "a\tb\t\t2\t0\t\t",                   // empty block id
+      "a\tb\t12x\t2\t0\t\t",                // trailing junk in int
+      "a\tb\t--3\t2\t0\t\t",                // double sign
+      "a\tb\t0x10\t2\t0\t\t",               // hex is not base 10
+      "a\tb\t1 2\t2\t0\t\t",                // space inside int
+      "a\tb\t1\t2\t2\t\t",                  // td flag out of 0/1
+      "a\tb\t1\t2\ttrue\t\t",               // textual td flag
+      "a\tb\t1\t2\t0\tq%\t",                // truncated escape
+      "a\tb\t1\t2\t0\tq%0\t",               // one-digit escape
+      "a\tb\t1\t2\t0\tq%zz\t",              // non-hex escape
+      "a\tb\t1\t2\t0\t\tt1,t%",             // bad escape in table list
+  };
+  for (const std::string& line : corpus) {
+    auto parsed = ParseTraceLine(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+  }
+}
+
+TEST(TraceFuzzTest, ValidOddballsStillParse) {
+  // Negative ids are legitimate (unresolved sites serialize as -1), and an
+  // empty table list / signature is the common case.
+  auto parsed = ParseTraceLine("scan\tmain\t-1\t-1\t0\t\t");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->block_id, -1);
+  EXPECT_EQ(parsed->call_site_id, -1);
+  EXPECT_TRUE(parsed->source_tables.empty());
+  EXPECT_TRUE(parsed->query_signature.empty());
+}
+
+TEST(TraceFuzzTest, ParseTraceNamesTheOffendingLine) {
+  const std::string good = SerializeEvent(MakeEvent(0));
+  auto result = ParseTrace(good + "\ngarbage line\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("line 2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(TraceFuzzTest, EveryTruncationOfAValidFileFailsCleanly) {
+  Trace trace = {MakeEvent(0), MakeEvent(1), MakeEvent(2)};
+  const std::string text = SerializeTrace(trace);
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    auto result = ParseTrace(text.substr(0, cut));
+    if (result.ok()) {
+      // Prefixes that happen to end on an event boundary parse as a
+      // shorter — but valid — trace; anything else must error out.
+      EXPECT_LE(result->size(), trace.size());
+    }
+  }
+  auto full = ParseTrace(text);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), trace.size());
+}
+
+TEST(TraceFuzzTest, RandomByteSoupNeverCrashes) {
+  util::Rng rng(20260806);
+  const std::string charset =
+      "abc09%\t\n,-\\ \"'\x01\x7f";
+  for (int round = 0; round < 500; ++round) {
+    std::string text;
+    const size_t len = rng.UniformU64(120);
+    for (size_t i = 0; i < len; ++i) {
+      text += charset[rng.UniformU64(charset.size())];
+    }
+    (void)ParseTrace(text);  // must return, ok or not — never crash
+  }
+}
+
+TEST(TraceFuzzTest, RandomMutationsOfValidTracesNeverCrash) {
+  util::Rng rng(4242);
+  const std::string text = SerializeTrace({MakeEvent(0), MakeEvent(1)});
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = text;
+    const size_t pos = rng.UniformU64(mutated.size());
+    mutated[pos] = static_cast<char>(rng.UniformU64(256));
+    (void)ParseTrace(mutated);
+  }
+}
+
+TEST(TraceFuzzTest, TraceReaderStreamsAndSkipsBlankLines) {
+  Trace trace = {MakeEvent(0), MakeEvent(1), MakeEvent(2)};
+  std::istringstream in("\n" + SerializeEvent(trace[0]) + "\n\n" +
+                        SerializeEvent(trace[1]) + "\n" +
+                        SerializeEvent(trace[2]) + "\n\n");
+  TraceReader reader(&in);
+  CallEvent event;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    auto more = reader.Next(&event);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    ASSERT_TRUE(*more) << "stream ended early at event " << i;
+    EXPECT_EQ(event.caller, trace[i].caller) << i;
+  }
+  auto end = reader.Next(&event);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+  // And again: the reader stays at clean EOF.
+  end = reader.Next(&event);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
+TEST(TraceFuzzTest, TraceReaderReportsLineNumberOnError) {
+  std::istringstream in(SerializeEvent(MakeEvent(0)) + "\n\nbroken\n");
+  TraceReader reader(&in);
+  CallEvent event;
+  ASSERT_TRUE(reader.Next(&event).ok());
+  auto bad = reader.Next(&event);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 3"), std::string::npos)
+      << bad.status().ToString();
+  EXPECT_EQ(reader.line_number(), 3u);
+}
+
+}  // namespace
+}  // namespace adprom::runtime

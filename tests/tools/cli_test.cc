@@ -7,8 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "core/profile.h"
+#include "hmm/hmm_model.h"
+#include "util/matrix.h"
 
 namespace adprom::cli {
 namespace {
@@ -184,6 +189,179 @@ TEST(CliTest, AnalyzeReportsTaintLabeler) {
   CliRun fi = RunTool({"analyze", Sample("app.mini"), "--flow-insensitive"});
   ASSERT_TRUE(fi.status.ok()) << fi.status.ToString();
   EXPECT_NE(fi.output.find("flow-insensitive"), std::string::npos);
+}
+
+
+/// A hand-built window-3 profile over {print, scan}: lets the serve tests
+/// run without a training phase.
+std::string WriteTinyProfile(const std::string& name) {
+  core::ApplicationProfile profile;
+  profile.options.window_length = 3;
+  profile.options.use_dd_labels = false;
+  profile.alphabet.Intern("print");
+  profile.alphabet.Intern("scan");
+  profile.model = hmm::HmmModel(
+      util::Matrix::FromRows({{0.75, 0.25}, {0.5, 0.5}}),
+      util::Matrix::FromRows({{0.25, 0.5, 0.25}, {0.5, 0.25, 0.25}}),
+      {0.5, 0.5});
+  profile.threshold = -100.0;
+  profile.context_pairs.insert({"main", "print"});
+  profile.context_pairs.insert({"main", "scan"});
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(WriteStringToFile(path, profile.Serialize()).ok());
+  return path;
+}
+
+/// The first number right after `key` in `text`.
+size_t NumberAfter(const std::string& text, const std::string& key) {
+  const size_t pos = text.find(key);
+  EXPECT_NE(pos, std::string::npos) << key << " not in: " << text;
+  if (pos == std::string::npos) return 0;
+  return std::strtoul(text.c_str() + pos + key.size(), nullptr, 10);
+}
+
+/// The line of `text` containing `needle` (empty if absent).
+std::string LineContaining(const std::string& text,
+                           const std::string& needle) {
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  const size_t begin = text.rfind('\n', pos) + 1;
+  const size_t end = text.find('\n', pos);
+  return text.substr(begin, end - begin);
+}
+
+TEST(CliServeTest, TraceReplayMatchesScoreVerdictCounts) {
+  const std::string profile_path = TempPath("serve.profile");
+  const std::string benign_path = TempPath("serve_benign.trace");
+  const std::string attack_path = TempPath("serve_attack.trace");
+
+  ASSERT_TRUE(RunTool({"train", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--cases", Sample("cases.txt"),
+                       "--out", profile_path})
+                  .status.ok());
+  ASSERT_TRUE(RunTool({"trace", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--input", "find,3", "--out",
+                       benign_path})
+                  .status.ok());
+  ASSERT_TRUE(RunTool({"trace", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--input", "find,1' OR '1'='1",
+                       "--out", attack_path})
+                  .status.ok());
+
+  const CliRun benign_score =
+      RunTool({"score", "--profile", profile_path, "--trace", benign_path});
+  const CliRun attack_score =
+      RunTool({"score", "--profile", profile_path, "--trace", attack_path});
+  ASSERT_TRUE(benign_score.status.ok());
+  ASSERT_TRUE(attack_score.status.ok());
+
+  const CliRun serve = RunTool({"serve", "--profile", profile_path,
+                                "--trace", benign_path + "," + attack_path,
+                                "--threads", "2"});
+  ASSERT_TRUE(serve.status.ok()) << serve.status.ToString();
+
+  // Per-session close summaries must agree with batch `score` on the same
+  // files: same window and alarm counts, nothing dropped.
+  const std::string benign_line =
+      LineContaining(serve.output, benign_path + " closed:");
+  ASSERT_FALSE(benign_line.empty()) << serve.output;
+  EXPECT_EQ(NumberAfter(benign_line, "windows "),
+            NumberAfter(benign_score.output, "windows: "));
+  EXPECT_EQ(NumberAfter(benign_line, "alarms "),
+            NumberAfter(benign_score.output, "alarms: "));
+
+  const std::string attack_line =
+      LineContaining(serve.output, attack_path + " closed:");
+  ASSERT_FALSE(attack_line.empty()) << serve.output;
+  EXPECT_EQ(NumberAfter(attack_line, "windows "),
+            NumberAfter(attack_score.output, "windows: "));
+  // `score` stops counting alarms once it suppresses printing at 10, so
+  // its count is a floor, not a total.
+  EXPECT_GE(NumberAfter(attack_line, "alarms "),
+            NumberAfter(attack_score.output, "alarms: "));
+  EXPECT_GT(NumberAfter(attack_line, "alarms "), 0u);
+
+  // The injection alarms stream out as they fire, with provenance.
+  EXPECT_NE(serve.output.find("DataLeak"), std::string::npos)
+      << serve.output;
+  EXPECT_NE(serve.output.find("items"), std::string::npos);
+  EXPECT_NE(serve.output.find("dropped 0"), std::string::npos);
+  EXPECT_NE(serve.output.find("served "), std::string::npos);
+
+  std::remove(profile_path.c_str());
+  std::remove(benign_path.c_str());
+  std::remove(attack_path.c_str());
+}
+
+TEST(CliServeTest, FramedFeedMultiplexesSessions) {
+  const std::string profile_path = WriteTinyProfile("tiny.profile");
+  const std::string feed_path = TempPath("events.feed");
+
+  // Two interleaved sessions; "a" is ended early by the !end directive,
+  // "b" is closed by EOF. Comments and blank lines are ignored.
+  std::string feed = "# streaming feed\n\n";
+  for (int i = 0; i < 5; ++i) {
+    const std::string event = (i % 2 == 0 ? "print" : "scan") +
+                              std::string("\tmain\t") + std::to_string(i) +
+                              "\t1\t0\t\t";
+    feed += "a\t" + event + "\n";
+    feed += "b\t" + event + "\n";
+  }
+  feed += "!end\ta\n";
+  feed += "b\tprint\tmain\t9\t1\t0\t\t\n";
+  ASSERT_TRUE(WriteStringToFile(feed_path, feed).ok());
+
+  const CliRun serve = RunTool({"serve", "--profile", profile_path,
+                                "--events", feed_path, "--all"});
+  ASSERT_TRUE(serve.status.ok()) << serve.status.ToString();
+  // --all prints every verdict; window 3 over 5/6 events = 3/4 windows.
+  EXPECT_NE(serve.output.find("a window 0: Normal"), std::string::npos)
+      << serve.output;
+  EXPECT_NE(serve.output.find("b window 3: Normal"), std::string::npos)
+      << serve.output;
+  EXPECT_EQ(NumberAfter(LineContaining(serve.output, "a closed:"),
+                        "windows "),
+            3u);
+  EXPECT_EQ(NumberAfter(LineContaining(serve.output, "b closed:"),
+                        "windows "),
+            4u);
+  EXPECT_NE(serve.output.find("served 11 events, dropped 0"),
+            std::string::npos)
+      << serve.output;
+
+  std::remove(profile_path.c_str());
+  std::remove(feed_path.c_str());
+}
+
+TEST(CliServeTest, UsageAndFlagValidation) {
+  EXPECT_FALSE(RunTool({"serve"}).status.ok());
+  EXPECT_FALSE(RunTool({"serve", "--profile", "/no/such.profile"})
+                   .status.ok());
+
+  const std::string profile_path = WriteTinyProfile("tiny2.profile");
+  EXPECT_FALSE(RunTool({"serve", "--profile", profile_path, "--policy",
+                        "bogus"})
+                   .status.ok());
+  EXPECT_FALSE(RunTool({"serve", "--profile", profile_path, "--queue",
+                        "0"})
+                   .status.ok());
+  EXPECT_FALSE(RunTool({"serve", "--profile", profile_path, "--threads",
+                        "x"})
+                   .status.ok());
+  EXPECT_FALSE(RunTool({"serve", "--profile", profile_path, "--events",
+                        "/no/such.feed"})
+                   .status.ok());
+
+  // A malformed feed line names its position.
+  const std::string feed_path = TempPath("bad.feed");
+  ASSERT_TRUE(WriteStringToFile(feed_path, "no-tab-here\n").ok());
+  const CliRun bad = RunTool({"serve", "--profile", profile_path,
+                              "--events", feed_path});
+  EXPECT_FALSE(bad.status.ok());
+  EXPECT_NE(bad.status.ToString().find("line 1"), std::string::npos);
+
+  std::remove(profile_path.c_str());
+  std::remove(feed_path.c_str());
 }
 
 int RunMain(std::vector<std::string> args, std::string* out_text,

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -11,7 +12,9 @@
 #include "core/detection_engine.h"
 #include "prog/program.h"
 #include "runtime/trace_io.h"
+#include "service/session_manager.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace adprom::cli {
 
@@ -31,7 +34,8 @@ struct ParsedArgs {
 };
 
 constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
-                                      "--flow-insensitive", "--no-absint"};
+                                      "--flow-insensitive", "--no-absint",
+                                      "--all"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -340,6 +344,124 @@ util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
   return PrintDetections(engine.MonitorTrace(trace), out);
 }
 
+/// `adprom serve`: the streaming detection service. Loads one profile and
+/// multiplexes many concurrent sessions over a worker pool, scoring each
+/// event as it arrives. Two input modes:
+///   --trace f1,f2   replay recorded trace files, one session per file;
+///   --events file / stdin   framed live feed: one event per line,
+///       "<session>\t<serialized event>"; "!end\t<session>" closes a
+///       session early; '#' starts a comment; EOF closes the rest.
+util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
+  if (!args.Has("--profile")) {
+    return util::Status::InvalidArgument(
+        "usage: adprom serve --profile app.profile [--trace f1,f2 |"
+        " --events feed.txt] [--threads N] [--queue N]"
+        " [--policy block|drop-oldest] [--all]");
+  }
+  ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
+                          ReadFileToString(args.Get("--profile")));
+  ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
+                          core::ApplicationProfile::Deserialize(
+                              profile_text));
+
+  size_t threads = 1;
+  if (args.Has("--threads")) {
+    const std::string& value = args.Get("--threads");
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || parsed < 0) {
+      return util::Status::InvalidArgument(
+          "--threads must be a number >= 0 (0 = all hardware threads)");
+    }
+    threads = util::ResolveThreadCount(static_cast<int>(parsed));
+  }
+  service::SessionManagerOptions options;
+  if (args.Has("--queue")) {
+    const std::string& value = args.Get("--queue");
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || parsed < 1) {
+      return util::Status::InvalidArgument("--queue must be a number >= 1");
+    }
+    options.queue_capacity = static_cast<size_t>(parsed);
+  }
+  if (args.Has("--policy")) {
+    const std::string policy = args.Get("--policy");
+    if (policy == "block") {
+      options.overflow = service::SessionManagerOptions::OverflowPolicy::
+          kBlock;
+    } else if (policy == "drop-oldest") {
+      options.overflow = service::SessionManagerOptions::OverflowPolicy::
+          kDropOldest;
+    } else {
+      return util::Status::InvalidArgument(
+          "--policy must be block or drop-oldest");
+    }
+  }
+
+  util::ThreadPool pool(threads);
+  service::StreamAlertSink sink(&out, /*alarms_only=*/!args.Has("--all"));
+  service::SessionManager manager(&profile, &sink, &pool, options);
+  size_t submitted = 0;
+
+  if (args.Has("--trace")) {
+    for (const std::string& path : util::Split(args.Get("--trace"), ',')) {
+      std::ifstream file(path, std::ios::binary);
+      if (!file) return util::Status::NotFound("cannot open " + path);
+      runtime::TraceReader reader(&file);
+      runtime::CallEvent event;
+      while (true) {
+        ADPROM_ASSIGN_OR_RETURN(bool more, reader.Next(&event));
+        if (!more) break;
+        ADPROM_RETURN_IF_ERROR(manager.Submit(path, std::move(event)));
+        ++submitted;
+        event = runtime::CallEvent();
+      }
+    }
+  } else {
+    std::ifstream events_file;
+    std::istream* src = &std::cin;
+    if (args.Has("--events") && args.Get("--events") != "-") {
+      events_file.open(args.Get("--events"), std::ios::binary);
+      if (!events_file) {
+        return util::Status::NotFound("cannot open " + args.Get("--events"));
+      }
+      src = &events_file;
+    }
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(*src, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      const size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        return util::Status::ParseError(util::StrFormat(
+            "feed line %zu: expected <session>\\t<event>", line_no));
+      }
+      const std::string session = line.substr(0, tab);
+      const std::string body = line.substr(tab + 1);
+      if (session == "!end") {
+        (void)manager.CloseSession(body);  // unknown session: no-op
+        continue;
+      }
+      auto event = runtime::ParseTraceLine(body);
+      if (!event.ok()) {
+        return util::Status::ParseError(util::StrFormat(
+            "feed line %zu: %s", line_no,
+            event.status().message().c_str()));
+      }
+      ADPROM_RETURN_IF_ERROR(
+          manager.Submit(session, std::move(event).value()));
+      ++submitted;
+    }
+  }
+
+  manager.CloseAll();
+  out << "served " << submitted << " events, dropped "
+      << manager.total_dropped() << "\n";
+  return util::Status::Ok();
+}
+
 util::Result<size_t> CmdLint(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2) {
     return util::Status::InvalidArgument("usage: adprom lint <app.mini>");
@@ -384,7 +506,7 @@ util::Status RunCli(const std::vector<std::string>& args,
                     std::ostream& out) {
   if (args.empty()) {
     return util::Status::InvalidArgument(
-        "usage: adprom <analyze|train|trace|score|monitor|lint> ...");
+        "usage: adprom <analyze|train|trace|score|monitor|serve|lint> ...");
   }
   ADPROM_ASSIGN_OR_RETURN(ParsedArgs parsed, ParseArgs(args));
   const std::string& command = parsed.positional.empty()
@@ -395,6 +517,7 @@ util::Status RunCli(const std::vector<std::string>& args,
   if (command == "trace") return CmdTrace(parsed, out);
   if (command == "score") return CmdScore(parsed, out);
   if (command == "monitor") return CmdMonitor(parsed, out);
+  if (command == "serve") return CmdServe(parsed, out);
   if (command == "lint") return CmdLint(parsed, out).status();
   return util::Status::InvalidArgument("unknown command: " + command);
 }

@@ -32,6 +32,20 @@ namespace adprom::cli {
 ///                  --input a,b,c
 ///       Runs the (possibly tampered) build and scores it live.
 ///
+///   adprom serve --profile app.profile [--trace f1,f2 | --events feed]
+///                [--threads N] [--queue N] [--policy block|drop-oldest]
+///                [--all]
+///       Streaming detection service: scores events one at a time across
+///       many concurrent sessions (verdicts bit-identical to `score` on
+///       the same events). --trace replays recorded trace files, one
+///       session per file; otherwise a framed live feed is read from
+///       --events (or stdin): "<session>\t<serialized event>" per line,
+///       "!end\t<session>" closes a session, '#' comments. --queue bounds
+///       each session's buffer and --policy picks what a full queue does
+///       (block the producer, or drop the oldest event and count it).
+///       Prints alarms as they fire (--all prints every verdict) and a
+///       per-session summary on close.
+///
 ///   adprom lint <app.mini>
 ///       Static vetting before deployment: flags string-concatenated
 ///       query construction reaching db_query (SQL injection), reads of
