@@ -6,6 +6,10 @@
 // the two taint passes — the delta is the spurious labels the strong
 // updates remove — and the edges/loops the refiner sharpens per app.
 //
+// All pass timings are the *minimum* over the repeat count (min-of-N);
+// `--smoke` shrinks the corpus and repeats so the binary finishes in
+// seconds for CI.
+//
 // Machine-readable results are written to BENCH_analysis.json at the
 // repository root (override with --json <path>).
 
@@ -18,6 +22,7 @@
 
 #include "analysis/absint/cfg_refiner.h"
 #include "analysis/absint/engine.h"
+#include "bench/bench_common.h"
 #include "analysis/dataflow/flow_graph.h"
 #include "core/adprom.h"
 #include "core/detection_engine.h"
@@ -61,15 +66,11 @@ struct AppResult {
   size_t lint_findings = 0;
 };
 
-/// Runs `body` `repeats` times and returns the mean wall time in ms.
+/// Runs `body` `repeats` times and returns the *minimum* wall time in ms
+/// (min-of-N; scheduler noise only ever inflates a run).
 template <typename Fn>
 double TimeMs(size_t repeats, const Fn& body) {
-  const auto start = std::chrono::steady_clock::now();
-  for (size_t i = 0; i < repeats; ++i) body();
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return seconds * 1e3 / static_cast<double>(repeats);
+  return MinWallSeconds(repeats, body) * 1e3;
 }
 
 AppResult BenchApp(const apps::CorpusApp& app, size_t repeats,
@@ -215,11 +216,12 @@ ForecastAblation RunForecastAblation() {
 }
 
 void WriteJson(const std::vector<AppResult>& results,
-               const ForecastAblation& ablation,
+               const ForecastAblation& ablation, size_t repeats,
                const std::string& json_path) {
   std::ostringstream json;
   json << "{\n";
   json << "  \"bench\": \"bench_analysis_passes\",\n";
+  json << "  " << JsonProvenance(repeats) << ",\n";
   json << "  \"hardware_concurrency\": "
        << util::ThreadPool::DefaultConcurrency() << ",\n";
   json << "  \"apps\": [\n";
@@ -258,16 +260,21 @@ void WriteJson(const std::vector<AppResult>& results,
   }
 }
 
-void Run(const std::string& json_path) {
-  std::printf("\n=== Static analysis pass wall time (ms/run) ===\n\n");
-  const size_t repeats = 10;
+void Run(bool smoke, const std::string& json_path) {
+  std::printf("\n=== Static analysis pass wall time (min ms/run%s) ===\n\n",
+              smoke ? ", smoke" : "");
+  const size_t repeats = smoke ? 2 : 10;
   util::ThreadPool pool(util::ThreadPool::DefaultConcurrency());
-  const std::vector<apps::CorpusApp> corpus = {
-      apps::MakeHospitalApp(), apps::MakeBankingApp(),
-      apps::MakeSupermarketApp(), apps::MakeGrepLike(),
-      apps::MakeGzipLike(),    apps::MakeSedLike(),
-      apps::MakeBashLike(),
-  };
+  const std::vector<apps::CorpusApp> corpus =
+      smoke ? std::vector<apps::CorpusApp>{apps::MakeHospitalApp(),
+                                           apps::MakeGrepLike(12, 1),
+                                           apps::MakeBashLike(25, 8, 4)}
+            : std::vector<apps::CorpusApp>{
+                  apps::MakeHospitalApp(), apps::MakeBankingApp(),
+                  apps::MakeSupermarketApp(), apps::MakeGrepLike(),
+                  apps::MakeGzipLike(),    apps::MakeSedLike(),
+                  apps::MakeBashLike(),
+              };
 
   std::vector<AppResult> results;
   util::TablePrinter table({"app", "fns", "FI taint", "FS taint",
@@ -289,7 +296,7 @@ void Run(const std::string& json_path) {
   }
   table.Print();
   const ForecastAblation ablation = RunForecastAblation();
-  WriteJson(results, ablation, json_path);
+  WriteJson(results, ablation, repeats, json_path);
 }
 
 }  // namespace
@@ -298,14 +305,17 @@ void Run(const std::string& json_path) {
 int main(int argc, char** argv) {
   std::string json_path =
       std::string(ADPROM_SOURCE_DIR) + "/BENCH_analysis.json";
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
     }
   }
-  adprom::bench::Run(json_path);
+  adprom::bench::Run(smoke, json_path);
   return 0;
 }

@@ -1,7 +1,11 @@
 #ifndef ADPROM_BENCH_BENCH_COMMON_H_
 #define ADPROM_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -10,6 +14,7 @@
 #include "core/analyzer.h"
 #include "prog/program.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace adprom::bench {
 
@@ -72,6 +77,56 @@ inline std::vector<runtime::Trace> MaterializeWindows(
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// The host CPU model from /proc/cpuinfo ("unknown" where that file is
+/// absent), so bench JSONs record what machine produced them.
+inline std::string CpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const size_t start = line.find_first_not_of(" \t", colon + 1);
+    if (start == std::string::npos) continue;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+/// Runs `body` `repeats` times and returns the *minimum* single-run wall
+/// time: the min of N is a far better estimator of the true cost than the
+/// mean, which scheduler noise only ever inflates.
+template <typename Body>
+inline double MinWallSeconds(size_t repeats, Body&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// The provenance block every bench JSON embeds (no surrounding braces):
+/// CPU model, core count, and how timings were taken.
+inline std::string JsonProvenance(size_t timing_repeats) {
+  std::string cpu;
+  for (char c : CpuModelName()) {
+    if (c == '"' || c == '\\') cpu += '\\';
+    cpu += c;
+  }
+  std::ostringstream out;
+  out << "\"provenance\": {\"cpu_model\": \"" << cpu
+      << "\", \"hardware_concurrency\": "
+      << util::ThreadPool::DefaultConcurrency()
+      << ", \"timing\": \"min-of-" << timing_repeats
+      << "\", \"timing_repeats\": " << timing_repeats << "}";
+  return out.str();
 }
 
 }  // namespace adprom::bench

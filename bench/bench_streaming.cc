@@ -6,6 +6,10 @@
 // kBlock back-pressure stall, which is exactly what a collector embedded
 // in an application would feel.
 //
+// Each configuration is run `timing_repeats` times and the fastest run is
+// reported (min-of-N); `--smoke` shrinks the event count and session
+// sweep so the binary finishes in seconds for CI.
+//
 // Machine-readable results are written to BENCH_streaming.json at the
 // repository root (override with --json <path>).
 
@@ -39,6 +43,22 @@ double Seconds(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+struct Preset {
+  bool smoke = false;
+  size_t total_events = 60000;
+  size_t timing_repeats = 3;
+  std::vector<size_t> session_sweep = {1, 8, 64, 512};
+};
+
+Preset SmokePreset() {
+  Preset p;
+  p.smoke = true;
+  p.total_events = 4000;
+  p.timing_repeats = 1;
+  p.session_sweep = {1, 8};
+  return p;
 }
 
 /// Counts verdicts without storing them: the sink must not become the
@@ -76,10 +96,10 @@ double Percentile(std::vector<double>* sorted_us, double p) {
 
 /// One configuration: `sessions` concurrent sessions fed round-robin from
 /// the flattened corpus event pool, ~`total_events` events overall.
-StreamRun RunConfig(const core::ApplicationProfile& profile,
-                    const std::vector<runtime::CallEvent>& pool_events,
-                    size_t sessions, size_t total_events,
-                    util::ThreadPool* pool) {
+StreamRun RunConfigOnce(const core::ApplicationProfile& profile,
+                        const std::vector<runtime::CallEvent>& pool_events,
+                        size_t sessions, size_t total_events,
+                        util::ThreadPool* pool) {
   CountingSink sink;
   service::SessionManagerOptions options;
   options.queue_capacity = 1024;
@@ -129,11 +149,27 @@ StreamRun RunConfig(const core::ApplicationProfile& profile,
   return run;
 }
 
+/// Min-of-N: repeats the configuration and keeps the fastest run (its
+/// latency percentiles come from that same run).
+StreamRun RunConfig(const core::ApplicationProfile& profile,
+                    const std::vector<runtime::CallEvent>& pool_events,
+                    size_t sessions, const Preset& preset,
+                    util::ThreadPool* pool) {
+  StreamRun best;
+  for (size_t r = 0; r < preset.timing_repeats; ++r) {
+    StreamRun run = RunConfigOnce(profile, pool_events, sessions,
+                                  preset.total_events, pool);
+    if (r == 0 || run.seconds < best.seconds) best = std::move(run);
+  }
+  return best;
+}
+
 void WriteJson(const std::vector<StreamRun>& runs, size_t pool_workers,
-               const std::string& json_path) {
+               const Preset& preset, const std::string& json_path) {
   std::ostringstream json;
   json << "{\n";
   json << "  \"bench\": \"bench_streaming\",\n";
+  json << "  " << JsonProvenance(preset.timing_repeats) << ",\n";
   json << "  \"hardware_concurrency\": "
        << util::ThreadPool::DefaultConcurrency() << ",\n";
   json << "  \"pool_workers\": " << pool_workers << ",\n";
@@ -163,8 +199,10 @@ void WriteJson(const std::vector<StreamRun>& runs, size_t pool_workers,
   }
 }
 
-void Run(const std::string& json_path) {
-  PrintHeader("Streaming service throughput & latency");
+void Run(const Preset& preset, const std::string& json_path) {
+  PrintHeader(preset.smoke
+                  ? "Streaming service throughput & latency (smoke)"
+                  : "Streaming service throughput & latency");
 
   PreparedApp prepared = Prepare(apps::MakeGrepLike());
   core::AdProm system = TrainOrDie(prepared);
@@ -174,22 +212,21 @@ void Run(const std::string& json_path) {
   for (const runtime::Trace& trace : system.training_traces()) {
     pool_events.insert(pool_events.end(), trace.begin(), trace.end());
   }
-  std::printf("corpus: grep-like, %zu pooled events, window %zu\n",
-              pool_events.size(), profile.options.window_length);
+  std::printf("corpus: grep-like, %zu pooled events, window %zu,"
+              " min-of-%zu runs\n",
+              pool_events.size(), profile.options.window_length,
+              preset.timing_repeats);
 
-  constexpr size_t kTotalEvents = 60000;
   const size_t workers = util::ThreadPool::DefaultConcurrency();
   std::vector<StreamRun> runs;
 
   // Baseline: one session scored inline on the submitting thread — the
   // raw per-event cost of the incremental forward recursion.
-  runs.push_back(
-      RunConfig(profile, pool_events, 1, kTotalEvents, nullptr));
+  runs.push_back(RunConfig(profile, pool_events, 1, preset, nullptr));
 
   util::ThreadPool pool(workers);
-  for (size_t sessions : {1u, 8u, 64u, 512u}) {
-    runs.push_back(
-        RunConfig(profile, pool_events, sessions, kTotalEvents, &pool));
+  for (size_t sessions : preset.session_sweep) {
+    runs.push_back(RunConfig(profile, pool_events, sessions, preset, &pool));
   }
 
   util::TablePrinter table({"mode", "sessions", "events", "seconds",
@@ -208,7 +245,7 @@ void Run(const std::string& json_path) {
               " %zu workers, kBlock overflow — p99 shows back-pressure)\n",
               workers);
 
-  WriteJson(runs, workers, json_path);
+  WriteJson(runs, workers, preset, json_path);
 }
 
 }  // namespace
@@ -217,14 +254,17 @@ void Run(const std::string& json_path) {
 int main(int argc, char** argv) {
   std::string json_path =
       std::string(ADPROM_SOURCE_DIR) + "/BENCH_streaming.json";
+  adprom::bench::Preset preset;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      preset = adprom::bench::SmokePreset();
     }
   }
-  adprom::bench::Run(json_path);
+  adprom::bench::Run(preset, json_path);
   return 0;
 }

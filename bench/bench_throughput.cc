@@ -3,12 +3,21 @@
 //
 //  * Training: the Table-8-style heavy corpus (the bash-like SIR app,
 //    ~1000 call sites, clustered to ~300 hidden states) trained at
-//    1/2/4/N threads (N = hardware concurrency), with wall-time, speedup,
-//    and a bit-identical check of the parallel vs serial output.
+//    1/2/4/N threads with both the CSR kernels (default) and the dense
+//    ablation (--dense-kernels path), with min-of-N wall time, speedup,
+//    and a bit-identical check across every run.
+//  * Kernels: the single-thread scoring microbench — the same window set
+//    scored by the dense forward pass and the CSR forward pass — plus the
+//    trained model's transition/emission nnz and density. This is the
+//    headline sparse-vs-dense number.
 //  * Detection: the grep-like app's traces scored by (a) the seed-style
 //    per-window path (re-encode + allocate per window), (b) the
 //    encode-once/workspace MonitorTrace, and (c) the batch MonitorTraces
 //    pool fan-out at 1/2/4/N threads; reported as events/sec.
+//
+// All wall times are min-of-N (see MinWallSeconds); the JSON carries a
+// provenance block naming the CPU and the repeat count. `--smoke` shrinks
+// every preset so the whole binary finishes in seconds for CI.
 //
 // Machine-readable results are written to BENCH_throughput.json at the
 // repository root (override with --json <path>) so the perf trajectory is
@@ -17,6 +26,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -27,6 +37,7 @@
 #include "core/detection_engine.h"
 #include "hmm/baum_welch.h"
 #include "hmm/inference.h"
+#include "hmm/sparse.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -38,16 +49,36 @@
 namespace adprom::bench {
 namespace {
 
-double Seconds(const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+struct Preset {
+  bool smoke = false;
+  /// Windows the training sweep and kernel microbench run over.
+  size_t train_window_cap = 400;
+  /// Baum-Welch iterations per timed training run.
+  int train_iterations = 3;
+  /// Min-of-N repeats for the timed training runs.
+  size_t train_repeats = 3;
+  /// Min-of-N repeats for the kernel scoring microbench.
+  size_t kernel_repeats = 5;
+  /// Target window count per detection timing pass (sets its repeats).
+  size_t detect_target_windows = 60000;
+};
+
+Preset SmokePreset() {
+  Preset p;
+  p.smoke = true;
+  p.train_window_cap = 100;
+  p.train_iterations = 1;
+  p.train_repeats = 1;
+  p.kernel_repeats = 2;
+  p.detect_target_windows = 2000;
+  return p;
 }
 
 struct TrainRun {
   size_t threads = 0;
+  std::string kernel;  // "sparse" or "dense"
   double seconds = 0.0;
-  double speedup = 1.0;
+  double speedup = 1.0;  // vs the same kernel's single-thread run
 };
 
 struct DetectRun {
@@ -58,9 +89,13 @@ struct DetectRun {
   double windows_per_sec = 0.0;
 };
 
-/// The thread counts to sweep: 1, 2, 4, and the hardware concurrency.
-std::vector<size_t> ThreadSweep() {
-  std::set<size_t> sweep = {1, 2, 4, util::ThreadPool::DefaultConcurrency()};
+/// The thread counts to sweep: 1, 2, 4, and the hardware concurrency
+/// (just 1 and 2 under --smoke).
+std::vector<size_t> ThreadSweep(const Preset& preset) {
+  std::set<size_t> sweep =
+      preset.smoke
+          ? std::set<size_t>{1, 2}
+          : std::set<size_t>{1, 2, 4, util::ThreadPool::DefaultConcurrency()};
   return {sweep.begin(), sweep.end()};
 }
 
@@ -128,6 +163,19 @@ std::vector<core::Detection> SeedMonitorTrace(
 
 std::string Num(double v) { return util::StrFormat("%.6g", v); }
 
+struct KernelResults {
+  size_t windows = 0;
+  size_t repeats = 0;
+  double dense_seconds = 0.0;
+  double sparse_seconds = 0.0;
+  double sparse_speedup = 0.0;
+  size_t transition_nnz = 0;
+  double transition_density = 1.0;
+  size_t emission_nnz = 0;
+  double emission_density = 1.0;
+  bool bit_identical = true;
+};
+
 struct BenchResults {
   std::vector<TrainRun> train_runs;
   bool bit_identical = true;
@@ -135,6 +183,8 @@ struct BenchResults {
   size_t train_windows = 0;
   size_t train_states = 0;
   size_t train_alphabet = 0;
+  size_t train_repeats = 0;
+  KernelResults kernels;
   std::vector<DetectRun> detect_runs;
   size_t detect_repeats = 0;
   size_t detect_traces = 0;
@@ -142,79 +192,185 @@ struct BenchResults {
   size_t detect_windows = 0;
 };
 
-void BenchTraining(BenchResults* results) {
-  // Table-8-style heavy corpus: the bash-like app crosses the 900-site
-  // clustering threshold, so the trained HMM has hundreds of states and
-  // the E-step is genuinely expensive.
-  PreparedApp prepared = Prepare(apps::MakeBashLike());
+/// The Table-8-style heavy corpus, trained once (1 EM iteration) so the
+/// timed sweeps and the kernel microbench share one model and window set.
+struct TrainingSetup {
+  core::ApplicationProfile profile;
+  std::vector<hmm::ObservationSeq> windows;
+};
+
+TrainingSetup SetupTraining(const Preset& preset) {
+  // The bash-like app crosses the 900-site clustering threshold, so the
+  // trained HMM has hundreds of states and the E-step is genuinely
+  // expensive — and its pCTM-derived transition matrix is genuinely
+  // sparse.
+  PreparedApp prepared =
+      Prepare(preset.smoke ? apps::MakeBashLike(25, 8, 4)
+                           : apps::MakeBashLike());
   core::ProfileOptions options;
-  options.train.max_iterations = 1;  // the sweep below re-trains
+  options.train.max_iterations = 1;  // the sweeps below re-train
   options.max_training_windows = 400;
   core::AdProm system = TrainOrDie(prepared, options);
-  const core::ApplicationProfile& profile = system.profile();
 
-  std::vector<hmm::ObservationSeq> windows;
+  TrainingSetup setup;
+  setup.profile = system.profile();
   for (const runtime::Trace& trace : system.training_traces()) {
     for (const auto& window :
          core::SlidingWindows(trace, options.window_length)) {
-      windows.push_back(profile.Encode(window));
+      setup.windows.push_back(setup.profile.Encode(window));
     }
   }
-  // Same bound Table VIII uses, so a sweep run stays in seconds.
-  constexpr size_t kTrainWindowCap = 400;
-  if (windows.size() > kTrainWindowCap) windows.resize(kTrainWindowCap);
+  if (setup.windows.size() > preset.train_window_cap) {
+    setup.windows.resize(preset.train_window_cap);
+  }
+  return setup;
+}
+
+size_t CountNonzeros(const util::Matrix& m) {
+  size_t nnz = 0;
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) nnz += m.At(r, c) != 0.0;
+  }
+  return nnz;
+}
+
+void BenchTraining(const TrainingSetup& setup, const Preset& preset,
+                   BenchResults* results) {
+  const core::ApplicationProfile& profile = setup.profile;
+  const std::vector<hmm::ObservationSeq>& windows = setup.windows;
   results->train_windows = windows.size();
   results->train_states = profile.model.num_states();
   results->train_alphabet = profile.alphabet.size();
+  results->train_iterations = preset.train_iterations;
+  results->train_repeats = preset.train_repeats;
   std::printf("training corpus: bash-like, %zu windows, %zu states,"
               " alphabet %zu\n",
               windows.size(), profile.model.num_states(),
               profile.alphabet.size());
 
-  constexpr int kIterations = 3;
-  results->train_iterations = kIterations;
   hmm::HmmModel reference_model;
-  for (size_t threads : ThreadSweep()) {
-    hmm::HmmModel model = profile.model;  // same start for every run
-    hmm::TrainOptions train;
-    train.max_iterations = kIterations;
-    train.tolerance = 0.0;
-    train.num_threads = static_cast<int>(threads);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto stats = hmm::BaumWelchTrain(&model, windows, train);
-    const double seconds = Seconds(t0);
-    ADPROM_CHECK_MSG(stats.ok(), stats.status().ToString());
-    TrainRun run;
-    run.threads = threads;
-    run.seconds = seconds;
-    run.speedup = results->train_runs.empty()
-                      ? 1.0
-                      : results->train_runs.front().seconds / seconds;
-    results->train_runs.push_back(run);
-    if (results->train_runs.size() == 1) {
-      reference_model = model;
-    } else {
-      results->bit_identical =
-          results->bit_identical &&
-          model.a().MaxAbsDiff(reference_model.a()) == 0.0 &&
-          model.b().MaxAbsDiff(reference_model.b()) == 0.0 &&
-          model.pi() == reference_model.pi();
+  for (size_t threads : ThreadSweep(preset)) {
+    for (const char* kernel : {"sparse", "dense"}) {
+      hmm::TrainOptions train;
+      train.max_iterations = preset.train_iterations;
+      train.tolerance = 0.0;
+      train.num_threads = static_cast<int>(threads);
+      train.dense_kernels = std::strcmp(kernel, "dense") == 0;
+      // Pin each row to its kernel: the shipped default auto-selects by
+      // transition density (TrainOptions::sparse_density_cutoff), so the
+      // sweep must force the CSR path to measure it.
+      train.sparse_density_cutoff = 1.0;
+      hmm::HmmModel model;
+      const double seconds =
+          MinWallSeconds(preset.train_repeats, [&] {
+            model = profile.model;  // same start for every run
+            auto stats = hmm::BaumWelchTrain(&model, windows, train);
+            ADPROM_CHECK_MSG(stats.ok(), stats.status().ToString());
+          });
+      TrainRun run;
+      run.threads = threads;
+      run.kernel = kernel;
+      run.seconds = seconds;
+      // Parallel scaling vs the same kernel's single-thread run.
+      for (const TrainRun& prior : results->train_runs) {
+        if (prior.threads == 1 && prior.kernel == run.kernel) {
+          run.speedup = prior.seconds / seconds;
+        }
+      }
+      if (results->train_runs.empty()) {
+        reference_model = model;
+      } else {
+        // Every (threads, kernel) combination must land on the same
+        // parameters, bit for bit.
+        results->bit_identical =
+            results->bit_identical &&
+            model.a().MaxAbsDiff(reference_model.a()) == 0.0 &&
+            model.b().MaxAbsDiff(reference_model.b()) == 0.0 &&
+            model.pi() == reference_model.pi();
+      }
+      results->train_runs.push_back(std::move(run));
     }
   }
 
-  util::TablePrinter table(
-      {"Baum-Welch (3 iters)", "threads", "seconds", "speedup"});
+  util::TablePrinter table({"Baum-Welch (" +
+                                std::to_string(preset.train_iterations) +
+                                " iters)",
+                            "threads", "kernel", "seconds", "speedup"});
   for (const TrainRun& run : results->train_runs) {
-    table.AddRow({"train", std::to_string(run.threads),
+    table.AddRow({"train", std::to_string(run.threads), run.kernel,
                   util::StrFormat("%.3f", run.seconds),
                   util::StrFormat("%.2fx", run.speedup)});
   }
   table.Print();
-  std::printf("parallel output bit-identical to serial: %s\n\n",
+  std::printf("all runs bit-identical (threads x kernel): %s\n"
+              "(rows pin their kernel; the default E-step auto-selects"
+              " CSR only below the density cutoff)\n\n",
               results->bit_identical ? "yes" : "NO — BUG");
 }
 
-void BenchDetection(BenchResults* results) {
+void BenchKernels(const TrainingSetup& setup, const Preset& preset,
+                  BenchResults* results) {
+  const hmm::HmmModel& model = setup.profile.model;
+  const std::vector<hmm::ObservationSeq>& windows = setup.windows;
+  const hmm::SparseHmm sparse(model);
+  KernelResults& k = results->kernels;
+  k.windows = windows.size();
+  k.repeats = preset.kernel_repeats;
+  k.transition_nnz = CountNonzeros(model.a());
+  k.transition_density = sparse.transition_density();
+  k.emission_nnz = CountNonzeros(model.b());
+  const size_t b_cells = model.num_states() * model.num_symbols();
+  k.emission_density =
+      b_cells == 0 ? 1.0
+                   : static_cast<double>(k.emission_nnz) /
+                         static_cast<double>(b_cells);
+
+  // Single-thread scoring: the same windows through the dense and the CSR
+  // forward pass, min-of-N. The scores must agree bit for bit.
+  hmm::ForwardWorkspace ws;
+  std::vector<double> dense_scores(windows.size());
+  std::vector<double> sparse_scores(windows.size());
+  k.dense_seconds = MinWallSeconds(preset.kernel_repeats, [&] {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      auto score = hmm::PerSymbolLogLikelihood(model, windows[i], &ws);
+      ADPROM_CHECK_MSG(score.ok(), score.status().ToString());
+      dense_scores[i] = *score;
+    }
+  });
+  k.sparse_seconds = MinWallSeconds(preset.kernel_repeats, [&] {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      auto score = hmm::PerSymbolLogLikelihood(sparse, windows[i], &ws);
+      ADPROM_CHECK_MSG(score.ok(), score.status().ToString());
+      sparse_scores[i] = *score;
+    }
+  });
+  k.sparse_speedup = k.dense_seconds / k.sparse_seconds;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    k.bit_identical = k.bit_identical &&
+                      std::memcmp(&dense_scores[i], &sparse_scores[i],
+                                  sizeof(double)) == 0;
+  }
+
+  util::TablePrinter table(
+      {"Forward kernel", "seconds (min-of-" +
+                             std::to_string(preset.kernel_repeats) + ")",
+       "windows/sec", "speedup"});
+  table.AddRow({"dense", util::StrFormat("%.4f", k.dense_seconds),
+                util::StrFormat("%.0f", windows.size() / k.dense_seconds),
+                "1.00x"});
+  table.AddRow({"sparse (CSR)", util::StrFormat("%.4f", k.sparse_seconds),
+                util::StrFormat("%.0f", windows.size() / k.sparse_seconds),
+                util::StrFormat("%.2fx", k.sparse_speedup)});
+  table.Print();
+  std::printf("transition matrix: nnz %zu (%.1f%% dense); emission matrix:"
+              " nnz %zu (%.1f%% dense)\n",
+              k.transition_nnz, 100.0 * k.transition_density,
+              k.emission_nnz, 100.0 * k.emission_density);
+  std::printf("sparse scores bit-identical to dense: %s\n\n",
+              k.bit_identical ? "yes" : "NO — BUG");
+}
+
+void BenchDetection(const Preset& preset, BenchResults* results) {
   // Serving-style workload: the grep-like app's full trace set, scored
   // over and over as a stream of monitored runs.
   PreparedApp prepared = Prepare(apps::MakeGrepLike());
@@ -230,13 +386,14 @@ void BenchDetection(BenchResults* results) {
     total_windows +=
         core::SlidingWindows(trace, profile.options.window_length).size();
   }
-  const size_t repeats = std::max<size_t>(1, 60000 / total_windows);
+  const size_t repeats =
+      std::max<size_t>(1, preset.detect_target_windows / total_windows);
   results->detect_repeats = repeats;
   results->detect_traces = traces.size();
   results->detect_events = total_events;
   results->detect_windows = total_windows;
   std::printf("detection corpus: grep-like, %zu traces, %zu events,"
-              " %zu windows per pass, %zu repeats\n",
+              " %zu windows per pass, min-of-%zu passes\n",
               traces.size(), total_events, total_windows, repeats);
 
   auto record = [&](std::string name, size_t threads, double seconds) {
@@ -244,39 +401,27 @@ void BenchDetection(BenchResults* results) {
     run.name = std::move(name);
     run.threads = threads;
     run.seconds = seconds;
-    const double scale = static_cast<double>(repeats) / seconds;
-    run.events_per_sec = static_cast<double>(total_events) * scale;
-    run.windows_per_sec = static_cast<double>(total_windows) * scale;
+    run.events_per_sec = static_cast<double>(total_events) / seconds;
+    run.windows_per_sec = static_cast<double>(total_windows) / seconds;
     results->detect_runs.push_back(run);
   };
 
   size_t checksum = 0;  // keep the scoring from being optimized away
-  {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (size_t r = 0; r < repeats; ++r) {
-      for (const runtime::Trace& trace : traces) {
-        checksum += SeedMonitorTrace(profile, trace).size();
-      }
-    }
-    record("seed-per-window", 1, Seconds(t0));
-  }
-  {
-    const auto t0 = std::chrono::steady_clock::now();
-    for (size_t r = 0; r < repeats; ++r) {
-      for (const runtime::Trace& trace : traces) {
-        checksum += engine.MonitorTrace(trace).size();
-      }
-    }
-    record("encode-once", 1, Seconds(t0));
-  }
-  for (size_t threads : ThreadSweep()) {
+  record("seed-per-window", 1, MinWallSeconds(repeats, [&] {
+           for (const runtime::Trace& trace : traces) {
+             checksum += SeedMonitorTrace(profile, trace).size();
+           }
+         }));
+  record("encode-once", 1, MinWallSeconds(repeats, [&] {
+           for (const runtime::Trace& trace : traces) {
+             checksum += engine.MonitorTrace(trace).size();
+           }
+         }));
+  for (size_t threads : ThreadSweep(preset)) {
     util::ThreadPool pool(threads);
-    const auto t0 = std::chrono::steady_clock::now();
-    for (size_t r = 0; r < repeats; ++r) {
-      const auto batches = engine.MonitorTraces(traces, &pool);
-      checksum += batches.size();
-    }
-    record("batch", threads, Seconds(t0));
+    record("batch", threads, MinWallSeconds(repeats, [&] {
+             checksum += engine.MonitorTraces(traces, &pool).size();
+           }));
   }
 
   util::TablePrinter table(
@@ -293,10 +438,12 @@ void BenchDetection(BenchResults* results) {
               checksum);
 }
 
-void WriteJson(const BenchResults& results, const std::string& json_path) {
+void WriteJson(const BenchResults& results, const Preset& preset,
+               const std::string& json_path) {
   std::ostringstream json;
   json << "{\n";
   json << "  \"bench\": \"bench_throughput\",\n";
+  json << "  " << JsonProvenance(preset.kernel_repeats) << ",\n";
   json << "  \"hardware_concurrency\": "
        << util::ThreadPool::DefaultConcurrency() << ",\n";
   json << "  \"training\": {\"corpus\": \"bash-like\", \"iterations\": "
@@ -304,15 +451,33 @@ void WriteJson(const BenchResults& results, const std::string& json_path) {
        << ", \"windows\": " << results.train_windows
        << ", \"states\": " << results.train_states
        << ", \"alphabet\": " << results.train_alphabet
+       << ", \"timing_repeats\": " << results.train_repeats
        << ", \"bit_identical\": "
        << (results.bit_identical ? "true" : "false") << ", \"runs\": [";
   for (size_t i = 0; i < results.train_runs.size(); ++i) {
     const TrainRun& run = results.train_runs[i];
     json << (i ? ", " : "") << "{\"threads\": " << run.threads
+         << ", \"kernel\": \"" << run.kernel << "\""
          << ", \"wall_time_sec\": " << Num(run.seconds)
          << ", \"speedup\": " << Num(run.speedup) << "}";
   }
   json << "]},\n";
+  const KernelResults& k = results.kernels;
+  json << "  \"kernels\": {\"corpus\": \"bash-like\", \"windows\": "
+       << k.windows << ", \"timing_repeats\": " << k.repeats
+       << ", \"dense_wall_time_sec\": " << Num(k.dense_seconds)
+       << ", \"sparse_wall_time_sec\": " << Num(k.sparse_seconds)
+       << ", \"dense_windows_per_sec\": "
+       << Num(k.windows / k.dense_seconds)
+       << ", \"sparse_windows_per_sec\": "
+       << Num(k.windows / k.sparse_seconds)
+       << ", \"sparse_speedup\": " << Num(k.sparse_speedup)
+       << ", \"transition_nnz\": " << k.transition_nnz
+       << ", \"transition_density\": " << Num(k.transition_density)
+       << ", \"emission_nnz\": " << k.emission_nnz
+       << ", \"emission_density\": " << Num(k.emission_density)
+       << ", \"bit_identical\": "
+       << (k.bit_identical ? "true" : "false") << "},\n";
   json << "  \"detection\": {\"corpus\": \"grep-like\", \"repeats\": "
        << results.detect_repeats
        << ", \"traces\": " << results.detect_traces
@@ -339,12 +504,15 @@ void WriteJson(const BenchResults& results, const std::string& json_path) {
   }
 }
 
-void Run(const std::string& json_path) {
-  PrintHeader("Training & detection throughput");
+void Run(const Preset& preset, const std::string& json_path) {
+  PrintHeader(preset.smoke ? "Training & detection throughput (smoke)"
+                           : "Training & detection throughput");
   BenchResults results;
-  BenchTraining(&results);
-  BenchDetection(&results);
-  WriteJson(results, json_path);
+  TrainingSetup setup = SetupTraining(preset);
+  BenchTraining(setup, preset, &results);
+  BenchKernels(setup, preset, &results);
+  BenchDetection(preset, &results);
+  WriteJson(results, preset, json_path);
 }
 
 }  // namespace
@@ -353,14 +521,17 @@ void Run(const std::string& json_path) {
 int main(int argc, char** argv) {
   std::string json_path =
       std::string(ADPROM_SOURCE_DIR) + "/BENCH_throughput.json";
+  adprom::bench::Preset preset;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      preset = adprom::bench::SmokePreset();
     }
   }
-  adprom::bench::Run(json_path);
+  adprom::bench::Run(preset, json_path);
   return 0;
 }

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validates the structure of the bench JSON outputs.
+
+Usage: check_bench_json.py <bench_json> [<bench_json> ...]
+
+Every bench JSON must carry a provenance block (CPU model, core count,
+min-of-N timing discipline) plus the per-bench sections this script pins
+down. The CI perf-smoke job runs each bench with --smoke and feeds the
+results through here, so a bench that silently stops emitting a field
+fails the build instead of producing an unreadable trajectory.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(data, path, key, kind):
+    if key not in data:
+        fail(path, f"missing key {key!r}")
+    if not isinstance(data[key], kind):
+        fail(path, f"key {key!r} has type {type(data[key]).__name__}, "
+                   f"expected {kind.__name__}")
+    return data[key]
+
+
+def check_provenance(doc, path):
+    prov = require(doc, path, "provenance", dict)
+    cpu = require(prov, path, "cpu_model", str)
+    if not cpu:
+        fail(path, "provenance.cpu_model is empty")
+    require(prov, path, "hardware_concurrency", int)
+    timing = require(prov, path, "timing", str)
+    if not timing.startswith("min-of-"):
+        fail(path, f"provenance.timing is {timing!r}, expected 'min-of-N'")
+    repeats = require(prov, path, "timing_repeats", int)
+    if repeats < 1:
+        fail(path, f"provenance.timing_repeats is {repeats}")
+
+
+def check_runs(runs, path, section, required_numbers):
+    if not runs:
+        fail(path, f"{section}.runs is empty")
+    for i, run in enumerate(runs):
+        for key in required_numbers:
+            if key not in run:
+                fail(path, f"{section}.runs[{i}] missing {key!r}")
+            if not isinstance(run[key], (int, float)) or run[key] < 0:
+                fail(path, f"{section}.runs[{i}].{key} = {run[key]!r}")
+
+
+def check_throughput(doc, path):
+    training = require(doc, path, "training", dict)
+    check_runs(require(training, path, "runs", list), path, "training",
+               ["threads", "wall_time_sec", "speedup"])
+    kernels_seen = {run.get("kernel") for run in training["runs"]}
+    if kernels_seen != {"sparse", "dense"}:
+        fail(path, f"training.runs kernels are {sorted(kernels_seen)}, "
+                   "expected both 'sparse' and 'dense'")
+    if training.get("bit_identical") is not True:
+        fail(path, "training.bit_identical is not true")
+
+    kernels = require(doc, path, "kernels", dict)
+    for key in ("dense_wall_time_sec", "sparse_wall_time_sec",
+                "sparse_speedup", "transition_density", "emission_density"):
+        value = require(kernels, path, key, (int, float))
+        if value <= 0:
+            fail(path, f"kernels.{key} = {value}")
+    require(kernels, path, "transition_nnz", int)
+    require(kernels, path, "emission_nnz", int)
+    if kernels.get("bit_identical") is not True:
+        fail(path, "kernels.bit_identical is not true")
+
+    detection = require(doc, path, "detection", dict)
+    check_runs(require(detection, path, "runs", list), path, "detection",
+               ["threads", "wall_time_sec", "events_per_sec",
+                "windows_per_sec"])
+
+
+def check_streaming(doc, path):
+    check_runs(require(doc, path, "runs", list), path, "streaming",
+               ["sessions", "events", "wall_time_sec", "events_per_sec",
+                "submit_p50_us", "submit_p99_us"])
+
+
+def check_analysis(doc, path):
+    apps = require(doc, path, "apps", list)
+    check_runs(apps, path, "apps",
+               ["functions", "fi_taint_ms", "fs_taint_ms", "absint_ms",
+                "lint_ms"])
+    ablation = require(doc, path, "forecast_ablation", dict)
+    require(ablation, path, "refined_mean_score", (int, float))
+    require(ablation, path, "uniform_mean_score", (int, float))
+
+
+CHECKERS = {
+    "bench_throughput": check_throughput,
+    "bench_streaming": check_streaming,
+    "bench_analysis_passes": check_analysis,
+}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, f"unreadable: {e}")
+        name = require(doc, path, "bench", str)
+        if name not in CHECKERS:
+            fail(path, f"unknown bench name {name!r}")
+        check_provenance(doc, path)
+        CHECKERS[name](doc, path)
+        print(f"{path}: ok ({name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,6 @@
 #include "analysis/aggregation.h"
 
+#include <cstring>
 #include <vector>
 
 #include "util/logging.h"
@@ -8,6 +9,73 @@
 namespace adprom::analysis {
 
 namespace {
+
+// ---- Content hashing for the aggregation memo -----------------------------
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+/// Mixed in for a callee whose combined key is not yet known at hash time,
+/// i.e. a cyclic (recursive) call-graph edge.
+constexpr uint64_t kRecursionMarker = 0x9e3779b97f4a7c15ULL;
+
+uint64_t HashBytes(uint64_t h, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  // Length first, so {"ab","c"} and {"a","bc"} hash differently.
+  const uint64_t len = s.size();
+  h = HashBytes(h, &len, sizeof(len));
+  return HashBytes(h, s.data(), s.size());
+}
+
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  return HashBytes(h, &v, sizeof(v));
+}
+
+uint64_t HashDouble(uint64_t h, double v) {
+  // Bit pattern, so the key changes iff the value is not bit-identical.
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashU64(h, bits);
+}
+
+/// FNV-1a over everything the elimination reads from a function's own CTM:
+/// the site identities (including reachability and provenance) and every
+/// probability cell.
+uint64_t HashCtm(const Ctm& ctm) {
+  uint64_t h = kFnvOffset;
+  h = HashString(h, ctm.function());
+  const size_t n = ctm.num_sites();
+  h = HashU64(h, n);
+  for (size_t i = 0; i < n; ++i) {
+    const Site& site = ctm.site(i);
+    h = HashString(h, site.function);
+    h = HashU64(h, static_cast<uint64_t>(site.block_id));
+    h = HashString(h, site.callee);
+    h = HashU64(h, site.is_user_fn ? 1 : 0);
+    h = HashU64(h, static_cast<uint64_t>(site.call_site_id));
+    h = HashU64(h, site.labeled ? 1 : 0);
+    h = HashString(h, site.observable);
+    h = HashDouble(h, site.reachability);
+    h = HashU64(h, site.source_tables.size());
+    for (const std::string& table : site.source_tables) {
+      h = HashString(h, table);
+    }
+  }
+  h = HashDouble(h, ctm.entry_to_exit());
+  for (size_t i = 0; i < n; ++i) {
+    h = HashDouble(h, ctm.entry_to(i));
+    h = HashDouble(h, ctm.to_exit(i));
+    for (size_t j = 0; j < n; ++j) h = HashDouble(h, ctm.between(i, j));
+  }
+  return h;
+}
 
 /// A CTM entry endpoint: -1 denotes ε (as a row) or ε' (as a column);
 /// other values are site indices.
@@ -130,13 +198,40 @@ void InlineRecursivePassthrough(Ctm* m, size_t s) {
 
 util::Result<Ctm> AggregateProgramCtm(
     const std::map<std::string, Ctm>& function_ctms,
-    const prog::CallGraph& call_graph) {
+    const prog::CallGraph& call_graph, AggregationCache* cache,
+    AggregationStats* stats) {
   std::map<std::string, Ctm> aggregated;
+  // Combined (Merkle) key per aggregated function: hash of its own CTM
+  // mixed with its callees' combined keys in deterministic (set) order.
+  std::map<std::string, uint64_t> combined_keys;
   for (const std::string& fn : call_graph.reverse_topo_order()) {
     auto it = function_ctms.find(fn);
     if (it == function_ctms.end()) {
       return util::Status::NotFound("no CTM for function: " + fn);
     }
+    uint64_t key = HashCtm(it->second);
+    for (const std::string& callee : call_graph.Callees(fn)) {
+      key = HashString(key, callee);
+      auto ck = combined_keys.find(callee);
+      // A callee with no combined key yet is either a library function or
+      // a cyclic edge — both are eliminated without a callee matrix, so
+      // the marker (mixed with the name above) identifies them stably.
+      key = HashU64(key, ck == combined_keys.end() ? kRecursionMarker
+                                                   : ck->second);
+    }
+    combined_keys[fn] = key;
+    if (stats != nullptr) ++stats->functions;
+
+    if (cache != nullptr) {
+      auto entry = cache->entries().find(fn);
+      if (entry != cache->entries().end() && entry->second.key == key) {
+        if (stats != nullptr) ++stats->cache_hits;
+        aggregated.emplace(fn, entry->second.aggregated);
+        continue;
+      }
+    }
+    if (stats != nullptr) ++stats->cache_misses;
+
     Ctm ctm = it->second;  // Working copy.
     // Eliminate user-function sites until only library calls remain.
     for (;;) {
@@ -157,6 +252,7 @@ util::Result<Ctm> AggregateProgramCtm(
         InlineSite(&ctm, static_cast<size_t>(target), agg_it->second);
       }
     }
+    if (cache != nullptr) cache->entries()[fn] = {key, ctm};
     aggregated.emplace(fn, std::move(ctm));
   }
   auto main_it = aggregated.find("main");

@@ -1,6 +1,7 @@
 #ifndef ADPROM_ANALYSIS_AGGREGATION_H_
 #define ADPROM_ANALYSIS_AGGREGATION_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -9,6 +10,35 @@
 #include "util/status.h"
 
 namespace adprom::analysis {
+
+/// Hit/miss counters for the aggregation memo (one "function" per entry in
+/// the reverse topological order).
+struct AggregationStats {
+  size_t functions = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+/// Memo of fully-aggregated per-function CTMs, keyed per function by a
+/// Merkle-style content hash: the FNV-1a hash of the function's *own* CTM
+/// mixed with the combined keys of its callees (so an edit anywhere in a
+/// function's transitive callee set changes its key, while unrelated edits
+/// leave it untouched and the cached elimination result is reused).
+/// Owned by whoever re-analyzes the same program repeatedly (core::Analyzer
+/// keeps one per instance); not thread-safe.
+class AggregationCache {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    Ctm aggregated;
+  };
+
+  std::map<std::string, Entry>& entries() { return entries_; }
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
 
 /// Aggregates the per-function CTMs into the whole-program pCTM
 /// (paper §IV-C3). Functions are inlined callee-first (reverse topological
@@ -36,9 +66,15 @@ namespace adprom::analysis {
 /// The result satisfies Ctm::CheckInvariants (the paper's three pCTM
 /// properties) exactly, which the test suite asserts on every corpus
 /// program.
+///
+/// When `cache` is non-null, each function whose content key matches the
+/// cached entry skips the elimination and reuses the cached matrix (the
+/// Ctm copy is bit-identical, so the returned pCTM is too); `stats`, when
+/// non-null, receives the per-run hit/miss counts.
 util::Result<Ctm> AggregateProgramCtm(
     const std::map<std::string, Ctm>& function_ctms,
-    const prog::CallGraph& call_graph);
+    const prog::CallGraph& call_graph, AggregationCache* cache = nullptr,
+    AggregationStats* stats = nullptr);
 
 }  // namespace adprom::analysis
 

@@ -85,7 +85,9 @@ util::Result<AnalysisResult> Analyzer::Analyze(
   t0 = std::chrono::steady_clock::now();
   ADPROM_ASSIGN_OR_RETURN(
       out.program_ctm,
-      analysis::AggregateProgramCtm(out.function_ctms, out.call_graph));
+      analysis::AggregateProgramCtm(out.function_ctms, out.call_graph,
+                                    &aggregation_cache_,
+                                    &out.aggregation_stats));
   out.aggregation_seconds = SecondsSince(t0);
   return std::move(out);
 }

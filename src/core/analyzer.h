@@ -38,6 +38,10 @@ struct AnalysisResult {
   double absint_seconds = 0.0;
   double forecast_seconds = 0.0;
   double aggregation_seconds = 0.0;
+  /// Hit/miss counts of the analyzer's aggregation memo for this run (all
+  /// misses on an analyzer's first Analyze call, hits for every function
+  /// whose transitive callee CTMs are unchanged on later calls).
+  analysis::AggregationStats aggregation_stats;
 
   /// All (caller function, callee) pairs that appear as call sites in the
   /// program — the context set the Detection Engine checks for the
@@ -72,11 +76,19 @@ class Analyzer {
   explicit Analyzer(AnalyzerOptions options);
   explicit Analyzer(analysis::TaintConfig taint_config);
 
-  /// Analyzes a finalized program.
+  /// Analyzes a finalized program. Repeated calls on the same analyzer
+  /// reuse the per-function aggregation memo: functions whose own CTM and
+  /// transitive callee CTMs are unchanged skip the (quadratic) elimination
+  /// and copy the cached result, which keeps the pCTM bit-identical.
   util::Result<AnalysisResult> Analyze(const prog::Program& program) const;
 
  private:
   AnalyzerOptions options_;
+  /// The memo survives across Analyze calls but not across analyzers.
+  /// Mutable: Analyze is logically const (identical output with or without
+  /// the cache). Not thread-safe — don't call Analyze on one analyzer from
+  /// several threads at once.
+  mutable analysis::AggregationCache aggregation_cache_;
 };
 
 }  // namespace adprom::core

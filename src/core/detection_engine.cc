@@ -1,11 +1,14 @@
 #include "core/detection_engine.h"
 
+#include <algorithm>
 #include <set>
 
 namespace adprom::core {
 
 DetectionEngine::DetectionEngine(const ApplicationProfile* profile)
-    : profile_(profile) {}
+    : profile_(profile), use_sparse_(!profile->options.dense_kernels) {
+  if (use_sparse_) sparse_ = hmm::SparseHmm(profile->model);
+}
 
 Detection DetectionEngine::EvaluateEncoded(
     std::span<const runtime::CallEvent> window, hmm::SymbolSpan seq,
@@ -23,7 +26,10 @@ Detection DetectionEngine::EvaluateEncoded(
     }
   }
 
-  auto score = hmm::PerSymbolLogLikelihood(profile_->model, seq, workspace);
+  auto score =
+      use_sparse_
+          ? hmm::PerSymbolLogLikelihood(sparse_, seq, workspace)
+          : hmm::PerSymbolLogLikelihood(profile_->model, seq, workspace);
   detection.score = score.ok() ? *score : -1e9;
 
   // A symbol outside the profile's alphabet is not a *legitimate call*
@@ -86,8 +92,8 @@ Detection DetectionEngine::EvaluateWindow(
   return EvaluateEncoded(window, seq, window_start, &workspace);
 }
 
-std::vector<Detection> DetectionEngine::MonitorTrace(
-    const runtime::Trace& trace) const {
+std::vector<Detection> DetectionEngine::MonitorTraceInto(
+    const runtime::Trace& trace, hmm::ForwardWorkspace* workspace) const {
   std::vector<Detection> out;
   // Encode the whole trace once; window i's symbols are the slice
   // [i, i+len) of the buffer (Encode is per-event, so the slice equals
@@ -95,22 +101,45 @@ std::vector<Detection> DetectionEngine::MonitorTrace(
   const hmm::ObservationSeq encoded = profile_->Encode(trace);
   const auto windows = SlidingWindows(trace, profile_->options.window_length);
   out.reserve(windows.size());
-  hmm::ForwardWorkspace workspace;
   for (size_t i = 0; i < windows.size(); ++i) {
     const size_t offset =
         static_cast<size_t>(windows[i].data() - trace.data());
     const hmm::SymbolSpan seq(encoded.data() + offset, windows[i].size());
-    out.push_back(EvaluateEncoded(windows[i], seq, i, &workspace));
+    out.push_back(EvaluateEncoded(windows[i], seq, i, workspace));
   }
   return out;
+}
+
+std::vector<Detection> DetectionEngine::MonitorTrace(
+    const runtime::Trace& trace) const {
+  hmm::ForwardWorkspace workspace;
+  workspace.Reserve(profile_->options.window_length,
+                    profile_->model.num_states());
+  return MonitorTraceInto(trace, &workspace);
 }
 
 std::vector<std::vector<Detection>> DetectionEngine::MonitorTraces(
     const std::vector<runtime::Trace>& traces,
     util::ThreadPool* pool) const {
   std::vector<std::vector<Detection>> out(traces.size());
-  util::ParallelFor(pool, traces.size(),
-                    [&](size_t i) { out[i] = MonitorTrace(traces[i]); });
+  if (traces.empty()) return out;
+  // Block decomposition, one reserved workspace per block: every trace in
+  // a block reuses the same alpha/scale buffers, so the steady-state batch
+  // path allocates nothing per trace (the streaming service gets the same
+  // property from its per-session workspaces).
+  const size_t num_blocks =
+      pool == nullptr ? 1
+                      : std::min(traces.size(), 4 * pool->num_workers());
+  util::ParallelFor(pool, num_blocks, [&](size_t blk) {
+    hmm::ForwardWorkspace workspace;
+    workspace.Reserve(profile_->options.window_length,
+                      profile_->model.num_states());
+    const size_t begin = blk * traces.size() / num_blocks;
+    const size_t end = (blk + 1) * traces.size() / num_blocks;
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = MonitorTraceInto(traces[i], &workspace);
+    }
+  });
   return out;
 }
 

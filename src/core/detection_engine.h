@@ -7,6 +7,7 @@
 #include "core/flags.h"
 #include "core/profile.h"
 #include "hmm/inference.h"
+#include "hmm/sparse.h"
 #include "runtime/call_event.h"
 #include "util/thread_pool.h"
 
@@ -20,9 +21,13 @@ namespace adprom::core {
 ///
 /// Throughput design: MonitorTrace encodes the trace into HMM symbols
 /// *once* and scores each overlapping window as a slice of that buffer
-/// through a reusable hmm::ForwardWorkspace — zero per-window heap
-/// allocations in steady state. MonitorTraces fans independent traces
-/// across a worker pool (each worker gets its own workspace).
+/// through a pre-reserved hmm::ForwardWorkspace — zero per-window heap
+/// allocations in steady state. MonitorTraces cuts the traces into blocks
+/// fanned across a worker pool; each block reuses one reserved workspace
+/// for all of its traces. Scoring runs on a CSR compilation of the
+/// profile's HMM (bit-identical to dense; set
+/// ProfileOptions::dense_kernels before constructing the engine to force
+/// the original dense path).
 class DetectionEngine {
  public:
   /// `profile` must outlive the engine.
@@ -56,7 +61,16 @@ class DetectionEngine {
                             hmm::ForwardWorkspace* workspace) const;
 
  private:
+  /// MonitorTrace body against a caller-owned (reserved) workspace, so the
+  /// batch path can reuse one workspace across many traces.
+  std::vector<Detection> MonitorTraceInto(
+      const runtime::Trace& trace, hmm::ForwardWorkspace* workspace) const;
+
   const ApplicationProfile* profile_;
+  /// CSR compilation of profile_->model, built once at construction
+  /// (empty and unused when the profile asks for dense kernels).
+  hmm::SparseHmm sparse_;
+  bool use_sparse_ = false;
 };
 
 }  // namespace adprom::core

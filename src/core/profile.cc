@@ -67,7 +67,7 @@ std::vector<std::span<const runtime::CallEvent>> SlidingWindows(
 
 std::string ApplicationProfile::Serialize() const {
   std::ostringstream out;
-  out << "adprom-profile v1\n";
+  out << "adprom-profile v2\n";
   out << "window_length " << options.window_length << "\n";
   out << "use_dd_labels " << (options.use_dd_labels ? 1 : 0) << "\n";
   out << "use_query_signatures " << (options.use_query_signatures ? 1 : 0)
@@ -90,11 +90,20 @@ std::string ApplicationProfile::Serialize() const {
   const size_t n = model.num_states();
   const size_t m = model.num_symbols();
   out << "hmm " << n << " " << m << "\n";
+  // v2: A row-by-row as `<nnz> <col> <val> ...`. %.17g round-trips every
+  // double exactly, so serialize → deserialize reproduces A bit for bit.
+  out << "a-sparse\n";
   for (size_t s = 0; s < n; ++s) {
+    size_t nnz = 0;
     for (size_t t = 0; t < n; ++t) {
-      out << util::StrFormat("%.17g%c", model.a().At(s, t),
-                             t + 1 == n ? '\n' : ' ');
+      if (model.a().At(s, t) != 0.0) ++nnz;
     }
+    out << nnz;
+    for (size_t t = 0; t < n; ++t) {
+      const double v = model.a().At(s, t);
+      if (v != 0.0) out << util::StrFormat(" %zu %.17g", t, v);
+    }
+    out << "\n";
   }
   for (size_t s = 0; s < n; ++s) {
     for (size_t o = 0; o < m; ++o) {
@@ -128,7 +137,13 @@ util::Result<ApplicationProfile> ApplicationProfile::Deserialize(
   auto fail = [](const std::string& what) {
     return util::Status::ParseError("profile: " + what);
   };
-  if (!std::getline(in, line) || line != "adprom-profile v1") {
+  if (!std::getline(in, line)) return fail("bad header");
+  int version = 0;
+  if (line == "adprom-profile v1") {
+    version = 1;
+  } else if (line == "adprom-profile v2") {
+    version = 2;
+  } else {
     return fail("bad header");
   }
   ApplicationProfile profile;
@@ -224,8 +239,30 @@ util::Result<ApplicationProfile> ApplicationProfile::Deserialize(
   util::Matrix a(n, n);
   util::Matrix b(n, m);
   std::vector<double> pi(n);
-  for (size_t s = 0; s < n; ++s) {
-    for (size_t t = 0; t < n; ++t) in >> a.At(s, t);
+  if (version >= 2) {
+    in >> key;
+    if (key != "a-sparse") return fail("expected a-sparse");
+    for (size_t s = 0; s < n; ++s) {
+      size_t nnz = 0;
+      in >> nnz;
+      if (!in || nnz > n) return fail("a-sparse row count out of range");
+      size_t prev_col = 0;
+      for (size_t k = 0; k < nnz; ++k) {
+        size_t col = 0;
+        double value = 0.0;
+        in >> col >> value;
+        if (!in) return fail("truncated a-sparse row");
+        if (col >= n || (k > 0 && col <= prev_col)) {
+          return fail("a-sparse columns must be increasing and in range");
+        }
+        a.At(s, col) = value;
+        prev_col = col;
+      }
+    }
+  } else {
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t t = 0; t < n; ++t) in >> a.At(s, t);
+    }
   }
   for (size_t s = 0; s < n; ++s) {
     for (size_t o = 0; o < m; ++o) in >> b.At(s, o);

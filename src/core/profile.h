@@ -89,8 +89,16 @@ struct ProfileOptions {
   /// hit, windows are subsampled uniformly (deterministically), bounding
   /// training cost on very large trace corpora such as the bash-like app.
   size_t max_training_windows = 0;
-  /// Post-init/training probability smoothing.
+  /// Post-init/training probability smoothing. Applied structurally
+  /// (HmmModel::SmoothEmissions): B and π get the floor, A keeps the
+  /// pCTM's exact zeros so the CSR detection/training kernels have real
+  /// sparsity to exploit.
   double smoothing = 1e-6;
+  /// Runtime-only ablation switch (never serialized): score and train with
+  /// the original dense kernels instead of the CSR ones. The two paths are
+  /// bit-identical; this exists for benchmarks, differential tests and the
+  /// --dense-kernels CLI flag.
+  bool dense_kernels = false;
   /// Default threshold = min CSDS window score − margin (per-symbol log
   /// space; 0.5 ≈ a factor e^{7.5} on a 15-call window, small enough that
   /// a single out-of-alphabet call — emission ~1e-9 — crosses it).
@@ -122,8 +130,14 @@ struct ApplicationProfile {
   hmm::ObservationSeq Encode(std::span<const runtime::CallEvent> events) const;
 
   /// Line-based text serialization (the profile artifact a deployment
-  /// stores per application; paper reports ~31 kB profiles).
+  /// stores per application; paper reports ~31 kB profiles). Writes the
+  /// "adprom-profile v2" format, whose transition matrix is stored as a
+  /// sparse `a-sparse` section (one `<nnz> <col> <val> ...` row per
+  /// state) — structurally-smoothed profiles keep A's zeros, so this is
+  /// both smaller on disk and an exact record of the sparsity pattern.
   std::string Serialize() const;
+  /// Accepts both the current v2 format and the original dense
+  /// "adprom-profile v1" format (old stored profiles keep loading).
   static util::Result<ApplicationProfile> Deserialize(
       const std::string& text);
 };

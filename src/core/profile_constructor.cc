@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "hmm/inference.h"
+#include "hmm/sparse.h"
 #include "ml/kmeans.h"
 #include "ml/pca.h"
 #include "util/rng.h"
@@ -187,7 +188,13 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
     }
     profile.model = hmm::HmmModel(std::move(a), std::move(b), std::move(pi));
   }
-  profile.model.Smooth(options_.smoothing);
+  // Structural smoothing: floor B and π but keep A's exact zeros — the
+  // statically-infeasible transitions stay impossible, and their zero
+  // pattern is what the CSR kernels (and the sparse profile format)
+  // exploit. Every window still scores finitely: A's rows are stochastic
+  // (uniform fallback above) and B is dense-positive after the floor, so
+  // an observation a state "cannot" emit just costs ~log ε.
+  profile.model.SmoothEmissions(options_.smoothing);
   ADPROM_RETURN_IF_ERROR(profile.model.Validate());
   if (timings != nullptr) timings->init_seconds = SecondsSince(t0);
 
@@ -265,15 +272,28 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
   hmm::ForwardWorkspace csds_workspace;
   auto csds_score = [&](const hmm::HmmModel& model) {
     if (csds_scored.empty()) return 0.0;
+    // One CSR build per Baum-Welch iteration, amortized over the whole
+    // held-out set (bit-identical to dense scoring by construction).
+    hmm::SparseHmm sparse_model;
+    const bool use_sparse = !options_.dense_kernels;
+    if (use_sparse) sparse_model = hmm::SparseHmm(model);
     double total = 0.0;
     for (const hmm::ObservationSeq& seq : csds_scored) {
-      auto ll = hmm::PerSymbolLogLikelihood(model, seq, &csds_workspace);
+      auto ll = use_sparse
+                    ? hmm::PerSymbolLogLikelihood(sparse_model, seq,
+                                                  &csds_workspace)
+                    : hmm::PerSymbolLogLikelihood(model, seq,
+                                                  &csds_workspace);
       total += ll.ok() ? *ll : -1e9;
     }
     return total / static_cast<double>(csds_scored.size());
   };
 
   hmm::TrainOptions train_options = options_.train;
+  // Keep the pCTM's zero transitions through training (they are the
+  // sparsity the CSR kernels rely on), and honour the ablation switch.
+  train_options.smooth_transitions = false;
+  train_options.dense_kernels = options_.dense_kernels;
   double best_csds = -std::numeric_limits<double>::infinity();
   int bad_rounds = 0;
   if (!csds_windows.empty()) {
@@ -316,13 +336,19 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
           : std::min(scored.size(), 4 * pool->num_workers());
   std::vector<double> block_min(
       num_blocks, std::numeric_limits<double>::max());
+  // One CSR view of the trained model, shared read-only by every block.
+  hmm::SparseHmm sparse_model;
+  const bool use_sparse = !options_.dense_kernels;
+  if (use_sparse) sparse_model = hmm::SparseHmm(profile.model);
   util::ParallelFor(pool.get(), num_blocks, [&](size_t blk) {
     hmm::ForwardWorkspace workspace;
     const size_t begin = blk * scored.size() / num_blocks;
     const size_t end = (blk + 1) * scored.size() / num_blocks;
     for (size_t i = begin; i < end; ++i) {
-      auto ll =
-          hmm::PerSymbolLogLikelihood(profile.model, *scored[i], &workspace);
+      auto ll = use_sparse ? hmm::PerSymbolLogLikelihood(
+                                 sparse_model, *scored[i], &workspace)
+                           : hmm::PerSymbolLogLikelihood(
+                                 profile.model, *scored[i], &workspace);
       if (ll.ok()) block_min[blk] = std::min(block_min[blk], *ll);
     }
   });

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "hmm/inference.h"
+#include "hmm/sparse.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -63,16 +64,25 @@ struct EStepAccumulators {
 
 /// Adds one sequence's expected counts to `acc`. The arithmetic (and its
 /// order) is exactly the seed serial implementation's; only the buffers
-/// are reused across calls.
-void AccumulateSequence(const HmmModel& model, const ObservationSeq& seq,
-                        ForwardWorkspace* fw_ws, BackwardWorkspace* bw_ws,
+/// are reused across calls. When `sparse` is non-null the forward/backward
+/// passes and the xi accumulation iterate only A's stored nonzeros, in the
+/// same index order as the dense loops — the skipped terms are exact
+/// zeros, so the result is bit-identical.
+void AccumulateSequence(const HmmModel& model, const SparseHmm* sparse,
+                        const ObservationSeq& seq, ForwardWorkspace* fw_ws,
+                        BackwardWorkspace* bw_ws,
                         std::vector<double>* emit_scratch,
                         EStepAccumulators* acc) {
   const size_t n = model.num_states();
-  auto fw = ForwardInto(model, seq, fw_ws);
+  auto fw = sparse != nullptr ? ForwardInto(*sparse, seq, fw_ws)
+                              : ForwardInto(model, seq, fw_ws);
   ADPROM_CHECK(fw.ok());  // symbols were validated before training began
   if (*fw < -1e17) return;  // ~zero-probability outlier
-  ADPROM_CHECK(BackwardInto(model, seq, fw_ws->scale, bw_ws).ok());
+  if (sparse != nullptr) {
+    ADPROM_CHECK(BackwardInto(*sparse, seq, fw_ws->scale, bw_ws).ok());
+  } else {
+    ADPROM_CHECK(BackwardInto(model, seq, fw_ws->scale, bw_ws).ok());
+  }
   acc->total_ll += *fw;
   ++acc->used;
   const size_t t_len = seq.size();
@@ -103,13 +113,26 @@ void AccumulateSequence(const HmmModel& model, const ObservationSeq& seq,
     for (size_t q = 0; q < n; ++q) {
       emit_next[q] = model.b().At(q, seq[t + 1]) * beta_next[q];
     }
-    for (size_t s = 0; s < n; ++s) {
-      const double alpha_ts = alpha_t[s];
-      if (alpha_ts == 0.0) continue;
-      const double* a_row = model.a().RowData(s);
-      double* out_row = acc->a_num.RowData(s);
-      for (size_t q = 0; q < n; ++q) {
-        out_row[q] += alpha_ts * a_row[q] * emit_next[q];
+    if (sparse != nullptr) {
+      const CsrMatrix& a = sparse->a();
+      for (size_t s = 0; s < n; ++s) {
+        const double alpha_ts = alpha_t[s];
+        if (alpha_ts == 0.0) continue;
+        double* out_row = acc->a_num.RowData(s);
+        for (size_t k = a.row_ptr[s]; k < a.row_ptr[s + 1]; ++k) {
+          const size_t q = a.col[k];
+          out_row[q] += alpha_ts * a.val[k] * emit_next[q];
+        }
+      }
+    } else {
+      for (size_t s = 0; s < n; ++s) {
+        const double alpha_ts = alpha_t[s];
+        if (alpha_ts == 0.0) continue;
+        const double* a_row = model.a().RowData(s);
+        double* out_row = acc->a_num.RowData(s);
+        for (size_t q = 0; q < n; ++q) {
+          out_row[q] += alpha_ts * a_row[q] * emit_next[q];
+        }
       }
     }
   }
@@ -171,12 +194,27 @@ util::Result<TrainStats> BaumWelchTrain(
   }
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Rebuild the CSR view of the (just re-estimated) model. The O(N²)
+    // scan is negligible next to the O(ΣT·nnz) E-step, and the read-only
+    // SparseHmm is shared safely across the shard workers.
+    SparseHmm sparse_model;
+    const SparseHmm* sparse = nullptr;
+    if (!options.dense_kernels) {
+      sparse_model = SparseHmm(*model);
+      // Past the density cutoff the gathers cost more than the skipped
+      // zeros; run the dense loops instead (bit-identical either way).
+      if (sparse_model.transition_density() <=
+          options.sparse_density_cutoff) {
+        sparse = &sparse_model;
+      }
+    }
+
     // E-step: every shard accumulates its block of sequences.
     util::ParallelFor(pool, num_shards, [&](size_t k) {
       Shard& shard = shards[k];
       shard.acc.Reset(n, m);
       for (size_t i = shard.begin; i < shard.end; ++i) {
-        AccumulateSequence(*model, sequences[i], &shard.fw_ws,
+        AccumulateSequence(*model, sparse, sequences[i], &shard.fw_ws,
                            &shard.bw_ws, &shard.emit_scratch, &shard.acc);
       }
     });
@@ -209,7 +247,13 @@ util::Result<TrainStats> BaumWelchTrain(
       for (size_t s = 0; s < n; ++s)
         model->mutable_pi()[s] = total.pi_acc[s] / pi_total;
     }
-    if (options.smoothing > 0.0) model->Smooth(options.smoothing);
+    if (options.smoothing > 0.0) {
+      if (options.smooth_transitions) {
+        model->Smooth(options.smoothing);
+      } else {
+        model->SmoothEmissions(options.smoothing);
+      }
+    }
 
     const double mean_ll =
         total.total_ll / static_cast<double>(total.used);

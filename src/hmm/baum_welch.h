@@ -19,6 +19,27 @@ struct TrainOptions {
   /// Probability floor applied after each re-estimation so no parameter
   /// collapses to exactly zero.
   double smoothing = 1e-9;
+  /// When true (the default) the post-M-step floor is HmmModel::Smooth,
+  /// which densifies A. When false it is HmmModel::SmoothEmissions, which
+  /// floors only B and π and preserves A's exact-zero pattern — the pCTM
+  /// structure the sparse kernels exploit. Baum-Welch itself never turns a
+  /// zero transition nonzero (its expected count stays zero), so with this
+  /// off the zero pattern survives every iteration.
+  bool smooth_transitions = true;
+  /// Ablation switch: when true the E-step runs the original dense
+  /// forward/backward/xi loops instead of the CSR kernels. Both paths are
+  /// bit-identical by construction; this exists so benchmarks and tests
+  /// can compare them.
+  bool dense_kernels = false;
+  /// The CSR E-step only pays when A is actually sparse: its gathers cost
+  /// ~3 memory ops per stored entry against the dense loop's contiguous
+  /// (vectorizable) row sweeps, so past roughly this transition density
+  /// the skipped zeros no longer cover the indirection (measured crossover
+  /// on the clustered bash-like corpus app, ~28% dense, where CSR is ~1.4x
+  /// *slower*). Models at or below the cutoff use the CSR kernels; denser
+  /// ones silently fall back to the dense loops — output is bit-identical
+  /// either way. Set to 1.0 to force CSR regardless of density.
+  double sparse_density_cutoff = 0.15;
   /// Worker threads for the E-step: 0 = hardware concurrency, 1 = serial.
   /// The expected-count accumulation is sharded over the sequences with a
   /// shard layout that depends only on the corpus size, and the per-shard

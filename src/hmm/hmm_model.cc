@@ -93,4 +93,17 @@ void HmmModel::Smooth(double epsilon) {
   for (double& v : pi_) v /= total;
 }
 
+void HmmModel::SmoothEmissions(double epsilon) {
+  for (size_t s = 0; s < num_states(); ++s) {
+    for (size_t m = 0; m < num_symbols(); ++m) b_.At(s, m) += epsilon;
+  }
+  b_.NormalizeRows();
+  double total = 0.0;
+  for (double& v : pi_) {
+    v += epsilon;
+    total += v;
+  }
+  for (double& v : pi_) v /= total;
+}
+
 }  // namespace adprom::hmm

@@ -52,6 +52,16 @@ class HmmModel {
   /// hits hard zeros.
   void Smooth(double epsilon);
 
+  /// Structural variant of Smooth: adds `epsilon` only to B and π and
+  /// renormalizes them, leaving A's exact zeros in place. Every window
+  /// still has positive probability — A's rows stay stochastic, so the
+  /// forward mass never dies, and the dense-positive B lets any state
+  /// explain any symbol (at tiny probability) — while the transition
+  /// matrix keeps the pCTM's sparsity for the CSR kernels. Baum-Welch
+  /// preserves A's zero pattern (a zero transition accrues zero expected
+  /// count), so the sparsity survives training.
+  void SmoothEmissions(double epsilon);
+
  private:
   util::Matrix a_;
   util::Matrix b_;

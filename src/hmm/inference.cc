@@ -7,20 +7,22 @@
 
 namespace adprom::hmm {
 
-namespace {
-
-constexpr double kScaleFloor = 1e-300;
-
-util::Status CheckSequence(const HmmModel& model, SymbolSpan seq) {
+util::Status ValidateSequence(size_t num_symbols, SymbolSpan seq) {
   if (seq.empty())
     return util::Status::InvalidArgument("empty observation sequence");
   for (int symbol : seq) {
-    if (symbol < 0 || static_cast<size_t>(symbol) >= model.num_symbols()) {
+    if (symbol < 0 || static_cast<size_t>(symbol) >= num_symbols) {
       return util::Status::OutOfRange(util::StrFormat(
-          "symbol %d out of range [0, %zu)", symbol, model.num_symbols()));
+          "symbol %d out of range [0, %zu)", symbol, num_symbols));
     }
   }
   return util::Status::Ok();
+}
+
+namespace {
+
+util::Status CheckSequence(const HmmModel& model, SymbolSpan seq) {
+  return ValidateSequence(model.num_symbols(), seq);
 }
 
 }  // namespace

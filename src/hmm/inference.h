@@ -14,6 +14,15 @@ namespace adprom::hmm {
 /// once-encoded trace buffer so overlapping windows are never re-encoded.
 using SymbolSpan = std::span<const int>;
 
+/// Floor on the per-step forward scale factor, shared by the dense and
+/// sparse kernels (they must floor identically to stay bit-identical).
+inline constexpr double kScaleFloor = 1e-300;
+
+/// Validates an observation sequence against an alphabet size: empty
+/// sequences and out-of-range symbols fail. Shared by the dense and sparse
+/// kernels.
+util::Status ValidateSequence(size_t num_symbols, SymbolSpan seq);
+
 /// Scaled forward-pass variables: alpha_hat (T x N, each row normalized)
 /// and the per-step scaling factors c_t with log P(O|λ) = -Σ log c_t⁻¹,
 /// kept so the backward pass and Baum-Welch can reuse them.

@@ -182,6 +182,107 @@ fn leak(data) { print(data); }
   EXPECT_TRUE(found_labeled);
 }
 
+/// The memoized path must return the *identical* matrix, not a close one:
+/// compare every cell with exact equality.
+void ExpectCtmIdentical(const Ctm& a, const Ctm& b) {
+  ASSERT_EQ(a.num_sites(), b.num_sites());
+  EXPECT_EQ(a.entry_to_exit(), b.entry_to_exit());
+  for (size_t i = 0; i < a.num_sites(); ++i) {
+    EXPECT_EQ(a.site(i).Key(), b.site(i).Key());
+    EXPECT_EQ(a.entry_to(i), b.entry_to(i));
+    EXPECT_EQ(a.to_exit(i), b.to_exit(i));
+    for (size_t j = 0; j < a.num_sites(); ++j) {
+      EXPECT_EQ(a.between(i, j), b.between(i, j));
+    }
+  }
+}
+
+constexpr const char* kCachedProgram = R"(
+fn main() {
+  print("m");
+  g();
+  h();
+}
+fn g() { print("g"); leaf(); }
+fn h() { print("h"); }
+fn leaf() { scan(); }
+)";
+
+TEST(AggregationCacheTest, SecondRunOnSameAnalyzerHitsEveryFunction) {
+  auto program = prog::ParseProgram(kCachedProgram);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  core::Analyzer analyzer;
+  auto first = analyzer.Analyze(*program);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->aggregation_stats.functions, 4u);
+  EXPECT_EQ(first->aggregation_stats.cache_hits, 0u);
+  EXPECT_EQ(first->aggregation_stats.cache_misses, 4u);
+
+  auto second = analyzer.Analyze(*program);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->aggregation_stats.functions, 4u);
+  EXPECT_EQ(second->aggregation_stats.cache_hits, 4u);
+  EXPECT_EQ(second->aggregation_stats.cache_misses, 0u);
+  ExpectCtmIdentical(second->program_ctm, first->program_ctm);
+
+  // A fresh analyzer (cold memo) produces the same pCTM as the warm path.
+  core::Analyzer cold;
+  auto reference = cold.Analyze(*program);
+  ASSERT_TRUE(reference.ok());
+  ExpectCtmIdentical(second->program_ctm, reference->program_ctm);
+}
+
+TEST(AggregationCacheTest, EditingOneFunctionMissesOnlyItsCallers) {
+  auto before = prog::ParseProgram(kCachedProgram);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  // Same program with `leaf` edited: leaf's own CTM changes, so leaf,
+  // g (calls leaf) and main (calls g) must recompute — but h, whose
+  // transitive callee set is untouched, must hit.
+  auto after = prog::ParseProgram(R"(
+fn main() {
+  print("m");
+  g();
+  h();
+}
+fn g() { print("g"); leaf(); }
+fn h() { print("h"); }
+fn leaf() { scan(); scan(); }
+)");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  core::Analyzer analyzer;
+  ASSERT_TRUE(analyzer.Analyze(*before).ok());
+  auto rerun = analyzer.Analyze(*after);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->aggregation_stats.functions, 4u);
+  EXPECT_EQ(rerun->aggregation_stats.cache_hits, 1u);   // h
+  EXPECT_EQ(rerun->aggregation_stats.cache_misses, 3u);  // leaf, g, main
+
+  core::Analyzer cold;
+  auto reference = cold.Analyze(*after);
+  ASSERT_TRUE(reference.ok());
+  ExpectCtmIdentical(rerun->program_ctm, reference->program_ctm);
+}
+
+TEST(AggregationCacheTest, RecursiveProgramsCacheDeterministically) {
+  // Recursion exercises the kRecursionMarker path of the combined key:
+  // the cycle member's key must still be stable across runs.
+  auto program = prog::ParseProgram(R"(
+fn main() { walk(); }
+fn walk() { print("w"); walk(); }
+)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  core::Analyzer analyzer;
+  auto first = analyzer.Analyze(*program);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = analyzer.Analyze(*program);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->aggregation_stats.cache_hits,
+            second->aggregation_stats.functions);
+  EXPECT_EQ(second->aggregation_stats.cache_misses, 0u);
+  ExpectCtmIdentical(second->program_ctm, first->program_ctm);
+}
+
 // Property sweep: pCTM invariants hold across program shapes with calls,
 // branches, loops and multiple user functions.
 class AggregationInvariantTest

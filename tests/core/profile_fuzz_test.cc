@@ -85,7 +85,8 @@ TEST(ProfileFuzzTest, EveryByteTruncationFailsCleanly) {
 TEST(ProfileFuzzTest, HostileHeaderAndSizeFieldsAreRejected) {
   const std::string text = MakeValidProfile().Serialize();
   const std::vector<std::pair<std::string, std::string>> mutations = {
-      {"adprom-profile v1", "adprom-profile v2"},
+      {"adprom-profile v2", "adprom-profile v3"},
+      {"adprom-profile v2", "adprom-profile"},
       {"window_length 4", "window_length 0"},
       {"window_length 4", "window_length 1"},
       {"window_length 4", "window_length 1048577"},
@@ -104,6 +105,11 @@ TEST(ProfileFuzzTest, HostileHeaderAndSizeFieldsAreRejected) {
       {"hmm 2 3", "hmm 99999 99999"},
       {"hmm 2 3", "hmm 2 2"},  // emission columns != alphabet size
       {"hmm 2 3", "hmm 2 4"},
+      {"a-sparse", "a-dense"},
+      {"2 0 0.75 1 0.25", "3 0 0.75 1 0.25"},  // nnz > num_states
+      {"2 0 0.75 1 0.25", "2 1 0.75 0 0.25"},  // columns not increasing
+      {"2 0 0.75 1 0.25", "2 0 0.75 5 0.25"},  // column out of range
+      {"2 0 0.75 1 0.25", "2 0 0.75 1"},       // truncated pair
       {"0.25 0.5 0.25", "0.25 nan 0.25"},
       {"0.25 0.5 0.25", "1.25 -0.5 0.25"},  // negative entry, sums to 1
   };

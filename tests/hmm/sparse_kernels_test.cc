@@ -1,0 +1,308 @@
+// Differential tests for the CSR HMM kernels: on the same model, the
+// sparse forward/backward/Viterbi/Baum-Welch paths must be *bit-identical*
+// to the dense ones — not merely close. Bitwise equality is the contract
+// that lets the detection engine, the profile constructor and the
+// streaming service switch kernels without any behavioural change.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "hmm/baum_welch.h"
+#include "hmm/inference.h"
+#include "hmm/sparse.h"
+#include "util/rng.h"
+
+namespace adprom::hmm {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+#define EXPECT_BIT_EQ(a, b) EXPECT_EQ(Bits(a), Bits(b))
+
+/// A structurally sparse model: ~70% of A's entries are exact zeros (at
+/// least one nonzero per row), B and π smoothed dense-positive — the shape
+/// ProfileConstructor produces from a pCTM.
+HmmModel RandomSparseModel(size_t n, size_t m, util::Rng& rng) {
+  util::Matrix a(n, n);
+  util::Matrix b(n, m);
+  std::vector<double> pi(n);
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = 0; t < n; ++t) {
+      if (rng.UniformDouble() < 0.3) a.At(s, t) = 0.05 + rng.UniformDouble();
+    }
+    // Guarantee a stochastic row.
+    a.At(s, rng.UniformU64(n)) = 0.05 + rng.UniformDouble();
+    for (size_t o = 0; o < m; ++o) b.At(s, o) = 0.1 + rng.UniformDouble();
+    pi[s] = 0.1 + rng.UniformDouble();
+  }
+  a.NormalizeRows();
+  b.NormalizeRows();
+  double total = 0.0;
+  for (double v : pi) total += v;
+  for (double& v : pi) v /= total;
+  HmmModel model(std::move(a), std::move(b), std::move(pi));
+  model.SmoothEmissions(1e-6);
+  EXPECT_TRUE(model.Validate().ok());
+  return model;
+}
+
+ObservationSeq RandomSeq(size_t len, size_t m, util::Rng& rng) {
+  ObservationSeq seq(len);
+  for (size_t t = 0; t < len; ++t) {
+    seq[t] = static_cast<int>(rng.UniformU64(m));
+  }
+  return seq;
+}
+
+TEST(CsrMatrixTest, FromDenseRecordsExactlyTheNonzeros) {
+  util::Matrix dense(3, 4);
+  dense.At(0, 1) = 0.5;
+  dense.At(0, 3) = 0.25;
+  dense.At(2, 0) = 1.0;
+  const CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(csr.rows, 3u);
+  EXPECT_EQ(csr.cols, 4u);
+  ASSERT_EQ(csr.nnz(), 3u);
+  EXPECT_EQ(csr.row_ptr, (std::vector<size_t>{0, 2, 2, 3}));
+  EXPECT_EQ(csr.col, (std::vector<size_t>{1, 3, 0}));
+  EXPECT_EQ(csr.val, (std::vector<double>{0.5, 0.25, 1.0}));
+  EXPECT_DOUBLE_EQ(csr.Density(), 3.0 / 12.0);
+}
+
+TEST(CsrMatrixTest, EmptyMatrixHasDensityOne) {
+  EXPECT_EQ(CsrMatrix().Density(), 1.0);
+}
+
+TEST(SmoothEmissionsTest, LeavesTransitionsBitwiseUntouched) {
+  util::Rng rng(7);
+  util::Matrix a(3, 3);
+  a.At(0, 1) = 1.0;
+  a.At(1, 0) = 0.5;
+  a.At(1, 2) = 0.5;
+  a.At(2, 2) = 1.0;
+  util::Matrix b(3, 2);
+  b.At(0, 0) = 1.0;
+  b.At(1, 1) = 1.0;
+  b.At(2, 0) = 0.5;
+  b.At(2, 1) = 0.5;
+  HmmModel model(std::move(a), std::move(b), {0.25, 0.25, 0.5});
+  const util::Matrix a_before = model.a();
+  model.SmoothEmissions(1e-6);
+  for (size_t s = 0; s < 3; ++s) {
+    for (size_t t = 0; t < 3; ++t) {
+      EXPECT_BIT_EQ(model.a().At(s, t), a_before.At(s, t));
+    }
+    for (size_t o = 0; o < 2; ++o) EXPECT_GT(model.b().At(s, o), 0.0);
+  }
+  EXPECT_TRUE(model.Validate().ok());
+}
+
+class SparseKernelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseKernelTest, ForwardIsBitIdentical) {
+  util::Rng rng(GetParam());
+  const size_t n = 2 + rng.UniformU64(14);
+  const size_t m = 2 + rng.UniformU64(9);
+  const HmmModel model = RandomSparseModel(n, m, rng);
+  const SparseHmm sparse(model);
+  EXPECT_EQ(sparse.num_states(), n);
+  EXPECT_EQ(sparse.num_symbols(), m);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const ObservationSeq seq = RandomSeq(1 + rng.UniformU64(30), m, rng);
+    ForwardWorkspace dense_ws, sparse_ws;
+    auto dense_ll = ForwardInto(model, seq, &dense_ws);
+    auto sparse_ll = ForwardInto(sparse, seq, &sparse_ws);
+    ASSERT_TRUE(dense_ll.ok());
+    ASSERT_TRUE(sparse_ll.ok());
+    EXPECT_BIT_EQ(*dense_ll, *sparse_ll);
+    for (size_t t = 0; t < seq.size(); ++t) {
+      EXPECT_BIT_EQ(dense_ws.scale[t], sparse_ws.scale[t]);
+      for (size_t s = 0; s < n; ++s) {
+        EXPECT_BIT_EQ(dense_ws.alpha.At(t, s), sparse_ws.alpha.At(t, s));
+      }
+    }
+
+    auto dense_score = PerSymbolLogLikelihood(model, seq, &dense_ws);
+    auto sparse_score = PerSymbolLogLikelihood(sparse, seq, &sparse_ws);
+    ASSERT_TRUE(dense_score.ok() && sparse_score.ok());
+    EXPECT_BIT_EQ(*dense_score, *sparse_score);
+  }
+}
+
+TEST_P(SparseKernelTest, BackwardIsBitIdentical) {
+  util::Rng rng(GetParam() + 500);
+  const size_t n = 2 + rng.UniformU64(10);
+  const size_t m = 2 + rng.UniformU64(6);
+  const HmmModel model = RandomSparseModel(n, m, rng);
+  const SparseHmm sparse(model);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const ObservationSeq seq = RandomSeq(2 + rng.UniformU64(20), m, rng);
+    ForwardWorkspace fw_ws;
+    ASSERT_TRUE(ForwardInto(model, seq, &fw_ws).ok());
+    BackwardWorkspace dense_ws, sparse_ws;
+    ASSERT_TRUE(BackwardInto(model, seq, fw_ws.scale, &dense_ws).ok());
+    ASSERT_TRUE(BackwardInto(sparse, seq, fw_ws.scale, &sparse_ws).ok());
+    for (size_t t = 0; t < seq.size(); ++t) {
+      for (size_t s = 0; s < n; ++s) {
+        EXPECT_BIT_EQ(dense_ws.beta.At(t, s), sparse_ws.beta.At(t, s));
+      }
+    }
+  }
+}
+
+TEST_P(SparseKernelTest, ViterbiPathsAreIdentical) {
+  util::Rng rng(GetParam() + 1000);
+  const size_t n = 2 + rng.UniformU64(10);
+  const size_t m = 2 + rng.UniformU64(6);
+  const HmmModel model = RandomSparseModel(n, m, rng);
+  const SparseHmm sparse(model);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const ObservationSeq seq = RandomSeq(1 + rng.UniformU64(25), m, rng);
+    auto dense_path = Viterbi(model, seq);
+    auto sparse_path = Viterbi(sparse, seq);
+    ASSERT_TRUE(dense_path.ok());
+    ASSERT_TRUE(sparse_path.ok());
+    EXPECT_EQ(*dense_path, *sparse_path);
+  }
+}
+
+TEST_P(SparseKernelTest, BaumWelchTrainsBitIdenticalModels) {
+  util::Rng rng(GetParam() + 2000);
+  const size_t n = 3 + rng.UniformU64(5);
+  const size_t m = 3 + rng.UniformU64(4);
+  const HmmModel seed_model = RandomSparseModel(n, m, rng);
+  std::vector<ObservationSeq> sequences;
+  for (int i = 0; i < 12; ++i) {
+    sequences.push_back(RandomSeq(5 + rng.UniformU64(12), m, rng));
+  }
+
+  for (bool smooth_transitions : {false, true}) {
+    HmmModel dense_model = seed_model;
+    HmmModel sparse_model = seed_model;
+    TrainOptions options;
+    options.max_iterations = 6;
+    options.smooth_transitions = smooth_transitions;
+    options.num_threads = 1;
+    options.dense_kernels = true;
+    ASSERT_TRUE(BaumWelchTrain(&dense_model, sequences, options).ok());
+    options.dense_kernels = false;
+    options.sparse_density_cutoff = 1.0;  // force the CSR E-step
+    options.num_threads = 4;  // kernel AND thread count must not matter
+    ASSERT_TRUE(BaumWelchTrain(&sparse_model, sequences, options).ok());
+
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t t = 0; t < n; ++t) {
+        EXPECT_BIT_EQ(dense_model.a().At(s, t), sparse_model.a().At(s, t));
+      }
+      for (size_t o = 0; o < m; ++o) {
+        EXPECT_BIT_EQ(dense_model.b().At(s, o), sparse_model.b().At(s, o));
+      }
+      EXPECT_BIT_EQ(dense_model.pi()[s], sparse_model.pi()[s]);
+    }
+    if (!smooth_transitions) {
+      // Structural smoothing preserves A's zero support through EM.
+      for (size_t s = 0; s < n; ++s) {
+        for (size_t t = 0; t < n; ++t) {
+          if (seed_model.a().At(s, t) == 0.0) {
+            EXPECT_EQ(sparse_model.a().At(s, t), 0.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SparseKernelTest, FullyDenseModelDegradesGracefully) {
+  util::Rng rng(GetParam() + 3000);
+  HmmModel model = HmmModel::Random(4, 3, rng);
+  model.Smooth(1e-6);  // density 1
+  const SparseHmm sparse(model);
+  EXPECT_EQ(sparse.transition_density(), 1.0);
+  const ObservationSeq seq = RandomSeq(12, 3, rng);
+  ForwardWorkspace dense_ws, sparse_ws;
+  auto dense_ll = ForwardInto(model, seq, &dense_ws);
+  auto sparse_ll = ForwardInto(sparse, seq, &sparse_ws);
+  ASSERT_TRUE(dense_ll.ok() && sparse_ll.ok());
+  EXPECT_BIT_EQ(*dense_ll, *sparse_ll);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseKernelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// The Viterbi fallback corner: exact-zero emissions (legal — Viterbi does
+// not require smoothed B) drive the delta spread past 1e18, so a skipped
+// zero transition could win or tie the dense argmax. The sparse kernel
+// must detect that and rescan the column in dense order.
+TEST(SparseViterbiFallbackTest, ZeroEmissionsMatchDenseExactly) {
+  // Cyclic permutation A (maximally sparse) and hard zero emissions.
+  util::Matrix a(3, 3);
+  a.At(0, 1) = 1.0;
+  a.At(1, 2) = 1.0;
+  a.At(2, 0) = 1.0;
+  util::Matrix b(3, 2);
+  b.At(0, 0) = 1.0;  // state 0 can only emit symbol 0
+  b.At(1, 1) = 1.0;  // state 1 can only emit symbol 1
+  b.At(2, 0) = 0.5;
+  b.At(2, 1) = 0.5;
+  const HmmModel model(std::move(a), std::move(b),
+                       {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  const SparseHmm sparse(model);
+
+  util::Rng rng(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    ObservationSeq seq;
+    const size_t len = 2 + rng.UniformU64(12);
+    for (size_t t = 0; t < len; ++t) {
+      seq.push_back(static_cast<int>(rng.UniformU64(2)));
+    }
+    auto dense_path = Viterbi(model, seq);
+    auto sparse_path = Viterbi(sparse, seq);
+    ASSERT_TRUE(dense_path.ok());
+    ASSERT_TRUE(sparse_path.ok());
+    EXPECT_EQ(*dense_path, *sparse_path) << "trial " << trial;
+  }
+}
+
+TEST(SparseViterbiFallbackTest, AllZeroColumnMatchesDense) {
+  // No transition ever enters state 0 — its CSC row is empty, so every
+  // step takes the fallback scan for that column.
+  util::Matrix a(3, 3);
+  a.At(0, 1) = 1.0;
+  a.At(1, 2) = 1.0;
+  a.At(2, 1) = 0.5;
+  a.At(2, 2) = 0.5;
+  util::Matrix b(3, 2);
+  b.At(0, 0) = 0.5;
+  b.At(0, 1) = 0.5;
+  b.At(1, 0) = 1.0;
+  b.At(2, 1) = 1.0;
+  const HmmModel model(std::move(a), std::move(b), {0.5, 0.25, 0.25});
+  const SparseHmm sparse(model);
+
+  util::Rng rng(123);
+  for (int trial = 0; trial < 32; ++trial) {
+    ObservationSeq seq;
+    const size_t len = 1 + rng.UniformU64(10);
+    for (size_t t = 0; t < len; ++t) {
+      seq.push_back(static_cast<int>(rng.UniformU64(2)));
+    }
+    auto dense_path = Viterbi(model, seq);
+    auto sparse_path = Viterbi(sparse, seq);
+    ASSERT_TRUE(dense_path.ok());
+    ASSERT_TRUE(sparse_path.ok());
+    EXPECT_EQ(*dense_path, *sparse_path) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace adprom::hmm

@@ -364,6 +364,98 @@ TEST(CliServeTest, UsageAndFlagValidation) {
   std::remove(feed_path.c_str());
 }
 
+TEST(CliInfoTest, PrintsProfileSummary) {
+  const std::string profile_path = WriteTinyProfile("info.profile");
+  const CliRun info = RunTool({"info", profile_path});
+  ASSERT_TRUE(info.status.ok()) << info.status.ToString();
+  EXPECT_NE(info.output.find("window length: 3"), std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("labels: call-names"), std::string::npos);
+  EXPECT_NE(info.output.find("states: 2"), std::string::npos);
+  EXPECT_NE(info.output.find("serialized size: "), std::string::npos);
+  EXPECT_NE(info.output.find("context pairs: 2"), std::string::npos);
+  // The tiny profile's matrices are fully dense.
+  EXPECT_NE(
+      info.output.find("transition matrix: 2x2, nnz 4 (100.0% dense)"),
+      std::string::npos)
+      << info.output;
+  EXPECT_NE(
+      info.output.find("emission matrix: 2x3, nnz 6 (100.0% dense)"),
+      std::string::npos)
+      << info.output;
+  std::remove(profile_path.c_str());
+}
+
+TEST(CliInfoTest, ReportsTransitionSparsity) {
+  // A profile with structural zeros in A: info must count only the stored
+  // nonzeros.
+  core::ApplicationProfile profile;
+  profile.options.window_length = 3;
+  profile.alphabet.Intern("print");
+  profile.alphabet.Intern("scan");
+  profile.model = hmm::HmmModel(
+      util::Matrix::FromRows({{0.0, 1.0}, {0.5, 0.5}}),
+      util::Matrix::FromRows({{0.25, 0.5, 0.25}, {0.5, 0.25, 0.25}}),
+      {0.5, 0.5});
+  profile.threshold = -10.0;
+  const std::string profile_path = TempPath("sparse_info.profile");
+  ASSERT_TRUE(WriteStringToFile(profile_path, profile.Serialize()).ok());
+
+  const CliRun info = RunTool({"info", profile_path});
+  ASSERT_TRUE(info.status.ok()) << info.status.ToString();
+  EXPECT_NE(
+      info.output.find("transition matrix: 2x2, nnz 3 (75.0% dense)"),
+      std::string::npos)
+      << info.output;
+  std::remove(profile_path.c_str());
+}
+
+TEST(CliInfoTest, UsageErrors) {
+  EXPECT_FALSE(RunTool({"info"}).status.ok());
+  EXPECT_FALSE(RunTool({"info", "/no/such.profile"}).status.ok());
+  EXPECT_FALSE(RunTool({"info", "a.profile", "b.profile"}).status.ok());
+}
+
+TEST(CliTest, DenseKernelsFlagReproducesDefaultTraining) {
+  const std::string sparse_path = TempPath("kernels_sparse.profile");
+  const std::string dense_path = TempPath("kernels_dense.profile");
+  const std::string trace_path = TempPath("kernels.trace");
+
+  ASSERT_TRUE(RunTool({"train", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--cases", Sample("cases.txt"),
+                       "--out", sparse_path})
+                  .status.ok());
+  ASSERT_TRUE(RunTool({"train", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--cases", Sample("cases.txt"),
+                       "--out", dense_path, "--dense-kernels"})
+                  .status.ok());
+  // The ablation flag must not change the trained profile by a single
+  // byte — the CSR kernels are bit-identical to the dense ones.
+  auto sparse_text = ReadFileToString(sparse_path);
+  auto dense_text = ReadFileToString(dense_path);
+  ASSERT_TRUE(sparse_text.ok());
+  ASSERT_TRUE(dense_text.ok());
+  EXPECT_EQ(*sparse_text, *dense_text);
+
+  // Scoring a stored trace with either kernel prints the same report.
+  ASSERT_TRUE(RunTool({"trace", Sample("app.mini"), "--db",
+                       Sample("seed.sql"), "--input", "find,3", "--out",
+                       trace_path})
+                  .status.ok());
+  const CliRun sparse_score = RunTool(
+      {"score", "--profile", sparse_path, "--trace", trace_path});
+  const CliRun dense_score =
+      RunTool({"score", "--profile", sparse_path, "--trace", trace_path,
+               "--dense-kernels"});
+  ASSERT_TRUE(sparse_score.status.ok()) << sparse_score.status.ToString();
+  ASSERT_TRUE(dense_score.status.ok()) << dense_score.status.ToString();
+  EXPECT_EQ(sparse_score.output, dense_score.output);
+
+  std::remove(sparse_path.c_str());
+  std::remove(dense_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
 int RunMain(std::vector<std::string> args, std::string* out_text,
             std::string* err_text) {
   std::ostringstream out, err;

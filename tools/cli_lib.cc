@@ -35,7 +35,7 @@ struct ParsedArgs {
 
 constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
                                       "--flow-insensitive", "--no-absint",
-                                      "--all"};
+                                      "--all", "--dense-kernels"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -145,6 +145,7 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
   if (args.Has("--signatures")) options.use_query_signatures = true;
   if (args.Has("--flow-insensitive")) options.flow_insensitive_taint = true;
   if (args.Has("--no-absint")) options.absint_refinement = false;
+  if (args.Has("--dense-kernels")) options.dense_kernels = true;
   if (args.Has("--seed")) {
     options.seed = std::strtoull(args.Get("--seed").c_str(), nullptr, 10);
   }
@@ -230,7 +231,7 @@ util::Status CmdTrain(const ParsedArgs& args, std::ostream& out) {
     return util::Status::InvalidArgument(
         "usage: adprom train <app.mini> [--db seed.sql] --cases cases.txt"
         " --out app.profile [--window N] [--no-labels] [--signatures]"
-        " [--no-absint] [--threads N]");
+        " [--no-absint] [--threads N] [--dense-kernels]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
@@ -305,13 +306,15 @@ util::Status PrintDetections(const std::vector<core::Detection>& detections,
 util::Status CmdScore(const ParsedArgs& args, std::ostream& out) {
   if (!args.Has("--profile") || !args.Has("--trace")) {
     return util::Status::InvalidArgument(
-        "usage: adprom score --profile app.profile --trace run.trace");
+        "usage: adprom score --profile app.profile --trace run.trace"
+        " [--dense-kernels]");
   }
   ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
                           ReadFileToString(args.Get("--profile")));
   ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
                           core::ApplicationProfile::Deserialize(
                               profile_text));
+  profile.options.dense_kernels = args.Has("--dense-kernels");
   ADPROM_ASSIGN_OR_RETURN(std::string trace_text,
                           ReadFileToString(args.Get("--trace")));
   ADPROM_ASSIGN_OR_RETURN(runtime::Trace trace,
@@ -324,7 +327,7 @@ util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2 || !args.Has("--profile")) {
     return util::Status::InvalidArgument(
         "usage: adprom monitor <app.mini> [--db seed.sql]"
-        " --profile app.profile [--input a,b]");
+        " --profile app.profile [--input a,b] [--dense-kernels]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
@@ -334,6 +337,7 @@ util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
   ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
                           core::ApplicationProfile::Deserialize(
                               profile_text));
+  profile.options.dense_kernels = args.Has("--dense-kernels");
   auto cfgs = prog::BuildAllCfgs(program);
   if (!cfgs.ok()) return cfgs.status();
   ADPROM_ASSIGN_OR_RETURN(
@@ -356,13 +360,14 @@ util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
     return util::Status::InvalidArgument(
         "usage: adprom serve --profile app.profile [--trace f1,f2 |"
         " --events feed.txt] [--threads N] [--queue N]"
-        " [--policy block|drop-oldest] [--all]");
+        " [--policy block|drop-oldest] [--all] [--dense-kernels]");
   }
   ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
                           ReadFileToString(args.Get("--profile")));
   ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
                           core::ApplicationProfile::Deserialize(
                               profile_text));
+  profile.options.dense_kernels = args.Has("--dense-kernels");
 
   size_t threads = 1;
   if (args.Has("--threads")) {
@@ -462,6 +467,57 @@ util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
   return util::Status::Ok();
 }
 
+/// `adprom info`: inspects a stored profile — dimensions, thresholds, and
+/// the transition/emission sparsity the CSR kernels exploit.
+util::Status CmdInfo(const ParsedArgs& args, std::ostream& out) {
+  if (args.positional.size() != 2) {
+    return util::Status::InvalidArgument(
+        "usage: adprom info <app.profile>");
+  }
+  ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
+                          ReadFileToString(args.positional[1]));
+  ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
+                          core::ApplicationProfile::Deserialize(
+                              profile_text));
+
+  auto count_nonzeros = [](const util::Matrix& m) {
+    size_t nnz = 0;
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) nnz += m.At(r, c) != 0.0;
+    }
+    return nnz;
+  };
+  auto density = [](size_t nnz, size_t cells) {
+    return cells == 0 ? 1.0
+                      : static_cast<double>(nnz) / static_cast<double>(cells);
+  };
+  const hmm::HmmModel& model = profile.model;
+  const size_t n = model.num_states();
+  const size_t m = model.num_symbols();
+  const size_t a_nnz = count_nonzeros(model.a());
+  const size_t b_nnz = count_nonzeros(model.b());
+
+  out << "profile: " << args.positional[1] << "\n";
+  out << "serialized size: " << profile_text.size() << " bytes\n";
+  out << "window length: " << profile.options.window_length << "\n";
+  out << "labels: " << (profile.options.use_dd_labels ? "data-flow"
+                                                      : "call-names")
+      << ", query signatures: "
+      << (profile.options.use_query_signatures ? "on" : "off") << "\n";
+  out << "sites: " << profile.num_sites << ", states: " << n
+      << ", alphabet: " << profile.alphabet.size() << "\n";
+  out << "threshold: " << util::StrFormat("%.6g", profile.threshold) << "\n";
+  out << "context pairs: " << profile.context_pairs.size() << "\n";
+  out << "labeled TD sources: " << profile.labeled_sources.size() << "\n";
+  out << "transition matrix: " << n << "x" << n << ", nnz " << a_nnz << " ("
+      << util::StrFormat("%.1f", 100.0 * density(a_nnz, n * n))
+      << "% dense)\n";
+  out << "emission matrix: " << n << "x" << m << ", nnz " << b_nnz << " ("
+      << util::StrFormat("%.1f", 100.0 * density(b_nnz, n * m))
+      << "% dense)\n";
+  return util::Status::Ok();
+}
+
 util::Result<size_t> CmdLint(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2) {
     return util::Status::InvalidArgument("usage: adprom lint <app.mini>");
@@ -506,7 +562,8 @@ util::Status RunCli(const std::vector<std::string>& args,
                     std::ostream& out) {
   if (args.empty()) {
     return util::Status::InvalidArgument(
-        "usage: adprom <analyze|train|trace|score|monitor|serve|lint> ...");
+        "usage: adprom "
+        "<analyze|train|trace|score|monitor|serve|lint|info> ...");
   }
   ADPROM_ASSIGN_OR_RETURN(ParsedArgs parsed, ParseArgs(args));
   const std::string& command = parsed.positional.empty()
@@ -518,6 +575,7 @@ util::Status RunCli(const std::vector<std::string>& args,
   if (command == "score") return CmdScore(parsed, out);
   if (command == "monitor") return CmdMonitor(parsed, out);
   if (command == "serve") return CmdServe(parsed, out);
+  if (command == "info") return CmdInfo(parsed, out);
   if (command == "lint") return CmdLint(parsed, out).status();
   return util::Status::InvalidArgument("unknown command: " + command);
 }
