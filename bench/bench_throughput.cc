@@ -7,13 +7,17 @@
 //    ablation (--dense-kernels path), with min-of-N wall time, speedup,
 //    and a bit-identical check across every run.
 //  * Kernels: the single-thread scoring microbench — the same window set
-//    scored by the dense forward pass and the CSR forward pass — plus the
-//    trained model's transition/emission nnz and density. This is the
-//    headline sparse-vs-dense number.
+//    scored by the dense forward pass, the CSR forward pass, and the
+//    batched engine (scalar lanes, SIMD lanes, SIMD + quantized triage) —
+//    plus the trained model's transition/emission nnz and density and the
+//    triage tables' footprint. The batched SIMD row vs the per-window CSR
+//    row is the headline number of the batching PR.
 //  * Detection: the grep-like app's traces scored by (a) the seed-style
 //    per-window path (re-encode + allocate per window), (b) the
 //    encode-once/workspace MonitorTrace, and (c) the batch MonitorTraces
-//    pool fan-out at 1/2/4/N threads; reported as events/sec.
+//    pool fan-out at 1/2/4/N threads, weak-scaled (trace set replicated
+//    once per thread) so per-thread work stays constant; reported as
+//    events/sec plus per-thread efficiency.
 //
 // All wall times are min-of-N (see MinWallSeconds); the JSON carries a
 // provenance block naming the CPU and the repeat count. `--smoke` shrinks
@@ -35,9 +39,11 @@
 
 #include "bench/bench_common.h"
 #include "core/detection_engine.h"
+#include "hmm/batch_forward.h"
 #include "hmm/baum_welch.h"
 #include "hmm/inference.h"
 #include "hmm/sparse.h"
+#include "util/simd.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -84,9 +90,32 @@ struct TrainRun {
 struct DetectRun {
   std::string name;
   size_t threads = 1;
+  /// Events per timed pass for THIS row (weak-scaled rows replicate the
+  /// trace set once per thread, so their pass is `threads` x larger).
+  size_t events = 0;
+  bool weak_scaled = false;
   double seconds = 0.0;
   double events_per_sec = 0.0;
   double windows_per_sec = 0.0;
+  /// events_per_sec / (threads * single-thread batch events_per_sec) —
+  /// 1.0 means each extra thread adds a full thread's worth of throughput.
+  double per_thread_efficiency = 1.0;
+};
+
+/// One batched-engine row of the kernel microbench.
+struct BatchKernelRun {
+  std::string name;
+  size_t width = 0;
+  std::string simd_level;
+  double seconds = 0.0;
+  double windows_per_sec = 0.0;
+  double speedup_vs_sparse = 0.0;
+  /// Fraction of windows the triage tier certified (0 for exact rows).
+  double certified_fraction = 0.0;
+  /// Exact rows: scores bitwise-equal to the per-window CSR pass. Triage
+  /// rows: every score a sound floor on — and threshold-equivalent to —
+  /// the exact score.
+  bool scores_ok = true;
 };
 
 /// The thread counts to sweep: 1, 2, 4, and the hardware concurrency
@@ -174,6 +203,8 @@ struct KernelResults {
   size_t emission_nnz = 0;
   double emission_density = 1.0;
   bool bit_identical = true;
+  std::vector<BatchKernelRun> batch_runs;
+  size_t quantized_table_bytes = 0;
 };
 
 struct BenchResults {
@@ -351,23 +382,114 @@ void BenchKernels(const TrainingSetup& setup, const Preset& preset,
                                   sizeof(double)) == 0;
   }
 
+  // The batched engine: the same window set through BatchScorer. ScoreBatch
+  // requires one common length per call, so the windows are bucketed by
+  // length once (outside the timed region) — MonitorTrace gets this for
+  // free because SlidingWindows emits uniform windows per trace.
+  struct Bucket {
+    std::vector<hmm::SymbolSpan> spans;
+    std::vector<size_t> index;  // original window index per span
+  };
+  std::vector<Bucket> buckets;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    Bucket* bucket = nullptr;
+    for (Bucket& candidate : buckets) {
+      if (candidate.spans[0].size() == windows[i].size()) {
+        bucket = &candidate;
+        break;
+      }
+    }
+    if (bucket == nullptr) bucket = &buckets.emplace_back();
+    bucket->spans.emplace_back(windows[i]);
+    bucket->index.push_back(i);
+  }
+
+  const double threshold = setup.profile.threshold;
+  std::vector<double> batch_scores(windows.size());
+  auto bench_batch = [&](std::string name, bool no_simd, bool triage) {
+    hmm::BatchOptions options;
+    options.no_simd = no_simd;
+    options.triage = triage;
+    const hmm::BatchScorer scorer(&sparse, options);
+    hmm::BatchWorkspace batch_ws;
+    scorer.Reserve(&batch_ws);
+    std::vector<double> bucket_out;
+    bucket_out.reserve(windows.size());
+    const double seconds = MinWallSeconds(preset.kernel_repeats, [&] {
+      for (const Bucket& bucket : buckets) {
+        bucket_out.resize(bucket.spans.size());
+        auto status =
+            scorer.ScoreBatch(bucket.spans, threshold, &batch_ws, bucket_out);
+        ADPROM_CHECK_MSG(status.ok(), status.ToString());
+        for (size_t j = 0; j < bucket.index.size(); ++j) {
+          batch_scores[bucket.index[j]] = bucket_out[j];
+        }
+      }
+    });
+    BatchKernelRun run;
+    run.name = std::move(name);
+    run.width = scorer.options().width;
+    run.simd_level = util::SimdLevelName(scorer.simd_level());
+    run.seconds = seconds;
+    run.windows_per_sec = static_cast<double>(windows.size()) / seconds;
+    run.speedup_vs_sparse = k.sparse_seconds / seconds;
+    // The workspace accumulates across repeats; normalize to one pass.
+    run.certified_fraction =
+        static_cast<double>(batch_ws.stats.triage_certified) /
+        static_cast<double>(batch_ws.stats.windows);
+    for (size_t i = 0; i < windows.size(); ++i) {
+      run.scores_ok =
+          run.scores_ok &&
+          (triage ? batch_scores[i] <= sparse_scores[i] &&
+                        (batch_scores[i] < threshold) ==
+                            (sparse_scores[i] < threshold)
+                  : std::memcmp(&batch_scores[i], &sparse_scores[i],
+                                sizeof(double)) == 0);
+    }
+    if (triage) {
+      k.quantized_table_bytes = scorer.triage_tables().SizeBytes();
+    }
+    k.batch_runs.push_back(std::move(run));
+  };
+  bench_batch("batch-scalar", /*no_simd=*/true, /*triage=*/false);
+  bench_batch("batch-simd", /*no_simd=*/false, /*triage=*/false);
+  bench_batch("batch-simd-triage", /*no_simd=*/false, /*triage=*/true);
+
   util::TablePrinter table(
       {"Forward kernel", "seconds (min-of-" +
                              std::to_string(preset.kernel_repeats) + ")",
-       "windows/sec", "speedup"});
+       "windows/sec", "vs dense", "vs sparse"});
   table.AddRow({"dense", util::StrFormat("%.4f", k.dense_seconds),
                 util::StrFormat("%.0f", windows.size() / k.dense_seconds),
-                "1.00x"});
+                "1.00x", ""});
   table.AddRow({"sparse (CSR)", util::StrFormat("%.4f", k.sparse_seconds),
                 util::StrFormat("%.0f", windows.size() / k.sparse_seconds),
-                util::StrFormat("%.2fx", k.sparse_speedup)});
+                util::StrFormat("%.2fx", k.sparse_speedup), "1.00x"});
+  for (const BatchKernelRun& run : k.batch_runs) {
+    table.AddRow({run.name + " (" + run.simd_level + ", W=" +
+                      std::to_string(run.width) + ")",
+                  util::StrFormat("%.4f", run.seconds),
+                  util::StrFormat("%.0f", run.windows_per_sec),
+                  util::StrFormat("%.2fx", k.dense_seconds / run.seconds),
+                  util::StrFormat("%.2fx", run.speedup_vs_sparse)});
+  }
   table.Print();
   std::printf("transition matrix: nnz %zu (%.1f%% dense); emission matrix:"
               " nnz %zu (%.1f%% dense)\n",
               k.transition_nnz, 100.0 * k.transition_density,
               k.emission_nnz, 100.0 * k.emission_density);
-  std::printf("sparse scores bit-identical to dense: %s\n\n",
+  std::printf("sparse scores bit-identical to dense: %s\n",
               k.bit_identical ? "yes" : "NO — BUG");
+  bool batch_ok = true;
+  for (const BatchKernelRun& run : k.batch_runs) {
+    batch_ok = batch_ok && run.scores_ok;
+  }
+  std::printf("batched scores bit-identical (exact) / sound floors"
+              " (triage): %s; triage certified %.1f%%, quantized tables"
+              " %zu bytes\n\n",
+              batch_ok ? "yes" : "NO — BUG",
+              100.0 * k.batch_runs.back().certified_fraction,
+              k.quantized_table_bytes);
 }
 
 void BenchDetection(const Preset& preset, BenchResults* results) {
@@ -396,45 +518,79 @@ void BenchDetection(const Preset& preset, BenchResults* results) {
               " %zu windows per pass, min-of-%zu passes\n",
               traces.size(), total_events, total_windows, repeats);
 
-  auto record = [&](std::string name, size_t threads, double seconds) {
+  auto record = [&](std::string name, size_t threads, size_t scale,
+                    double seconds) {
     DetectRun run;
     run.name = std::move(name);
     run.threads = threads;
+    run.events = total_events * scale;
+    run.weak_scaled = scale > 1;
     run.seconds = seconds;
-    run.events_per_sec = static_cast<double>(total_events) / seconds;
-    run.windows_per_sec = static_cast<double>(total_windows) / seconds;
+    run.events_per_sec = static_cast<double>(run.events) / seconds;
+    run.windows_per_sec =
+        static_cast<double>(total_windows * scale) / seconds;
     results->detect_runs.push_back(run);
   };
 
   size_t checksum = 0;  // keep the scoring from being optimized away
-  record("seed-per-window", 1, MinWallSeconds(repeats, [&] {
+  record("seed-per-window", 1, 1, MinWallSeconds(repeats, [&] {
            for (const runtime::Trace& trace : traces) {
              checksum += SeedMonitorTrace(profile, trace).size();
            }
          }));
-  record("encode-once", 1, MinWallSeconds(repeats, [&] {
+  record("encode-once", 1, 1, MinWallSeconds(repeats, [&] {
            for (const runtime::Trace& trace : traces) {
              checksum += engine.MonitorTrace(trace).size();
            }
          }));
+  // Multi-thread rows are WEAK-scaled: the trace set is replicated once
+  // per thread, so per-thread work stays constant across the sweep. The
+  // old strong-scaled sweep handed each extra thread a smaller slice of a
+  // fixed corpus, and on this workload the pool's block fan-out overhead
+  // outgrew the shrinking slices — throughput at 4 threads fell below the
+  // single-thread row. Per-thread efficiency (vs the 1-thread batch row)
+  // is what the JSON tracks: 1.0 means an extra thread adds a full
+  // thread's worth of throughput.
   for (size_t threads : ThreadSweep(preset)) {
+    std::vector<runtime::Trace> replicated;
+    replicated.reserve(traces.size() * threads);
+    for (size_t copy = 0; copy < threads; ++copy) {
+      replicated.insert(replicated.end(), traces.begin(), traces.end());
+    }
     util::ThreadPool pool(threads);
-    record("batch", threads, MinWallSeconds(repeats, [&] {
-             checksum += engine.MonitorTraces(traces, &pool).size();
+    record("batch", threads, threads, MinWallSeconds(repeats, [&] {
+             checksum += engine.MonitorTraces(replicated, &pool).size();
            }));
   }
 
-  util::TablePrinter table(
-      {"Detection", "threads", "seconds", "events/sec", "windows/sec"});
+  double batch_single_eps = 0.0;
+  for (const DetectRun& run : results->detect_runs) {
+    if (run.name == "batch" && run.threads == 1) {
+      batch_single_eps = run.events_per_sec;
+    }
+  }
+  for (DetectRun& run : results->detect_runs) {
+    run.per_thread_efficiency =
+        batch_single_eps > 0.0
+            ? run.events_per_sec /
+                  (static_cast<double>(run.threads) * batch_single_eps)
+            : 1.0;
+  }
+
+  util::TablePrinter table({"Detection", "threads", "scaling", "seconds",
+                            "events/sec", "windows/sec", "efficiency"});
   for (const DetectRun& run : results->detect_runs) {
     table.AddRow({run.name, std::to_string(run.threads),
+                  run.weak_scaled ? "weak" : "fixed",
                   util::StrFormat("%.3f", run.seconds),
                   util::StrFormat("%.0f", run.events_per_sec),
-                  util::StrFormat("%.0f", run.windows_per_sec)});
+                  util::StrFormat("%.0f", run.windows_per_sec),
+                  util::StrFormat("%.2f", run.per_thread_efficiency)});
   }
   table.Print();
   std::printf("(checksum %zu; seed-per-window vs encode-once is the"
-              " single-thread refactor win, batch rows the pool fan-out)\n",
+              " single-thread refactor win; batch rows weak-scale the"
+              " corpus so per-thread work is constant)\n",
               checksum);
 }
 
@@ -477,7 +633,23 @@ void WriteJson(const BenchResults& results, const Preset& preset,
        << ", \"emission_nnz\": " << k.emission_nnz
        << ", \"emission_density\": " << Num(k.emission_density)
        << ", \"bit_identical\": "
-       << (k.bit_identical ? "true" : "false") << "},\n";
+       << (k.bit_identical ? "true" : "false")
+       << ", \"quantized_table_bytes\": " << k.quantized_table_bytes
+       << ", \"batch_runs\": [";
+  for (size_t i = 0; i < k.batch_runs.size(); ++i) {
+    const BatchKernelRun& run = k.batch_runs[i];
+    json << (i ? ", " : "") << "{\"name\": \"" << run.name
+         << "\", \"width\": " << run.width << ", \"simd_level\": \""
+         << run.simd_level << "\""
+         << ", \"wall_time_sec\": " << Num(run.seconds)
+         << ", \"windows_per_sec\": " << Num(run.windows_per_sec)
+         << ", \"speedup_vs_sparse\": " << Num(run.speedup_vs_sparse)
+         << ", \"triage_certified_fraction\": "
+         << Num(run.certified_fraction)
+         << ", \"scores_ok\": " << (run.scores_ok ? "true" : "false")
+         << "}";
+  }
+  json << "]},\n";
   json << "  \"detection\": {\"corpus\": \"grep-like\", \"repeats\": "
        << results.detect_repeats
        << ", \"traces\": " << results.detect_traces
@@ -488,9 +660,13 @@ void WriteJson(const BenchResults& results, const Preset& preset,
     const DetectRun& run = results.detect_runs[i];
     json << (i ? ", " : "") << "{\"name\": \"" << run.name
          << "\", \"threads\": " << run.threads
+         << ", \"events\": " << run.events
+         << ", \"weak_scaled\": " << (run.weak_scaled ? "true" : "false")
          << ", \"wall_time_sec\": " << Num(run.seconds)
          << ", \"events_per_sec\": " << Num(run.events_per_sec)
-         << ", \"windows_per_sec\": " << Num(run.windows_per_sec) << "}";
+         << ", \"windows_per_sec\": " << Num(run.windows_per_sec)
+         << ", \"per_thread_efficiency\": "
+         << Num(run.per_thread_efficiency) << "}";
   }
   json << "]}\n";
   json << "}\n";

@@ -75,10 +75,35 @@ def check_throughput(doc, path):
     if kernels.get("bit_identical") is not True:
         fail(path, "kernels.bit_identical is not true")
 
+    batch_runs = require(kernels, path, "batch_runs", list)
+    check_runs(batch_runs, path, "kernels.batch_runs",
+               ["width", "wall_time_sec", "windows_per_sec",
+                "speedup_vs_sparse", "triage_certified_fraction"])
+    names = {run.get("name") for run in batch_runs}
+    for expected in ("batch-scalar", "batch-simd", "batch-simd-triage"):
+        if expected not in names:
+            fail(path, f"kernels.batch_runs missing a {expected!r} row")
+    for i, run in enumerate(batch_runs):
+        if not run.get("simd_level"):
+            fail(path, f"kernels.batch_runs[{i}].simd_level is missing")
+        if run.get("scores_ok") is not True:
+            fail(path, f"kernels.batch_runs[{i}].scores_ok is not true "
+                       "(exact rows must be bit-identical, triage rows "
+                       "sound floors)")
+    table_bytes = require(kernels, path, "quantized_table_bytes", int)
+    if table_bytes <= 0:
+        fail(path, f"kernels.quantized_table_bytes = {table_bytes}")
+
     detection = require(doc, path, "detection", dict)
-    check_runs(require(detection, path, "runs", list), path, "detection",
-               ["threads", "wall_time_sec", "events_per_sec",
-                "windows_per_sec"])
+    detect_runs = require(detection, path, "runs", list)
+    check_runs(detect_runs, path, "detection",
+               ["threads", "events", "wall_time_sec", "events_per_sec",
+                "windows_per_sec", "per_thread_efficiency"])
+    if not any(run.get("weak_scaled") is True for run in detect_runs
+               if run.get("threads", 1) > 1):
+        fail(path, "detection has multi-thread runs but none weak-scaled"
+             if any(run.get("threads", 1) > 1 for run in detect_runs)
+             else "detection.runs has no multi-thread rows")
 
 
 def check_streaming(doc, path):

@@ -7,14 +7,24 @@ namespace adprom::core {
 
 DetectionEngine::DetectionEngine(const ApplicationProfile* profile)
     : profile_(profile), use_sparse_(!profile->options.dense_kernels) {
-  if (use_sparse_) sparse_ = hmm::SparseHmm(profile->model);
+  if (use_sparse_) {
+    sparse_ = hmm::SparseHmm(profile->model);
+    if (profile->options.batch_width > 0) {
+      hmm::BatchOptions batch_options;
+      batch_options.width = profile->options.batch_width;
+      batch_options.no_simd = profile->options.no_simd;
+      batch_options.triage = profile->options.triage;
+      batch_ = hmm::BatchScorer(&sparse_, batch_options);
+    }
+  }
 }
 
-Detection DetectionEngine::EvaluateEncoded(
+Detection DetectionEngine::AssembleVerdict(
     std::span<const runtime::CallEvent> window, hmm::SymbolSpan seq,
-    size_t window_start, hmm::ForwardWorkspace* workspace) const {
+    size_t window_start, double score) const {
   Detection detection;
   detection.window_start = window_start;
+  detection.score = score;
 
   // Out-of-context check: a library call issued from a function that never
   // issues it, statically or during training.
@@ -25,12 +35,6 @@ Detection DetectionEngine::EvaluateEncoded(
       break;
     }
   }
-
-  auto score =
-      use_sparse_
-          ? hmm::PerSymbolLogLikelihood(sparse_, seq, workspace)
-          : hmm::PerSymbolLogLikelihood(profile_->model, seq, workspace);
-  detection.score = score.ok() ? *score : -1e9;
 
   // A symbol outside the profile's alphabet is not a *legitimate call*
   // (paper §V-D footnote: calls observed during analysis and training).
@@ -85,6 +89,47 @@ Detection DetectionEngine::EvaluateEncoded(
   return detection;
 }
 
+Detection DetectionEngine::EvaluateEncoded(
+    std::span<const runtime::CallEvent> window, hmm::SymbolSpan seq,
+    size_t window_start, hmm::ForwardWorkspace* workspace) const {
+  auto score =
+      use_sparse_
+          ? hmm::PerSymbolLogLikelihood(sparse_, seq, workspace)
+          : hmm::PerSymbolLogLikelihood(profile_->model, seq, workspace);
+  return AssembleVerdict(window, seq, window_start,
+                         score.ok() ? *score : -1e9);
+}
+
+void DetectionEngine::ScoreWindows(std::span<const hmm::SymbolSpan> seqs,
+                                   hmm::BatchWorkspace* ws,
+                                   std::span<double> out) const {
+  if (seqs.empty()) return;
+  if (batch_.enabled()) {
+    // The triage threshold is the profile threshold: a certified window's
+    // exact score provably clears it, so AssembleVerdict's comparison
+    // lands on the same side either way.
+    util::Status status =
+        batch_.ScoreBatch(seqs, profile_->threshold, ws, out);
+    if (status.ok()) return;
+    // Fall through to the window-at-a-time path (mixed-length or invalid
+    // input; EvaluateEncoded's score semantics apply per window).
+  }
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    auto score =
+        use_sparse_
+            ? hmm::PerSymbolLogLikelihood(sparse_, seqs[i], &ws->forward)
+            : hmm::PerSymbolLogLikelihood(profile_->model, seqs[i],
+                                          &ws->forward);
+    out[i] = score.ok() ? *score : -1e9;
+  }
+}
+
+void DetectionEngine::ReserveWorkspace(hmm::BatchWorkspace* ws) const {
+  ws->forward.Reserve(profile_->options.window_length,
+                      profile_->model.num_states());
+  if (batch_.enabled()) batch_.Reserve(ws);
+}
+
 Detection DetectionEngine::EvaluateWindow(
     std::span<const runtime::CallEvent> window, size_t window_start) const {
   const hmm::ObservationSeq seq = profile_->Encode(window);
@@ -93,7 +138,7 @@ Detection DetectionEngine::EvaluateWindow(
 }
 
 std::vector<Detection> DetectionEngine::MonitorTraceInto(
-    const runtime::Trace& trace, hmm::ForwardWorkspace* workspace) const {
+    const runtime::Trace& trace, hmm::BatchWorkspace* ws) const {
   std::vector<Detection> out;
   // Encode the whole trace once; window i's symbols are the slice
   // [i, i+len) of the buffer (Encode is per-event, so the slice equals
@@ -101,20 +146,27 @@ std::vector<Detection> DetectionEngine::MonitorTraceInto(
   const hmm::ObservationSeq encoded = profile_->Encode(trace);
   const auto windows = SlidingWindows(trace, profile_->options.window_length);
   out.reserve(windows.size());
+  // Stage every window span — SlidingWindows guarantees they share one
+  // length — score the whole trace through the batch engine, then
+  // assemble the verdicts.
+  ws->spans.clear();
+  for (const auto& window : windows) {
+    const size_t offset = static_cast<size_t>(window.data() - trace.data());
+    ws->spans.emplace_back(encoded.data() + offset, window.size());
+  }
+  ws->scores.resize(windows.size());
+  ScoreWindows(ws->spans, ws, ws->scores);
   for (size_t i = 0; i < windows.size(); ++i) {
-    const size_t offset =
-        static_cast<size_t>(windows[i].data() - trace.data());
-    const hmm::SymbolSpan seq(encoded.data() + offset, windows[i].size());
-    out.push_back(EvaluateEncoded(windows[i], seq, i, workspace));
+    out.push_back(AssembleVerdict(windows[i], ws->spans[i], i,
+                                  ws->scores[i]));
   }
   return out;
 }
 
 std::vector<Detection> DetectionEngine::MonitorTrace(
     const runtime::Trace& trace) const {
-  hmm::ForwardWorkspace workspace;
-  workspace.Reserve(profile_->options.window_length,
-                    profile_->model.num_states());
+  hmm::BatchWorkspace workspace;
+  ReserveWorkspace(&workspace);
   return MonitorTraceInto(trace, &workspace);
 }
 
@@ -124,16 +176,15 @@ std::vector<std::vector<Detection>> DetectionEngine::MonitorTraces(
   std::vector<std::vector<Detection>> out(traces.size());
   if (traces.empty()) return out;
   // Block decomposition, one reserved workspace per block: every trace in
-  // a block reuses the same alpha/scale buffers, so the steady-state batch
-  // path allocates nothing per trace (the streaming service gets the same
-  // property from its per-session workspaces).
+  // a block reuses the same activation/alpha buffers, so the steady-state
+  // batch path allocates nothing per trace (the streaming service gets the
+  // same property from its per-session workspaces).
   const size_t num_blocks =
       pool == nullptr ? 1
                       : std::min(traces.size(), 4 * pool->num_workers());
   util::ParallelFor(pool, num_blocks, [&](size_t blk) {
-    hmm::ForwardWorkspace workspace;
-    workspace.Reserve(profile_->options.window_length,
-                      profile_->model.num_states());
+    hmm::BatchWorkspace workspace;
+    ReserveWorkspace(&workspace);
     const size_t begin = blk * traces.size() / num_blocks;
     const size_t end = (blk + 1) * traces.size() / num_blocks;
     for (size_t i = begin; i < end; ++i) {

@@ -6,6 +6,7 @@
 
 #include "core/flags.h"
 #include "core/profile.h"
+#include "hmm/batch_forward.h"
 #include "hmm/inference.h"
 #include "hmm/sparse.h"
 #include "runtime/call_event.h"
@@ -20,18 +21,25 @@ namespace adprom::core {
 /// targeted data came from.
 ///
 /// Throughput design: MonitorTrace encodes the trace into HMM symbols
-/// *once* and scores each overlapping window as a slice of that buffer
-/// through a pre-reserved hmm::ForwardWorkspace — zero per-window heap
-/// allocations in steady state. MonitorTraces cuts the traces into blocks
-/// fanned across a worker pool; each block reuses one reserved workspace
-/// for all of its traces. Scoring runs on a CSR compilation of the
-/// profile's HMM (bit-identical to dense; set
-/// ProfileOptions::dense_kernels before constructing the engine to force
-/// the original dense path).
+/// *once* and scores each overlapping window as a slice of that buffer —
+/// zero per-window heap allocations in steady state. Ready windows are
+/// scored through the batched engine (hmm::BatchScorer): up to
+/// ProfileOptions::batch_width windows advance together per forward step,
+/// sweeping the transition CSR once per step instead of once per window,
+/// with lane-per-window SIMD kernels that stay bit-identical to scalar
+/// ForwardInto. MonitorTraces cuts the traces into blocks fanned across a
+/// worker pool; each block reuses one reserved workspace for all of its
+/// traces. Set ProfileOptions::dense_kernels or batch_width = 0 before
+/// constructing the engine to force the original window-at-a-time path.
 class DetectionEngine {
  public:
   /// `profile` must outlive the engine.
   explicit DetectionEngine(const ApplicationProfile* profile);
+
+  /// The batch scorer holds a pointer to this engine's CSR compilation, so
+  /// an engine cannot be copied or moved without dangling it.
+  DetectionEngine(const DetectionEngine&) = delete;
+  DetectionEngine& operator=(const DetectionEngine&) = delete;
 
   /// Scores one n-window starting at `window_start` of the trace.
   Detection EvaluateWindow(std::span<const runtime::CallEvent> window,
@@ -53,24 +61,52 @@ class DetectionEngine {
   /// The single shared verdict implementation: `window` and its
   /// pre-encoded symbols `seq` (same length, same order); the workspace is
   /// reused across calls. Both the batch paths above and the streaming
-  /// service (service::StreamingMonitor) funnel through this method, which
-  /// is what makes streaming verdicts bit-identical to batch by
-  /// construction.
+  /// service (service::StreamingMonitor) funnel through this method (or
+  /// through ScoreWindows + AssembleVerdict, which compose to the same
+  /// result), which is what makes streaming verdicts bit-identical to
+  /// batch by construction.
   Detection EvaluateEncoded(std::span<const runtime::CallEvent> window,
                             hmm::SymbolSpan seq, size_t window_start,
                             hmm::ForwardWorkspace* workspace) const;
 
+  /// Scores a group of equal-length windows into `out` (same size as
+  /// `seqs`) through the batched engine, falling back to the scalar
+  /// workspace path when batching is disabled. Exact-tier scores are
+  /// bit-identical to what EvaluateEncoded would compute per window; with
+  /// the triage tier enabled, certified-benign windows report their lower
+  /// bound instead (AssembleVerdict reaches the same flag either way).
+  void ScoreWindows(std::span<const hmm::SymbolSpan> seqs,
+                    hmm::BatchWorkspace* ws, std::span<double> out) const;
+
+  /// The verdict-assembly half of EvaluateEncoded: out-of-context scan,
+  /// unknown-symbol override, threshold comparison, flag selection, and
+  /// alarm provenance — everything except computing `score`.
+  Detection AssembleVerdict(std::span<const runtime::CallEvent> window,
+                            hmm::SymbolSpan seq, size_t window_start,
+                            double score) const;
+
+  /// Pre-sizes `ws` for this engine's window length, state count and batch
+  /// width, so steady-state scoring through it allocates nothing.
+  void ReserveWorkspace(hmm::BatchWorkspace* ws) const;
+
+  /// The batched scoring engine (disabled under dense kernels or
+  /// batch_width = 0; see ProfileOptions).
+  const hmm::BatchScorer& batch_scorer() const { return batch_; }
+
  private:
   /// MonitorTrace body against a caller-owned (reserved) workspace, so the
   /// batch path can reuse one workspace across many traces.
-  std::vector<Detection> MonitorTraceInto(
-      const runtime::Trace& trace, hmm::ForwardWorkspace* workspace) const;
+  std::vector<Detection> MonitorTraceInto(const runtime::Trace& trace,
+                                          hmm::BatchWorkspace* ws) const;
 
   const ApplicationProfile* profile_;
   /// CSR compilation of profile_->model, built once at construction
   /// (empty and unused when the profile asks for dense kernels).
   hmm::SparseHmm sparse_;
   bool use_sparse_ = false;
+  /// Batched scoring engine over sparse_ (disabled when dense kernels are
+  /// forced or batch_width is 0).
+  hmm::BatchScorer batch_;
 };
 
 }  // namespace adprom::core

@@ -99,6 +99,18 @@ struct ProfileOptions {
   /// bit-identical; this exists for benchmarks, differential tests and the
   /// --dense-kernels CLI flag.
   bool dense_kernels = false;
+  /// Runtime-only (never serialized): W for the batched scoring engine —
+  /// how many ready windows advance together per forward step
+  /// (`--batch-width`). 0 disables batching and scores window-at-a-time.
+  size_t batch_width = 16;
+  /// Runtime-only: pin the batched kernels to the scalar flavour even where
+  /// the CPU offers AVX2/NEON (`--no-simd`). Bit-identical either way;
+  /// exists for ablation and CI fallback coverage.
+  bool no_simd = false;
+  /// Runtime-only: enable the quantized triage tier (`--triage`) — windows
+  /// whose cheap int16 lower bound already clears the threshold skip the
+  /// exact forward pass. Verdicts are unchanged by construction.
+  bool triage = false;
   /// Default threshold = min CSDS window score − margin (per-symbol log
   /// space; 0.5 ≈ a factor e^{7.5} on a 15-call window, small enough that
   /// a single out-of-alphabet call — emission ~1e-9 — crosses it).

@@ -1,0 +1,19 @@
+// AVX2 instantiation of the batched kernels. This translation unit is the
+// only one compiled with -mavx2 (see src/CMakeLists.txt), so the rest of
+// the library stays runnable on baseline x86-64; the dispatcher only calls
+// through this table after __builtin_cpu_supports("avx2") says yes.
+
+#include "hmm/batch_kernels.h"
+
+namespace adprom::hmm::internal {
+
+#if defined(ADPROM_BATCH_AVX2) && defined(__AVX2__)
+const BatchKernels* Avx2Kernels() {
+  static const BatchKernels kernels = {
+      &ForwardBlock<util::Avx2Arch>, &TriageBlock<util::Avx2Arch>,
+      util::Avx2Arch::kLanes, util::Avx2Arch::kILanes, "avx2"};
+  return &kernels;
+}
+#endif
+
+}  // namespace adprom::hmm::internal

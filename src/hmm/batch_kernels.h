@@ -1,0 +1,314 @@
+#ifndef ADPROM_HMM_BATCH_KERNELS_H_
+#define ADPROM_HMM_BATCH_KERNELS_H_
+
+// Internal header: the templated kernel bodies behind BatchScorer. Each
+// ISA-specific translation unit (batch_forward.cc for scalar/NEON,
+// batch_forward_avx2.cc for AVX2) instantiates ForwardBlock / TriageBlock
+// with its util::simd.h Arch and exports them through a BatchKernels
+// function table; the dispatcher in batch_forward.cc picks a table at
+// runtime. These TUs are compiled with -ffp-contract=off so no flavour can
+// fuse a multiply-add the scalar reference keeps separate.
+
+#include <cmath>
+#include <cstdint>
+
+#include "hmm/batch_forward.h"
+#include "hmm/sparse.h"
+
+namespace adprom::hmm::internal {
+
+/// One block of W equal-length windows for the exact tier. `width` must be
+/// a multiple of the instantiating Arch's lane count (the dispatcher peels
+/// the remainder onto the scalar kernel, which accepts any width).
+struct ForwardBlockArgs {
+  const SparseHmm* model = nullptr;
+  const int* const* seqs = nullptr;  // width sequence pointers
+  size_t width = 0;
+  size_t t_len = 0;
+  double* cur = nullptr;             // num_states x width, state-major
+  double* next = nullptr;            // num_states x width scratch
+  double* totals = nullptr;          // width
+  double* loglik = nullptr;          // width (written)
+  const double** emit_rows = nullptr;  // width scratch
+};
+
+/// One block of W equal-length windows for the quantized triage tier.
+struct TriageBlockArgs {
+  const SparseHmm* model = nullptr;
+  const TriageTables* tables = nullptr;
+  const int* const* seqs = nullptr;
+  size_t width = 0;
+  size_t t_len = 0;
+  int32_t* cur = nullptr;            // num_states x width
+  int32_t* next = nullptr;
+  int32_t* best = nullptr;           // width (written): quantized bound
+  const int16_t** emit_rows = nullptr;  // width scratch
+};
+
+using ForwardBlockFn = void (*)(const ForwardBlockArgs&);
+using TriageBlockFn = void (*)(const TriageBlockArgs&);
+
+struct BatchKernels {
+  ForwardBlockFn forward = nullptr;
+  TriageBlockFn triage = nullptr;
+  /// Double lanes (the exact tier's width granularity).
+  size_t lanes = 1;
+  /// Int32 lanes (the triage tier's width granularity — wider than
+  /// `lanes` where the ISA packs more int32 than doubles per register).
+  size_t ilanes = 1;
+  const char* name = "scalar";
+};
+
+/// One t>0 step of the exact tier for a tile of U lane-groups (U * kLanes
+/// windows): destination-major gather over Aᵀ with the emission multiply
+/// and per-step total fused in. U accumulators share each nonzero's
+/// broadcast and CSR decode, so larger tiles amortize the sweep's
+/// structure traffic; U is a compile-time constant so the accumulators
+/// stay in registers.
+template <class Arch, size_t U>
+inline void ForwardStepTile(const CsrMatrix& at, size_t n, size_t width,
+                            size_t w0, const double* cur, double* next,
+                            const double* const* emit_rows, double* totals) {
+  using D = typename Arch::D;
+  constexpr size_t kL = Arch::kLanes;
+  D total[U];
+  for (size_t u = 0; u < U; ++u) total[u] = Arch::ZeroD();
+  for (size_t s = 0; s < n; ++s) {
+    D acc[U];
+    for (size_t u = 0; u < U; ++u) acc[u] = Arch::ZeroD();
+    const size_t end = at.row_ptr[s + 1];
+    for (size_t k = at.row_ptr[s]; k < end; ++k) {
+      const D val = Arch::BroadcastD(at.val[k]);
+      const double* alpha = cur + at.col[k] * width + w0;
+      for (size_t u = 0; u < U; ++u) {
+        acc[u] =
+            Arch::AddD(acc[u], Arch::MulD(Arch::LoadD(alpha + u * kL), val));
+      }
+    }
+    for (size_t u = 0; u < U; ++u) {
+      const D v =
+          Arch::MulD(acc[u], Arch::GatherD(emit_rows + w0 + u * kL, s));
+      Arch::StoreD(next + s * width + w0 + u * kL, v);
+      total[u] = Arch::AddD(total[u], v);
+    }
+  }
+  for (size_t u = 0; u < U; ++u) {
+    Arch::StoreD(totals + w0 + u * kL, total[u]);
+  }
+}
+
+/// The exact tier: the scaled forward recursion of ForwardInto, advanced
+/// one time-step per pass for all `width` windows at once. Lane w runs
+/// the scalar recursion verbatim — same mul/add/div/max sequence in the
+/// same order — so its result is bit-identical to
+/// ForwardInto(model, seqs[w], ...).
+///
+/// The transition sweep runs destination-major over Aᵀ so each
+/// destination's accumulator lives in a register for its whole reduction
+/// (a scatter re-loads and re-stores the next-block cell once per
+/// nonzero; on profile-sized models that traffic is the kernel's
+/// bottleneck). Bit-identity survives the transposed order: ForwardInto's
+/// source-major scatter applies each destination's updates in ascending
+/// predecessor order, and Aᵀ's CSR rows list predecessors ascending, so
+/// the gather reduces the exact same terms in the exact same order.
+/// Predecessors ForwardInto skips (alpha_p == 0.0, or cells absent from
+/// the CSR) contribute `0.0 * val == +0.0` to a non-negative accumulator
+/// — a bitwise no-op.
+template <class Arch>
+void ForwardBlock(const ForwardBlockArgs& g) {
+  using D = typename Arch::D;
+  constexpr size_t kL = Arch::kLanes;
+  const CsrMatrix& at = g.model->a_transpose();
+  const util::Matrix& bt = g.model->b_transpose();
+  const double* pi = g.model->pi().data();
+  const size_t n = g.model->num_states();
+  const size_t width = g.width;
+  const D floor_v = Arch::BroadcastD(kScaleFloor);
+
+  double* cur = g.cur;
+  double* next = g.next;
+  for (size_t w = 0; w < width; ++w) g.loglik[w] = 0.0;
+
+  for (size_t t = 0; t < g.t_len; ++t) {
+    for (size_t w = 0; w < width; ++w) {
+      g.emit_rows[w] = bt.RowData(static_cast<size_t>(g.seqs[w][t]));
+    }
+    if (t == 0) {
+      // alpha_0(s) = pi(s) * b(s, o_0), with the per-step total fused in
+      // — the same single multiply and s-ascending total accumulation the
+      // scalar kernel uses.
+      for (size_t w0 = 0; w0 < width; w0 += kL) {
+        D total = Arch::ZeroD();
+        for (size_t s = 0; s < n; ++s) {
+          const D v = Arch::MulD(Arch::BroadcastD(pi[s]),
+                                 Arch::GatherD(g.emit_rows + w0, s));
+          Arch::StoreD(cur + s * width + w0, v);
+          total = Arch::AddD(total, v);
+        }
+        Arch::StoreD(g.totals + w0, total);
+      }
+    } else {
+      // Greedy tile schedule: widest tiles first, singles for whatever
+      // lane-groups remain (width is always a multiple of kLanes).
+      size_t w0 = 0;
+      while (w0 < width) {
+        const size_t groups = (width - w0) / kL;
+        if (groups >= 4) {
+          ForwardStepTile<Arch, 4>(at, n, width, w0, cur, next,
+                                   g.emit_rows, g.totals);
+          w0 += 4 * kL;
+        } else if (groups >= 2) {
+          ForwardStepTile<Arch, 2>(at, n, width, w0, cur, next,
+                                   g.emit_rows, g.totals);
+          w0 += 2 * kL;
+        } else {
+          ForwardStepTile<Arch, 1>(at, n, width, w0, cur, next,
+                                   g.emit_rows, g.totals);
+          w0 += kL;
+        }
+      }
+      double* swap = cur;
+      cur = next;
+      next = swap;
+    }
+    // Floored scale and renormalization — the same op sequence per lane
+    // as the scalar kernel's tail loops.
+    for (size_t w0 = 0; w0 < width; w0 += kL) {
+      const D total =
+          Arch::FloorScaleD(floor_v, Arch::LoadD(g.totals + w0));
+      Arch::StoreD(g.totals + w0, total);
+      for (size_t s = 0; s < n; ++s) {
+        double* cell = cur + s * width + w0;
+        Arch::StoreD(cell, Arch::DivD(Arch::LoadD(cell), total));
+      }
+    }
+    for (size_t w = 0; w < width; ++w) {
+      g.loglik[w] += std::log(g.totals[w]);
+    }
+  }
+}
+
+/// One t>0 step of the triage tier for a tile of U int-lane-groups,
+/// mirroring ForwardStepTile: U best-trackers share each nonzero's
+/// broadcast and CSR decode. Integer max-plus is exact, so tiling cannot
+/// change the bounds.
+template <class Arch, size_t U>
+inline void TriageStepTile(const CsrMatrix& at, size_t n, size_t width,
+                           size_t w0, const int32_t* cur, int32_t* next,
+                           const int16_t* const* emit_rows,
+                           const int16_t* qa, typename Arch::I neg_inf) {
+  using I = typename Arch::I;
+  constexpr size_t kIL = Arch::kILanes;
+  const auto expand = [](int16_t q) -> int32_t {
+    return q == TriageTables::kSentinel ? TriageTables::kNegInf : q;
+  };
+  for (size_t s = 0; s < n; ++s) {
+    I best[U];
+    for (size_t u = 0; u < U; ++u) best[u] = neg_inf;
+    const size_t end = at.row_ptr[s + 1];
+    for (size_t k = at.row_ptr[s]; k < end; ++k) {
+      const I qv = Arch::BroadcastI(expand(qa[k]));
+      const int32_t* c = cur + at.col[k] * width + w0;
+      for (size_t u = 0; u < U; ++u) {
+        best[u] =
+            Arch::MaxI(best[u], Arch::AddI(Arch::LoadI(c + u * kIL), qv));
+      }
+    }
+    for (size_t u = 0; u < U; ++u) {
+      const I v = Arch::AddI(best[u],
+                             Arch::GatherI16(emit_rows + w0 + u * kIL, s));
+      Arch::StoreI(next + s * width + w0 + u * kIL, Arch::MaxI(v, neg_inf));
+    }
+  }
+}
+
+/// The triage tier: a max-plus Viterbi pass over the prepared int16 log
+/// tables with int32 accumulation. best[w] / (kScale * t_len) is a sound
+/// lower bound on lane w's exact per-symbol log-likelihood (quantization
+/// rounds down; the best path never exceeds the path sum). Integer adds
+/// and maxes are exact, so lane order is irrelevant here — every arch
+/// computes the same bounds.
+///
+/// pi/A sentinels (logs below int16 range) expand to kNegInf on the
+/// scalar broadcast side, and every write saturates at kNegInf. The
+/// saturation keeps the accumulators provably inside int32 — cur stays in
+/// [kNegInf, 0], so cur + qa >= 2*kNegInf == INT32_MIN never wraps — at
+/// the price that a lane whose winning chain ever touched the floor ends
+/// at <= kNegInf with a value that is no longer a faithful path sum
+/// (factors after the floor only subtract, re-floors only restore
+/// kNegInf). The dispatcher therefore refuses to certify lanes that
+/// finish at or below kNegInf; lanes above it never saturated, so their
+/// bound is proven.
+template <class Arch>
+void TriageBlock(const TriageBlockArgs& g) {
+  using I = typename Arch::I;
+  constexpr size_t kL = Arch::kILanes;
+  const CsrMatrix& at = g.model->a_transpose();
+  const TriageTables& tables = *g.tables;
+  const int16_t* qb = tables.qb_transpose().data();
+  const int16_t* qa = tables.qa_transpose().data();
+  const int16_t* qpi = tables.qpi().data();
+  const size_t n = g.model->num_states();
+  const size_t width = g.width;
+  const I neg_inf = Arch::BroadcastI(TriageTables::kNegInf);
+  const auto expand = [](int16_t q) -> int32_t {
+    return q == TriageTables::kSentinel ? TriageTables::kNegInf : q;
+  };
+
+  int32_t* cur = g.cur;
+  int32_t* next = g.next;
+  for (size_t t = 0; t < g.t_len; ++t) {
+    for (size_t w = 0; w < width; ++w) {
+      g.emit_rows[w] = qb + static_cast<size_t>(g.seqs[w][t]) * n;
+    }
+    if (t == 0) {
+      for (size_t w0 = 0; w0 < width; w0 += kL) {
+        for (size_t s = 0; s < n; ++s) {
+          const I v = Arch::AddI(Arch::BroadcastI(expand(qpi[s])),
+                                 Arch::GatherI16(g.emit_rows + w0, s));
+          Arch::StoreI(cur + s * width + w0, Arch::MaxI(v, neg_inf));
+        }
+      }
+      continue;
+    }
+    size_t w0 = 0;
+    while (w0 < width) {
+      const size_t groups = (width - w0) / kL;
+      if (groups >= 4) {
+        TriageStepTile<Arch, 4>(at, n, width, w0, cur, next, g.emit_rows,
+                                qa, neg_inf);
+        w0 += 4 * kL;
+      } else if (groups >= 2) {
+        TriageStepTile<Arch, 2>(at, n, width, w0, cur, next, g.emit_rows,
+                                qa, neg_inf);
+        w0 += 2 * kL;
+      } else {
+        TriageStepTile<Arch, 1>(at, n, width, w0, cur, next, g.emit_rows,
+                                qa, neg_inf);
+        w0 += kL;
+      }
+    }
+    int32_t* swap = cur;
+    cur = next;
+    next = swap;
+  }
+  for (size_t w = 0; w < width; ++w) {
+    int32_t best = TriageTables::kNegInf;
+    for (size_t s = 0; s < n; ++s) {
+      const int32_t v = cur[s * width + w];
+      if (v > best) best = v;
+    }
+    g.best[w] = best;
+  }
+}
+
+/// The scalar table (always available; accepts any width).
+const BatchKernels& ScalarKernels();
+/// The AVX2 table, or null when the build lacks the AVX2 translation unit.
+const BatchKernels* Avx2Kernels();
+/// The NEON table, or null off AArch64.
+const BatchKernels* NeonKernels();
+
+}  // namespace adprom::hmm::internal
+
+#endif  // ADPROM_HMM_BATCH_KERNELS_H_

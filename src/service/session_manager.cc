@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <span>
 #include <utility>
 
 namespace adprom::service {
@@ -106,16 +107,23 @@ void SessionManager::RunWorker(const std::shared_ptr<Session>& session,
       }
     }
     session->space_cv.notify_all();
-    for (runtime::CallEvent& event : batch) {
-      std::optional<core::Detection> verdict =
-          session->monitor.OnEvent(std::move(event));
-      if (!verdict.has_value()) continue;
+    // Micro-batch: every window these events complete is scored in one
+    // vectorized pass. The batch is exactly what was already queued — the
+    // worker never waits for more events, so batch formation adds no
+    // delay beyond queue latency.
+    std::vector<core::Detection> verdicts =
+        session->monitor.OnEvents(std::span<runtime::CallEvent>(batch));
+    if (!verdicts.empty()) {
       {
         std::lock_guard<std::mutex> lock(session->mu);
-        ++session->stats.verdicts;
-        if (verdict->IsAlarm()) ++session->stats.alarms;
+        session->stats.verdicts += verdicts.size();
+        for (const core::Detection& verdict : verdicts) {
+          if (verdict.IsAlarm()) ++session->stats.alarms;
+        }
       }
-      sink_->OnDetection(session_id, *verdict);
+      for (const core::Detection& verdict : verdicts) {
+        sink_->OnDetection(session_id, verdict);
+      }
     }
   }
   session->idle_cv.notify_all();

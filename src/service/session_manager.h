@@ -31,7 +31,10 @@ struct SessionManagerOptions {
   enum class OverflowPolicy { kBlock, kDropOldest };
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   /// Events one scoring task drains before rescheduling, bounding how long
-  /// a chatty session can monopolize a pool worker.
+  /// a chatty session can monopolize a pool worker. Also the upper bound
+  /// on the per-shard scoring micro-batch (StreamingMonitor::OnEvents):
+  /// whatever is queued, up to this many events, scores as one vectorized
+  /// block.
   size_t batch_size = 64;
 };
 

@@ -1,5 +1,7 @@
 #include "service/streaming_monitor.h"
 
+#include <algorithm>
+
 namespace adprom::service {
 
 StreamingMonitor::StreamingMonitor(const core::ApplicationProfile* profile)
@@ -8,36 +10,79 @@ StreamingMonitor::StreamingMonitor(const core::ApplicationProfile* profile)
       window_length_(profile->options.window_length) {
   events_.reserve(2 * window_length_);
   symbols_.reserve(2 * window_length_);
-  workspace_.Reserve(window_length_, profile->model.num_states());
+  engine_.ReserveWorkspace(&workspace_);
 }
 
-std::optional<core::Detection> StreamingMonitor::OnEvent(
-    runtime::CallEvent event) {
+void StreamingMonitor::Append(runtime::CallEvent event) {
   // Encode-once: the symbol is interned now and slides through every
   // window that covers this event (profile Encode is per-event, so the
   // sliding slice equals what encoding each window afresh would produce).
   symbols_.push_back(profile_->alphabet.Lookup(profile_->ObservableOf(event)));
   events_.push_back(std::move(event));
   ++events_seen_;
+}
 
+void StreamingMonitor::MaybeCompact() {
+  if (events_.size() < 2 * window_length_) return;
+  // Bulk compaction: drop everything before the live window. Runs at most
+  // once per n single events (or once per micro-batch), so the per-event
+  // amortized cost is constant.
+  const size_t start = events_.size() - window_length_;
+  events_.erase(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(start));
+  symbols_.erase(symbols_.begin(),
+                 symbols_.begin() + static_cast<ptrdiff_t>(start));
+}
+
+std::optional<core::Detection> StreamingMonitor::OnEvent(
+    runtime::CallEvent event) {
+  Append(std::move(event));
   if (events_seen_ < window_length_) return std::nullopt;
   const size_t start = events_.size() - window_length_;
   const std::span<const runtime::CallEvent> window(events_.data() + start,
                                                    window_length_);
   const hmm::SymbolSpan seq(symbols_.data() + start, window_length_);
   core::Detection verdict =
-      engine_.EvaluateEncoded(window, seq, windows_scored_, &workspace_);
+      engine_.EvaluateEncoded(window, seq, windows_scored_,
+                              &workspace_.forward);
   ++windows_scored_;
-
-  if (events_.size() >= 2 * window_length_) {
-    // Bulk compaction: drop everything before the live window. Runs once
-    // per n events, so the per-event amortized cost is constant.
-    events_.erase(events_.begin(),
-                  events_.begin() + static_cast<ptrdiff_t>(start));
-    symbols_.erase(symbols_.begin(),
-                   symbols_.begin() + static_cast<ptrdiff_t>(start));
-  }
+  MaybeCompact();
   return verdict;
+}
+
+std::vector<core::Detection> StreamingMonitor::OnEvents(
+    std::span<runtime::CallEvent> events) {
+  std::vector<core::Detection> verdicts;
+  if (events.empty()) return verdicts;
+  // Append the whole micro-batch first: spans formed below point into the
+  // final buffer tail and stay valid through the scoring call.
+  for (runtime::CallEvent& event : events) Append(std::move(event));
+  if (events_seen_ < window_length_) return verdicts;
+
+  // The batch completes one window per event past the first n-1 of the
+  // stream; their ends are the last `num_ready` buffer positions.
+  const size_t num_ready =
+      std::min(events.size(), events_seen_ - window_length_ + 1);
+  const size_t first_end = events_.size() - num_ready + 1;
+  workspace_.spans.clear();
+  for (size_t i = 0; i < num_ready; ++i) {
+    const size_t start = first_end + i - window_length_;
+    workspace_.spans.emplace_back(symbols_.data() + start, window_length_);
+  }
+  workspace_.scores.resize(num_ready);
+  engine_.ScoreWindows(workspace_.spans, &workspace_, workspace_.scores);
+
+  verdicts.reserve(num_ready);
+  for (size_t i = 0; i < num_ready; ++i) {
+    const size_t start = first_end + i - window_length_;
+    const std::span<const runtime::CallEvent> window(events_.data() + start,
+                                                     window_length_);
+    verdicts.push_back(engine_.AssembleVerdict(window, workspace_.spans[i],
+                                               windows_scored_,
+                                               workspace_.scores[i]));
+    ++windows_scored_;
+  }
+  MaybeCompact();
+  return verdicts;
 }
 
 std::optional<core::Detection> StreamingMonitor::Finish() {
@@ -52,7 +97,7 @@ std::optional<core::Detection> StreamingMonitor::Finish() {
                                                    events_.size());
   const hmm::SymbolSpan seq(symbols_.data(), symbols_.size());
   core::Detection verdict = engine_.EvaluateEncoded(window, seq, 0,
-                                                    &workspace_);
+                                                    &workspace_.forward);
   ++windows_scored_;
   return verdict;
 }

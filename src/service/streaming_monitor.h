@@ -2,26 +2,33 @@
 #define ADPROM_SERVICE_STREAMING_MONITOR_H_
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "core/detection_engine.h"
 #include "core/profile.h"
+#include "hmm/batch_forward.h"
 #include "hmm/inference.h"
 #include "runtime/call_event.h"
 
 namespace adprom::service {
 
-/// Incremental Detection Engine front-end: accepts one runtime::CallEvent
-/// at a time and emits, per event, the verdict of the n-window that event
-/// completes — the same verdicts DetectionEngine::MonitorTrace would emit
-/// for the full recorded trace, bit for bit, because both funnel every
-/// window through DetectionEngine::EvaluateEncoded.
+/// Incremental Detection Engine front-end: accepts runtime::CallEvents one
+/// at a time (OnEvent) or in micro-batches (OnEvents) and emits, per
+/// event, the verdict of the n-window that event completes — the same
+/// verdicts DetectionEngine::MonitorTrace would emit for the full recorded
+/// trace, bit for bit, because all paths funnel through the engine's
+/// shared scoring + verdict assembly.
 ///
 /// Per-event cost: each event is encoded exactly once on arrival (never
-/// re-encoded when later windows slide over it), the forward recursion
-/// runs over the current window through a pre-reserved
-/// hmm::ForwardWorkspace, and the event/symbol buffers are compacted in
-/// bulk every n events — zero heap allocation in steady state beyond the
-/// strings carried by the events themselves.
+/// re-encoded when later windows slide over it), and the event/symbol
+/// buffers are compacted in bulk — zero heap allocation in steady state
+/// beyond the strings carried by the events themselves. OnEvents
+/// additionally scores all the windows its events complete as ONE batch
+/// through the engine's vectorized hmm::BatchScorer, so the transition
+/// CSR is swept once per time-step for the whole micro-batch. The batch
+/// is whatever the caller already has in hand — the monitor never waits
+/// for more events, so batching adds no formation delay.
 ///
 /// Not thread-safe: one StreamingMonitor per session, driven by at most
 /// one thread at a time (the SessionManager guarantees this).
@@ -35,6 +42,12 @@ class StreamingMonitor {
   /// still filling (batch emits no verdict for those prefixes either).
   std::optional<core::Detection> OnEvent(runtime::CallEvent event);
 
+  /// Feeds a micro-batch of events (consumed by move) and returns the
+  /// verdicts of every window they complete, in event order — exactly the
+  /// concatenated results of calling OnEvent on each. The completed
+  /// windows are scored together through the batched engine.
+  std::vector<core::Detection> OnEvents(std::span<runtime::CallEvent> events);
+
   /// Ends the stream. Sessions shorter than the window length are scored
   /// as one whole-trace window — the SlidingWindows rule for short traces
   /// — so even a 1-event session gets the verdict batch would give it.
@@ -46,16 +59,24 @@ class StreamingMonitor {
   size_t windows_scored() const { return windows_scored_; }
 
  private:
+  /// Appends one event to the sliding buffers (encode-once).
+  void Append(runtime::CallEvent event);
+  /// Drops everything before the live window once the buffers outgrow 2n.
+  void MaybeCompact();
+
   const core::ApplicationProfile* profile_;
   core::DetectionEngine engine_;
   size_t window_length_;
   /// Sliding buffers: the live window is always the contiguous tail of
-  /// these vectors. When they reach 2n events the older half is discarded
-  /// with one bulk move — amortized O(1) per event, and spans into the
-  /// tail stay valid for the duration of each scoring call.
+  /// these vectors. When they outgrow 2n events the prefix before the live
+  /// window is discarded with one bulk move — amortized O(1) per event,
+  /// and spans into the tail stay valid for the duration of each scoring
+  /// call (OnEvents appends its whole batch before forming spans).
   runtime::Trace events_;
   hmm::ObservationSeq symbols_;
-  hmm::ForwardWorkspace workspace_;
+  /// Reserved scoring buffers (scalar + batch tiers) — see
+  /// DetectionEngine::ReserveWorkspace.
+  hmm::BatchWorkspace workspace_;
   size_t events_seen_ = 0;
   size_t windows_scored_ = 0;
   bool finished_ = false;

@@ -1,0 +1,181 @@
+#ifndef ADPROM_UTIL_SIMD_H_
+#define ADPROM_UTIL_SIMD_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace adprom::util {
+
+/// The instruction sets the batched kernels are specialized for. Each level
+/// is a *lane-per-window* vector width: lanes never interact, so every
+/// level computes bit-identical per-window results (see the Arch contracts
+/// below) and the dispatch choice is purely a throughput decision.
+enum class SimdLevel { kScalar, kNeon, kAvx2 };
+
+inline const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kNeon: return "neon";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+/// Best SIMD level the *running* CPU supports, probed once (cpuid on x86).
+/// Setting the environment variable ADPROM_FORCE_SCALAR (to anything but
+/// "0" or "OFF") pins the answer to kScalar so CI can exercise the
+/// fallback kernels on hardware that would normally dispatch to SIMD.
+inline SimdLevel DetectSimdLevel() {
+  static const SimdLevel level = [] {
+    if (const char* force = std::getenv("ADPROM_FORCE_SCALAR")) {
+      if (std::strcmp(force, "0") != 0 && std::strcmp(force, "OFF") != 0 &&
+          std::strcmp(force, "off") != 0 && force[0] != '\0') {
+        return SimdLevel::kScalar;
+      }
+    }
+#if defined(__aarch64__)
+    return SimdLevel::kNeon;  // advanced SIMD is baseline on AArch64
+#elif (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    return SimdLevel::kScalar;
+#else
+    return SimdLevel::kScalar;
+#endif
+  }();
+  return level;
+}
+
+/// Arch tags for the templated batch kernels. Each arch packs kLanes
+/// independent windows in `D` (one double per window) and kILanes windows
+/// in `I` (one int32 per window). The two counts differ where the ISA
+/// packs more int32 than doubles per register — harmless, because the
+/// triage tier is exact integer arithmetic and any lane grouping computes
+/// the same bounds. The contracts that keep every arch bit-identical per
+/// lane:
+///
+///  * MulD/AddD/DivD are plain IEEE-754 packed ops — same rounding as the
+///    corresponding scalar op, lane by lane. No FMA variants exist in this
+///    interface, and the kernel translation units are compiled with
+///    -ffp-contract=off, so no arch can fuse a multiply-add the scalar
+///    reference keeps separate.
+///  * FloorScaleD(floor, v) reproduces std::max(v, floor) exactly,
+///    including the NaN-propagation direction (NaN v stays NaN).
+///  * GatherD/GatherI16 are per-lane scalar loads; no arithmetic.
+struct ScalarArch {
+  static constexpr size_t kLanes = 1;
+  static constexpr size_t kILanes = 1;
+  using D = double;
+  using I = int32_t;
+
+  static D LoadD(const double* p) { return *p; }
+  static void StoreD(double* p, D v) { *p = v; }
+  static D BroadcastD(double v) { return v; }
+  static D ZeroD() { return 0.0; }
+  static D MulD(D a, D b) { return a * b; }
+  static D AddD(D a, D b) { return a + b; }
+  static D DivD(D a, D b) { return a / b; }
+  static D FloorScaleD(D floor, D v) { return v < floor ? floor : v; }
+  static D GatherD(const double* const* rows, size_t col) {
+    return rows[0][col];
+  }
+
+  static I LoadI(const int32_t* p) { return *p; }
+  static void StoreI(int32_t* p, I v) { *p = v; }
+  static I BroadcastI(int32_t v) { return v; }
+  static I AddI(I a, I b) { return a + b; }
+  static I MaxI(I a, I b) { return a > b ? a : b; }
+  static I GatherI16(const int16_t* const* rows, size_t col) {
+    return static_cast<int32_t>(rows[0][col]);
+  }
+};
+
+#if defined(__AVX2__)
+/// Four double windows per vector in the exact tier; eight int32 windows
+/// per vector in the triage tier (full-width vpaddd/vpmaxsd).
+struct Avx2Arch {
+  static constexpr size_t kLanes = 4;
+  static constexpr size_t kILanes = 8;
+  using D = __m256d;
+  using I = __m256i;
+
+  static D LoadD(const double* p) { return _mm256_loadu_pd(p); }
+  static void StoreD(double* p, D v) { _mm256_storeu_pd(p, v); }
+  static D BroadcastD(double v) { return _mm256_set1_pd(v); }
+  static D ZeroD() { return _mm256_setzero_pd(); }
+  static D MulD(D a, D b) { return _mm256_mul_pd(a, b); }
+  static D AddD(D a, D b) { return _mm256_add_pd(a, b); }
+  static D DivD(D a, D b) { return _mm256_div_pd(a, b); }
+  /// vmaxpd returns the *second* operand when either input is NaN or the
+  /// operands compare equal; with `floor` first this is exactly
+  /// std::max(v, floor).
+  static D FloorScaleD(D floor, D v) { return _mm256_max_pd(floor, v); }
+  static D GatherD(const double* const* rows, size_t col) {
+    return _mm256_set_pd(rows[3][col], rows[2][col], rows[1][col],
+                         rows[0][col]);
+  }
+
+  static I LoadI(const int32_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void StoreI(int32_t* p, I v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static I BroadcastI(int32_t v) { return _mm256_set1_epi32(v); }
+  static I AddI(I a, I b) { return _mm256_add_epi32(a, b); }
+  static I MaxI(I a, I b) { return _mm256_max_epi32(a, b); }
+  static I GatherI16(const int16_t* const* rows, size_t col) {
+    return _mm256_set_epi32(rows[7][col], rows[6][col], rows[5][col],
+                            rows[4][col], rows[3][col], rows[2][col],
+                            rows[1][col], rows[0][col]);
+  }
+};
+#endif  // __AVX2__
+
+#if defined(__aarch64__)
+/// Two double windows per vector (128-bit NEON); four int32 windows per
+/// vector in the triage tier.
+struct NeonArch {
+  static constexpr size_t kLanes = 2;
+  static constexpr size_t kILanes = 4;
+  using D = float64x2_t;
+  using I = int32x4_t;
+
+  static D LoadD(const double* p) { return vld1q_f64(p); }
+  static void StoreD(double* p, D v) { vst1q_f64(p, v); }
+  static D BroadcastD(double v) { return vdupq_n_f64(v); }
+  static D ZeroD() { return vdupq_n_f64(0.0); }
+  static D MulD(D a, D b) { return vmulq_f64(a, b); }
+  static D AddD(D a, D b) { return vaddq_f64(a, b); }
+  static D DivD(D a, D b) { return vdivq_f64(a, b); }
+  static D FloorScaleD(D floor, D v) { return vmaxq_f64(floor, v); }
+  static D GatherD(const double* const* rows, size_t col) {
+    float64x2_t v = vdupq_n_f64(rows[0][col]);
+    return vsetq_lane_f64(rows[1][col], v, 1);
+  }
+
+  static I LoadI(const int32_t* p) { return vld1q_s32(p); }
+  static void StoreI(int32_t* p, I v) { vst1q_s32(p, v); }
+  static I BroadcastI(int32_t v) { return vdupq_n_s32(v); }
+  static I AddI(I a, I b) { return vaddq_s32(a, b); }
+  static I MaxI(I a, I b) { return vmaxq_s32(a, b); }
+  static I GatherI16(const int16_t* const* rows, size_t col) {
+    int32x4_t v = vdupq_n_s32(rows[0][col]);
+    v = vsetq_lane_s32(rows[1][col], v, 1);
+    v = vsetq_lane_s32(rows[2][col], v, 2);
+    return vsetq_lane_s32(rows[3][col], v, 3);
+  }
+};
+#endif  // __aarch64__
+
+}  // namespace adprom::util
+
+#endif  // ADPROM_UTIL_SIMD_H_

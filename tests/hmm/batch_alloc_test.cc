@@ -1,0 +1,137 @@
+// Asserts the batched engine's steady-state zero-allocation contract: once
+// a BatchWorkspace has been Reserve()d (or warmed by one call), repeated
+// ScoreBatch calls perform no heap allocations at all. The check replaces
+// the global operator new in this test binary with a counting hook — kept
+// in its own binary so the override cannot perturb any other suite.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "hmm/batch_forward.h"
+#include "hmm/sparse.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace adprom::hmm {
+namespace {
+
+/// RAII arm/disarm for the counting hook.
+class CountAllocations {
+ public:
+  CountAllocations() {
+    g_allocations.store(0);
+    g_counting.store(true);
+  }
+  ~CountAllocations() { g_counting.store(false); }
+  size_t count() const { return g_allocations.load(); }
+};
+
+HmmModel SmallModel(size_t n, size_t m) {
+  util::Rng rng(7);
+  util::Matrix a(n, n);
+  util::Matrix b(n, m);
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  for (size_t s = 0; s < n; ++s) {
+    a.At(s, (s + 1) % n) = 0.6;
+    a.At(s, s) = 0.4;
+    for (size_t o = 0; o < m; ++o) b.At(s, o) = 0.1 + rng.UniformDouble();
+  }
+  b.NormalizeRows();
+  HmmModel model(std::move(a), std::move(b), std::move(pi));
+  model.SmoothEmissions(1e-6);
+  return model;
+}
+
+TEST(BatchAllocTest, ScoreBatchIsAllocationFreeAfterReserve) {
+  const HmmModel model = SmallModel(24, 6);
+  const SparseHmm sparse(model);
+  for (const bool triage : {false, true}) {
+    BatchOptions options;
+    options.width = 8;
+    options.triage = triage;
+    const BatchScorer scorer(&sparse, options);
+
+    std::vector<ObservationSeq> seqs(19);
+    util::Rng rng(9);
+    for (ObservationSeq& seq : seqs) {
+      seq.resize(15);
+      for (int& v : seq) v = static_cast<int>(rng.UniformU64(6));
+    }
+    const std::vector<SymbolSpan> spans(seqs.begin(), seqs.end());
+    std::vector<double> out(seqs.size());
+
+    BatchWorkspace ws;
+    scorer.Reserve(&ws);
+    // Warm-up: the dispatcher's function-local statics and any first-use
+    // growth happen here, outside the counted region.
+    ASSERT_TRUE(scorer.ScoreBatch(spans, -1e9, &ws, out).ok());
+
+    CountAllocations guard;
+    for (int repeat = 0; repeat < 16; ++repeat) {
+      ASSERT_TRUE(scorer.ScoreBatch(spans, -1e9, &ws, out).ok());
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "steady-state ScoreBatch allocated (triage=" << triage << ")";
+  }
+}
+
+TEST(BatchAllocTest, ReserveAloneIsEnoughForTheFirstCall) {
+  const HmmModel model = SmallModel(16, 5);
+  const SparseHmm sparse(model);
+  BatchOptions options;
+  options.width = 4;
+  const BatchScorer scorer(&sparse, options);
+
+  std::vector<ObservationSeq> seqs(4);
+  util::Rng rng(21);
+  for (ObservationSeq& seq : seqs) {
+    seq.resize(10);
+    for (int& v : seq) v = static_cast<int>(rng.UniformU64(5));
+  }
+  const std::vector<SymbolSpan> spans(seqs.begin(), seqs.end());
+  std::vector<double> out(seqs.size());
+
+  BatchWorkspace ws;
+  scorer.Reserve(&ws);
+  // Touch the dispatcher's static kernel tables outside the counted
+  // region (they initialize on first use, once per process).
+  {
+    std::vector<double> warm_out(spans.size());
+    BatchWorkspace warm_ws;
+    scorer.Reserve(&warm_ws);
+    ASSERT_TRUE(scorer.ScoreBatch(spans, -1e9, &warm_ws, warm_out).ok());
+  }
+
+  CountAllocations guard;
+  ASSERT_TRUE(scorer.ScoreBatch(spans, -1e9, &ws, out).ok());
+  EXPECT_EQ(guard.count(), 0u)
+      << "first ScoreBatch after Reserve() allocated";
+}
+
+}  // namespace
+}  // namespace adprom::hmm

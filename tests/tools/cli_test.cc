@@ -383,6 +383,15 @@ TEST(CliInfoTest, PrintsProfileSummary) {
       info.output.find("emission matrix: 2x3, nnz 6 (100.0% dense)"),
       std::string::npos)
       << info.output;
+  EXPECT_NE(
+      info.output.find(
+          "quantized triage tables: "),
+      std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("scale 2^10 = 1024"), std::string::npos)
+      << info.output;
+  EXPECT_NE(info.output.find("simd dispatch: "), std::string::npos)
+      << info.output;
   std::remove(profile_path.c_str());
 }
 

@@ -13,6 +13,7 @@
 #include "prog/program.h"
 #include "runtime/trace_io.h"
 #include "service/session_manager.h"
+#include "util/simd.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -35,7 +36,8 @@ struct ParsedArgs {
 
 constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
                                       "--flow-insensitive", "--no-absint",
-                                      "--all", "--dense-kernels"};
+                                      "--all", "--dense-kernels",
+                                      "--no-simd", "--triage"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -131,6 +133,26 @@ core::TestCase InputsFlag(const ParsedArgs& args) {
   return test_case;
 }
 
+/// Applies the batched-scoring-engine flags shared by every command that
+/// constructs a DetectionEngine: --batch-width N (0 = window-at-a-time),
+/// --no-simd (force the scalar kernels), --triage (quantized triage tier).
+util::Status ApplyBatchFlags(const ParsedArgs& args,
+                             core::ProfileOptions* options) {
+  if (args.Has("--batch-width")) {
+    const std::string& value = args.Get("--batch-width");
+    char* end = nullptr;
+    const long width = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || *end != '\0' || width < 0) {
+      return util::Status::InvalidArgument(
+          "--batch-width must be a number >= 0 (0 = unbatched)");
+    }
+    options->batch_width = static_cast<size_t>(width);
+  }
+  if (args.Has("--no-simd")) options->no_simd = true;
+  if (args.Has("--triage")) options->triage = true;
+  return util::Status::Ok();
+}
+
 util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
   core::ProfileOptions options;
   if (args.Has("--window")) {
@@ -146,6 +168,7 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
   if (args.Has("--flow-insensitive")) options.flow_insensitive_taint = true;
   if (args.Has("--no-absint")) options.absint_refinement = false;
   if (args.Has("--dense-kernels")) options.dense_kernels = true;
+  ADPROM_RETURN_IF_ERROR(ApplyBatchFlags(args, &options));
   if (args.Has("--seed")) {
     options.seed = std::strtoull(args.Get("--seed").c_str(), nullptr, 10);
   }
@@ -307,7 +330,7 @@ util::Status CmdScore(const ParsedArgs& args, std::ostream& out) {
   if (!args.Has("--profile") || !args.Has("--trace")) {
     return util::Status::InvalidArgument(
         "usage: adprom score --profile app.profile --trace run.trace"
-        " [--dense-kernels]");
+        " [--dense-kernels] [--batch-width N] [--no-simd] [--triage]");
   }
   ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
                           ReadFileToString(args.Get("--profile")));
@@ -315,6 +338,7 @@ util::Status CmdScore(const ParsedArgs& args, std::ostream& out) {
                           core::ApplicationProfile::Deserialize(
                               profile_text));
   profile.options.dense_kernels = args.Has("--dense-kernels");
+  ADPROM_RETURN_IF_ERROR(ApplyBatchFlags(args, &profile.options));
   ADPROM_ASSIGN_OR_RETURN(std::string trace_text,
                           ReadFileToString(args.Get("--trace")));
   ADPROM_ASSIGN_OR_RETURN(runtime::Trace trace,
@@ -327,7 +351,8 @@ util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2 || !args.Has("--profile")) {
     return util::Status::InvalidArgument(
         "usage: adprom monitor <app.mini> [--db seed.sql]"
-        " --profile app.profile [--input a,b] [--dense-kernels]");
+        " --profile app.profile [--input a,b] [--dense-kernels]"
+        " [--batch-width N] [--no-simd] [--triage]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
@@ -338,6 +363,7 @@ util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
                           core::ApplicationProfile::Deserialize(
                               profile_text));
   profile.options.dense_kernels = args.Has("--dense-kernels");
+  ADPROM_RETURN_IF_ERROR(ApplyBatchFlags(args, &profile.options));
   auto cfgs = prog::BuildAllCfgs(program);
   if (!cfgs.ok()) return cfgs.status();
   ADPROM_ASSIGN_OR_RETURN(
@@ -360,7 +386,8 @@ util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
     return util::Status::InvalidArgument(
         "usage: adprom serve --profile app.profile [--trace f1,f2 |"
         " --events feed.txt] [--threads N] [--queue N]"
-        " [--policy block|drop-oldest] [--all] [--dense-kernels]");
+        " [--policy block|drop-oldest] [--all] [--dense-kernels]"
+        " [--batch-width N] [--no-simd] [--triage]");
   }
   ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
                           ReadFileToString(args.Get("--profile")));
@@ -368,6 +395,7 @@ util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
                           core::ApplicationProfile::Deserialize(
                               profile_text));
   profile.options.dense_kernels = args.Has("--dense-kernels");
+  ADPROM_RETURN_IF_ERROR(ApplyBatchFlags(args, &profile.options));
 
   size_t threads = 1;
   if (args.Has("--threads")) {
@@ -515,6 +543,16 @@ util::Status CmdInfo(const ParsedArgs& args, std::ostream& out) {
   out << "emission matrix: " << n << "x" << m << ", nnz " << b_nnz << " ("
       << util::StrFormat("%.1f", 100.0 * density(b_nnz, n * m))
       << "% dense)\n";
+  // What the triage tier would prepare for this profile: int16 tables for
+  // pi, the stored A nonzeros, and all of Bᵀ, with logs pre-scaled by
+  // 2^kScaleBits.
+  const hmm::SparseHmm sparse(model);
+  const hmm::TriageTables triage(sparse);
+  out << "quantized triage tables: " << triage.SizeBytes()
+      << " bytes (int16 logs, scale 2^" << hmm::TriageTables::kScaleBits
+      << " = " << hmm::TriageTables::kScale << ")\n";
+  out << "simd dispatch: " << util::SimdLevelName(util::DetectSimdLevel())
+      << "\n";
   return util::Status::Ok();
 }
 
