@@ -26,6 +26,7 @@
 #include "analysis/dataflow/flow_graph.h"
 #include "core/adprom.h"
 #include "core/detection_engine.h"
+#include "analysis/dataflow/ifds.h"
 #include "analysis/dataflow/lint.h"
 #include "analysis/dataflow/liveness.h"
 #include "analysis/dataflow/reaching_defs.h"
@@ -59,11 +60,16 @@ struct AppResult {
   double absint_ms = 0.0;
   double refine_ms = 0.0;
   double lint_ms = 0.0;
+  double ifds_ms = 0.0;
+  double witness_ms = 0.0;
   size_t fi_labeled_sinks = 0;
   size_t fs_labeled_sinks = 0;
   size_t pruned_edges = 0;
   size_t bounded_loops = 0;
   size_t lint_findings = 0;
+  size_t ifds_sink_facts = 0;
+  size_t ifds_pruned_facts = 0;
+  size_t ifds_witnesses = 0;
 };
 
 /// Runs `body` `repeats` times and returns the *minimum* wall time in ms
@@ -141,6 +147,30 @@ AppResult BenchApp(const apps::CorpusApp& app, size_t repeats,
     auto report = analysis::dataflow::RunLint(program);
     ADPROM_CHECK(report.ok());
     result.lint_findings = report->findings.size();
+  });
+
+  // The IFDS engine twice: reachability only (the facts the flow-sensitive
+  // pass also computes, solved on the exploded supergraph), then the full
+  // demand-driven tier — conditioned feasibility replays plus witness
+  // reconstruction — whose delta is the price of the witnesses.
+  analysis::dataflow::IfdsOptions ifds_options;
+  ifds_options.config = config;
+  ifds_options.pool = pool;
+  ifds_options.feasibility_filter = false;
+  ifds_options.witnesses = false;
+  result.ifds_ms = TimeMs(repeats, [&] {
+    auto ifds = analysis::dataflow::RunIfdsTaint(program, ifds_options);
+    ADPROM_CHECK(ifds.ok());
+  });
+  analysis::dataflow::IfdsOptions witness_options;
+  witness_options.config = config;
+  witness_options.pool = pool;
+  result.witness_ms = TimeMs(repeats, [&] {
+    auto ifds = analysis::dataflow::RunIfdsTaint(program, witness_options);
+    ADPROM_CHECK(ifds.ok());
+    result.ifds_sink_facts = ifds->stats.sink_facts;
+    result.ifds_pruned_facts = ifds->stats.pruned_facts;
+    result.ifds_witnesses = ifds->witnesses.size();
   });
 
   size_t sites = 0;
@@ -237,11 +267,16 @@ void WriteJson(const std::vector<AppResult>& results,
          << ", \"absint_ms\": " << Num(r.absint_ms)
          << ", \"refine_ms\": " << Num(r.refine_ms)
          << ", \"lint_ms\": " << Num(r.lint_ms)
+         << ", \"ifds_ms\": " << Num(r.ifds_ms)
+         << ", \"witness_ms\": " << Num(r.witness_ms)
          << ", \"fi_labeled_sinks\": " << r.fi_labeled_sinks
          << ", \"fs_labeled_sinks\": " << r.fs_labeled_sinks
          << ", \"pruned_edges\": " << r.pruned_edges
          << ", \"bounded_loops\": " << r.bounded_loops
-         << ", \"lint_findings\": " << r.lint_findings << "}"
+         << ", \"lint_findings\": " << r.lint_findings
+         << ", \"ifds_sink_facts\": " << r.ifds_sink_facts
+         << ", \"ifds_pruned_facts\": " << r.ifds_pruned_facts
+         << ", \"ifds_witnesses\": " << r.ifds_witnesses << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ],\n";
@@ -279,19 +314,23 @@ void Run(bool smoke, const std::string& json_path) {
   std::vector<AppResult> results;
   util::TablePrinter table({"app", "fns", "FI taint", "FS taint",
                             "FS pooled", "reach-defs", "liveness", "absint",
-                            "refine", "lint", "FI/FS sinks", "pruned/bounded",
-                            "findings"});
+                            "refine", "lint", "ifds", "witness",
+                            "FI/FS sinks", "pruned/bounded", "findings",
+                            "facts-pruned"});
   for (const apps::CorpusApp& app : corpus) {
     AppResult r = BenchApp(app, repeats, &pool);
     table.AddRow({r.name, std::to_string(r.functions), Num(r.fi_taint_ms),
                   Num(r.fs_taint_ms), Num(r.fs_taint_pooled_ms),
                   Num(r.reaching_defs_ms), Num(r.liveness_ms),
                   Num(r.absint_ms), Num(r.refine_ms), Num(r.lint_ms),
+                  Num(r.ifds_ms), Num(r.witness_ms),
                   std::to_string(r.fi_labeled_sinks) + "/" +
                       std::to_string(r.fs_labeled_sinks),
                   std::to_string(r.pruned_edges) + "/" +
                       std::to_string(r.bounded_loops),
-                  std::to_string(r.lint_findings)});
+                  std::to_string(r.lint_findings),
+                  std::to_string(r.ifds_sink_facts) + "-" +
+                      std::to_string(r.ifds_pruned_facts)});
     results.push_back(std::move(r));
   }
   table.Print();

@@ -1,0 +1,4 @@
+# Schema and seed data for the witness demo sample.
+CREATE TABLE patients (name TEXT, ssn TEXT)
+INSERT INTO patients VALUES ('ada', '000-00-0001')
+INSERT INTO patients VALUES ('bob', '000-00-0002')

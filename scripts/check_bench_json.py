@@ -116,7 +116,15 @@ def check_analysis(doc, path):
     apps = require(doc, path, "apps", list)
     check_runs(apps, path, "apps",
                ["functions", "fi_taint_ms", "fs_taint_ms", "absint_ms",
-                "lint_ms"])
+                "lint_ms", "ifds_ms", "witness_ms", "ifds_sink_facts",
+                "ifds_pruned_facts", "ifds_witnesses"])
+    for i, run in enumerate(apps):
+        # The IFDS fixpoint labels the same facts the flow-sensitive pass
+        # does; pruning can only discard some of them.
+        if run["ifds_pruned_facts"] > run["ifds_sink_facts"]:
+            fail(path, f"apps[{i}]: ifds_pruned_facts "
+                       f"({run['ifds_pruned_facts']}) exceeds "
+                       f"ifds_sink_facts ({run['ifds_sink_facts']})")
     ablation = require(doc, path, "forecast_ablation", dict)
     require(ablation, path, "refined_mean_score", (int, float))
     require(ablation, path, "uniform_mean_score", (int, float))

@@ -1,0 +1,482 @@
+#include "analysis/absint/replay.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "analysis/absint/engine.h"
+
+namespace adprom::analysis::absint {
+
+namespace {
+
+/// Comparison folding is only trusted while int64 -> double conversion is
+/// injective (the runtime compares numerics as doubles).
+constexpr int64_t kExactDoubleBound = int64_t{1} << 53;
+
+bool WithinExactDoubleRange(const Interval& iv) {
+  return iv.lo() >= -kExactDoubleBound && iv.hi() <= kExactDoubleBound;
+}
+
+bool IsRelOp(prog::BinOp op) {
+  switch (op) {
+    case prog::BinOp::kLt:
+    case prog::BinOp::kLe:
+    case prog::BinOp::kGt:
+    case prog::BinOp::kGe:
+    case prog::BinOp::kEq:
+    case prog::BinOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+prog::BinOp NegateRel(prog::BinOp op) {
+  switch (op) {
+    case prog::BinOp::kLt: return prog::BinOp::kGe;
+    case prog::BinOp::kLe: return prog::BinOp::kGt;
+    case prog::BinOp::kGt: return prog::BinOp::kLe;
+    case prog::BinOp::kGe: return prog::BinOp::kLt;
+    case prog::BinOp::kEq: return prog::BinOp::kNe;
+    case prog::BinOp::kNe: return prog::BinOp::kEq;
+    default: return op;
+  }
+}
+
+/// Narrows `state` under the assumption `var REL value` holds. Returns
+/// false when the assumption is infeasible (caller marks the edge dead).
+bool RefineVarAgainst(AbsState* state, const std::string& var,
+                      prog::BinOp rel, const AbsValue& value) {
+  auto it = state->vars.find(var);
+  const AbsValue current =
+      it == state->vars.end() ? AbsValue::Top() : it->second;
+  // Equality against any constant pins the variable to it.
+  if (rel == prog::BinOp::kEq) {
+    using Kind = AbsValue::Kind;
+    if (value.kind() == Kind::kStrConst || value.kind() == Kind::kRealConst ||
+        value.kind() == Kind::kNull || value.IsIntConstant()) {
+      if (current.IsTop()) {
+        state->vars[var] = value;
+        return true;
+      }
+      // Keep whatever is more precise; contradictions fold to infeasible
+      // for comparable kinds.
+      const Tri eq = CompareTri(prog::BinOp::kEq, current, value);
+      if (eq == Tri::kFalse) return false;
+      if (value.kind() != Kind::kTop) state->vars[var] = value;
+      return true;
+    }
+  }
+  // Interval narrowing for numeric relations.
+  if (current.kind() != AbsValue::Kind::kInt && !current.IsTop()) {
+    return true;  // not (necessarily) an integer; leave as-is
+  }
+  const Interval bound = value.AsIntRange();
+  if (bound.IsEmpty()) return true;  // RHS can never be an integer
+  Interval allowed = Interval::Top();
+  switch (rel) {
+    case prog::BinOp::kLt:
+      allowed = Interval(Interval::kNegInf,
+                         bound.hi() == Interval::kPosInf ? Interval::kPosInf
+                                                        : bound.hi() - 1);
+      break;
+    case prog::BinOp::kLe:
+      allowed = Interval(Interval::kNegInf, bound.hi());
+      break;
+    case prog::BinOp::kGt:
+      allowed = Interval(bound.lo() == Interval::kNegInf ? Interval::kNegInf
+                                                         : bound.lo() + 1,
+                         Interval::kPosInf);
+      break;
+    case prog::BinOp::kGe:
+      allowed = Interval(bound.lo(), Interval::kPosInf);
+      break;
+    case prog::BinOp::kEq:
+      allowed = bound;
+      break;
+    case prog::BinOp::kNe: {
+      Interval range = current.AsIntRange();
+      if (bound.IsConstant() && !range.IsEmpty()) {
+        if (range.lo() == bound.lo() && range.lo() != Interval::kPosInf) {
+          range = Interval(range.lo() + 1, range.hi());
+        }
+        if (range.hi() == bound.lo() && range.hi() != Interval::kNegInf) {
+          range = Interval(range.lo(), range.hi() - 1);
+        }
+        if (range.IsEmpty()) return false;
+        if (current.IsTop() && range.IsTop()) return true;
+        state->vars[var] = AbsValue::Int(range);
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+  const Interval narrowed = current.AsIntRange().Meet(allowed);
+  // An empty meet on a known-integer variable proves the edge dead; a top
+  // variable may hold a non-integer, for which the relation could still
+  // hold (string comparison), so only narrow, never kill, on top.
+  if (narrowed.IsEmpty()) {
+    return current.kind() == AbsValue::Kind::kInt ? false : true;
+  }
+  if (!(current.IsTop() && narrowed.IsTop())) {
+    if (current.IsTop()) {
+      // Narrowing a top variable to an interval is only sound for
+      // numeric relations when the other side is numeric; a top variable
+      // compared to a string would compare lexicographically. Restrict to
+      // genuinely numeric bounds.
+      if (value.kind() == AbsValue::Kind::kInt) {
+        state->vars[var] = AbsValue::Int(narrowed);
+      }
+    } else {
+      state->vars[var] = AbsValue::Int(narrowed);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void JoinInto(AbsState* into, const AbsState& from) {
+  if (!from.reachable) return;
+  if (!into->reachable) {
+    *into = from;
+    return;
+  }
+  for (auto it = into->vars.begin(); it != into->vars.end();) {
+    auto other = from.vars.find(it->first);
+    if (other == from.vars.end()) {
+      it = into->vars.erase(it);  // top on the other path
+      continue;
+    }
+    AbsValue joined = it->second.Join(other->second);
+    if (joined.IsTop()) {
+      it = into->vars.erase(it);
+    } else {
+      it->second = std::move(joined);
+      ++it;
+    }
+  }
+}
+
+Tri CompareTri(prog::BinOp op, const AbsValue& lhs, const AbsValue& rhs) {
+  using Kind = AbsValue::Kind;
+  // Null is incomparable to everything but null. A db result may itself
+  // be null (db_query yields null on a SQL error), so it stays unknown.
+  if (lhs.kind() == Kind::kNull || rhs.kind() == Kind::kNull) {
+    if (lhs.kind() != rhs.kind()) {
+      if (lhs.IsTop() || rhs.IsTop() ||
+          lhs.kind() == Kind::kDbResult || rhs.kind() == Kind::kDbResult) {
+        return Tri::kUnknown;
+      }
+      switch (op) {
+        case prog::BinOp::kEq: return Tri::kFalse;
+        case prog::BinOp::kNe: return Tri::kTrue;
+        default: return Tri::kFalse;  // incomparable: all orderings false
+      }
+    }
+    switch (op) {  // null vs null compares equal
+      case prog::BinOp::kLe:
+      case prog::BinOp::kGe:
+      case prog::BinOp::kEq: return Tri::kTrue;
+      default: return Tri::kFalse;
+    }
+  }
+  if (lhs.kind() == Kind::kStrConst && rhs.kind() == Kind::kStrConst) {
+    const int c = lhs.str_value().compare(rhs.str_value());
+    switch (op) {
+      case prog::BinOp::kLt: return c < 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kLe: return c <= 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kGt: return c > 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kGe: return c >= 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kEq: return c == 0 ? Tri::kTrue : Tri::kFalse;
+      case prog::BinOp::kNe: return c != 0 ? Tri::kTrue : Tri::kFalse;
+      default: return Tri::kUnknown;
+    }
+  }
+  // Numeric comparison via interval ordering. Real constants degrade to
+  // the surrounding integer interval only when exact.
+  auto numeric_range = [](const AbsValue& v, Interval* out) {
+    if (v.kind() == Kind::kInt) {
+      *out = v.interval();
+      return WithinExactDoubleRange(*out);
+    }
+    if (v.kind() == Kind::kRealConst) {
+      const double d = v.real_value();
+      const auto i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) != d) return false;  // non-integral real
+      *out = Interval::Constant(i);
+      return WithinExactDoubleRange(*out);
+    }
+    return false;
+  };
+  Interval a, b;
+  if (!numeric_range(lhs, &a) || !numeric_range(rhs, &b)) {
+    return Tri::kUnknown;
+  }
+  if (a.IsEmpty() || b.IsEmpty()) return Tri::kUnknown;
+  switch (op) {
+    case prog::BinOp::kLt:
+      if (a.hi() < b.lo()) return Tri::kTrue;
+      if (a.lo() >= b.hi()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kLe:
+      if (a.hi() <= b.lo()) return Tri::kTrue;
+      if (a.lo() > b.hi()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kGt:
+      if (a.lo() > b.hi()) return Tri::kTrue;
+      if (a.hi() <= b.lo()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kGe:
+      if (a.lo() >= b.hi()) return Tri::kTrue;
+      if (a.hi() < b.lo()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kEq:
+      if (a.IsConstant() && a == b) return Tri::kTrue;
+      if (a.hi() < b.lo() || b.hi() < a.lo()) return Tri::kFalse;
+      return Tri::kUnknown;
+    case prog::BinOp::kNe:
+      return TriNot(CompareTri(prog::BinOp::kEq, lhs, rhs));
+    default:
+      return Tri::kUnknown;
+  }
+}
+
+AbsValue TriToValue(Tri t) {
+  switch (t) {
+    case Tri::kTrue: return AbsValue::Int(Interval::True());
+    case Tri::kFalse: return AbsValue::Int(Interval::False());
+    case Tri::kUnknown: return AbsValue::Int(Interval::Bool());
+  }
+  return AbsValue::Int(Interval::Bool());
+}
+
+AbsValue EvalLibraryCall(const std::string& name,
+                         const std::vector<AbsValue>& args) {
+  using Kind = AbsValue::Kind;
+  if (name == "len") {
+    if (args.size() == 1 && args[0].kind() == Kind::kStrConst) {
+      return AbsValue::IntConstant(
+          static_cast<int64_t>(args[0].str_value().size()));
+    }
+    return AbsValue::Int(Interval::NonNegative());
+  }
+  if (name == "to_int") {
+    // Identity on integers; string parsing is not modeled.
+    if (args.size() == 1 && args[0].kind() == Kind::kInt) return args[0];
+    return AbsValue::Top();
+  }
+  if (name == "is_null") {
+    if (args.size() != 1) return AbsValue::Top();
+    switch (args[0].kind()) {
+      case Kind::kNull: return TriToValue(Tri::kTrue);
+      case Kind::kInt:
+      case Kind::kRealConst:
+      case Kind::kStrConst: return TriToValue(Tri::kFalse);
+      // A db result is "handle or null": db_query yields null on a SQL
+      // error, so the defensive is_null(r) checks apps write are live.
+      case Kind::kDbResult:
+      case Kind::kTop: return TriToValue(Tri::kUnknown);
+    }
+    return AbsValue::Top();
+  }
+  if (name == "db_query") {
+    if (args.size() == 1 && args[0].kind() == Kind::kStrConst) {
+      return AbsValue::DbResult(CountSelectColumns(args[0].str_value()));
+    }
+    return AbsValue::DbResult(-1);
+  }
+  if (name == "db_ntuples") return AbsValue::Int(Interval::NonNegative());
+  if (name == "db_nfields") {
+    if (args.size() == 1 && args[0].kind() == Kind::kDbResult &&
+        args[0].db_columns() >= 0) {
+      return AbsValue::IntConstant(args[0].db_columns());
+    }
+    return AbsValue::Int(Interval::NonNegative());
+  }
+  if (name == "contains" || name == "like_match" || name == "has_input") {
+    return AbsValue::Int(Interval::Bool());
+  }
+  return AbsValue::Top();
+}
+
+AbsValue EvalExpr(const prog::Expr& e, const AbsState& state,
+                  const std::map<std::string, AbsValue>& user_fn_returns) {
+  using Kind = AbsValue::Kind;
+  switch (e.kind) {
+    case prog::ExprKind::kIntLit:
+      return AbsValue::IntConstant(e.int_value);
+    case prog::ExprKind::kRealLit:
+      return AbsValue::RealConstant(e.real_value);
+    case prog::ExprKind::kStrLit:
+      return AbsValue::StrConstant(e.str_value);
+    case prog::ExprKind::kVar: {
+      auto it = state.vars.find(e.name);
+      return it == state.vars.end() ? AbsValue::Top() : it->second;
+    }
+    case prog::ExprKind::kUnary: {
+      const AbsValue v = EvalExpr(*e.lhs, state, user_fn_returns);
+      if (e.un_op == prog::UnOp::kNot) return TriToValue(TriNot(v.Truthiness()));
+      if (v.kind() == Kind::kInt) return AbsValue::Int(v.interval().Negate());
+      if (v.kind() == Kind::kRealConst) {
+        return AbsValue::RealConstant(-v.real_value());
+      }
+      return AbsValue::Top();
+    }
+    case prog::ExprKind::kBinary: {
+      const AbsValue lhs = EvalExpr(*e.lhs, state, user_fn_returns);
+      const AbsValue rhs = EvalExpr(*e.rhs, state, user_fn_returns);
+      switch (e.bin_op) {
+        case prog::BinOp::kAdd:
+          if (lhs.kind() == Kind::kStrConst && rhs.kind() == Kind::kStrConst) {
+            return AbsValue::StrConstant(lhs.str_value() + rhs.str_value());
+          }
+          if (lhs.kind() == Kind::kStrConst && rhs.IsIntConstant()) {
+            return AbsValue::StrConstant(
+                lhs.str_value() + std::to_string(rhs.int_constant()));
+          }
+          if (lhs.IsIntConstant() && rhs.kind() == Kind::kStrConst) {
+            return AbsValue::StrConstant(
+                std::to_string(lhs.int_constant()) + rhs.str_value());
+          }
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            return AbsValue::Int(lhs.interval().Add(rhs.interval()));
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kSub:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            return AbsValue::Int(lhs.interval().Sub(rhs.interval()));
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kMul:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            return AbsValue::Int(lhs.interval().Mul(rhs.interval()));
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kDiv:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            const Interval q = lhs.interval().Div(rhs.interval());
+            // Division by a provable zero never produces a value (the
+            // runtime errors out); top keeps the result sound for the
+            // "divisor range includes zero" case.
+            return q.IsEmpty() ? AbsValue::Top() : AbsValue::Int(q);
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kMod:
+          if (lhs.kind() == Kind::kInt && rhs.kind() == Kind::kInt) {
+            const Interval q = lhs.interval().Mod(rhs.interval());
+            return q.IsEmpty() ? AbsValue::Top() : AbsValue::Int(q);
+          }
+          return AbsValue::Top();
+        case prog::BinOp::kLt:
+        case prog::BinOp::kLe:
+        case prog::BinOp::kGt:
+        case prog::BinOp::kGe:
+        case prog::BinOp::kEq:
+        case prog::BinOp::kNe:
+          return TriToValue(CompareTri(e.bin_op, lhs, rhs));
+        case prog::BinOp::kAnd: {
+          const Tri l = lhs.Truthiness();
+          const Tri r = rhs.Truthiness();
+          if (l == Tri::kFalse || r == Tri::kFalse) return TriToValue(Tri::kFalse);
+          if (l == Tri::kTrue && r == Tri::kTrue) return TriToValue(Tri::kTrue);
+          return TriToValue(Tri::kUnknown);
+        }
+        case prog::BinOp::kOr: {
+          const Tri l = lhs.Truthiness();
+          const Tri r = rhs.Truthiness();
+          if (l == Tri::kTrue || r == Tri::kTrue) return TriToValue(Tri::kTrue);
+          if (l == Tri::kFalse && r == Tri::kFalse) return TriToValue(Tri::kFalse);
+          return TriToValue(Tri::kUnknown);
+        }
+      }
+      return AbsValue::Top();
+    }
+    case prog::ExprKind::kCall: {
+      std::vector<AbsValue> args;
+      args.reserve(e.args.size());
+      for (const auto& arg : e.args) {
+        args.push_back(EvalExpr(*arg, state, user_fn_returns));
+      }
+      auto it = user_fn_returns.find(e.name);
+      if (it != user_fn_returns.end()) return it->second;
+      return EvalLibraryCall(e.name, args);
+    }
+  }
+  return AbsValue::Top();
+}
+
+prog::BinOp MirrorRel(prog::BinOp op) {
+  switch (op) {
+    case prog::BinOp::kLt: return prog::BinOp::kGt;
+    case prog::BinOp::kLe: return prog::BinOp::kGe;
+    case prog::BinOp::kGt: return prog::BinOp::kLt;
+    case prog::BinOp::kGe: return prog::BinOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool AssumeCondition(const prog::Expr& cond, bool assume, AbsState* state,
+                     const std::map<std::string, AbsValue>& returns) {
+  const AbsValue v = EvalExpr(cond, *state, returns);
+  const Tri t = v.Truthiness();
+  if ((t == Tri::kTrue && !assume) || (t == Tri::kFalse && assume)) {
+    return false;
+  }
+  switch (cond.kind) {
+    case prog::ExprKind::kUnary:
+      if (cond.un_op == prog::UnOp::kNot) {
+        return AssumeCondition(*cond.lhs, !assume, state, returns);
+      }
+      return true;
+    case prog::ExprKind::kBinary: {
+      if (cond.bin_op == prog::BinOp::kAnd && assume) {
+        return AssumeCondition(*cond.lhs, true, state, returns) &&
+               AssumeCondition(*cond.rhs, true, state, returns);
+      }
+      if (cond.bin_op == prog::BinOp::kOr && !assume) {
+        return AssumeCondition(*cond.lhs, false, state, returns) &&
+               AssumeCondition(*cond.rhs, false, state, returns);
+      }
+      if (!IsRelOp(cond.bin_op)) return true;
+      const prog::BinOp rel =
+          assume ? cond.bin_op : NegateRel(cond.bin_op);
+      if (cond.lhs->kind == prog::ExprKind::kVar) {
+        const AbsValue rhs = EvalExpr(*cond.rhs, *state, returns);
+        if (!RefineVarAgainst(state, cond.lhs->name, rel, rhs)) return false;
+      }
+      if (cond.rhs->kind == prog::ExprKind::kVar) {
+        const AbsValue lhs = EvalExpr(*cond.lhs, *state, returns);
+        if (!RefineVarAgainst(state, cond.rhs->name, MirrorRel(rel), lhs)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case prog::ExprKind::kVar: {
+      // `if (x)` / `if (!x)` on an integer variable trims the zero
+      // boundary (true) or pins to zero (false).
+      auto it = state->vars.find(cond.name);
+      if (it == state->vars.end() ||
+          it->second.kind() != AbsValue::Kind::kInt) {
+        return true;
+      }
+      Interval range = it->second.interval();
+      if (assume) {
+        if (range.lo() == 0) range = Interval(1, range.hi());
+        else if (range.hi() == 0) range = Interval(range.lo(), -1);
+        if (range.IsEmpty()) return false;
+      } else {
+        range = range.Meet(Interval::Constant(0));
+        if (range.IsEmpty()) return false;
+      }
+      it->second = AbsValue::Int(range);
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+}  // namespace adprom::analysis::absint

@@ -1,0 +1,58 @@
+#ifndef ADPROM_ANALYSIS_ABSINT_REPLAY_H_
+#define ADPROM_ANALYSIS_ABSINT_REPLAY_H_
+
+/// Reusable abstract-evaluation primitives: the expression evaluator,
+/// library-call models, and branch-assumption narrowing that the absint
+/// engine solves fixpoints with. Exposed so other passes (the IFDS
+/// witness engine's feasibility filter, path replay) can evaluate the
+/// same semantics without owning a full engine run.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/absint/abstract_value.h"
+#include "prog/ast.h"
+
+namespace adprom::analysis::absint {
+
+/// The abstract state at a program point: unreachable (bottom), or a
+/// variable environment where an absent variable means "any value" (top).
+/// Default-constructed == bottom, as the dataflow solver requires.
+struct AbsState {
+  bool reachable = false;
+  std::map<std::string, AbsValue> vars;
+
+  bool operator==(const AbsState&) const = default;
+};
+
+/// Lattice join: `into` becomes the join of both states.
+void JoinInto(AbsState* into, const AbsState& from);
+
+/// Three-valued comparison over abstract values, mirroring the runtime's
+/// numeric/string comparison semantics.
+Tri CompareTri(prog::BinOp op, const AbsValue& lhs, const AbsValue& rhs);
+
+/// Encodes a three-valued truth as a {0,1}-interval abstract value.
+AbsValue TriToValue(Tri t);
+
+/// Abstract evaluation of library calls. Anything not listed is top.
+AbsValue EvalLibraryCall(const std::string& name,
+                         const std::vector<AbsValue>& args);
+
+/// Forward abstract evaluation (effect-free: MiniApp calls cannot write
+/// locals of the evaluating function).
+AbsValue EvalExpr(const prog::Expr& e, const AbsState& state,
+                  const std::map<std::string, AbsValue>& user_fn_returns);
+
+/// Swaps the sides of a relational operator (`a < b` ⇔ `b > a`).
+prog::BinOp MirrorRel(prog::BinOp op);
+
+/// Assumes `cond` evaluates to `assume` and narrows `state` accordingly.
+/// Returns false when the assumption is contradictory (edge infeasible).
+bool AssumeCondition(const prog::Expr& cond, bool assume, AbsState* state,
+                     const std::map<std::string, AbsValue>& returns);
+
+}  // namespace adprom::analysis::absint
+
+#endif  // ADPROM_ANALYSIS_ABSINT_REPLAY_H_

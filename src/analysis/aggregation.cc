@@ -67,6 +67,10 @@ uint64_t HashCtm(const Ctm& ctm) {
     for (const std::string& table : site.source_tables) {
       h = HashString(h, table);
     }
+    h = HashU64(h, site.source_columns.size());
+    for (const std::string& column : site.source_columns) {
+      h = HashString(h, column);
+    }
   }
   h = HashDouble(h, ctm.entry_to_exit());
   for (size_t i = 0; i < n; ++i) {

@@ -29,6 +29,11 @@ struct Site {
   double reachability = 0.0;
   /// DB tables this site's output data may come from (labeled sites only).
   std::vector<std::string> source_tables;
+  /// Column-level provenance: sorted `table.column` names the site's
+  /// sources can read, resolved from static query literals (and the
+  /// schema catalog for `SELECT *`). Additive — empty when the
+  /// column-taint pass is off, leaving the default pCTM unchanged.
+  std::vector<std::string> source_columns;
 
   /// Unique identity of the site within a program.
   std::string Key() const;

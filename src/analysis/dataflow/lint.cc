@@ -7,6 +7,7 @@
 
 #include "analysis/absint/engine.h"
 #include "analysis/dataflow/flow_graph.h"
+#include "analysis/dataflow/ifds.h"
 #include "analysis/dataflow/liveness.h"
 #include "analysis/dataflow/reaching_defs.h"
 #include "analysis/dataflow/taint_flow.h"
@@ -45,9 +46,31 @@ void IndexCallSites(const prog::FunctionDef& fn, const prog::StmtList& body,
   }
 }
 
+std::string JoinComma(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out;
+}
+
+/// Appends the first feasible witness ending at `sink_site` (if any) to
+/// the report and returns its index, -1 otherwise.
+int AttachWitness(const IfdsResult& result, int sink_site,
+                  LintReport* report) {
+  for (const LeakWitness& w : result.witnesses) {
+    if (w.sink_site == sink_site && w.feasible) {
+      report->witnesses.push_back(w);
+      return static_cast<int>(report->witnesses.size()) - 1;
+    }
+  }
+  return -1;
+}
+
 void CheckInjection(const prog::Program& program, const LintOptions& options,
                     const std::map<int, SiteInfo>& sites,
-                    std::vector<LintFinding>* findings) {
+                    LintReport* report) {
   TaintFlowOptions taint_options;
   taint_options.config.source_calls = {"scan"};
   taint_options.config.sink_calls = {"db_query"};
@@ -56,6 +79,20 @@ void CheckInjection(const prog::Program& program, const LintOptions& options,
   taint_options.pool = options.pool;
   auto result = RunTaintFlowAnalysis(program, taint_options);
   if (!result.ok()) return;  // RunLint validated the program already.
+
+  // Witness reconstruction for the scan -> db_query flow; the finding
+  // set itself stays defined by the concat-build criterion below.
+  IfdsResult witness_result;
+  if (options.witnesses) {
+    IfdsOptions ifds_options;
+    ifds_options.config = taint_options.config;
+    ifds_options.sanitizer_calls = options.sanitizer_calls;
+    ifds_options.feasibility_filter = false;
+    ifds_options.column_taint = false;
+    ifds_options.pool = options.pool;
+    auto witnesses = RunIfdsTaint(program, ifds_options);
+    if (witnesses.ok()) witness_result = std::move(*witnesses);
+  }
 
   for (const auto& [site, builds] : result->sink_concat_builds) {
     // Flag only queries that both carry unsanitized user input and were
@@ -76,40 +113,134 @@ void CheckInjection(const prog::Program& program, const LintOptions& options,
                                   built_at.empty() ? "" : ", ",
                                   build.variable.c_str(), build.line);
     }
-    findings->push_back(
+    report->findings.push_back(
         {"sql-injection", info.function, info.line,
          util::StrFormat("db_query receives a query concatenated from "
                          "unsanitized user input (built via %s)",
-                         built_at.c_str())});
+                         built_at.c_str()),
+         AttachWitness(witness_result, site, report)});
   }
 }
 
 void CheckExfil(const prog::Program& program, const LintOptions& options,
-                const std::map<int, SiteInfo>& sites,
-                std::vector<LintFinding>* findings) {
-  TaintFlowOptions taint_options;
-  taint_options.config.source_calls = options.monitored.source_calls;
-  taint_options.config.sink_calls.clear();
+                const std::map<int, SiteInfo>& sites, LintReport* report) {
+  IfdsOptions ifds_options;
+  ifds_options.config.source_calls = options.monitored.source_calls;
+  ifds_options.config.sink_calls.clear();
   for (const std::string& call : ExfilCalls()) {
     if (options.monitored.sink_calls.count(call) == 0) {
-      taint_options.config.sink_calls.insert(call);
+      ifds_options.config.sink_calls.insert(call);
     }
   }
-  if (taint_options.config.sink_calls.empty()) return;
-  taint_options.pool = options.pool;
-  auto result = RunTaintFlowAnalysis(program, taint_options);
+  if (ifds_options.config.sink_calls.empty()) return;
+  ifds_options.schemas = options.schemas;
+  ifds_options.column_taint = options.column_taint;
+  ifds_options.witnesses = options.witnesses;
+  ifds_options.pool = options.pool;
+  auto result = RunIfdsTaint(program, ifds_options);
   if (!result.ok()) return;
 
+  // Only feasibility-surviving facts become findings: a flow whose every
+  // realizing path is provably contradictory is not a leak.
   for (const auto& [site, sources] : result->taint.labeled_sinks) {
     if (sources.empty()) continue;
     const SiteInfo& info = sites.at(site);
-    findings->push_back(
-        {"unlabeled-exfil", info.function, info.line,
-         util::StrFormat("DB data flows into '%s', which is outside the "
-                         "monitored sink set — the monitor would not label "
-                         "this output",
-                         info.callee.c_str())});
+    std::string message = util::StrFormat(
+        "DB data flows into '%s', which is outside the monitored sink set "
+        "— the monitor would not label this output",
+        info.callee.c_str());
+    auto columns = result->sink_columns.find(site);
+    if (columns != result->sink_columns.end()) {
+      message += util::StrFormat(" (reads %s)",
+                                 JoinComma(columns->second).c_str());
+    }
+    report->findings.push_back({"unlabeled-exfil", info.function, info.line,
+                                std::move(message),
+                                AttachWitness(*result, site, report)});
   }
+  if (options.witnesses) {
+    // Pruned facts never become findings, but their witnesses explain
+    // what was discarded and why (rendered after the referenced ones).
+    for (const LeakWitness& w : result->witnesses) {
+      if (!w.feasible) report->witnesses.push_back(w);
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(items[i]) + "\"";
+  }
+  return out + "]";
+}
+
+std::string WitnessJson(const LeakWitness& w, const std::string& indent) {
+  std::string out = indent + "{\n";
+  out += indent + "  \"source\": \"" + JsonEscape(w.source_call) + "\",\n";
+  out += indent + "  \"source_site\": " + std::to_string(w.source_site) +
+         ",\n";
+  out += indent + "  \"sink\": \"" + JsonEscape(w.sink_call) + "\",\n";
+  out += indent + "  \"sink_site\": " + std::to_string(w.sink_site) + ",\n";
+  out += indent + "  \"feasible\": " + (w.feasible ? "true" : "false") +
+         ",\n";
+  out += indent + "  \"columns\": " + JsonStringArray(w.columns) + ",\n";
+  out += indent + "  \"steps\": [";
+  for (size_t i = 0; i < w.steps.size(); ++i) {
+    const WitnessStep& s = w.steps[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += indent + "    {\"function\": \"" + JsonEscape(s.function) +
+           "\", \"line\": " + std::to_string(s.line) + ", \"text\": \"" +
+           JsonEscape(s.text) + "\"";
+    if (s.is_branch) {
+      out += std::string(", \"takes\": ") + (s.branch_taken ? "true"
+                                                            : "false");
+    }
+    out += "}";
+  }
+  if (!w.steps.empty()) out += "\n" + indent + "  ";
+  out += "]";
+  if (!w.feasible) {
+    out += ",\n" + indent +
+           "  \"pruned_line\": " + std::to_string(w.pruned_line) + ",\n";
+    out += indent + "  \"pruned_condition\": \"" +
+           JsonEscape(w.pruned_condition) + "\"\n";
+  } else {
+    out += "\n";
+  }
+  return out + indent + "}";
 }
 
 }  // namespace
@@ -126,6 +257,39 @@ std::string LintReport::Format(const std::string& file_label) const {
                          findings.size(), findings.size() == 1 ? "" : "s",
                          functions_checked, functions_checked == 1 ? "" : "s");
   return out;
+}
+
+std::string LintReport::FormatJson(const std::string& file_label) const {
+  std::string out = "{\n";
+  out += "  \"file\": \"" + JsonEscape(file_label) + "\",\n";
+  out += "  \"findings\": [";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"line\": " + std::to_string(f.line) + ",\n";
+    out += "      \"category\": \"" + JsonEscape(f.category) + "\",\n";
+    out += "      \"function\": \"" + JsonEscape(f.function) + "\",\n";
+    out += "      \"message\": \"" + JsonEscape(f.message) + "\"";
+    if (f.witness >= 0) {
+      out += ",\n      \"witness\": " + std::to_string(f.witness) + "\n";
+    } else {
+      out += "\n";
+    }
+    out += "    }";
+  }
+  if (!findings.empty()) out += "\n  ";
+  out += "],\n";
+  out += "  \"witnesses\": [";
+  for (size_t i = 0; i < witnesses.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += WitnessJson(witnesses[i], "    ");
+  }
+  if (!witnesses.empty()) out += "\n  ";
+  out += "],\n";
+  out += "  \"functions_checked\": " + std::to_string(functions_checked) +
+         "\n";
+  return out + "}\n";
 }
 
 util::Result<LintReport> RunLint(const prog::Program& program,
@@ -219,17 +383,30 @@ util::Result<LintReport> RunLint(const prog::Program& program,
 
   // Whole-program taint checks.
   if (options.check_injection) {
-    CheckInjection(program, options, sites, &report.findings);
+    CheckInjection(program, options, sites, &report);
   }
   if (options.check_exfil) {
-    CheckExfil(program, options, sites, &report.findings);
+    CheckExfil(program, options, sites, &report);
   }
 
+  // Fully deterministic order (the witness index breaks any remaining
+  // tie), then drop findings identical in every user-visible field.
   std::sort(report.findings.begin(), report.findings.end(),
             [](const LintFinding& a, const LintFinding& b) {
-              return std::tie(a.line, a.category, a.function, a.message) <
-                     std::tie(b.line, b.category, b.function, b.message);
+              return std::tie(a.line, a.category, a.function, a.message,
+                              a.witness) < std::tie(b.line, b.category,
+                                                    b.function, b.message,
+                                                    b.witness);
             });
+  report.findings.erase(
+      std::unique(report.findings.begin(), report.findings.end(),
+                  [](const LintFinding& a, const LintFinding& b) {
+                    return std::tie(a.line, a.category, a.function,
+                                    a.message) ==
+                           std::tie(b.line, b.category, b.function,
+                                    b.message);
+                  }),
+      report.findings.end());
   return std::move(report);
 }
 

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow/ifds.h"
 #include "analysis/taint.h"
+#include "db/schema.h"
 #include "prog/program.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -36,6 +38,15 @@ struct LintOptions {
   bool check_infeasible_branch = true;
   bool check_div_zero = true;
   bool check_const_index = true;
+  /// CREATE TABLE schemas for `SELECT *` column expansion in the exfil
+  /// check (may be empty; `adprom lint --db <seed.sql>` fills it).
+  db::SchemaCatalog schemas;
+  /// Resolve the `table.column` sets an exfil finding can leak and
+  /// mention them in the diagnostic.
+  bool column_taint = true;
+  /// Attach a source->sink witness path to every taint finding
+  /// (`adprom lint --witnesses`).
+  bool witnesses = false;
   util::ThreadPool* pool = nullptr;
 };
 
@@ -44,14 +55,29 @@ struct LintFinding {
   std::string function;
   int line = 0;
   std::string message;
+  /// Index into LintReport::witnesses, or -1 when the finding has no
+  /// witness (non-taint findings, or witnesses disabled).
+  int witness = -1;
 };
 
 struct LintReport {
-  std::vector<LintFinding> findings;  // sorted by line, category
+  /// Sorted by (line, category, function, message, witness); identical
+  /// findings are deduplicated.
+  std::vector<LintFinding> findings;
+  /// Witness paths referenced by `LintFinding::witness` (empty unless
+  /// `LintOptions::witnesses`). The exfil check's *pruned* facts are
+  /// appended after the referenced ones, so the report can also explain
+  /// why a would-be finding was discarded.
+  std::vector<LeakWitness> witnesses;
   size_t functions_checked = 0;
 
   /// One diagnostic per line: "<file>:<line>: [category] message (in fn)".
   std::string Format(const std::string& file_label) const;
+
+  /// Machine-readable rendering with a stable field order:
+  /// {"file", "findings": [{"line", "category", "function", "message"
+  /// (, "witness")}], "witnesses", "functions_checked"}.
+  std::string FormatJson(const std::string& file_label) const;
 };
 
 /// Runs every enabled check. Requires a finalized program.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <set>
 
+#include "analysis/dataflow/ifds.h"
 #include "util/strings.h"
 
 namespace adprom::analysis {
@@ -101,6 +103,22 @@ std::vector<std::string> StaticSourceTables(
   return std::vector<std::string>(tables.begin(), tables.end());
 }
 
+std::vector<std::string> StaticSourceColumns(
+    const prog::Program& program, const std::set<int>& source_sites,
+    const db::SchemaCatalog& schemas) {
+  const std::map<int, const prog::Expr*> index = IndexCallSites(program);
+  std::set<std::string> columns;
+  for (int site : source_sites) {
+    auto it = index.find(site);
+    if (it == index.end()) continue;
+    for (const std::string& column :
+         dataflow::SourceColumnsForCall(*it->second, schemas)) {
+      columns.insert(column);
+    }
+  }
+  return std::vector<std::string>(columns.begin(), columns.end());
+}
+
 void ApplyTaintLabels(const TaintResult& taint, const prog::Program& program,
                       Ctm* ctm) {
   for (size_t i = 0; i < ctm->num_sites(); ++i) {
@@ -111,6 +129,18 @@ void ApplyTaintLabels(const TaintResult& taint, const prog::Program& program,
     site.observable =
         LabeledObservable(site.callee, site.function, site.block_id);
     site.source_tables = StaticSourceTables(program, it->second);
+  }
+}
+
+void ApplyTaintLabels(const TaintResult& taint, const prog::Program& program,
+                      const db::SchemaCatalog& schemas, Ctm* ctm) {
+  ApplyTaintLabels(taint, program, ctm);
+  for (size_t i = 0; i < ctm->num_sites(); ++i) {
+    Site& site = ctm->mutable_site(i);
+    if (!site.labeled) continue;
+    auto it = taint.labeled_sinks.find(site.call_site_id);
+    if (it == taint.labeled_sinks.end()) continue;
+    site.source_columns = StaticSourceColumns(program, it->second, schemas);
   }
 }
 

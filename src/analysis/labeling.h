@@ -8,6 +8,7 @@
 
 #include "analysis/ctm.h"
 #include "analysis/taint.h"
+#include "db/schema.h"
 #include "prog/program.h"
 
 namespace adprom::analysis {
@@ -30,11 +31,24 @@ std::map<int, const prog::Expr*> IndexCallSites(
 std::vector<std::string> StaticSourceTables(
     const prog::Program& program, const std::set<int>& source_sites);
 
+/// Column-level provenance for a set of source call sites: the sorted
+/// union of the `table.column` sets their static query literals can read
+/// (`SELECT *` expands through `schemas`). Empty for dynamic query text.
+std::vector<std::string> StaticSourceColumns(
+    const prog::Program& program, const std::set<int>& source_sites,
+    const db::SchemaCatalog& schemas);
+
 /// Applies the taint result to a function's CTM: sites whose call_site_id
 /// is a labeled sink get `labeled = true`, the `_Q` observable, and their
 /// statically resolvable source tables.
 void ApplyTaintLabels(const TaintResult& taint, const prog::Program& program,
                       Ctm* ctm);
+
+/// Same, plus column-level provenance (`Site::source_columns`) resolved
+/// through the schema catalog. The table-level labels are identical to
+/// the overload above — columns are strictly additive.
+void ApplyTaintLabels(const TaintResult& taint, const prog::Program& program,
+                      const db::SchemaCatalog& schemas, Ctm* ctm);
 
 }  // namespace adprom::analysis
 

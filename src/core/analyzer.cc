@@ -77,7 +77,12 @@ util::Result<AnalysisResult> Analyzer::Analyze(
   for (const auto& [name, cfg] : out.cfgs) {
     ADPROM_ASSIGN_OR_RETURN(analysis::FunctionForecast forecast,
                             analysis::ComputeForecast(cfg));
-    analysis::ApplyTaintLabels(out.taint, program, &forecast.ctm);
+    if (options_.column_taint) {
+      analysis::ApplyTaintLabels(out.taint, program, options_.schemas,
+                                 &forecast.ctm);
+    } else {
+      analysis::ApplyTaintLabels(out.taint, program, &forecast.ctm);
+    }
     out.function_ctms.emplace(name, std::move(forecast.ctm));
   }
   out.forecast_seconds = SecondsSince(t0);

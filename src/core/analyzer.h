@@ -11,6 +11,7 @@
 #include "analysis/ctm.h"
 #include "analysis/forecast.h"
 #include "analysis/taint.h"
+#include "db/schema.h"
 #include "prog/call_graph.h"
 #include "prog/cfg.h"
 #include "prog/program.h"
@@ -62,6 +63,15 @@ struct AnalyzerOptions {
   /// count, sharpening the pCTM. Off (`--no-absint`) reproduces the
   /// unrefined pipeline bit for bit.
   bool absint_refinement = true;
+  /// Column-level DDG provenance: labeled sites additionally carry the
+  /// sorted `table.column` sets their sources can read, resolved from
+  /// static query literals (`SELECT *` expands through `schemas`). The
+  /// ablation (`--no-column-taint`) leaves `Site::source_columns` empty;
+  /// everything else in the pCTM — and the serialized profile — is
+  /// bit-identical either way.
+  bool column_taint = true;
+  /// CREATE TABLE schemas for the column expansion (may be empty).
+  db::SchemaCatalog schemas;
   /// Optional pool for the flow-sensitive solver (call-graph SCCs of one
   /// level run concurrently); results are identical for any pool.
   util::ThreadPool* pool = nullptr;

@@ -1,8 +1,22 @@
 #include "db/schema.h"
 
+#include <cctype>
+
+#include "db/sql_parser.h"
 #include "util/strings.h"
 
 namespace adprom::db {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
 
 std::optional<size_t> Schema::IndexOf(std::string_view name) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -20,6 +34,23 @@ std::string Schema::ToString() const {
     out += ValueTypeName(columns_[i].type);
   }
   return out;
+}
+
+util::Result<SchemaCatalog> BuildSchemaCatalog(
+    const std::vector<std::string>& statements) {
+  SchemaCatalog catalog;
+  for (const std::string& sql : statements) {
+    auto parsed = ParseSql(sql);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->kind != SqlStatementKind::kCreate) continue;
+    std::vector<Column> columns;
+    columns.reserve(parsed->create.columns.size());
+    for (const auto& [name, type] : parsed->create.columns) {
+      columns.push_back({name, type});
+    }
+    catalog[ToLower(parsed->create.table)] = Schema(std::move(columns));
+  }
+  return catalog;
 }
 
 }  // namespace adprom::db

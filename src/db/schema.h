@@ -1,11 +1,13 @@
 #ifndef ADPROM_DB_SCHEMA_H_
 #define ADPROM_DB_SCHEMA_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "db/value.h"
+#include "util/status.h"
 
 namespace adprom::db {
 
@@ -36,6 +38,16 @@ class Schema {
  private:
   std::vector<Column> columns_;
 };
+
+/// Table schemas keyed by lowercased table name.
+using SchemaCatalog = std::map<std::string, Schema>;
+
+/// Parses the CREATE TABLE statements out of a list of SQL statements
+/// (e.g. a seed file) into a catalog; non-CREATE statements are ignored,
+/// but every statement must parse. Static analyses use the catalog to
+/// expand `SELECT *` into concrete column sets.
+util::Result<SchemaCatalog> BuildSchemaCatalog(
+    const std::vector<std::string>& statements);
 
 }  // namespace adprom::db
 

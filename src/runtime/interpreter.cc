@@ -1,7 +1,9 @@
 #include "runtime/interpreter.h"
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 
 #include "db/query_signature.h"
@@ -15,6 +17,24 @@ namespace {
 util::Status TypeError(const std::string& what, int line) {
   return util::Status::InvalidArgument(
       util::StrFormat("line %d: %s", line, what.c_str()));
+}
+
+// The mini language's integers wrap with two's-complement semantics on
+// overflow (generated programs multiply freely); routing through uint64_t
+// keeps that defined under -fsanitize=undefined.
+int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+
+int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
 }
 
 /// FNV-1a — the "checksum" library function for the gzip-like corpus app.
@@ -197,7 +217,7 @@ util::Result<RtValue> Interpreter::EvalExpr(
           if (!lhs.TryNumeric(&a) || !rhs.TryNumeric(&b))
             return TypeError("'+' on incompatible types", e.line);
           out = (lhs.is_int() && rhs.is_int())
-                    ? RtValue::Int(lhs.AsInt() + rhs.AsInt())
+                    ? RtValue::Int(WrapAdd(lhs.AsInt(), rhs.AsInt()))
                     : RtValue::Real(a + b);
           break;
         }
@@ -211,18 +231,22 @@ util::Result<RtValue> Interpreter::EvalExpr(
           const bool ints = lhs.is_int() && rhs.is_int();
           switch (e.bin_op) {
             case prog::BinOp::kSub:
-              out = ints ? RtValue::Int(lhs.AsInt() - rhs.AsInt())
+              out = ints ? RtValue::Int(WrapSub(lhs.AsInt(), rhs.AsInt()))
                          : RtValue::Real(a - b);
               break;
             case prog::BinOp::kMul:
-              out = ints ? RtValue::Int(lhs.AsInt() * rhs.AsInt())
+              out = ints ? RtValue::Int(WrapMul(lhs.AsInt(), rhs.AsInt()))
                          : RtValue::Real(a * b);
               break;
             case prog::BinOp::kDiv:
               if (ints) {
                 if (rhs.AsInt() == 0)
                   return TypeError("integer division by zero", e.line);
-                out = RtValue::Int(lhs.AsInt() / rhs.AsInt());
+                // INT64_MIN / -1 overflows; it wraps back to INT64_MIN.
+                out = (lhs.AsInt() == std::numeric_limits<int64_t>::min() &&
+                       rhs.AsInt() == -1)
+                          ? lhs
+                          : RtValue::Int(lhs.AsInt() / rhs.AsInt());
               } else {
                 out = RtValue::Real(a / b);
               }
@@ -230,7 +254,10 @@ util::Result<RtValue> Interpreter::EvalExpr(
             case prog::BinOp::kMod:
               if (!ints || rhs.AsInt() == 0)
                 return TypeError("'%' needs non-zero integers", e.line);
-              out = RtValue::Int(lhs.AsInt() % rhs.AsInt());
+              out = (lhs.AsInt() == std::numeric_limits<int64_t>::min() &&
+                     rhs.AsInt() == -1)
+                        ? RtValue::Int(0)
+                        : RtValue::Int(lhs.AsInt() % rhs.AsInt());
               break;
             default:
               break;

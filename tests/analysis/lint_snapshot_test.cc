@@ -1,0 +1,95 @@
+// Corpus-wide lint snapshots: the full `adprom lint` report for every
+// corpus application (and the witness demo sample) is pinned byte for
+// byte under tests/analysis/goldens/. A diff here means the vetter's
+// findings, their order, or a rendering changed — review the new output
+// and regenerate with:
+//   ADPROM_UPDATE_GOLDENS=1 ./analysis_test --gtest_filter='LintSnapshot*'
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/dataflow/lint.h"
+#include "apps/corpus.h"
+#include "prog/program.h"
+
+namespace adprom::analysis::dataflow {
+namespace {
+
+#ifndef ADPROM_SOURCE_DIR
+#define ADPROM_SOURCE_DIR "."
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(ADPROM_SOURCE_DIR) + "/tests/analysis/goldens/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path
+                         << " (regenerate with ADPROM_UPDATE_GOLDENS=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void CompareOrUpdate(const std::string& golden_name,
+                     const std::string& actual) {
+  if (std::getenv("ADPROM_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(GoldenPath(golden_name), std::ios::binary);
+    ASSERT_TRUE(out.good()) << GoldenPath(golden_name);
+    out << actual;
+    return;
+  }
+  EXPECT_EQ(actual, ReadFileOrDie(GoldenPath(golden_name))) << golden_name;
+}
+
+LintReport LintSource(const std::string& source, LintOptions options = {}) {
+  auto program = prog::ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto report = RunLint(*program, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(*report);
+}
+
+TEST(LintSnapshotTest, CorpusReportsMatchGoldens) {
+  for (const apps::CorpusApp& app : apps::MakeFullCorpus()) {
+    const LintReport report = LintSource(app.source);
+    CompareOrUpdate(app.name + ".lint.txt",
+                    report.Format(app.name + ".mini"));
+  }
+}
+
+TEST(LintSnapshotTest, BankingAppJsonMatchesGolden) {
+  // The machine-readable rendering, witness attached to the injection
+  // finding: pins the stable field order end to end.
+  LintOptions options;
+  options.witnesses = true;
+  const LintReport report =
+      LintSource(apps::MakeBankingApp().source, options);
+  CompareOrUpdate("App_b.lint.json", report.FormatJson("App_b.mini"));
+}
+
+TEST(LintSnapshotTest, WitnessDemoMatchesGoldens) {
+  const std::string source = ReadFileOrDie(
+      std::string(ADPROM_SOURCE_DIR) + "/samples/witness/leak.mini");
+  LintOptions options;
+  options.monitored.sink_calls = {"print", "print_err"};
+  options.witnesses = true;
+  const LintReport report = LintSource(source, options);
+
+  // Text: the report plus every witness, as `adprom lint --witnesses`
+  // renders them.
+  std::string text = report.Format("leak.mini");
+  for (const LeakWitness& w : report.witnesses) {
+    text += "\n" + FormatWitness(w);
+  }
+  CompareOrUpdate("leak.lint.txt", text);
+  CompareOrUpdate("leak.lint.json", report.FormatJson("leak.mini"));
+}
+
+}  // namespace
+}  // namespace adprom::analysis::dataflow

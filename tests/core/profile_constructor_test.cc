@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/adprom.h"
+#include "db/schema.h"
 #include "prog/generator.h"
 #include "prog/program.h"
 
@@ -153,6 +154,67 @@ TEST(ProfileConstructorTest, WindowCapSubsamples) {
   // More windows => at least as much training work (coarse sanity bound).
   EXPECT_GE(full_times.training_seconds, 0.0);
   EXPECT_GE(capped_times.training_seconds, 0.0);
+}
+
+TEST(ProfileConstructorTest, ColumnTaintDoesNotChangeProfileBytes) {
+  // Site::source_columns is strictly additive metadata: the serialized
+  // profile (pCTM mass, labeled_sources, model parameters, threshold) is
+  // bit-identical whether the column-taint pass ran or not.
+  auto program = prog::ParseProgram(R"(
+fn main() {
+  var r = db_query("SELECT name, ssn FROM patients");
+  var v = db_getvalue(r, 0, 0);
+  print(v);
+}
+)");
+  ASSERT_TRUE(program.ok());
+  auto schemas = db::BuildSchemaCatalog(
+      {"CREATE TABLE patients (name TEXT, ssn TEXT)"});
+  ASSERT_TRUE(schemas.ok()) << schemas.status().ToString();
+
+  auto analyze = [&](bool column_taint) {
+    AnalyzerOptions options;
+    options.column_taint = column_taint;
+    options.schemas = *schemas;
+    Analyzer analyzer(options);
+    auto analysis = analyzer.Analyze(*program);
+    EXPECT_TRUE(analysis.ok());
+    return std::move(analysis).value();
+  };
+  AnalysisResult with_columns = analyze(true);
+  AnalysisResult without_columns = analyze(false);
+
+  // The pass actually ran: some labeled site carries concrete columns.
+  size_t columned_sites = 0;
+  for (const auto& [name, ctm] : with_columns.function_ctms) {
+    for (size_t i = 0; i < ctm.num_sites(); ++i) {
+      columned_sites += ctm.site(i).source_columns.empty() ? 0 : 1;
+    }
+  }
+  EXPECT_GT(columned_sites, 0u);
+  for (const auto& [name, ctm] : without_columns.function_ctms) {
+    for (size_t i = 0; i < ctm.num_sites(); ++i) {
+      EXPECT_TRUE(ctm.site(i).source_columns.empty());
+    }
+  }
+
+  auto db_factory = []() {
+    auto database = std::make_unique<db::Database>();
+    (void)database->Execute("CREATE TABLE patients (name TEXT, ssn TEXT)");
+    (void)database->Execute("INSERT INTO patients VALUES ('ada', '123')");
+    return database;
+  };
+  auto traces = AdProm::CollectTraces(*program, with_columns.cfgs,
+                                      db_factory, {{{}}});
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+  ProfileOptions options;
+  options.train.max_iterations = 2;
+  ProfileConstructor constructor(options);
+  auto on = constructor.Construct(with_columns, *traces);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  auto off = constructor.Construct(without_columns, *traces);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_EQ(on->Serialize(), off->Serialize());
 }
 
 TEST(ProfileConstructorTest, RejectsDegenerateInputs) {

@@ -514,6 +514,89 @@ TEST(CliLintTest, ErrorsExitTwoOnStderr) {
   std::remove(bad.c_str());
 }
 
+std::string WitnessSample(const std::string& name) {
+  return std::string(ADPROM_SOURCE_DIR) + "/samples/witness/" + name;
+}
+
+TEST(CliLintTest, WitnessDemoPrunesFindingsAndExplains) {
+  // The demo's would-be exfil findings are provably infeasible: exit 0,
+  // and --witnesses renders the pruned paths with the refuted branch.
+  std::string out;
+  const int code = RunMain(
+      {"lint", WitnessSample("leak.mini"), "--db", WitnessSample("seed.sql"),
+       "--monitored-sinks=print,print_err", "--witnesses"},
+      &out, nullptr);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("0 findings across"), std::string::npos) << out;
+  EXPECT_NE(out.find("[infeasible]"), std::string::npos) << out;
+  EXPECT_NE(out.find("pruned: line 24 refutes (mode > 0)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("columns: patients.name patients.ssn"),
+            std::string::npos)
+      << out;
+}
+
+TEST(CliLintTest, JsonFormatHasStableFieldOrder) {
+  std::string out;
+  const int code = RunMain(
+      {"lint", WitnessSample("leak.mini"), "--db", WitnessSample("seed.sql"),
+       "--monitored-sinks=print,print_err", "--witnesses", "--format=json"},
+      &out, nullptr);
+  EXPECT_EQ(code, 0) << out;
+  const size_t file_pos = out.find("\"file\"");
+  const size_t findings_pos = out.find("\"findings\"");
+  const size_t witnesses_pos = out.find("\"witnesses\"");
+  const size_t checked_pos = out.find("\"functions_checked\"");
+  ASSERT_NE(file_pos, std::string::npos) << out;
+  ASSERT_NE(findings_pos, std::string::npos) << out;
+  ASSERT_NE(witnesses_pos, std::string::npos) << out;
+  ASSERT_NE(checked_pos, std::string::npos) << out;
+  EXPECT_LT(file_pos, findings_pos);
+  EXPECT_LT(findings_pos, witnesses_pos);
+  EXPECT_LT(witnesses_pos, checked_pos);
+  EXPECT_NE(out.find("\"pruned_condition\": \"(mode > 0)\""),
+            std::string::npos)
+      << out;
+}
+
+TEST(CliLintTest, DumpWitnessWritesDotFiles) {
+  const std::string dir = TempPath("witness_dots");
+  std::string out;
+  const int code = RunMain(
+      {"lint", WitnessSample("leak.mini"),
+       "--monitored-sinks=print,print_err", "--dump-witness=" + dir},
+      &out, nullptr);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("witnesses dumped to"), std::string::npos) << out;
+  std::ifstream dot(dir + "/witness-0.dot");
+  ASSERT_TRUE(dot.good());
+  std::ostringstream buf;
+  buf << dot.rdbuf();
+  EXPECT_EQ(buf.str().rfind("digraph witness {", 0), 0u) << buf.str();
+  EXPECT_NE(buf.str().find("REFUTED"), std::string::npos) << buf.str();
+}
+
+TEST(CliAnalyzeTest, ColumnTaintShowsColumnsAndAblationHidesThem) {
+  const CliRun with_columns =
+      RunTool({"analyze", Sample("app.mini"), "--db", Sample("seed.sql")});
+  ASSERT_TRUE(with_columns.status.ok()) << with_columns.status.ToString();
+  // SELECT * expands through the seed's CREATE TABLE schema.
+  EXPECT_NE(with_columns.output.find(
+                "[columns: items.id items.name items.price]"),
+            std::string::npos)
+      << with_columns.output;
+
+  const CliRun ablated = RunTool({"analyze", Sample("app.mini"), "--db",
+                                  Sample("seed.sql"), "--no-column-taint"});
+  ASSERT_TRUE(ablated.status.ok()) << ablated.status.ToString();
+  EXPECT_EQ(ablated.output.find("[columns:"), std::string::npos)
+      << ablated.output;
+  // Everything else is identical — columns are strictly additive.
+  EXPECT_NE(ablated.output.find("labeled TD outputs: 2"), std::string::npos)
+      << ablated.output;
+}
+
 TEST(CliLintTest, NonLintCommandsKeepBinaryExitCodes) {
   std::string out, err;
   EXPECT_EQ(RunMain({"analyze", Sample("app.mini")}, &out, &err), 0);

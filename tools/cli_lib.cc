@@ -9,6 +9,7 @@
 
 #include "analysis/dataflow/lint.h"
 #include "core/adprom.h"
+#include "db/schema.h"
 #include "core/detection_engine.h"
 #include "prog/program.h"
 #include "runtime/trace_io.h"
@@ -37,7 +38,8 @@ struct ParsedArgs {
 constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
                                       "--flow-insensitive", "--no-absint",
                                       "--all", "--dense-kernels",
-                                      "--no-simd", "--triage"};
+                                      "--no-simd", "--triage",
+                                      "--witnesses", "--no-column-taint"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -190,13 +192,22 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
 util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2) {
     return util::Status::InvalidArgument(
-        "usage: adprom analyze <app.mini> [--no-absint] [--dump-cfg=<dir>]");
+        "usage: adprom analyze <app.mini> [--no-absint] [--dump-cfg=<dir>] "
+        "[--db seed.sql] [--no-column-taint]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
   core::AnalyzerOptions analyzer_options;
   analyzer_options.flow_insensitive_taint = args.Has("--flow-insensitive");
   analyzer_options.absint_refinement = !args.Has("--no-absint");
+  analyzer_options.column_taint = !args.Has("--no-column-taint");
+  if (args.Has("--db")) {
+    ADPROM_ASSIGN_OR_RETURN(std::string seed_text,
+                            ReadFileToString(args.Get("--db")));
+    auto catalog = db::BuildSchemaCatalog(ParseSqlSeed(seed_text));
+    if (!catalog.ok()) return catalog.status();
+    analyzer_options.schemas = std::move(*catalog);
+  }
   core::Analyzer analyzer(analyzer_options);
   ADPROM_ASSIGN_OR_RETURN(core::AnalysisResult analysis,
                           analyzer.Analyze(program));
@@ -238,7 +249,15 @@ util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
     ++labeled;
     out << "  TD output: " << site.observable << " (sources:";
     for (const std::string& table : site.source_tables) out << " " << table;
-    out << ")\n";
+    out << ")";
+    if (!site.source_columns.empty()) {
+      out << " [columns:";
+      for (const std::string& column : site.source_columns) {
+        out << " " << column;
+      }
+      out << "]";
+    }
+    out << "\n";
   }
   out << "labeled TD outputs: " << labeled << "\n";
   const util::Status invariants = analysis.program_ctm.CheckInvariants();
@@ -558,13 +577,70 @@ util::Status CmdInfo(const ParsedArgs& args, std::ostream& out) {
 
 util::Result<size_t> CmdLint(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2) {
-    return util::Status::InvalidArgument("usage: adprom lint <app.mini>");
+    return util::Status::InvalidArgument(
+        "usage: adprom lint <app.mini> [--db seed.sql] [--witnesses] "
+        "[--dump-witness=<dir>] [--format=json] [--no-column-taint] "
+        "[--monitored-sinks=a,b]");
   }
   const std::string& path = args.positional[1];
   ADPROM_ASSIGN_OR_RETURN(prog::Program program, LoadProgram(path));
+  analysis::dataflow::LintOptions options;
+  if (args.Has("--monitored-sinks")) {
+    options.monitored.sink_calls.clear();
+    for (const std::string& sink :
+         util::Split(args.Get("--monitored-sinks"), ',')) {
+      const std::string_view trimmed = util::Trim(sink);
+      if (!trimmed.empty()) {
+        options.monitored.sink_calls.insert(std::string(trimmed));
+      }
+    }
+  }
+  if (args.Has("--db")) {
+    ADPROM_ASSIGN_OR_RETURN(std::string text,
+                            ReadFileToString(args.Get("--db")));
+    auto catalog = db::BuildSchemaCatalog(ParseSqlSeed(text));
+    if (!catalog.ok()) return catalog.status();
+    options.schemas = std::move(*catalog);
+  }
+  options.column_taint = !args.Has("--no-column-taint");
+  options.witnesses = args.Has("--witnesses") || args.Has("--dump-witness");
   ADPROM_ASSIGN_OR_RETURN(analysis::dataflow::LintReport report,
-                          analysis::dataflow::RunLint(program));
-  out << report.Format(path);
+                          analysis::dataflow::RunLint(program, options));
+
+  const std::string format = args.Get("--format", "text");
+  if (format == "json") {
+    out << report.FormatJson(path);
+  } else if (format == "text") {
+    out << report.Format(path);
+    if (args.Has("--witnesses")) {
+      for (const analysis::dataflow::LeakWitness& w : report.witnesses) {
+        out << "\n" << analysis::dataflow::FormatWitness(w);
+      }
+    }
+  } else {
+    return util::Status::InvalidArgument("unknown --format: " + format);
+  }
+
+  if (args.Has("--dump-witness")) {
+    const std::string dir = args.Get("--dump-witness");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return util::Status::Internal("cannot create " + dir + ": " +
+                                    ec.message());
+    }
+    for (size_t i = 0; i < report.witnesses.size(); ++i) {
+      const std::string witness_path =
+          dir + "/witness-" + std::to_string(i) + ".dot";
+      ADPROM_RETURN_IF_ERROR(WriteStringToFile(
+          witness_path,
+          analysis::dataflow::WitnessToDot(report.witnesses[i])));
+    }
+    if (format != "json") {
+      out << "witnesses dumped to " << dir << "/ ("
+          << report.witnesses.size() << " paths)\n";
+    }
+  }
   return report.findings.size();
 }
 
