@@ -22,7 +22,10 @@
 
 #include "analysis/absint/cfg_refiner.h"
 #include "analysis/absint/engine.h"
+#include "analysis/summary_cache.h"
 #include "bench/bench_common.h"
+#include "core/analyzer.h"
+#include "db/schema.h"
 #include "analysis/dataflow/flow_graph.h"
 #include "core/adprom.h"
 #include "core/detection_engine.h"
@@ -182,6 +185,129 @@ AppResult BenchApp(const apps::CorpusApp& app, size_t repeats,
   return result;
 }
 
+// --- Incremental drift bench ------------------------------------------
+
+/// One revision of the samples/drift corpus, analyzed cold (fresh summary
+/// cache) and warm (cache primed on the base revision). The timed portion
+/// is the cached passes only — absint, taint, forecast, aggregation — as
+/// reported by the analyzer itself; CFG extraction is identical either
+/// way and excluded.
+struct DriftResult {
+  std::string revision;
+  std::string kind;
+  size_t functions = 0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double speedup = 0.0;
+  size_t warm_hits = 0;
+  size_t warm_misses = 0;
+};
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ADPROM_CHECK_MSG(in.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+db::SchemaCatalog LoadCatalog(const std::string& path) {
+  std::vector<std::string> statements;
+  for (const std::string& line : util::Split(ReadFileOrDie(path), '\n')) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    statements.emplace_back(trimmed);
+  }
+  auto catalog = db::BuildSchemaCatalog(statements);
+  ADPROM_CHECK_MSG(catalog.ok(), catalog.status().ToString());
+  return std::move(*catalog);
+}
+
+double CachedPassMs(const core::AnalysisResult& result) {
+  return (result.absint_seconds + result.taint_seconds +
+          result.forecast_seconds + result.aggregation_seconds) *
+         1e3;
+}
+
+std::vector<DriftResult> RunDriftBench(size_t repeats) {
+  const std::string dir = std::string(ADPROM_SOURCE_DIR) + "/samples/drift/";
+  const db::SchemaCatalog base_catalog = LoadCatalog(dir + "seed.sql");
+  const db::SchemaCatalog v2_catalog = LoadCatalog(dir + "seed_v2.sql");
+  struct Revision {
+    const char* file;
+    const char* kind;
+    const db::SchemaCatalog* catalog;
+  };
+  const Revision revisions[] = {
+      {"rev0_base.mini", "none", &base_catalog},
+      {"rev1_body_edit.mini", "body_edit", &base_catalog},
+      {"rev2_signature.mini", "signature", &base_catalog},
+      {"rev3_new_callee.mini", "new_callee", &base_catalog},
+      {"rev4_schema.mini", "schema", &v2_catalog},
+      {"rev5_sink_relabel.mini", "sink_relabel", &base_catalog},
+  };
+  auto base_program =
+      prog::ParseProgram(ReadFileOrDie(dir + "rev0_base.mini"));
+  ADPROM_CHECK(base_program.ok());
+
+  std::vector<DriftResult> results;
+  for (const Revision& rev : revisions) {
+    auto program = prog::ParseProgram(ReadFileOrDie(dir + rev.file));
+    ADPROM_CHECK(program.ok());
+    DriftResult r;
+    r.revision = rev.file;
+    r.kind = rev.kind;
+    r.functions = program->functions().size();
+
+    double cold_best = 0.0;
+    double warm_best = 0.0;
+    for (size_t rep = 0; rep < repeats; ++rep) {
+      {
+        // Cold: a fresh cache sees only the revision (misses everywhere,
+        // so this also pays the Store overhead an uncached run avoids).
+        analysis::AnalysisCache cache;
+        core::AnalyzerOptions options;
+        options.schemas = *rev.catalog;
+        options.analysis_cache = &cache;
+        auto cold = core::Analyzer(options).Analyze(*program);
+        ADPROM_CHECK(cold.ok());
+        const double ms = CachedPassMs(*cold);
+        if (rep == 0 || ms < cold_best) cold_best = ms;
+      }
+      {
+        // Warm: prime the cache on the base revision (base catalog),
+        // then analyze the edit. Priming is outside the timed portion.
+        analysis::AnalysisCache cache;
+        core::AnalyzerOptions prime_options;
+        prime_options.schemas = base_catalog;
+        prime_options.analysis_cache = &cache;
+        ADPROM_CHECK(
+            core::Analyzer(prime_options).Analyze(*base_program).ok());
+        core::AnalyzerOptions options;
+        options.schemas = *rev.catalog;
+        options.analysis_cache = &cache;
+        auto warm = core::Analyzer(options).Analyze(*program);
+        ADPROM_CHECK(warm.ok());
+        const double ms = CachedPassMs(*warm);
+        if (rep == 0 || ms < warm_best) warm_best = ms;
+        if (rep == 0) {
+          const auto& s = warm->cache_stats;
+          r.warm_hits = s.taint.hits + s.absint.hits + s.forecast.hits +
+                        warm->aggregation_stats.cache_hits;
+          r.warm_misses = s.taint.misses + s.absint.misses +
+                          s.forecast.misses +
+                          warm->aggregation_stats.cache_misses;
+        }
+      }
+    }
+    r.cold_ms = cold_best;
+    r.warm_ms = warm_best;
+    r.speedup = warm_best > 0.0 ? cold_best / warm_best : 0.0;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
 /// The forecast ablation scores the *statically seeded* HMM (Baum-Welch
 /// disabled) on the absint demo's benign trace; the refined − uniform
 /// delta is the sharpening the pruned edges and the loop bound buy before
@@ -246,6 +372,7 @@ ForecastAblation RunForecastAblation() {
 }
 
 void WriteJson(const std::vector<AppResult>& results,
+               const std::vector<DriftResult>& drift,
                const ForecastAblation& ablation, size_t repeats,
                const std::string& json_path) {
   std::ostringstream json;
@@ -280,6 +407,20 @@ void WriteJson(const std::vector<AppResult>& results,
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ],\n";
+  json << "  \"drift\": {\"corpus\": \"samples/drift\", \"revisions\": [\n";
+  for (size_t i = 0; i < drift.size(); ++i) {
+    const DriftResult& r = drift[i];
+    json << "    {\"revision\": \"" << r.revision << "\""
+         << ", \"kind\": \"" << r.kind << "\""
+         << ", \"functions\": " << r.functions
+         << ", \"cold_ms\": " << Num(r.cold_ms)
+         << ", \"warm_ms\": " << Num(r.warm_ms)
+         << ", \"speedup\": " << Num(r.speedup)
+         << ", \"warm_hits\": " << r.warm_hits
+         << ", \"warm_misses\": " << r.warm_misses << "}"
+         << (i + 1 < drift.size() ? "," : "") << "\n";
+  }
+  json << "  ]},\n";
   json << "  \"forecast_ablation\": {\"app\": \"samples/absint/demo.mini\""
        << ", \"refined_mean_score\": " << Num(ablation.refined_mean_score)
        << ", \"uniform_mean_score\": " << Num(ablation.uniform_mean_score)
@@ -334,8 +475,24 @@ void Run(bool smoke, const std::string& json_path) {
     results.push_back(std::move(r));
   }
   table.Print();
+
+  std::printf(
+      "\n=== Incremental drift (samples/drift, cold vs warm cached-pass"
+      " ms) ===\n\n");
+  const std::vector<DriftResult> drift = RunDriftBench(repeats);
+  util::TablePrinter drift_table({"revision", "kind", "fns", "cold",
+                                  "warm", "speedup", "hits/misses"});
+  for (const DriftResult& r : drift) {
+    drift_table.AddRow({r.revision, r.kind, std::to_string(r.functions),
+                        Num(r.cold_ms), Num(r.warm_ms),
+                        util::StrFormat("%.1fx", r.speedup),
+                        std::to_string(r.warm_hits) + "/" +
+                            std::to_string(r.warm_misses)});
+  }
+  drift_table.Print();
+
   const ForecastAblation ablation = RunForecastAblation();
-  WriteJson(results, ablation, repeats, json_path);
+  WriteJson(results, drift, ablation, repeats, json_path);
 }
 
 }  // namespace

@@ -39,7 +39,7 @@ StepTimes Measure(apps::CorpusApp app) {
   auto analysis = analyzer.Analyze(*program);
   ADPROM_CHECK(analysis.ok());
   out.parse_and_cfg = parse_seconds + analysis->cfg_seconds;
-  out.probabilities = analysis->forecast_seconds;
+  out.probabilities = analysis->taint_seconds + analysis->forecast_seconds;
   out.aggregation = analysis->aggregation_seconds;
 
   core::ProfileOptions options;

@@ -157,7 +157,7 @@ std::vector<core::Detection> SeedMonitorTrace(
       }
     }
     for (const runtime::CallEvent& event : window) {
-      if (profile.context_pairs.count({event.caller, event.callee}) == 0) {
+      if (!profile.context_pairs.contains({event.caller, event.callee})) {
         detection.flag = core::DetectionFlag::kOutOfContext;
         detection.detail = event.callee + " called from " + event.caller;
         break;

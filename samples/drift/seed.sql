@@ -1,0 +1,5 @@
+# Base schema for the drift corpus (rev0..rev3, rev5).
+CREATE TABLE records (id INT, name TEXT, grp TEXT, score INT)
+INSERT INTO records VALUES (1, 'alpha', 'g1', 10)
+INSERT INTO records VALUES (2, 'beta', 'g2', 20)
+INSERT INTO records VALUES (3, 'gamma', 'g3', 30)

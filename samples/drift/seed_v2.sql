@@ -1,0 +1,8 @@
+# Schema revision for rev4_schema.mini: the records table gains an
+# `owner` column. The program source is byte-identical to rev0 — only
+# the catalog changes, so only schema-dependent analysis state (column
+# expansion, the IFDS options fingerprint) is invalidated.
+CREATE TABLE records (id INT, name TEXT, grp TEXT, score INT, owner TEXT)
+INSERT INTO records VALUES (1, 'alpha', 'g1', 10, 'ops')
+INSERT INTO records VALUES (2, 'beta', 'g2', 20, 'ops')
+INSERT INTO records VALUES (3, 'gamma', 'g3', 30, 'dev')

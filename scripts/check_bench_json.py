@@ -125,6 +125,26 @@ def check_analysis(doc, path):
             fail(path, f"apps[{i}]: ifds_pruned_facts "
                        f"({run['ifds_pruned_facts']}) exceeds "
                        f"ifds_sink_facts ({run['ifds_sink_facts']})")
+    drift = require(doc, path, "drift", dict)
+    revisions = require(drift, path, "revisions", list)
+    check_runs(revisions, path, "drift.revisions",
+               ["functions", "cold_ms", "warm_ms", "speedup", "warm_hits",
+                "warm_misses"])
+    kinds = [r.get("kind") for r in revisions]
+    for expected in ("none", "body_edit", "signature", "new_callee",
+                     "schema", "sink_relabel"):
+        if expected not in kinds:
+            fail(path, f"drift.revisions missing a {expected!r} row")
+    for i, run in enumerate(revisions):
+        # A body-only edit re-solves one function out of 25; the warm run
+        # must recoup at least 5x of the cold cached-pass time.
+        if run.get("kind") == "body_edit" and run["speedup"] < 5:
+            fail(path, f"drift.revisions[{i}] (body_edit): speedup "
+                       f"{run['speedup']} < 5")
+        # The base revision re-analyzed warm must hit on everything.
+        if run.get("kind") == "none" and run["warm_misses"] != 0:
+            fail(path, f"drift.revisions[{i}] (none): {run['warm_misses']} "
+                       "warm misses on an unchanged program")
     ablation = require(doc, path, "forecast_ablation", dict)
     require(ablation, path, "refined_mean_score", (int, float))
     require(ablation, path, "uniform_mean_score", (int, float))

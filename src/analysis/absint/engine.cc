@@ -9,9 +9,66 @@
 #include "analysis/absint/replay.h"
 #include "analysis/dataflow/flow_graph.h"
 #include "analysis/dataflow/solver.h"
+#include "analysis/hashing.h"
+#include "analysis/incremental.h"
 #include "prog/scc.h"
 #include "util/logging.h"
 #include "util/strings.h"
+
+namespace adprom::analysis {
+
+/// Exact AbsValue codec. Every stored value was built through the public
+/// factories, and decoding goes back through them, so round-trips preserve
+/// operator== (which compares all fields, including the ones a kind
+/// ignores — the factories zero those deterministically).
+template <>
+struct Serde<absint::AbsValue> {
+  static void Put(BinaryWriter& w, const absint::AbsValue& v) {
+    using Kind = absint::AbsValue::Kind;
+    w.U8(static_cast<uint8_t>(v.kind()));
+    switch (v.kind()) {
+      case Kind::kTop:
+      case Kind::kNull:
+        break;
+      case Kind::kInt:
+        w.I64(v.interval().lo());
+        w.I64(v.interval().hi());
+        break;
+      case Kind::kRealConst:
+        w.F64(v.real_value());
+        break;
+      case Kind::kStrConst:
+        w.Str(v.str_value());
+        break;
+      case Kind::kDbResult:
+        w.I32(v.db_columns());
+        break;
+    }
+  }
+  static absint::AbsValue Get(BinaryReader& r) {
+    using Kind = absint::AbsValue::Kind;
+    switch (static_cast<Kind>(r.U8())) {
+      case Kind::kTop:
+        break;
+      case Kind::kNull:
+        return absint::AbsValue::Null();
+      case Kind::kInt: {
+        const int64_t lo = r.I64();
+        const int64_t hi = r.I64();
+        return absint::AbsValue::Int(absint::Interval(lo, hi));
+      }
+      case Kind::kRealConst:
+        return absint::AbsValue::RealConstant(r.F64());
+      case Kind::kStrConst:
+        return absint::AbsValue::StrConstant(r.Str());
+      case Kind::kDbResult:
+        return absint::AbsValue::DbResult(r.I32());
+    }
+    return absint::AbsValue::Top();
+  }
+};
+
+}  // namespace adprom::analysis
 
 namespace adprom::analysis::absint {
 
@@ -256,7 +313,7 @@ int64_t ComputeTripCount(const prog::Stmt& loop, const AbsState& entry_state,
   std::vector<std::string> bound_reads;
   dataflow::CollectVarReads(*bound_expr, &bound_reads);
   for (const std::string& read : bound_reads) {
-    if (assigned.count(read) > 0) return -1;
+    if (assigned.contains(read)) return -1;
   }
   const AbsValue bound_value = EvalExpr(*bound_expr, entry_state, returns);
   if (!bound_value.IsIntConstant()) return -1;
@@ -531,6 +588,81 @@ FunctionAnalysis AnalyzeFunction(
   return out;
 }
 
+// --- Incremental summary cache ----------------------------------------
+
+uint64_t HashAbsValue(const AbsValue& v) {
+  BinaryWriter w;
+  Put(w, v);
+  return Hasher().Str(w.buffer()).digest();
+}
+
+/// Branch facts are stored with their FlowGraph node id (facts skip
+/// unreachable branches, so a positional zip against the graph's branch
+/// nodes would mis-bind) and the `stmt` pointer is re-bound on decode.
+/// Keys include the body hash, so a hit's graph is structurally identical
+/// to the one the payload was encoded against.
+void EncodeFunctionAnalysis(const FunctionAnalysis& analysis,
+                            const FlowGraph& graph, BinaryWriter* w) {
+  w->U64(analysis.facts.branches.size());
+  size_t next = 0;
+  for (const FlowNode& node : graph.nodes()) {
+    if (next >= analysis.facts.branches.size()) break;
+    if (node.op != FlowOp::kBranch) continue;
+    const BranchFact& fact = analysis.facts.branches[next];
+    if (node.stmt != fact.stmt) continue;  // branch was unreachable
+    ++next;
+    w->U32(static_cast<uint32_t>(node.id));
+    w->B(fact.is_loop);
+    w->I32(fact.line);
+    w->B(fact.condition_is_literal);
+    w->U8(static_cast<uint8_t>(fact.verdict));
+    w->B(fact.entered);
+    w->I64(fact.trip_count);
+  }
+  ADPROM_CHECK_EQ(next, analysis.facts.branches.size());
+  w->U64(analysis.facts.diagnostics.size());
+  for (const Diagnostic& d : analysis.facts.diagnostics) {
+    w->Str(d.category);
+    w->Str(d.function);
+    w->I32(d.line);
+    w->Str(d.message);
+  }
+  Put(*w, analysis.facts.return_value);
+  Put(*w, analysis.callee_args);
+}
+
+bool DecodeFunctionAnalysis(const std::string& payload,
+                            const FlowGraph& graph,
+                            FunctionAnalysis* analysis) {
+  BinaryReader r(payload);
+  const uint64_t num_branches = r.U64();
+  for (uint64_t i = 0; i < num_branches && r.ok(); ++i) {
+    const uint32_t node_id = r.U32();
+    if (node_id >= graph.size()) return false;
+    BranchFact fact;
+    fact.stmt = graph.node(static_cast<int>(node_id)).stmt;
+    fact.is_loop = r.B();
+    fact.line = r.I32();
+    fact.condition_is_literal = r.B();
+    fact.verdict = static_cast<Tri>(r.U8());
+    fact.entered = r.B();
+    fact.trip_count = r.I64();
+    analysis->facts.branches.push_back(fact);
+  }
+  const uint64_t num_diagnostics = r.U64();
+  for (uint64_t i = 0; i < num_diagnostics && r.ok(); ++i) {
+    Diagnostic d;
+    d.category = r.Str();
+    d.function = r.Str();
+    d.line = r.I32();
+    d.message = r.Str();
+    analysis->facts.diagnostics.push_back(std::move(d));
+  }
+  analysis->facts.return_value = Get<AbsValue>(r);
+  analysis->callee_args = Get<std::map<std::string, std::vector<AbsValue>>>(r);
+  return r.ok() && r.AtEnd();
+}
+
 }  // namespace
 
 size_t AbsintResult::NumInfeasibleBranches() const {
@@ -665,8 +797,50 @@ util::Result<AbsintResult> RunAbstractInterpretation(
     }
   }
 
+  // Incremental-cache state. Each slot of `return_hash` is written by the
+  // worker that owns the function and read only by callers in later
+  // levels, after the ParallelFor barrier. The phases use distinct
+  // fingerprints: one function has two entries (return summary, facts)
+  // that invalidate independently.
+  SummaryStore* cache = options.summary_cache;
+  PassCacheStats cache_stats;
+  std::vector<uint64_t> body_hash;
+  std::vector<uint64_t> return_hash;
+  uint64_t returns_fp = 0;
+  uint64_t facts_fp = 0;
+  if (cache != nullptr) {
+    body_hash.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      body_hash[i] = HashFunctionBody(fns[i]);
+    }
+    return_hash.assign(count, HashAbsValue(AbsValue::Top()));
+    returns_fp = Hasher()
+                     .Str("absint-returns")
+                     .I64(options.widen_delay)
+                     .I64(options.max_trip_count)
+                     .digest();
+    facts_fp = Hasher()
+                   .Str("absint-facts")
+                   .I64(options.widen_delay)
+                   .I64(options.max_trip_count)
+                   .digest();
+  }
+  // Chains every callee's identity and current return-summary hash into
+  // `key`. Arity rides along because the caller's joined argument vectors
+  // are shaped by it even when the callee's summary value is unchanged.
+  auto chain_callees = [&](Hasher* key, size_t vi) {
+    for (int c : adjacency[vi]) {
+      const auto ci = static_cast<size_t>(c);
+      key->Str(fns[ci].name)
+          .Size(fns[ci].params.size())
+          .U64(return_hash[ci]);
+    }
+  };
+
   // Phase 1 — bottom-up return summaries with unconstrained parameters.
-  // Members of recursive components keep the sound default (top).
+  // Members of recursive components keep the sound default (top), so
+  // their (unwritten) return hashes stay at top's hash and callers' keys
+  // remain stable.
   std::map<std::string, AbsValue> returns;
   for (size_t i = 0; i < count; ++i) returns[fns[i].name] = AbsValue::Top();
   for (const std::vector<int>& level : scc.levels) {
@@ -674,12 +848,36 @@ util::Result<AbsintResult> RunAbstractInterpretation(
       for (int v : scc.components[static_cast<size_t>(level[task])]) {
         const auto vi = static_cast<size_t>(v);
         if (recursive[vi]) continue;
+        uint64_t key = 0;
+        if (cache != nullptr) {
+          Hasher h(body_hash[vi]);
+          chain_callees(&h, vi);
+          key = h.digest();
+          std::string payload;
+          if (cache->Lookup(returns_fp, fns[vi].name, key, &payload,
+                            &cache_stats)) {
+            BinaryReader r(payload);
+            const AbsValue rv = Get<AbsValue>(r);
+            ADPROM_CHECK_MSG(r.ok() && r.AtEnd(),
+                             "corrupt absint return cache entry for " +
+                                 fns[vi].name);
+            returns[fns[vi].name] = rv;
+            return_hash[vi] = HashAbsValue(rv);
+            continue;
+          }
+        }
         const FunctionAnalysis analysis =
             AnalyzeFunction(fns[vi], graphs[vi], returns, {}, fn_arity,
                             options);
         // Distinct map slots exist for every function up front, so
         // concurrent writes to different functions never race.
         returns[fns[vi].name] = analysis.facts.return_value;
+        if (cache != nullptr) {
+          return_hash[vi] = HashAbsValue(analysis.facts.return_value);
+          BinaryWriter w;
+          Put(w, analysis.facts.return_value);
+          cache->Store(returns_fp, fns[vi].name, key, w.Take());
+        }
       }
     });
   }
@@ -706,15 +904,43 @@ util::Result<AbsintResult> RunAbstractInterpretation(
     }
     util::ParallelFor(options.pool, solved_fns.size(), [&](size_t task) {
       const auto vi = static_cast<size_t>(solved_fns[task]);
+      const bool use_params = !recursive[vi] && called[vi];
       std::map<std::string, AbsValue> params;
-      if (!recursive[vi] && called[vi]) {
+      if (use_params) {
         for (size_t p = 0; p < fns[vi].params.size(); ++p) {
           params[fns[vi].params[p]] = arg_facts[vi][p];
+        }
+      }
+      uint64_t key = 0;
+      if (cache != nullptr) {
+        // Recursive members are cacheable too: they solve with empty
+        // parameters against same-component summaries pinned at top.
+        Hasher h(body_hash[vi]);
+        h.Bool(recursive[vi]).Bool(use_params);
+        if (use_params) {
+          for (const AbsValue& arg : arg_facts[vi]) {
+            h.U64(HashAbsValue(arg));
+          }
+        }
+        chain_callees(&h, vi);
+        key = h.digest();
+        std::string payload;
+        if (cache->Lookup(facts_fp, fns[vi].name, key, &payload,
+                          &cache_stats)) {
+          ADPROM_CHECK_MSG(
+              DecodeFunctionAnalysis(payload, graphs[vi], &analyses[vi]),
+              "corrupt absint fact cache entry for " + fns[vi].name);
+          return;
         }
       }
       analyses[vi] =
           AnalyzeFunction(fns[vi], graphs[vi], returns, params, fn_arity,
                           options);
+      if (cache != nullptr) {
+        BinaryWriter w;
+        EncodeFunctionAnalysis(analyses[vi], graphs[vi], &w);
+        cache->Store(facts_fp, fns[vi].name, key, w.Take());
+      }
     });
     // Deterministic merge of this level's callee argument facts and
     // results, in ascending function order.
@@ -736,6 +962,7 @@ util::Result<AbsintResult> RunAbstractInterpretation(
       result.functions[fns[vi].name] = std::move(analysis.facts);
     }
   }
+  result.cache_stats = cache_stats;
   return std::move(result);
 }
 

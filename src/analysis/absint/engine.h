@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/absint/abstract_value.h"
+#include "analysis/summary_cache.h"
 #include "prog/program.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -68,10 +69,21 @@ struct AbsintOptions {
   /// Trip counts above this are treated as unbounded (the forecast gains
   /// nothing from scaling by huge counts, and it bounds the arithmetic).
   int64_t max_trip_count = 1'000'000;
+  /// Optional incremental store. Phase-1 return summaries and phase-2
+  /// facts are cached separately, each keyed by the function's body hash
+  /// chained with its callees' (name, arity, return-summary hash) — plus,
+  /// for phase 2, the joined abstract argument values its callers feed it.
+  /// Results are bit-identical with or without the cache
+  /// (property-tested). nullptr disables caching.
+  SummaryStore* summary_cache = nullptr;
 };
 
 struct AbsintResult {
   std::map<std::string, FunctionAbsint> functions;
+  /// Summary-cache counters for this run (all zero when no cache is set).
+  /// Every function is looked up once per phase (recursive functions skip
+  /// phase 1), so the totals are schedule-independent.
+  PassCacheStats cache_stats;
 
   /// Convenience counters over all functions.
   size_t NumInfeasibleBranches() const;

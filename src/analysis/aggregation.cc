@@ -1,8 +1,8 @@
 #include "analysis/aggregation.h"
 
-#include <cstring>
 #include <vector>
 
+#include "analysis/hashing.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -10,75 +10,36 @@ namespace adprom::analysis {
 
 namespace {
 
-// ---- Content hashing for the aggregation memo -----------------------------
-
-constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
-constexpr uint64_t kFnvPrime = 1099511628211ULL;
-/// Mixed in for a callee whose combined key is not yet known at hash time,
-/// i.e. a cyclic (recursive) call-graph edge.
-constexpr uint64_t kRecursionMarker = 0x9e3779b97f4a7c15ULL;
-
-uint64_t HashBytes(uint64_t h, const void* data, size_t len) {
-  const unsigned char* bytes = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    h ^= bytes[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-uint64_t HashString(uint64_t h, const std::string& s) {
-  // Length first, so {"ab","c"} and {"a","bc"} hash differently.
-  const uint64_t len = s.size();
-  h = HashBytes(h, &len, sizeof(len));
-  return HashBytes(h, s.data(), s.size());
-}
-
-uint64_t HashU64(uint64_t h, uint64_t v) {
-  return HashBytes(h, &v, sizeof(v));
-}
-
-uint64_t HashDouble(uint64_t h, double v) {
-  // Bit pattern, so the key changes iff the value is not bit-identical.
-  uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return HashU64(h, bits);
-}
-
 /// FNV-1a over everything the elimination reads from a function's own CTM:
 /// the site identities (including reachability and provenance) and every
 /// probability cell.
 uint64_t HashCtm(const Ctm& ctm) {
-  uint64_t h = kFnvOffset;
-  h = HashString(h, ctm.function());
+  Hasher h;
+  h.Str(ctm.function());
   const size_t n = ctm.num_sites();
-  h = HashU64(h, n);
+  h.Size(n);
   for (size_t i = 0; i < n; ++i) {
     const Site& site = ctm.site(i);
-    h = HashString(h, site.function);
-    h = HashU64(h, static_cast<uint64_t>(site.block_id));
-    h = HashString(h, site.callee);
-    h = HashU64(h, site.is_user_fn ? 1 : 0);
-    h = HashU64(h, static_cast<uint64_t>(site.call_site_id));
-    h = HashU64(h, site.labeled ? 1 : 0);
-    h = HashString(h, site.observable);
-    h = HashDouble(h, site.reachability);
-    h = HashU64(h, site.source_tables.size());
-    for (const std::string& table : site.source_tables) {
-      h = HashString(h, table);
-    }
-    h = HashU64(h, site.source_columns.size());
-    for (const std::string& column : site.source_columns) {
-      h = HashString(h, column);
-    }
+    h.Str(site.function);
+    h.I64(site.block_id);
+    h.Str(site.callee);
+    h.Bool(site.is_user_fn);
+    h.I64(site.call_site_id);
+    h.Bool(site.labeled);
+    h.Str(site.observable);
+    h.F64(site.reachability);
+    h.Size(site.source_tables.size());
+    for (const std::string& table : site.source_tables) h.Str(table);
+    h.Size(site.source_columns.size());
+    for (const std::string& column : site.source_columns) h.Str(column);
   }
-  h = HashDouble(h, ctm.entry_to_exit());
+  h.F64(ctm.entry_to_exit());
   for (size_t i = 0; i < n; ++i) {
-    h = HashDouble(h, ctm.entry_to(i));
-    h = HashDouble(h, ctm.to_exit(i));
-    for (size_t j = 0; j < n; ++j) h = HashDouble(h, ctm.between(i, j));
+    h.F64(ctm.entry_to(i));
+    h.F64(ctm.to_exit(i));
+    for (size_t j = 0; j < n; ++j) h.F64(ctm.between(i, j));
   }
-  return h;
+  return h.digest();
 }
 
 /// A CTM entry endpoint: -1 denotes ε (as a row) or ε' (as a column);
@@ -213,16 +174,16 @@ util::Result<Ctm> AggregateProgramCtm(
     if (it == function_ctms.end()) {
       return util::Status::NotFound("no CTM for function: " + fn);
     }
-    uint64_t key = HashCtm(it->second);
+    Hasher key_hash(HashCtm(it->second));
     for (const std::string& callee : call_graph.Callees(fn)) {
-      key = HashString(key, callee);
+      key_hash.Str(callee);
       auto ck = combined_keys.find(callee);
       // A callee with no combined key yet is either a library function or
       // a cyclic edge — both are eliminated without a callee matrix, so
       // the marker (mixed with the name above) identifies them stably.
-      key = HashU64(key, ck == combined_keys.end() ? kRecursionMarker
-                                                   : ck->second);
+      key_hash.U64(ck == combined_keys.end() ? kRecursionMarker : ck->second);
     }
+    const uint64_t key = key_hash.digest();
     combined_keys[fn] = key;
     if (stats != nullptr) ++stats->functions;
 

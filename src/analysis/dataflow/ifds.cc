@@ -11,6 +11,8 @@
 #include "analysis/absint/replay.h"
 #include "analysis/dataflow/flow_graph.h"
 #include "analysis/dataflow/solver.h"
+#include "analysis/hashing.h"
+#include "analysis/incremental.h"
 #include "analysis/labeling.h"
 #include "prog/scc.h"
 #include "util/logging.h"
@@ -50,6 +52,20 @@ void MergeFlow(Flow* into, const Flow& from) {
   into->gens.insert(from.gens.begin(), from.gens.end());
 }
 
+void EncodeFlow(const Flow& f, BinaryWriter* w) {
+  Put(*w, f.tokens);
+  Put(*w, f.vars);
+  Put(*w, f.gens);
+}
+
+Flow DecodeFlow(BinaryReader* r) {
+  Flow f;
+  f.tokens = Get<std::set<int>>(*r);
+  f.vars = Get<std::set<std::string>>(*r);
+  f.gens = Get<std::set<int>>(*r);
+  return f;
+}
+
 /// One sink obligation observed at a node: token `token` (concrete or a
 /// parameter of the observing function) may reach sink `site`, either at
 /// a direct sink call here (`via_callee` empty) or by being passed as
@@ -62,6 +78,10 @@ struct SinkFact {
   size_t via_param = 0;
   std::set<std::string> vars;  // in-state vars feeding the observed flow
   bool from_gen = false;       // token born inside this node's expression
+  /// Sealed after the conditioned feasibility pass (true when the filter
+  /// is off or skipped); cached with the fact so warm runs skip the
+  /// conditioned solves entirely.
+  bool locally_feasible = true;
 };
 
 /// Where a concrete token enters a function: the node whose expression
@@ -152,7 +172,7 @@ class TokenEval {
             for (int site : sites) {
               rec->facts->push_back({site, t, rec->node, call.name, k,
                                      args[k].vars,
-                                     args[k].gens.count(t) > 0});
+                                     args[k].gens.contains(t)});
             }
           }
         }
@@ -182,17 +202,17 @@ class TokenEval {
       return ret;
     }
 
-    if (options_.sanitizer_calls.count(call.name) > 0) return {};
-    if (options_.config.sink_calls.count(call.name) > 0 && rec != nullptr) {
+    if (options_.sanitizer_calls.contains(call.name)) return {};
+    if (options_.config.sink_calls.contains(call.name) && rec != nullptr) {
       for (int t : merged.tokens) {
         if (IsParamToken(t) && rec->param_sinks != nullptr) {
           (*rec->param_sinks)[ParamIndexOf(t)].insert(call.call_site_id);
         }
         rec->facts->push_back({call.call_site_id, t, rec->node, "", 0,
-                               merged.vars, merged.gens.count(t) > 0});
+                               merged.vars, merged.gens.contains(t)});
       }
     }
-    if (options_.config.source_calls.count(call.name) > 0) {
+    if (options_.config.source_calls.contains(call.name)) {
       Flow out = std::move(merged);
       out.tokens.insert(call.call_site_id);
       out.gens.insert(call.call_site_id);
@@ -262,7 +282,7 @@ class IfdsClient {
 bool HasToken(const TokenEval::Domain& state, const std::string& var,
               int token) {
   auto it = state.find(var);
-  return it != state.end() && it->second.count(token) > 0;
+  return it != state.end() && it->second.contains(token);
 }
 
 // ---------------------------------------------------------------------------
@@ -321,7 +341,7 @@ class CondClient {
     Domain out = in;
     ApplyDef(node, &out.lambda);
     for (auto& [var, state] : out.carriers) ApplyDef(node, &state);
-    if (carries_.count(node.id) > 0) {
+    if (carries_.contains(node.id)) {
       absint::AbsState carrier;  // bottom: joined over contributing paths
       auto it = contributors_.find(node.id);
       if (it != contributors_.end()) {
@@ -330,7 +350,7 @@ class CondClient {
           if (c != in.carriers.end()) JoinInto(&carrier, c->second);
         }
       }
-      if (birth_defs_.count(node.id) > 0) JoinInto(&carrier, in.lambda);
+      if (birth_defs_.contains(node.id)) JoinInto(&carrier, in.lambda);
       if (carrier.reachable) {
         ApplyDef(node, &carrier);
         out.carriers[node.def] = std::move(carrier);
@@ -567,6 +587,7 @@ class IfdsEngine {
 
     summaries_.assign(count, {});
     solved_.resize(count);
+    solved_valid_.assign(count, 0);
     facts_.assign(count, {});
     births_.assign(count, {});
     def_flows_.assign(count, {});
@@ -574,9 +595,33 @@ class IfdsEngine {
     param_vars_.assign(count, {});
     summary_edges_.assign(count, 0);
     cond_.assign(count, {});
+    demanded_count_.assign(count, 0);
     feasible_obligations_.assign(count, {});
-    filter_skipped_.assign(count, false);
+    filter_skipped_.assign(count, 0);
     prov_.resize(count);
+
+    cache_ = options_.summary_cache;
+    if (cache_ != nullptr) {
+      body_hash_.resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        body_hash_[i] = HashFunctionBody(fns[i]);
+      }
+      summary_hash_.assign(count, 0);
+      Hasher fp;
+      fp.Str("ifds");
+      auto chain_set = [&fp](const std::set<std::string>& s) {
+        fp.Size(s.size());
+        for (const std::string& e : s) fp.Str(e);
+      };
+      chain_set(options_.config.source_calls);
+      chain_set(options_.config.sink_calls);
+      chain_set(options_.sanitizer_calls);
+      fp.Bool(options_.feasibility_filter);
+      // The schema catalog feeds column resolution; fold it into the
+      // fingerprint so a schema edit conservatively invalidates.
+      fp.U64(HashSchemaCatalog(&options_.schemas));
+      config_fp_ = fp.digest();
+    }
 
     const prog::SccDecomposition scc = prog::ComputeSccs(adjacency);
     for (const std::vector<int>& level : scc.levels) {
@@ -613,7 +658,20 @@ class IfdsEngine {
     const prog::FunctionDef& fn = program_.functions()[index];
     IfdsClient client(eval_, fn);
     solved_[index] = Solve(graphs_[index], Direction::kForward, &client);
+    solved_valid_[index] = 1;
     PostPass(index);
+  }
+
+  /// Re-solves the plain reachability fixpoint of a cache-hit function on
+  /// demand (the witness tier walks the solved states, which are not part
+  /// of the cached payload). The converged summaries are already in
+  /// place, so one solve reproduces the cold fixpoint exactly. Called
+  /// only from the serial witness-reconstruction tier.
+  void EnsureSolved(size_t index) {
+    if (solved_valid_[index]) return;
+    solved_valid_[index] = 1;
+    IfdsClient client(eval_, program_.functions()[index]);
+    solved_[index] = Solve(graphs_[index], Direction::kForward, &client);
   }
 
   /// Recomputes every observation of `index` against the solved fixpoint:
@@ -672,11 +730,68 @@ class IfdsEngine {
     }
     if (!recursive) {
       const size_t index = static_cast<size_t>(members[0]);
+      const std::string& name = program_.functions()[index].name;
+      uint64_t key = 0;
+      if (cache_ != nullptr) {
+        key = EntryKey(index, adjacency);
+        std::string payload;
+        if (cache_->Lookup(config_fp_, name, key, &payload, &cache_stats_)) {
+          ADPROM_CHECK_MSG(DecodeEntry(index, payload),
+                           "corrupt ifds cache entry for " + name);
+          summary_hash_[index] = CalleeVisibleHash(index);
+          return;
+        }
+      }
       SolveFunction(index);
       if (options_.feasibility_filter) CondPass(index);
+      demanded_count_[index] = cond_[index].size();
+      SealFacts(index);
       FinishObligations(index);
+      if (cache_ != nullptr) {
+        cache_->Store(config_fp_, name, key, EncodeEntry(index));
+        summary_hash_[index] = CalleeVisibleHash(index);
+      }
       return;
     }
+
+    // Recursive components cache as a unit under one component key (the
+    // mutual fixpoint reads every member body): all-or-nothing, with the
+    // group's counters folded in under the store lock.
+    std::vector<int> ordered(members);
+    std::sort(ordered.begin(), ordered.end(), [&](int a, int b) {
+      return program_.functions()[static_cast<size_t>(a)].name <
+             program_.functions()[static_cast<size_t>(b)].name;
+    });
+    std::vector<uint64_t> member_keys(ordered.size(), 0);
+    if (cache_ != nullptr) {
+      const std::set<int> member_set(members.begin(), members.end());
+      const uint64_t comp_key = ComponentKey(ordered, adjacency, member_set);
+      PassCacheStats probe;
+      std::vector<std::string> payloads(ordered.size());
+      bool all_hit = true;
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        const auto vi = static_cast<size_t>(ordered[i]);
+        member_keys[i] =
+            Hasher(comp_key).Str(program_.functions()[vi].name).digest();
+        if (!cache_->Lookup(config_fp_, program_.functions()[vi].name,
+                            member_keys[i], &payloads[i], &probe)) {
+          all_hit = false;
+        }
+      }
+      if (all_hit) {
+        for (size_t i = 0; i < ordered.size(); ++i) {
+          const auto vi = static_cast<size_t>(ordered[i]);
+          ADPROM_CHECK_MSG(DecodeEntry(vi, payloads[i]),
+                           "corrupt ifds cache entry for " +
+                               program_.functions()[vi].name);
+          summary_hash_[vi] = CalleeVisibleHash(vi);
+        }
+        cache_->Count(&cache_stats_, ordered.size(), 0, 0);
+        return;
+      }
+      cache_->Count(&cache_stats_, 0, ordered.size(), probe.invalidated);
+    }
+
     constexpr int kMaxIterations = 1000;
     for (int iter = 0; iter < kMaxIterations; ++iter) {
       bool changed = false;
@@ -693,8 +808,191 @@ class IfdsEngine {
     // keep every plain fact (sound — the filter only ever discards).
     for (int v : members) {
       const size_t index = static_cast<size_t>(v);
-      filter_skipped_[index] = true;
+      filter_skipped_[index] = 1;
+      SealFacts(index);
       FinishObligations(index);
+    }
+    if (cache_ != nullptr) {
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        const auto vi = static_cast<size_t>(ordered[i]);
+        cache_->Store(config_fp_, program_.functions()[vi].name,
+                      member_keys[i], EncodeEntry(vi));
+        summary_hash_[vi] = CalleeVisibleHash(vi);
+      }
+    }
+  }
+
+  // -- incremental summary cache ----------------------------------------
+
+  /// Chains one callee's caller-visible surface: name, parameter names
+  /// (the caller's diagnostic observations key on them) and the hash of
+  /// the state callers actually consume (summary + feasible obligations).
+  void ChainCallee(Hasher* h, size_t callee) const {
+    const prog::FunctionDef& fn = program_.functions()[callee];
+    h->Str(fn.name);
+    h->Size(fn.params.size());
+    for (const std::string& param : fn.params) h->Str(param);
+    h->U64(summary_hash_[callee]);
+  }
+
+  uint64_t EntryKey(size_t index,
+                    const std::vector<std::vector<int>>& adjacency) const {
+    Hasher h;
+    h.U64(body_hash_[index]);
+    for (int c : adjacency[index]) {
+      ChainCallee(&h, static_cast<size_t>(c));
+    }
+    return h.digest();
+  }
+
+  uint64_t ComponentKey(const std::vector<int>& ordered,
+                        const std::vector<std::vector<int>>& adjacency,
+                        const std::set<int>& member_set) const {
+    Hasher h;
+    h.U64(kRecursionMarker);
+    for (int v : ordered) {
+      const auto vi = static_cast<size_t>(v);
+      h.Str(program_.functions()[vi].name);
+      h.U64(body_hash_[vi]);
+    }
+    std::set<int> external;
+    for (int v : ordered) {
+      for (int c : adjacency[static_cast<size_t>(v)]) {
+        if (!member_set.contains(c)) external.insert(c);
+      }
+    }
+    for (int c : external) {
+      ChainCallee(&h, static_cast<size_t>(c));
+    }
+    return h.digest();
+  }
+
+  void EncodeSummary(size_t index, BinaryWriter* w) const {
+    const FnSummary& s = summaries_[index];
+    Put(*w, s.ret_tokens);
+    w->U64(s.param_sinks.size());
+    for (const auto& [k, sites] : s.param_sinks) {
+      w->U64(k);
+      Put(*w, sites);
+    }
+  }
+
+  void EncodeObligations(size_t index, BinaryWriter* w) const {
+    w->U64(feasible_obligations_[index].size());
+    for (const auto& [k, site] : feasible_obligations_[index]) {
+      w->U64(k);
+      w->I32(site);
+    }
+  }
+
+  /// Value hash of the state callers read from this function: the
+  /// converged summary and the feasibility-filtered obligations. A
+  /// callee whose re-solve reproduces both leaves caller keys unchanged
+  /// (early cutoff).
+  uint64_t CalleeVisibleHash(size_t index) const {
+    BinaryWriter w;
+    EncodeSummary(index, &w);
+    EncodeObligations(index, &w);
+    return Hasher().Str(w.buffer()).digest();
+  }
+
+  std::string EncodeEntry(size_t index) const {
+    BinaryWriter w;
+    EncodeSummary(index, &w);
+    w.U64(facts_[index].size());
+    for (const SinkFact& f : facts_[index]) {
+      w.I32(f.site);
+      w.I32(f.token);
+      w.I32(f.node);
+      w.Str(f.via_callee);
+      w.U64(f.via_param);
+      Put(w, f.vars);
+      w.B(f.from_gen);
+      w.B(f.locally_feasible);
+    }
+    w.U64(births_[index].size());
+    for (const auto& [token, list] : births_[index]) {
+      w.I32(token);
+      w.U64(list.size());
+      for (const Birth& b : list) {
+        w.I32(b.node);
+        w.Str(b.call);
+      }
+    }
+    w.U64(def_flows_[index].size());
+    for (const auto& [node, flow] : def_flows_[index]) {
+      w.I32(node);
+      EncodeFlow(flow, &w);
+    }
+    Put(w, var_tokens_[index]);
+    Put(w, param_vars_[index]);
+    w.U64(summary_edges_[index]);
+    w.U64(demanded_count_[index]);
+    w.B(filter_skipped_[index] != 0);
+    EncodeObligations(index, &w);
+    return w.Take();
+  }
+
+  bool DecodeEntry(size_t index, const std::string& payload) {
+    BinaryReader r(payload);
+    FnSummary summary;
+    summary.ret_tokens = Get<std::set<int>>(r);
+    const uint64_t num_params = r.U64();
+    for (uint64_t i = 0; i < num_params && r.ok(); ++i) {
+      const auto k = static_cast<size_t>(r.U64());
+      summary.param_sinks[k] = Get<std::set<int>>(r);
+    }
+    summaries_[index] = std::move(summary);
+    const uint64_t num_facts = r.U64();
+    for (uint64_t i = 0; i < num_facts && r.ok(); ++i) {
+      SinkFact f;
+      f.site = r.I32();
+      f.token = r.I32();
+      f.node = r.I32();
+      f.via_callee = r.Str();
+      f.via_param = static_cast<size_t>(r.U64());
+      f.vars = Get<std::set<std::string>>(r);
+      f.from_gen = r.B();
+      f.locally_feasible = r.B();
+      facts_[index].push_back(std::move(f));
+    }
+    const uint64_t num_births = r.U64();
+    for (uint64_t i = 0; i < num_births && r.ok(); ++i) {
+      const int token = r.I32();
+      const uint64_t n = r.U64();
+      std::vector<Birth>& list = births_[index][token];
+      for (uint64_t j = 0; j < n && r.ok(); ++j) {
+        Birth b;
+        b.node = r.I32();
+        b.call = r.Str();
+        list.push_back(std::move(b));
+      }
+    }
+    const uint64_t num_flows = r.U64();
+    for (uint64_t i = 0; i < num_flows && r.ok(); ++i) {
+      const int node = r.I32();
+      def_flows_[index][node] = DecodeFlow(&r);
+    }
+    var_tokens_[index] = Get<std::map<std::string, std::set<int>>>(r);
+    param_vars_[index] =
+        Get<std::map<std::string, std::map<std::string, std::set<int>>>>(r);
+    summary_edges_[index] = static_cast<size_t>(r.U64());
+    demanded_count_[index] = static_cast<size_t>(r.U64());
+    filter_skipped_[index] = r.B() ? 1 : 0;
+    const uint64_t num_obligations = r.U64();
+    for (uint64_t i = 0; i < num_obligations && r.ok(); ++i) {
+      const auto k = static_cast<size_t>(r.U64());
+      const int site = r.I32();
+      feasible_obligations_[index].insert({k, site});
+    }
+    return r.ok() && r.AtEnd();
+  }
+
+  /// Bakes each fact's conditioned-replay verdict into the fact itself,
+  /// so downstream consumers (and warm runs) never need the digests.
+  void SealFacts(size_t index) {
+    for (SinkFact& fact : facts_[index]) {
+      fact.locally_feasible = LocallyFeasible(index, fact);
     }
   }
 
@@ -726,7 +1024,7 @@ class IfdsEngine {
             contributors[node.id].insert(var);
           }
         }
-        if (flow->second.gens.count(token) > 0) birth_defs.insert(node.id);
+        if (flow->second.gens.contains(token)) birth_defs.insert(node.id);
       }
       std::optional<size_t> param_index;
       if (IsParamToken(token)) param_index = ParamIndexOf(token);
@@ -760,19 +1058,19 @@ class IfdsEngine {
     if (fact.from_gen && lambda) return true;
     const auto& in = solved_[index].states[static_cast<size_t>(fact.node)].in;
     for (const std::string& var : fact.vars) {
-      if (carriers.count(var) > 0 && HasToken(in, var, fact.token)) {
+      if (carriers.contains(var) && HasToken(in, var, fact.token)) {
         return true;
       }
     }
     return false;
   }
 
-  bool FactFeasible(size_t index, const SinkFact& fact) const {
-    if (!LocallyFeasible(index, fact)) return false;
+  bool FactFeasible(const SinkFact& fact) const {
+    if (!fact.locally_feasible) return false;
     if (fact.via_callee.empty()) return true;
     const size_t callee = fn_index_.at(fact.via_callee);
-    return feasible_obligations_[callee].count(
-               {fact.via_param, fact.site}) > 0;
+    return feasible_obligations_[callee].contains(
+        {fact.via_param, fact.site});
   }
 
   /// Projects the function's feasible parameter obligations — the
@@ -788,7 +1086,7 @@ class IfdsEngine {
     }
     for (const SinkFact& fact : facts_[index]) {
       if (!IsParamToken(fact.token)) continue;
-      if (FactFeasible(index, fact)) {
+      if (FactFeasible(fact)) {
         feasible_obligations_[index].insert(
             {ParamIndexOf(fact.token), fact.site});
       }
@@ -828,6 +1126,7 @@ class IfdsEngine {
     FnProv& prov = prov_[index];
     if (prov.built) return;
     prov.built = true;
+    EnsureSolved(index);
     const FlowGraph& graph = graphs_[index];
     const prog::FunctionDef& fn = program_.functions()[index];
     const auto& states = solved_[index].states;
@@ -869,7 +1168,7 @@ class IfdsEngine {
           auto flow = def_flows_[index].find(m);
           const bool contributes =
               flow != def_flows_[index].end() &&
-              flow->second.vars.count(cur.var) > 0 &&
+              flow->second.vars.contains(cur.var) &&
               HasToken(states[static_cast<size_t>(m)].in, cur.var,
                        cur.token);
           if (node.def != cur.var && HasToken(out, cur.var, cur.token)) {
@@ -1076,8 +1375,9 @@ class IfdsEngine {
         }
       }
       out.stats.summary_edges += summary_edges_[f];
-      out.stats.demanded_solves += cond_[f].size();
+      out.stats.demanded_solves += demanded_count_[f];
     }
+    out.cache_stats = cache_stats_;
 
     // A concrete (sink, source) fact can manifest in several functions
     // (the token is born wherever its defining call's summary is
@@ -1093,7 +1393,7 @@ class IfdsEngine {
         const SinkFact& fact = facts_[f][i];
         if (IsParamToken(fact.token)) continue;
         manifests[{fact.site, fact.token}].push_back(
-            {f, i, FactFeasible(f, fact)});
+            {f, i, FactFeasible(fact)});
       }
     }
     out.stats.sink_facts = manifests.size();
@@ -1181,9 +1481,24 @@ class IfdsEngine {
       param_vars_;
   std::vector<size_t> summary_edges_;
   std::vector<std::map<int, CondDigest>> cond_;
+  /// Conditioned solves run (or, warm, recorded) per function — kept
+  /// apart from `cond_` so cache hits reproduce the cold stats.
+  std::vector<size_t> demanded_count_;
   std::vector<std::set<std::pair<size_t, int>>> feasible_obligations_;
-  std::vector<bool> filter_skipped_;
+  /// vector<char>, not vector<bool>: slots are written concurrently for
+  /// different functions under ParallelFor, and vector<bool> packs bits.
+  std::vector<char> filter_skipped_;
+  std::vector<char> solved_valid_;
   std::vector<FnProv> prov_;
+
+  SummaryStore* cache_ = nullptr;
+  uint64_t config_fp_ = 0;
+  std::vector<uint64_t> body_hash_;
+  /// Callee-visible value hashes (summary + obligations), written by the
+  /// worker that owns the function and read by callers in later levels
+  /// after the ParallelFor barrier.
+  std::vector<uint64_t> summary_hash_;
+  PassCacheStats cache_stats_;
 };
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/summary_cache.h"
 #include "analysis/taint.h"
 #include "db/schema.h"
 #include "prog/program.h"
@@ -61,6 +62,17 @@ struct IfdsOptions {
   bool witnesses = true;
   /// Optional pool; results are bit-identical for any pool size.
   util::ThreadPool* pool = nullptr;
+  /// Optional incremental store: per-function {summary, sink facts with
+  /// sealed feasibility verdicts, witness provenance inputs, feasible
+  /// obligations} keyed by the function's body hash chained with each
+  /// callee's caller-visible surface (name, parameter names, summary
+  /// value hash) and an options fingerprint (schemas included — a schema
+  /// edit conservatively invalidates). A hit skips the fixpoint, the
+  /// conditioned feasibility solves and the post-pass; functions on a
+  /// demanded witness path are lazily re-solved during reconstruction.
+  /// Results are bit-identical with or without the cache
+  /// (property-tested). nullptr disables caching.
+  SummaryStore* summary_cache = nullptr;
 };
 
 /// One step of a witness path: a flow-graph node of `function`, rendered.
@@ -120,6 +132,8 @@ struct IfdsResult {
   /// sorted by (sink, source). Empty when `witnesses` is off.
   std::vector<LeakWitness> witnesses;
   IfdsStats stats;
+  /// Summary-cache counters for this run (all zero when no cache is set).
+  PassCacheStats cache_stats;
 };
 
 /// Runs the engine over a finalized program. Deterministic: bit-identical

@@ -1,6 +1,7 @@
 #include "analysis/dataflow/lint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -23,6 +24,18 @@ const std::set<std::string>& ExfilCalls() {
   static const std::set<std::string> kCalls = {"send_net", "send_file",
                                                "write_file", "fprint"};
   return kCalls;
+}
+
+double SecondsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void AddStats(const PassCacheStats& in, PassCacheStats* out) {
+  out->hits += in.hits;
+  out->misses += in.misses;
+  out->invalidated += in.invalidated;
 }
 
 struct SiteInfo {
@@ -77,8 +90,12 @@ void CheckInjection(const prog::Program& program, const LintOptions& options,
   taint_options.sanitizer_calls = options.sanitizer_calls;
   taint_options.track_concat_builds = true;
   taint_options.pool = options.pool;
+  if (options.cache != nullptr) {
+    taint_options.summary_cache = &options.cache->taint;
+  }
   auto result = RunTaintFlowAnalysis(program, taint_options);
   if (!result.ok()) return;  // RunLint validated the program already.
+  AddStats(result->cache_stats, &report->stats.taint_cache);
 
   // Witness reconstruction for the scan -> db_query flow; the finding
   // set itself stays defined by the concat-build criterion below.
@@ -90,8 +107,14 @@ void CheckInjection(const prog::Program& program, const LintOptions& options,
     ifds_options.feasibility_filter = false;
     ifds_options.column_taint = false;
     ifds_options.pool = options.pool;
+    if (options.cache != nullptr) {
+      ifds_options.summary_cache = &options.cache->ifds;
+    }
     auto witnesses = RunIfdsTaint(program, ifds_options);
-    if (witnesses.ok()) witness_result = std::move(*witnesses);
+    if (witnesses.ok()) {
+      witness_result = std::move(*witnesses);
+      AddStats(witness_result.cache_stats, &report->stats.ifds_cache);
+    }
   }
 
   for (const auto& [site, builds] : result->sink_concat_builds) {
@@ -128,7 +151,7 @@ void CheckExfil(const prog::Program& program, const LintOptions& options,
   ifds_options.config.source_calls = options.monitored.source_calls;
   ifds_options.config.sink_calls.clear();
   for (const std::string& call : ExfilCalls()) {
-    if (options.monitored.sink_calls.count(call) == 0) {
+    if (!options.monitored.sink_calls.contains(call)) {
       ifds_options.config.sink_calls.insert(call);
     }
   }
@@ -137,8 +160,12 @@ void CheckExfil(const prog::Program& program, const LintOptions& options,
   ifds_options.column_taint = options.column_taint;
   ifds_options.witnesses = options.witnesses;
   ifds_options.pool = options.pool;
+  if (options.cache != nullptr) {
+    ifds_options.summary_cache = &options.cache->ifds;
+  }
   auto result = RunIfdsTaint(program, ifds_options);
   if (!result.ok()) return;
+  AddStats(result->cache_stats, &report->stats.ifds_cache);
 
   // Only feasibility-surviving facts become findings: a flow whose every
   // realizing path is provably contradictory is not a leak.
@@ -307,6 +334,7 @@ util::Result<LintReport> RunLint(const prog::Program& program,
   }
 
   // Per-function structural checks.
+  auto t0 = std::chrono::steady_clock::now();
   for (const prog::FunctionDef& fn : program.functions()) {
     const FlowGraph graph = FlowGraph::Build(fn);
     if (options.check_unreachable) {
@@ -336,15 +364,21 @@ util::Result<LintReport> RunLint(const prog::Program& program,
       }
     }
   }
+  report.stats.structural_seconds = SecondsSince(t0);
 
   // Interval-powered checks from the abstract interpreter.
   if (options.check_infeasible_branch || options.check_div_zero ||
       options.check_const_index) {
+    t0 = std::chrono::steady_clock::now();
     absint::AbsintOptions absint_options;
     absint_options.pool = options.pool;
+    if (options.cache != nullptr) {
+      absint_options.summary_cache = &options.cache->absint;
+    }
     auto absint_result =
         absint::RunAbstractInterpretation(program, absint_options);
     if (absint_result.ok()) {
+      AddStats(absint_result->cache_stats, &report.stats.absint_cache);
       for (const auto& [fn_name, facts] : absint_result->functions) {
         if (options.check_infeasible_branch) {
           for (const absint::BranchFact& fact : facts.branches) {
@@ -379,14 +413,19 @@ util::Result<LintReport> RunLint(const prog::Program& program,
         }
       }
     }
+    report.stats.absint_seconds = SecondsSince(t0);
   }
 
   // Whole-program taint checks.
   if (options.check_injection) {
+    t0 = std::chrono::steady_clock::now();
     CheckInjection(program, options, sites, &report);
+    report.stats.injection_seconds = SecondsSince(t0);
   }
   if (options.check_exfil) {
+    t0 = std::chrono::steady_clock::now();
     CheckExfil(program, options, sites, &report);
+    report.stats.exfil_seconds = SecondsSince(t0);
   }
 
   // Fully deterministic order (the witness index breaks any remaining

@@ -48,6 +48,26 @@ struct LintOptions {
   /// (`adprom lint --witnesses`).
   bool witnesses = false;
   util::ThreadPool* pool = nullptr;
+  /// Optional incremental cache: the absint, injection (taint-flow) and
+  /// exfil/witness (IFDS) passes store per-function summaries in the
+  /// matching stores, keyed so that a warm rerun only re-solves the
+  /// transitive dependents of changed functions. Findings and witnesses
+  /// are field-identical with or without it (property-tested). nullptr
+  /// runs every pass cold.
+  AnalysisCache* cache = nullptr;
+};
+
+/// Per-pass wall time and summary-cache counters for one RunLint call
+/// (`adprom lint --stats`). The cache counters stay zero when
+/// `LintOptions::cache` is null.
+struct LintStats {
+  double structural_seconds = 0.0;  // unreachable/uninit/dead-store checks
+  double absint_seconds = 0.0;
+  double injection_seconds = 0.0;  // taint-flow pass (+ optional witnesses)
+  double exfil_seconds = 0.0;      // IFDS pass
+  PassCacheStats absint_cache;
+  PassCacheStats taint_cache;
+  PassCacheStats ifds_cache;
 };
 
 struct LintFinding {
@@ -70,6 +90,9 @@ struct LintReport {
   /// why a would-be finding was discarded.
   std::vector<LeakWitness> witnesses;
   size_t functions_checked = 0;
+  /// Per-pass timing and cache counters (not part of the JSON rendering,
+  /// which must stay byte-identical across cold and warm runs).
+  LintStats stats;
 
   /// One diagnostic per line: "<file>:<line>: [category] message (in fn)".
   std::string Format(const std::string& file_label) const;

@@ -55,7 +55,7 @@ LivenessResult ComputeLiveness(const FlowGraph& graph) {
 
   for (const FlowNode& node : graph.nodes()) {
     if (node.op != FlowOp::kDef) continue;
-    if (result.live_out[static_cast<size_t>(node.id)].count(node.def) > 0) {
+    if (result.live_out[static_cast<size_t>(node.id)].contains(node.def)) {
       continue;
     }
     result.dead_stores.push_back(

@@ -75,7 +75,7 @@ ReachingDefsResult ComputeReachingDefs(
     const auto& in = result.in_states[static_cast<size_t>(node.id)];
     for (const std::string& var : reads) {
       auto it = in.find(var);
-      const bool uninit = it == in.end() || it->second.count(kUninitDef) > 0;
+      const bool uninit = it == in.end() || it->second.contains(kUninitDef);
       if (uninit && reported.insert({var, node.line}).second) {
         result.maybe_uninit.push_back({var, node.line});
       }

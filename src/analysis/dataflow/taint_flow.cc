@@ -5,6 +5,8 @@
 
 #include "analysis/dataflow/flow_graph.h"
 #include "analysis/dataflow/solver.h"
+#include "analysis/hashing.h"
+#include "analysis/incremental.h"
 #include "prog/scc.h"
 #include "util/logging.h"
 
@@ -206,8 +208,8 @@ class TaintClient {
     }
 
     // Library call.
-    if (options_.sanitizer_calls.count(call.name) > 0) return {};
-    if (options_.config.sink_calls.count(call.name) > 0) {
+    if (options_.sanitizer_calls.contains(call.name)) return {};
+    if (options_.config.sink_calls.contains(call.name)) {
       for (int t : merged) {
         if (IsParamToken(t)) {
           param_sinks_[ParamIndexOf(t)].insert(call.call_site_id);
@@ -216,7 +218,7 @@ class TaintClient {
         }
       }
     }
-    if (options_.config.source_calls.count(call.name) > 0) {
+    if (options_.config.source_calls.contains(call.name)) {
       // The call itself is a fresh source; its result also carries its
       // arguments' taint (db_getvalue(result, ...) stays linked to the
       // db_query that produced `result`).
@@ -239,6 +241,60 @@ class TaintClient {
   std::map<size_t, std::set<int>> param_sinks_;
   FnObservations obs_;
 };
+
+// ---- Incremental cache codec ----------------------------------------------
+//
+// One cache entry per function: its summary plus its concrete observations
+// (everything Assemble reads). The payload is canonical — sets and maps
+// encode in sorted order — so the value hash of a summary is stable across
+// solve/decode round trips, which is what gives the Merkle keys early
+// cutoff: a re-solved callee with an unchanged summary leaves caller keys
+// unchanged.
+
+void EncodeTaintSummary(const FnSummary& s, BinaryWriter* w) {
+  Put(*w, s.ret_tokens);
+  w->U64(s.param_sinks.size());
+  for (const auto& [k, sites] : s.param_sinks) {
+    w->U64(k);
+    Put(*w, sites);
+  }
+}
+
+FnSummary DecodeTaintSummary(BinaryReader* r) {
+  FnSummary s;
+  s.ret_tokens = Get<std::set<int>>(*r);
+  const uint64_t n = r->U64();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    const size_t k = static_cast<size_t>(r->U64());
+    s.param_sinks[k] = Get<std::set<int>>(*r);
+  }
+  return s;
+}
+
+uint64_t HashTaintSummary(const FnSummary& s) {
+  BinaryWriter w;
+  EncodeTaintSummary(s, &w);
+  return Hasher().Str(w.buffer()).digest();
+}
+
+void EncodeTaintEntry(const FnSummary& summary, const FnObservations& obs,
+                      BinaryWriter* w) {
+  EncodeTaintSummary(summary, w);
+  Put(*w, obs.sinks);
+  Put(*w, obs.vars);
+  Put(*w, obs.param_vars);
+}
+
+bool DecodeTaintEntry(const std::string& payload, FnSummary* summary,
+                      FnObservations* obs) {
+  BinaryReader r(payload);
+  *summary = DecodeTaintSummary(&r);
+  obs->sinks = Get<std::map<int, std::set<int>>>(r);
+  obs->vars = Get<std::map<std::string, std::set<int>>>(r);
+  obs->param_vars =
+      Get<std::map<std::string, std::map<std::string, std::set<int>>>>(r);
+  return r.ok() && r.AtEnd();
+}
 
 /// True for `v = <expr>` where the RHS is a `+` expression reading `v`
 /// itself — the incremental strcat-style build-up of Fig. 2.
@@ -298,6 +354,36 @@ class TaintFlowEngine {
     summaries_.assign(count, {});
     observations_.assign(count, {});
 
+    if (options_.summary_cache != nullptr) {
+      body_hash_.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        body_hash_.push_back(HashFunctionBody(fns[i]));
+      }
+      // Which concat tokens were assigned to each function: the registry
+      // is program-ordered and tokens are global indices, so a function's
+      // key must cover its own indices (an append site added *elsewhere*
+      // shifts them even when this function's text is unchanged).
+      std::vector<Hasher> concat(count);
+      for (size_t i = 0; i < concat_sites_.size(); ++i) {
+        concat[fn_index_.at(concat_sites_[i].function)].U64(i);
+      }
+      concat_hash_.reserve(count);
+      for (size_t i = 0; i < count; ++i) {
+        concat_hash_.push_back(concat[i].digest());
+      }
+      summary_hash_.assign(count, 0);
+      Hasher fp;
+      fp.Str("taint-flow");
+      fp.Size(options_.config.source_calls.size());
+      for (const std::string& s : options_.config.source_calls) fp.Str(s);
+      fp.Size(options_.config.sink_calls.size());
+      for (const std::string& s : options_.config.sink_calls) fp.Str(s);
+      fp.Size(options_.sanitizer_calls.size());
+      for (const std::string& s : options_.sanitizer_calls) fp.Str(s);
+      fp.Bool(options_.track_concat_builds);
+      config_fp_ = fp.digest();
+    }
+
     // Bottom-up over the condensation: every component only reads the
     // summaries of strictly lower levels (plus its own, single-threaded),
     // so the components of one level solve concurrently yet the fixpoint
@@ -340,8 +426,66 @@ class TaintFlowEngine {
     summaries_[index] = client.TakeSummary();
   }
 
+  /// Chains one callee's caller-visible surface: its name, its parameter
+  /// names (the caller's diagnostic observations are keyed by them, so a
+  /// rename must invalidate even when the summary value is unchanged) and
+  /// its summary value hash.
+  void ChainCallee(Hasher* h, size_t callee) const {
+    const prog::FunctionDef& fn = program_.functions()[callee];
+    h->Str(fn.name);
+    h->Size(fn.params.size());
+    for (const std::string& param : fn.params) h->Str(param);
+    h->U64(summary_hash_[callee]);
+  }
+
+  /// Merkle key of a non-recursive function: body hash × assigned concat
+  /// tokens × caller-visible surface of every resolved callee.
+  uint64_t EntryKey(size_t index,
+                    const std::vector<std::vector<int>>& adjacency) const {
+    Hasher h;
+    h.U64(body_hash_[index]);
+    h.U64(concat_hash_[index]);
+    for (int c : adjacency[index]) {
+      ChainCallee(&h, static_cast<size_t>(c));
+    }
+    return h.digest();
+  }
+
+  /// Recursive components key as a unit: every member's body (the mutual
+  /// fixpoint reads them all) plus every external callee's summary hash.
+  uint64_t ComponentKey(const std::vector<int>& members,
+                        const std::vector<std::vector<int>>& adjacency,
+                        const std::set<int>& member_set) const {
+    Hasher h;
+    h.U64(kRecursionMarker);
+    for (int v : members) {
+      const size_t i = static_cast<size_t>(v);
+      h.Str(program_.functions()[i].name);
+      h.U64(body_hash_[i]);
+      h.U64(concat_hash_[i]);
+    }
+    std::set<int> external;
+    for (int v : members) {
+      for (int c : adjacency[static_cast<size_t>(v)]) {
+        if (!member_set.contains(c)) external.insert(c);
+      }
+    }
+    for (int c : external) {
+      ChainCallee(&h, static_cast<size_t>(c));
+    }
+    return h.digest();
+  }
+
+  void StoreEntry(size_t index, uint64_t key) {
+    BinaryWriter w;
+    EncodeTaintEntry(summaries_[index], observations_[index], &w);
+    options_.summary_cache->Store(
+        config_fp_, program_.functions()[index].name, key, w.Take());
+  }
+
   void SolveComponent(const std::vector<int>& members,
                       const std::vector<std::vector<int>>& adjacency) {
+    SummaryStore* cache = options_.summary_cache;
     bool recursive = members.size() > 1;
     if (!recursive) {
       const int v = members[0];
@@ -349,27 +493,93 @@ class TaintFlowEngine {
       recursive = std::find(succs.begin(), succs.end(), v) != succs.end();
     }
     if (!recursive) {
-      SolveFunction(static_cast<size_t>(members[0]));
+      const size_t index = static_cast<size_t>(members[0]);
+      if (cache == nullptr) {
+        SolveFunction(index);
+        return;
+      }
+      const std::string& name = program_.functions()[index].name;
+      const uint64_t key = EntryKey(index, adjacency);
+      std::string payload;
+      if (cache->Lookup(config_fp_, name, key, &payload, &cache_stats_)) {
+        ADPROM_CHECK_MSG(DecodeTaintEntry(payload, &summaries_[index],
+                                          &observations_[index]),
+                         "corrupt taint cache entry for " + name);
+      } else {
+        SolveFunction(index);
+        StoreEntry(index, key);
+      }
+      summary_hash_[index] = HashTaintSummary(summaries_[index]);
       return;
     }
+
+    const std::set<int> member_set(members.begin(), members.end());
+    std::vector<int> ordered(members.begin(), members.end());
+    std::sort(ordered.begin(), ordered.end());
+    uint64_t key = 0;
+    if (cache != nullptr) {
+      key = ComponentKey(ordered, adjacency, member_set);
+      // All-or-nothing: the members' summaries form one mutual fixpoint,
+      // so either every cached member is reused or the whole component
+      // recomputes. Probe with local stats first so the real counters
+      // reflect the group decision.
+      PassCacheStats probe;
+      std::vector<std::string> payloads(ordered.size());
+      bool all_hit = true;
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        const size_t v = static_cast<size_t>(ordered[i]);
+        const std::string& name = program_.functions()[v].name;
+        const uint64_t member_key = Hasher(key).Str(name).digest();
+        if (!cache->Lookup(config_fp_, name, member_key, &payloads[i],
+                           &probe)) {
+          all_hit = false;
+        }
+      }
+      if (all_hit) {
+        for (size_t i = 0; i < ordered.size(); ++i) {
+          const size_t v = static_cast<size_t>(ordered[i]);
+          ADPROM_CHECK_MSG(
+              DecodeTaintEntry(payloads[i], &summaries_[v],
+                               &observations_[v]),
+              "corrupt taint cache entry for " +
+                  program_.functions()[v].name);
+          summary_hash_[v] = HashTaintSummary(summaries_[v]);
+        }
+        cache->Count(&cache_stats_, ordered.size(), 0, 0);
+        return;
+      }
+      cache->Count(&cache_stats_, 0, ordered.size(), probe.invalidated);
+    }
+
     // Recursive component: iterate members (ascending index, so the
     // result is schedule-independent) until their summaries stabilize.
     // Summaries only grow, so this terminates on the finite token space.
     constexpr int kMaxIterations = 1000;
-    for (int iter = 0; iter < kMaxIterations; ++iter) {
+    bool converged = false;
+    for (int iter = 0; iter < kMaxIterations && !converged; ++iter) {
       bool changed = false;
       for (int v : members) {
         const FnSummary before = summaries_[static_cast<size_t>(v)];
         SolveFunction(static_cast<size_t>(v));
         if (!(summaries_[static_cast<size_t>(v)] == before)) changed = true;
       }
-      if (!changed) return;
+      converged = !changed;
     }
-    ADPROM_CHECK_MSG(false, "recursive taint summaries failed to converge");
+    ADPROM_CHECK_MSG(converged,
+                     "recursive taint summaries failed to converge");
+    if (cache != nullptr) {
+      for (int v : ordered) {
+        const size_t i = static_cast<size_t>(v);
+        const std::string& name = program_.functions()[i].name;
+        StoreEntry(i, Hasher(key).Str(name).digest());
+        summary_hash_[i] = HashTaintSummary(summaries_[i]);
+      }
+    }
   }
 
   TaintFlowResult Assemble() const {
     TaintFlowResult out;
+    out.cache_stats = cache_stats_;
     out.concat_sites = concat_sites_;
     const auto& fns = program_.functions();
     for (size_t f = 0; f < fns.size(); ++f) {
@@ -407,6 +617,16 @@ class TaintFlowEngine {
   std::vector<FlowGraph> graphs_;
   std::vector<FnSummary> summaries_;
   std::vector<FnObservations> observations_;
+
+  // Incremental-cache state (set iff options_.summary_cache != nullptr).
+  uint64_t config_fp_ = 0;
+  std::vector<uint64_t> body_hash_;
+  std::vector<uint64_t> concat_hash_;
+  // Value hash of each solved/decoded summary; written by the worker that
+  // owns the function's component, read only by strictly later levels
+  // (the ParallelFor barrier between levels orders the accesses).
+  std::vector<uint64_t> summary_hash_;
+  PassCacheStats cache_stats_;
 };
 
 }  // namespace
@@ -423,12 +643,16 @@ util::Result<TaintFlowResult> RunTaintFlowAnalysis(
 
 util::Result<TaintResult> RunFlowSensitiveTaint(const prog::Program& program,
                                                 const TaintConfig& config,
-                                                util::ThreadPool* pool) {
+                                                util::ThreadPool* pool,
+                                                SummaryStore* cache,
+                                                PassCacheStats* stats) {
   TaintFlowOptions options;
   options.config = config;
   options.pool = pool;
+  options.summary_cache = cache;
   ADPROM_ASSIGN_OR_RETURN(TaintFlowResult result,
                           RunTaintFlowAnalysis(program, options));
+  if (stats != nullptr) *stats = result.cache_stats;
   return std::move(result.taint);
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/summary_cache.h"
 #include "analysis/taint.h"
 #include "prog/program.h"
 #include "util/status.h"
@@ -30,6 +31,12 @@ struct TaintFlowOptions {
   /// Optional pool: independent call-graph SCCs of one condensation level
   /// are solved concurrently. Results are bit-identical for any pool.
   util::ThreadPool* pool = nullptr;
+  /// Optional incremental store: per-function {summary, observations}
+  /// entries keyed by the function's body hash chained with its callees'
+  /// summary value hashes and an options fingerprint. A hit skips the
+  /// fixpoint solve; results are bit-identical with or without the cache
+  /// (property-tested). nullptr disables caching.
+  SummaryStore* summary_cache = nullptr;
 };
 
 /// A registered incremental string-append site (`v = v + ...` carrying
@@ -54,6 +61,8 @@ struct TaintFlowResult {
   /// source set) in `taint.labeled_sinks` receives user-controlled data
   /// built by incremental concatenation — the App_b injection pattern.
   std::map<int, std::set<int>> sink_concat_builds;
+  /// Summary-cache counters for this run (all zero when no cache is set).
+  PassCacheStats cache_stats;
 };
 
 /// Runs the interprocedural flow-sensitive may-taint analysis: one
@@ -67,10 +76,12 @@ util::Result<TaintFlowResult> RunTaintFlowAnalysis(
 /// Drop-in flow-sensitive replacement for `RunTaintAnalysis` (no
 /// sanitizers, no concat tracking): labels a subset of the sinks the
 /// flow-insensitive pass labels while still over-approximating the
-/// interpreter's dynamic taint.
+/// interpreter's dynamic taint. `cache`/`stats`, when set, enable the
+/// incremental summary store exactly as in `TaintFlowOptions`.
 util::Result<TaintResult> RunFlowSensitiveTaint(
     const prog::Program& program, const TaintConfig& config,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr, SummaryStore* cache = nullptr,
+    PassCacheStats* stats = nullptr);
 
 }  // namespace adprom::analysis::dataflow
 

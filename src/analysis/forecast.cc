@@ -194,15 +194,15 @@ util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg) {
       // would make "pairs per boundary" fractional.
       std::vector<double> fw(n, 0.0);
       for (const auto& [to, p] : adj[h]) {
-        if (region.count(to) > 0) fw[static_cast<size_t>(to)] += p;
+        if (region.contains(to)) fw[static_cast<size_t>(to)] += p;
       }
       for (size_t i = topo_pos[h] + 1; i < topo.size(); ++i) {
         const int v = topo[i];
-        if (region.count(v) == 0) continue;
+        if (!region.contains(v)) continue;
         const double w = fw[static_cast<size_t>(v)];
         if (w == 0.0 || cfg.node(v).call.has_value()) continue;
         for (const auto& [to, p] : adj[static_cast<size_t>(v)]) {
-          if (region.count(to) > 0) fw[static_cast<size_t>(to)] += w * p;
+          if (region.contains(to)) fw[static_cast<size_t>(to)] += w * p;
         }
       }
       if (fw[static_cast<size_t>(loop.back_src)] != 0.0) continue;
@@ -213,11 +213,11 @@ util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg) {
       rr[h] = 1.0;
       for (size_t i = topo_pos[h]; i < topo.size(); ++i) {
         const int v = topo[i];
-        if (region.count(v) == 0) continue;
+        if (!region.contains(v)) continue;
         const double w = rr[static_cast<size_t>(v)];
         if (w == 0.0) continue;
         for (const auto& [to, p] : adj[static_cast<size_t>(v)]) {
-          if (region.count(to) > 0) rr[static_cast<size_t>(to)] += w * p;
+          if (region.contains(to)) rr[static_cast<size_t>(to)] += w * p;
         }
       }
 
@@ -228,10 +228,10 @@ util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg) {
       bw[static_cast<size_t>(loop.back_src)] = 1.0;
       for (size_t i = topo.size(); i-- > topo_pos[h];) {
         const int v = topo[i];
-        if (region.count(v) == 0 || v == loop.back_src) continue;
+        if (!region.contains(v) || v == loop.back_src) continue;
         double acc = 0.0;
         for (const auto& [to, p] : adj[static_cast<size_t>(v)]) {
-          if (region.count(to) == 0) continue;
+          if (!region.contains(to)) continue;
           acc += p * (cfg.node(to).call.has_value()
                           ? 0.0
                           : bw[static_cast<size_t>(to)]);
@@ -242,7 +242,7 @@ util::Result<FunctionForecast> ComputeForecast(const prog::Cfg& cfg) {
       std::vector<int> region_calls;
       for (const auto& [node_id, site_idx] : node_to_site) {
         (void)site_idx;
-        if (region.count(node_id) > 0) region_calls.push_back(node_id);
+        if (region.contains(node_id)) region_calls.push_back(node_id);
       }
       const double scale = static_cast<double>(loop.trips);
       for (int a : region_calls) {

@@ -1,0 +1,58 @@
+#ifndef ADPROM_ANALYSIS_HASHING_H_
+#define ADPROM_ANALYSIS_HASHING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace adprom::analysis {
+
+// FNV-1a, the content-hash scheme the aggregation memo introduced; the
+// incremental engine keys every per-function summary with it, so the
+// constants and the length-prefixing discipline live here, shared.
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+/// Mixed in for a callee whose combined key is not yet known at hash time,
+/// i.e. a cyclic (recursive) call/dependency edge.
+inline constexpr uint64_t kRecursionMarker = 0x9e3779b97f4a7c15ULL;
+
+/// Incremental FNV-1a accumulator. Every variable-length field is hashed
+/// length-first so adjacent fields cannot alias ({"ab","c"} vs {"a","bc"});
+/// doubles are hashed by bit pattern so a key changes iff the value is not
+/// bit-identical.
+class Hasher {
+ public:
+  Hasher() = default;
+  explicit Hasher(uint64_t seed) : h_(seed) {}
+
+  Hasher& Bytes(const void* data, size_t len) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h_ ^= bytes[i];
+      h_ *= kFnvPrime;
+    }
+    return *this;
+  }
+  Hasher& U64(uint64_t v) { return Bytes(&v, sizeof(v)); }
+  Hasher& I64(int64_t v) { return U64(static_cast<uint64_t>(v)); }
+  Hasher& Size(size_t v) { return U64(static_cast<uint64_t>(v)); }
+  Hasher& Bool(bool v) { return U64(v ? 1 : 0); }
+  Hasher& F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return U64(bits);
+  }
+  Hasher& Str(const std::string& s) {
+    U64(s.size());
+    return Bytes(s.data(), s.size());
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnvOffset;
+};
+
+}  // namespace adprom::analysis
+
+#endif  // ADPROM_ANALYSIS_HASHING_H_

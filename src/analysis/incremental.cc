@@ -1,0 +1,131 @@
+#include "analysis/incremental.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/hashing.h"
+#include "db/value.h"
+#include "prog/ast.h"
+
+namespace adprom::analysis {
+
+namespace {
+
+void HashExpr(const prog::Expr& e, Hasher* h) {
+  h->U64(static_cast<uint64_t>(e.kind));
+  h->I64(e.line);
+  switch (e.kind) {
+    case prog::ExprKind::kIntLit:
+      h->I64(e.int_value);
+      break;
+    case prog::ExprKind::kRealLit:
+      h->F64(e.real_value);
+      break;
+    case prog::ExprKind::kStrLit:
+      h->Str(e.str_value);
+      break;
+    case prog::ExprKind::kVar:
+      h->Str(e.name);
+      break;
+    case prog::ExprKind::kBinary:
+      h->U64(static_cast<uint64_t>(e.bin_op));
+      HashExpr(*e.lhs, h);
+      HashExpr(*e.rhs, h);
+      break;
+    case prog::ExprKind::kUnary:
+      h->U64(static_cast<uint64_t>(e.un_op));
+      HashExpr(*e.lhs, h);
+      break;
+    case prog::ExprKind::kCall:
+      h->Str(e.name);
+      // The program-global site id: labeled sinks, CTM sites, and taint
+      // tokens are all keyed by it, so an id shift elsewhere in the
+      // program (an inserted call) correctly invalidates this function.
+      h->I64(e.call_site_id);
+      h->Size(e.args.size());
+      for (const auto& arg : e.args) HashExpr(*arg, h);
+      break;
+  }
+}
+
+void HashBody(const prog::StmtList& body, Hasher* h) {
+  h->Size(body.size());
+  for (const auto& stmt : body) {
+    h->U64(static_cast<uint64_t>(stmt->kind));
+    h->I64(stmt->line);
+    h->Str(stmt->target);
+    h->Bool(stmt->expr != nullptr);
+    if (stmt->expr != nullptr) HashExpr(*stmt->expr, h);
+    HashBody(stmt->then_body, h);
+    HashBody(stmt->else_body, h);
+  }
+}
+
+}  // namespace
+
+uint64_t HashFunctionBody(const prog::FunctionDef& fn) {
+  Hasher h;
+  h.Str(fn.name);
+  h.Size(fn.params.size());
+  for (const std::string& param : fn.params) h.Str(param);
+  HashBody(fn.body, &h);
+  return h.digest();
+}
+
+uint64_t HashSchemaCatalog(const db::SchemaCatalog* schemas) {
+  // A null catalog means the same thing as an empty one (no SELECT *
+  // expansion possible), so both hash to the 0-sized digest.
+  static const db::SchemaCatalog kEmpty;
+  if (schemas == nullptr) schemas = &kEmpty;
+  Hasher h;
+  h.Size(schemas->size());
+  for (const auto& [table, schema] : *schemas) {
+    h.Str(table);
+    h.Size(schema.size());
+    for (const db::Column& column : schema.columns()) {
+      h.Str(column.name);
+      h.U64(static_cast<uint64_t>(column.type));
+    }
+  }
+  return h.digest();
+}
+
+ProgramHashes ProgramHashes::Compute(const prog::Program& program,
+                                     const db::SchemaCatalog* schemas) {
+  ProgramHashes out;
+  const auto& functions = program.functions();
+  out.body.reserve(functions.size());
+  out.callees.resize(functions.size());
+  for (size_t i = 0; i < functions.size(); ++i) {
+    out.fn_index[functions[i].name] = i;
+    out.body.push_back(HashFunctionBody(functions[i]));
+  }
+  for (size_t i = 0; i < functions.size(); ++i) {
+    std::set<std::string> seen;
+    // Deterministic walk over every nested statement list, collecting the
+    // user-function callee names.
+    std::vector<const prog::StmtList*> work = {&functions[i].body};
+    while (!work.empty()) {
+      const prog::StmtList* body = work.back();
+      work.pop_back();
+      for (const auto& stmt : *body) {
+        if (stmt->expr != nullptr) {
+          std::vector<const prog::Expr*> stmt_calls;
+          prog::CollectCalls(*stmt->expr, &stmt_calls);
+          for (const prog::Expr* call : stmt_calls) {
+            if (out.fn_index.contains(call->name)) seen.insert(call->name);
+          }
+        }
+        if (!stmt->then_body.empty()) work.push_back(&stmt->then_body);
+        if (!stmt->else_body.empty()) work.push_back(&stmt->else_body);
+      }
+    }
+    for (const std::string& name : seen) {
+      out.callees[i].push_back(out.fn_index.at(name));
+    }
+  }
+  out.schema_hash = HashSchemaCatalog(schemas);
+  return out;
+}
+
+}  // namespace adprom::analysis

@@ -1,0 +1,51 @@
+#ifndef ADPROM_ANALYSIS_INCREMENTAL_H_
+#define ADPROM_ANALYSIS_INCREMENTAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "prog/program.h"
+
+namespace adprom::analysis {
+
+/// Per-function content hashes: the root of every incremental cache key.
+///
+/// `body[i]` covers everything any pass reads out of function i itself —
+/// its name, parameter list, and the full AST walk (statement/expression
+/// kinds, literals by bit pattern, variable and callee names, the
+/// program-global call-site ids, and source line numbers, which lint
+/// findings and witness steps surface). Each pass then chains the body hash
+/// with the *value hashes* of the callee summaries it consumed (a Merkle
+/// key with early cutoff: if a callee was re-solved but its summary came
+/// out identical, callers still hit) plus a fingerprint of its own options.
+/// Under that rule a cached summary is reused iff nothing it was computed
+/// from changed, so a warm run recomputes exactly the edited functions and
+/// their transitive dependents — and is bit-identical to a cold run.
+struct ProgramHashes {
+  std::vector<uint64_t> body;
+  /// Distinct user-function callees per function, as indices into the
+  /// program's function order, sorted by callee name (the deterministic
+  /// order every pass uses when chaining callee hashes into its keys).
+  std::vector<std::vector<size_t>> callees;
+  std::map<std::string, size_t> fn_index;
+  /// Hash of the schema catalog (lowercased table name → ordered typed
+  /// columns). Mixed into the fingerprints of passes that expand SELECT *
+  /// through the catalog.
+  uint64_t schema_hash = 0;
+
+  static ProgramHashes Compute(const prog::Program& program,
+                               const db::SchemaCatalog* schemas = nullptr);
+};
+
+/// Hash of one function's definition (see ProgramHashes::body).
+uint64_t HashFunctionBody(const prog::FunctionDef& fn);
+
+/// Hash of a schema catalog; 0-seeded offset for a null/empty catalog.
+uint64_t HashSchemaCatalog(const db::SchemaCatalog* schemas);
+
+}  // namespace adprom::analysis
+
+#endif  // ADPROM_ANALYSIS_INCREMENTAL_H_

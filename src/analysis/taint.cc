@@ -126,10 +126,10 @@ class TaintPass {
     }
 
     // Library call.
-    if (config_.sink_calls.count(call.name) > 0 && !merged_args.empty()) {
+    if (config_.sink_calls.contains(call.name) && !merged_args.empty()) {
       state_->Merge(&state_->sinks[call.call_site_id], merged_args);
     }
-    if (config_.source_calls.count(call.name) > 0) {
+    if (config_.source_calls.contains(call.name)) {
       // The call itself is a fresh source; its result also carries any
       // taint of its arguments (db_getvalue(result, ...) stays linked to
       // the db_query that produced `result`).

@@ -34,7 +34,7 @@ struct TaintResult {
   std::map<std::string, std::map<std::string, std::set<int>>> tainted_vars;
 
   bool IsLabeledSink(int call_site_id) const {
-    return labeled_sinks.count(call_site_id) > 0;
+    return labeled_sinks.contains(call_site_id);
   }
 };
 

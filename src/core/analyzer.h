@@ -10,6 +10,7 @@
 #include "analysis/aggregation.h"
 #include "analysis/ctm.h"
 #include "analysis/forecast.h"
+#include "analysis/summary_cache.h"
 #include "analysis/taint.h"
 #include "db/schema.h"
 #include "prog/call_graph.h"
@@ -34,15 +35,21 @@ struct AnalysisResult {
   analysis::absint::RefinementSummary refinement;
   std::map<std::string, analysis::Ctm> function_ctms;
   analysis::Ctm program_ctm;
-  /// Wall-clock seconds per step, for the Table VIII bench.
+  /// Wall-clock seconds per step, for the Table VIII bench and
+  /// `adprom analyze --stats`.
   double cfg_seconds = 0.0;
   double absint_seconds = 0.0;
+  double taint_seconds = 0.0;
   double forecast_seconds = 0.0;
   double aggregation_seconds = 0.0;
   /// Hit/miss counts of the analyzer's aggregation memo for this run (all
   /// misses on an analyzer's first Analyze call, hits for every function
   /// whose transitive callee CTMs are unchanged on later calls).
   analysis::AggregationStats aggregation_stats;
+  /// Per-pass summary-cache counters for this run (all zero when the
+  /// incremental cache is disabled). The `ifds` slot stays zero here —
+  /// the witness engine runs under `adprom lint`, not the Analyzer.
+  analysis::AnalysisCacheStats cache_stats;
 
   /// All (caller function, callee) pairs that appear as call sites in the
   /// program — the context set the Detection Engine checks for the
@@ -75,6 +82,17 @@ struct AnalyzerOptions {
   /// Optional pool for the flow-sensitive solver (call-graph SCCs of one
   /// level run concurrently); results are identical for any pool.
   util::ThreadPool* pool = nullptr;
+  /// Master switch for the incremental per-function summary caches
+  /// (taint, absint, forecast). Off reproduces the uncached pipeline —
+  /// results are bit-identical either way (property-tested); only the
+  /// warm-rerun cost and the reported cache stats change. The aggregation
+  /// memo predates this switch and stays on regardless.
+  bool incremental = true;
+  /// Optional external cache (e.g. one loaded from an `--analysis-cache`
+  /// directory and saved back after the run). When null the analyzer uses
+  /// its own private cache, which survives across Analyze calls on the
+  /// same analyzer but not across analyzers.
+  analysis::AnalysisCache* analysis_cache = nullptr;
 };
 
 /// The paper's Analyzer component: performs the whole static phase —
@@ -93,12 +111,17 @@ class Analyzer {
   util::Result<AnalysisResult> Analyze(const prog::Program& program) const;
 
  private:
+  /// The cache in effect for this analyzer: the external one when
+  /// `options_.analysis_cache` is set, else the private `cache_`.
+  analysis::AnalysisCache* cache() const;
+
   AnalyzerOptions options_;
-  /// The memo survives across Analyze calls but not across analyzers.
-  /// Mutable: Analyze is logically const (identical output with or without
-  /// the cache). Not thread-safe — don't call Analyze on one analyzer from
-  /// several threads at once.
-  mutable analysis::AggregationCache aggregation_cache_;
+  /// Private cache (summary stores + aggregation memo) used when no
+  /// external cache is supplied. It survives across Analyze calls but not
+  /// across analyzers. Mutable: Analyze is logically const (identical
+  /// output with or without the cache). Not thread-safe — don't call
+  /// Analyze on one analyzer from several threads at once.
+  mutable analysis::AnalysisCache cache_;
 };
 
 }  // namespace adprom::core

@@ -29,7 +29,7 @@ Detection DetectionEngine::AssembleVerdict(
   // Out-of-context check: a library call issued from a function that never
   // issues it, statically or during training.
   for (const runtime::CallEvent& event : window) {
-    if (profile_->context_pairs.count({event.caller, event.callee}) == 0) {
+    if (!profile_->context_pairs.contains({event.caller, event.callee})) {
       detection.flag = DetectionFlag::kOutOfContext;
       detection.detail = event.callee + " called from " + event.caller;
       break;

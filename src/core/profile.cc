@@ -27,7 +27,7 @@ int Alphabet::Lookup(const std::string& symbol) const {
 }
 
 bool Alphabet::Contains(const std::string& symbol) const {
-  return index_.count(symbol) > 0;
+  return index_.contains(symbol);
 }
 
 std::string ApplicationProfile::ObservableOf(

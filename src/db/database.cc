@@ -215,7 +215,7 @@ util::Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt,
 
 util::Status Database::CreateTable(const std::string& name, Schema schema) {
   const std::string key = util::ToLower(name);
-  if (tables_.count(key) > 0)
+  if (tables_.contains(key))
     return util::Status::AlreadyExists("table exists: " + name);
   tables_[key] = std::make_unique<Table>(name, std::move(schema));
   return util::Status::Ok();

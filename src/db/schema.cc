@@ -43,12 +43,32 @@ util::Result<SchemaCatalog> BuildSchemaCatalog(
     auto parsed = ParseSql(sql);
     if (!parsed.ok()) return parsed.status();
     if (parsed->kind != SqlStatementKind::kCreate) continue;
+    const std::string table = ToLower(parsed->create.table);
+    // A malformed catalog must fail loudly here: the static analyses
+    // expand `SELECT *` through it, and a duplicate or empty definition
+    // would silently expand to the wrong (or no) column set.
+    if (catalog.contains(table)) {
+      return util::Status::InvalidArgument(
+          "duplicate CREATE TABLE for '" + parsed->create.table +
+          "' (table names are case-insensitive)");
+    }
+    if (parsed->create.columns.empty()) {
+      return util::Status::InvalidArgument(
+          "table '" + parsed->create.table +
+          "' has no columns; SELECT * would expand to nothing");
+    }
     std::vector<Column> columns;
     columns.reserve(parsed->create.columns.size());
     for (const auto& [name, type] : parsed->create.columns) {
+      Schema probe(columns);
+      if (probe.IndexOf(name).has_value()) {
+        return util::Status::InvalidArgument(
+            "duplicate column '" + name + "' in table '" +
+            parsed->create.table + "' (column names are case-insensitive)");
+      }
       columns.push_back({name, type});
     }
-    catalog[ToLower(parsed->create.table)] = Schema(std::move(columns));
+    catalog[table] = Schema(std::move(columns));
   }
   return catalog;
 }

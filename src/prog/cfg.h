@@ -76,7 +76,7 @@ class Cfg {
     return back_edges_;
   }
   bool IsBackEdge(int from, int to) const {
-    return back_edges_.count({from, to}) > 0;
+    return back_edges_.contains({from, to});
   }
 
   /// Every conditional branch, in construction (program) order.
@@ -90,7 +90,7 @@ class Cfg {
   /// renormalizes the remaining successors.
   void MarkInfeasible(int from, int to) { infeasible_edges_.insert({from, to}); }
   bool IsInfeasible(int from, int to) const {
-    return infeasible_edges_.count({from, to}) > 0;
+    return infeasible_edges_.contains({from, to});
   }
   const std::set<std::pair<int, int>>& infeasible_edges() const {
     return infeasible_edges_;

@@ -103,7 +103,7 @@ class Finalizer {
 
   bool IsDeclared(const std::string& name) const {
     for (const auto& scope : scopes_) {
-      if (scope.count(name) > 0) return true;
+      if (scope.contains(name)) return true;
     }
     return false;
   }
@@ -117,7 +117,7 @@ class Finalizer {
 }  // namespace
 
 util::Status Program::AddFunction(FunctionDef fn) {
-  if (index_.count(fn.name) > 0) {
+  if (index_.contains(fn.name)) {
     return util::Status::AlreadyExists(util::StrFormat(
         "line %d: duplicate function '%s'", fn.line, fn.name.c_str()));
   }
@@ -153,7 +153,7 @@ FunctionDef* Program::FindMutableFunction(const std::string& name) {
 }
 
 bool Program::IsUserFunction(const std::string& name) const {
-  return index_.count(name) > 0;
+  return index_.contains(name);
 }
 
 Program Program::Clone() const {

@@ -343,7 +343,7 @@ util::Result<RtValue> Interpreter::CallLibrary(const std::string& name,
       const auto node = cfg_it->second.NodeOfCallSite(call_expr.call_site_id);
       if (node.has_value()) event.block_id = *node;
     }
-    if (taint_config_.sink_calls.count(name) > 0) {
+    if (taint_config_.sink_calls.contains(name)) {
       for (const RtValue& arg : args) {
         if (arg.tainted()) {
           event.td_output = true;

@@ -1,0 +1,330 @@
+// Corpus-wide incremental-consistency properties. The contract under
+// test: a warm run over a primed summary cache is *bit-identical* to a
+// cold run — same encoded pCTM bytes, same per-function CTMs, same lint
+// JSON (witnesses included) — for every corpus app, every drift-corpus
+// revision, any deterministic random edit sequence, and any pool size.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow/lint.h"
+#include "analysis/summary_cache.h"
+#include "apps/corpus.h"
+#include "core/analyzer.h"
+#include "db/schema.h"
+#include "prog/program.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace adprom::analysis {
+namespace {
+
+#ifndef ADPROM_SOURCE_DIR
+#define ADPROM_SOURCE_DIR "."
+#endif
+
+prog::Program Parse(const std::string& source) {
+  auto program = prog::ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+db::SchemaCatalog LoadCatalog(const std::string& seed_path) {
+  std::vector<std::string> statements;
+  std::istringstream in(ReadFileOrDie(seed_path));
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    statements.push_back(line);
+  }
+  auto catalog = db::BuildSchemaCatalog(statements);
+  EXPECT_TRUE(catalog.ok()) << catalog.status().ToString();
+  return std::move(catalog).value();
+}
+
+std::string CtmBytes(const Ctm& ctm) {
+  BinaryWriter w;
+  EncodeCtm(ctm, &w);
+  return w.Take();
+}
+
+// Bit-level equality of everything the profile is built from.
+void ExpectSameAnalysis(const core::AnalysisResult& expected,
+                        const core::AnalysisResult& actual,
+                        const std::string& label) {
+  EXPECT_EQ(CtmBytes(expected.program_ctm), CtmBytes(actual.program_ctm))
+      << label << ": pCTM bytes differ";
+  ASSERT_EQ(expected.function_ctms.size(), actual.function_ctms.size())
+      << label;
+  for (const auto& [fn, ctm] : expected.function_ctms) {
+    auto it = actual.function_ctms.find(fn);
+    ASSERT_NE(it, actual.function_ctms.end()) << label << ": " << fn;
+    EXPECT_EQ(CtmBytes(ctm), CtmBytes(it->second))
+        << label << ": CTM bytes differ for " << fn;
+  }
+}
+
+core::AnalysisResult AnalyzeOrDie(const prog::Program& program,
+                                  const core::AnalyzerOptions& options) {
+  auto result = core::Analyzer(options).Analyze(program);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::string LintJson(const prog::Program& program, AnalysisCache* cache,
+                     util::ThreadPool* pool,
+                     const db::SchemaCatalog& schemas) {
+  dataflow::LintOptions options;
+  options.witnesses = true;
+  options.schemas = schemas;
+  options.cache = cache;
+  options.pool = pool;
+  auto report = dataflow::RunLint(program, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report->FormatJson("app.mini");
+}
+
+// Every corpus app, pool sizes 0/1/3: the cold (cache-off) result is the
+// reference; a cold cache-on run and a warm self-rerun must match it bit
+// for bit, and the self-rerun must hit on every pass.
+TEST(IncrementalPropertyTest, CorpusWarmEqualsColdAcrossPools) {
+  for (const apps::CorpusApp& app : apps::MakeFullCorpus()) {
+    const prog::Program program = Parse(app.source);
+
+    core::AnalyzerOptions reference_options;
+    reference_options.incremental = false;
+    const core::AnalysisResult reference =
+        AnalyzeOrDie(program, reference_options);
+
+    for (const size_t workers : {size_t{0}, size_t{1}, size_t{3}}) {
+      const std::string label =
+          app.name + " pool=" + std::to_string(workers);
+      std::unique_ptr<util::ThreadPool> pool;
+      if (workers > 0) pool = std::make_unique<util::ThreadPool>(workers);
+
+      AnalysisCache cache;
+      core::AnalyzerOptions options;
+      options.pool = pool.get();
+      options.analysis_cache = &cache;
+      const core::AnalysisResult cold = AnalyzeOrDie(program, options);
+      const core::AnalysisResult warm = AnalyzeOrDie(program, options);
+
+      ExpectSameAnalysis(reference, cold, label + " (cold)");
+      ExpectSameAnalysis(reference, warm, label + " (warm)");
+      EXPECT_EQ(warm.cache_stats.taint.misses, 0u) << label;
+      EXPECT_EQ(warm.cache_stats.absint.misses, 0u) << label;
+      EXPECT_EQ(warm.cache_stats.forecast.misses, 0u) << label;
+      EXPECT_EQ(warm.aggregation_stats.cache_misses, 0u) << label;
+      EXPECT_GT(warm.cache_stats.taint.hits, 0u) << label;
+    }
+  }
+}
+
+// Lint over the corpus: a shared cache, reused across two runs per app,
+// must not change a byte of the JSON report (findings, witnesses, pruned
+// feasibility replays included).
+TEST(IncrementalPropertyTest, CorpusLintJsonIsCacheInvariant) {
+  const db::SchemaCatalog no_schemas;
+  for (const apps::CorpusApp& app : apps::MakeFullCorpus()) {
+    const prog::Program program = Parse(app.source);
+    const std::string reference =
+        LintJson(program, nullptr, nullptr, no_schemas);
+
+    AnalysisCache cache;
+    EXPECT_EQ(LintJson(program, &cache, nullptr, no_schemas), reference)
+        << app.name << " (cold cache)";
+    EXPECT_EQ(LintJson(program, &cache, nullptr, no_schemas), reference)
+        << app.name << " (warm cache)";
+  }
+}
+
+// The drift corpus replayed as an edit sequence: one persistent cache
+// carried across all six revisions (each warm run is primed with every
+// revision before it), checked against a cache-off run at every step.
+TEST(IncrementalPropertyTest, DriftRevisionSequenceWarmEqualsCold) {
+  const std::string dir = std::string(ADPROM_SOURCE_DIR) + "/samples/drift";
+  const db::SchemaCatalog base_catalog = LoadCatalog(dir + "/seed.sql");
+  const db::SchemaCatalog v2_catalog = LoadCatalog(dir + "/seed_v2.sql");
+  const struct {
+    const char* file;
+    const db::SchemaCatalog* schemas;
+  } revisions[] = {
+      {"rev0_base.mini", &base_catalog},
+      {"rev1_body_edit.mini", &base_catalog},
+      {"rev2_signature.mini", &base_catalog},
+      {"rev3_new_callee.mini", &base_catalog},
+      {"rev4_schema.mini", &v2_catalog},
+      {"rev5_sink_relabel.mini", &base_catalog},
+  };
+
+  util::ThreadPool pool(3);
+  AnalysisCache analyzer_cache;
+  AnalysisCache lint_cache;
+  size_t warm_hits = 0;
+  for (const auto& revision : revisions) {
+    const prog::Program program =
+        Parse(ReadFileOrDie(dir + "/" + revision.file));
+
+    core::AnalyzerOptions cold_options;
+    cold_options.incremental = false;
+    cold_options.schemas = *revision.schemas;
+    const core::AnalysisResult cold = AnalyzeOrDie(program, cold_options);
+
+    core::AnalyzerOptions warm_options;
+    warm_options.schemas = *revision.schemas;
+    warm_options.analysis_cache = &analyzer_cache;
+    warm_options.pool = &pool;
+    const core::AnalysisResult warm = AnalyzeOrDie(program, warm_options);
+    ExpectSameAnalysis(cold, warm, revision.file);
+    warm_hits += warm.cache_stats.taint.hits;
+
+    EXPECT_EQ(
+        LintJson(program, &lint_cache, &pool, *revision.schemas),
+        LintJson(program, nullptr, nullptr, *revision.schemas))
+        << revision.file;
+  }
+  // Each post-base revision edits a handful of the 25 functions, so the
+  // carried cache must have produced real hits along the way.
+  EXPECT_GT(warm_hits, 50u);
+}
+
+// ---- Edit-sequence fuzzer -------------------------------------------------
+//
+// The fuzzer mutates a small DB client for N steps, re-generating the
+// source from a state struct so every revision parses by construction.
+// The warm path carries one cache (analyzer + lint) across all steps and
+// runs on a pool; the cold path is cache-off and serial — so a mismatch
+// catches either a stale cache entry or a pool-order dependence.
+
+struct FuzzState {
+  int threshold = 10;
+  int extra_vars = 0;
+  int leaf_fns = 0;
+  bool alt_sink = false;
+};
+
+std::string GenerateSource(const FuzzState& state) {
+  std::string src;
+  src += "fn main() {\n";
+  src += "  var cmd = scan();\n";
+  src += "  while (!is_null(cmd)) {\n";
+  src += "    process(cmd);\n";
+  for (int k = 0; k < state.leaf_fns; ++k) {
+    src += "    leaf_" + std::to_string(k) + "(cmd);\n";
+  }
+  src += "    cmd = scan();\n";
+  src += "  }\n";
+  src += "}\n\n";
+
+  src += "fn process(id) {\n";
+  src += "  var r = db_query(\"SELECT id, name FROM items\");\n";
+  src += "  var n = db_ntuples(r);\n";
+  for (int k = 0; k < state.extra_vars; ++k) {
+    src += "  var zz_" + std::to_string(k) + " = " +
+           std::to_string(k * 3 + 1) + ";\n";
+  }
+  src += "  var i = 0;\n";
+  src += "  var acc = 0;\n";
+  src += "  while (i < n) {\n";
+  src += "    var v = db_getvalue(r, i, 1);\n";
+  src += "    if (len(v) > " + std::to_string(state.threshold) + ") {\n";
+  src += "      acc = acc + 1;\n";
+  src += "    }\n";
+  src += "    i = i + 1;\n";
+  src += "  }\n";
+  src += "  if (acc > 2) {\n";
+  src += "    report(db_getvalue(r, 0, 0));\n";
+  src += "  }\n";
+  src += "}\n\n";
+
+  src += "fn report(msg) {\n";
+  src += std::string("  ") + (state.alt_sink ? "print_err" : "print") +
+         "(msg);\n";
+  src += "}\n";
+
+  for (int k = 0; k < state.leaf_fns; ++k) {
+    const std::string id = std::to_string(k);
+    src += "\nfn leaf_" + id + "(x) {\n";
+    src += "  if (len(x) > " + id + ") {\n";
+    src += "    print(\"leaf_" + id + "\");\n";
+    src += "  }\n";
+    src += "}\n";
+  }
+  return src;
+}
+
+void Mutate(FuzzState* state, util::Rng* rng) {
+  switch (rng->UniformInt(0, 3)) {
+    case 0:
+      state->threshold = static_cast<int>(rng->UniformInt(1, 99));
+      break;
+    case 1:
+      state->extra_vars += 1;
+      break;
+    case 2:
+      state->leaf_fns += 1;
+      break;
+    default:
+      state->alt_sink = !state->alt_sink;
+      break;
+  }
+}
+
+TEST(IncrementalPropertyTest, EditSequenceFuzzerWarmEqualsColdEveryStep) {
+  auto catalog = db::BuildSchemaCatalog(
+      {"CREATE TABLE items (id INT, name TEXT)"});
+  ASSERT_TRUE(catalog.ok());
+
+  util::Rng rng(20260809);
+  util::ThreadPool pool(3);
+  FuzzState state;
+  AnalysisCache analyzer_cache;
+  AnalysisCache lint_cache;
+  size_t warm_hits = 0;
+
+  constexpr int kSteps = 8;
+  for (int step = 0; step <= kSteps; ++step) {
+    if (step > 0) Mutate(&state, &rng);
+    const std::string label = "step " + std::to_string(step);
+    const prog::Program program = Parse(GenerateSource(state));
+
+    core::AnalyzerOptions cold_options;
+    cold_options.incremental = false;
+    cold_options.schemas = *catalog;
+    const core::AnalysisResult cold = AnalyzeOrDie(program, cold_options);
+
+    core::AnalyzerOptions warm_options;
+    warm_options.schemas = *catalog;
+    warm_options.analysis_cache = &analyzer_cache;
+    warm_options.pool = &pool;
+    const core::AnalysisResult warm = AnalyzeOrDie(program, warm_options);
+    ExpectSameAnalysis(cold, warm, label);
+    warm_hits += warm.cache_stats.taint.hits +
+                 warm.cache_stats.absint.hits +
+                 warm.cache_stats.forecast.hits;
+
+    EXPECT_EQ(LintJson(program, &lint_cache, &pool, *catalog),
+              LintJson(program, nullptr, nullptr, *catalog))
+        << label;
+  }
+  // Most mutations touch one function; the carried cache must have
+  // served the untouched ones.
+  EXPECT_GT(warm_hits, 0u);
+}
+
+}  // namespace
+}  // namespace adprom::analysis

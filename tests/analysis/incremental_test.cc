@@ -1,0 +1,373 @@
+// Unit tests for the incremental-analysis layer: per-function content
+// hashing (the Merkle roots every cache key chains from), summary-store
+// hit/miss/invalidated semantics, the exact CTM codec, and the
+// fail-closed `--analysis-cache` disk image.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/incremental.h"
+#include "analysis/summary_cache.h"
+#include "core/analyzer.h"
+#include "db/schema.h"
+#include "prog/program.h"
+
+namespace adprom::analysis {
+namespace {
+
+prog::Program Parse(const std::string& source) {
+  auto program = prog::ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+// Two functions, one call edge, a tainted sink in the callee. Edited
+// variants below keep the line layout identical so only the edited
+// function's body hash moves.
+const char kBaseSource[] = R"(
+fn main() {
+  var cmd = scan();
+  if (!is_null(cmd)) {
+    lookup(cmd);
+  }
+}
+
+fn lookup(id) {
+  var r = db_query("SELECT name FROM items WHERE id='" + id + "'");
+  var n = db_ntuples(r);
+  var i = 0;
+  while (i < n) {
+    print(db_getvalue(r, i, 0));
+    i = i + 1;
+  }
+}
+)";
+
+TEST(ProgramHashesTest, StableAcrossReparses) {
+  const prog::Program first = Parse(kBaseSource);
+  const prog::Program second = Parse(kBaseSource);
+  const ProgramHashes a = ProgramHashes::Compute(first);
+  const ProgramHashes b = ProgramHashes::Compute(second);
+  EXPECT_EQ(a.body, b.body);
+  EXPECT_EQ(a.callees, b.callees);
+  EXPECT_EQ(a.fn_index, b.fn_index);
+  EXPECT_EQ(a.schema_hash, b.schema_hash);
+}
+
+TEST(ProgramHashesTest, LiteralEditTouchesOnlyThatFunction) {
+  std::string edited = kBaseSource;
+  const std::string from = "i = i + 1;";
+  const size_t pos = edited.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  edited.replace(pos, from.size(), "i = i + 2;");
+
+  const prog::Program base = Parse(kBaseSource);
+  const prog::Program mutated = Parse(edited);
+  const ProgramHashes a = ProgramHashes::Compute(base);
+  const ProgramHashes b = ProgramHashes::Compute(mutated);
+  ASSERT_EQ(a.fn_index, b.fn_index);
+  const size_t main_i = a.fn_index.at("main");
+  const size_t lookup_i = a.fn_index.at("lookup");
+  EXPECT_EQ(a.body[main_i], b.body[main_i]);
+  EXPECT_NE(a.body[lookup_i], b.body[lookup_i]);
+}
+
+TEST(ProgramHashesTest, ParamRenameChangesTheFunctionHash) {
+  std::string edited = kBaseSource;
+  const std::string from = "fn lookup(id) {";
+  const size_t pos = edited.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  edited.replace(pos, from.size(), "fn lookup(iq) {");
+  // The body uses `id` too; rename those uses to keep the program valid.
+  for (size_t at = edited.find("+ id +"); at != std::string::npos;
+       at = edited.find("+ id +", at + 1)) {
+    edited.replace(at, 6, "+ iq +");
+  }
+
+  const ProgramHashes a = ProgramHashes::Compute(Parse(kBaseSource));
+  const ProgramHashes b = ProgramHashes::Compute(Parse(edited));
+  EXPECT_NE(a.body[a.fn_index.at("lookup")],
+            b.body[b.fn_index.at("lookup")]);
+}
+
+TEST(ProgramHashesTest, CalleesCoverUserCallsOnly) {
+  const ProgramHashes hashes = ProgramHashes::Compute(Parse(kBaseSource));
+  const size_t main_i = hashes.fn_index.at("main");
+  const size_t lookup_i = hashes.fn_index.at("lookup");
+  // main calls lookup (scan/is_null are built-ins, not dependencies);
+  // lookup calls nothing user-defined.
+  EXPECT_EQ(hashes.callees[main_i], std::vector<size_t>{lookup_i});
+  EXPECT_TRUE(hashes.callees[lookup_i].empty());
+}
+
+TEST(ProgramHashesTest, SchemaHashTracksCatalog) {
+  const db::SchemaCatalog empty;
+  EXPECT_EQ(HashSchemaCatalog(nullptr), HashSchemaCatalog(&empty));
+
+  auto one = db::BuildSchemaCatalog({"CREATE TABLE items (id INT)"});
+  auto two = db::BuildSchemaCatalog(
+      {"CREATE TABLE items (id INT, name TEXT)"});
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_NE(HashSchemaCatalog(&*one), HashSchemaCatalog(nullptr));
+  EXPECT_NE(HashSchemaCatalog(&*one), HashSchemaCatalog(&*two));
+
+  auto again = db::BuildSchemaCatalog({"CREATE TABLE items (id INT)"});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(HashSchemaCatalog(&*one), HashSchemaCatalog(&*again));
+}
+
+TEST(SummaryStoreTest, HitMissInvalidatedSemantics) {
+  SummaryStore store;
+  PassCacheStats stats;
+  std::string payload;
+
+  // Never-seen function: a plain miss, not an invalidation.
+  EXPECT_FALSE(store.Lookup(/*config_fp=*/1, "f", /*key=*/10, &payload,
+                            &stats));
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.invalidated, 0u);
+
+  store.Store(1, "f", 10, "payload-v1");
+  EXPECT_TRUE(store.Lookup(1, "f", 10, &payload, &stats));
+  EXPECT_EQ(payload, "payload-v1");
+  EXPECT_EQ(stats.hits, 1u);
+
+  // Same function under a different key: the dependency changed.
+  EXPECT_FALSE(store.Lookup(1, "f", 11, &payload, &stats));
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.invalidated, 1u);
+
+  // A different config fingerprint is a separate shard: no entry there,
+  // so this is a first-sight miss, not an invalidation.
+  EXPECT_FALSE(store.Lookup(2, "f", 10, &payload, &stats));
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.invalidated, 1u);
+
+  // Re-storing under the new key replaces the entry.
+  store.Store(1, "f", 11, "payload-v2");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Lookup(1, "f", 11, &payload, &stats));
+  EXPECT_EQ(payload, "payload-v2");
+
+  store.Count(&stats, 5, 2, 1);
+  EXPECT_EQ(stats.hits, 7u);
+  EXPECT_EQ(stats.misses, 5u);
+  EXPECT_EQ(stats.invalidated, 2u);
+
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SummaryStoreTest, NullStatsAreAccepted) {
+  SummaryStore store;
+  std::string payload;
+  EXPECT_FALSE(store.Lookup(1, "f", 10, &payload, nullptr));
+  store.Store(1, "f", 10, "x");
+  EXPECT_TRUE(store.Lookup(1, "f", 10, &payload, nullptr));
+}
+
+std::string CtmBytes(const Ctm& ctm) {
+  BinaryWriter w;
+  EncodeCtm(ctm, &w);
+  return w.Take();
+}
+
+TEST(CtmCodecTest, RoundTripIsBitIdentical) {
+  const prog::Program program = Parse(kBaseSource);
+  auto result = core::Analyzer().Analyze(program);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::vector<Ctm> ctms;
+  ctms.push_back(result->program_ctm);
+  for (const auto& [fn, ctm] : result->function_ctms) ctms.push_back(ctm);
+  ASSERT_GT(ctms.size(), 1u);
+
+  for (const Ctm& ctm : ctms) {
+    const std::string bytes = CtmBytes(ctm);
+    BinaryReader r(bytes);
+    const Ctm decoded = DecodeCtm(&r);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(CtmBytes(decoded), bytes) << ctm.ToString(17);
+    EXPECT_EQ(decoded.ToString(17), ctm.ToString(17));
+  }
+}
+
+TEST(CtmCodecTest, TruncatedPayloadClearsReader) {
+  const prog::Program program = Parse(kBaseSource);
+  auto result = core::Analyzer().Analyze(program);
+  ASSERT_TRUE(result.ok());
+  std::string bytes = CtmBytes(result->program_ctm);
+  ASSERT_GT(bytes.size(), 4u);
+  bytes.resize(bytes.size() - 3);
+  BinaryReader r(bytes);
+  DecodeCtm(&r);
+  EXPECT_FALSE(r.ok() && r.AtEnd());
+}
+
+// ---- Disk image -----------------------------------------------------------
+
+class AnalysisCacheDiskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "adprom_incremental_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string CacheFile() const {
+    return dir_ + "/" + kAnalysisCacheFile;
+  }
+
+  std::string ReadImage() const {
+    std::ifstream in(CacheFile(), std::ios::binary);
+    EXPECT_TRUE(in.good()) << CacheFile();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  void WriteImage(const std::string& bytes) const {
+    std::ofstream out(CacheFile(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << CacheFile();
+    out << bytes;
+  }
+
+  // Populates `cache` by analyzing the base program through it, then
+  // saves the image to the test directory.
+  void PrimeAndSave(AnalysisCache* cache) {
+    core::AnalyzerOptions options;
+    options.analysis_cache = cache;
+    auto result = core::Analyzer(options).Analyze(Parse(kBaseSource));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_GT(cache->TotalEntries(), 0u);
+    auto saved = SaveAnalysisCache(*cache, dir_);
+    ASSERT_TRUE(saved.ok()) << saved.ToString();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AnalysisCacheDiskTest, RoundTripWarmRunHitsEverywhere) {
+  AnalysisCache primed;
+  PrimeAndSave(&primed);
+
+  AnalysisCache loaded;
+  auto status = LoadAnalysisCache(dir_, &loaded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(loaded.TotalEntries(), primed.TotalEntries());
+
+  // A fresh analyzer warm-started from the loaded image must hit on
+  // every cached pass and reproduce the cold pCTM bit for bit.
+  core::AnalyzerOptions cold_options;
+  auto cold = core::Analyzer(cold_options).Analyze(Parse(kBaseSource));
+  ASSERT_TRUE(cold.ok());
+
+  core::AnalyzerOptions warm_options;
+  warm_options.analysis_cache = &loaded;
+  auto warm = core::Analyzer(warm_options).Analyze(Parse(kBaseSource));
+  ASSERT_TRUE(warm.ok());
+
+  EXPECT_GT(warm->cache_stats.taint.hits, 0u);
+  EXPECT_EQ(warm->cache_stats.taint.misses, 0u);
+  EXPECT_GT(warm->cache_stats.absint.hits, 0u);
+  EXPECT_EQ(warm->cache_stats.absint.misses, 0u);
+  EXPECT_GT(warm->cache_stats.forecast.hits, 0u);
+  EXPECT_EQ(warm->cache_stats.forecast.misses, 0u);
+  EXPECT_EQ(warm->aggregation_stats.cache_misses, 0u);
+  EXPECT_EQ(CtmBytes(warm->program_ctm), CtmBytes(cold->program_ctm));
+}
+
+TEST_F(AnalysisCacheDiskTest, MissingFileIsACleanColdStart) {
+  std::filesystem::create_directories(dir_);
+  AnalysisCache cache;
+  cache.taint.Store(1, "stale", 2, "x");
+  auto status = LoadAnalysisCache(dir_, &cache);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  // Load replaces the contents even when there is no image yet.
+  EXPECT_EQ(cache.TotalEntries(), 0u);
+}
+
+TEST_F(AnalysisCacheDiskTest, BadMagicFailsClosed) {
+  AnalysisCache primed;
+  PrimeAndSave(&primed);
+  std::string image = ReadImage();
+  image[0] = 'X';
+  WriteImage(image);
+
+  AnalysisCache cache;
+  cache.taint.Store(1, "stale", 2, "x");
+  auto status = LoadAnalysisCache(dir_, &cache);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("bad magic"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(cache.TotalEntries(), 0u);
+}
+
+TEST_F(AnalysisCacheDiskTest, VersionMismatchFailsClosed) {
+  AnalysisCache primed;
+  PrimeAndSave(&primed);
+  std::string image = ReadImage();
+  // The version word sits right after the 8-byte magic.
+  ASSERT_GT(image.size(), 8u);
+  image[8] = static_cast<char>(image[8] + 1);
+  WriteImage(image);
+
+  AnalysisCache cache;
+  auto status = LoadAnalysisCache(dir_, &cache);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("version"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(cache.TotalEntries(), 0u);
+}
+
+TEST_F(AnalysisCacheDiskTest, TruncationFailsClosed) {
+  AnalysisCache primed;
+  PrimeAndSave(&primed);
+  std::string image = ReadImage();
+  ASSERT_GT(image.size(), 32u);
+  image.resize(image.size() / 2);
+  WriteImage(image);
+
+  AnalysisCache cache;
+  auto status = LoadAnalysisCache(dir_, &cache);
+  EXPECT_FALSE(status.ok()) << status.ToString();
+  EXPECT_EQ(cache.TotalEntries(), 0u);
+}
+
+TEST(AnalyzerIncrementalTest, DisabledMatchesEnabledBitForBit) {
+  const prog::Program program = Parse(kBaseSource);
+
+  core::AnalyzerOptions off;
+  off.incremental = false;
+  auto uncached = core::Analyzer(off).Analyze(program);
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_EQ(uncached->cache_stats.taint.hits +
+                uncached->cache_stats.taint.misses,
+            0u);
+  EXPECT_EQ(uncached->cache_stats.absint.hits +
+                uncached->cache_stats.absint.misses,
+            0u);
+  EXPECT_EQ(uncached->cache_stats.forecast.hits +
+                uncached->cache_stats.forecast.misses,
+            0u);
+
+  core::Analyzer cached_analyzer{core::AnalyzerOptions{}};
+  auto first = cached_analyzer.Analyze(program);
+  auto second = cached_analyzer.Analyze(program);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_GT(second->cache_stats.taint.hits, 0u);
+  EXPECT_EQ(second->cache_stats.taint.misses, 0u);
+
+  EXPECT_EQ(CtmBytes(first->program_ctm), CtmBytes(uncached->program_ctm));
+  EXPECT_EQ(CtmBytes(second->program_ctm), CtmBytes(uncached->program_ctm));
+}
+
+}  // namespace
+}  // namespace adprom::analysis

@@ -27,6 +27,44 @@ TEST(SchemaTest, ToString) {
   EXPECT_EQ(Schema().ToString(), "");
 }
 
+TEST(SchemaCatalogTest, KeysAreCaseInsensitive) {
+  auto catalog = BuildSchemaCatalog(
+      {"CREATE TABLE People (Id INT, Name TEXT)"});
+  ASSERT_TRUE(catalog.ok());
+  // The catalog keys on the lowercased table name, and the schema keeps
+  // the declared column spelling while looking it up case-insensitively.
+  ASSERT_EQ(catalog->count("people"), 1u);
+  const Schema& schema = (*catalog)["people"];
+  EXPECT_EQ(schema.IndexOf("ID"), 0u);
+  EXPECT_EQ(schema.IndexOf("name"), 1u);
+  EXPECT_EQ(schema.column(1).name, "Name");
+}
+
+TEST(SchemaCatalogTest, RejectsDuplicateColumn) {
+  auto catalog = BuildSchemaCatalog(
+      {"CREATE TABLE t (id INT, name TEXT, ID TEXT)"});
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().message().find("duplicate column"),
+            std::string::npos);
+  EXPECT_NE(catalog.status().message().find("'ID'"), std::string::npos);
+  EXPECT_NE(catalog.status().message().find("'t'"), std::string::npos);
+}
+
+TEST(SchemaCatalogTest, RejectsDuplicateTable) {
+  auto catalog = BuildSchemaCatalog({"CREATE TABLE t (id INT)",
+                                     "CREATE TABLE T (name TEXT)"});
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().message().find("duplicate CREATE TABLE"),
+            std::string::npos);
+}
+
+TEST(SchemaCatalogTest, IgnoresNonCreateStatements) {
+  auto catalog = BuildSchemaCatalog(
+      {"CREATE TABLE t (id INT)", "INSERT INTO t VALUES (1)"});
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->size(), 1u);
+}
+
 TEST(TableTest, InsertChecksArity) {
   Table table("people", PeopleSchema());
   EXPECT_FALSE(table.Insert({Value::Int(1)}).ok());

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analysis/dataflow/lint.h"
+#include "analysis/summary_cache.h"
 #include "core/adprom.h"
 #include "db/schema.h"
 #include "core/detection_engine.h"
@@ -27,7 +28,7 @@ struct ParsedArgs {
   std::vector<std::string> positional;
   std::map<std::string, std::string> flags;
 
-  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  bool Has(const std::string& name) const { return flags.contains(name); }
   std::string Get(const std::string& name,
                   const std::string& fallback = "") const {
     auto it = flags.find(name);
@@ -39,7 +40,8 @@ constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
                                       "--flow-insensitive", "--no-absint",
                                       "--all", "--dense-kernels",
                                       "--no-simd", "--triage",
-                                      "--witnesses", "--no-column-taint"};
+                                      "--witnesses", "--no-column-taint",
+                                      "--no-analysis-cache", "--stats"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -187,13 +189,38 @@ util::Result<core::ProfileOptions> OptionsFromFlags(const ParsedArgs& args) {
   return std::move(options);
 }
 
+/// Resolves --analysis-cache / --no-analysis-cache for `analyze` and
+/// `lint`. When a directory is given (and caching is not ablated) loads
+/// its image into `cache` — fail-closed: a corrupt or version-mismatched
+/// file is reported and the run proceeds cold, never partially warm — and
+/// returns true so the caller saves the cache back after the run.
+bool LoadCacheDir(const ParsedArgs& args, analysis::AnalysisCache* cache,
+                  std::ostream& out) {
+  if (!args.Has("--analysis-cache") || args.Has("--no-analysis-cache")) {
+    return false;
+  }
+  const util::Status loaded =
+      analysis::LoadAnalysisCache(args.Get("--analysis-cache"), cache);
+  if (!loaded.ok()) {
+    out << "analysis cache: " << loaded.message() << " — running cold\n";
+  }
+  return true;
+}
+
+void PrintCacheLine(std::ostream& out, const char* pass,
+                    const analysis::PassCacheStats& stats) {
+  out << "cache " << pass << ": " << stats.hits << " hits, " << stats.misses
+      << " misses, " << stats.invalidated << " invalidated\n";
+}
+
 // --- Commands ----------------------------------------------------------
 
 util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
   if (args.positional.size() != 2) {
     return util::Status::InvalidArgument(
         "usage: adprom analyze <app.mini> [--no-absint] [--dump-cfg=<dir>] "
-        "[--db seed.sql] [--no-column-taint]");
+        "[--db seed.sql] [--no-column-taint] [--analysis-cache=<dir>] "
+        "[--no-analysis-cache] [--stats] [--dump-pctm=<path>]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
@@ -208,9 +235,22 @@ util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
     if (!catalog.ok()) return catalog.status();
     analyzer_options.schemas = std::move(*catalog);
   }
+  analyzer_options.incremental = !args.Has("--no-analysis-cache");
+  analysis::AnalysisCache disk_cache;
+  const bool persist_cache = LoadCacheDir(args, &disk_cache, out);
+  if (persist_cache) analyzer_options.analysis_cache = &disk_cache;
   core::Analyzer analyzer(analyzer_options);
   ADPROM_ASSIGN_OR_RETURN(core::AnalysisResult analysis,
                           analyzer.Analyze(program));
+  if (persist_cache) {
+    ADPROM_RETURN_IF_ERROR(analysis::SaveAnalysisCache(
+        disk_cache, args.Get("--analysis-cache")));
+  }
+  if (args.Has("--dump-pctm")) {
+    // Full-precision rendering so CI can byte-compare cold vs warm pCTMs.
+    ADPROM_RETURN_IF_ERROR(WriteStringToFile(
+        args.Get("--dump-pctm"), analysis.program_ctm.ToString(17)));
+  }
 
   if (args.Has("--dump-cfg")) {
     const std::string dir = args.Get("--dump-cfg");
@@ -260,6 +300,20 @@ util::Status CmdAnalyze(const ParsedArgs& args, std::ostream& out) {
     out << "\n";
   }
   out << "labeled TD outputs: " << labeled << "\n";
+  if (args.Has("--stats")) {
+    out << util::StrFormat(
+        "pass seconds: cfg %.3f, absint %.3f, taint %.3f, forecast %.3f, "
+        "aggregation %.3f\n",
+        analysis.cfg_seconds, analysis.absint_seconds,
+        analysis.taint_seconds, analysis.forecast_seconds,
+        analysis.aggregation_seconds);
+    PrintCacheLine(out, "taint", analysis.cache_stats.taint);
+    PrintCacheLine(out, "absint", analysis.cache_stats.absint);
+    PrintCacheLine(out, "forecast", analysis.cache_stats.forecast);
+    out << "cache aggregation: " << analysis.aggregation_stats.cache_hits
+        << " hits, " << analysis.aggregation_stats.cache_misses
+        << " misses\n";
+  }
   const util::Status invariants = analysis.program_ctm.CheckInvariants();
   out << "pCTM invariants: " << (invariants.ok() ? "hold" : "VIOLATED")
       << "\n";
@@ -580,7 +634,8 @@ util::Result<size_t> CmdLint(const ParsedArgs& args, std::ostream& out) {
     return util::Status::InvalidArgument(
         "usage: adprom lint <app.mini> [--db seed.sql] [--witnesses] "
         "[--dump-witness=<dir>] [--format=json] [--no-column-taint] "
-        "[--monitored-sinks=a,b]");
+        "[--monitored-sinks=a,b] [--analysis-cache=<dir>] "
+        "[--no-analysis-cache] [--stats]");
   }
   const std::string& path = args.positional[1];
   ADPROM_ASSIGN_OR_RETURN(prog::Program program, LoadProgram(path));
@@ -604,8 +659,15 @@ util::Result<size_t> CmdLint(const ParsedArgs& args, std::ostream& out) {
   }
   options.column_taint = !args.Has("--no-column-taint");
   options.witnesses = args.Has("--witnesses") || args.Has("--dump-witness");
+  analysis::AnalysisCache disk_cache;
+  const bool persist_cache = LoadCacheDir(args, &disk_cache, out);
+  if (persist_cache) options.cache = &disk_cache;
   ADPROM_ASSIGN_OR_RETURN(analysis::dataflow::LintReport report,
                           analysis::dataflow::RunLint(program, options));
+  if (persist_cache) {
+    ADPROM_RETURN_IF_ERROR(analysis::SaveAnalysisCache(
+        disk_cache, args.Get("--analysis-cache")));
+  }
 
   const std::string format = args.Get("--format", "text");
   if (format == "json") {
@@ -616,6 +678,18 @@ util::Result<size_t> CmdLint(const ParsedArgs& args, std::ostream& out) {
       for (const analysis::dataflow::LeakWitness& w : report.witnesses) {
         out << "\n" << analysis::dataflow::FormatWitness(w);
       }
+    }
+    if (args.Has("--stats")) {
+      // Text mode only: the JSON rendering must stay machine-parseable
+      // (and byte-identical across cold and warm runs).
+      out << util::StrFormat(
+          "pass seconds: structural %.3f, absint %.3f, injection %.3f, "
+          "exfil %.3f\n",
+          report.stats.structural_seconds, report.stats.absint_seconds,
+          report.stats.injection_seconds, report.stats.exfil_seconds);
+      PrintCacheLine(out, "absint", report.stats.absint_cache);
+      PrintCacheLine(out, "taint", report.stats.taint_cache);
+      PrintCacheLine(out, "ifds", report.stats.ifds_cache);
     }
   } else {
     return util::Status::InvalidArgument("unknown --format: " + format);
