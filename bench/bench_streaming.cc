@@ -10,6 +10,13 @@
 // reported (min-of-N); `--smoke` shrinks the event count and session
 // sweep so the binary finishes in seconds for CI.
 //
+// A second sweep measures the multi-tenant fleet node on a churn-heavy
+// workload: tens of thousands of short sessions (one window each) spread
+// over several tenants. The `single_manager_baseline` row replays the
+// same workload through the legacy SessionManager, which compiles a
+// DetectionEngine per session; the fleet rows share one compiled engine
+// per tenant profile, which is where the throughput multiple comes from.
+//
 // Machine-readable results are written to BENCH_streaming.json at the
 // repository root (override with --json <path>).
 
@@ -18,12 +25,15 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "service/alert_sink.h"
+#include "service/fleet_node.h"
+#include "service/profile_registry.h"
 #include "service/session_manager.h"
 #include "service/streaming_monitor.h"
 #include "util/strings.h"
@@ -50,6 +60,15 @@ struct Preset {
   size_t total_events = 60000;
   size_t timing_repeats = 3;
   std::vector<size_t> session_sweep = {1, 8, 64, 512};
+  // Fleet sweep: short sessions (one window each) at fleet scale. The
+  // baseline row replays fleet_sessions[0] sessions through the legacy
+  // per-session-engine manager.
+  size_t fleet_tenants = 4;
+  // Churn runs are short (~0.1 s at 10k sessions), so they take more
+  // min-of-N repeats than the long stream runs to damp scheduler noise.
+  size_t fleet_timing_repeats = 5;
+  std::vector<size_t> fleet_sessions = {10000, 100000};
+  std::vector<size_t> fleet_shards = {1, 8};
 };
 
 Preset SmokePreset() {
@@ -58,6 +77,8 @@ Preset SmokePreset() {
   p.total_events = 4000;
   p.timing_repeats = 1;
   p.session_sweep = {1, 8};
+  p.fleet_timing_repeats = 1;
+  p.fleet_sessions = {500};
   return p;
 }
 
@@ -149,6 +170,144 @@ StreamRun RunConfigOnce(const core::ApplicationProfile& profile,
   return run;
 }
 
+struct FleetRun {
+  std::string name;
+  size_t shards = 1;
+  size_t tenants = 1;
+  size_t sessions = 0;
+  size_t events = 0;
+  size_t verdicts = 0;
+  size_t drops = 0;
+  size_t backlog_max = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Churn workload: `sessions` short-lived sessions (window_length events
+/// each, i.e. exactly one verdict window) fed and closed one after the
+/// other, spread round-robin over `tenants` tenants. `shards == 0` means
+/// the legacy single SessionManager, which compiles a DetectionEngine per
+/// session and only offers per-event Submit — the pre-fleet baseline.
+/// The fleet rows ingest each session as one SubmitBatch burst, the way
+/// the binary feed hands bursts to the node: one profile resolve, one
+/// session-lock hold, and one worker hand-off per session instead of one
+/// per event. Fleet latency samples are therefore per-burst, not
+/// per-event.
+FleetRun RunFleetConfigOnce(const core::ApplicationProfile& profile,
+                            const std::vector<runtime::CallEvent>& pool_events,
+                            size_t shards, size_t tenants, size_t sessions,
+                            util::ThreadPool* pool) {
+  const size_t per_session = profile.options.window_length;
+  CountingSink sink;
+  service::SessionManagerOptions session_options;
+  session_options.queue_capacity = 1024;
+  session_options.overflow =
+      service::SessionManagerOptions::OverflowPolicy::kBlock;
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(sessions * per_session);
+  FleetRun run;
+  run.tenants = shards == 0 ? 1 : tenants;
+  run.sessions = sessions;
+  run.events = sessions * per_session;
+
+  if (shards == 0) {
+    run.name = "single_manager_baseline";
+    run.shards = 1;
+    service::SessionManager manager(&profile, &sink, pool, session_options);
+    const auto bench_start = std::chrono::steady_clock::now();
+    for (size_t s = 0; s < sessions; ++s) {
+      const std::string key = "s" + std::to_string(s);
+      for (size_t i = 0; i < per_session; ++i) {
+        const runtime::CallEvent& event =
+            pool_events[(s * 7919 + i) % pool_events.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)manager.Submit(key, event);
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+      (void)manager.CloseSession(key);
+    }
+    manager.Drain();
+    run.seconds = Seconds(bench_start);
+    run.drops = manager.total_dropped();
+    run.backlog_max = manager.Metrics().max_queue_depth;
+    manager.CloseAll();
+  } else {
+    run.name = "fleet";
+    run.shards = shards;
+    service::ProfileRegistry registry;
+    std::vector<std::string> tenant_names;
+    for (size_t t = 0; t < tenants; ++t) {
+      tenant_names.push_back("tenant" + std::to_string(t));
+      core::ApplicationProfile copy = profile;
+      if (!registry.Install(tenant_names.back(), std::move(copy)).ok()) {
+        std::printf("FATAL: registry install failed\n");
+        std::abort();
+      }
+    }
+    service::FleetOptions fleet_options;
+    fleet_options.num_shards = shards;
+    fleet_options.session = session_options;
+    service::FleetNode fleet(&registry, &sink, pool, fleet_options);
+    // Each session's burst is a contiguous slice of the pool at its own
+    // offset, so concurrent sessions are not in lockstep on identical
+    // windows and no events are copied on the producer side.
+    const size_t max_offset = pool_events.size() - per_session;
+    const auto bench_start = std::chrono::steady_clock::now();
+    for (size_t s = 0; s < sessions; ++s) {
+      const std::string key = "s" + std::to_string(s);
+      const std::span<const runtime::CallEvent> burst(
+          pool_events.data() + (s * 7919) % max_offset, per_session);
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)fleet.SubmitBatch(tenant_names[s % tenants], key, burst);
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      (void)fleet.CloseSession(tenant_names[s % tenants], key);
+    }
+    fleet.Drain();
+    run.seconds = Seconds(bench_start);
+    run.drops = fleet.total_dropped();
+    const service::FleetMetrics metrics = fleet.Metrics();
+    for (const service::ShardMetrics& shard : metrics.shards) {
+      run.backlog_max = std::max(run.backlog_max,
+                                 static_cast<size_t>(shard.max_queue_depth));
+    }
+    fleet.CloseAll();
+  }
+
+  run.verdicts = sink.verdicts.load();
+  run.events_per_sec = static_cast<double>(run.events) / run.seconds;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  run.p50_us = Percentile(&latencies_us, 0.50);
+  run.p99_us = Percentile(&latencies_us, 0.99);
+  return run;
+}
+
+FleetRun RunFleetConfig(const core::ApplicationProfile& profile,
+                        const std::vector<runtime::CallEvent>& pool_events,
+                        size_t shards, size_t tenants, size_t sessions,
+                        const Preset& preset, util::ThreadPool* pool) {
+  FleetRun best;
+  // Large sweeps keep the per-repeat cost in check: min-of-N only for the
+  // smallest point, single shot above it.
+  const size_t repeats = sessions > preset.fleet_sessions.front()
+                             ? 1
+                             : preset.fleet_timing_repeats;
+  for (size_t r = 0; r < repeats; ++r) {
+    FleetRun run = RunFleetConfigOnce(profile, pool_events, shards, tenants,
+                                      sessions, pool);
+    if (r == 0 || run.seconds < best.seconds) best = std::move(run);
+  }
+  return best;
+}
+
 /// Min-of-N: repeats the configuration and keeps the fastest run (its
 /// latency percentiles come from that same run).
 StreamRun RunConfig(const core::ApplicationProfile& profile,
@@ -164,7 +323,8 @@ StreamRun RunConfig(const core::ApplicationProfile& profile,
   return best;
 }
 
-void WriteJson(const std::vector<StreamRun>& runs, size_t pool_workers,
+void WriteJson(const std::vector<StreamRun>& runs,
+               const std::vector<FleetRun>& fleet_runs, size_t pool_workers,
                const Preset& preset, const std::string& json_path) {
   std::ostringstream json;
   json << "{\n";
@@ -182,6 +342,23 @@ void WriteJson(const std::vector<StreamRun>& runs, size_t pool_workers,
          << "\", \"sessions\": " << run.sessions
          << ", \"events\": " << run.events
          << ", \"verdicts\": " << run.verdicts
+         << ", \"wall_time_sec\": " << Num(run.seconds)
+         << ", \"events_per_sec\": " << Num(run.events_per_sec)
+         << ", \"submit_p50_us\": " << Num(run.p50_us)
+         << ", \"submit_p99_us\": " << Num(run.p99_us) << "}";
+  }
+  json << "],\n";
+  json << "  \"fleet_runs\": [";
+  for (size_t i = 0; i < fleet_runs.size(); ++i) {
+    const FleetRun& run = fleet_runs[i];
+    json << (i ? ", " : "") << "{\"name\": \"" << run.name
+         << "\", \"shards\": " << run.shards
+         << ", \"tenants\": " << run.tenants
+         << ", \"sessions\": " << run.sessions
+         << ", \"events\": " << run.events
+         << ", \"verdicts\": " << run.verdicts
+         << ", \"drops\": " << run.drops
+         << ", \"backlog_max\": " << run.backlog_max
          << ", \"wall_time_sec\": " << Num(run.seconds)
          << ", \"events_per_sec\": " << Num(run.events_per_sec)
          << ", \"submit_p50_us\": " << Num(run.p50_us)
@@ -245,7 +422,48 @@ void Run(const Preset& preset, const std::string& json_path) {
               " %zu workers, kBlock overflow — p99 shows back-pressure)\n",
               workers);
 
-  WriteJson(runs, workers, preset, json_path);
+  // Fleet churn sweep: session setup cost dominates (one window per
+  // session), which is exactly the regime where sharing the compiled
+  // engine per tenant pays off over the per-session baseline.
+  std::printf("\nfleet churn sweep: %zu-event sessions over %zu tenants\n",
+              profile.options.window_length, preset.fleet_tenants);
+  std::vector<FleetRun> fleet_runs;
+  fleet_runs.push_back(RunFleetConfig(profile, pool_events, /*shards=*/0,
+                                      preset.fleet_tenants,
+                                      preset.fleet_sessions.front(), preset,
+                                      &pool));
+  for (size_t sessions : preset.fleet_sessions) {
+    for (size_t shards : preset.fleet_shards) {
+      fleet_runs.push_back(RunFleetConfig(profile, pool_events, shards,
+                                          preset.fleet_tenants, sessions,
+                                          preset, &pool));
+    }
+  }
+
+  util::TablePrinter fleet_table({"mode", "shards", "sessions", "events",
+                                  "seconds", "events/sec", "p99 (us)",
+                                  "drops", "max backlog"});
+  for (const FleetRun& run : fleet_runs) {
+    fleet_table.AddRow({run.name, std::to_string(run.shards),
+                        std::to_string(run.sessions),
+                        std::to_string(run.events),
+                        util::StrFormat("%.3f", run.seconds),
+                        util::StrFormat("%.0f", run.events_per_sec),
+                        util::StrFormat("%.2f", run.p99_us),
+                        std::to_string(run.drops),
+                        std::to_string(run.backlog_max)});
+  }
+  fleet_table.Print();
+  const double baseline = fleet_runs.front().events_per_sec;
+  for (const FleetRun& run : fleet_runs) {
+    if (run.name == "fleet" && run.shards >= 8 &&
+        run.sessions == preset.fleet_sessions.front()) {
+      std::printf("fleet @%zu shards vs single-manager baseline: %.2fx\n",
+                  run.shards, run.events_per_sec / baseline);
+    }
+  }
+
+  WriteJson(runs, fleet_runs, workers, preset, json_path);
 }
 
 }  // namespace

@@ -111,6 +111,32 @@ def check_streaming(doc, path):
                ["sessions", "events", "wall_time_sec", "events_per_sec",
                 "submit_p50_us", "submit_p99_us"])
 
+    fleet_runs = require(doc, path, "fleet_runs", list)
+    check_runs(fleet_runs, path, "streaming.fleet_runs",
+               ["shards", "tenants", "sessions", "events", "verdicts",
+                "drops", "backlog_max", "wall_time_sec", "events_per_sec",
+                "submit_p50_us", "submit_p99_us"])
+    if not any(run.get("shards", 0) >= 8 for run in fleet_runs):
+        fail(path, "fleet_runs has no row with >= 8 shards")
+    baselines = [run for run in fleet_runs
+                 if run.get("name") == "single_manager_baseline"]
+    if not baselines:
+        fail(path, "fleet_runs has no single_manager_baseline row")
+    # The throughput gate only binds at fleet scale: the --smoke preset
+    # runs a few hundred sessions, where per-session engine compilation
+    # does not dominate and the multiple is meaningless.
+    baseline = baselines[0]
+    at_scale = [run for run in fleet_runs
+                if run.get("name") == "fleet" and run.get("shards", 0) >= 8
+                and run.get("sessions", 0) >= 10000
+                and run.get("sessions") == baseline.get("sessions")]
+    for run in at_scale:
+        multiple = run["events_per_sec"] / baseline["events_per_sec"]
+        if multiple < 2.0:
+            fail(path, f"fleet at {run['shards']} shards / "
+                       f"{run['sessions']} sessions is only {multiple:.2f}x "
+                       "the single-manager baseline (need >= 2x)")
+
 
 def check_analysis(doc, path):
     apps = require(doc, path, "apps", list)

@@ -1,6 +1,7 @@
 #ifndef ADPROM_SERVICE_ALERT_SINK_H_
 #define ADPROM_SERVICE_ALERT_SINK_H_
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -17,8 +18,14 @@ namespace adprom::service {
 struct SessionStats {
   size_t events_accepted = 0;  // events that entered the queue
   size_t dropped_events = 0;   // evicted by the drop-oldest policy
+  size_t events_scored = 0;    // events the monitor consumed (set on close;
+                               // accepted == scored + dropped, exactly)
   size_t verdicts = 0;         // windows scored (one per completed window)
   size_t alarms = 0;           // verdicts with IsAlarm()
+  /// Generation of the profile this session scored against (0 when the
+  /// manager's legacy default profile — no registry — was used). Pinned
+  /// at session creation: a session never mixes generations.
+  uint64_t profile_generation = 0;
 };
 
 /// Where streaming verdicts go. Implementations MUST be thread-safe:

@@ -1,0 +1,111 @@
+#ifndef ADPROM_SERVICE_METRICS_H_
+#define ADPROM_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adprom::service {
+
+/// Lock-free log₂-bucketed latency histogram (nanosecond resolution, 48
+/// buckets cover [1 ns, ~78 h]). Producers Record concurrently with
+/// relaxed atomics; Quantile reads a point-in-time-ish snapshot — exact
+/// under quiescence, approximate under concurrent writes, which is all an
+/// ops surface needs.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+
+  void RecordNanos(uint64_t nanos) {
+    size_t bucket = 0;
+    while (bucket + 1 < kBuckets && nanos >= (uint64_t{1} << (bucket + 1))) {
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The upper edge (in microseconds) of the bucket holding quantile `q`
+  /// of all recorded samples; 0 when nothing was recorded.
+  double QuantileUs(double q) const {
+    std::array<uint64_t, kBuckets> counts;
+    uint64_t total = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) return 0.0;
+    const double rank = q * static_cast<double>(total);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (static_cast<double>(seen) >= rank) {
+        return static_cast<double>(uint64_t{1} << (i + 1)) / 1000.0;
+      }
+    }
+    return static_cast<double>(uint64_t{1} << kBuckets) / 1000.0;
+  }
+
+  uint64_t samples() const {
+    uint64_t total = 0;
+    for (const auto& bucket : buckets_) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Per-tenant accounting a FleetNode keeps across all shards. Addresses
+/// are stable for the fleet's lifetime; sessions hold a raw pointer and
+/// bump the counters from whichever shard/worker touches them.
+struct TenantCounters {
+  std::string tenant;
+  std::atomic<uint64_t> submitted{0};        // events accepted into queues
+  std::atomic<uint64_t> dropped{0};          // evicted by kDropOldest
+  std::atomic<uint64_t> scored{0};           // events the monitors consumed
+  std::atomic<uint64_t> verdicts{0};         // windows scored
+  std::atomic<uint64_t> alarms{0};           // verdicts with IsAlarm()
+  std::atomic<uint64_t> sessions_opened{0};
+  std::atomic<uint64_t> sessions_closed{0};
+};
+
+/// Point-in-time snapshot of one tenant's counters.
+struct TenantMetrics {
+  std::string tenant;
+  uint64_t generation = 0;  // current registry generation (0 = unloaded)
+  uint64_t submitted = 0;
+  uint64_t dropped = 0;
+  uint64_t scored = 0;
+  uint64_t verdicts = 0;
+  uint64_t alarms = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+};
+
+/// Point-in-time snapshot of one SessionManager shard's counters.
+struct ShardMetrics {
+  uint64_t submitted = 0;
+  uint64_t dropped = 0;
+  uint64_t scored = 0;
+  uint64_t verdicts = 0;
+  uint64_t alarms = 0;
+  size_t live_sessions = 0;
+  size_t queue_depth = 0;      // events currently buffered, all sessions
+  size_t max_queue_depth = 0;  // high-water mark of queue_depth
+  double submit_p50_us = 0.0;
+  double submit_p99_us = 0.0;
+};
+
+/// The fleet-wide ops snapshot `adprom serve --metrics` renders.
+struct FleetMetrics {
+  std::vector<ShardMetrics> shards;
+  std::vector<TenantMetrics> tenants;
+};
+
+}  // namespace adprom::service
+
+#endif  // ADPROM_SERVICE_METRICS_H_

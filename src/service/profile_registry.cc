@@ -1,0 +1,146 @@
+#include "service/profile_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace adprom::service {
+
+namespace {
+
+util::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+util::Status ProfileRegistry::Validate(
+    const core::ApplicationProfile& profile) {
+  if (profile.options.window_length < 2) {
+    return util::Status::InvalidArgument("window_length must be >= 2");
+  }
+  if (!std::isfinite(profile.threshold)) {
+    return util::Status::InvalidArgument("threshold is not finite");
+  }
+  if (profile.alphabet.size() == 0 || profile.model.num_states() == 0) {
+    return util::Status::InvalidArgument("empty alphabet or model");
+  }
+  return profile.model.Validate();
+}
+
+util::Result<size_t> ProfileRegistry::LoadDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return util::Status::NotFound("cannot read profile directory " + dir +
+                                  ": " + ec.message());
+  }
+  // Deterministic load order so generation numbering is reproducible.
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".profile") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  size_t loaded = 0;
+  for (const std::filesystem::path& path : files) {
+    const std::string tenant = path.stem().string();
+    ADPROM_RETURN_IF_ERROR(ReloadFile(tenant, path.string()));
+    ++loaded;
+  }
+  if (loaded == 0) {
+    return util::Status::NotFound("no *.profile files in " + dir);
+  }
+  return loaded;
+}
+
+util::Status ProfileRegistry::Install(const std::string& tenant,
+                                      core::ApplicationProfile profile,
+                                      const std::string& version) {
+  util::Status valid = Validate(profile);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!valid.ok()) {
+    last_errors_[tenant] = valid.message();
+    return util::Status(valid.code(),
+                        tenant + ": profile rejected, previous version "
+                                 "stays live — " + valid.message());
+  }
+  const uint64_t generation = ++generations_[tenant];
+  tenants_[tenant] = std::make_shared<const ProfileHandle>(
+      tenant, version, generation, std::move(profile));
+  last_errors_.erase(tenant);
+  return util::Status::Ok();
+}
+
+util::Status ProfileRegistry::Reload(const std::string& tenant,
+                                     const std::string& text,
+                                     const std::string& version) {
+  // Parse + validate entirely outside the lock: a slow or hostile profile
+  // upload never stalls Get() on the submit path.
+  auto profile = core::ApplicationProfile::Deserialize(text);
+  if (!profile.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_errors_[tenant] = profile.status().message();
+    return util::Status(profile.status().code(),
+                        tenant + ": profile rejected, previous version "
+                                 "stays live — " +
+                            profile.status().message());
+  }
+  return Install(tenant, std::move(profile).value(), version);
+}
+
+util::Status ProfileRegistry::ReloadFile(const std::string& tenant,
+                                         const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_errors_[tenant] = text.status().message();
+    return text.status();
+  }
+  return Reload(tenant, *text, path);
+}
+
+std::shared_ptr<const ProfileHandle> ProfileRegistry::Get(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+bool ProfileRegistry::Remove(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.erase(tenant) > 0;
+}
+
+uint64_t ProfileRegistry::Generation(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second->generation();
+}
+
+std::string ProfileRegistry::last_error(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_errors_.find(tenant);
+  return it == last_errors_.end() ? std::string() : it->second;
+}
+
+std::vector<std::string> ProfileRegistry::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, handle] : tenants_) out.push_back(tenant);
+  return out;
+}
+
+size_t ProfileRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace adprom::service

@@ -15,6 +15,10 @@ SessionManager::SessionManager(const core::ApplicationProfile* profile,
   options_.batch_size = std::max<size_t>(1, options_.batch_size);
 }
 
+SessionManager::SessionManager(AlertSink* sink, util::ThreadPool* pool,
+                               SessionManagerOptions options)
+    : SessionManager(nullptr, sink, pool, options) {}
+
 SessionManager::~SessionManager() {
   CloseAll();
   // Close waits only for worker_scheduled to clear; the task that cleared
@@ -24,30 +28,88 @@ SessionManager::~SessionManager() {
   drain_cv_.wait(lock, [&] { return inflight_workers_.load() == 0; });
 }
 
-std::shared_ptr<SessionManager::Session> SessionManager::GetOrCreate(
-    const std::string& session_id) {
+util::Result<std::shared_ptr<SessionManager::Session>>
+SessionManager::GetOrCreate(const std::string& session_id,
+                            const SessionBinding* binding) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session_id);
   if (it != sessions_.end()) return it->second;
-  auto session = std::make_shared<Session>(profile_);
+  std::shared_ptr<Session> session;
+  if (binding != nullptr) {
+    if (binding->profile == nullptr) {
+      return util::Status::InvalidArgument(
+          "session binding has no profile handle: " + session_id);
+    }
+    session = std::make_shared<Session>(binding->profile);
+    session->display_id =
+        binding->display_id.empty() ? session_id : binding->display_id;
+    session->tenant = binding->tenant;
+    session->stats.profile_generation = session->profile->generation();
+    if (session->tenant != nullptr) {
+      session->tenant->sessions_opened.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
+  } else {
+    if (profile_ == nullptr) {
+      return util::Status::FailedPrecondition(
+          "manager has no default profile; session " + session_id +
+          " needs a SessionBinding");
+    }
+    session = std::make_shared<Session>(profile_);
+    session->display_id = session_id;
+  }
   session->last_activity = std::chrono::steady_clock::now();
   sessions_[session_id] = session;
   return session;
 }
 
-void SessionManager::ScheduleLocked(const std::shared_ptr<Session>& session,
-                                    const std::string& session_id) {
+void SessionManager::ScheduleLocked(
+    const std::shared_ptr<Session>& session) {
   session->worker_scheduled = true;
   inflight_workers_.fetch_add(1);  // paired with the RunWorker tail
   if (pool_ != nullptr) {
-    pool_->Submit(
-        [this, session, session_id] { RunWorker(session, session_id); });
+    pool_->Submit([this, session] { RunWorker(session); });
+  }
+}
+
+void SessionManager::DropOldestLocked(Session* session) {
+  session->queue.pop_front();
+  ++session->stats.dropped_events;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  if (session->tenant != nullptr) {
+    session->tenant->dropped.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 util::Status SessionManager::Submit(const std::string& session_id,
                                     runtime::CallEvent event) {
-  std::shared_ptr<Session> session = GetOrCreate(session_id);
+  return SubmitSpan(session_id, nullptr,
+                    std::span<const runtime::CallEvent>(&event, 1));
+}
+
+util::Status SessionManager::Submit(const std::string& session_id,
+                                    const SessionBinding& binding,
+                                    runtime::CallEvent event) {
+  return SubmitSpan(session_id, &binding,
+                    std::span<const runtime::CallEvent>(&event, 1));
+}
+
+util::Status SessionManager::SubmitBatch(
+    const std::string& session_id, const SessionBinding& binding,
+    std::span<const runtime::CallEvent> events) {
+  return SubmitSpan(session_id, &binding, events);
+}
+
+util::Status SessionManager::SubmitSpan(
+    const std::string& session_id, const SessionBinding* binding,
+    std::span<const runtime::CallEvent> events) {
+  if (events.empty()) return util::Status::Ok();
+  const bool timed = options_.record_submit_latency;
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
+  ADPROM_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                          GetOrCreate(session_id, binding));
   bool run_inline = false;
   {
     std::unique_lock<std::mutex> lock(session->mu);
@@ -55,38 +117,56 @@ util::Status SessionManager::Submit(const std::string& session_id,
       return util::Status::FailedPrecondition("session closed: " +
                                               session_id);
     }
-    if (session->queue.size() >= options_.queue_capacity) {
-      if (options_.overflow ==
-          SessionManagerOptions::OverflowPolicy::kBlock) {
-        session->space_cv.wait(lock, [&] {
-          return session->queue.size() < options_.queue_capacity ||
-                 session->closed;
-        });
-        if (session->closed) {
-          return util::Status::FailedPrecondition("session closed: " +
-                                                  session_id);
+    for (const runtime::CallEvent& event : events) {
+      if (session->queue.size() >= options_.queue_capacity) {
+        if (options_.overflow ==
+            SessionManagerOptions::OverflowPolicy::kBlock) {
+          session->space_cv.wait(lock, [&] {
+            return session->queue.size() < options_.queue_capacity ||
+                   session->closed;
+          });
+          if (session->closed) {
+            return util::Status::FailedPrecondition("session closed: " +
+                                                    session_id);
+          }
+        } else {
+          DropOldestLocked(session.get());
         }
-      } else {
-        session->queue.pop_front();
-        ++session->stats.dropped_events;
-        total_dropped_.fetch_add(1, std::memory_order_relaxed);
       }
+      session->queue.push_back(std::move(event));
+      ++session->stats.events_accepted;
+      queue_depth_.fetch_add(1, std::memory_order_relaxed);
     }
-    session->queue.push_back(std::move(event));
-    ++session->stats.events_accepted;
     session->last_activity = std::chrono::steady_clock::now();
     if (!session->worker_scheduled) {
-      ScheduleLocked(session, session_id);
+      ScheduleLocked(session);
       run_inline = pool_ == nullptr;
     }
   }
+  // High-water mark of the shard-wide backlog gauge (CAS-max; relaxed is
+  // fine for an ops counter).
+  size_t depth = queue_depth_.load(std::memory_order_relaxed);
+  size_t high = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > high && !max_queue_depth_.compare_exchange_weak(
+                             high, depth, std::memory_order_relaxed)) {
+  }
+  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
+  if (session->tenant != nullptr) {
+    session->tenant->submitted.fetch_add(events.size(),
+                                         std::memory_order_relaxed);
+  }
   // Serial mode (null pool): score synchronously on the calling thread.
-  if (run_inline) RunWorker(session, session_id);
+  if (run_inline) RunWorker(session);
+  if (timed) {
+    submit_latency_.RecordNanos(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
   return util::Status::Ok();
 }
 
-void SessionManager::RunWorker(const std::shared_ptr<Session>& session,
-                               const std::string& session_id) {
+void SessionManager::RunWorker(const std::shared_ptr<Session>& session) {
   // Invariant: at most one RunWorker per session is in flight
   // (worker_scheduled gates scheduling), so the StreamingMonitor is
   // accessed race-free without holding the session mutex while scoring.
@@ -106,6 +186,7 @@ void SessionManager::RunWorker(const std::shared_ptr<Session>& session,
         break;
       }
     }
+    queue_depth_.fetch_sub(batch.size(), std::memory_order_relaxed);
     session->space_cv.notify_all();
     // Micro-batch: every window these events complete is scored in one
     // vectorized pass. The batch is exactly what was already queued — the
@@ -113,16 +194,31 @@ void SessionManager::RunWorker(const std::shared_ptr<Session>& session,
     // delay beyond queue latency.
     std::vector<core::Detection> verdicts =
         session->monitor.OnEvents(std::span<runtime::CallEvent>(batch));
+    scored_.fetch_add(batch.size(), std::memory_order_relaxed);
+    if (session->tenant != nullptr) {
+      session->tenant->scored.fetch_add(batch.size(),
+                                        std::memory_order_relaxed);
+    }
     if (!verdicts.empty()) {
+      size_t alarm_count = 0;
+      for (const core::Detection& verdict : verdicts) {
+        if (verdict.IsAlarm()) ++alarm_count;
+      }
       {
         std::lock_guard<std::mutex> lock(session->mu);
         session->stats.verdicts += verdicts.size();
-        for (const core::Detection& verdict : verdicts) {
-          if (verdict.IsAlarm()) ++session->stats.alarms;
-        }
+        session->stats.alarms += alarm_count;
       }
       for (const core::Detection& verdict : verdicts) {
-        sink_->OnDetection(session_id, verdict);
+        sink_->OnDetection(session->display_id, verdict);
+      }
+      verdicts_.fetch_add(verdicts.size(), std::memory_order_relaxed);
+      alarms_.fetch_add(alarm_count, std::memory_order_relaxed);
+      if (session->tenant != nullptr) {
+        session->tenant->verdicts.fetch_add(verdicts.size(),
+                                            std::memory_order_relaxed);
+        session->tenant->alarms.fetch_add(alarm_count,
+                                          std::memory_order_relaxed);
       }
     }
   }
@@ -165,10 +261,24 @@ util::Status SessionManager::CloseSession(const std::string& session_id) {
       ++session->stats.verdicts;
       if (last->IsAlarm()) ++session->stats.alarms;
     }
+    session->stats.events_scored = session->monitor.events_seen();
     stats = session->stats;
   }
-  if (last.has_value()) sink_->OnDetection(session_id, *last);
-  sink_->OnSessionClosed(session_id, stats);
+  if (last.has_value()) {
+    verdicts_.fetch_add(1, std::memory_order_relaxed);
+    if (last->IsAlarm()) alarms_.fetch_add(1, std::memory_order_relaxed);
+    if (session->tenant != nullptr) {
+      session->tenant->verdicts.fetch_add(1, std::memory_order_relaxed);
+      if (last->IsAlarm()) {
+        session->tenant->alarms.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    sink_->OnDetection(session->display_id, *last);
+  }
+  if (session->tenant != nullptr) {
+    session->tenant->sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  sink_->OnSessionClosed(session->display_id, stats);
   return util::Status::Ok();
 }
 
@@ -221,6 +331,21 @@ size_t SessionManager::EvictIdle(
 size_t SessionManager::num_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();
+}
+
+ShardMetrics SessionManager::Metrics() const {
+  ShardMetrics out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.dropped = dropped_.load(std::memory_order_relaxed);
+  out.scored = scored_.load(std::memory_order_relaxed);
+  out.verdicts = verdicts_.load(std::memory_order_relaxed);
+  out.alarms = alarms_.load(std::memory_order_relaxed);
+  out.live_sessions = num_sessions();
+  out.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  out.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  out.submit_p50_us = submit_latency_.QuantileUs(0.5);
+  out.submit_p99_us = submit_latency_.QuantileUs(0.99);
+  return out;
 }
 
 }  // namespace adprom::service

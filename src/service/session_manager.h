@@ -8,12 +8,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/profile.h"
 #include "runtime/call_event.h"
 #include "service/alert_sink.h"
+#include "service/metrics.h"
+#include "service/profile_registry.h"
 #include "service/streaming_monitor.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -36,6 +39,25 @@ struct SessionManagerOptions {
   /// whatever is queued, up to this many events, scores as one vectorized
   /// block.
   size_t batch_size = 64;
+  /// Record per-submit latency into the shard histogram (two steady_clock
+  /// reads per event, ~100 ns). On by default; benches that measure
+  /// latency externally can turn it off.
+  bool record_submit_latency = true;
+};
+
+/// What a session is bound to when it is created: which profile handle it
+/// scores against (pinned for the session's whole life, so every verdict
+/// is attributable to exactly one generation even across hot reloads),
+/// what id the AlertSink sees, and which tenant's counters it bumps.
+struct SessionBinding {
+  /// Required for the binding Submit overload. The handle's engine is
+  /// shared by every session bound to it.
+  std::shared_ptr<const ProfileHandle> profile;
+  /// What the sink sees for this session; empty = the session key itself.
+  std::string display_id;
+  /// Optional accounting hook (owned by the caller, must outlive the
+  /// session).
+  TenantCounters* tenant = nullptr;
 };
 
 /// Multiplexes many concurrent monitored sessions over one thread pool.
@@ -45,6 +67,15 @@ struct SessionManagerOptions {
 /// queue on the pool and pushes verdicts to the AlertSink. With a null
 /// pool every Submit scores inline on the calling thread.
 ///
+/// Two construction modes:
+///  - the legacy single-profile constructor: every session compiles its
+///    own DetectionEngine from the shared profile (PR-4 behaviour,
+///    preserved as the baseline the fleet bench compares against);
+///  - the binding mode (profile-less constructor + the SessionBinding
+///    Submit overloads): each session pins a shared ProfileHandle at
+///    creation — different sessions may serve different tenants, and the
+///    per-profile engine compilation is paid once, not per session.
+///
 /// Determinism: the verdict sequence each session's sink observes is
 /// bit-identical to DetectionEngine::MonitorTrace over that session's
 /// event sequence, for ANY pool size — only the interleaving *across*
@@ -53,9 +84,14 @@ struct SessionManagerOptions {
 /// for bounded memory; the dropped_events stat makes the loss explicit.)
 class SessionManager {
  public:
-  /// `profile`, `sink`, and `pool` must outlive the manager.
+  /// Legacy mode: every session scores against `profile` with its own
+  /// engine. `profile`, `sink`, and `pool` must outlive the manager.
   SessionManager(const core::ApplicationProfile* profile, AlertSink* sink,
                  util::ThreadPool* pool,
+                 SessionManagerOptions options = SessionManagerOptions());
+  /// Binding mode: sessions carry their profile via the SessionBinding
+  /// Submit overloads; the profile-less Submit fails.
+  SessionManager(AlertSink* sink, util::ThreadPool* pool,
                  SessionManagerOptions options = SessionManagerOptions());
   /// Closes every live session (flushing short-session verdicts).
   ~SessionManager();
@@ -63,11 +99,28 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Routes one event to `session_id`, creating the session on first use.
+  /// Routes one event to `session_id`, creating the session on first use
+  /// (legacy-profile sessions only; FailedPrecondition without one).
   /// Fails with FailedPrecondition if the session is concurrently being
   /// closed. May block (kBlock policy) when the session queue is full.
   util::Status Submit(const std::string& session_id,
                       runtime::CallEvent event);
+
+  /// Routes one event to `session_id`, creating the session bound to
+  /// `binding` on first use (later submits may pass any binding with the
+  /// same profile — the session keeps its creation-time pin).
+  util::Status Submit(const std::string& session_id,
+                      const SessionBinding& binding,
+                      runtime::CallEvent event);
+
+  /// Burst submit: enqueues the whole span (consumed by move) under one
+  /// lock acquisition and at most one worker scheduling — the framed
+  /// wire protocol and the fleet bench feed bursts, and per-event lock +
+  /// schedule round-trips would dominate at 10k sessions. Overflow is
+  /// handled per event, exactly as the per-event Submit would.
+  util::Status SubmitBatch(const std::string& session_id,
+                           const SessionBinding& binding,
+                           std::span<const runtime::CallEvent> events);
 
   /// Drains the session's queue, emits the short-session verdict (if any)
   /// and the final stats to the sink, and removes the session. NotFound
@@ -87,12 +140,28 @@ class SessionManager {
   size_t num_sessions() const;
   /// Total events dropped by the kDropOldest policy across all sessions,
   /// including closed ones.
-  size_t total_dropped() const { return total_dropped_.load(); }
+  size_t total_dropped() const { return dropped_.load(); }
+
+  /// Point-in-time ops counters for this shard. Counter totals include
+  /// closed sessions; queue_depth is the live backlog right now.
+  ShardMetrics Metrics() const;
 
  private:
   struct Session {
+    /// Legacy: private engine compiled from the shared profile.
     explicit Session(const core::ApplicationProfile* profile)
         : monitor(profile) {}
+    /// Binding: engine shared through the pinned handle.
+    explicit Session(std::shared_ptr<const ProfileHandle> handle)
+        : profile(std::move(handle)),
+          tenant(nullptr),
+          monitor(&profile->profile(), &profile->engine()) {}
+
+    /// Pinned at creation; null for legacy-profile sessions.
+    std::shared_ptr<const ProfileHandle> profile;
+    /// What the sink sees for this session (defaults to the session key).
+    std::string display_id;
+    TenantCounters* tenant = nullptr;
 
     std::mutex mu;
     std::condition_variable space_cv;  // kBlock producers wait for room
@@ -107,12 +176,17 @@ class SessionManager {
     StreamingMonitor monitor;
   };
 
-  std::shared_ptr<Session> GetOrCreate(const std::string& session_id);
-  void ScheduleLocked(const std::shared_ptr<Session>& session,
-                      const std::string& session_id);
+  util::Result<std::shared_ptr<Session>> GetOrCreate(
+      const std::string& session_id, const SessionBinding* binding);
+  void ScheduleLocked(const std::shared_ptr<Session>& session);
   /// The per-session scoring task: drains the queue in batches.
-  void RunWorker(const std::shared_ptr<Session>& session,
-                 const std::string& session_id);
+  void RunWorker(const std::shared_ptr<Session>& session);
+  util::Status SubmitSpan(const std::string& session_id,
+                          const SessionBinding* binding,
+                          std::span<const runtime::CallEvent> events);
+  /// Pops the oldest queued event (kDropOldest) and counts it everywhere
+  /// it must be counted. Caller holds session->mu.
+  void DropOldestLocked(Session* session);
 
   const core::ApplicationProfile* profile_;
   AlertSink* sink_;
@@ -122,7 +196,17 @@ class SessionManager {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   std::condition_variable drain_cv_;
-  std::atomic<size_t> total_dropped_{0};
+
+  // Shard-level ops counters (see ShardMetrics).
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> scored_{0};
+  std::atomic<uint64_t> verdicts_{0};
+  std::atomic<uint64_t> alarms_{0};
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> max_queue_depth_{0};
+  LatencyHistogram submit_latency_;
+
   /// Scoring tasks whose tail has not finished touching this manager yet.
   /// Close only waits for worker_scheduled to clear, which happens before
   /// the task's final drain notification — so the destructor must wait on

@@ -6,11 +6,22 @@ namespace adprom::service {
 
 StreamingMonitor::StreamingMonitor(const core::ApplicationProfile* profile)
     : profile_(profile),
-      engine_(profile),
+      owned_engine_(std::make_unique<core::DetectionEngine>(profile)),
+      engine_(owned_engine_.get()),
       window_length_(profile->options.window_length) {
   events_.reserve(2 * window_length_);
   symbols_.reserve(2 * window_length_);
-  engine_.ReserveWorkspace(&workspace_);
+  engine_->ReserveWorkspace(&workspace_);
+}
+
+StreamingMonitor::StreamingMonitor(const core::ApplicationProfile* profile,
+                                   const core::DetectionEngine* engine)
+    : profile_(profile),
+      engine_(engine),
+      window_length_(profile->options.window_length) {
+  events_.reserve(2 * window_length_);
+  symbols_.reserve(2 * window_length_);
+  engine_->ReserveWorkspace(&workspace_);
 }
 
 void StreamingMonitor::Append(runtime::CallEvent event) {
@@ -41,9 +52,8 @@ std::optional<core::Detection> StreamingMonitor::OnEvent(
   const std::span<const runtime::CallEvent> window(events_.data() + start,
                                                    window_length_);
   const hmm::SymbolSpan seq(symbols_.data() + start, window_length_);
-  core::Detection verdict =
-      engine_.EvaluateEncoded(window, seq, windows_scored_,
-                              &workspace_.forward);
+  core::Detection verdict = engine_->EvaluateEncoded(
+      window, seq, windows_scored_, &workspace_.forward);
   ++windows_scored_;
   MaybeCompact();
   return verdict;
@@ -69,16 +79,16 @@ std::vector<core::Detection> StreamingMonitor::OnEvents(
     workspace_.spans.emplace_back(symbols_.data() + start, window_length_);
   }
   workspace_.scores.resize(num_ready);
-  engine_.ScoreWindows(workspace_.spans, &workspace_, workspace_.scores);
+  engine_->ScoreWindows(workspace_.spans, &workspace_, workspace_.scores);
 
   verdicts.reserve(num_ready);
   for (size_t i = 0; i < num_ready; ++i) {
     const size_t start = first_end + i - window_length_;
     const std::span<const runtime::CallEvent> window(events_.data() + start,
                                                      window_length_);
-    verdicts.push_back(engine_.AssembleVerdict(window, workspace_.spans[i],
-                                               windows_scored_,
-                                               workspace_.scores[i]));
+    verdicts.push_back(engine_->AssembleVerdict(
+        window, workspace_.spans[i], windows_scored_,
+        workspace_.scores[i]));
     ++windows_scored_;
   }
   MaybeCompact();
@@ -96,8 +106,8 @@ std::optional<core::Detection> StreamingMonitor::Finish() {
   const std::span<const runtime::CallEvent> window(events_.data(),
                                                    events_.size());
   const hmm::SymbolSpan seq(symbols_.data(), symbols_.size());
-  core::Detection verdict = engine_.EvaluateEncoded(window, seq, 0,
-                                                    &workspace_.forward);
+  core::Detection verdict =
+      engine_->EvaluateEncoded(window, seq, 0, &workspace_.forward);
   ++windows_scored_;
   return verdict;
 }

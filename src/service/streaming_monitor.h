@@ -1,6 +1,7 @@
 #ifndef ADPROM_SERVICE_STREAMING_MONITOR_H_
 #define ADPROM_SERVICE_STREAMING_MONITOR_H_
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -34,8 +35,18 @@ namespace adprom::service {
 /// one thread at a time (the SessionManager guarantees this).
 class StreamingMonitor {
  public:
-  /// `profile` must outlive the monitor.
+  /// `profile` must outlive the monitor. Compiles a private
+  /// DetectionEngine for this session (the original PR-4 behaviour —
+  /// fine for a handful of sessions, expensive for 10k of them).
   explicit StreamingMonitor(const core::ApplicationProfile* profile);
+
+  /// Shares a pre-compiled engine across sessions: `profile` and `engine`
+  /// (compiled against that same profile) must outlive the monitor. This
+  /// is the fleet-node path — per-session state shrinks to the sliding
+  /// buffers plus a workspace, and the CSR/triage tables stay hot in
+  /// cache instead of being duplicated per session.
+  StreamingMonitor(const core::ApplicationProfile* profile,
+                   const core::DetectionEngine* engine);
 
   /// Feeds the next event of the session. Returns the verdict of the
   /// window this event completes, or nullopt while the first window is
@@ -65,7 +76,10 @@ class StreamingMonitor {
   void MaybeCompact();
 
   const core::ApplicationProfile* profile_;
-  core::DetectionEngine engine_;
+  /// Non-null only for the single-session constructor that owns its
+  /// engine; engine_ below is what every scoring path uses.
+  std::unique_ptr<core::DetectionEngine> owned_engine_;
+  const core::DetectionEngine* engine_;
   size_t window_length_;
   /// Sliding buffers: the live window is always the contiguous tail of
   /// these vectors. When they outgrow 2n events the prefix before the live

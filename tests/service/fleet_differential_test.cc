@@ -1,0 +1,225 @@
+// Corpus-wide multi-tenant differential suite: several corpus apps are
+// installed as tenants of one FleetNode and all their recorded traces are
+// interleaved through it as concurrent sessions. For every shard count in
+// {1, 2, 8} crossed with every pool size in {0, 1, 4}, each session's
+// verdict stream must be bit-identical to single-profile
+// DetectionEngine::MonitorTrace over that session's trace — sharding and
+// scheduling may only change interleaving, never verdicts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/corpus.h"
+#include "core/adprom.h"
+#include "core/detection_engine.h"
+#include "service/alert_sink.h"
+#include "service/fleet_node.h"
+#include "service/profile_registry.h"
+#include "util/thread_pool.h"
+
+namespace adprom::service {
+namespace {
+
+using core::Detection;
+
+void ExpectSameDetections(const std::vector<Detection>& expected,
+                          const std::vector<Detection>& actual,
+                          const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const Detection& e = expected[i];
+    const Detection& a = actual[i];
+    EXPECT_EQ(e.flag, a.flag) << label << " window " << i;
+    EXPECT_EQ(e.score, a.score) << label << " window " << i;
+    EXPECT_EQ(e.window_start, a.window_start) << label << " window " << i;
+    EXPECT_EQ(e.source_tables, a.source_tables) << label << " window " << i;
+    EXPECT_EQ(e.detail, a.detail) << label << " window " << i;
+  }
+}
+
+struct Tenant {
+  std::string name;
+  core::ApplicationProfile profile;
+  std::vector<runtime::Trace> traces;
+  std::vector<std::vector<Detection>> expected;  // per trace, MonitorTrace
+};
+
+/// Four differently-shaped corpus apps (interactive clients + SIR-style
+/// tools), trained once per process with bounded iterations; the
+/// bit-identity claim is size-independent so a small slice of the corpus
+/// keeps the {shards} x {pools} sweep affordable.
+const std::vector<Tenant>& Tenants() {
+  static const std::vector<Tenant>* tenants = [] {
+    auto* out = new std::vector<Tenant>();
+    const apps::CorpusApp sources[] = {
+        apps::MakeHospitalApp(), apps::MakeBankingApp(),
+        apps::MakeGrepLike(12, 1), apps::MakeBashLike(25, 8, 4)};
+    for (const apps::CorpusApp& app : sources) {
+      auto program = prog::ParseProgram(app.source);
+      EXPECT_TRUE(program.ok()) << app.name;
+      core::ProfileOptions options;
+      options.max_training_windows = 200;
+      options.train.max_iterations = 5;
+      auto system = core::AdProm::Train(*program, app.db_factory,
+                                        app.test_cases, options);
+      EXPECT_TRUE(system.ok())
+          << app.name << ": " << system.status().ToString();
+      if (!system.ok()) continue;
+      Tenant tenant;
+      tenant.name = app.name;
+      tenant.profile = system->profile();
+      tenant.traces = system->training_traces();
+      const core::DetectionEngine engine(&tenant.profile);
+      for (const runtime::Trace& trace : tenant.traces) {
+        tenant.expected.push_back(engine.MonitorTrace(trace));
+      }
+      out->push_back(std::move(tenant));
+    }
+    return out;
+  }();
+  return *tenants;
+}
+
+class FleetDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(FleetDifferentialTest, VerdictsMatchMonitorTraceBitForBit) {
+  const size_t shards = std::get<0>(GetParam());
+  const size_t workers = std::get<1>(GetParam());
+  const std::vector<Tenant>& tenants = Tenants();
+  ASSERT_FALSE(tenants.empty());
+
+  ProfileRegistry registry;
+  for (const Tenant& tenant : tenants) {
+    ASSERT_TRUE(registry.Install(tenant.name, tenant.profile).ok());
+  }
+  std::optional<util::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  CollectingAlertSink sink;
+  FleetOptions options;
+  options.num_shards = shards;
+  FleetNode fleet(&registry, &sink, pool.has_value() ? &*pool : nullptr,
+                  options);
+  ASSERT_EQ(fleet.num_shards(), shards);
+
+  // Interleave every tenant's every trace round-robin so sessions of all
+  // tenants are concurrently live on all shards.
+  size_t remaining = 0;
+  for (const Tenant& tenant : tenants) {
+    for (const runtime::Trace& trace : tenant.traces) {
+      remaining += trace.size();
+    }
+  }
+  for (size_t offset = 0; remaining > 0; ++offset) {
+    for (const Tenant& tenant : tenants) {
+      for (size_t i = 0; i < tenant.traces.size(); ++i) {
+        if (offset >= tenant.traces[i].size()) continue;
+        ASSERT_TRUE(fleet
+                        .Submit(tenant.name, "t" + std::to_string(i),
+                                tenant.traces[i][offset])
+                        .ok());
+        --remaining;
+      }
+    }
+  }
+  fleet.CloseAll();
+
+  for (const Tenant& tenant : tenants) {
+    for (size_t i = 0; i < tenant.traces.size(); ++i) {
+      const std::string id = tenant.name + "/t" + std::to_string(i);
+      const std::string label =
+          id + " shards=" + std::to_string(shards) +
+          " workers=" + std::to_string(workers);
+      ExpectSameDetections(tenant.expected[i], sink.DetectionsFor(id),
+                           label);
+      const SessionStats stats = sink.StatsFor(id);
+      EXPECT_EQ(stats.events_accepted, tenant.traces[i].size()) << label;
+      EXPECT_EQ(stats.events_scored, tenant.traces[i].size()) << label;
+      EXPECT_EQ(stats.dropped_events, 0u) << label;
+      EXPECT_EQ(stats.verdicts, tenant.expected[i].size()) << label;
+      EXPECT_EQ(stats.profile_generation, 1u) << label;
+    }
+  }
+  EXPECT_EQ(fleet.total_dropped(), 0u);
+
+  // Per-tenant accounting reconciles with what the sink observed.
+  const FleetMetrics metrics = fleet.Metrics();
+  ASSERT_EQ(metrics.shards.size(), shards);
+  uint64_t shard_submitted = 0;
+  for (const ShardMetrics& shard : metrics.shards) {
+    shard_submitted += shard.submitted;
+    EXPECT_EQ(shard.submitted, shard.scored);
+    EXPECT_EQ(shard.dropped, 0u);
+    EXPECT_EQ(shard.queue_depth, 0u);
+  }
+  uint64_t tenant_submitted = 0;
+  for (const TenantMetrics& tenant : metrics.tenants) {
+    tenant_submitted += tenant.submitted;
+    EXPECT_EQ(tenant.submitted, tenant.scored) << tenant.tenant;
+    EXPECT_EQ(tenant.sessions_opened, tenant.sessions_closed)
+        << tenant.tenant;
+  }
+  EXPECT_EQ(shard_submitted, tenant_submitted);
+}
+
+TEST(FleetNodeTest, ShardingIsStableAndCoversAllShards) {
+  ProfileRegistry registry;
+  const std::vector<Tenant>& tenants = Tenants();
+  ASSERT_FALSE(tenants.empty());
+  ASSERT_TRUE(registry.Install("app", tenants[0].profile).ok());
+  CollectingAlertSink sink;
+  FleetOptions options;
+  options.num_shards = 8;
+  FleetNode fleet(&registry, &sink, nullptr, options);
+
+  std::set<size_t> hit;
+  for (int i = 0; i < 256; ++i) {
+    const std::string session = "session-" + std::to_string(i);
+    const size_t shard = fleet.ShardIndex("app", session);
+    EXPECT_LT(shard, 8u);
+    EXPECT_EQ(shard, fleet.ShardIndex("app", session));  // stable
+    hit.insert(shard);
+  }
+  EXPECT_EQ(hit.size(), 8u) << "256 sessions must cover all 8 shards";
+}
+
+TEST(FleetNodeTest, UnknownTenantFailsClosed) {
+  ProfileRegistry registry;
+  const std::vector<Tenant>& tenants = Tenants();
+  ASSERT_FALSE(tenants.empty());
+  ASSERT_TRUE(registry.Install("known", tenants[0].profile).ok());
+  CollectingAlertSink sink;
+  FleetNode fleet(&registry, &sink, nullptr);
+
+  runtime::CallEvent event;
+  event.callee = "print";
+  const util::Status status = fleet.Submit("ghost", "s1", event);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+  EXPECT_NE(status.ToString().find("ghost"), std::string::npos);
+  // Nothing was scored, opened, or attributed anywhere.
+  EXPECT_EQ(fleet.num_sessions(), 0u);
+
+  // Removing a tenant stops new events the same way.
+  ASSERT_TRUE(fleet.Submit("known", "s1", event).ok());
+  registry.Remove("known");
+  EXPECT_FALSE(fleet.Submit("known", "s1", event).ok());
+  fleet.CloseAll();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByPools, FleetDifferentialTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 8),
+                       ::testing::Values<size_t>(0, 1, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
+      return "Shards" + std::to_string(std::get<0>(info.param)) + "Pool" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace adprom::service

@@ -1,0 +1,172 @@
+// Hot-reload race test (runs under TSan in CI): one thread hammers
+// ProfileRegistry::Reload, flipping the tenant's profile between two
+// versions with opposite thresholds, while producer threads open, feed,
+// and close sessions on every shard. TSan checks for torn reads on the
+// handle swap; the assertions check attribution — every session reports
+// exactly one profile generation, and its verdicts match that
+// generation's threshold exactly (never a mix of old and new behaviour).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/profile.h"
+#include "hmm/hmm_model.h"
+#include "service/alert_sink.h"
+#include "service/fleet_node.h"
+#include "service/profile_registry.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace adprom::service {
+namespace {
+
+/// Window-3 profile over {print, scan}. The two deployed versions differ
+/// only in threshold sign: -1000 never alarms, +1000 always alarms (the
+/// tiny model's window log-likelihoods are a few nats below zero), so a
+/// session's alarm pattern reveals which version actually scored it.
+core::ApplicationProfile VersionedProfile(double threshold) {
+  core::ApplicationProfile profile;
+  profile.options.window_length = 3;
+  profile.options.use_dd_labels = false;
+  profile.alphabet.Intern("print");
+  profile.alphabet.Intern("scan");
+  profile.context_pairs = {{"main", "print"}, {"main", "scan"}};
+  profile.model = hmm::HmmModel(
+      util::Matrix::FromRows({{0.75, 0.25}, {0.5, 0.5}}),
+      util::Matrix::FromRows({{0.25, 0.5, 0.25}, {0.5, 0.25, 0.25}}),
+      {0.5, 0.5});
+  profile.threshold = threshold;
+  return profile;
+}
+
+runtime::CallEvent Event(int i) {
+  runtime::CallEvent event;
+  event.callee = (i % 2 == 0) ? "print" : "scan";
+  event.caller = "main";
+  event.block_id = i;
+  event.call_site_id = i;
+  return event;
+}
+
+TEST(FleetReloadRaceTest, EveryVerdictAttributableToOneGeneration) {
+  // Generation numbering: the initial install is generation 1 with
+  // threshold -1000; each successful reload alternates the sign, so odd
+  // generations never alarm and even generations always do.
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Install("app", VersionedProfile(-1000.0), "g1").ok());
+
+  util::ThreadPool pool(2);
+  CollectingAlertSink sink;
+  FleetOptions options;
+  options.num_shards = 4;
+  FleetNode fleet(&registry, &sink, &pool, options);
+
+  constexpr int kProducers = 3;
+  constexpr int kSessionsPerProducer = 40;
+  constexpr int kEventsPerSession = 6;  // two full windows past warmup
+
+  std::atomic<bool> stop{false};
+  std::thread reloader([&] {
+    uint64_t flips = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Odd installs were negative, so the next (even) one is positive.
+      const double threshold = (flips % 2 == 0) ? 1000.0 : -1000.0;
+      ASSERT_TRUE(registry
+                      .Reload("app",
+                              VersionedProfile(threshold).Serialize(),
+                              "flip-" + std::to_string(flips))
+                      .ok());
+      ++flips;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&fleet, p] {
+      for (int s = 0; s < kSessionsPerProducer; ++s) {
+        const std::string session =
+            "p" + std::to_string(p) + "-s" + std::to_string(s);
+        for (int e = 0; e < kEventsPerSession; ++e) {
+          ASSERT_TRUE(fleet.Submit("app", session, Event(e)).ok());
+        }
+        ASSERT_TRUE(fleet.CloseSession("app", session).ok());
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  stop.store(true);
+  reloader.join();
+  fleet.CloseAll();
+
+  const uint64_t final_generation = registry.Generation("app");
+  ASSERT_GE(final_generation, 1u);
+  size_t sessions_checked = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int s = 0; s < kSessionsPerProducer; ++s) {
+      const std::string id = "app/p" + std::to_string(p) + "-s" +
+                             std::to_string(s);
+      const SessionStats stats = sink.StatsFor(id);
+      ASSERT_EQ(stats.events_accepted,
+                static_cast<size_t>(kEventsPerSession))
+          << id;
+      EXPECT_EQ(stats.events_scored,
+                static_cast<size_t>(kEventsPerSession))
+          << id;
+      // 6 events, window 3 -> exactly 4 verdicts, whichever version.
+      ASSERT_EQ(stats.verdicts, 4u) << id;
+      // The pinned generation is a real one...
+      ASSERT_GE(stats.profile_generation, 1u) << id;
+      ASSERT_LE(stats.profile_generation, final_generation) << id;
+      // ...and ALL the session's verdicts obey that generation's
+      // threshold: a torn or mid-session swap would mix alarm patterns.
+      if (stats.profile_generation % 2 == 1) {
+        EXPECT_EQ(stats.alarms, 0u)
+            << id << " generation " << stats.profile_generation;
+      } else {
+        EXPECT_EQ(stats.alarms, stats.verdicts)
+            << id << " generation " << stats.profile_generation;
+      }
+      for (const core::Detection& verdict : sink.DetectionsFor(id)) {
+        EXPECT_EQ(verdict.IsAlarm(), stats.profile_generation % 2 == 0)
+            << id;
+      }
+      ++sessions_checked;
+    }
+  }
+  EXPECT_EQ(sessions_checked,
+            static_cast<size_t>(kProducers * kSessionsPerProducer));
+  EXPECT_EQ(fleet.total_dropped(), 0u);
+}
+
+TEST(FleetReloadRaceTest, PinnedHandleOutlivesRemoveDuringScoring) {
+  // Remove the tenant while its sessions still hold the handle: scoring
+  // in flight keeps working (the shared_ptr pins profile + engine), only
+  // NEW submits fail closed.
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Install("app", VersionedProfile(-1000.0)).ok());
+  util::ThreadPool pool(2);
+  CollectingAlertSink sink;
+  FleetNode fleet(&registry, &sink, &pool);
+
+  for (int e = 0; e < 4; ++e) {
+    ASSERT_TRUE(fleet.Submit("app", "s", Event(e)).ok());
+  }
+  registry.Remove("app");
+  EXPECT_FALSE(fleet.Submit("app", "s", Event(4)).ok());
+  ASSERT_TRUE(fleet.CloseSession("app", "s").ok());
+
+  const SessionStats stats = sink.StatsFor("app/s");
+  EXPECT_EQ(stats.events_accepted, 4u);
+  EXPECT_EQ(stats.events_scored, 4u);
+  EXPECT_EQ(stats.verdicts, 2u);  // windows 0 and 1
+  EXPECT_EQ(stats.profile_generation, 1u);
+}
+
+}  // namespace
+}  // namespace adprom::service

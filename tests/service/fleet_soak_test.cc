@@ -1,0 +1,250 @@
+// Soak/stress battery for the fleet node: multiple producer threads push
+// bursty traffic for 512+ sessions per shard under the lossy kDropOldest
+// policy, and afterwards the books must balance exactly — per session
+// accepted == scored + dropped, and the shard/tenant metrics must
+// reconcile with what the sink observed. Drops are forced (bursts larger
+// than the queue capacity are enqueued under one lock hold), so the lossy
+// path is genuinely exercised, not just possible.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/profile.h"
+#include "hmm/hmm_model.h"
+#include "service/alert_sink.h"
+#include "service/fleet_node.h"
+#include "service/profile_registry.h"
+#include "util/matrix.h"
+#include "util/thread_pool.h"
+
+namespace adprom::service {
+namespace {
+
+core::ApplicationProfile TinyProfile() {
+  core::ApplicationProfile profile;
+  profile.options.window_length = 3;
+  profile.options.use_dd_labels = false;
+  profile.alphabet.Intern("print");
+  profile.alphabet.Intern("scan");
+  profile.context_pairs = {{"main", "print"}, {"main", "scan"}};
+  profile.model = hmm::HmmModel(
+      util::Matrix::FromRows({{0.75, 0.25}, {0.5, 0.5}}),
+      util::Matrix::FromRows({{0.25, 0.5, 0.25}, {0.5, 0.25, 0.25}}),
+      {0.5, 0.5});
+  profile.threshold = -1000.0;
+  return profile;
+}
+
+runtime::CallEvent Event(int i) {
+  runtime::CallEvent event;
+  event.callee = (i % 2 == 0) ? "print" : "scan";
+  event.caller = "main";
+  event.block_id = i;
+  return event;
+}
+
+TEST(FleetSoakTest, DropOldestAccountingIsExact) {
+  ProfileRegistry registry;
+  const char* kTenants[] = {"alpha", "beta", "gamma"};
+  for (const char* tenant : kTenants) {
+    ASSERT_TRUE(registry.Install(tenant, TinyProfile()).ok());
+  }
+
+  constexpr size_t kShards = 2;
+  constexpr int kProducers = 4;
+  constexpr int kSessionsPerProducer = 300;  // 1200 total, ~600/shard
+  constexpr int kBurst = 10;
+  constexpr size_t kQueueCapacity = 4;
+
+  util::ThreadPool pool(2);
+  CollectingAlertSink sink;
+  FleetOptions options;
+  options.num_shards = kShards;
+  options.session.queue_capacity = kQueueCapacity;
+  options.session.overflow =
+      SessionManagerOptions::OverflowPolicy::kDropOldest;
+  options.session.batch_size = 8;
+  FleetNode fleet(&registry, &sink, &pool, options);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&fleet, &kTenants, p] {
+      for (int s = 0; s < kSessionsPerProducer; ++s) {
+        const std::string tenant = kTenants[(p + s) % 3];
+        const std::string session =
+            "p" + std::to_string(p) + "-s" + std::to_string(s);
+        // One burst enqueued under a single lock hold: with 10 events
+        // against a 4-deep queue at least 6 MUST drop, no matter how the
+        // scheduler interleaves the scoring worker.
+        std::vector<runtime::CallEvent> burst;
+        burst.reserve(kBurst);
+        for (int e = 0; e < kBurst; ++e) burst.push_back(Event(e));
+        ASSERT_TRUE(fleet
+                        .SubmitBatch(tenant, session,
+                                     std::span<runtime::CallEvent>(burst))
+                        .ok());
+        // A few trailing single submits so the lossless path runs too.
+        for (int e = 0; e < 3; ++e) {
+          ASSERT_TRUE(
+              fleet.Submit(tenant, session, Event(kBurst + e)).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  fleet.Drain();
+
+  // Snapshot metrics BEFORE closing: live_sessions and per-session queues
+  // are still meaningful, and closing must not change the counters'
+  // reconciliation below.
+  const size_t total_sessions =
+      static_cast<size_t>(kProducers) * kSessionsPerProducer;
+  EXPECT_EQ(fleet.num_sessions(), total_sessions);
+  fleet.CloseAll();
+
+  const FleetMetrics metrics = fleet.Metrics();
+  ASSERT_EQ(metrics.shards.size(), kShards);
+
+  // Per-session books from the sink: accepted == scored + dropped,
+  // exactly, for every single session.
+  const size_t submitted_per_session = kBurst + 3;
+  size_t sink_accepted = 0;
+  size_t sink_scored = 0;
+  size_t sink_dropped = 0;
+  size_t sink_verdicts = 0;
+  size_t sink_alarms = 0;
+  size_t detections_seen = 0;
+  std::map<std::string, size_t> tenant_dropped;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int s = 0; s < kSessionsPerProducer; ++s) {
+      const std::string tenant = kTenants[(p + s) % 3];
+      const std::string id = tenant + "/p" + std::to_string(p) + "-s" +
+                             std::to_string(s);
+      const SessionStats stats = sink.StatsFor(id);
+      ASSERT_EQ(stats.events_accepted, submitted_per_session) << id;
+      ASSERT_EQ(stats.events_accepted,
+                stats.events_scored + stats.dropped_events)
+          << id << ": accounting must balance exactly";
+      // 10-vs-4 burst under one lock hold: at least 6 drops, and never
+      // more than the events that could have been evicted.
+      EXPECT_GE(stats.dropped_events, 6u) << id;
+      EXPECT_LT(stats.dropped_events, submitted_per_session) << id;
+      EXPECT_EQ(sink.DetectionsFor(id).size(), stats.verdicts) << id;
+      sink_accepted += stats.events_accepted;
+      sink_scored += stats.events_scored;
+      sink_dropped += stats.dropped_events;
+      sink_verdicts += stats.verdicts;
+      sink_alarms += stats.alarms;
+      detections_seen += sink.DetectionsFor(id).size();
+      tenant_dropped[tenant] += stats.dropped_events;
+    }
+  }
+  EXPECT_EQ(sink_accepted, total_sessions * submitted_per_session);
+  EXPECT_EQ(fleet.total_dropped(), sink_dropped);
+
+  // Shard counters reconcile with the sink totals.
+  uint64_t shard_submitted = 0;
+  uint64_t shard_scored = 0;
+  uint64_t shard_dropped = 0;
+  uint64_t shard_verdicts = 0;
+  uint64_t shard_alarms = 0;
+  for (size_t i = 0; i < metrics.shards.size(); ++i) {
+    const ShardMetrics& shard = metrics.shards[i];
+    shard_submitted += shard.submitted;
+    shard_scored += shard.scored;
+    shard_dropped += shard.dropped;
+    shard_verdicts += shard.verdicts;
+    shard_alarms += shard.alarms;
+    EXPECT_EQ(shard.queue_depth, 0u) << "shard " << i << " after drain";
+    EXPECT_GT(shard.submitted, 0u)
+        << "shard " << i << ": 1200 hashed sessions must hit both shards";
+    // 512+ sessions per shard, as the soak contract demands.
+    EXPECT_GE(shard.max_queue_depth, 1u) << "shard " << i;
+  }
+  EXPECT_EQ(shard_submitted, sink_accepted);
+  EXPECT_EQ(shard_scored, sink_scored);
+  EXPECT_EQ(shard_dropped, sink_dropped);
+  EXPECT_EQ(shard_verdicts, sink_verdicts);
+  EXPECT_EQ(shard_verdicts, detections_seen);
+  EXPECT_EQ(shard_alarms, sink_alarms);
+
+  // Tenant counters reconcile too.
+  ASSERT_EQ(metrics.tenants.size(), 3u);
+  uint64_t tenant_submitted = 0;
+  for (const TenantMetrics& tenant : metrics.tenants) {
+    tenant_submitted += tenant.submitted;
+    EXPECT_EQ(tenant.submitted, tenant.scored + tenant.dropped)
+        << tenant.tenant;
+    EXPECT_EQ(tenant.dropped, tenant_dropped[tenant.tenant])
+        << tenant.tenant;
+    EXPECT_EQ(tenant.sessions_opened, tenant.sessions_closed)
+        << tenant.tenant;
+    EXPECT_EQ(tenant.generation, 1u) << tenant.tenant;
+  }
+  EXPECT_EQ(tenant_submitted, sink_accepted);
+
+  // Sessions per shard: both shards carried 512+ of the 1200 sessions.
+  uint64_t opened = 0;
+  for (const TenantMetrics& tenant : metrics.tenants) {
+    opened += tenant.sessions_opened;
+  }
+  EXPECT_EQ(opened, total_sessions);
+}
+
+TEST(FleetSoakTest, BlockingPolicyLosesNothingUnderConcurrency) {
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Install("app", TinyProfile()).ok());
+
+  util::ThreadPool pool(2);
+  CollectingAlertSink sink;
+  FleetOptions options;
+  options.num_shards = 4;
+  options.session.queue_capacity = 2;  // tiny: forces real back-pressure
+  options.session.overflow = SessionManagerOptions::OverflowPolicy::kBlock;
+  FleetNode fleet(&registry, &sink, &pool, options);
+
+  constexpr int kProducers = 4;
+  constexpr int kSessions = 64;
+  constexpr int kEvents = 25;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&fleet, p] {
+      for (int s = 0; s < kSessions; ++s) {
+        const std::string session =
+            "p" + std::to_string(p) + "-s" + std::to_string(s);
+        for (int e = 0; e < kEvents; ++e) {
+          ASSERT_TRUE(fleet.Submit("app", session, Event(e)).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  fleet.CloseAll();
+
+  EXPECT_EQ(fleet.total_dropped(), 0u);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int s = 0; s < kSessions; ++s) {
+      const std::string id =
+          "app/p" + std::to_string(p) + "-s" + std::to_string(s);
+      const SessionStats stats = sink.StatsFor(id);
+      EXPECT_EQ(stats.events_accepted, static_cast<size_t>(kEvents)) << id;
+      EXPECT_EQ(stats.events_scored, static_cast<size_t>(kEvents)) << id;
+      EXPECT_EQ(stats.dropped_events, 0u) << id;
+      // 25 events, window 3 -> 23 verdicts.
+      EXPECT_EQ(stats.verdicts, static_cast<size_t>(kEvents - 2)) << id;
+    }
+  }
+  const FleetMetrics metrics = fleet.Metrics();
+  uint64_t scored = 0;
+  for (const ShardMetrics& shard : metrics.shards) scored += shard.scored;
+  EXPECT_EQ(scored, static_cast<uint64_t>(kProducers) * kSessions * kEvents);
+}
+
+}  // namespace
+}  // namespace adprom::service

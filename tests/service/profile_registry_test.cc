@@ -1,0 +1,190 @@
+// ProfileRegistry unit tests: generation minting, hot reload with
+// rollback on parse/validation failure, directory loading with
+// deterministic tenant naming, and the pin-survives-remove contract that
+// keeps live sessions attributable to exactly one profile generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/profile.h"
+#include "hmm/hmm_model.h"
+#include "service/profile_registry.h"
+#include "util/matrix.h"
+
+namespace adprom::service {
+namespace {
+
+core::ApplicationProfile TinyProfile(double threshold = -100.0) {
+  core::ApplicationProfile profile;
+  profile.options.window_length = 3;
+  profile.options.use_dd_labels = false;
+  profile.alphabet.Intern("print");
+  profile.alphabet.Intern("scan");
+  profile.model = hmm::HmmModel(
+      util::Matrix::FromRows({{0.75, 0.25}, {0.5, 0.5}}),
+      util::Matrix::FromRows({{0.25, 0.5, 0.25}, {0.5, 0.25, 0.25}}),
+      {0.5, 0.5});
+  profile.threshold = threshold;
+  return profile;
+}
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+TEST(ProfileRegistryTest, InstallMintsMonotoneGenerations) {
+  ProfileRegistry registry;
+  EXPECT_EQ(registry.Generation("app"), 0u);
+  EXPECT_EQ(registry.Get("app"), nullptr);
+
+  ASSERT_TRUE(registry.Install("app", TinyProfile(), "v1").ok());
+  auto first = registry.Get("app");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->tenant(), "app");
+  EXPECT_EQ(first->version(), "v1");
+  EXPECT_EQ(first->generation(), 1u);
+  EXPECT_EQ(registry.Generation("app"), 1u);
+
+  ASSERT_TRUE(registry.Install("app", TinyProfile(-50.0), "v2").ok());
+  auto second = registry.Get("app");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->generation(), 2u);
+  EXPECT_EQ(second->profile().threshold, -50.0);
+  // The old handle is untouched: sessions pinned to it keep scoring
+  // against the original threshold and generation.
+  EXPECT_EQ(first->generation(), 1u);
+  EXPECT_EQ(first->profile().threshold, -100.0);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ProfileRegistryTest, InstallValidatesProfiles) {
+  ProfileRegistry registry;
+  core::ApplicationProfile bad_window = TinyProfile();
+  bad_window.options.window_length = 1;
+  EXPECT_FALSE(registry.Install("app", bad_window).ok());
+
+  core::ApplicationProfile bad_threshold = TinyProfile();
+  bad_threshold.threshold = std::nan("");
+  EXPECT_FALSE(registry.Install("app", bad_threshold).ok());
+
+  // Nothing was installed by the failed attempts.
+  EXPECT_EQ(registry.Get("app"), nullptr);
+  EXPECT_EQ(registry.Generation("app"), 0u);
+}
+
+TEST(ProfileRegistryTest, ReloadRollsBackOnFailure) {
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Reload("app", TinyProfile().Serialize(), "v1").ok());
+  auto live = registry.Get("app");
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->generation(), 1u);
+  EXPECT_TRUE(registry.last_error("app").empty());
+
+  // A corrupt upload must not disturb the serving version and must not
+  // mint a generation; the diagnostic is remembered for the operator.
+  const util::Status bad = registry.Reload("app", "not a profile", "v2");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("previous version stays live"),
+            std::string::npos)
+      << bad.ToString();
+  EXPECT_EQ(registry.Get("app"), live);
+  EXPECT_EQ(registry.Generation("app"), 1u);
+  EXPECT_FALSE(registry.last_error("app").empty());
+
+  // An invalid-but-parseable upload rolls back the same way.
+  core::ApplicationProfile invalid = TinyProfile();
+  invalid.options.window_length = 0;
+  EXPECT_FALSE(registry.Reload("app", invalid.Serialize(), "v3").ok());
+  EXPECT_EQ(registry.Get("app"), live);
+  EXPECT_EQ(registry.Generation("app"), 1u);
+
+  // The next good reload clears the error and mints generation 2.
+  ASSERT_TRUE(registry.Reload("app", TinyProfile(-5.0).Serialize(),
+                              "v4").ok());
+  EXPECT_EQ(registry.Generation("app"), 2u);
+  EXPECT_TRUE(registry.last_error("app").empty());
+}
+
+TEST(ProfileRegistryTest, RemoveKeepsGenerationsMonotone) {
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Install("app", TinyProfile()).ok());
+  ASSERT_TRUE(registry.Install("app", TinyProfile()).ok());
+  EXPECT_EQ(registry.Generation("app"), 2u);
+
+  EXPECT_TRUE(registry.Remove("app"));
+  EXPECT_FALSE(registry.Remove("app"));  // already gone
+  EXPECT_EQ(registry.Get("app"), nullptr);
+
+  // Re-installing after a remove must NOT reuse generation 1: a closed
+  // session that reported generation <= 2 stays unambiguous forever.
+  ASSERT_TRUE(registry.Install("app", TinyProfile()).ok());
+  EXPECT_EQ(registry.Generation("app"), 3u);
+}
+
+TEST(ProfileRegistryTest, LoadDirectoryNamesTenantsByFileStem) {
+  const std::string dir = TempDir("registry_load");
+  WriteFile(dir + "/billing.profile", TinyProfile().Serialize());
+  WriteFile(dir + "/crm.profile", TinyProfile(-42.0).Serialize());
+  WriteFile(dir + "/README.txt", "not a profile");  // ignored
+
+  ProfileRegistry registry;
+  auto loaded = registry.LoadDirectory(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  EXPECT_EQ(registry.size(), 2u);
+  ASSERT_NE(registry.Get("billing"), nullptr);
+  ASSERT_NE(registry.Get("crm"), nullptr);
+  EXPECT_EQ(registry.Get("crm")->profile().threshold, -42.0);
+  EXPECT_EQ(registry.Get("billing")->version(), dir + "/billing.profile");
+  EXPECT_EQ(registry.Tenants(),
+            (std::vector<std::string>{"billing", "crm"}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProfileRegistryTest, LoadDirectoryFailures) {
+  ProfileRegistry registry;
+  EXPECT_FALSE(registry.LoadDirectory("/no/such/dir").ok());
+
+  const std::string empty = TempDir("registry_empty");
+  EXPECT_FALSE(registry.LoadDirectory(empty).ok());  // no *.profile files
+
+  // One corrupt file fails the call; the good file loaded before it (by
+  // sorted order) stays installed — per-tenant swaps are independent.
+  const std::string mixed = TempDir("registry_mixed");
+  WriteFile(mixed + "/aaa.profile", TinyProfile().Serialize());
+  WriteFile(mixed + "/bbb.profile", "garbage");
+  EXPECT_FALSE(registry.LoadDirectory(mixed).ok());
+  EXPECT_NE(registry.Get("aaa"), nullptr);
+  EXPECT_EQ(registry.Get("bbb"), nullptr);
+  std::filesystem::remove_all(empty);
+  std::filesystem::remove_all(mixed);
+}
+
+TEST(ProfileRegistryTest, HandleEngineSharesProfileCompilation) {
+  ProfileRegistry registry;
+  ASSERT_TRUE(registry.Install("app", TinyProfile()).ok());
+  auto handle = registry.Get("app");
+  ASSERT_NE(handle, nullptr);
+  // The handle's engine is compiled against the handle's own profile copy
+  // and both live exactly as long as the shared_ptr.
+  EXPECT_EQ(handle->profile().options.window_length, 3u);
+  registry.Remove("app");
+  // Still alive: <unk> plus the two interned call symbols.
+  EXPECT_EQ(handle->profile().alphabet.size(), 3u);
+}
+
+}  // namespace
+}  // namespace adprom::service

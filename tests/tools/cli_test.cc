@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -312,7 +313,8 @@ TEST(CliServeTest, FramedFeedMultiplexesSessions) {
   ASSERT_TRUE(WriteStringToFile(feed_path, feed).ok());
 
   const CliRun serve = RunTool({"serve", "--profile", profile_path,
-                                "--events", feed_path, "--all"});
+                                "--events", feed_path, "--format", "text",
+                                "--all"});
   ASSERT_TRUE(serve.status.ok()) << serve.status.ToString();
   // --all prints every verdict; window 3 over 5/6 events = 3/4 windows.
   EXPECT_NE(serve.output.find("a window 0: Normal"), std::string::npos)
@@ -352,15 +354,156 @@ TEST(CliServeTest, UsageAndFlagValidation) {
                         "/no/such.feed"})
                    .status.ok());
 
-  // A malformed feed line names its position.
+  // Fleet-mode flag validation: profile sources are mutually exclusive,
+  // shard counts and formats are checked, trace replay is single-tenant.
+  EXPECT_FALSE(RunTool({"serve", "--profile", profile_path,
+                        "--profiles-dir", "/tmp"})
+                   .status.ok());
+  EXPECT_FALSE(RunTool({"serve", "--profile", profile_path, "--shards",
+                        "0"})
+                   .status.ok());
+  EXPECT_FALSE(RunTool({"serve", "--profile", profile_path, "--format",
+                        "xml"})
+                   .status.ok());
+  EXPECT_FALSE(RunTool({"serve", "--profiles-dir", "/no/such/dir"})
+                   .status.ok());
+
+  // A malformed text feed line names its position.
   const std::string feed_path = TempPath("bad.feed");
   ASSERT_TRUE(WriteStringToFile(feed_path, "no-tab-here\n").ok());
   const CliRun bad = RunTool({"serve", "--profile", profile_path,
-                              "--events", feed_path});
+                              "--events", feed_path, "--format", "text"});
   EXPECT_FALSE(bad.status.ok());
   EXPECT_NE(bad.status.ToString().find("line 1"), std::string::npos);
 
+  // The same feed under the default binary format fails closed at frame 0
+  // (text is not a valid ADPF stream).
+  const CliRun not_binary = RunTool({"serve", "--profile", profile_path,
+                                     "--events", feed_path});
+  EXPECT_FALSE(not_binary.status.ok());
+  EXPECT_NE(not_binary.status.ToString().find("bad magic"),
+            std::string::npos)
+      << not_binary.status.ToString();
+
   std::remove(profile_path.c_str());
+  std::remove(feed_path.c_str());
+}
+
+TEST(CliServeTest, BinaryFeedMatchesTextFeedBitForBit) {
+  const std::string profile_path = WriteTinyProfile("wire.profile");
+  const std::string feed_path = TempPath("wire.feed");
+  const std::string bin_path = TempPath("wire.bin");
+
+  // Sessions are fed sequentially and closed explicitly so the verdict
+  // stream has one deterministic order for the byte-exact comparison.
+  std::string feed;
+  for (const char* session : {"a", "b"}) {
+    for (int i = 0; i < 7; ++i) {
+      feed += std::string(session) + "\t" +
+              (i % 2 == 0 ? "print" : "scan") + "\tmain\t" +
+              std::to_string(i) + "\t1\t0\t\t\n";
+    }
+    feed += std::string("!end\t") + session + "\n";
+  }
+  ASSERT_TRUE(WriteStringToFile(feed_path, feed).ok());
+
+  const CliRun frame =
+      RunTool({"frame", "--events", feed_path, "--out", bin_path});
+  ASSERT_TRUE(frame.status.ok()) << frame.status.ToString();
+  EXPECT_NE(frame.output.find("framed 14 events, 2 end markers"),
+            std::string::npos)
+      << frame.output;
+
+  const CliRun text = RunTool({"serve", "--profile", profile_path,
+                               "--events", feed_path, "--format", "text",
+                               "--all"});
+  const CliRun binary = RunTool({"serve", "--profile", profile_path,
+                                 "--events", bin_path, "--format",
+                                 "binary", "--all"});
+  ASSERT_TRUE(text.status.ok()) << text.status.ToString();
+  ASSERT_TRUE(binary.status.ok()) << binary.status.ToString();
+  // The wire format must not change a single verdict, summary, or count.
+  EXPECT_EQ(text.output, binary.output);
+
+  std::remove(profile_path.c_str());
+  std::remove(feed_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(CliServeTest, MultiTenantServeQualifiesSessionsAndPrintsMetrics) {
+  // Two tenants from a profiles directory, one session each, sharded 4
+  // ways; sink ids are tenant-qualified and --metrics reports both
+  // tenants at generation 1.
+  const std::string dir = ::testing::TempDir() + "/serve_profiles";
+  std::filesystem::create_directories(dir);
+  const std::string t1 = WriteTinyProfile("t1.profile");
+  std::filesystem::copy_file(
+      t1, dir + "/billing.profile",
+      std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::copy_file(
+      t1, dir + "/crm.profile",
+      std::filesystem::copy_options::overwrite_existing);
+
+  std::string feed;
+  for (int i = 0; i < 4; ++i) {
+    const std::string event = (i % 2 == 0 ? "print" : "scan") +
+                              std::string("\tmain\t") + std::to_string(i) +
+                              "\t1\t0\t\t";
+    feed += "billing\ts1\t" + event + "\n";
+    feed += "crm\ts1\t" + event + "\n";
+  }
+  feed += "!end\tbilling\ts1\n";
+  const std::string feed_path = TempPath("tenants.feed");
+  ASSERT_TRUE(WriteStringToFile(feed_path, feed).ok());
+
+  const CliRun serve = RunTool({"serve", "--profiles-dir", dir, "--events",
+                                feed_path, "--format", "text", "--shards",
+                                "4", "--metrics", "--all"});
+  ASSERT_TRUE(serve.status.ok()) << serve.status.ToString();
+  EXPECT_NE(serve.output.find("billing/s1 window 0:"), std::string::npos)
+      << serve.output;
+  EXPECT_NE(serve.output.find("crm/s1 window 0:"), std::string::npos);
+  EXPECT_NE(serve.output.find("billing/s1 closed:"), std::string::npos);
+  EXPECT_NE(serve.output.find("served 8 events, dropped 0"),
+            std::string::npos)
+      << serve.output;
+  EXPECT_NE(serve.output.find("metrics: fleet: 8 events"),
+            std::string::npos)
+      << serve.output;
+  EXPECT_NE(serve.output.find("metrics: shard 3:"), std::string::npos)
+      << serve.output;
+  EXPECT_NE(serve.output.find("metrics: tenant billing: generation 1"),
+            std::string::npos)
+      << serve.output;
+  EXPECT_NE(serve.output.find("metrics: tenant crm: generation 1"),
+            std::string::npos)
+      << serve.output;
+
+  // An event for a tenant with no profile fails closed.
+  ASSERT_TRUE(WriteStringToFile(
+                  feed_path, "ghost\ts1\tprint\tmain\t0\t1\t0\t\t\n")
+                  .ok());
+  const CliRun ghost = RunTool({"serve", "--profiles-dir", dir, "--events",
+                                feed_path, "--format", "text"});
+  EXPECT_FALSE(ghost.status.ok());
+  EXPECT_NE(ghost.status.ToString().find("ghost"), std::string::npos);
+
+  std::remove(t1.c_str());
+  std::remove(feed_path.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CliFrameTest, UsageAndValidationErrors) {
+  EXPECT_FALSE(RunTool({"frame"}).status.ok());
+  EXPECT_FALSE(RunTool({"frame", "--events", "/no/such.feed", "--out",
+                        TempPath("x.bin")})
+                   .status.ok());
+  const std::string feed_path = TempPath("badframe.feed");
+  ASSERT_TRUE(WriteStringToFile(feed_path, "s\tnot-an-event\n").ok());
+  const CliRun bad = RunTool(
+      {"frame", "--events", feed_path, "--out", TempPath("x.bin")});
+  EXPECT_FALSE(bad.status.ok());
+  EXPECT_NE(bad.status.ToString().find("line 1"), std::string::npos);
   std::remove(feed_path.c_str());
 }
 

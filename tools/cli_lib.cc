@@ -1,5 +1,6 @@
 #include "tools/cli_lib.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -13,7 +14,10 @@
 #include "db/schema.h"
 #include "core/detection_engine.h"
 #include "prog/program.h"
+#include "runtime/frame_codec.h"
 #include "runtime/trace_io.h"
+#include "service/fleet_node.h"
+#include "service/profile_registry.h"
 #include "service/session_manager.h"
 #include "util/simd.h"
 #include "util/strings.h"
@@ -41,7 +45,8 @@ constexpr const char* kBoolFlags[] = {"--no-labels", "--signatures",
                                       "--all", "--dense-kernels",
                                       "--no-simd", "--triage",
                                       "--witnesses", "--no-column-taint",
-                                      "--no-analysis-cache", "--stats"};
+                                      "--no-analysis-cache", "--stats",
+                                      "--metrics", "--tenants"};
 
 bool IsBoolFlag(const std::string& arg) {
   for (const char* flag : kBoolFlags) {
@@ -447,28 +452,140 @@ util::Status CmdMonitor(const ParsedArgs& args, std::ostream& out) {
   return PrintDetections(engine.MonitorTrace(trace), out);
 }
 
-/// `adprom serve`: the streaming detection service. Loads one profile and
-/// multiplexes many concurrent sessions over a worker pool, scoring each
-/// event as it arrives. Two input modes:
-///   --trace f1,f2   replay recorded trace files, one session per file;
-///   --events file / stdin   framed live feed: one event per line,
-///       "<session>\t<serialized event>"; "!end\t<session>" closes a
-///       session early; '#' starts a comment; EOF closes the rest.
-util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
-  if (!args.Has("--profile")) {
-    return util::Status::InvalidArgument(
-        "usage: adprom serve --profile app.profile [--trace f1,f2 |"
-        " --events feed.txt] [--threads N] [--queue N]"
-        " [--policy block|drop-oldest] [--all] [--dense-kernels]"
-        " [--batch-width N] [--no-simd] [--triage]");
+/// One parsed line of the text feed: either an event bound for a
+/// (tenant, session) or an end-of-session marker.
+struct FeedLine {
+  bool end = false;
+  std::string tenant;
+  std::string session;
+  std::string body;  // the serialized event (event lines only)
+};
+
+/// Text feed syntax. Single-profile mode (`tenant_qualified` false):
+///   <session>\t<event>        and  !end\t<session>
+/// Multi-tenant mode:
+///   <tenant>\t<session>\t<event>  and  !end\t<tenant>\t<session>
+/// Events for unqualified lines belong to the implicit "default" tenant.
+util::Result<FeedLine> ParseFeedLine(const std::string& line,
+                                     bool tenant_qualified, size_t line_no) {
+  FeedLine parsed;
+  parsed.tenant = "default";
+  std::string rest = line;
+  const size_t first = rest.find('\t');
+  if (first == std::string::npos) {
+    return util::Status::ParseError(util::StrFormat(
+        tenant_qualified
+            ? "feed line %zu: expected <tenant>\\t<session>\\t<event>"
+            : "feed line %zu: expected <session>\\t<event>",
+        line_no));
   }
-  ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
-                          ReadFileToString(args.Get("--profile")));
-  ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
-                          core::ApplicationProfile::Deserialize(
-                              profile_text));
-  profile.options.dense_kernels = args.Has("--dense-kernels");
-  ADPROM_RETURN_IF_ERROR(ApplyBatchFlags(args, &profile.options));
+  std::string head = rest.substr(0, first);
+  rest = rest.substr(first + 1);
+  if (head == "!end") {
+    parsed.end = true;
+    if (tenant_qualified) {
+      const size_t sep = rest.find('\t');
+      if (sep == std::string::npos) {
+        return util::Status::ParseError(util::StrFormat(
+            "feed line %zu: expected !end\\t<tenant>\\t<session>", line_no));
+      }
+      parsed.tenant = rest.substr(0, sep);
+      parsed.session = rest.substr(sep + 1);
+    } else {
+      parsed.session = rest;
+    }
+    return parsed;
+  }
+  if (tenant_qualified) {
+    parsed.tenant = std::move(head);
+    const size_t sep = rest.find('\t');
+    if (sep == std::string::npos) {
+      return util::Status::ParseError(util::StrFormat(
+          "feed line %zu: expected <tenant>\\t<session>\\t<event>",
+          line_no));
+    }
+    parsed.session = rest.substr(0, sep);
+    parsed.body = rest.substr(sep + 1);
+  } else {
+    parsed.session = std::move(head);
+    parsed.body = std::move(rest);
+  }
+  return parsed;
+}
+
+util::Result<size_t> ParseCountFlag(const ParsedArgs& args,
+                                    const std::string& flag, long min_value,
+                                    size_t fallback) {
+  if (!args.Has(flag)) return fallback;
+  const std::string value = args.Get(flag);
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || parsed < min_value) {
+    return util::Status::InvalidArgument(
+        flag + " must be a number >= " + std::to_string(min_value));
+  }
+  return static_cast<size_t>(parsed);
+}
+
+void PrintFleetMetrics(const service::FleetMetrics& metrics,
+                       double elapsed_sec, size_t served,
+                       std::ostream& out) {
+  const double rate = elapsed_sec > 0.0
+                          ? static_cast<double>(served) / elapsed_sec
+                          : 0.0;
+  out << util::StrFormat(
+      "metrics: fleet: %zu events in %.3f s (%.0f events/sec)\n", served,
+      elapsed_sec, rate);
+  for (size_t i = 0; i < metrics.shards.size(); ++i) {
+    const service::ShardMetrics& shard = metrics.shards[i];
+    out << util::StrFormat(
+        "metrics: shard %zu: submitted %llu scored %llu dropped %llu"
+        " verdicts %llu alarms %llu backlog %zu max-backlog %zu"
+        " submit-p50 %.1fus submit-p99 %.1fus\n",
+        i, static_cast<unsigned long long>(shard.submitted),
+        static_cast<unsigned long long>(shard.scored),
+        static_cast<unsigned long long>(shard.dropped),
+        static_cast<unsigned long long>(shard.verdicts),
+        static_cast<unsigned long long>(shard.alarms), shard.queue_depth,
+        shard.max_queue_depth, shard.submit_p50_us, shard.submit_p99_us);
+  }
+  for (const service::TenantMetrics& tenant : metrics.tenants) {
+    out << util::StrFormat(
+        "metrics: tenant %s: generation %llu submitted %llu scored %llu"
+        " dropped %llu verdicts %llu alarms %llu sessions %llu/%llu\n",
+        tenant.tenant.c_str(),
+        static_cast<unsigned long long>(tenant.generation),
+        static_cast<unsigned long long>(tenant.submitted),
+        static_cast<unsigned long long>(tenant.scored),
+        static_cast<unsigned long long>(tenant.dropped),
+        static_cast<unsigned long long>(tenant.verdicts),
+        static_cast<unsigned long long>(tenant.alarms),
+        static_cast<unsigned long long>(tenant.sessions_closed),
+        static_cast<unsigned long long>(tenant.sessions_opened));
+  }
+}
+
+/// `adprom serve`: the streaming detection fleet node. Sessions shard by
+/// a stable hash of (tenant, session key) across --shards independent
+/// managers; profiles come from one file (--profile, single implicit
+/// "default" tenant) or a directory of <tenant>.profile files
+/// (--profiles-dir). Input modes:
+///   --trace f1,f2    replay recorded trace files, one session per file
+///                    (single-profile mode only);
+///   --events file / stdin   live feed, --format binary (default, the
+///       length-prefixed ADPF framing of runtime/frame_codec.h) or text
+///       (one event per line; see ParseFeedLine). Malformed binary input
+///       fails closed: the stream is rejected at the first bad frame.
+util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
+  const bool multi_tenant = args.Has("--profiles-dir");
+  if (multi_tenant == args.Has("--profile")) {
+    return util::Status::InvalidArgument(
+        "usage: adprom serve (--profile app.profile | --profiles-dir dir)"
+        " [--trace f1,f2 | --events feed] [--format binary|text]"
+        " [--shards N] [--threads N] [--queue N]"
+        " [--policy block|drop-oldest] [--metrics] [--all]"
+        " [--dense-kernels] [--batch-width N] [--no-simd] [--triage]");
+  }
 
   size_t threads = 1;
   if (args.Has("--threads")) {
@@ -481,34 +598,59 @@ util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
     }
     threads = util::ResolveThreadCount(static_cast<int>(parsed));
   }
-  service::SessionManagerOptions options;
-  if (args.Has("--queue")) {
-    const std::string& value = args.Get("--queue");
-    char* end = nullptr;
-    const long parsed = std::strtol(value.c_str(), &end, 10);
-    if (value.empty() || *end != '\0' || parsed < 1) {
-      return util::Status::InvalidArgument("--queue must be a number >= 1");
-    }
-    options.queue_capacity = static_cast<size_t>(parsed);
-  }
+  service::FleetOptions fleet_options;
+  ADPROM_ASSIGN_OR_RETURN(fleet_options.num_shards,
+                          ParseCountFlag(args, "--shards", 1, 1));
+  ADPROM_ASSIGN_OR_RETURN(
+      fleet_options.session.queue_capacity,
+      ParseCountFlag(args, "--queue", 1,
+                     fleet_options.session.queue_capacity));
   if (args.Has("--policy")) {
     const std::string policy = args.Get("--policy");
     if (policy == "block") {
-      options.overflow = service::SessionManagerOptions::OverflowPolicy::
-          kBlock;
+      fleet_options.session.overflow =
+          service::SessionManagerOptions::OverflowPolicy::kBlock;
     } else if (policy == "drop-oldest") {
-      options.overflow = service::SessionManagerOptions::OverflowPolicy::
-          kDropOldest;
+      fleet_options.session.overflow =
+          service::SessionManagerOptions::OverflowPolicy::kDropOldest;
     } else {
       return util::Status::InvalidArgument(
           "--policy must be block or drop-oldest");
     }
   }
+  const std::string format = args.Get("--format", "binary");
+  if (format != "binary" && format != "text") {
+    return util::Status::InvalidArgument("--format must be binary or text");
+  }
+
+  service::ProfileRegistry registry;
+  if (multi_tenant) {
+    if (args.Has("--trace")) {
+      return util::Status::InvalidArgument(
+          "--trace replay needs --profile (single-tenant mode)");
+    }
+    ADPROM_RETURN_IF_ERROR(
+        registry.LoadDirectory(args.Get("--profiles-dir")).status());
+  } else {
+    ADPROM_ASSIGN_OR_RETURN(std::string profile_text,
+                            ReadFileToString(args.Get("--profile")));
+    ADPROM_ASSIGN_OR_RETURN(core::ApplicationProfile profile,
+                            core::ApplicationProfile::Deserialize(
+                                profile_text));
+    profile.options.dense_kernels = args.Has("--dense-kernels");
+    ADPROM_RETURN_IF_ERROR(ApplyBatchFlags(args, &profile.options));
+    ADPROM_RETURN_IF_ERROR(registry.Install("default", std::move(profile),
+                                            args.Get("--profile")));
+  }
+  // In single-profile mode the sink keeps seeing bare session keys, so
+  // the fleet path is output-compatible with the pre-shard service.
+  fleet_options.qualify_sink_ids = multi_tenant;
 
   util::ThreadPool pool(threads);
   service::StreamAlertSink sink(&out, /*alarms_only=*/!args.Has("--all"));
-  service::SessionManager manager(&profile, &sink, &pool, options);
+  service::FleetNode fleet(&registry, &sink, &pool, fleet_options);
   size_t submitted = 0;
+  const auto start = std::chrono::steady_clock::now();
 
   if (args.Has("--trace")) {
     for (const std::string& path : util::Split(args.Get("--trace"), ',')) {
@@ -519,7 +661,8 @@ util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
       while (true) {
         ADPROM_ASSIGN_OR_RETURN(bool more, reader.Next(&event));
         if (!more) break;
-        ADPROM_RETURN_IF_ERROR(manager.Submit(path, std::move(event)));
+        ADPROM_RETURN_IF_ERROR(
+            fleet.Submit("default", path, std::move(event)));
         ++submitted;
         event = runtime::CallEvent();
       }
@@ -534,37 +677,109 @@ util::Status CmdServe(const ParsedArgs& args, std::ostream& out) {
       }
       src = &events_file;
     }
-    std::string line;
-    size_t line_no = 0;
-    while (std::getline(*src, line)) {
-      ++line_no;
-      if (line.empty() || line[0] == '#') continue;
-      const size_t tab = line.find('\t');
-      if (tab == std::string::npos) {
-        return util::Status::ParseError(util::StrFormat(
-            "feed line %zu: expected <session>\\t<event>", line_no));
+    if (format == "text") {
+      std::string line;
+      size_t line_no = 0;
+      while (std::getline(*src, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        ADPROM_ASSIGN_OR_RETURN(FeedLine feed,
+                                ParseFeedLine(line, multi_tenant, line_no));
+        if (feed.end) {
+          (void)fleet.CloseSession(feed.tenant,
+                                   feed.session);  // unknown: no-op
+          continue;
+        }
+        auto event = runtime::ParseTraceLine(feed.body);
+        if (!event.ok()) {
+          return util::Status::ParseError(util::StrFormat(
+              "feed line %zu: %s", line_no,
+              event.status().message().c_str()));
+        }
+        ADPROM_RETURN_IF_ERROR(fleet.Submit(feed.tenant, feed.session,
+                                            std::move(event).value()));
+        ++submitted;
       }
-      const std::string session = line.substr(0, tab);
-      const std::string body = line.substr(tab + 1);
-      if (session == "!end") {
-        (void)manager.CloseSession(body);  // unknown session: no-op
-        continue;
+    } else {
+      runtime::FrameDecoder decoder;
+      std::vector<char> chunk(64 * 1024);
+      while (src->good()) {
+        src->read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+        const std::streamsize got = src->gcount();
+        if (got <= 0) break;
+        decoder.Feed(
+            std::string_view(chunk.data(), static_cast<size_t>(got)));
+        while (true) {
+          ADPROM_ASSIGN_OR_RETURN(std::optional<runtime::Frame> frame,
+                                  decoder.Next());
+          if (!frame.has_value()) break;
+          const std::string tenant =
+              frame->tenant.empty() ? "default" : frame->tenant;
+          if (frame->type == runtime::FrameType::kEndSession) {
+            (void)fleet.CloseSession(tenant, frame->session);
+            continue;
+          }
+          ADPROM_RETURN_IF_ERROR(fleet.Submit(tenant, frame->session,
+                                              std::move(frame->event)));
+          ++submitted;
+        }
       }
-      auto event = runtime::ParseTraceLine(body);
-      if (!event.ok()) {
-        return util::Status::ParseError(util::StrFormat(
-            "feed line %zu: %s", line_no,
-            event.status().message().c_str()));
-      }
-      ADPROM_RETURN_IF_ERROR(
-          manager.Submit(session, std::move(event).value()));
-      ++submitted;
+      ADPROM_RETURN_IF_ERROR(decoder.Finish());
     }
   }
 
-  manager.CloseAll();
+  fleet.Drain();
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  // Snapshot metrics while sessions are still live, then flush them.
+  const service::FleetMetrics metrics = fleet.Metrics();
+  fleet.CloseAll();
   out << "served " << submitted << " events, dropped "
-      << manager.total_dropped() << "\n";
+      << fleet.total_dropped() << "\n";
+  if (args.Has("--metrics")) {
+    PrintFleetMetrics(metrics, elapsed, submitted, out);
+  }
+  return util::Status::Ok();
+}
+
+/// `adprom frame`: converts a text event feed (the serve --format=text
+/// syntax, including !end markers) into the binary ADPF frame stream, so
+/// feeds can be replayed through the wire protocol and the two formats
+/// compared bit for bit.
+util::Status CmdFrame(const ParsedArgs& args, std::ostream& out) {
+  if (!args.Has("--events") || !args.Has("--out")) {
+    return util::Status::InvalidArgument(
+        "usage: adprom frame --events feed.txt --out feed.bin [--tenants]");
+  }
+  ADPROM_ASSIGN_OR_RETURN(std::string text,
+                          ReadFileToString(args.Get("--events")));
+  const bool tenant_qualified = args.Has("--tenants");
+  std::string encoded;
+  size_t events = 0;
+  size_t ends = 0;
+  size_t line_no = 0;
+  for (const std::string& line : util::Split(text, '\n')) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    ADPROM_ASSIGN_OR_RETURN(FeedLine feed,
+                            ParseFeedLine(line, tenant_qualified, line_no));
+    if (feed.end) {
+      runtime::EncodeEndFrame(feed.tenant, feed.session, &encoded);
+      ++ends;
+      continue;
+    }
+    auto event = runtime::ParseTraceLine(feed.body);
+    if (!event.ok()) {
+      return util::Status::ParseError(util::StrFormat(
+          "feed line %zu: %s", line_no, event.status().message().c_str()));
+    }
+    runtime::EncodeEventFrame(feed.tenant, feed.session, *event, &encoded);
+    ++events;
+  }
+  ADPROM_RETURN_IF_ERROR(WriteStringToFile(args.Get("--out"), encoded));
+  out << "framed " << events << " events, " << ends << " end markers -> "
+      << args.Get("--out") << " (" << encoded.size() << " bytes)\n";
   return util::Status::Ok();
 }
 
@@ -751,7 +966,7 @@ util::Status RunCli(const std::vector<std::string>& args,
   if (args.empty()) {
     return util::Status::InvalidArgument(
         "usage: adprom "
-        "<analyze|train|trace|score|monitor|serve|lint|info> ...");
+        "<analyze|train|trace|score|monitor|serve|frame|lint|info> ...");
   }
   ADPROM_ASSIGN_OR_RETURN(ParsedArgs parsed, ParseArgs(args));
   const std::string& command = parsed.positional.empty()
@@ -763,6 +978,7 @@ util::Status RunCli(const std::vector<std::string>& args,
   if (command == "score") return CmdScore(parsed, out);
   if (command == "monitor") return CmdMonitor(parsed, out);
   if (command == "serve") return CmdServe(parsed, out);
+  if (command == "frame") return CmdFrame(parsed, out);
   if (command == "info") return CmdInfo(parsed, out);
   if (command == "lint") return CmdLint(parsed, out).status();
   return util::Status::InvalidArgument("unknown command: " + command);
