@@ -82,9 +82,32 @@ Preset SmokePreset() {
 
 struct TrainRun {
   size_t threads = 0;
-  std::string kernel;  // "sparse" or "dense"
+  std::string kernel;  // requested: "sparse" or "dense"
+  /// What BaumWelchTrain actually ran ("csr"/"dense"), from TrainStats —
+  /// the JSON records the executed kernel, not just the request.
+  std::string executed_kernel;
+  /// The density cutoff this row ran with (pinned to 1.0 so the sweep
+  /// measures the kernel it names instead of the auto-select decision).
+  double sparse_density_cutoff = 1.0;
   double seconds = 0.0;
   double speedup = 1.0;  // vs the same kernel's single-thread run
+  /// speedup / threads — the multi-thread rows strong-scale a fixed
+  /// corpus, so raw speedup alone reads as a kernel regression when the
+  /// corpus is too small to feed the extra threads. 1.0 means each extra
+  /// thread added a full thread's worth of throughput.
+  double per_thread_efficiency = 1.0;
+};
+
+/// One batched-engine row of the training bench: the full BaumWelchTrain
+/// loop through BatchEStep, measured against the dense single-thread row.
+struct BatchTrainRun {
+  std::string name;  // "batch-scalar" or "batch-simd"
+  size_t width = 0;
+  std::string simd_level;
+  double seconds = 0.0;
+  double speedup_vs_dense = 0.0;  // dense 1-thread seconds / this row
+  /// Trained model bitwise equal to the sweep's reference model.
+  bool bit_identical = true;
 };
 
 struct DetectRun {
@@ -209,12 +232,18 @@ struct KernelResults {
 
 struct BenchResults {
   std::vector<TrainRun> train_runs;
+  std::vector<BatchTrainRun> batch_train_runs;
   bool bit_identical = true;
   int train_iterations = 0;
   size_t train_windows = 0;
   size_t train_states = 0;
   size_t train_alphabet = 0;
   size_t train_repeats = 0;
+  double train_transition_density = 1.0;
+  /// The shipped auto-select cutoff (TrainOptions default) and the kernel
+  /// it would pick for this corpus on the legacy per-sequence path.
+  double train_density_cutoff = 0.0;
+  std::string train_auto_kernel;
   KernelResults kernels;
   std::vector<DetectRun> detect_runs;
   size_t detect_repeats = 0;
@@ -279,6 +308,18 @@ void BenchTraining(const TrainingSetup& setup, const Preset& preset,
               windows.size(), profile.model.num_states(),
               profile.alphabet.size());
 
+  // The auto-select decision the shipped legacy path would make for this
+  // corpus, recorded alongside every row so the JSON is self-describing.
+  {
+    const hmm::SparseHmm sparse(profile.model);
+    results->train_transition_density = sparse.transition_density();
+  }
+  results->train_density_cutoff = hmm::TrainOptions{}.sparse_density_cutoff;
+  results->train_auto_kernel =
+      results->train_transition_density <= results->train_density_cutoff
+          ? "csr"
+          : "dense";
+
   hmm::HmmModel reference_model;
   for (size_t threads : ThreadSweep(preset)) {
     for (const char* kernel : {"sparse", "dense"}) {
@@ -289,18 +330,33 @@ void BenchTraining(const TrainingSetup& setup, const Preset& preset,
       train.dense_kernels = std::strcmp(kernel, "dense") == 0;
       // Pin each row to its kernel: the shipped default auto-selects by
       // transition density (TrainOptions::sparse_density_cutoff), so the
-      // sweep must force the CSR path to measure it.
+      // sweep must force the CSR path to measure it — and the batched
+      // engine (now the default) gets its own rows below, so the legacy
+      // per-sequence kernels stay pinned here too.
       train.sparse_density_cutoff = 1.0;
+      train.batch_width = 0;
+      // Train the production configuration: the profile constructor
+      // floors only B and pi (smooth_transitions = false) so the
+      // pCTM-derived zero pattern of A — the sparsity this corpus is
+      // advertised for — survives every iteration. The default
+      // (HmmModel::Smooth) would densify A to 100% after the first
+      // M-step, silently turning iterations 2+ of every row into a
+      // different, fully-dense workload.
+      train.smooth_transitions = false;
       hmm::HmmModel model;
+      std::string executed_kernel;
       const double seconds =
           MinWallSeconds(preset.train_repeats, [&] {
             model = profile.model;  // same start for every run
             auto stats = hmm::BaumWelchTrain(&model, windows, train);
             ADPROM_CHECK_MSG(stats.ok(), stats.status().ToString());
+            executed_kernel = stats->kernel;
           });
       TrainRun run;
       run.threads = threads;
       run.kernel = kernel;
+      run.executed_kernel = executed_kernel;
+      run.sparse_density_cutoff = train.sparse_density_cutoff;
       run.seconds = seconds;
       // Parallel scaling vs the same kernel's single-thread run.
       for (const TrainRun& prior : results->train_runs) {
@@ -308,6 +364,8 @@ void BenchTraining(const TrainingSetup& setup, const Preset& preset,
           run.speedup = prior.seconds / seconds;
         }
       }
+      run.per_thread_efficiency =
+          run.speedup / static_cast<double>(run.threads);
       if (results->train_runs.empty()) {
         reference_model = model;
       } else {
@@ -323,20 +381,79 @@ void BenchTraining(const TrainingSetup& setup, const Preset& preset,
     }
   }
 
+  // The batched engine, shipped defaults, single-threaded: one row with
+  // the kernels pinned scalar and one with the runtime SIMD dispatch.
+  // speedup_vs_dense against the dense single-thread row above is the
+  // headline training number (the perf gate keys on the batch-simd row).
+  double dense_single_seconds = 0.0;
+  for (const TrainRun& run : results->train_runs) {
+    if (run.threads == 1 && run.kernel == "dense") {
+      dense_single_seconds = run.seconds;
+    }
+  }
+  for (const bool no_simd : {true, false}) {
+    hmm::TrainOptions train;
+    train.max_iterations = preset.train_iterations;
+    train.tolerance = 0.0;
+    train.num_threads = 1;
+    train.no_simd = no_simd;
+    train.smooth_transitions = false;  // same workload as the sweep above
+    hmm::HmmModel model;
+    std::string simd_level;
+    const double seconds = MinWallSeconds(preset.train_repeats, [&] {
+      model = profile.model;
+      auto stats = hmm::BaumWelchTrain(&model, windows, train);
+      ADPROM_CHECK_MSG(stats.ok(), stats.status().ToString());
+      ADPROM_CHECK_MSG(stats->kernel == "batch", stats->kernel);
+      simd_level = stats->simd_level;
+    });
+    BatchTrainRun run;
+    run.name = no_simd ? "batch-scalar" : "batch-simd";
+    run.width = train.batch_width;
+    run.simd_level = simd_level;
+    run.seconds = seconds;
+    run.speedup_vs_dense = dense_single_seconds / seconds;
+    run.bit_identical =
+        model.a().MaxAbsDiff(reference_model.a()) == 0.0 &&
+        model.b().MaxAbsDiff(reference_model.b()) == 0.0 &&
+        model.pi() == reference_model.pi();
+    results->bit_identical = results->bit_identical && run.bit_identical;
+    results->batch_train_runs.push_back(std::move(run));
+  }
+
   util::TablePrinter table({"Baum-Welch (" +
                                 std::to_string(preset.train_iterations) +
                                 " iters)",
-                            "threads", "kernel", "seconds", "speedup"});
+                            "threads", "kernel", "seconds", "speedup",
+                            "efficiency"});
   for (const TrainRun& run : results->train_runs) {
-    table.AddRow({"train", std::to_string(run.threads), run.kernel,
+    table.AddRow({"train", std::to_string(run.threads),
+                  run.kernel + " (ran " + run.executed_kernel + ")",
                   util::StrFormat("%.3f", run.seconds),
-                  util::StrFormat("%.2fx", run.speedup)});
+                  util::StrFormat("%.2fx", run.speedup),
+                  util::StrFormat("%.2f", run.per_thread_efficiency)});
+  }
+  for (const BatchTrainRun& run : results->batch_train_runs) {
+    table.AddRow({"train", "1",
+                  run.name + " (" + run.simd_level + ", W=" +
+                      std::to_string(run.width) + ")",
+                  util::StrFormat("%.3f", run.seconds),
+                  util::StrFormat("%.2fx vs dense", run.speedup_vs_dense),
+                  ""});
   }
   table.Print();
-  std::printf("all runs bit-identical (threads x kernel): %s\n"
-              "(rows pin their kernel; the default E-step auto-selects"
-              " CSR only below the density cutoff)\n\n",
-              results->bit_identical ? "yes" : "NO — BUG");
+  std::printf("all runs bit-identical (threads x kernel x batch): %s\n"
+              "(legacy rows pin their kernel with batch_width=0; the"
+              " shipped default is the batched engine; all rows train the"
+              " production smooth_transitions=false configuration so A's"
+              " pCTM zero pattern survives; auto-select on"
+              " this corpus: density %.3f vs cutoff %.2f -> %s)\n"
+              "(multi-thread rows strong-scale a fixed %zu-window corpus;"
+              " efficiency = speedup/threads)\n\n",
+              results->bit_identical ? "yes" : "NO — BUG",
+              results->train_transition_density,
+              results->train_density_cutoff,
+              results->train_auto_kernel.c_str(), windows.size());
 }
 
 void BenchKernels(const TrainingSetup& setup, const Preset& preset,
@@ -608,14 +725,39 @@ void WriteJson(const BenchResults& results, const Preset& preset,
        << ", \"states\": " << results.train_states
        << ", \"alphabet\": " << results.train_alphabet
        << ", \"timing_repeats\": " << results.train_repeats
+       << ", \"transition_density\": "
+       << Num(results.train_transition_density)
+       << ", \"default_sparse_density_cutoff\": "
+       << Num(results.train_density_cutoff)
+       << ", \"auto_selected_kernel\": \"" << results.train_auto_kernel
+       << "\", \"smooth_transitions\": false"
        << ", \"bit_identical\": "
        << (results.bit_identical ? "true" : "false") << ", \"runs\": [";
   for (size_t i = 0; i < results.train_runs.size(); ++i) {
     const TrainRun& run = results.train_runs[i];
     json << (i ? ", " : "") << "{\"threads\": " << run.threads
          << ", \"kernel\": \"" << run.kernel << "\""
+         << ", \"executed_kernel\": \"" << run.executed_kernel << "\""
+         << ", \"transition_density\": "
+         << Num(results.train_transition_density)
+         << ", \"sparse_density_cutoff\": "
+         << Num(run.sparse_density_cutoff)
          << ", \"wall_time_sec\": " << Num(run.seconds)
-         << ", \"speedup\": " << Num(run.speedup) << "}";
+         << ", \"speedup\": " << Num(run.speedup)
+         << ", \"per_thread_efficiency\": "
+         << Num(run.per_thread_efficiency) << "}";
+  }
+  json << "], \"batch_runs\": [";
+  for (size_t i = 0; i < results.batch_train_runs.size(); ++i) {
+    const BatchTrainRun& run = results.batch_train_runs[i];
+    json << (i ? ", " : "") << "{\"name\": \"" << run.name
+         << "\", \"width\": " << run.width << ", \"simd_level\": \""
+         << run.simd_level << "\""
+         << ", \"executed_kernel\": \"batch\""
+         << ", \"wall_time_sec\": " << Num(run.seconds)
+         << ", \"speedup_vs_dense\": " << Num(run.speedup_vs_dense)
+         << ", \"bit_identical\": "
+         << (run.bit_identical ? "true" : "false") << "}";
   }
   json << "]},\n";
   const KernelResults& k = results.kernels;

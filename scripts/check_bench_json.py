@@ -56,13 +56,65 @@ def check_runs(runs, path, section, required_numbers):
 def check_throughput(doc, path):
     training = require(doc, path, "training", dict)
     check_runs(require(training, path, "runs", list), path, "training",
-               ["threads", "wall_time_sec", "speedup"])
+               ["threads", "wall_time_sec", "speedup",
+                "per_thread_efficiency", "transition_density",
+                "sparse_density_cutoff"])
     kernels_seen = {run.get("kernel") for run in training["runs"]}
     if kernels_seen != {"sparse", "dense"}:
         fail(path, f"training.runs kernels are {sorted(kernels_seen)}, "
                    "expected both 'sparse' and 'dense'")
+    for i, run in enumerate(training["runs"]):
+        if run.get("executed_kernel") not in ("csr", "dense"):
+            fail(path, f"training.runs[{i}].executed_kernel = "
+                       f"{run.get('executed_kernel')!r}, expected the "
+                       "legacy 'csr' or 'dense' (batch rows live in "
+                       "training.batch_runs)")
     if training.get("bit_identical") is not True:
         fail(path, "training.bit_identical is not true")
+    for key in ("transition_density", "default_sparse_density_cutoff"):
+        value = require(training, path, key, (int, float))
+        if value <= 0:
+            fail(path, f"training.{key} = {value}")
+    if training.get("auto_selected_kernel") not in ("csr", "dense"):
+        fail(path, "training.auto_selected_kernel is not 'csr'/'dense'")
+    # The bench must train the production configuration: flooring only B
+    # and pi keeps A's pCTM zero pattern intact across iterations. With
+    # HmmModel::Smooth instead, the first M-step densifies A to 100% and
+    # every later iteration silently measures a different workload than
+    # the recorded transition_density describes.
+    if training.get("smooth_transitions") is not False:
+        fail(path, "training.smooth_transitions is not false (rows must "
+                   "train the pCTM-preserving production configuration)")
+
+    batch_train = require(training, path, "batch_runs", list)
+    check_runs(batch_train, path, "training.batch_runs",
+               ["width", "wall_time_sec", "speedup_vs_dense"])
+    batch_names = {run.get("name") for run in batch_train}
+    for expected in ("batch-scalar", "batch-simd"):
+        if expected not in batch_names:
+            fail(path, f"training.batch_runs missing a {expected!r} row")
+    for i, run in enumerate(batch_train):
+        if not run.get("simd_level"):
+            fail(path, f"training.batch_runs[{i}].simd_level is missing")
+        if run.get("bit_identical") is not True:
+            fail(path, f"training.batch_runs[{i}].bit_identical is not "
+                       "true (the batched engine must train the exact "
+                       "model the legacy sweep trained)")
+        # The training perf gate: with real SIMD lanes the batched E-step
+        # must beat the dense single-thread reference by >= 3x. It binds
+        # only at scale (the --smoke preset trains a toy model over ~100
+        # windows, where fixed per-iteration overhead dominates and the
+        # multiple is meaningless — same reasoning as the fleet gate) and
+        # only off scalar hardware: a forced-scalar or lane-less run
+        # reports simd_level "scalar" and is exempt (the batch-scalar row
+        # exists so that configuration is still tracked).
+        if (run.get("name") == "batch-simd"
+                and run.get("simd_level") != "scalar"
+                and training.get("windows", 0) >= 200
+                and run["speedup_vs_dense"] < 3.0):
+            fail(path, f"training.batch_runs[{i}] (batch-simd, "
+                       f"{run['simd_level']}): speedup_vs_dense "
+                       f"{run['speedup_vs_dense']} < 3.0")
 
     kernels = require(doc, path, "kernels", dict)
     for key in ("dense_wall_time_sec", "sparse_wall_time_sec",

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "hmm/batch_forward.h"
 #include "hmm/inference.h"
 #include "hmm/sparse.h"
 #include "ml/kmeans.h"
@@ -270,6 +271,42 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
     pool = std::make_unique<util::ThreadPool>(num_threads);
   }
   hmm::ForwardWorkspace csds_workspace;
+  hmm::BatchWorkspace csds_batch_ws;
+  std::vector<double> csds_scores(csds_scored.size());
+  const bool use_batch =
+      !options_.dense_kernels && options_.batch_width > 0;
+  hmm::BatchOptions batch_options;
+  batch_options.width = std::max<size_t>(1, options_.batch_width);
+  batch_options.no_simd = options_.no_simd;
+  // Scores a run of consecutive equal-length windows from `windows`
+  // through the batched engine, writing per-window scores into `out`
+  // (bit-identical to PerSymbolLogLikelihood per window); falls back to
+  // the per-window kernel if the batch is rejected. Returns the run end.
+  auto score_run = [](const hmm::BatchScorer& scorer,
+                      const std::vector<hmm::ObservationSeq>& windows,
+                      size_t begin, size_t end, hmm::BatchWorkspace* ws,
+                      std::vector<hmm::SymbolSpan>* spans, double* out) {
+    size_t stop = begin + 1;
+    while (stop < end &&
+           windows[stop].size() == windows[begin].size()) {
+      ++stop;
+    }
+    spans->clear();
+    for (size_t i = begin; i < stop; ++i) spans->emplace_back(windows[i]);
+    const auto status = scorer.ScoreBatch(
+        *spans, /*triage_threshold=*/0.0, ws,
+        std::span<double>(out + begin, stop - begin));
+    if (!status.ok()) {
+      hmm::ForwardWorkspace fallback;
+      for (size_t i = begin; i < stop; ++i) {
+        auto ll = hmm::PerSymbolLogLikelihood(*scorer.model(), windows[i],
+                                              &fallback);
+        out[i] = ll.ok() ? *ll : -1e9;
+      }
+    }
+    return stop;
+  };
+  std::vector<hmm::SymbolSpan> csds_spans;
   auto csds_score = [&](const hmm::HmmModel& model) {
     if (csds_scored.empty()) return 0.0;
     // One CSR build per Baum-Welch iteration, amortized over the whole
@@ -277,6 +314,20 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
     hmm::SparseHmm sparse_model;
     const bool use_sparse = !options_.dense_kernels;
     if (use_sparse) sparse_model = hmm::SparseHmm(model);
+    if (use_batch) {
+      // Batched per-window scores, then a serial sum in the original
+      // window order — each score is bit-identical to the per-window
+      // kernel's and the sum order is unchanged, so the CSDS mean (and
+      // the early-stopping decision) is bit-identical too.
+      const hmm::BatchScorer scorer(&sparse_model, batch_options);
+      for (size_t i = 0; i < csds_scored.size();) {
+        i = score_run(scorer, csds_scored, i, csds_scored.size(),
+                      &csds_batch_ws, &csds_spans, csds_scores.data());
+      }
+      double total = 0.0;
+      for (const double score : csds_scores) total += score;
+      return total / static_cast<double>(csds_scored.size());
+    }
     double total = 0.0;
     for (const hmm::ObservationSeq& seq : csds_scored) {
       auto ll = use_sparse
@@ -291,9 +342,11 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
 
   hmm::TrainOptions train_options = options_.train;
   // Keep the pCTM's zero transitions through training (they are the
-  // sparsity the CSR kernels rely on), and honour the ablation switch.
+  // sparsity the CSR kernels rely on), and honour the ablation switches.
   train_options.smooth_transitions = false;
   train_options.dense_kernels = options_.dense_kernels;
+  train_options.batch_width = options_.batch_width;
+  train_options.no_simd = options_.no_simd;
   double best_csds = -std::numeric_limits<double>::infinity();
   int bad_rounds = 0;
   if (!csds_windows.empty()) {
@@ -340,10 +393,46 @@ util::Result<ApplicationProfile> ProfileConstructor::Construct(
   hmm::SparseHmm sparse_model;
   const bool use_sparse = !options_.dense_kernels;
   if (use_sparse) sparse_model = hmm::SparseHmm(profile.model);
+  const hmm::BatchScorer threshold_scorer(&sparse_model, batch_options);
   util::ParallelFor(pool.get(), num_blocks, [&](size_t blk) {
-    hmm::ForwardWorkspace workspace;
     const size_t begin = blk * scored.size() / num_blocks;
     const size_t end = (blk + 1) * scored.size() / num_blocks;
+    if (use_batch) {
+      // Runs of equal-length windows go through the batched scorer; each
+      // per-window score is bit-identical to the per-window kernel's, and
+      // min is order-independent, so the chosen threshold is bit-identical
+      // for every batch width and thread count.
+      hmm::BatchWorkspace ws;
+      threshold_scorer.Reserve(&ws);
+      std::vector<hmm::SymbolSpan> spans;
+      std::vector<double> scores;
+      for (size_t i = begin; i < end;) {
+        size_t stop = i + 1;
+        while (stop < end && scored[stop]->size() == scored[i]->size()) {
+          ++stop;
+        }
+        spans.clear();
+        for (size_t j = i; j < stop; ++j) spans.emplace_back(*scored[j]);
+        scores.resize(stop - i);
+        if (threshold_scorer
+                .ScoreBatch(spans, /*triage_threshold=*/0.0, &ws,
+                            std::span<double>(scores))
+                .ok()) {
+          for (const double score : scores) {
+            block_min[blk] = std::min(block_min[blk], score);
+          }
+        } else {
+          for (size_t j = i; j < stop; ++j) {
+            auto ll = hmm::PerSymbolLogLikelihood(sparse_model, *scored[j],
+                                                  &ws.forward);
+            if (ll.ok()) block_min[blk] = std::min(block_min[blk], *ll);
+          }
+        }
+        i = stop;
+      }
+      return;
+    }
+    hmm::ForwardWorkspace workspace;
     for (size_t i = begin; i < end; ++i) {
       auto ll = use_sparse ? hmm::PerSymbolLogLikelihood(
                                  sparse_model, *scored[i], &workspace)

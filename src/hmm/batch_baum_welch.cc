@@ -1,0 +1,237 @@
+#include "hmm/batch_baum_welch.h"
+
+#include <algorithm>
+
+#include "hmm/batch_train_kernels.h"
+
+namespace adprom::hmm {
+
+namespace internal {
+
+const BatchTrainKernels& ScalarTrainKernels() {
+  static const BatchTrainKernels kernels = {
+      &TrainForwardBlock<util::ScalarArch>,
+      &TrainBackwardBlock<util::ScalarArch>, &XiDenseRows<util::ScalarArch>,
+      util::ScalarArch::kLanes, "scalar"};
+  return kernels;
+}
+
+#if defined(__aarch64__)
+const BatchTrainKernels* NeonTrainKernels() {
+  static const BatchTrainKernels kernels = {
+      &TrainForwardBlock<util::NeonArch>, &TrainBackwardBlock<util::NeonArch>,
+      &XiDenseRows<util::NeonArch>, util::NeonArch::kLanes, "neon"};
+  return &kernels;
+}
+#else
+const BatchTrainKernels* NeonTrainKernels() { return nullptr; }
+#endif
+
+#if !defined(ADPROM_BATCH_AVX2)
+// The AVX2 table lives in batch_baum_welch_avx2.cc (compiled with -mavx2);
+// builds without that translation unit dispatch to scalar instead.
+const BatchTrainKernels* Avx2TrainKernels() { return nullptr; }
+#endif
+
+namespace {
+
+const BatchTrainKernels& TrainKernelsFor(util::SimdLevel level) {
+  switch (level) {
+    case util::SimdLevel::kAvx2:
+      if (const BatchTrainKernels* kernels = Avx2TrainKernels())
+        return *kernels;
+      return ScalarTrainKernels();
+    case util::SimdLevel::kNeon:
+      if (const BatchTrainKernels* kernels = NeonTrainKernels())
+        return *kernels;
+      return ScalarTrainKernels();
+    case util::SimdLevel::kScalar:
+      return ScalarTrainKernels();
+  }
+  return ScalarTrainKernels();
+}
+
+}  // namespace
+
+}  // namespace internal
+
+void BatchTrainWorkspace::Reserve(size_t num_states, size_t width,
+                                  size_t max_len) {
+  alpha.resize(max_len * num_states * width);
+  beta.resize(max_len * num_states * width);
+  scale.resize(max_len * width);
+  loglik.resize(width);
+  emit_block.resize(num_states * width);
+  emit_rows.resize(width);
+  seq_ptrs.reserve(width);
+  alpha_w.resize(max_len * num_states);
+  beta_w.resize(max_len * num_states);
+  scale_w.resize(max_len);
+  emit_panel.resize(max_len * num_states);
+  xi_alpha.resize(max_len);
+  xi_emit.resize(max_len);
+}
+
+BatchEStep::BatchEStep(size_t width, bool no_simd)
+    : width_(std::max<size_t>(1, width)),
+      level_(no_simd ? util::SimdLevel::kScalar : util::DetectSimdLevel()) {}
+
+const char* BatchEStep::kernel_name() const {
+  return internal::TrainKernelsFor(level_).name;
+}
+
+void BatchEStep::Reserve(size_t num_states, size_t max_len,
+                         BatchTrainWorkspace* ws) const {
+  ws->Reserve(num_states, width_, max_len);
+}
+
+namespace {
+
+/// Adds one sub-block's expected counts to `acc`, window by window in
+/// sequence order. Each window's lane is first de-strided into contiguous
+/// t_len x n panels (a bit-preserving copy that keeps the hot gamma/xi
+/// loops out of the strided activation blocks), after which the sweep is
+/// the scalar reference's accumulation body verbatim — same terms, same
+/// order, into the same accumulator cells.
+void SweepSubBlock(const HmmModel& model, const SparseHmm& sparse,
+                   bool csr_xi, std::span<const ObservationSeq> seqs,
+                   size_t width, internal::XiDenseRowsFn xi_dense_rows,
+                   BatchTrainWorkspace* ws, EStepAccumulators* acc) {
+  const size_t n = model.num_states();
+  const size_t t_len = seqs[0].size();
+  double* alpha_w = ws->alpha_w.data();
+  double* beta_w = ws->beta_w.data();
+  double* scale_w = ws->scale_w.data();
+  double* emit_panel = ws->emit_panel.data();
+
+  for (size_t w = 0; w < seqs.size(); ++w) {
+    if (ws->loglik[w] < -1e17) continue;  // ~zero-probability outlier
+    for (size_t cell = 0; cell < t_len * n; ++cell) {
+      alpha_w[cell] = ws->alpha[cell * width + w];
+      beta_w[cell] = ws->beta[cell * width + w];
+    }
+    for (size_t t = 0; t < t_len; ++t) {
+      scale_w[t] = ws->scale[t * width + w];
+    }
+    acc->total_ll += ws->loglik[w];
+    ++acc->used;
+    const ObservationSeq& seq = seqs[w];
+
+    // gamma_t(s) ∝ alpha_t(s) * beta_t(s); with Rabiner scaling the
+    // product needs a factor scale[t] to be a proper distribution.
+    for (size_t t = 0; t < t_len; ++t) {
+      const double* alpha_t = alpha_w + t * n;
+      const double* beta_t = beta_w + t * n;
+      const double scale_t = scale_w[t];
+      for (size_t s = 0; s < n; ++s) {
+        const double gamma = alpha_t[s] * beta_t[s] * scale_t;
+        if (t == 0) acc->pi_acc[s] += gamma;
+        acc->b_num.At(s, seq[t]) += gamma;
+        acc->b_den[s] += gamma;
+        if (t + 1 < t_len) acc->a_den[s] += gamma;
+      }
+    }
+    // xi_t(s,q) = alpha_t(s) A(s,q) B(q,o_{t+1}) beta_{t+1}(q); the
+    // emission*beta factor is hoisted per (t, q) into a panel covering
+    // the whole window, and the accumulation runs source-state-major
+    // with t innermost: A's row s and a_num's row s stay register/cache
+    // resident across every step of the window instead of both full
+    // matrices streaming through once per step. The interchange is
+    // bit-invisible — each addend alpha_t(s)*A(s,q)*emit_t(q) is the
+    // same product, and per accumulator cell (s,q) the addends still
+    // arrive in ascending-t order within each window. The steps with a
+    // nonzero alpha (the reference's skip) are compacted once per s so
+    // the kernels run over a dense step list.
+    for (size_t t = 0; t + 1 < t_len; ++t) {
+      const double* beta_next = beta_w + (t + 1) * n;
+      double* emit_t = emit_panel + t * n;
+      for (size_t q = 0; q < n; ++q) {
+        emit_t[q] = model.b().At(q, seq[t + 1]) * beta_next[q];
+      }
+    }
+    double* xi_alpha = ws->xi_alpha.data();
+    const double** xi_emit = ws->xi_emit.data();
+    for (size_t s = 0; s < n; ++s) {
+      size_t count = 0;
+      for (size_t t = 0; t + 1 < t_len; ++t) {
+        const double alpha_ts = alpha_w[t * n + s];
+        if (alpha_ts == 0.0) continue;
+        xi_alpha[count] = alpha_ts;
+        xi_emit[count] = emit_panel + t * n;
+        ++count;
+      }
+      if (count == 0) continue;
+      double* out_row = acc->a_num.RowData(s);
+      if (csr_xi) {
+        const CsrMatrix& a = sparse.a();
+        for (size_t k = a.row_ptr[s]; k < a.row_ptr[s + 1]; ++k) {
+          const size_t q = a.col[k];
+          const double a_sq = a.val[k];
+          double cell = out_row[q];
+          for (size_t i = 0; i < count; ++i) {
+            cell += xi_alpha[i] * a_sq * xi_emit[i][q];
+          }
+          out_row[q] = cell;
+        }
+      } else {
+        xi_dense_rows(xi_alpha, xi_emit, count, model.a().RowData(s),
+                      out_row, n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BatchEStep::AccumulateBlock(const HmmModel& model,
+                                 const SparseHmm& sparse, bool csr_xi,
+                                 std::span<const ObservationSeq> seqs,
+                                 BatchTrainWorkspace* ws,
+                                 EStepAccumulators* acc) const {
+  if (seqs.empty()) return;
+  const size_t n = model.num_states();
+  const size_t count = seqs.size();
+  const size_t t_len = seqs[0].size();
+  // Steady state never re-sizes: BaumWelchTrain reserves each shard's
+  // workspace for the corpus max length up front. The guard only fires
+  // for direct callers that skipped Reserve.
+  if (ws->alpha.size() < t_len * n * width_ || ws->loglik.size() < width_ ||
+      ws->alpha_w.size() < t_len * n) {
+    ws->Reserve(n, width_, t_len);
+  }
+  ws->seq_ptrs.clear();
+  for (const ObservationSeq& seq : seqs) ws->seq_ptrs.push_back(seq.data());
+
+  const internal::BatchTrainKernels& kernels = internal::TrainKernelsFor(
+      level_);
+  // SIMD over the largest lane-aligned prefix, scalar kernel over the
+  // remainder lanes. Each part is a complete forward→backward→sweep pass,
+  // run in sequence order, so the split is invisible: both kernels are
+  // bit-identical per lane and the sweep adds windows in corpus order.
+  internal::TrainBlockArgs args;
+  args.model = &sparse;
+  args.t_len = t_len;
+  args.alpha = ws->alpha.data();
+  args.beta = ws->beta.data();
+  args.scale = ws->scale.data();
+  args.loglik = ws->loglik.data();
+  args.emit_block = ws->emit_block.data();
+  args.emit_rows = ws->emit_rows.data();
+  size_t done = 0;
+  const size_t aligned = count - count % kernels.lanes;
+  for (const size_t part : {aligned, count - aligned}) {
+    if (part == 0) continue;
+    const internal::BatchTrainKernels& table =
+        done == 0 && part == aligned ? kernels
+                                     : internal::ScalarTrainKernels();
+    args.seqs = ws->seq_ptrs.data() + done;
+    args.width = part;
+    table.forward(args);
+    table.backward(args);
+    SweepSubBlock(model, sparse, csr_xi, seqs.subspan(done, part), part,
+                  kernels.xi_dense_rows, ws, acc);
+    done += part;
+  }
+}
+
+}  // namespace adprom::hmm

@@ -1,0 +1,20 @@
+// AVX2 instantiation of the batched training kernels. Like
+// batch_forward_avx2.cc, this translation unit is compiled with -mavx2
+// (see src/hmm/CMakeLists.txt) so the rest of the library stays runnable
+// on baseline x86-64; the dispatcher only calls through this table after
+// __builtin_cpu_supports("avx2") says yes.
+
+#include "hmm/batch_train_kernels.h"
+
+namespace adprom::hmm::internal {
+
+#if defined(ADPROM_BATCH_AVX2) && defined(__AVX2__)
+const BatchTrainKernels* Avx2TrainKernels() {
+  static const BatchTrainKernels kernels = {
+      &TrainForwardBlock<util::Avx2Arch>, &TrainBackwardBlock<util::Avx2Arch>,
+      &XiDenseRows<util::Avx2Arch>, util::Avx2Arch::kLanes, "avx2"};
+  return &kernels;
+}
+#endif
+
+}  // namespace adprom::hmm::internal

@@ -159,6 +159,7 @@ class BatchScorer {
   BatchScorer(const SparseHmm* model, BatchOptions options);
 
   bool enabled() const { return model_ != nullptr; }
+  const SparseHmm* model() const { return model_; }
   const BatchOptions& options() const { return options_; }
   /// The kernel flavour dispatch selected (after --no-simd and the
   /// ADPROM_FORCE_SCALAR override).

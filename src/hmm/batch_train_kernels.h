@@ -1,0 +1,271 @@
+#ifndef ADPROM_HMM_BATCH_TRAIN_KERNELS_H_
+#define ADPROM_HMM_BATCH_TRAIN_KERNELS_H_
+
+// Internal header: the templated kernel bodies behind BatchEStep. Each
+// ISA-specific translation unit (batch_baum_welch.cc for scalar/NEON,
+// batch_baum_welch_avx2.cc for AVX2) instantiates the training blocks
+// with its util::simd.h Arch and exports them through a BatchTrainKernels
+// function table; the dispatcher in batch_baum_welch.cc picks a table at
+// runtime. These TUs are compiled with -ffp-contract=off so no flavour
+// can fuse a multiply-add the scalar reference keeps separate.
+
+#include <cmath>
+#include <cstddef>
+
+#include "hmm/batch_kernels.h"
+#include "hmm/inference.h"
+#include "hmm/sparse.h"
+
+namespace adprom::hmm::internal {
+
+/// One block of W equal-length training sequences. Unlike the scoring
+/// tier's ping-pong buffers, training persists every time step: `alpha`
+/// and `beta` are t_len x num_states x width blocks (state-major,
+/// window-minor) and `scale` keeps the post-floor per-step totals the
+/// gamma/xi sweep re-applies. `width` must be a multiple of the
+/// instantiating Arch's lane count (the dispatcher peels the remainder
+/// onto the scalar kernel, which accepts any width).
+struct TrainBlockArgs {
+  const SparseHmm* model = nullptr;
+  const int* const* seqs = nullptr;  // width sequence pointers
+  size_t width = 0;
+  size_t t_len = 0;
+  double* alpha = nullptr;       // t_len x num_states x width
+  double* beta = nullptr;        // t_len x num_states x width
+  double* scale = nullptr;       // t_len x width
+  double* loglik = nullptr;      // width (written by forward)
+  double* emit_block = nullptr;  // num_states x width backward scratch
+  const double** emit_rows = nullptr;  // width scratch
+};
+
+using TrainBlockFn = void (*)(const TrainBlockArgs&);
+/// All of one window's dense xi terms for source state s at once:
+/// out_row[q] += alphas[i] * a_row[q] * emits[i][q] for each active step
+/// i in [0, count) in ascending-t order, for q in [0, n). The caller
+/// compacts the steps whose alpha is nonzero (the reference's skip).
+using XiDenseRowsFn = void (*)(const double* alphas,
+                               const double* const* emits, size_t count,
+                               const double* a_row, double* out_row,
+                               size_t n);
+
+struct BatchTrainKernels {
+  TrainBlockFn forward = nullptr;
+  TrainBlockFn backward = nullptr;
+  XiDenseRowsFn xi_dense_rows = nullptr;
+  size_t lanes = 1;
+  const char* name = "scalar";
+};
+
+/// The scaled forward recursion with full history: ForwardBlock's exact
+/// math (destination-major gather over Aᵀ, fused emission multiply,
+/// s-ascending totals, floored scale, per-step log accumulation — see the
+/// bit-identity argument on ForwardBlock), except each step writes its
+/// own alpha panel and its floored total into the persistent blocks
+/// instead of ping-ponging two rows. Lane w therefore holds exactly the
+/// alpha/scale/loglik that ForwardInto(model, seqs[w], ...) produces.
+template <class Arch>
+void TrainForwardBlock(const TrainBlockArgs& g) {
+  using D = typename Arch::D;
+  constexpr size_t kL = Arch::kLanes;
+  const CsrMatrix& at = g.model->a_transpose();
+  const util::Matrix& bt = g.model->b_transpose();
+  const double* pi = g.model->pi().data();
+  const size_t n = g.model->num_states();
+  const size_t width = g.width;
+  const D floor_v = Arch::BroadcastD(kScaleFloor);
+
+  for (size_t w = 0; w < width; ++w) g.loglik[w] = 0.0;
+
+  for (size_t t = 0; t < g.t_len; ++t) {
+    for (size_t w = 0; w < width; ++w) {
+      g.emit_rows[w] = bt.RowData(static_cast<size_t>(g.seqs[w][t]));
+    }
+    double* cur = g.alpha + t * n * width;
+    double* totals = g.scale + t * width;
+    if (t == 0) {
+      for (size_t w0 = 0; w0 < width; w0 += kL) {
+        D total = Arch::ZeroD();
+        for (size_t s = 0; s < n; ++s) {
+          const D v = Arch::MulD(Arch::BroadcastD(pi[s]),
+                                 Arch::GatherD(g.emit_rows + w0, s));
+          Arch::StoreD(cur + s * width + w0, v);
+          total = Arch::AddD(total, v);
+        }
+        Arch::StoreD(totals + w0, total);
+      }
+    } else {
+      const double* prev = g.alpha + (t - 1) * n * width;
+      size_t w0 = 0;
+      while (w0 < width) {
+        const size_t groups = (width - w0) / kL;
+        if (groups >= 4) {
+          ForwardStepTile<Arch, 4>(at, n, width, w0, prev, cur,
+                                   g.emit_rows, totals);
+          w0 += 4 * kL;
+        } else if (groups >= 2) {
+          ForwardStepTile<Arch, 2>(at, n, width, w0, prev, cur,
+                                   g.emit_rows, totals);
+          w0 += 2 * kL;
+        } else {
+          ForwardStepTile<Arch, 1>(at, n, width, w0, prev, cur,
+                                   g.emit_rows, totals);
+          w0 += kL;
+        }
+      }
+    }
+    for (size_t w0 = 0; w0 < width; w0 += kL) {
+      const D total = Arch::FloorScaleD(floor_v, Arch::LoadD(totals + w0));
+      Arch::StoreD(totals + w0, total);
+      for (size_t s = 0; s < n; ++s) {
+        double* cell = cur + s * width + w0;
+        Arch::StoreD(cell, Arch::DivD(Arch::LoadD(cell), total));
+      }
+    }
+    for (size_t w = 0; w < width; ++w) {
+      g.loglik[w] += std::log(totals[w]);
+    }
+  }
+}
+
+/// One t<T-1 backward step for a tile of U lane-groups: the source-major
+/// sweep over A's CSR rows with the accumulator in registers. Per lane
+/// this is BackwardInto's inner loop verbatim — acc += a(s,q) *
+/// emit_next(q) over q ascending (A's CSR rows list columns ascending;
+/// skipped zeros contribute 0.0 * emit == +0.0 to a non-negative
+/// accumulator, a bitwise no-op), then one divide by the step's scale.
+template <class Arch, size_t U>
+inline void BackwardStepTile(const CsrMatrix& a, size_t n, size_t width,
+                             size_t w0, const double* emit_block,
+                             double* cur, const double* scale_row) {
+  using D = typename Arch::D;
+  constexpr size_t kL = Arch::kLanes;
+  D scale_v[U];
+  for (size_t u = 0; u < U; ++u) {
+    scale_v[u] = Arch::LoadD(scale_row + w0 + u * kL);
+  }
+  for (size_t s = 0; s < n; ++s) {
+    D acc[U];
+    for (size_t u = 0; u < U; ++u) acc[u] = Arch::ZeroD();
+    const size_t end = a.row_ptr[s + 1];
+    for (size_t k = a.row_ptr[s]; k < end; ++k) {
+      const D val = Arch::BroadcastD(a.val[k]);
+      const double* e = emit_block + a.col[k] * width + w0;
+      for (size_t u = 0; u < U; ++u) {
+        acc[u] = Arch::AddD(acc[u], Arch::MulD(val, Arch::LoadD(e + u * kL)));
+      }
+    }
+    for (size_t u = 0; u < U; ++u) {
+      Arch::StoreD(cur + s * width + w0 + u * kL,
+                   Arch::DivD(acc[u], scale_v[u]));
+    }
+  }
+}
+
+/// The scaled backward recursion over the whole block: lane w runs
+/// BackwardInto(model, seqs[w], scale_w, ...) verbatim. beta_{T-1} is
+/// 1/scale[T-1]; each earlier step first builds the shared
+/// emit(q) = b(q, o_{t+1}) * beta_{t+1}(q) block (the same single multiply
+/// the scalar kernel hoists per (t, q)), then sweeps A's rows
+/// source-major. A source-major sweep is already destination-major from
+/// the register accumulator's point of view here — beta reduces along the
+/// row, not across it — so no transpose is needed for the backward
+/// direction.
+template <class Arch>
+void TrainBackwardBlock(const TrainBlockArgs& g) {
+  using D = typename Arch::D;
+  constexpr size_t kL = Arch::kLanes;
+  const CsrMatrix& a = g.model->a();
+  const util::Matrix& bt = g.model->b_transpose();
+  const size_t n = g.model->num_states();
+  const size_t width = g.width;
+  const size_t t_len = g.t_len;
+
+  double* last = g.beta + (t_len - 1) * n * width;
+  const double* scale_last = g.scale + (t_len - 1) * width;
+  const D one = Arch::BroadcastD(1.0);
+  for (size_t w0 = 0; w0 < width; w0 += kL) {
+    const D inv = Arch::DivD(one, Arch::LoadD(scale_last + w0));
+    for (size_t s = 0; s < n; ++s) {
+      Arch::StoreD(last + s * width + w0, inv);
+    }
+  }
+
+  for (size_t t = t_len - 1; t-- > 0;) {
+    for (size_t w = 0; w < width; ++w) {
+      g.emit_rows[w] = bt.RowData(static_cast<size_t>(g.seqs[w][t + 1]));
+    }
+    const double* next = g.beta + (t + 1) * n * width;
+    for (size_t w0 = 0; w0 < width; w0 += kL) {
+      for (size_t q = 0; q < n; ++q) {
+        const D v = Arch::MulD(Arch::GatherD(g.emit_rows + w0, q),
+                               Arch::LoadD(next + q * width + w0));
+        Arch::StoreD(g.emit_block + q * width + w0, v);
+      }
+    }
+    double* cur = g.beta + t * n * width;
+    const double* scale_row = g.scale + t * width;
+    size_t w0 = 0;
+    while (w0 < width) {
+      const size_t groups = (width - w0) / kL;
+      if (groups >= 4) {
+        BackwardStepTile<Arch, 4>(a, n, width, w0, g.emit_block, cur,
+                                  scale_row);
+        w0 += 4 * kL;
+      } else if (groups >= 2) {
+        BackwardStepTile<Arch, 2>(a, n, width, w0, g.emit_block, cur,
+                                  scale_row);
+        w0 += 2 * kL;
+      } else {
+        BackwardStepTile<Arch, 1>(a, n, width, w0, g.emit_block, cur,
+                                  scale_row);
+        w0 += kL;
+      }
+    }
+  }
+}
+
+/// One window's dense xi rows for a source state, vectorized across q
+/// with the destination cells held in registers across the t loop. Legal
+/// despite the strict term-order contract on two counts: each a_num cell
+/// is an independent accumulator (vectorizing across q reorders nothing),
+/// and within a cell the register chain ((out + v_0) + v_1) + ... adds the
+/// very terms the reference's repeated `out_row[q] += ...` adds, in the
+/// same ascending-t order with the same (alpha * a) * emit association.
+/// Keeping the accumulator and A's row resident in registers across all
+/// count steps is what turns the sweep from store-bound to FLOP-bound.
+template <class Arch>
+void XiDenseRows(const double* alphas, const double* const* emits,
+                 size_t count, const double* a_row, double* out_row,
+                 size_t n) {
+  using D = typename Arch::D;
+  constexpr size_t kL = Arch::kLanes;
+  size_t q = 0;
+  for (; q + kL <= n; q += kL) {
+    D acc = Arch::LoadD(out_row + q);
+    const D a = Arch::LoadD(a_row + q);
+    for (size_t i = 0; i < count; ++i) {
+      const D v = Arch::MulD(Arch::MulD(Arch::BroadcastD(alphas[i]), a),
+                             Arch::LoadD(emits[i] + q));
+      acc = Arch::AddD(acc, v);
+    }
+    Arch::StoreD(out_row + q, acc);
+  }
+  for (; q < n; ++q) {
+    double acc = out_row[q];
+    for (size_t i = 0; i < count; ++i) {
+      acc += alphas[i] * a_row[q] * emits[i][q];
+    }
+    out_row[q] = acc;
+  }
+}
+
+/// The scalar table (always available; accepts any width).
+const BatchTrainKernels& ScalarTrainKernels();
+/// The AVX2 table, or null when the build lacks the AVX2 translation unit.
+const BatchTrainKernels* Avx2TrainKernels();
+/// The NEON table, or null off AArch64.
+const BatchTrainKernels* NeonTrainKernels();
+
+}  // namespace adprom::hmm::internal
+
+#endif  // ADPROM_HMM_BATCH_TRAIN_KERNELS_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 
+#include "hmm/batch_baum_welch.h"
 #include "hmm/inference.h"
 #include "hmm/sparse.h"
 #include "util/logging.h"
@@ -21,46 +23,8 @@ namespace {
 /// holds an N x N + N x M count matrix) while still feeding 16 workers.
 constexpr size_t kMaxShards = 16;
 
-/// Expected-count accumulators for one shard of the training corpus.
-struct EStepAccumulators {
-  util::Matrix a_num;
-  std::vector<double> a_den;
-  util::Matrix b_num;
-  std::vector<double> b_den;
-  std::vector<double> pi_acc;
-  double total_ll = 0.0;
-  size_t used = 0;
-
-  void Reset(size_t n, size_t m) {
-    a_num.Reshape(n, n);
-    a_den.assign(n, 0.0);
-    b_num.Reshape(n, m);
-    b_den.assign(n, 0.0);
-    pi_acc.assign(n, 0.0);
-    total_ll = 0.0;
-    used = 0;
-  }
-
-  /// Element-wise merge. Called in fixed shard order, which keeps the
-  /// floating-point summation order independent of the thread count.
-  void MergeFrom(const EStepAccumulators& other) {
-    const size_t n = a_den.size();
-    const size_t m = b_num.cols();
-    for (size_t s = 0; s < n; ++s) {
-      double* a_row = a_num.RowData(s);
-      const double* oa_row = other.a_num.RowData(s);
-      for (size_t q = 0; q < n; ++q) a_row[q] += oa_row[q];
-      double* b_row = b_num.RowData(s);
-      const double* ob_row = other.b_num.RowData(s);
-      for (size_t o = 0; o < m; ++o) b_row[o] += ob_row[o];
-      a_den[s] += other.a_den[s];
-      b_den[s] += other.b_den[s];
-      pi_acc[s] += other.pi_acc[s];
-    }
-    total_ll += other.total_ll;
-    used += other.used;
-  }
-};
+// EStepAccumulators lives in batch_baum_welch.h now, shared between these
+// per-sequence reference loops and the batched engine.
 
 /// Adds one sequence's expected counts to `acc`. The arithmetic (and its
 /// order) is exactly the seed serial implementation's; only the buffers
@@ -146,6 +110,7 @@ struct Shard {
   ForwardWorkspace fw_ws;
   BackwardWorkspace bw_ws;
   std::vector<double> emit_scratch;
+  BatchTrainWorkspace batch_ws;
 };
 
 }  // namespace
@@ -171,6 +136,8 @@ util::Result<TrainStats> BaumWelchTrain(
   const size_t n = model->num_states();
   const size_t m = model->num_symbols();
   TrainStats stats;
+  stats.log_likelihood_curve.reserve(
+      static_cast<size_t>(std::max(options.max_iterations, 0)));
   double prev_mean_ll = -std::numeric_limits<double>::infinity();
 
   // Contiguous shard layout, a function of the corpus size only.
@@ -179,6 +146,21 @@ util::Result<TrainStats> BaumWelchTrain(
   for (size_t k = 0; k < num_shards; ++k) {
     shards[k].begin = k * sequences.size() / num_shards;
     shards[k].end = (k + 1) * sequences.size() / num_shards;
+  }
+
+  // The batched engine advances runs of equal-length sequences together;
+  // dense_kernels pins the scalar reference and batch_width == 0 the
+  // per-sequence kernels (all three paths train the bit-identical model).
+  const bool batched = !options.dense_kernels && options.batch_width > 0;
+  const BatchEStep estep(options.batch_width, options.no_simd);
+  if (batched) {
+    size_t max_len = 0;
+    for (const ObservationSeq& seq : sequences) {
+      max_len = std::max(max_len, seq.size());
+    }
+    for (Shard& shard : shards) {
+      estep.Reserve(n, max_len, &shard.batch_ws);
+    }
   }
 
   // The caller's pool, or an internal one when more than one thread is
@@ -209,10 +191,32 @@ util::Result<TrainStats> BaumWelchTrain(
       }
     }
 
-    // E-step: every shard accumulates its block of sequences.
+    // E-step: every shard accumulates its block of sequences. The batched
+    // path advances maximal runs of consecutive equal-length sequences
+    // (capped at batch_width) through the block kernels; runs are formed
+    // in corpus order, so the accumulation order — and the result — is
+    // exactly the per-sequence path's.
     util::ParallelFor(pool, num_shards, [&](size_t k) {
       Shard& shard = shards[k];
       shard.acc.Reset(n, m);
+      if (batched) {
+        const bool csr_xi = sparse != nullptr;
+        size_t i = shard.begin;
+        while (i < shard.end) {
+          size_t run = 1;
+          const size_t len = sequences[i].size();
+          while (i + run < shard.end && run < estep.width() &&
+                 sequences[i + run].size() == len) {
+            ++run;
+          }
+          estep.AccumulateBlock(
+              *model, sparse_model, csr_xi,
+              std::span<const ObservationSeq>(&sequences[i], run),
+              &shard.batch_ws, &shard.acc);
+          i += run;
+        }
+        return;
+      }
       for (size_t i = shard.begin; i < shard.end; ++i) {
         AccumulateSequence(*model, sparse, sequences[i], &shard.fw_ws,
                            &shard.bw_ws, &shard.emit_scratch, &shard.acc);
@@ -259,6 +263,10 @@ util::Result<TrainStats> BaumWelchTrain(
         total.total_ll / static_cast<double>(total.used);
     stats.log_likelihood_curve.push_back(mean_ll);
     stats.iterations = iter + 1;
+    // The executed path can flip between iterations (Smooth densifies A,
+    // which moves the density across the CSR cutoff); report the last one.
+    stats.kernel = batched ? "batch" : (sparse != nullptr ? "csr" : "dense");
+    stats.simd_level = batched ? estep.kernel_name() : "scalar";
 
     if (options.keep_going && !options.keep_going(iter, *model)) {
       stats.stopped_by_callback = true;

@@ -2,6 +2,7 @@
 #define ADPROM_HMM_BAUM_WELCH_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "hmm/hmm_model.h"
@@ -40,6 +41,16 @@ struct TrainOptions {
   /// ones silently fall back to the dense loops — output is bit-identical
   /// either way. Set to 1.0 to force CSR regardless of density.
   double sparse_density_cutoff = 0.15;
+  /// Batch width W for the batched SIMD E-step engine: runs of up to W
+  /// equal-length sequences advance together through lane-per-window
+  /// forward/backward blocks (see batch_baum_welch.h). 0 pins the legacy
+  /// per-sequence kernels; dense_kernels overrides this entirely. Every
+  /// width trains the bit-identical model.
+  size_t batch_width = 16;
+  /// Pins the batched engine's kernels to the scalar flavour regardless of
+  /// what the CPU supports (the `--no-simd` ablation switch). Bit-identical
+  /// by the engine's contract; this exists for benchmarks and tests.
+  bool no_simd = false;
   /// Worker threads for the E-step: 0 = hardware concurrency, 1 = serial.
   /// The expected-count accumulation is sharded over the sequences with a
   /// shard layout that depends only on the corpus size, and the per-shard
@@ -61,6 +72,14 @@ struct TrainStats {
   std::vector<double> log_likelihood_curve;
   bool converged = false;
   bool stopped_by_callback = false;
+  /// Which E-step path the final iteration executed: "batch" (the batched
+  /// SIMD engine), "csr" (per-sequence sparse kernels), or "dense" (the
+  /// scalar reference). All three train the bit-identical model; this is
+  /// reporting, so `adprom train` can say how a profile was produced.
+  std::string kernel = "dense";
+  /// The SIMD dispatch the batched engine used ("scalar"/"neon"/"avx2";
+  /// "scalar" whenever the batched engine was not in play).
+  std::string simd_level = "scalar";
 };
 
 /// Multi-sequence Baum-Welch (EM) re-estimation with Rabiner scaling.

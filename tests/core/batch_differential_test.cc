@@ -175,5 +175,54 @@ TEST_P(BatchDifferentialTest, TriageNeverChangesAVerdict) {
 INSTANTIATE_TEST_SUITE_P(AllApps, BatchDifferentialTest,
                          ::testing::Range(0, kNumApps), AppParamName);
 
+// Training-side differential: the batched Baum-Welch engine, the batched
+// CSDS early-stopping scorer, and the batched threshold scan together must
+// construct a *byte-identical* profile — the chosen detection threshold
+// included — for every batch width, SIMD pin, and thread count. The dense
+// reference profile is the anchor.
+TEST(BatchTrainDifferentialTest, ConstructedProfileAndThresholdBitIdentical) {
+  const apps::CorpusApp app = apps::MakeGrepLike(12, 1);
+  auto program = prog::ParseProgram(app.source);
+  ASSERT_TRUE(program.ok());
+
+  auto train = [&](size_t batch_width, bool no_simd, bool dense_kernels,
+                   int threads) {
+    ProfileOptions options;
+    options.max_training_windows = 160;
+    options.train.max_iterations = 4;
+    options.train.num_threads = threads;
+    options.dense_kernels = dense_kernels;
+    options.batch_width = batch_width;
+    options.no_simd = no_simd;
+    auto system =
+        AdProm::Train(*program, app.db_factory, app.test_cases, options);
+    EXPECT_TRUE(system.ok()) << system.status().ToString();
+    return std::make_unique<AdProm>(std::move(system).value());
+  };
+
+  const auto reference =
+      train(/*batch_width=*/0, /*no_simd=*/true, /*dense_kernels=*/true,
+            /*threads=*/1);
+  const std::string expected = reference->profile().Serialize();
+  const double expected_threshold = reference->profile().threshold;
+
+  struct Config {
+    size_t width;
+    bool no_simd;
+    int threads;
+  };
+  for (const Config& config : {Config{1, false, 1}, Config{7, false, 3},
+                               Config{16, false, 1}, Config{16, true, 4}}) {
+    const auto got = train(config.width, config.no_simd,
+                           /*dense_kernels=*/false, config.threads);
+    const std::string label = "width=" + std::to_string(config.width) +
+                              " no_simd=" + std::to_string(config.no_simd) +
+                              " threads=" + std::to_string(config.threads);
+    EXPECT_EQ(Bits(got->profile().threshold), Bits(expected_threshold))
+        << label;
+    EXPECT_EQ(got->profile().Serialize(), expected) << label;
+  }
+}
+
 }  // namespace
 }  // namespace adprom::core

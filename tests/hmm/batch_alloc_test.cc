@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <span>
 #include <vector>
 
+#include "hmm/batch_baum_welch.h"
 #include "hmm/batch_forward.h"
 #include "hmm/sparse.h"
 #include "util/rng.h"
@@ -97,6 +100,46 @@ TEST(BatchAllocTest, ScoreBatchIsAllocationFreeAfterReserve) {
     }
     EXPECT_EQ(guard.count(), 0u)
         << "steady-state ScoreBatch allocated (triage=" << triage << ")";
+  }
+}
+
+TEST(BatchAllocTest, TrainEStepIsAllocationFreeAfterReserve) {
+  const HmmModel model = SmallModel(24, 6);
+  const SparseHmm sparse(model);
+  const BatchEStep estep(/*width=*/8, /*no_simd=*/false);
+
+  std::vector<ObservationSeq> seqs(19);
+  util::Rng rng(13);
+  for (ObservationSeq& seq : seqs) {
+    seq.resize(15);
+    for (int& v : seq) v = static_cast<int>(rng.UniformU64(6));
+  }
+
+  for (const bool csr_xi : {false, true}) {
+    BatchTrainWorkspace ws;
+    estep.Reserve(model.num_states(), 15, &ws);
+    EStepAccumulators acc;
+    acc.Reset(model.num_states(), model.num_symbols());
+    auto accumulate_all = [&] {
+      for (size_t i = 0; i < seqs.size(); i += estep.width()) {
+        const size_t count = std::min(estep.width(), seqs.size() - i);
+        estep.AccumulateBlock(
+            model, sparse, csr_xi,
+            std::span<const ObservationSeq>(&seqs[i], count), &ws, &acc);
+      }
+    };
+    // Warm-up: the dispatcher's function-local statics and the
+    // accumulators' first Reshape happen here, outside the counted region.
+    accumulate_all();
+
+    CountAllocations guard;
+    for (int repeat = 0; repeat < 16; ++repeat) {
+      acc.Reset(model.num_states(), model.num_symbols());
+      accumulate_all();
+    }
+    EXPECT_EQ(guard.count(), 0u)
+        << "steady-state AccumulateBlock allocated (csr_xi=" << csr_xi
+        << ")";
   }
 }
 

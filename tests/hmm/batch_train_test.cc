@@ -1,0 +1,221 @@
+// Property tests for the batched SIMD Baum-Welch E-step engine: on the
+// same corpus, BaumWelchTrain through BatchEStep must train models
+// *bit-identical* to the dense scalar reference — not merely close — for
+// every batch width, thread count, smoothing mode, xi kernel, and SIMD
+// dispatch. Bitwise equality is the contract that lets the Profile
+// Constructor make the batched engine the default without any behavioural
+// change (and lets forced-scalar CI prove the fallback).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "hmm/baum_welch.h"
+#include "hmm/batch_baum_welch.h"
+#include "hmm/sparse.h"
+#include "util/rng.h"
+
+namespace adprom::hmm {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+#define EXPECT_BIT_EQ(a, b) EXPECT_EQ(Bits(a), Bits(b))
+
+/// A structurally sparse model, the shape ProfileConstructor produces from
+/// a pCTM: ~70% of A exact zeros, B and π smoothed dense-positive.
+HmmModel RandomSparseModel(size_t n, size_t m, util::Rng& rng) {
+  util::Matrix a(n, n);
+  util::Matrix b(n, m);
+  std::vector<double> pi(n);
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = 0; t < n; ++t) {
+      if (rng.UniformDouble() < 0.3) a.At(s, t) = 0.05 + rng.UniformDouble();
+    }
+    a.At(s, rng.UniformU64(n)) = 0.05 + rng.UniformDouble();
+    for (size_t o = 0; o < m; ++o) b.At(s, o) = 0.1 + rng.UniformDouble();
+    pi[s] = 0.1 + rng.UniformDouble();
+  }
+  a.NormalizeRows();
+  b.NormalizeRows();
+  double total = 0.0;
+  for (double v : pi) total += v;
+  for (double& v : pi) v /= total;
+  HmmModel model(std::move(a), std::move(b), std::move(pi));
+  model.SmoothEmissions(1e-6);
+  EXPECT_TRUE(model.Validate().ok());
+  return model;
+}
+
+/// A mixed-length corpus: mostly window-sized runs of one length (the
+/// detection shape, where the batch kernels earn their keep), with
+/// scattered odd lengths — including length-1 — so the run bucketing, the
+/// scalar remainder lanes, and the t_len==1 edge all get exercised.
+std::vector<ObservationSeq> MixedCorpus(size_t count, size_t m,
+                                        util::Rng& rng) {
+  std::vector<ObservationSeq> seqs;
+  seqs.reserve(count);
+  while (seqs.size() < count) {
+    size_t len = 15;
+    const double kind = rng.UniformDouble();
+    if (kind < 0.15) {
+      len = 1 + rng.UniformU64(14);  // odd-length stragglers
+    } else if (kind < 0.3) {
+      len = 15 + rng.UniformU64(10);
+    }
+    const size_t run = 1 + rng.UniformU64(12);
+    for (size_t i = 0; i < run && seqs.size() < count; ++i) {
+      ObservationSeq seq(len);
+      for (int& v : seq) v = static_cast<int>(rng.UniformU64(m));
+      seqs.push_back(std::move(seq));
+    }
+  }
+  return seqs;
+}
+
+void ExpectModelsBitIdentical(const HmmModel& a, const HmmModel& b) {
+  const size_t n = a.num_states();
+  const size_t m = a.num_symbols();
+  ASSERT_EQ(n, b.num_states());
+  ASSERT_EQ(m, b.num_symbols());
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = 0; t < n; ++t) {
+      EXPECT_BIT_EQ(a.a().At(s, t), b.a().At(s, t));
+    }
+    for (size_t o = 0; o < m; ++o) {
+      EXPECT_BIT_EQ(a.b().At(s, o), b.b().At(s, o));
+    }
+    EXPECT_BIT_EQ(a.pi()[s], b.pi()[s]);
+  }
+}
+
+class BatchTrainTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchTrainTest, BitIdenticalAcrossWidthsThreadsAndSmoothing) {
+  util::Rng rng(GetParam());
+  const size_t n = 3 + rng.UniformU64(6);
+  const size_t m = 3 + rng.UniformU64(4);
+  const HmmModel seed_model = RandomSparseModel(n, m, rng);
+  const std::vector<ObservationSeq> sequences = MixedCorpus(40, m, rng);
+
+  for (const bool smooth_transitions : {false, true}) {
+    TrainOptions reference_options;
+    reference_options.max_iterations = 5;
+    reference_options.tolerance = 0.0;
+    reference_options.smooth_transitions = smooth_transitions;
+    reference_options.dense_kernels = true;
+    reference_options.num_threads = 1;
+    HmmModel reference = seed_model;
+    auto reference_stats =
+        BaumWelchTrain(&reference, sequences, reference_options);
+    ASSERT_TRUE(reference_stats.ok());
+    EXPECT_EQ(reference_stats->kernel, "dense");
+
+    for (const size_t width : {1u, 3u, 16u, 17u}) {
+      for (const int threads : {0, 1, 4}) {
+        for (const bool no_simd : {false, true}) {
+          TrainOptions options = reference_options;
+          options.dense_kernels = false;
+          options.batch_width = width;
+          options.no_simd = no_simd;
+          options.num_threads = threads;
+          HmmModel model = seed_model;
+          auto stats = BaumWelchTrain(&model, sequences, options);
+          ASSERT_TRUE(stats.ok());
+          SCOPED_TRACE(::testing::Message()
+                       << "width=" << width << " threads=" << threads
+                       << " no_simd=" << no_simd
+                       << " smooth=" << smooth_transitions);
+          ExpectModelsBitIdentical(reference, model);
+          EXPECT_EQ(stats->kernel, "batch");
+          if (no_simd) {
+            EXPECT_EQ(stats->simd_level, "scalar");
+          }
+          ASSERT_EQ(stats->log_likelihood_curve.size(),
+                    reference_stats->log_likelihood_curve.size());
+          for (size_t i = 0; i < stats->log_likelihood_curve.size(); ++i) {
+            EXPECT_BIT_EQ(stats->log_likelihood_curve[i],
+                          reference_stats->log_likelihood_curve[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BatchTrainTest, BothXiKernelsMatchTheReference) {
+  util::Rng rng(GetParam() + 4000);
+  const size_t n = 3 + rng.UniformU64(6);
+  const size_t m = 3 + rng.UniformU64(4);
+  const HmmModel seed_model = RandomSparseModel(n, m, rng);
+  const std::vector<ObservationSeq> sequences = MixedCorpus(24, m, rng);
+
+  TrainOptions options;
+  options.max_iterations = 4;
+  options.tolerance = 0.0;
+  options.smooth_transitions = false;  // preserve the zero pattern
+  options.dense_kernels = true;
+  options.num_threads = 1;
+  HmmModel reference = seed_model;
+  ASSERT_TRUE(BaumWelchTrain(&reference, sequences, options).ok());
+
+  // cutoff 1.0 forces the CSR xi rows; cutoff 0.0 forces the dense
+  // (vectorized) xi rows — the forward/backward blocks are CSR either way.
+  for (const double cutoff : {1.0, 0.0}) {
+    TrainOptions batch_options = options;
+    batch_options.dense_kernels = false;
+    batch_options.sparse_density_cutoff = cutoff;
+    HmmModel model = seed_model;
+    ASSERT_TRUE(BaumWelchTrain(&model, sequences, batch_options).ok());
+    SCOPED_TRACE(::testing::Message() << "cutoff=" << cutoff);
+    ExpectModelsBitIdentical(reference, model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchTrainTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+/// The stats plumbing the CLI reports: curve capacity reserved up front
+/// (no reallocation mid-loop) and the executed kernel/dispatch recorded.
+TEST(BatchTrainStatsTest, ReportsKernelAndReservesCurve) {
+  util::Rng rng(77);
+  const HmmModel seed_model = RandomSparseModel(6, 4, rng);
+  const std::vector<ObservationSeq> sequences = MixedCorpus(12, 4, rng);
+
+  TrainOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;
+  HmmModel model = seed_model;
+  auto stats = BaumWelchTrain(&model, sequences, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->kernel, "batch");
+  EXPECT_FALSE(stats->simd_level.empty());
+  EXPECT_EQ(stats->log_likelihood_curve.size(), 3u);
+
+  options.dense_kernels = true;
+  HmmModel dense_model = seed_model;
+  auto dense_stats = BaumWelchTrain(&dense_model, sequences, options);
+  ASSERT_TRUE(dense_stats.ok());
+  EXPECT_EQ(dense_stats->kernel, "dense");
+  EXPECT_EQ(dense_stats->simd_level, "scalar");
+
+  options.dense_kernels = false;
+  options.batch_width = 0;  // legacy per-sequence kernels
+  options.sparse_density_cutoff = 1.0;
+  HmmModel csr_model = seed_model;
+  auto csr_stats = BaumWelchTrain(&csr_model, sequences, options);
+  ASSERT_TRUE(csr_stats.ok());
+  EXPECT_EQ(csr_stats->kernel, "csr");
+  ExpectModelsBitIdentical(dense_model, csr_model);
+  ExpectModelsBitIdentical(dense_model, model);
+}
+
+}  // namespace
+}  // namespace adprom::hmm

@@ -197,6 +197,8 @@ TEST_P(SparseKernelTest, BaumWelchTrainsBitIdenticalModels) {
     ASSERT_TRUE(BaumWelchTrain(&dense_model, sequences, options).ok());
     options.dense_kernels = false;
     options.sparse_density_cutoff = 1.0;  // force the CSR E-step
+    options.batch_width = 0;  // pin the per-sequence kernels (the batched
+                              // engine has its own suite in batch_train_test)
     options.num_threads = 4;  // kernel AND thread count must not matter
     ASSERT_TRUE(BaumWelchTrain(&sparse_model, sequences, options).ok());
 

@@ -332,7 +332,8 @@ util::Status CmdTrain(const ParsedArgs& args, std::ostream& out) {
     return util::Status::InvalidArgument(
         "usage: adprom train <app.mini> [--db seed.sql] --cases cases.txt"
         " --out app.profile [--window N] [--no-labels] [--signatures]"
-        " [--no-absint] [--threads N] [--dense-kernels]");
+        " [--no-absint] [--threads N] [--dense-kernels] [--batch-width N]"
+        " [--no-simd] [--stats]");
   }
   ADPROM_ASSIGN_OR_RETURN(prog::Program program,
                           LoadProgram(args.positional[1]));
@@ -351,6 +352,20 @@ util::Status CmdTrain(const ParsedArgs& args, std::ostream& out) {
       << system.profile().num_states << " states, alphabet "
       << system.profile().alphabet.size() << ", threshold "
       << system.profile().threshold << "\n";
+  const hmm::TrainStats& stats = system.profile().train_stats;
+  out << "training kernel: " << stats.kernel << " (simd "
+      << stats.simd_level << "), " << stats.iterations << " iterations"
+      << (stats.converged ? ", converged"
+                          : (stats.stopped_by_callback ? ", early-stopped"
+                                                       : ""))
+      << "\n";
+  if (args.Has("--stats")) {
+    out << "log-likelihood curve:";
+    for (const double ll : stats.log_likelihood_curve) {
+      out << " " << util::StrFormat("%.6g", ll);
+    }
+    out << "\n";
+  }
   out << "profile written to " << args.Get("--out") << " ("
       << serialized.size() << " bytes)\n";
   return util::Status::Ok();
